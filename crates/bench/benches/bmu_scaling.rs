@@ -1,0 +1,39 @@
+//! Best-matching-unit search scaling: cost per lookup as the codebook
+//! grows (the inner loop of both training and detection).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ghsom_bench::harness::{prepare, RunConfig};
+use som::map::Som;
+
+fn bench_bmu_scaling(c: &mut Criterion) {
+    let data = prepare(&RunConfig {
+        n_train: 512,
+        n_test: 10,
+        seed: 5,
+    })
+    .expect("data generation");
+    let x = &data.x_train;
+
+    let mut group = c.benchmark_group("bmu_scaling");
+    group.throughput(Throughput::Elements(x.rows() as u64));
+    for side in [4usize, 8, 16, 32] {
+        let som = Som::from_data_sample(side, side, x, 9).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}u", side * side)),
+            &som,
+            |b, som| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for row in x.iter_rows() {
+                        acc += som.bmu(row).unwrap().distance;
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bmu_scaling);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E1 cost side: synthetic record generation, CSV round-trip, raw-flow
+//! simulation and window aggregation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use traffic::flows::{AttackEpisode, EpisodeKind, FlowSimConfig, FlowSimulator};
+use traffic::synth::{MixSpec, TrafficGenerator};
+use traffic::window::derive_dataset;
+
+fn bench_dataset_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataset_gen");
+    group.throughput(Throughput::Elements(5_000));
+    group.bench_function("synth_records_5k", |b| {
+        b.iter(|| {
+            let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), 1).unwrap();
+            black_box(gen.generate(5_000))
+        });
+    });
+
+    group.bench_function("csv_roundtrip_5k", |b| {
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), 2).unwrap();
+        let ds = gen.generate(5_000);
+        b.iter(|| {
+            let mut buf = Vec::new();
+            traffic::csv::write_dataset(&ds, &mut buf).unwrap();
+            black_box(traffic::csv::read_dataset(buf.as_slice()).unwrap())
+        });
+    });
+
+    let sim_config = FlowSimConfig {
+        duration_secs: 60.0,
+        background_rate: 60.0,
+        server_count: 32,
+        client_count: 128,
+        episodes: vec![AttackEpisode {
+            kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+            start: 20.0,
+            duration: 20.0,
+            rate: 100.0,
+        }],
+    };
+    group.bench_function("flow_simulation_60s", |b| {
+        b.iter(|| {
+            let mut sim = FlowSimulator::new(sim_config.clone(), 3);
+            black_box(sim.generate())
+        });
+    });
+
+    let mut sim = FlowSimulator::new(sim_config, 4);
+    let flows = sim.generate();
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    group.bench_function("window_aggregation", |b| {
+        b.iter(|| black_box(derive_dataset(&flows)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset_gen);
+criterion_main!(benches);

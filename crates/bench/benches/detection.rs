@@ -1,0 +1,45 @@
+//! E9/Table 5 (part): per-record detection throughput of every detector.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use detect::prelude::*;
+use ghsom_bench::harness::{fit_all_detectors, prepare, train_default_model, RunConfig};
+
+fn bench_detection(c: &mut Criterion) {
+    let data = prepare(&RunConfig {
+        n_train: 2_000,
+        n_test: 1_000,
+        seed: 3,
+    })
+    .expect("data generation");
+    let model = train_default_model(&data, 3).expect("training");
+    let detectors = fit_all_detectors(&data, model).expect("detector fitting");
+
+    let mut group = c.benchmark_group("detection_throughput");
+    group.throughput(Throughput::Elements(data.x_test.rows() as u64));
+    group.sample_size(10);
+
+    let all: [(&str, &dyn Detector); 5] = [
+        ("ghsom-hybrid", &detectors.ghsom),
+        ("growing-grid", &detectors.growing),
+        ("flat-som", &detectors.flat_som),
+        ("kmeans", &detectors.kmeans),
+        ("pca-residual", &detectors.pca),
+    ];
+    for (name, det) in all {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut flagged = 0usize;
+                for x in data.x_test.iter_rows() {
+                    if det.is_anomalous(x).unwrap() {
+                        flagged += 1;
+                    }
+                }
+                black_box(flagged)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E2/Table 2 cost side: GHSOM end-to-end training time as a function of
+//! the breadth/depth thresholds and of the record count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghsom_bench::harness::{experiment_config, prepare, RunConfig};
+use ghsom_core::GhsomModel;
+
+fn bench_ghsom_training(c: &mut Criterion) {
+    let data = prepare(&RunConfig {
+        n_train: 2_000,
+        n_test: 10,
+        seed: 2,
+    })
+    .expect("data generation");
+
+    let mut group = c.benchmark_group("ghsom_training");
+    group.sample_size(10);
+
+    for (tau1, tau2) in [(0.6, 0.1), (0.3, 0.03), (0.1, 0.01)] {
+        group.bench_with_input(
+            BenchmarkId::new("tau", format!("t1={tau1},t2={tau2}")),
+            &(tau1, tau2),
+            |b, &(tau1, tau2)| {
+                let config = experiment_config(tau1, tau2, 42);
+                b.iter(|| black_box(GhsomModel::train(&config, &data.x_train).unwrap()));
+            },
+        );
+    }
+
+    // Scaling in record count at the default taus.
+    for n in [500usize, 1_000, 2_000] {
+        let sub = mathkit::Matrix::from_rows(
+            data.x_train
+                .iter_rows()
+                .take(n)
+                .map(|r| r.to_vec())
+                .collect(),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("records", n), &n, |b, _| {
+            let config = experiment_config(0.3, 0.03, 42);
+            b.iter(|| black_box(GhsomModel::train(&config, &sub).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ghsom_training);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E9/Table 5 (part): SOM training throughput — online vs batch, by map
+//! size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghsom_bench::harness::{prepare, RunConfig};
+use som::map::{Som, TrainParams};
+
+fn bench_som_training(c: &mut Criterion) {
+    let data = prepare(&RunConfig {
+        n_train: 1_000,
+        n_test: 10,
+        seed: 1,
+    })
+    .expect("data generation");
+    let x = &data.x_train;
+
+    let mut group = c.benchmark_group("som_training");
+    group.sample_size(10);
+    for side in [4usize, 8, 12] {
+        group.bench_with_input(
+            BenchmarkId::new("online", format!("{side}x{side}")),
+            &side,
+            |b, &side| {
+                b.iter(|| {
+                    let mut som = Som::from_data_sample(side, side, x, 7).unwrap();
+                    som.train_online(
+                        x,
+                        &TrainParams {
+                            epochs: 3,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    black_box(som)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batch", format!("{side}x{side}")),
+            &side,
+            |b, &side| {
+                b.iter(|| {
+                    let mut som = Som::from_data_sample(side, side, x, 7).unwrap();
+                    som.train_batch(
+                        x,
+                        &TrainParams {
+                            epochs: 3,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    black_box(som)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_som_training);
+criterion_main!(benches);

@@ -1,0 +1,255 @@
+//! Ablations A1–A3: the design choices `DESIGN.md` calls out.
+
+use detect::prelude::*;
+use evalkit::report::{cell, Table};
+use featurize::{KddPipeline, PipelineConfig, ScalingKind};
+use traffic::AttackCategory;
+
+use crate::harness::{
+    evaluate_binary, experiment_config, ExperimentData, RunConfig, CALIBRATION_PERCENTILE,
+};
+
+/// A1 — hierarchy: full GHSOM vs single-layer growing grid vs fixed SOM,
+/// across a τ₂ sweep. Isolates what depth buys.
+///
+/// # Errors
+///
+/// Training/evaluation errors propagate.
+pub fn ablation_hierarchy(data: &ExperimentData) -> Result<Table, Box<dyn std::error::Error>> {
+    let mut table = Table::new(vec![
+        "variant", "tau2", "maps", "units", "depth", "DR", "FPR", "F1",
+    ]);
+    for &tau2 in &[0.1, 0.03, 0.01] {
+        let config = experiment_config(0.3, tau2, 42);
+        let model = ghsom_core::GhsomModel::train(&config, &data.x_train)?;
+        let stats = model.topology_stats();
+        let det = HybridGhsomDetector::fit(
+            model,
+            &data.x_train,
+            &data.train_categories,
+            CALIBRATION_PERCENTILE,
+        )?;
+        let m = evaluate_binary(&det, data)?;
+        table.add_row(vec![
+            "ghsom".into(),
+            cell(tau2),
+            stats.maps.to_string(),
+            stats.total_units.to_string(),
+            stats.max_depth.to_string(),
+            cell(m.detection_rate()),
+            cell(m.false_positive_rate()),
+            cell(m.f1()),
+        ]);
+    }
+    // Hierarchy off.
+    let gg = GrowingGridDetector::fit(
+        &data.x_train,
+        &data.train_categories,
+        0.3,
+        CALIBRATION_PERCENTILE,
+        42,
+    )?;
+    let m = evaluate_binary(&gg, data)?;
+    table.add_row(vec![
+        "growing-grid (no hierarchy)".into(),
+        "-".into(),
+        "1".into(),
+        gg.unit_count().to_string(),
+        "1".into(),
+        cell(m.detection_rate()),
+        cell(m.false_positive_rate()),
+        cell(m.f1()),
+    ]);
+    Ok(table)
+}
+
+/// A2 — labeling strategy: QE threshold only vs unit labels only vs
+/// hybrid, all on the same trained model.
+///
+/// # Errors
+///
+/// Training/evaluation errors propagate.
+pub fn ablation_labeling(data: &ExperimentData) -> Result<Table, Box<dyn std::error::Error>> {
+    let config = experiment_config(0.3, 0.03, 42);
+    let model = ghsom_core::GhsomModel::train(&config, &data.x_train)?;
+
+    let normal_rows: Vec<Vec<f64>> = data
+        .x_train
+        .iter_rows()
+        .zip(&data.train_categories)
+        .filter(|(_, &c)| c == AttackCategory::Normal)
+        .map(|(r, _)| r.to_vec())
+        .collect();
+    let x_normal = mathkit::Matrix::from_rows(normal_rows)?;
+
+    let qe = QeThresholdDetector::fit(model.clone(), &x_normal, CALIBRATION_PERCENTILE)?;
+    let labeled = LabeledGhsomDetector::fit(model.clone(), &data.x_train, &data.train_categories)?;
+    let hybrid = HybridGhsomDetector::fit(
+        model,
+        &data.x_train,
+        &data.train_categories,
+        CALIBRATION_PERCENTILE,
+    )?;
+
+    let mut table = Table::new(vec!["strategy", "DR", "FPR", "precision", "F1"]);
+    let all: [(&str, &dyn Detector); 3] = [
+        ("qe-threshold only", &qe),
+        ("unit labels only", &labeled),
+        ("hybrid (labels + qe)", &hybrid),
+    ];
+    for (name, det) in all {
+        let m = evaluate_binary(det, data)?;
+        table.add_row(vec![
+            name.into(),
+            cell(m.detection_rate()),
+            cell(m.false_positive_rate()),
+            cell(m.precision()),
+            cell(m.f1()),
+        ]);
+    }
+    Ok(table)
+}
+
+/// A3 — feature scaling: min–max vs z-score vs log1p+min–max, identical
+/// model/detector settings.
+///
+/// # Errors
+///
+/// Pipeline/training/evaluation errors propagate.
+pub fn ablation_scaling(run: &RunConfig) -> Result<Table, Box<dyn std::error::Error>> {
+    let (train, test) = traffic::synth::kdd_train_test(run.n_train, run.n_test, run.seed)?;
+    let mut table = Table::new(vec!["scaling", "DR", "FPR", "F1", "accuracy"]);
+    for scaling in [
+        ScalingKind::MinMax,
+        ScalingKind::ZScore,
+        ScalingKind::Log1pMinMax,
+    ] {
+        let pipe_config = PipelineConfig {
+            scaling,
+            ..Default::default()
+        };
+        let pipeline = KddPipeline::fit(&pipe_config, &train)?;
+        let x_train = pipeline.transform_dataset(&train)?;
+        let x_test = pipeline.transform_dataset(&test)?;
+        let train_categories: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
+        let config = experiment_config(0.3, 0.03, run.seed);
+        let model = ghsom_core::GhsomModel::train(&config, &x_train)?;
+        let det = HybridGhsomDetector::fit(
+            model,
+            &x_train,
+            &train_categories,
+            CALIBRATION_PERCENTILE,
+        )?;
+        let mut m = evalkit::BinaryMetrics::new();
+        for (x, rec) in x_test.iter_rows().zip(test.iter()) {
+            m.record(rec.is_attack(), det.is_anomalous(x)?);
+        }
+        table.add_row(vec![
+            scaling.to_string(),
+            cell(m.detection_rate()),
+            cell(m.false_positive_rate()),
+            cell(m.f1()),
+            cell(m.accuracy()),
+        ]);
+    }
+    Ok(table)
+}
+
+/// A4 — training mode: online Kohonen updates vs batch updates, identical
+/// τ settings.
+///
+/// # Errors
+///
+/// Training/evaluation errors propagate.
+pub fn ablation_training_mode(data: &ExperimentData) -> Result<Table, Box<dyn std::error::Error>> {
+    let mut table = Table::new(vec![
+        "mode", "maps", "units", "train (s)", "DR", "FPR", "F1",
+    ]);
+    for mode in [
+        ghsom_core::TrainingMode::Online,
+        ghsom_core::TrainingMode::Batch,
+    ] {
+        let config = ghsom_core::GhsomConfig {
+            training: mode,
+            ..experiment_config(0.3, 0.03, 42)
+        };
+        let start = std::time::Instant::now();
+        let model = ghsom_core::GhsomModel::train(&config, &data.x_train)?;
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = model.topology_stats();
+        let det = HybridGhsomDetector::fit(
+            model,
+            &data.x_train,
+            &data.train_categories,
+            CALIBRATION_PERCENTILE,
+        )?;
+        let m = evaluate_binary(&det, data)?;
+        table.add_row(vec![
+            mode.to_string(),
+            stats.maps.to_string(),
+            stats.total_units.to_string(),
+            cell(elapsed),
+            cell(m.detection_rate()),
+            cell(m.false_positive_rate()),
+            cell(m.f1()),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::prepare;
+
+    fn small_data() -> ExperimentData {
+        prepare(&RunConfig {
+            n_train: 500,
+            n_test: 300,
+            seed: 17,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn hierarchy_ablation_has_all_variants() {
+        let data = small_data();
+        let t = ablation_hierarchy(&data).unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(t.to_string().contains("no hierarchy"));
+    }
+
+    #[test]
+    fn labeling_ablation_has_three_strategies() {
+        let data = small_data();
+        let t = ablation_labeling(&data).unwrap();
+        assert_eq!(t.len(), 3);
+        let text = t.to_string();
+        assert!(text.contains("qe-threshold only"));
+        assert!(text.contains("hybrid"));
+    }
+
+    #[test]
+    fn training_mode_ablation_has_both_modes() {
+        let data = small_data();
+        let t = ablation_training_mode(&data).unwrap();
+        assert_eq!(t.len(), 2);
+        let text = t.to_string();
+        assert!(text.contains("online"));
+        assert!(text.contains("batch"));
+    }
+
+    #[test]
+    fn scaling_ablation_covers_all_scalers() {
+        let run = RunConfig {
+            n_train: 400,
+            n_test: 200,
+            seed: 19,
+        };
+        let t = ablation_scaling(&run).unwrap();
+        assert_eq!(t.len(), 3);
+        let text = t.to_string();
+        assert!(text.contains("z-score"));
+        assert!(text.contains("log1p+min-max"));
+    }
+}

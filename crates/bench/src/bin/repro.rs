@@ -1,0 +1,221 @@
+//! `repro` — regenerates every table and figure of the reconstructed
+//! evaluation (see `DESIGN.md` §4 for the experiment index).
+//!
+//! ```text
+//! repro --all                  # everything at the default scale
+//! repro --table 3              # one table
+//! repro --figure 1             # one figure
+//! repro --ablation hierarchy   # one ablation (hierarchy|labeling|scaling)
+//! repro --train 8000 --test 6000 --seed 42   # scale/seed overrides
+//! ```
+
+use ghsom_bench::harness::{fit_all_detectors, prepare, train_default_model, RunConfig};
+use ghsom_bench::{ablations, figures, tables};
+
+struct Args {
+    run: RunConfig,
+    table: Option<usize>,
+    figure: Option<usize>,
+    ablation: Option<String>,
+    all: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        run: RunConfig::default(),
+        table: None,
+        figure: None,
+        ablation: None,
+        all: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = || -> Result<String, String> {
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("missing value after `{}`", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--all" => {
+                args.all = true;
+                i += 1;
+            }
+            "--table" => {
+                args.table = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "`--table` expects a number".to_string())?,
+                );
+                i += 2;
+            }
+            "--figure" => {
+                args.figure = Some(
+                    value()?
+                        .parse()
+                        .map_err(|_| "`--figure` expects a number".to_string())?,
+                );
+                i += 2;
+            }
+            "--ablation" => {
+                args.ablation = Some(value()?);
+                i += 2;
+            }
+            "--train" => {
+                args.run.n_train = value()?
+                    .parse()
+                    .map_err(|_| "`--train` expects a number".to_string())?;
+                i += 2;
+            }
+            "--test" => {
+                args.run.n_test = value()?
+                    .parse()
+                    .map_err(|_| "`--test` expects a number".to_string())?;
+                i += 2;
+            }
+            "--seed" => {
+                args.run.seed = value()?
+                    .parse()
+                    .map_err(|_| "`--seed` expects a number".to_string())?;
+                i += 2;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--all] [--table N] [--figure N] \
+                     [--ablation hierarchy|labeling|scaling|training] \
+                     [--train N] [--test N] [--seed N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !args.all && args.table.is_none() && args.figure.is_none() && args.ablation.is_none() {
+        args.all = true;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let run = &args.run;
+    eprintln!(
+        "# preparing data: {} train / {} test records (seed {})",
+        run.n_train, run.n_test, run.seed
+    );
+    let data = prepare(run)?;
+
+    let want_table = |n: usize| args.all || args.table == Some(n);
+    let want_figure = |n: usize| args.all || args.figure == Some(n);
+    let want_ablation = |name: &str| args.all || args.ablation.as_deref() == Some(name);
+
+    // Detectors are needed by tables 3-4/6 and figures 1-3.
+    let need_detectors = want_table(3)
+        || want_table(4)
+        || want_table(6)
+        || want_figure(1)
+        || want_figure(2)
+        || want_figure(3);
+    let fitted = if need_detectors {
+        eprintln!("# training GHSOM (tau1=0.3, tau2=0.03) and baselines …");
+        let model = train_default_model(&data, run.seed)?;
+        let model_for_fig2 = model.clone();
+        Some((fit_all_detectors(&data, model)?, model_for_fig2))
+    } else {
+        None
+    };
+
+    if want_table(1) {
+        print_section(
+            "Table 1 — dataset composition",
+            &tables::table1(&data).to_string(),
+        );
+    }
+    if want_table(2) {
+        eprintln!("# sweeping tau grid for Table 2 …");
+        print_section(
+            "Table 2 — GHSOM topology vs (tau1, tau2)",
+            &tables::table2(&data)?.to_string(),
+        );
+    }
+    if let Some((detectors, model)) = fitted.as_ref() {
+        if want_table(3) {
+            print_section(
+                "Table 3 — overall detection comparison",
+                &tables::table3(&data, detectors)?.to_string(),
+            );
+        }
+        if want_table(4) {
+            print_section(
+                "Table 4 — per-category detection rate",
+                &tables::table4(&data, detectors)?.to_string(),
+            );
+        }
+        if want_table(6) {
+            print_section(
+                "Table 6 — per-type classification (typed GHSOM)",
+                &tables::table6(&data, model.clone())?.to_string(),
+            );
+        }
+        if want_figure(1) {
+            let fig = figures::figure1(&data, detectors)?;
+            print_section(&fig.title, &fig.chart);
+        }
+        if want_figure(2) {
+            let fig = figures::figure2(model);
+            print_section(&fig.title, &fig.chart);
+        }
+        if want_figure(3) {
+            let fig = figures::figure3(&data, detectors)?;
+            print_section(&fig.title, &fig.chart);
+        }
+    }
+    if want_figure(4) {
+        eprintln!("# sweeping tau grid for Figure 4 …");
+        let fig = figures::figure4(&data)?;
+        print_section(&fig.title, &fig.chart);
+    }
+    if want_ablation("hierarchy") {
+        print_section(
+            "Ablation A1 — hierarchy",
+            &ablations::ablation_hierarchy(&data)?.to_string(),
+        );
+    }
+    if want_ablation("labeling") {
+        print_section(
+            "Ablation A2 — labeling strategy",
+            &ablations::ablation_labeling(&data)?.to_string(),
+        );
+    }
+    if want_ablation("scaling") {
+        print_section(
+            "Ablation A3 — feature scaling",
+            &ablations::ablation_scaling(run)?.to_string(),
+        );
+    }
+    if want_ablation("training") {
+        print_section(
+            "Ablation A4 — training mode (online vs batch)",
+            &ablations::ablation_training_mode(&data)?.to_string(),
+        );
+    }
+    Ok(())
+}
+
+fn print_section(title: &str, body: &str) {
+    println!("\n## {title}\n");
+    println!("{body}");
+}

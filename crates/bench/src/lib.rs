@@ -1,0 +1,25 @@
+//! Experiment harness shared by the `repro` binary and the Criterion
+//! benches.
+//!
+//! Everything needed to regenerate the paper-style tables and figures lives
+//! here (see `DESIGN.md` §4 for the experiment index):
+//!
+//! * [`harness`] — dataset preparation, pipeline fitting, model training
+//!   and detector fitting with fixed seeds.
+//! * [`tables`] — Tables 1–4 (dataset composition, topology vs τ, overall
+//!   detection comparison, per-category detection).
+//! * [`figures`] — Figures 1–4 (ROC curves, growth timeline, QE
+//!   distributions, τ sensitivity heat-map).
+//! * [`ablations`] — A1 hierarchy, A2 labeling strategy, A3 feature
+//!   scaling.
+//!
+//! Run `cargo run --release -p ghsom-bench --bin repro -- --all` to print
+//! every artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod harness;
+pub mod tables;

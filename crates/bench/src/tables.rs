@@ -1,0 +1,282 @@
+//! Tables 1–4 of the reconstructed evaluation.
+
+use evalkit::report::{cell, Table};
+use traffic::AttackCategory;
+
+use crate::harness::{
+    evaluate_binary, evaluate_per_category, experiment_config, fit_all_detectors, prepare,
+    ExperimentData, FittedDetectors, RunConfig,
+};
+
+/// Table 1 — dataset composition: record counts per class for train and
+/// test (test includes attack types unseen in training).
+pub fn table1(data: &ExperimentData) -> Table {
+    let mut table = Table::new(vec![
+        "class", "category", "train", "test", "unseen-in-train",
+    ]);
+    let train_counts = data.train.counts_by_type();
+    let test_counts = data.test.counts_by_type();
+    let mut classes: Vec<traffic::AttackType> = train_counts
+        .keys()
+        .chain(test_counts.keys())
+        .copied()
+        .collect();
+    classes.sort();
+    classes.dedup();
+    for ty in classes {
+        table.add_row(vec![
+            ty.to_string(),
+            ty.category().to_string(),
+            train_counts.get(&ty).copied().unwrap_or(0).to_string(),
+            test_counts.get(&ty).copied().unwrap_or(0).to_string(),
+            if ty.is_test_only() { "yes" } else { "" }.to_string(),
+        ]);
+    }
+    table.add_row(vec![
+        "TOTAL".into(),
+        String::new(),
+        data.train.len().to_string(),
+        data.test.len().to_string(),
+        String::new(),
+    ]);
+    table
+}
+
+/// Table 2 — GHSOM topology vs (τ₁, τ₂): maps, units, depth, layer
+/// breakdown and wall-clock training time.
+///
+/// # Errors
+///
+/// Training errors propagate.
+pub fn table2(data: &ExperimentData) -> Result<Table, Box<dyn std::error::Error>> {
+    let mut table = Table::new(vec![
+        "tau1", "tau2", "maps", "units", "depth", "layer breakdown", "train (s)",
+    ]);
+    for &tau1 in &[0.6, 0.3, 0.1] {
+        for &tau2 in &[0.1, 0.03, 0.01] {
+            let config = experiment_config(tau1, tau2, 42);
+            let start = std::time::Instant::now();
+            let model = ghsom_core::GhsomModel::train(&config, &data.x_train)?;
+            let elapsed = start.elapsed().as_secs_f64();
+            let stats = model.topology_stats();
+            let breakdown = stats
+                .per_layer
+                .iter()
+                .map(|l| format!("L{}:{}m/{}u", l.depth, l.maps, l.units))
+                .collect::<Vec<_>>()
+                .join(" ");
+            table.add_row(vec![
+                cell(tau1),
+                cell(tau2),
+                stats.maps.to_string(),
+                stats.total_units.to_string(),
+                stats.max_depth.to_string(),
+                breakdown,
+                cell(elapsed),
+            ]);
+        }
+    }
+    Ok(table)
+}
+
+/// Table 3 — overall detection comparison: DR, FPR, precision, F1,
+/// accuracy for every detector on the held-out test set.
+///
+/// # Errors
+///
+/// Evaluation errors propagate.
+pub fn table3(
+    data: &ExperimentData,
+    detectors: &FittedDetectors,
+) -> Result<Table, Box<dyn std::error::Error>> {
+    let mut table = Table::new(vec![
+        "detector", "DR", "FPR", "precision", "F1", "accuracy",
+    ]);
+    let all: [&dyn detect::Detector; 5] = [
+        &detectors.ghsom,
+        &detectors.growing,
+        &detectors.flat_som,
+        &detectors.kmeans,
+        &detectors.pca,
+    ];
+    for det in all {
+        let m = evaluate_binary(det, data)?;
+        table.add_row(vec![
+            det.name().to_string(),
+            cell(m.detection_rate()),
+            cell(m.false_positive_rate()),
+            cell(m.precision()),
+            cell(m.f1()),
+            cell(m.accuracy()),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Table 4 — per-category detection rate (fraction flagged) per detector;
+/// the `normal` column is the false-positive rate.
+///
+/// # Errors
+///
+/// Evaluation errors propagate.
+pub fn table4(
+    data: &ExperimentData,
+    detectors: &FittedDetectors,
+) -> Result<Table, Box<dyn std::error::Error>> {
+    let mut headers = vec!["detector".to_string()];
+    for cat in AttackCategory::ALL {
+        let label = if cat == AttackCategory::Normal {
+            "normal (FPR)".to_string()
+        } else {
+            cat.to_string()
+        };
+        headers.push(label);
+    }
+    let mut table = Table::new(headers);
+    let all: [&dyn detect::Detector; 5] = [
+        &detectors.ghsom,
+        &detectors.growing,
+        &detectors.flat_som,
+        &detectors.kmeans,
+        &detectors.pca,
+    ];
+    for det in all {
+        let rows = evaluate_per_category(det, data)?;
+        let mut cells = vec![det.name().to_string()];
+        for (_, rate, total) in rows {
+            cells.push(if total == 0 {
+                "n/a".to_string()
+            } else {
+                cell(rate)
+            });
+        }
+        table.add_row(cells);
+    }
+    Ok(table)
+}
+
+/// Table 6 — fine-grained attack-type classification: per-type recall of
+/// the typed GHSOM classifier on the test set (types with ≥ 10 test
+/// records).
+///
+/// # Errors
+///
+/// Fitting/evaluation errors propagate.
+pub fn table6(
+    data: &ExperimentData,
+    model: ghsom_core::GhsomModel,
+) -> Result<Table, Box<dyn std::error::Error>> {
+    use detect::typed::TypedGhsomClassifier;
+    let train_types: Vec<traffic::AttackType> = data.train.iter().map(|r| r.label).collect();
+    let clf = TypedGhsomClassifier::fit(model, &data.x_train, &train_types)?;
+
+    let mut table = Table::new(vec![
+        "type", "category", "test records", "correct", "recall", "seen in train",
+    ]);
+    let test_counts = data.test.counts_by_type();
+    for (&ty, &total) in &test_counts {
+        if total < 10 {
+            continue;
+        }
+        let mut correct = 0usize;
+        for (x, rec) in data.x_test.iter_rows().zip(data.test.iter()) {
+            if rec.label == ty && clf.classify(x)? == Some(ty) {
+                correct += 1;
+            }
+        }
+        table.add_row(vec![
+            ty.to_string(),
+            ty.category().to_string(),
+            total.to_string(),
+            correct.to_string(),
+            cell(correct as f64 / total as f64),
+            if ty.is_test_only() { "no" } else { "yes" }.to_string(),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Runs tables 1–4 end to end with the given run configuration (the path
+/// the repro binary drives).
+///
+/// # Errors
+///
+/// All preparation/training/evaluation errors propagate.
+pub fn run_all(run: &RunConfig) -> Result<Vec<(String, Table)>, Box<dyn std::error::Error>> {
+    let data = prepare(run)?;
+    let model = crate::harness::train_default_model(&data, run.seed)?;
+    let detectors = fit_all_detectors(&data, model)?;
+    Ok(vec![
+        ("Table 1 — dataset composition".into(), table1(&data)),
+        ("Table 2 — GHSOM topology vs (tau1, tau2)".into(), table2(&data)?),
+        (
+            "Table 3 — overall detection comparison".into(),
+            table3(&data, &detectors)?,
+        ),
+        (
+            "Table 4 — per-category detection rate".into(),
+            table4(&data, &detectors)?,
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_data() -> ExperimentData {
+        prepare(&RunConfig {
+            n_train: 500,
+            n_test: 300,
+            seed: 11,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn table1_totals_match_dataset() {
+        let data = small_data();
+        let t = table1(&data);
+        let text = t.to_string();
+        assert!(text.contains("TOTAL"));
+        assert!(text.contains("500"));
+        assert!(text.contains("300"));
+        assert!(text.contains("smurf"));
+    }
+
+    #[test]
+    fn table3_has_five_detectors() {
+        let data = small_data();
+        let model = crate::harness::train_default_model(&data, 1).unwrap();
+        let detectors = fit_all_detectors(&data, model).unwrap();
+        let t = table3(&data, &detectors).unwrap();
+        assert_eq!(t.len(), 5);
+        let text = t.to_string();
+        for name in ["ghsom-hybrid", "growing-grid", "flat-som", "kmeans", "pca-residual"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn table6_reports_dominant_types() {
+        let data = small_data();
+        let model = crate::harness::train_default_model(&data, 1).unwrap();
+        let t = table6(&data, model).unwrap();
+        let text = t.to_string();
+        assert!(text.contains("smurf"));
+        assert!(text.contains("neptune"));
+        assert!(text.contains("normal"));
+    }
+
+    #[test]
+    fn table4_has_category_columns() {
+        let data = small_data();
+        let model = crate::harness::train_default_model(&data, 1).unwrap();
+        let detectors = fit_all_detectors(&data, model).unwrap();
+        let t = table4(&data, &detectors).unwrap();
+        let text = t.to_string();
+        assert!(text.contains("normal (FPR)"));
+        assert!(text.contains("dos"));
+        assert!(text.contains("u2r"));
+    }
+}

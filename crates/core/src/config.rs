@@ -1,0 +1,286 @@
+//! GHSOM training configuration.
+
+use serde::{Deserialize, Serialize};
+use som::{DecaySchedule, NeighborhoodKind};
+
+use crate::GhsomError;
+
+/// Which SOM training rule every map in the hierarchy uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TrainingMode {
+    /// Per-sample Kohonen updates with decaying rate/radius (the original
+    /// GHSOM formulation; sensitive to presentation order, which the seed
+    /// fixes).
+    #[default]
+    Online,
+    /// Batch updates: each epoch replaces every weight by the
+    /// neighborhood-weighted mean of the data. Order-independent and
+    /// typically smoother, at a small cost in final quantization error on
+    /// small maps.
+    Batch,
+}
+
+impl std::fmt::Display for TrainingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TrainingMode::Online => "online",
+            TrainingMode::Batch => "batch",
+        })
+    }
+}
+
+/// All knobs of a GHSOM training run.
+///
+/// The two parameters that matter scientifically are [`tau1`](Self::tau1)
+/// (breadth) and [`tau2`](Self::tau2) (depth); everything else is
+/// engineering guard-rails with defaults that match the GHSOM literature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GhsomConfig {
+    /// Breadth threshold τ₁ ∈ (0, 1): a map stops growing horizontally once
+    /// its mean quantization error falls below `τ₁ · mqe(parent unit)`.
+    /// Smaller values produce larger maps.
+    pub tau1: f64,
+    /// Depth threshold τ₂ ∈ (0, 1]: a unit expands into a child map while
+    /// its mean quantization error exceeds `τ₂ · mqe₀`. Smaller values
+    /// produce deeper hierarchies.
+    pub tau2: f64,
+    /// Hard depth cap (layer-1 map is depth 1).
+    pub max_depth: usize,
+    /// Initial grid rows of every new map (the canonical GHSOM uses 2).
+    pub initial_rows: usize,
+    /// Initial grid columns of every new map.
+    pub initial_cols: usize,
+    /// Training epochs per growth round (λ in the GHSOM papers).
+    pub epochs_per_round: usize,
+    /// Fine-tuning epochs after a map stops growing.
+    pub final_epochs: usize,
+    /// Cap on row/column insertions per map.
+    pub max_growth_rounds: usize,
+    /// Cap on units per map (stops breadth growth when reached).
+    pub max_map_units: usize,
+    /// Global cap on units across the whole hierarchy (stops *all* growth
+    /// when reached — a guard against pathological τ settings).
+    pub max_total_units: usize,
+    /// A unit expands vertically only if at least this many training
+    /// records map to it (children need data to train on).
+    pub min_unit_samples: usize,
+    /// Learning-rate schedule for every training run (ignored by
+    /// [`TrainingMode::Batch`], which has no learning rate).
+    pub learning_rate: DecaySchedule,
+    /// Neighborhood kernel for every training run.
+    pub neighborhood: NeighborhoodKind,
+    /// Online (default) or batch SOM updates.
+    pub training: TrainingMode,
+    /// Master seed: map initialization and shuffling derive from it, so a
+    /// fixed seed yields a bit-identical model.
+    pub seed: u64,
+}
+
+impl Default for GhsomConfig {
+    /// τ₁ = 0.3, τ₂ = 0.03, depth ≤ 4 — the mid-point of the τ grid used
+    /// by the reproduction experiments.
+    fn default() -> Self {
+        GhsomConfig {
+            tau1: 0.3,
+            tau2: 0.03,
+            max_depth: 4,
+            initial_rows: 2,
+            initial_cols: 2,
+            epochs_per_round: 5,
+            final_epochs: 5,
+            max_growth_rounds: 24,
+            max_map_units: 400,
+            max_total_units: 5_000,
+            min_unit_samples: 8,
+            learning_rate: DecaySchedule::Linear {
+                start: 0.5,
+                end: 0.05,
+            },
+            neighborhood: NeighborhoodKind::Gaussian,
+            training: TrainingMode::Online,
+            seed: 42,
+        }
+    }
+}
+
+impl GhsomConfig {
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// [`GhsomError::InvalidConfig`] naming the first offending field.
+    pub fn validate(&self) -> Result<(), GhsomError> {
+        if !(self.tau1 > 0.0 && self.tau1 < 1.0 && self.tau1.is_finite()) {
+            return Err(GhsomError::InvalidConfig {
+                name: "tau1",
+                reason: "must lie in (0, 1)",
+            });
+        }
+        if !(self.tau2 > 0.0 && self.tau2 <= 1.0 && self.tau2.is_finite()) {
+            return Err(GhsomError::InvalidConfig {
+                name: "tau2",
+                reason: "must lie in (0, 1]",
+            });
+        }
+        if self.max_depth == 0 {
+            return Err(GhsomError::InvalidConfig {
+                name: "max_depth",
+                reason: "must be at least 1",
+            });
+        }
+        if self.initial_rows < 2 || self.initial_cols < 2 {
+            return Err(GhsomError::InvalidConfig {
+                name: "initial_rows/initial_cols",
+                reason: "the starting grid must be at least 2×2",
+            });
+        }
+        if self.epochs_per_round == 0 {
+            return Err(GhsomError::InvalidConfig {
+                name: "epochs_per_round",
+                reason: "must be at least 1",
+            });
+        }
+        if self.max_map_units < self.initial_rows * self.initial_cols {
+            return Err(GhsomError::InvalidConfig {
+                name: "max_map_units",
+                reason: "must be at least the initial grid size",
+            });
+        }
+        if self.max_total_units < self.max_map_units {
+            return Err(GhsomError::InvalidConfig {
+                name: "max_total_units",
+                reason: "must be at least max_map_units",
+            });
+        }
+        if self.min_unit_samples == 0 {
+            return Err(GhsomError::InvalidConfig {
+                name: "min_unit_samples",
+                reason: "must be at least 1",
+            });
+        }
+        self.learning_rate
+            .validate()
+            .map_err(|_| GhsomError::InvalidConfig {
+                name: "learning_rate",
+                reason: "schedule is invalid (see som::DecaySchedule::validate)",
+            })?;
+        Ok(())
+    }
+
+    /// The seed for training round `round` of node `node` — a cheap
+    /// splitmix-style derivation so every map trains with an independent
+    /// but reproducible stream.
+    pub(crate) fn derived_seed(&self, node: usize, round: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(1 + node as u64))
+            .wrapping_add(0xBF58_476D_1CE4_E5B9u64.wrapping_mul(1 + round as u64));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        GhsomConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn tau_bounds_are_enforced() {
+        for tau1 in [0.0, 1.0, -0.5, f64::NAN] {
+            let c = GhsomConfig {
+                tau1,
+                ..Default::default()
+            };
+            assert!(c.validate().is_err(), "tau1 = {tau1} accepted");
+        }
+        for tau2 in [0.0, 1.5, -0.1, f64::INFINITY] {
+            let c = GhsomConfig {
+                tau2,
+                ..Default::default()
+            };
+            assert!(c.validate().is_err(), "tau2 = {tau2} accepted");
+        }
+        // tau2 = 1.0 is allowed (expansion only for units worse than mqe0).
+        let c = GhsomConfig {
+            tau2: 1.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn structural_bounds_are_enforced() {
+        let cases = [
+            GhsomConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+            GhsomConfig {
+                initial_rows: 1,
+                ..Default::default()
+            },
+            GhsomConfig {
+                initial_cols: 0,
+                ..Default::default()
+            },
+            GhsomConfig {
+                epochs_per_round: 0,
+                ..Default::default()
+            },
+            GhsomConfig {
+                max_map_units: 3,
+                ..Default::default()
+            },
+            GhsomConfig {
+                max_total_units: 10,
+                ..Default::default()
+            },
+            GhsomConfig {
+                min_unit_samples: 0,
+                ..Default::default()
+            },
+        ];
+        for c in cases {
+            assert!(c.validate().is_err(), "accepted: {c:?}");
+        }
+    }
+
+    #[test]
+    fn derived_seeds_differ_across_nodes_and_rounds() {
+        let c = GhsomConfig::default();
+        let s00 = c.derived_seed(0, 0);
+        let s01 = c.derived_seed(0, 1);
+        let s10 = c.derived_seed(1, 0);
+        assert_ne!(s00, s01);
+        assert_ne!(s00, s10);
+        assert_ne!(s01, s10);
+        // Deterministic.
+        assert_eq!(s00, c.derived_seed(0, 0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = GhsomConfig {
+            tau1: 0.12,
+            tau2: 0.05,
+            training: TrainingMode::Batch,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: GhsomConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn training_mode_default_and_display() {
+        assert_eq!(TrainingMode::default(), TrainingMode::Online);
+        assert_eq!(TrainingMode::Online.to_string(), "online");
+        assert_eq!(TrainingMode::Batch.to_string(), "batch");
+    }
+}

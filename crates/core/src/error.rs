@@ -1,0 +1,134 @@
+//! Error type for GHSOM training and projection.
+
+use std::fmt;
+
+/// Errors produced by GHSOM operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GhsomError {
+    /// A configuration value was out of its valid domain.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Violated constraint.
+        reason: &'static str,
+    },
+    /// Training data was empty.
+    EmptyInput,
+    /// Sample width differs from the model.
+    DimensionMismatch {
+        /// Model dimensionality.
+        expected: usize,
+        /// Sample dimensionality.
+        found: usize,
+    },
+    /// Input contained NaN or infinite values.
+    NonFinite,
+    /// An underlying SOM operation failed (propagated unchanged).
+    Som(som::SomError),
+}
+
+impl fmt::Display for GhsomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GhsomError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            GhsomError::EmptyInput => write!(f, "training requires a non-empty data set"),
+            GhsomError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: model is {expected}-d, sample is {found}-d")
+            }
+            GhsomError::NonFinite => write!(f, "input contains NaN or infinite values"),
+            GhsomError::Som(e) => write!(f, "som error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GhsomError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GhsomError::Som(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<som::SomError> for GhsomError {
+    fn from(e: som::SomError) -> Self {
+        match e {
+            som::SomError::DimensionMismatch { expected, found } => {
+                GhsomError::DimensionMismatch { expected, found }
+            }
+            som::SomError::EmptyInput => GhsomError::EmptyInput,
+            som::SomError::NonFinite => GhsomError::NonFinite,
+            other => GhsomError::Som(other),
+        }
+    }
+}
+
+impl From<mathkit::MathError> for GhsomError {
+    fn from(e: mathkit::MathError) -> Self {
+        match e {
+            mathkit::MathError::DimensionMismatch { expected, found } => {
+                GhsomError::DimensionMismatch { expected, found }
+            }
+            mathkit::MathError::EmptyInput => GhsomError::EmptyInput,
+            mathkit::MathError::NonFinite => GhsomError::NonFinite,
+            mathkit::MathError::InvalidParameter { name, reason } => {
+                GhsomError::InvalidConfig { name, reason }
+            }
+            mathkit::MathError::NoConvergence { .. } => GhsomError::InvalidConfig {
+                name: "iterations",
+                reason: "underlying numerical routine failed to converge",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GhsomError::InvalidConfig {
+                name: "tau1",
+                reason: "must lie in (0, 1)"
+            }
+            .to_string(),
+            "invalid configuration `tau1`: must lie in (0, 1)"
+        );
+        assert_eq!(
+            GhsomError::EmptyInput.to_string(),
+            "training requires a non-empty data set"
+        );
+    }
+
+    #[test]
+    fn conversions_preserve_meaning() {
+        let e: GhsomError = som::SomError::EmptyInput.into();
+        assert_eq!(e, GhsomError::EmptyInput);
+        let e: GhsomError = mathkit::MathError::NonFinite.into();
+        assert_eq!(e, GhsomError::NonFinite);
+        let e: GhsomError = som::SomError::InvalidParameter {
+            name: "x",
+            reason: "y",
+        }
+        .into();
+        assert!(matches!(e, GhsomError::Som(_)));
+    }
+
+    #[test]
+    fn source_chains_for_som_errors() {
+        use std::error::Error;
+        let e = GhsomError::Som(som::SomError::EmptyInput);
+        assert!(e.source().is_some());
+        assert!(GhsomError::EmptyInput.source().is_none());
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<GhsomError>();
+    }
+}

@@ -1,0 +1,400 @@
+//! The growing grid: a SOM that inserts rows/columns where it quantizes
+//! worst.
+//!
+//! This is the breadth half of the GHSOM. Growth proceeds in rounds:
+//! train λ epochs → find the *error unit* (largest accumulated quantization
+//! error) → find its most dissimilar lattice neighbor in feature space →
+//! insert a full row or column of interpolated units between them → repeat,
+//! until the map-level stopping criterion (owned by the caller) is met.
+
+use mathkit::{distance, vector, Matrix, Metric};
+use som::map::{Som, TrainParams};
+use som::topology::GridTopology;
+
+use crate::{GhsomConfig, GhsomError};
+
+/// Where a growth round inserted new units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Insertion {
+    /// A full row was inserted at this row index.
+    Row(usize),
+    /// A full column was inserted at this column index.
+    Column(usize),
+}
+
+/// A SOM under breadth growth.
+///
+/// Wraps a [`Som`] plus the statistics growth decisions need. The wrapped
+/// map is exposed read-only; all mutation goes through the growth API so
+/// the grid invariants (rectangularity, interpolated insertions) hold.
+#[derive(Debug, Clone)]
+pub struct GrowingGrid {
+    som: Som,
+    /// Per-unit summed quantization error from the latest `update_stats`.
+    unit_qe: Vec<f64>,
+    /// Per-unit hit counts from the latest `update_stats`.
+    unit_hits: Vec<usize>,
+}
+
+impl GrowingGrid {
+    /// Starts a grid of the configured initial size, with units drawn from
+    /// the training data.
+    ///
+    /// # Errors
+    ///
+    /// Construction errors from the underlying [`Som`].
+    pub fn new(config: &GhsomConfig, data: &Matrix, seed: u64) -> Result<Self, GhsomError> {
+        let som = Som::from_data_sample(config.initial_rows, config.initial_cols, data, seed)?;
+        let units = som.len();
+        Ok(GrowingGrid {
+            som,
+            unit_qe: vec![0.0; units],
+            unit_hits: vec![0; units],
+        })
+    }
+
+    /// Read access to the wrapped map.
+    pub fn som(&self) -> &Som {
+        &self.som
+    }
+
+    /// Consumes the grid, returning the trained map.
+    pub fn into_som(self) -> Som {
+        self.som
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.som.len()
+    }
+
+    /// `false` always (grids cannot be empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Trains the wrapped map for `epochs` and refreshes the per-unit
+    /// quantization statistics.
+    ///
+    /// # Errors
+    ///
+    /// Training errors from [`Som::train_online`].
+    pub fn train(
+        &mut self,
+        data: &Matrix,
+        config: &GhsomConfig,
+        epochs: usize,
+        seed: u64,
+    ) -> Result<(), GhsomError> {
+        let params = TrainParams {
+            epochs,
+            learning_rate: config.learning_rate,
+            radius: None,
+            neighborhood: config.neighborhood,
+            shuffle_seed: seed,
+        };
+        match config.training {
+            crate::config::TrainingMode::Online => self.som.train_online(data, &params)?,
+            crate::config::TrainingMode::Batch => self.som.train_batch(data, &params)?,
+        };
+        self.update_stats(data)?;
+        Ok(())
+    }
+
+    /// Recomputes per-unit `qe` and hit counts on `data`.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors from [`Som::unit_quantization`].
+    pub fn update_stats(&mut self, data: &Matrix) -> Result<(), GhsomError> {
+        let (qe, hits) = self.som.unit_quantization(data)?;
+        self.unit_qe = qe;
+        self.unit_hits = hits;
+        Ok(())
+    }
+
+    /// Per-unit summed quantization errors from the latest statistics pass.
+    pub fn unit_qe(&self) -> &[f64] {
+        &self.unit_qe
+    }
+
+    /// Per-unit hit counts from the latest statistics pass.
+    pub fn unit_hits(&self) -> &[usize] {
+        &self.unit_hits
+    }
+
+    /// Mean quantization error of the map: the average of the *unit mean
+    /// errors* over units that received data — the `MQE_m` of the GHSOM
+    /// papers.
+    pub fn mean_unit_mqe(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut live = 0usize;
+        for (&qe, &hits) in self.unit_qe.iter().zip(&self.unit_hits) {
+            if hits > 0 {
+                sum += qe / hits as f64;
+                live += 1;
+            }
+        }
+        if live == 0 {
+            0.0
+        } else {
+            sum / live as f64
+        }
+    }
+
+    /// The error unit: index of the unit with the largest summed
+    /// quantization error.
+    pub fn error_unit(&self) -> usize {
+        vector::argmax(&self.unit_qe).unwrap_or(0)
+    }
+
+    /// The lattice neighbor of `unit` whose weight vector is farthest in
+    /// feature space — the insertion partner.
+    pub fn most_dissimilar_neighbor(&self, unit: usize) -> usize {
+        let w = self.som.unit_weight(unit);
+        self.som
+            .topology()
+            .neighbors(unit)
+            .into_iter()
+            .max_by(|&a, &b| {
+                let da = distance::euclidean(w, self.som.unit_weight(a));
+                let db = distance::euclidean(w, self.som.unit_weight(b));
+                da.partial_cmp(&db).expect("finite weights")
+            })
+            .expect("every unit has at least one neighbor")
+    }
+
+    /// Performs one growth step: inserts a row or column between the error
+    /// unit and its most dissimilar neighbor, with new weights interpolated
+    /// from the flanking units. Returns where the insertion happened.
+    ///
+    /// # Errors
+    ///
+    /// Reconstruction errors from the underlying matrix/topology builders
+    /// (cannot occur for well-formed grids).
+    pub fn grow_once(&mut self) -> Result<Insertion, GhsomError> {
+        let e = self.error_unit();
+        let d = self.most_dissimilar_neighbor(e);
+        let topo = self.som.topology();
+        let (er, ec) = topo.coords(e);
+        let (dr, dc) = topo.coords(d);
+        let insertion = if er != dr {
+            // Vertical neighbors: insert a row between them.
+            Insertion::Row(er.max(dr))
+        } else {
+            // Horizontal neighbors: insert a column between them.
+            Insertion::Column(ec.max(dc))
+        };
+        self.apply_insertion(insertion)?;
+        Ok(insertion)
+    }
+
+    /// Rebuilds the map with a row/column inserted at the given position.
+    fn apply_insertion(&mut self, insertion: Insertion) -> Result<(), GhsomError> {
+        let topo = *self.som.topology();
+        let (rows, cols) = (topo.rows(), topo.cols());
+        let dim = self.som.dim();
+        let (new_rows, new_cols) = match insertion {
+            Insertion::Row(_) => (rows + 1, cols),
+            Insertion::Column(_) => (rows, cols + 1),
+        };
+        let mut weights = Vec::with_capacity(new_rows * new_cols);
+        for r in 0..new_rows {
+            for c in 0..new_cols {
+                let w: Vec<f64> = match insertion {
+                    Insertion::Row(at) => {
+                        if r < at {
+                            self.som.unit_weight(topo.index(r, c)).to_vec()
+                        } else if r == at {
+                            // Interpolate between the flanking rows.
+                            vector::lerp(
+                                self.som.unit_weight(topo.index(at - 1, c)),
+                                self.som.unit_weight(topo.index(at, c)),
+                                0.5,
+                            )
+                        } else {
+                            self.som.unit_weight(topo.index(r - 1, c)).to_vec()
+                        }
+                    }
+                    Insertion::Column(at) => {
+                        if c < at {
+                            self.som.unit_weight(topo.index(r, c)).to_vec()
+                        } else if c == at {
+                            vector::lerp(
+                                self.som.unit_weight(topo.index(r, at - 1)),
+                                self.som.unit_weight(topo.index(r, at)),
+                                0.5,
+                            )
+                        } else {
+                            self.som.unit_weight(topo.index(r, c - 1)).to_vec()
+                        }
+                    }
+                };
+                debug_assert_eq!(w.len(), dim);
+                weights.extend(w);
+            }
+        }
+        let new_topo = GridTopology::rectangular(new_rows, new_cols)?;
+        let weights = Matrix::from_flat(new_rows * new_cols, dim, weights)?;
+        self.som = Som::from_parts(new_topo, weights, Metric::Euclidean)?;
+        self.unit_qe = vec![0.0; self.som.len()];
+        self.unit_hits = vec![0; self.som.len()];
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Elongated data: three clusters along a line, which a 2×2 map cannot
+    /// quantize well — growth is forced.
+    fn line_clusters() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..120 {
+            let c = (i % 3) as f64; // 0, 1, 2
+            let j = (i % 20) as f64 * 0.002;
+            rows.push(vec![c * 2.0 + j, j]);
+        }
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    fn grid() -> (GrowingGrid, Matrix) {
+        let config = GhsomConfig::default();
+        let data = line_clusters();
+        let mut g = GrowingGrid::new(&config, &data, 7).unwrap();
+        g.train(&data, &config, 5, 1).unwrap();
+        (g, data)
+    }
+
+    #[test]
+    fn starts_at_initial_size() {
+        let (g, _) = grid();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.som().topology().rows(), 2);
+        assert_eq!(g.som().topology().cols(), 2);
+    }
+
+    #[test]
+    fn stats_partition_data() {
+        let (g, data) = grid();
+        assert_eq!(g.unit_hits().iter().sum::<usize>(), data.rows());
+        assert!(g.unit_qe().iter().all(|&q| q >= 0.0));
+        assert!(g.mean_unit_mqe() > 0.0);
+    }
+
+    #[test]
+    fn error_unit_has_max_qe() {
+        let (g, _) = grid();
+        let e = g.error_unit();
+        for (i, &q) in g.unit_qe().iter().enumerate() {
+            assert!(q <= g.unit_qe()[e], "unit {i} exceeds error unit");
+        }
+    }
+
+    #[test]
+    fn dissimilar_neighbor_is_a_lattice_neighbor() {
+        let (g, _) = grid();
+        let e = g.error_unit();
+        let d = g.most_dissimilar_neighbor(e);
+        assert!(g.som().topology().neighbors(e).contains(&d));
+    }
+
+    #[test]
+    fn grow_once_adds_a_full_row_or_column() {
+        let (mut g, _) = grid();
+        let before = (g.som().topology().rows(), g.som().topology().cols());
+        let ins = g.grow_once().unwrap();
+        let after = (g.som().topology().rows(), g.som().topology().cols());
+        match ins {
+            Insertion::Row(at) => {
+                assert_eq!(after, (before.0 + 1, before.1));
+                assert!(at >= 1 && at <= before.0);
+            }
+            Insertion::Column(at) => {
+                assert_eq!(after, (before.0, before.1 + 1));
+                assert!(at >= 1 && at <= before.1);
+            }
+        }
+        assert_eq!(g.len(), after.0 * after.1);
+    }
+
+    #[test]
+    fn inserted_units_are_interpolations() {
+        let (mut g, _) = grid();
+        // Snapshot pre-growth weights.
+        let before = g.som().clone();
+        let ins = g.grow_once().unwrap();
+        let topo_b = before.topology();
+        match ins {
+            Insertion::Row(at) => {
+                for c in 0..topo_b.cols() {
+                    let expect = vector::lerp(
+                        before.unit_weight(topo_b.index(at - 1, c)),
+                        before.unit_weight(topo_b.index(at, c)),
+                        0.5,
+                    );
+                    let got = g.som().unit_weight(g.som().topology().index(at, c));
+                    assert_eq!(got, expect.as_slice());
+                }
+            }
+            Insertion::Column(at) => {
+                for r in 0..topo_b.rows() {
+                    let expect = vector::lerp(
+                        before.unit_weight(topo_b.index(r, at - 1)),
+                        before.unit_weight(topo_b.index(r, at)),
+                        0.5,
+                    );
+                    let got = g.som().unit_weight(g.som().topology().index(r, at));
+                    assert_eq!(got, expect.as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn old_units_survive_insertion() {
+        let (mut g, _) = grid();
+        let before = g.som().clone();
+        let ins = g.grow_once().unwrap();
+        // Every pre-growth weight vector must still exist in the new map.
+        for u in 0..before.len() {
+            let w = before.unit_weight(u);
+            let found = (0..g.len()).any(|v| g.som().unit_weight(v) == w);
+            assert!(found, "unit {u} lost after {ins:?}");
+        }
+    }
+
+    #[test]
+    fn growth_reduces_mqe_over_rounds() {
+        let config = GhsomConfig::default();
+        let data = line_clusters();
+        let mut g = GrowingGrid::new(&config, &data, 3).unwrap();
+        g.train(&data, &config, 5, 0).unwrap();
+        let mqe_start = g.mean_unit_mqe();
+        for round in 1..=4 {
+            g.grow_once().unwrap();
+            g.train(&data, &config, 5, round).unwrap();
+        }
+        let mqe_end = g.mean_unit_mqe();
+        assert!(
+            mqe_end < mqe_start,
+            "growth did not help: {mqe_start} -> {mqe_end}"
+        );
+    }
+
+    #[test]
+    fn repeated_growth_keeps_grid_rectangular() {
+        let config = GhsomConfig::default();
+        let data = line_clusters();
+        let mut g = GrowingGrid::new(&config, &data, 5).unwrap();
+        g.train(&data, &config, 3, 0).unwrap();
+        for round in 0..6 {
+            g.grow_once().unwrap();
+            g.train(&data, &config, 3, round).unwrap();
+            let t = g.som().topology();
+            assert_eq!(g.len(), t.rows() * t.cols());
+            assert_eq!(g.unit_hits().iter().sum::<usize>(), data.rows());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Growing hierarchical self-organizing map (GHSOM) — the primary
+//! contribution of *"Network traffic anomaly detection based on growing
+//! hierarchical SOM"* (DSN 2013).
+//!
+//! A GHSOM addresses the two fixed choices a flat SOM forces on its user —
+//! map size and a single level of granularity — by growing in two
+//! directions during training (Dittenbach/Merkl/Rauber formulation):
+//!
+//! * **Breadth (τ₁)** — each map starts 2×2 and inserts whole rows/columns
+//!   between the *error unit* (largest accumulated quantization error) and
+//!   its most dissimilar lattice neighbor until the map's mean quantization
+//!   error falls below `τ₁ ·` (the parent unit's error).
+//! * **Depth (τ₂)** — any unit whose mean quantization error still exceeds
+//!   `τ₂ · mqe₀` (the error of the layer-0 virtual unit, i.e. of the global
+//!   mean) spawns a child map trained on exactly the records mapped to it.
+//!
+//! Small τ₁ ⇒ wider maps; small τ₂ ⇒ deeper hierarchies. Traffic records
+//! project root→leaf through best-matching units; the leaf quantization
+//! error and the leaf unit's identity drive the anomaly detectors in the
+//! `detect` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use ghsom_core::{GhsomConfig, GhsomModel};
+//! use mathkit::Matrix;
+//!
+//! # fn main() -> Result<(), ghsom_core::GhsomError> {
+//! // Three separated clusters.
+//! let mut rows = Vec::new();
+//! for i in 0..90 {
+//!     let j = (i % 30) as f64 * 0.003;
+//!     rows.push(match i / 30 {
+//!         0 => vec![j, 0.0],
+//!         1 => vec![1.0 + j, 1.0],
+//!         _ => vec![j, 2.0 - j],
+//!     });
+//! }
+//! let data = Matrix::from_rows(rows)?;
+//! let config = GhsomConfig { tau1: 0.5, tau2: 0.1, seed: 9, ..Default::default() };
+//! let model = GhsomModel::train(&config, &data)?;
+//! assert!(model.total_units() >= 4);
+//! let projection = model.project(data.row(0))?;
+//! assert!(projection.leaf_qe() < 0.5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod growing;
+pub mod model;
+pub mod stats;
+
+pub use config::{GhsomConfig, TrainingMode};
+pub use error::GhsomError;
+pub use growing::GrowingGrid;
+pub use model::{GhsomModel, MapNode, PathStep, Projection};
+pub use stats::{GrowthEvent, GrowthLog, TopologyStats};

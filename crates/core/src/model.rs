@@ -1,0 +1,765 @@
+//! The trained GHSOM model and its training orchestrator.
+
+use std::collections::VecDeque;
+
+use mathkit::{distance, Matrix};
+use serde::{Deserialize, Serialize};
+use som::map::Som;
+
+use crate::growing::{GrowingGrid, Insertion};
+use crate::stats::{GrowthEvent, GrowthLog, LayerStats, TopologyStats};
+use crate::{GhsomConfig, GhsomError};
+
+/// One map in the hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapNode {
+    som: Som,
+    depth: usize,
+    parent: Option<(usize, usize)>,
+    /// `children[unit]` is the node index of the unit's child map, if any.
+    children: Vec<Option<usize>>,
+    /// Training hits per unit.
+    unit_hits: Vec<usize>,
+    /// Training mean quantization error per unit (0 for dead units).
+    unit_mqe: Vec<f64>,
+}
+
+impl MapNode {
+    /// The trained map.
+    pub fn som(&self) -> &Som {
+        &self.som
+    }
+
+    /// Depth in the hierarchy (layer-1 = 1).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// `(parent node, parent unit)` link, `None` for the root map.
+    pub fn parent(&self) -> Option<(usize, usize)> {
+        self.parent
+    }
+
+    /// Node index of the child map expanded from `unit`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit` is out of bounds.
+    pub fn child_of_unit(&self, unit: usize) -> Option<usize> {
+        self.children[unit]
+    }
+
+    /// Training hits per unit.
+    pub fn unit_hits(&self) -> &[usize] {
+        &self.unit_hits
+    }
+
+    /// Training mean quantization error per unit.
+    pub fn unit_mqe(&self) -> &[f64] {
+        &self.unit_mqe
+    }
+
+    /// Number of units with at least one child.
+    pub fn expanded_units(&self) -> usize {
+        self.children.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// One hop of a root→leaf projection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// Node index of the map.
+    pub node: usize,
+    /// Best-matching unit within that map.
+    pub unit: usize,
+    /// Distance from the sample to that unit's weight vector.
+    pub distance: f64,
+}
+
+/// The full root→leaf projection of one sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    steps: Vec<PathStep>,
+}
+
+impl Projection {
+    /// All hops, root first.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// The leaf hop.
+    pub fn leaf(&self) -> PathStep {
+        *self.steps.last().expect("projections have at least one step")
+    }
+
+    /// `(node, unit)` identity of the leaf unit — the key the labelled
+    /// detector indexes by.
+    pub fn leaf_key(&self) -> (usize, usize) {
+        let l = self.leaf();
+        (l.node, l.unit)
+    }
+
+    /// Quantization error at the leaf — the anomaly score of the
+    /// QE-threshold detector.
+    pub fn leaf_qe(&self) -> f64 {
+        self.leaf().distance
+    }
+
+    /// Depth of the projection (number of maps traversed).
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// A trained growing hierarchical SOM.
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GhsomModel {
+    config: GhsomConfig,
+    /// Layer-0 virtual unit: the training-data mean.
+    mean: Vec<f64>,
+    /// Mean distance of the training data to `mean` (mqe₀).
+    mqe0: f64,
+    nodes: Vec<MapNode>,
+    root: usize,
+    growth_log: GrowthLog,
+}
+
+impl GhsomModel {
+    /// Trains a GHSOM on the rows of `data`.
+    ///
+    /// Deterministic: the same config (including seed) and data produce a
+    /// bit-identical model.
+    ///
+    /// # Errors
+    ///
+    /// [`GhsomError::InvalidConfig`] for bad parameters,
+    /// [`GhsomError::EmptyInput`]/[`GhsomError::NonFinite`] for bad data,
+    /// and propagated SOM errors.
+    pub fn train(config: &GhsomConfig, data: &Matrix) -> Result<Self, GhsomError> {
+        config.validate()?;
+        if data.rows() == 0 {
+            return Err(GhsomError::EmptyInput);
+        }
+        for row in data.iter_rows() {
+            if !mathkit::vector::all_finite(row) {
+                return Err(GhsomError::NonFinite);
+            }
+        }
+
+        // Layer 0: the virtual unit.
+        let mean = data.col_means();
+        let mqe0 = data
+            .iter_rows()
+            .map(|r| distance::euclidean(r, &mean))
+            .sum::<f64>()
+            / data.rows() as f64;
+
+        let mut model = GhsomModel {
+            config: config.clone(),
+            mean,
+            mqe0,
+            nodes: Vec::new(),
+            root: 0,
+            growth_log: GrowthLog::new(),
+        };
+
+        // Work queue of maps to grow: (parent link, data row indices,
+        // parent reference error, depth).
+        struct WorkItem {
+            parent: Option<(usize, usize)>,
+            indices: Vec<usize>,
+            parent_mqe: f64,
+            depth: usize,
+        }
+        let mut queue = VecDeque::new();
+        queue.push_back(WorkItem {
+            parent: None,
+            indices: (0..data.rows()).collect(),
+            parent_mqe: mqe0,
+            depth: 1,
+        });
+
+        let mut total_units = 0usize;
+        while let Some(item) = queue.pop_front() {
+            let node_idx = model.nodes.len();
+            let subset = submatrix(data, &item.indices)?;
+
+            // --- Breadth growth ------------------------------------------
+            let mut grid = GrowingGrid::new(config, &subset, config.derived_seed(node_idx, 0))?;
+            grid.train(
+                &subset,
+                config,
+                config.epochs_per_round,
+                config.derived_seed(node_idx, 1),
+            )?;
+            let mut rounds = 0usize;
+            // The `grid.len() < sample count` guard prevents the classic
+            // GHSOM over-growth pathology: a map cannot usefully hold more
+            // units than it has training records.
+            while grid.mean_unit_mqe() > config.tau1 * item.parent_mqe
+                && rounds < config.max_growth_rounds
+                && grid.len() < config.max_map_units
+                && grid.len() < item.indices.len()
+                && total_units + grid.len() < config.max_total_units
+            {
+                let insertion = grid.grow_once()?;
+                let t = grid.som().topology();
+                model.growth_log.push(match insertion {
+                    Insertion::Row(_) => GrowthEvent::RowInserted {
+                        node: node_idx,
+                        rows: t.rows(),
+                        cols: t.cols(),
+                    },
+                    Insertion::Column(_) => GrowthEvent::ColumnInserted {
+                        node: node_idx,
+                        rows: t.rows(),
+                        cols: t.cols(),
+                    },
+                });
+                rounds += 1;
+                grid.train(
+                    &subset,
+                    config,
+                    config.epochs_per_round,
+                    config.derived_seed(node_idx, 1 + rounds),
+                )?;
+            }
+            if config.final_epochs > 0 {
+                grid.train(
+                    &subset,
+                    config,
+                    config.final_epochs,
+                    config.derived_seed(node_idx, usize::MAX / 2),
+                )?;
+            }
+
+            // --- Freeze the node ------------------------------------------
+            let unit_hits = grid.unit_hits().to_vec();
+            let unit_mqe: Vec<f64> = grid
+                .unit_qe()
+                .iter()
+                .zip(&unit_hits)
+                .map(|(&qe, &h)| if h > 0 { qe / h as f64 } else { 0.0 })
+                .collect();
+            let assignments = grid.som().assign(&subset)?;
+            let som = grid.into_som();
+            let t = som.topology();
+            total_units += som.len();
+            model.growth_log.push(GrowthEvent::MapCreated {
+                node: node_idx,
+                depth: item.depth,
+                rows: t.rows(),
+                cols: t.cols(),
+                samples: item.indices.len(),
+            });
+            let units = som.len();
+            model.nodes.push(MapNode {
+                som,
+                depth: item.depth,
+                parent: item.parent,
+                children: vec![None; units],
+                unit_hits: unit_hits.clone(),
+                unit_mqe: unit_mqe.clone(),
+            });
+            if let Some((pnode, punit)) = item.parent {
+                model.nodes[pnode].children[punit] = Some(node_idx);
+                model.growth_log.push(GrowthEvent::ChildSpawned {
+                    parent: pnode,
+                    unit: punit,
+                    child: node_idx,
+                });
+            }
+
+            // --- Vertical expansion ---------------------------------------
+            if item.depth >= config.max_depth {
+                continue;
+            }
+            for unit in 0..units {
+                if unit_hits[unit] < config.min_unit_samples {
+                    continue;
+                }
+                if unit_mqe[unit] <= config.tau2 * mqe0 {
+                    continue;
+                }
+                if total_units >= config.max_total_units {
+                    break;
+                }
+                let child_indices: Vec<usize> = assignments
+                    .iter()
+                    .zip(&item.indices)
+                    .filter(|(&a, _)| a == unit)
+                    .map(|(_, &orig)| orig)
+                    .collect();
+                debug_assert_eq!(child_indices.len(), unit_hits[unit]);
+                queue.push_back(WorkItem {
+                    parent: Some((node_idx, unit)),
+                    indices: child_indices,
+                    parent_mqe: unit_mqe[unit],
+                    depth: item.depth + 1,
+                });
+            }
+        }
+
+        Ok(model)
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &GhsomConfig {
+        &self.config
+    }
+
+    /// The layer-0 virtual unit (training-data mean).
+    pub fn layer0_mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The layer-0 mean quantization error mqe₀ — the global error scale
+    /// that τ₂ is relative to.
+    pub fn mqe0(&self) -> f64 {
+        self.mqe0
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// All maps, in creation (breadth-first) order; index 0 is the root.
+    pub fn nodes(&self) -> &[MapNode] {
+        &self.nodes
+    }
+
+    /// The root map node.
+    pub fn root(&self) -> &MapNode {
+        &self.nodes[self.root]
+    }
+
+    /// Number of maps in the hierarchy.
+    pub fn map_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total units across all maps.
+    pub fn total_units(&self) -> usize {
+        self.nodes.iter().map(|n| n.som.len()).sum()
+    }
+
+    /// Depth of the deepest map.
+    pub fn max_depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// The growth event log.
+    pub fn growth_log(&self) -> &GrowthLog {
+        &self.growth_log
+    }
+
+    /// Shape summary for topology tables.
+    pub fn topology_stats(&self) -> TopologyStats {
+        let max_depth = self.max_depth();
+        let mut per_layer = Vec::new();
+        for depth in 1..=max_depth {
+            let maps = self.nodes.iter().filter(|n| n.depth == depth).count();
+            let units: usize = self
+                .nodes
+                .iter()
+                .filter(|n| n.depth == depth)
+                .map(|n| n.som.len())
+                .sum();
+            per_layer.push(LayerStats { depth, maps, units });
+        }
+        TopologyStats {
+            maps: self.map_count(),
+            total_units: self.total_units(),
+            max_depth,
+            per_layer,
+        }
+    }
+
+    /// Projects a sample root→leaf, descending through child maps along the
+    /// best-matching units.
+    ///
+    /// # Errors
+    ///
+    /// [`GhsomError::DimensionMismatch`] on a sample of the wrong width.
+    pub fn project(&self, x: &[f64]) -> Result<Projection, GhsomError> {
+        if x.len() != self.dim() {
+            return Err(GhsomError::DimensionMismatch {
+                expected: self.dim(),
+                found: x.len(),
+            });
+        }
+        let mut steps = Vec::new();
+        let mut node_idx = self.root;
+        loop {
+            let node = &self.nodes[node_idx];
+            let bmu = node.som.bmu(x)?;
+            steps.push(PathStep {
+                node: node_idx,
+                unit: bmu.unit,
+                distance: bmu.distance,
+            });
+            match node.children[bmu.unit] {
+                Some(child) => node_idx = child,
+                None => break,
+            }
+        }
+        Ok(Projection { steps })
+    }
+
+    /// Projects every row of a matrix, returning the leaf QE scores — the
+    /// bulk scoring path detectors use.
+    ///
+    /// # Errors
+    ///
+    /// Per-sample errors from [`GhsomModel::project`].
+    pub fn score_matrix(&self, data: &Matrix) -> Result<Vec<f64>, GhsomError> {
+        data.iter_rows()
+            .map(|x| Ok(self.project(x)?.leaf_qe()))
+            .collect()
+    }
+}
+
+/// Copies the selected rows into a fresh matrix.
+fn submatrix(data: &Matrix, indices: &[usize]) -> Result<Matrix, GhsomError> {
+    let rows: Vec<Vec<f64>> = indices.iter().map(|&i| data.row(i).to_vec()).collect();
+    Ok(Matrix::from_rows(rows)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Hierarchically clustered data: two macro-clusters, each containing
+    /// three micro-clusters — the structure GHSOM exists to discover.
+    fn hierarchical_data() -> Matrix {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let macro_centers = [[0.0, 0.0], [10.0, 10.0]];
+        let micro_offsets = [[0.0, 0.0], [1.5, 0.0], [0.0, 1.5]];
+        let mut rows = Vec::new();
+        for _ in 0..600 {
+            let mc = macro_centers[rng.gen_range(0..2)];
+            let off = micro_offsets[rng.gen_range(0..3)];
+            rows.push(vec![
+                mc[0] + off[0] + rng.gen::<f64>() * 0.2,
+                mc[1] + off[1] + rng.gen::<f64>() * 0.2,
+            ]);
+        }
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    fn default_model() -> GhsomModel {
+        let config = GhsomConfig {
+            tau1: 0.5,
+            tau2: 0.05,
+            seed: 7,
+            ..Default::default()
+        };
+        GhsomModel::train(&config, &hierarchical_data()).unwrap()
+    }
+
+    #[test]
+    fn training_produces_a_hierarchy() {
+        let model = default_model();
+        assert!(model.map_count() >= 2, "only {} maps", model.map_count());
+        assert!(model.max_depth() >= 2, "depth {}", model.max_depth());
+        assert!(model.total_units() >= 8);
+        assert!(model.mqe0() > 0.0);
+    }
+
+    #[test]
+    fn projection_reaches_leaves_with_small_qe() {
+        let model = default_model();
+        let data = hierarchical_data();
+        for x in data.iter_rows().take(100) {
+            let p = model.project(x).unwrap();
+            assert!(p.depth() >= 1);
+            assert!(p.leaf_qe() <= p.steps()[0].distance * 1.5 + 1e-9);
+            // Leaf QE should be small relative to the global scale.
+            assert!(p.leaf_qe() < model.mqe0());
+            // Path is consistent: each step's node exists and links match.
+            for w in p.steps().windows(2) {
+                let parent = &model.nodes()[w[0].node];
+                assert_eq!(parent.child_of_unit(w[0].unit), Some(w[1].node));
+            }
+        }
+    }
+
+    #[test]
+    fn children_partition_parent_data() {
+        let model = default_model();
+        for (idx, node) in model.nodes().iter().enumerate() {
+            if let Some((pnode, punit)) = node.parent() {
+                let parent = &model.nodes()[pnode];
+                assert_eq!(parent.child_of_unit(punit), Some(idx));
+                assert!(parent.unit_hits()[punit] >= model.config().min_unit_samples);
+            }
+        }
+    }
+
+    #[test]
+    fn hits_sum_to_samples_at_root() {
+        let model = default_model();
+        let total: usize = model.root().unit_hits().iter().sum();
+        assert_eq!(total, 600);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let config = GhsomConfig {
+            tau1: 0.4,
+            tau2: 0.08,
+            seed: 3,
+            ..Default::default()
+        };
+        let data = hierarchical_data();
+        let a = GhsomModel::train(&config, &data).unwrap();
+        let b = GhsomModel::train(&config, &data).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn smaller_tau1_grows_wider_maps() {
+        let data = hierarchical_data();
+        let wide = GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.1,
+                tau2: 0.9,
+                max_depth: 1,
+                ..Default::default()
+            },
+            &data,
+        )
+        .unwrap();
+        let narrow = GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.8,
+                tau2: 0.9,
+                max_depth: 1,
+                ..Default::default()
+            },
+            &data,
+        )
+        .unwrap();
+        assert!(
+            wide.total_units() > narrow.total_units(),
+            "tau1=0.1 gave {} units, tau1=0.8 gave {}",
+            wide.total_units(),
+            narrow.total_units()
+        );
+    }
+
+    #[test]
+    fn smaller_tau2_grows_deeper() {
+        let data = hierarchical_data();
+        let deep = GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.5,
+                tau2: 0.02,
+                ..Default::default()
+            },
+            &data,
+        )
+        .unwrap();
+        let shallow = GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.5,
+                tau2: 1.0,
+                ..Default::default()
+            },
+            &data,
+        )
+        .unwrap();
+        assert!(deep.max_depth() > shallow.max_depth() || deep.map_count() > shallow.map_count());
+        assert_eq!(shallow.max_depth(), 1, "tau2=1.0 should never expand");
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let data = hierarchical_data();
+        let model = GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.6,
+                tau2: 0.001,
+                max_depth: 2,
+                ..Default::default()
+            },
+            &data,
+        )
+        .unwrap();
+        assert!(model.max_depth() <= 2);
+    }
+
+    #[test]
+    fn maps_do_not_grossly_exceed_their_sample_counts() {
+        let data = hierarchical_data();
+        let model = GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.05, // aggressive breadth growth
+                tau2: 0.02,
+                ..Default::default()
+            },
+            &data,
+        )
+        .unwrap();
+        for (idx, node) in model.nodes().iter().enumerate() {
+            let samples: usize = node.unit_hits().iter().sum();
+            // One insertion may land after the guard fires, so allow the
+            // last row/column of slack beyond the sample count.
+            let max_side = node
+                .som()
+                .topology()
+                .rows()
+                .max(node.som().topology().cols());
+            assert!(
+                node.som().len() <= samples.max(4) + max_side,
+                "map {idx} has {} units for {samples} samples",
+                node.som().len()
+            );
+        }
+    }
+
+    #[test]
+    fn unit_budget_is_respected() {
+        let data = hierarchical_data();
+        let model = GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.05,
+                tau2: 0.01,
+                max_map_units: 16,
+                max_total_units: 64,
+                ..Default::default()
+            },
+            &data,
+        )
+        .unwrap();
+        assert!(model.total_units() <= 64 + 16, "total {}", model.total_units());
+        for node in model.nodes() {
+            assert!(node.som().len() <= 16 + 4, "map too big");
+        }
+    }
+
+    #[test]
+    fn topology_stats_are_consistent() {
+        let model = default_model();
+        let stats = model.topology_stats();
+        assert_eq!(stats.maps, model.map_count());
+        assert_eq!(stats.total_units, model.total_units());
+        assert_eq!(stats.max_depth, model.max_depth());
+        let layer_units: usize = stats.per_layer.iter().map(|l| l.units).sum();
+        assert_eq!(layer_units, model.total_units());
+        let layer_maps: usize = stats.per_layer.iter().map(|l| l.maps).sum();
+        assert_eq!(layer_maps, model.map_count());
+    }
+
+    #[test]
+    fn growth_log_matches_model() {
+        let model = default_model();
+        assert_eq!(model.growth_log().map_count(), model.map_count());
+        let timeline = model.growth_log().unit_timeline();
+        assert_eq!(*timeline.last().unwrap(), model.total_units());
+    }
+
+    #[test]
+    fn score_matrix_matches_individual_projections() {
+        let model = default_model();
+        let data = hierarchical_data();
+        let scores = model.score_matrix(&data).unwrap();
+        assert_eq!(scores.len(), data.rows());
+        for (x, &s) in data.iter_rows().zip(&scores).take(20) {
+            assert_eq!(model.project(x).unwrap().leaf_qe(), s);
+        }
+    }
+
+    #[test]
+    fn outliers_score_higher_than_training_data() {
+        let model = default_model();
+        let data = hierarchical_data();
+        let train_scores = model.score_matrix(&data).unwrap();
+        let train_mean = train_scores.iter().sum::<f64>() / train_scores.len() as f64;
+        let outlier_score = model.project(&[50.0, -50.0]).unwrap().leaf_qe();
+        assert!(
+            outlier_score > 10.0 * train_mean,
+            "outlier {outlier_score} vs train mean {train_mean}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let config = GhsomConfig::default();
+        let data = hierarchical_data();
+        assert!(matches!(
+            GhsomModel::train(
+                &GhsomConfig {
+                    tau1: 2.0,
+                    ..config.clone()
+                },
+                &data
+            )
+            .unwrap_err(),
+            GhsomError::InvalidConfig { .. }
+        ));
+        let model = GhsomModel::train(&config, &data).unwrap();
+        assert!(matches!(
+            model.project(&[1.0]).unwrap_err(),
+            GhsomError::DimensionMismatch { .. }
+        ));
+        let bad = Matrix::from_flat(1, 2, vec![f64::NAN, 0.0]).unwrap();
+        assert_eq!(
+            GhsomModel::train(&config, &bad).unwrap_err(),
+            GhsomError::NonFinite
+        );
+    }
+
+    #[test]
+    fn constant_data_degenerates_gracefully() {
+        let data = Matrix::from_rows(vec![vec![3.0, 3.0]; 50]).unwrap();
+        let model = GhsomModel::train(&GhsomConfig::default(), &data).unwrap();
+        // mqe0 = 0 → breadth criterion met immediately, no vertical growth.
+        assert_eq!(model.mqe0(), 0.0);
+        assert_eq!(model.map_count(), 1);
+        assert_eq!(model.max_depth(), 1);
+        let p = model.project(&[3.0, 3.0]).unwrap();
+        assert_eq!(p.leaf_qe(), 0.0);
+    }
+
+    #[test]
+    fn batch_training_mode_works_and_is_deterministic() {
+        let data = hierarchical_data();
+        let config = GhsomConfig {
+            tau1: 0.5,
+            tau2: 0.05,
+            training: crate::config::TrainingMode::Batch,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = GhsomModel::train(&config, &data).unwrap();
+        let b = GhsomModel::train(&config, &data).unwrap();
+        assert_eq!(a, b);
+        assert!(a.map_count() >= 1);
+        // Batch-trained hierarchies quantize the data comparably: leaf QE
+        // stays well under the global scale.
+        let scores = a.score_matrix(&data).unwrap();
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!(mean < a.mqe0(), "batch mean leaf QE {mean} vs mqe0 {}", a.mqe0());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let model = default_model();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: GhsomModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, model);
+        // The deserialized model scores identically.
+        let x = [0.5, 0.5];
+        assert_eq!(
+            model.project(&x).unwrap().leaf_qe(),
+            back.project(&x).unwrap().leaf_qe()
+        );
+    }
+}

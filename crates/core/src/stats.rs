@@ -1,0 +1,253 @@
+//! Growth bookkeeping: the event log and topology summaries that the
+//! paper-style topology tables (Table 2) and growth figures (Figure 2) are
+//! generated from.
+
+use serde::{Deserialize, Serialize};
+
+/// One structural event during GHSOM training.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrowthEvent {
+    /// A new map finished its breadth growth and joined the hierarchy.
+    MapCreated {
+        /// Node index of the new map.
+        node: usize,
+        /// Depth of the map (layer-1 is depth 1).
+        depth: usize,
+        /// Final grid rows.
+        rows: usize,
+        /// Final grid columns.
+        cols: usize,
+        /// Number of training records the map was grown on.
+        samples: usize,
+    },
+    /// A row was inserted during breadth growth.
+    RowInserted {
+        /// Node index (assigned when the map completes; events carry the
+        /// index the map will receive).
+        node: usize,
+        /// Grid rows after the insertion.
+        rows: usize,
+        /// Grid columns after the insertion.
+        cols: usize,
+    },
+    /// A column was inserted during breadth growth.
+    ColumnInserted {
+        /// Node index.
+        node: usize,
+        /// Grid rows after the insertion.
+        rows: usize,
+        /// Grid columns after the insertion.
+        cols: usize,
+    },
+    /// A unit expanded into a child map.
+    ChildSpawned {
+        /// Parent node index.
+        parent: usize,
+        /// Parent unit index.
+        unit: usize,
+        /// Child node index.
+        child: usize,
+    },
+}
+
+/// Ordered log of all growth events of a training run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GrowthLog {
+    events: Vec<GrowthEvent>,
+}
+
+impl GrowthLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: GrowthEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[GrowthEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events were logged.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of row + column insertions.
+    pub fn insertion_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    GrowthEvent::RowInserted { .. } | GrowthEvent::ColumnInserted { .. }
+                )
+            })
+            .count()
+    }
+
+    /// Number of maps created.
+    pub fn map_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, GrowthEvent::MapCreated { .. }))
+            .count()
+    }
+
+    /// Cumulative total-unit counts after each event — the series behind
+    /// the "map growth over training" figure. Insertions during a map's
+    /// growth are accounted against that map's eventual size, so the
+    /// timeline counts `MapCreated` units plus interim insertions.
+    pub fn unit_timeline(&self) -> Vec<usize> {
+        let mut timeline = Vec::with_capacity(self.events.len());
+        let mut completed_units = 0usize;
+        let mut growing: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for e in &self.events {
+            match *e {
+                GrowthEvent::RowInserted { node, rows, cols }
+                | GrowthEvent::ColumnInserted { node, rows, cols } => {
+                    growing.insert(node, rows * cols);
+                }
+                GrowthEvent::MapCreated {
+                    node, rows, cols, ..
+                } => {
+                    growing.remove(&node);
+                    completed_units += rows * cols;
+                }
+                GrowthEvent::ChildSpawned { .. } => {}
+            }
+            timeline.push(completed_units + growing.values().sum::<usize>());
+        }
+        timeline
+    }
+}
+
+/// Per-layer breakdown of a trained hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// Depth (layer-1 = 1).
+    pub depth: usize,
+    /// Number of maps at this depth.
+    pub maps: usize,
+    /// Total units across those maps.
+    pub units: usize,
+}
+
+/// Summary of a trained hierarchy's shape — the row a topology table
+/// prints per (τ₁, τ₂) configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyStats {
+    /// Total number of maps.
+    pub maps: usize,
+    /// Total number of units.
+    pub total_units: usize,
+    /// Deepest layer.
+    pub max_depth: usize,
+    /// Breakdown per layer, ascending depth.
+    pub per_layer: Vec<LayerStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> GrowthLog {
+        let mut log = GrowthLog::new();
+        log.push(GrowthEvent::RowInserted {
+            node: 0,
+            rows: 3,
+            cols: 2,
+        });
+        log.push(GrowthEvent::ColumnInserted {
+            node: 0,
+            rows: 3,
+            cols: 3,
+        });
+        log.push(GrowthEvent::MapCreated {
+            node: 0,
+            depth: 1,
+            rows: 3,
+            cols: 3,
+            samples: 100,
+        });
+        log.push(GrowthEvent::ChildSpawned {
+            parent: 0,
+            unit: 4,
+            child: 1,
+        });
+        log.push(GrowthEvent::MapCreated {
+            node: 1,
+            depth: 2,
+            rows: 2,
+            cols: 2,
+            samples: 30,
+        });
+        log
+    }
+
+    #[test]
+    fn counts() {
+        let log = sample_log();
+        assert_eq!(log.len(), 5);
+        assert!(!log.is_empty());
+        assert_eq!(log.insertion_count(), 2);
+        assert_eq!(log.map_count(), 2);
+        assert_eq!(log.events().len(), 5);
+    }
+
+    #[test]
+    fn unit_timeline_is_monotone_and_correct() {
+        let log = sample_log();
+        let tl = log.unit_timeline();
+        assert_eq!(tl, vec![6, 9, 9, 9, 13]);
+        for pair in tl.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = GrowthLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.unit_timeline(), Vec::<usize>::new());
+        assert_eq!(log.insertion_count(), 0);
+        assert_eq!(log.map_count(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let log = sample_log();
+        let json = serde_json::to_string(&log).unwrap();
+        let back: GrowthLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+        let stats = TopologyStats {
+            maps: 2,
+            total_units: 13,
+            max_depth: 2,
+            per_layer: vec![
+                LayerStats {
+                    depth: 1,
+                    maps: 1,
+                    units: 9,
+                },
+                LayerStats {
+                    depth: 2,
+                    maps: 1,
+                    units: 4,
+                },
+            ],
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: TopologyStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the GHSOM invariants.
+
+use ghsom_core::{GhsomConfig, GhsomModel};
+use mathkit::Matrix;
+use proptest::prelude::*;
+
+fn clustered_matrix(n: usize, clusters: usize, seed: u64) -> Matrix {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let centers: Vec<(f64, f64)> = (0..clusters)
+        .map(|i| (3.0 * i as f64, 2.0 * ((i % 2) as f64)))
+        .collect();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            let (cx, cy) = centers[rng.gen_range(0..clusters)];
+            vec![cx + rng.gen::<f64>() * 0.3, cy + rng.gen::<f64>() * 0.3]
+        })
+        .collect();
+    Matrix::from_rows(rows).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Structural invariants hold for any τ setting: parent/child links
+    /// are consistent, depths increase along edges, root hits cover all
+    /// samples, and budgets are respected.
+    #[test]
+    fn hierarchy_structure_is_consistent(
+        tau1 in 0.1f64..0.9,
+        tau2 in 0.01f64..0.5,
+        seed in 0u64..50
+    ) {
+        let data = clustered_matrix(150, 3, seed);
+        let config = GhsomConfig {
+            tau1,
+            tau2,
+            epochs_per_round: 2,
+            final_epochs: 1,
+            max_growth_rounds: 8,
+            seed,
+            ..Default::default()
+        };
+        let model = GhsomModel::train(&config, &data).unwrap();
+        prop_assert!(model.map_count() >= 1);
+        prop_assert!(model.max_depth() <= config.max_depth);
+        // Node 0 is the root and has no parent.
+        prop_assert!(model.nodes()[0].parent().is_none());
+        let root_hits: usize = model.root().unit_hits().iter().sum();
+        prop_assert_eq!(root_hits, 150);
+        for (idx, node) in model.nodes().iter().enumerate() {
+            if let Some((pnode, punit)) = node.parent() {
+                prop_assert!(pnode < idx, "parents precede children");
+                let parent = &model.nodes()[pnode];
+                prop_assert_eq!(parent.child_of_unit(punit), Some(idx));
+                prop_assert_eq!(node.depth(), parent.depth() + 1);
+                // Child data = parent-unit membership.
+                let child_hits: usize = node.unit_hits().iter().sum();
+                prop_assert_eq!(child_hits, parent.unit_hits()[punit]);
+                // Vertical expansion only happens above the sample gate.
+                prop_assert!(child_hits >= config.min_unit_samples);
+            }
+        }
+    }
+
+    /// Projection is total and consistent: every training row reaches a
+    /// leaf whose node/unit both exist, following real child links.
+    #[test]
+    fn projection_paths_are_valid(seed in 0u64..50) {
+        let data = clustered_matrix(120, 3, seed);
+        let config = GhsomConfig {
+            tau1: 0.4,
+            tau2: 0.1,
+            epochs_per_round: 2,
+            final_epochs: 1,
+            seed,
+            ..Default::default()
+        };
+        let model = GhsomModel::train(&config, &data).unwrap();
+        for x in data.iter_rows() {
+            let p = model.project(x).unwrap();
+            let steps = p.steps();
+            prop_assert!(!steps.is_empty());
+            prop_assert_eq!(steps[0].node, 0);
+            for w in steps.windows(2) {
+                let parent = &model.nodes()[w[0].node];
+                prop_assert_eq!(parent.child_of_unit(w[0].unit), Some(w[1].node));
+            }
+            let leaf = p.leaf();
+            prop_assert!(leaf.node < model.map_count());
+            prop_assert!(leaf.unit < model.nodes()[leaf.node].som().len());
+            prop_assert!(leaf.distance.is_finite() && leaf.distance >= 0.0);
+        }
+    }
+
+    /// τ monotonicity (coarse): at fixed τ₂, decreasing τ₁ never *shrinks*
+    /// the root map.
+    #[test]
+    fn tau1_monotonicity_on_root_map(seed in 0u64..20) {
+        let data = clustered_matrix(150, 4, seed);
+        let units_at = |tau1: f64| {
+            let config = GhsomConfig {
+                tau1,
+                tau2: 1.0, // no vertical growth: isolate breadth
+                max_depth: 1,
+                epochs_per_round: 2,
+                final_epochs: 1,
+                seed,
+                ..Default::default()
+            };
+            GhsomModel::train(&config, &data).unwrap().total_units()
+        };
+        let coarse = units_at(0.8);
+        let fine = units_at(0.15);
+        prop_assert!(fine >= coarse, "tau1 0.15 gave {fine} < tau1 0.8 {coarse}");
+    }
+
+    /// Determinism: identical config + data ⇒ bit-identical model, for any
+    /// τ draw.
+    #[test]
+    fn training_is_deterministic(tau1 in 0.2f64..0.8, tau2 in 0.02f64..0.5, seed in 0u64..25) {
+        let data = clustered_matrix(80, 2, seed);
+        let config = GhsomConfig {
+            tau1,
+            tau2,
+            epochs_per_round: 2,
+            final_epochs: 1,
+            max_growth_rounds: 6,
+            seed,
+            ..Default::default()
+        };
+        let a = GhsomModel::train(&config, &data).unwrap();
+        let b = GhsomModel::train(&config, &data).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The growth log always reconciles with the final model.
+    #[test]
+    fn growth_log_reconciles(seed in 0u64..40) {
+        let data = clustered_matrix(100, 3, seed);
+        let config = GhsomConfig {
+            tau1: 0.3,
+            tau2: 0.08,
+            epochs_per_round: 2,
+            final_epochs: 1,
+            seed,
+            ..Default::default()
+        };
+        let model = GhsomModel::train(&config, &data).unwrap();
+        prop_assert_eq!(model.growth_log().map_count(), model.map_count());
+        let timeline = model.growth_log().unit_timeline();
+        prop_assert_eq!(*timeline.last().unwrap(), model.total_units());
+        // Timeline is non-decreasing.
+        for w in timeline.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+}

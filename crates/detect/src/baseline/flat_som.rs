@@ -1,0 +1,240 @@
+//! Fixed-grid SOM baseline detector.
+//!
+//! The comparison tables pit the GHSOM against a flat Kohonen map of
+//! comparable unit count: same labeling scheme, same threshold
+//! calibration, but no growth and no hierarchy.
+
+use mathkit::Matrix;
+use serde::{Deserialize, Serialize};
+use som::labeling::UnitLabels;
+use som::map::{Som, TrainParams};
+use traffic::AttackCategory;
+
+use crate::{Classifier, DetectError, Detector};
+
+/// Flat SOM with unit labels and a calibrated BMU-distance threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatSomDetector {
+    som: Som,
+    labels: UnitLabels<AttackCategory>,
+    threshold: f64,
+}
+
+impl FlatSomDetector {
+    /// Trains a `rows × cols` map on `train`, labels its units from
+    /// `labels`, and calibrates the threshold at `percentile` of the
+    /// normal records' BMU distances.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::DimensionMismatch`] on label-count mismatch;
+    /// [`DetectError::InvalidParameter`] for a percentile outside `(0, 1]`;
+    /// [`DetectError::EmptyInput`] when there are no normal records;
+    /// SOM training errors propagate.
+    pub fn fit(
+        train: &Matrix,
+        labels: &[AttackCategory],
+        rows: usize,
+        cols: usize,
+        percentile: f64,
+        seed: u64,
+    ) -> Result<Self, DetectError> {
+        if labels.len() != train.rows() {
+            return Err(DetectError::DimensionMismatch {
+                expected: train.rows(),
+                found: labels.len(),
+            });
+        }
+        if !(percentile > 0.0 && percentile <= 1.0) {
+            return Err(DetectError::InvalidParameter {
+                name: "percentile",
+                reason: "must lie in (0, 1]",
+            });
+        }
+        let mut som = Som::from_data_sample(rows, cols, train, seed)?;
+        som.train_online(
+            train,
+            &TrainParams {
+                epochs: 20,
+                shuffle_seed: seed ^ 0xABCD,
+                ..Default::default()
+            },
+        )?;
+        let unit_labels = UnitLabels::fit(&som, train, labels)?;
+        let normal_distances: Vec<f64> = train
+            .iter_rows()
+            .zip(labels)
+            .filter(|(_, &l)| l == AttackCategory::Normal)
+            .map(|(x, _)| Ok(som.bmu(x)?.distance))
+            .collect::<Result<_, DetectError>>()?;
+        if normal_distances.is_empty() {
+            return Err(DetectError::EmptyInput);
+        }
+        let threshold = mathkit::stats::quantile(&normal_distances, percentile)?;
+        Ok(FlatSomDetector {
+            som,
+            labels: unit_labels,
+            threshold,
+        })
+    }
+
+    /// The trained map.
+    pub fn som(&self) -> &Som {
+        &self.som
+    }
+
+    /// The calibrated threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The per-unit label calibration.
+    pub fn unit_labels(&self) -> &UnitLabels<AttackCategory> {
+        &self.labels
+    }
+}
+
+impl Detector for FlatSomDetector {
+    /// Verdict-consistent anomaly score (same convention as the GHSOM
+    /// hybrid): attack-labelled/dead units score in `(2, 3]`,
+    /// normal-labelled units score by BMU distance relative to the
+    /// threshold, with `score > 1 ⇔ anomalous`.
+    fn score(&self, x: &[f64]) -> Result<f64, DetectError> {
+        let bmu = self.som.bmu(x)?;
+        match self.labels.label(bmu.unit) {
+            Some(AttackCategory::Normal) => {
+                let r = if self.threshold > 0.0 {
+                    bmu.distance / self.threshold
+                } else if bmu.distance > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                Ok(2.0 * r / (1.0 + r))
+            }
+            _ => Ok(2.0 + bmu.distance / (1.0 + bmu.distance)),
+        }
+    }
+
+    fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError> {
+        let bmu = self.som.bmu(x)?;
+        match self.labels.label(bmu.unit) {
+            Some(AttackCategory::Normal) => Ok(bmu.distance > self.threshold),
+            // Attack-labelled or dead unit.
+            _ => Ok(true),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "flat-som"
+    }
+}
+
+impl Classifier for FlatSomDetector {
+    fn classify(&self, x: &[f64]) -> Result<Option<AttackCategory>, DetectError> {
+        let bmu = self.som.bmu(x)?;
+        let label = self.labels.label(bmu.unit).copied();
+        if label == Some(AttackCategory::Normal) && bmu.distance > self.threshold {
+            return Ok(None);
+        }
+        Ok(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs() -> (Matrix, Vec<AttackCategory>) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..300 {
+            if i % 3 == 0 {
+                rows.push(vec![
+                    3.0 + rng.gen::<f64>() * 0.2,
+                    3.0 + rng.gen::<f64>() * 0.2,
+                ]);
+                labels.push(AttackCategory::Probe);
+            } else {
+                rows.push(vec![rng.gen::<f64>() * 0.3, rng.gen::<f64>() * 0.3]);
+                labels.push(AttackCategory::Normal);
+            }
+        }
+        (Matrix::from_rows(rows).unwrap(), labels)
+    }
+
+    fn detector() -> FlatSomDetector {
+        let (data, labels) = blobs();
+        FlatSomDetector::fit(&data, &labels, 4, 4, 0.99, 3).unwrap()
+    }
+
+    #[test]
+    fn classifies_both_blobs() {
+        let det = detector();
+        assert_eq!(
+            det.classify(&[0.15, 0.15]).unwrap(),
+            Some(AttackCategory::Normal)
+        );
+        assert_eq!(
+            det.classify(&[3.1, 3.1]).unwrap(),
+            Some(AttackCategory::Probe)
+        );
+        assert!(!det.is_anomalous(&[0.15, 0.15]).unwrap());
+        assert!(det.is_anomalous(&[3.1, 3.1]).unwrap());
+    }
+
+    #[test]
+    fn distant_points_are_anomalous() {
+        let det = detector();
+        assert!(det.is_anomalous(&[-8.0, 9.0]).unwrap());
+    }
+
+    #[test]
+    fn score_is_verdict_consistent() {
+        let det = detector();
+        let (data, _) = blobs();
+        for x in data.iter_rows() {
+            let score = det.score(x).unwrap();
+            assert_eq!(det.is_anomalous(x).unwrap(), score > 1.0);
+        }
+        // Far points reach the attack band.
+        assert!(det.score(&[-8.0, 9.0]).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn fit_validations() {
+        let (data, labels) = blobs();
+        assert!(FlatSomDetector::fit(&data, &labels[..2], 4, 4, 0.99, 0).is_err());
+        assert!(FlatSomDetector::fit(&data, &labels, 4, 4, 0.0, 0).is_err());
+        assert!(FlatSomDetector::fit(&data, &labels, 0, 4, 0.99, 0).is_err());
+        let all_attack = vec![AttackCategory::Dos; data.rows()];
+        assert_eq!(
+            FlatSomDetector::fit(&data, &all_attack, 4, 4, 0.99, 0).unwrap_err(),
+            DetectError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let (data, labels) = blobs();
+        let a = FlatSomDetector::fit(&data, &labels, 4, 4, 0.99, 7).unwrap();
+        let b = FlatSomDetector::fit(&data, &labels, 4, 4, 0.99, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(detector().name(), "flat-som");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let det = detector();
+        let json = serde_json::to_string(&det).unwrap();
+        let back: FlatSomDetector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, det);
+    }
+}

@@ -1,0 +1,162 @@
+//! Single-layer growing grid: the hierarchy ablation (A1).
+//!
+//! Identical to the GHSOM hybrid detector except that vertical growth is
+//! disabled (`max_depth = 1`, τ₂ irrelevant). Comparing this against the
+//! full GHSOM isolates the contribution of the hierarchy from that of
+//! breadth growth.
+
+use mathkit::Matrix;
+use serde::{Deserialize, Serialize};
+use traffic::AttackCategory;
+
+use crate::hybrid::HybridGhsomDetector;
+use crate::{Classifier, DetectError, Detector};
+
+/// A flat (depth-1) growing grid with labels and QE threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrowingGridDetector {
+    inner: HybridGhsomDetector,
+}
+
+impl GrowingGridDetector {
+    /// Trains a single growing map with breadth threshold `tau1` and fits
+    /// the hybrid detection layers exactly as the full GHSOM does.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HybridGhsomDetector::fit`] plus GHSOM config
+    /// validation.
+    pub fn fit(
+        train: &Matrix,
+        labels: &[AttackCategory],
+        tau1: f64,
+        percentile: f64,
+        seed: u64,
+    ) -> Result<Self, DetectError> {
+        let config = ghsom_core::GhsomConfig {
+            tau1,
+            // Depth is capped at 1, so tau2 never triggers; 1.0 makes the
+            // intent explicit.
+            tau2: 1.0,
+            max_depth: 1,
+            seed,
+            ..Default::default()
+        };
+        let model = ghsom_core::GhsomModel::train(&config, train)?;
+        let inner = HybridGhsomDetector::fit(model, train, labels, percentile)?;
+        Ok(GrowingGridDetector { inner })
+    }
+
+    /// The wrapped single-map model.
+    pub fn model(&self) -> &ghsom_core::GhsomModel {
+        self.inner.labeled().model()
+    }
+
+    /// Units in the (single) grown map.
+    pub fn unit_count(&self) -> usize {
+        self.model().total_units()
+    }
+}
+
+impl Detector for GrowingGridDetector {
+    fn score(&self, x: &[f64]) -> Result<f64, DetectError> {
+        self.inner.score(x)
+    }
+
+    fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError> {
+        self.inner.is_anomalous(x)
+    }
+
+    fn name(&self) -> &'static str {
+        "growing-grid"
+    }
+}
+
+impl Classifier for GrowingGridDetector {
+    fn classify(&self, x: &[f64]) -> Result<Option<AttackCategory>, DetectError> {
+        self.inner.classify(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs() -> (Matrix, Vec<AttackCategory>) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..240 {
+            if i % 4 == 0 {
+                rows.push(vec![
+                    2.5 + rng.gen::<f64>() * 0.2,
+                    2.5 + rng.gen::<f64>() * 0.2,
+                ]);
+                labels.push(AttackCategory::Dos);
+            } else {
+                rows.push(vec![rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.4]);
+                labels.push(AttackCategory::Normal);
+            }
+        }
+        (Matrix::from_rows(rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn stays_single_layer() {
+        let (data, labels) = blobs();
+        let det = GrowingGridDetector::fit(&data, &labels, 0.3, 0.99, 1).unwrap();
+        assert_eq!(det.model().max_depth(), 1);
+        assert_eq!(det.model().map_count(), 1);
+        assert!(det.unit_count() >= 4);
+    }
+
+    #[test]
+    fn still_detects_the_attack_blob() {
+        let (data, labels) = blobs();
+        let det = GrowingGridDetector::fit(&data, &labels, 0.3, 0.99, 1).unwrap();
+        assert!(det.is_anomalous(&[2.6, 2.6]).unwrap());
+        assert!(!det.is_anomalous(&[0.2, 0.2]).unwrap());
+        assert_eq!(
+            det.classify(&[2.6, 2.6]).unwrap(),
+            Some(AttackCategory::Dos)
+        );
+    }
+
+    #[test]
+    fn smaller_tau1_grows_more_units() {
+        let (data, labels) = blobs();
+        let coarse = GrowingGridDetector::fit(&data, &labels, 0.8, 0.99, 1).unwrap();
+        let fine = GrowingGridDetector::fit(&data, &labels, 0.1, 0.99, 1).unwrap();
+        assert!(
+            fine.unit_count() > coarse.unit_count(),
+            "tau1=0.1 gave {} units vs tau1=0.8 {}",
+            fine.unit_count(),
+            coarse.unit_count()
+        );
+    }
+
+    #[test]
+    fn invalid_tau1_is_rejected() {
+        let (data, labels) = blobs();
+        assert!(GrowingGridDetector::fit(&data, &labels, 0.0, 0.99, 1).is_err());
+        assert!(GrowingGridDetector::fit(&data, &labels, 1.0, 0.99, 1).is_err());
+    }
+
+    #[test]
+    fn name_is_stable() {
+        let (data, labels) = blobs();
+        let det = GrowingGridDetector::fit(&data, &labels, 0.5, 0.99, 1).unwrap();
+        assert_eq!(det.name(), "growing-grid");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (data, labels) = blobs();
+        let det = GrowingGridDetector::fit(&data, &labels, 0.5, 0.99, 1).unwrap();
+        let json = serde_json::to_string(&det).unwrap();
+        let back: GrowingGridDetector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, det);
+    }
+}

@@ -1,0 +1,435 @@
+//! k-means++ baseline detector.
+
+use mathkit::{distance, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use traffic::AttackCategory;
+
+use crate::{Classifier, DetectError, Detector};
+
+/// Plain k-means clustering with k-means++ initialization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Matrix,
+}
+
+impl KMeans {
+    /// Fits `k` clusters with at most `max_iters` Lloyd iterations.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] when `k` is zero or exceeds the
+    /// sample count; [`DetectError::EmptyInput`] on empty data.
+    pub fn fit(data: &Matrix, k: usize, max_iters: usize, seed: u64) -> Result<Self, DetectError> {
+        if data.rows() == 0 {
+            return Err(DetectError::EmptyInput);
+        }
+        if k == 0 || k > data.rows() {
+            return Err(DetectError::InvalidParameter {
+                name: "k",
+                reason: "must be in 1..=sample count",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut centroids = Self::plus_plus_init(data, k, &mut rng);
+
+        let n = data.rows();
+        let dim = data.cols();
+        let mut assignment = vec![0usize; n];
+        for _ in 0..max_iters.max(1) {
+            // Assignment step.
+            let mut changed = false;
+            for (i, x) in data.iter_rows().enumerate() {
+                let nearest = nearest_centroid(&centroids, x).0;
+                if assignment[i] != nearest {
+                    assignment[i] = nearest;
+                    changed = true;
+                }
+            }
+            // Update step.
+            let mut sums = vec![0.0; k * dim];
+            let mut counts = vec![0usize; k];
+            for (i, x) in data.iter_rows().enumerate() {
+                let c = assignment[i];
+                counts[c] += 1;
+                for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(x) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] == 0 {
+                    // Re-seed an empty cluster at a random sample.
+                    let idx = rng.gen_range(0..n);
+                    centroids
+                        .row_mut(c)
+                        .copy_from_slice(data.row(idx));
+                    continue;
+                }
+                let inv = 1.0 / counts[c] as f64;
+                for (w, &s) in centroids
+                    .row_mut(c)
+                    .iter_mut()
+                    .zip(&sums[c * dim..(c + 1) * dim])
+                {
+                    *w = s * inv;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(KMeans { centroids })
+    }
+
+    /// k-means++ seeding: centroids drawn with probability proportional to
+    /// the squared distance from the nearest already-chosen centroid.
+    fn plus_plus_init(data: &Matrix, k: usize, rng: &mut StdRng) -> Matrix {
+        let n = data.rows();
+        let mut chosen: Vec<usize> = vec![rng.gen_range(0..n)];
+        let mut d2: Vec<f64> = data
+            .iter_rows()
+            .map(|x| distance::sq_euclidean(x, data.row(chosen[0])))
+            .collect();
+        while chosen.len() < k {
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut u = rng.gen::<f64>() * total;
+                let mut pick = n - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    if u < w {
+                        pick = i;
+                        break;
+                    }
+                    u -= w;
+                }
+                pick
+            };
+            chosen.push(next);
+            for (i, x) in data.iter_rows().enumerate() {
+                let d = distance::sq_euclidean(x, data.row(next));
+                if d < d2[i] {
+                    d2[i] = d;
+                }
+            }
+        }
+        let rows: Vec<Vec<f64>> = chosen.iter().map(|&i| data.row(i).to_vec()).collect();
+        Matrix::from_rows(rows).expect("chosen rows are valid")
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+
+    /// The centroid matrix (`k × dim`).
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// Index of and distance to the nearest centroid.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::DimensionMismatch`] on width mismatch.
+    pub fn nearest(&self, x: &[f64]) -> Result<(usize, f64), DetectError> {
+        if x.len() != self.centroids.cols() {
+            return Err(DetectError::DimensionMismatch {
+                expected: self.centroids.cols(),
+                found: x.len(),
+            });
+        }
+        Ok(nearest_centroid(&self.centroids, x))
+    }
+
+    /// Cluster assignment of every row.
+    ///
+    /// # Errors
+    ///
+    /// Width errors per [`KMeans::nearest`].
+    pub fn assign(&self, data: &Matrix) -> Result<Vec<usize>, DetectError> {
+        data.iter_rows().map(|x| Ok(self.nearest(x)?.0)).collect()
+    }
+
+    /// Sum of squared distances to assigned centroids.
+    ///
+    /// # Errors
+    ///
+    /// Width errors per [`KMeans::nearest`].
+    pub fn inertia(&self, data: &Matrix) -> Result<f64, DetectError> {
+        let mut acc = 0.0;
+        for x in data.iter_rows() {
+            let (_, d) = self.nearest(x)?;
+            acc += d * d;
+        }
+        Ok(acc)
+    }
+}
+
+fn nearest_centroid(centroids: &Matrix, x: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, c) in centroids.iter_rows().enumerate() {
+        let d = distance::euclidean(x, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// k-means with majority cluster labels and a calibrated distance
+/// threshold — the "k-means" baseline of the comparison tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeansDetector {
+    kmeans: KMeans,
+    cluster_labels: Vec<Option<AttackCategory>>,
+    threshold: f64,
+}
+
+impl KMeansDetector {
+    /// Fits clusters on `train`, labels them from `labels`, and calibrates
+    /// the distance threshold at `percentile` of the normal records'
+    /// nearest-centroid distances.
+    ///
+    /// # Errors
+    ///
+    /// Parameter errors as in [`KMeans::fit`];
+    /// [`DetectError::DimensionMismatch`] on label-count mismatch;
+    /// [`DetectError::EmptyInput`] when no normal records exist for
+    /// calibration.
+    pub fn fit(
+        train: &Matrix,
+        labels: &[AttackCategory],
+        k: usize,
+        percentile: f64,
+        seed: u64,
+    ) -> Result<Self, DetectError> {
+        if labels.len() != train.rows() {
+            return Err(DetectError::DimensionMismatch {
+                expected: train.rows(),
+                found: labels.len(),
+            });
+        }
+        if !(percentile > 0.0 && percentile <= 1.0) {
+            return Err(DetectError::InvalidParameter {
+                name: "percentile",
+                reason: "must lie in (0, 1]",
+            });
+        }
+        let kmeans = KMeans::fit(train, k, 100, seed)?;
+        // Majority label per cluster.
+        let assignment = kmeans.assign(train)?;
+        let mut tallies: Vec<std::collections::HashMap<AttackCategory, usize>> =
+            vec![std::collections::HashMap::new(); k];
+        for (&c, &l) in assignment.iter().zip(labels) {
+            *tallies[c].entry(l).or_insert(0) += 1;
+        }
+        let cluster_labels: Vec<Option<AttackCategory>> = tallies
+            .iter()
+            .map(|t| t.iter().max_by_key(|(_, &c)| c).map(|(&l, _)| l))
+            .collect();
+        // Threshold on normal distances.
+        let normal_distances: Vec<f64> = train
+            .iter_rows()
+            .zip(labels)
+            .filter(|(_, &l)| l == AttackCategory::Normal)
+            .map(|(x, _)| Ok(kmeans.nearest(x)?.1))
+            .collect::<Result<_, DetectError>>()?;
+        if normal_distances.is_empty() {
+            return Err(DetectError::EmptyInput);
+        }
+        let threshold = mathkit::stats::quantile(&normal_distances, percentile)?;
+        Ok(KMeansDetector {
+            kmeans,
+            cluster_labels,
+            threshold,
+        })
+    }
+
+    /// The underlying clustering.
+    pub fn kmeans(&self) -> &KMeans {
+        &self.kmeans
+    }
+
+    /// The calibrated distance threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Detector for KMeansDetector {
+    /// Verdict-consistent anomaly score (same convention as the GHSOM
+    /// hybrid): attack-labelled clusters score in `(2, 3]`,
+    /// normal-labelled clusters score by centroid distance relative to the
+    /// threshold, with `score > 1 ⇔ anomalous`.
+    fn score(&self, x: &[f64]) -> Result<f64, DetectError> {
+        let (cluster, d) = self.kmeans.nearest(x)?;
+        match self.cluster_labels[cluster] {
+            Some(AttackCategory::Normal) => {
+                let r = if self.threshold > 0.0 {
+                    d / self.threshold
+                } else if d > 0.0 {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
+                Ok(2.0 * r / (1.0 + r))
+            }
+            _ => Ok(2.0 + d / (1.0 + d)),
+        }
+    }
+
+    fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError> {
+        let (cluster, d) = self.kmeans.nearest(x)?;
+        if !matches!(self.cluster_labels[cluster], Some(AttackCategory::Normal)) {
+            return Ok(true);
+        }
+        Ok(d > self.threshold)
+    }
+
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+}
+
+impl Classifier for KMeansDetector {
+    fn classify(&self, x: &[f64]) -> Result<Option<AttackCategory>, DetectError> {
+        let (cluster, d) = self.kmeans.nearest(x)?;
+        let label = self.cluster_labels[cluster];
+        if label == Some(AttackCategory::Normal) && d > self.threshold {
+            return Ok(None);
+        }
+        Ok(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> (Matrix, Vec<AttackCategory>) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            if i % 2 == 0 {
+                rows.push(vec![rng.gen::<f64>() * 0.3, rng.gen::<f64>() * 0.3]);
+                labels.push(AttackCategory::Normal);
+            } else {
+                rows.push(vec![
+                    4.0 + rng.gen::<f64>() * 0.3,
+                    4.0 + rng.gen::<f64>() * 0.3,
+                ]);
+                labels.push(AttackCategory::Dos);
+            }
+        }
+        (Matrix::from_rows(rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn kmeans_recovers_blob_centers() {
+        let (data, _) = two_blobs();
+        let km = KMeans::fit(&data, 2, 50, 1).unwrap();
+        assert_eq!(km.k(), 2);
+        let c0 = km.centroids().row(0);
+        let c1 = km.centroids().row(1);
+        let near_origin = |c: &[f64]| c[0] < 1.0 && c[1] < 1.0;
+        let near_four = |c: &[f64]| c[0] > 3.0 && c[1] > 3.0;
+        assert!(
+            (near_origin(c0) && near_four(c1)) || (near_origin(c1) && near_four(c0)),
+            "centroids {c0:?} {c1:?}"
+        );
+    }
+
+    #[test]
+    fn more_clusters_reduce_inertia() {
+        let (data, _) = two_blobs();
+        let km1 = KMeans::fit(&data, 1, 50, 2).unwrap();
+        let km2 = KMeans::fit(&data, 2, 50, 2).unwrap();
+        assert!(km2.inertia(&data).unwrap() < km1.inertia(&data).unwrap());
+    }
+
+    #[test]
+    fn fit_validates_parameters() {
+        let (data, _) = two_blobs();
+        assert!(KMeans::fit(&data, 0, 10, 0).is_err());
+        assert!(KMeans::fit(&data, 10_000, 10, 0).is_err());
+    }
+
+    #[test]
+    fn assign_is_consistent_with_nearest() {
+        let (data, _) = two_blobs();
+        let km = KMeans::fit(&data, 2, 50, 3).unwrap();
+        let assignment = km.assign(&data).unwrap();
+        for (x, &a) in data.iter_rows().zip(&assignment) {
+            assert_eq!(km.nearest(x).unwrap().0, a);
+        }
+    }
+
+    #[test]
+    fn detector_classifies_blobs() {
+        let (data, labels) = two_blobs();
+        let det = KMeansDetector::fit(&data, &labels, 2, 0.99, 4).unwrap();
+        assert_eq!(
+            det.classify(&[0.1, 0.1]).unwrap(),
+            Some(AttackCategory::Normal)
+        );
+        assert_eq!(
+            det.classify(&[4.1, 4.1]).unwrap(),
+            Some(AttackCategory::Dos)
+        );
+        assert!(!det.is_anomalous(&[0.1, 0.1]).unwrap());
+        assert!(det.is_anomalous(&[4.1, 4.1]).unwrap());
+    }
+
+    #[test]
+    fn far_points_trip_the_threshold() {
+        let (data, labels) = two_blobs();
+        let det = KMeansDetector::fit(&data, &labels, 2, 0.99, 4).unwrap();
+        assert!(det.is_anomalous(&[-10.0, -10.0]).unwrap());
+        assert_eq!(det.classify(&[-10.0, -10.0]).unwrap(), None);
+    }
+
+    #[test]
+    fn score_is_verdict_consistent() {
+        let (data, labels) = two_blobs();
+        let det = KMeansDetector::fit(&data, &labels, 2, 0.99, 4).unwrap();
+        for x in data.iter_rows() {
+            let score = det.score(x).unwrap();
+            assert_eq!(det.is_anomalous(x).unwrap(), score > 1.0);
+        }
+    }
+
+    #[test]
+    fn detector_fit_validations() {
+        let (data, labels) = two_blobs();
+        assert!(KMeansDetector::fit(&data, &labels[..5], 2, 0.99, 0).is_err());
+        assert!(KMeansDetector::fit(&data, &labels, 2, 0.0, 0).is_err());
+        let all_attack = vec![AttackCategory::Dos; data.rows()];
+        assert_eq!(
+            KMeansDetector::fit(&data, &all_attack, 2, 0.99, 0).unwrap_err(),
+            DetectError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn fitting_is_deterministic() {
+        let (data, labels) = two_blobs();
+        let a = KMeansDetector::fit(&data, &labels, 3, 0.99, 11).unwrap();
+        let b = KMeansDetector::fit(&data, &labels, 3, 0.99, 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (data, labels) = two_blobs();
+        let det = KMeansDetector::fit(&data, &labels, 2, 0.99, 4).unwrap();
+        let json = serde_json::to_string(&det).unwrap();
+        let back: KMeansDetector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, det);
+    }
+}

@@ -1,0 +1,19 @@
+//! Comparison baselines.
+//!
+//! Each baseline mirrors the GHSOM hybrid detection scheme as closely as
+//! its model allows — majority-vote labels on its prototypes plus a
+//! score threshold calibrated on normal training traffic — so that the
+//! evaluation compares *models*, not detection plumbing:
+//!
+//! * [`flat_som`] — a fixed-grid Kohonen SOM (the "SOM" column of the
+//!   paper's comparison tables).
+//! * [`kmeans`] — k-means++ clustering (the "k-means" column).
+//! * [`growing`] — a single-layer growing grid: the GHSOM with vertical
+//!   growth disabled. This is ablation A1 (value of the hierarchy).
+//! * [`pca`] — the classical PCA-residual subspace detector, fitted on
+//!   normal traffic only.
+
+pub mod flat_som;
+pub mod growing;
+pub mod kmeans;
+pub mod pca;

@@ -1,0 +1,152 @@
+//! PCA-residual baseline: the classical subspace anomaly detector.
+//!
+//! Fitted on *normal* traffic only: the top-`k` principal components span
+//! the normal subspace, and a record's squared residual off that subspace
+//! is its anomaly score. This is the non-clustering classical baseline of
+//! the comparison tables.
+
+use mathkit::{Matrix, Pca};
+use serde::{Deserialize, Serialize};
+
+use crate::{DetectError, Detector};
+
+/// PCA subspace detector with a calibrated residual threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PcaDetector {
+    pca: Pca,
+    threshold: f64,
+    k: usize,
+}
+
+impl PcaDetector {
+    /// Fits `k` principal components to `normal_data` and calibrates the
+    /// residual threshold at `percentile` of the normal residuals.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] for an invalid `k` or percentile;
+    /// [`DetectError::EmptyInput`] on empty data.
+    pub fn fit(normal_data: &Matrix, k: usize, percentile: f64, seed: u64) -> Result<Self, DetectError> {
+        if !(percentile > 0.0 && percentile <= 1.0) {
+            return Err(DetectError::InvalidParameter {
+                name: "percentile",
+                reason: "must lie in (0, 1]",
+            });
+        }
+        let pca = Pca::fit(normal_data, k, 300, seed).map_err(|e| match e {
+            mathkit::MathError::InvalidParameter { name, reason } => {
+                DetectError::InvalidParameter { name, reason }
+            }
+            mathkit::MathError::EmptyInput => DetectError::EmptyInput,
+            other => DetectError::Model(other.to_string()),
+        })?;
+        let residuals: Vec<f64> = normal_data
+            .iter_rows()
+            .map(|x| Ok(pca.residual_sq(x)?))
+            .collect::<Result<_, DetectError>>()?;
+        let threshold = mathkit::stats::quantile(&residuals, percentile)?;
+        Ok(PcaDetector {
+            pca,
+            threshold,
+            k,
+        })
+    }
+
+    /// The fitted subspace model.
+    pub fn pca(&self) -> &Pca {
+        &self.pca
+    }
+
+    /// Number of principal components spanning the normal subspace.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The calibrated residual threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Detector for PcaDetector {
+    fn score(&self, x: &[f64]) -> Result<f64, DetectError> {
+        Ok(self.pca.residual_sq(x)?)
+    }
+
+    fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError> {
+        Ok(self.score(x)? > self.threshold)
+    }
+
+    fn name(&self) -> &'static str {
+        "pca-residual"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Normal data lives on the x≈y diagonal.
+    fn diagonal_normals() -> Matrix {
+        let mut rng = StdRng::seed_from_u64(8);
+        let rows = (0..200)
+            .map(|_| {
+                let t = rng.gen::<f64>() * 10.0;
+                vec![t, t + rng.gen::<f64>() * 0.1]
+            })
+            .collect();
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn off_subspace_points_are_flagged() {
+        let data = diagonal_normals();
+        let det = PcaDetector::fit(&data, 1, 0.99, 1).unwrap();
+        // A point in the middle of the noise band (y = x + 0.05).
+        assert!(!det.is_anomalous(&[5.0, 5.05]).unwrap());
+        assert!(det.is_anomalous(&[5.0, -5.0]).unwrap());
+        assert!(det.score(&[5.0, -5.0]).unwrap() > det.score(&[5.0, 5.05]).unwrap());
+    }
+
+    #[test]
+    fn calibration_bounds_false_positives() {
+        let data = diagonal_normals();
+        let det = PcaDetector::fit(&data, 1, 0.95, 1).unwrap();
+        let fp = data
+            .iter_rows()
+            .filter(|x| det.is_anomalous(x).unwrap())
+            .count();
+        // 95th percentile → ~5% of calibration data above threshold.
+        assert!(fp <= 12, "{fp} false positives on calibration data");
+    }
+
+    #[test]
+    fn fit_validations() {
+        let data = diagonal_normals();
+        assert!(PcaDetector::fit(&data, 0, 0.99, 0).is_err());
+        assert!(PcaDetector::fit(&data, 5, 0.99, 0).is_err());
+        assert!(PcaDetector::fit(&data, 1, 0.0, 0).is_err());
+        assert!(PcaDetector::fit(&data, 1, 2.0, 0).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let data = diagonal_normals();
+        let det = PcaDetector::fit(&data, 1, 0.99, 0).unwrap();
+        assert_eq!(det.k(), 1);
+        assert!(det.threshold() >= 0.0);
+        assert_eq!(det.pca().n_components(), 1);
+        assert_eq!(det.name(), "pca-residual");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let data = diagonal_normals();
+        let det = PcaDetector::fit(&data, 1, 0.99, 0).unwrap();
+        let json = serde_json::to_string(&det).unwrap();
+        let back: PcaDetector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, det);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type shared by all detectors.
+
+use std::fmt;
+
+/// Errors produced by detector fitting and scoring.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DetectError {
+    /// Sample width differs from what the detector was fitted on.
+    DimensionMismatch {
+        /// Fitted width.
+        expected: usize,
+        /// Received width.
+        found: usize,
+    },
+    /// Fitting needs a non-empty calibration set.
+    EmptyInput,
+    /// A fitting parameter was out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Violated constraint.
+        reason: &'static str,
+    },
+    /// An underlying model operation failed.
+    Model(String),
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: detector is {expected}-d, sample is {found}-d")
+            }
+            DetectError::EmptyInput => write!(f, "fitting requires a non-empty calibration set"),
+            DetectError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            DetectError::Model(msg) => write!(f, "model error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+impl From<ghsom_core::GhsomError> for DetectError {
+    fn from(e: ghsom_core::GhsomError) -> Self {
+        match e {
+            ghsom_core::GhsomError::DimensionMismatch { expected, found } => {
+                DetectError::DimensionMismatch { expected, found }
+            }
+            ghsom_core::GhsomError::EmptyInput => DetectError::EmptyInput,
+            other => DetectError::Model(other.to_string()),
+        }
+    }
+}
+
+impl From<som::SomError> for DetectError {
+    fn from(e: som::SomError) -> Self {
+        match e {
+            som::SomError::DimensionMismatch { expected, found } => {
+                DetectError::DimensionMismatch { expected, found }
+            }
+            som::SomError::EmptyInput => DetectError::EmptyInput,
+            other => DetectError::Model(other.to_string()),
+        }
+    }
+}
+
+impl From<mathkit::MathError> for DetectError {
+    fn from(e: mathkit::MathError) -> Self {
+        match e {
+            mathkit::MathError::DimensionMismatch { expected, found } => {
+                DetectError::DimensionMismatch { expected, found }
+            }
+            mathkit::MathError::EmptyInput => DetectError::EmptyInput,
+            other => DetectError::Model(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DetectError::DimensionMismatch {
+                expected: 88,
+                found: 2
+            }
+            .to_string(),
+            "dimension mismatch: detector is 88-d, sample is 2-d"
+        );
+        assert_eq!(
+            DetectError::EmptyInput.to_string(),
+            "fitting requires a non-empty calibration set"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        let e: DetectError = ghsom_core::GhsomError::EmptyInput.into();
+        assert_eq!(e, DetectError::EmptyInput);
+        let e: DetectError = som::SomError::DimensionMismatch {
+            expected: 2,
+            found: 3,
+        }
+        .into();
+        assert!(matches!(e, DetectError::DimensionMismatch { .. }));
+        let e: DetectError = mathkit::MathError::NonFinite.into();
+        assert!(matches!(e, DetectError::Model(_)));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<DetectError>();
+    }
+}

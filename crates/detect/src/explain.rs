@@ -1,0 +1,229 @@
+//! Explanation of detection verdicts: which features pushed a record away
+//! from (or onto) its best-matching prototype.
+//!
+//! Operators do not act on bare "anomalous" flags; they act on *why* — "the
+//! 2-second same-host connection count is 40× the prototype's" reads as a
+//! SYN flood. This module ranks the per-feature deviations between a record
+//! and the weight vector of the leaf unit it mapped to, using the feature
+//! names from the fitted pipeline's schema.
+
+use featurize::FeatureSchema;
+use ghsom_core::GhsomModel;
+use serde::{Deserialize, Serialize};
+
+use crate::DetectError;
+
+/// One feature's contribution to a record's distance from its prototype.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureDeviation {
+    /// Column index in the feature vector.
+    pub index: usize,
+    /// Feature name from the pipeline schema.
+    pub name: String,
+    /// The record's (transformed) value.
+    pub value: f64,
+    /// The leaf prototype's value.
+    pub prototype: f64,
+    /// Squared contribution to the Euclidean distance.
+    pub contribution: f64,
+}
+
+/// A ranked explanation of one record's projection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Leaf `(node, unit)` the record mapped to.
+    pub leaf: (usize, usize),
+    /// Leaf quantization error (Euclidean distance to the prototype).
+    pub leaf_qe: f64,
+    /// Deviations sorted by contribution, largest first.
+    pub deviations: Vec<FeatureDeviation>,
+}
+
+impl Explanation {
+    /// The `k` largest deviations.
+    pub fn top(&self, k: usize) -> &[FeatureDeviation] {
+        &self.deviations[..k.min(self.deviations.len())]
+    }
+
+    /// Fraction of the squared distance explained by the top `k` features.
+    pub fn coverage(&self, k: usize) -> f64 {
+        let total: f64 = self.deviations.iter().map(|d| d.contribution).sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let top: f64 = self.top(k).iter().map(|d| d.contribution).sum();
+        top / total
+    }
+
+    /// A compact human-readable rendering of the top `k` deviations.
+    pub fn render(&self, k: usize) -> String {
+        let mut out = format!(
+            "leaf map {} unit {} (qe {:.4})\n",
+            self.leaf.0, self.leaf.1, self.leaf_qe
+        );
+        for d in self.top(k) {
+            out.push_str(&format!(
+                "  {:<30} value {:>8.4}  prototype {:>8.4}  (Δ² {:.4})\n",
+                d.name, d.value, d.prototype, d.contribution
+            ));
+        }
+        out
+    }
+}
+
+/// Explains a record's projection against a trained model.
+///
+/// `schema` must be the schema of the pipeline that produced `x` (its
+/// length must match the model's input dimensionality).
+///
+/// # Errors
+///
+/// [`DetectError::DimensionMismatch`] when `x` or the schema width differ
+/// from the model; projection errors propagate.
+pub fn explain(
+    model: &GhsomModel,
+    schema: &FeatureSchema,
+    x: &[f64],
+) -> Result<Explanation, DetectError> {
+    if schema.len() != model.dim() {
+        return Err(DetectError::DimensionMismatch {
+            expected: model.dim(),
+            found: schema.len(),
+        });
+    }
+    let projection = model.project(x)?;
+    let (node, unit) = projection.leaf_key();
+    let prototype = model.nodes()[node].som().unit_weight(unit);
+    let mut deviations: Vec<FeatureDeviation> = x
+        .iter()
+        .zip(prototype)
+        .enumerate()
+        .map(|(index, (&value, &proto))| {
+            let d = value - proto;
+            FeatureDeviation {
+                index,
+                name: schema.name(index).to_string(),
+                value,
+                prototype: proto,
+                contribution: d * d,
+            }
+        })
+        .collect();
+    deviations.sort_by(|a, b| {
+        b.contribution
+            .partial_cmp(&a.contribution)
+            .expect("finite contributions")
+    });
+    Ok(Explanation {
+        leaf: (node, unit),
+        leaf_qe: projection.leaf_qe(),
+        deviations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use featurize::{KddPipeline, PipelineConfig};
+    use ghsom_core::GhsomConfig;
+    use traffic::synth::{MixSpec, TrafficGenerator};
+    use traffic::AttackType;
+
+    fn setup() -> (GhsomModel, KddPipeline) {
+        let mut gen = TrafficGenerator::new(MixSpec::normal_only(), 4).unwrap();
+        let train = gen.generate(800);
+        let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+        let x = pipeline.transform_dataset(&train).unwrap();
+        let model = GhsomModel::train(
+            &GhsomConfig {
+                epochs_per_round: 3,
+                final_epochs: 2,
+                seed: 4,
+                ..Default::default()
+            },
+            &x,
+        )
+        .unwrap();
+        (model, pipeline)
+    }
+
+    #[test]
+    fn explanation_covers_the_whole_distance() {
+        let (model, pipeline) = setup();
+        let mut gen = TrafficGenerator::new(MixSpec::normal_only(), 5).unwrap();
+        let rec = gen.sample_of(AttackType::Neptune);
+        let x = pipeline.transform(&rec).unwrap();
+        let exp = explain(&model, pipeline.schema(), &x).unwrap();
+        // Sum of contributions equals qe² (Euclidean).
+        let total: f64 = exp.deviations.iter().map(|d| d.contribution).sum();
+        assert!((total.sqrt() - exp.leaf_qe).abs() < 1e-9);
+        assert_eq!(exp.coverage(exp.deviations.len()), 1.0);
+        assert!(exp.coverage(10) > 0.3);
+    }
+
+    #[test]
+    fn deviations_are_sorted_descending() {
+        let (model, pipeline) = setup();
+        let mut gen = TrafficGenerator::new(MixSpec::normal_only(), 6).unwrap();
+        let rec = gen.sample_of(AttackType::Smurf);
+        let x = pipeline.transform(&rec).unwrap();
+        let exp = explain(&model, pipeline.schema(), &x).unwrap();
+        for w in exp.deviations.windows(2) {
+            assert!(w[0].contribution >= w[1].contribution);
+        }
+        assert_eq!(exp.top(5).len(), 5);
+    }
+
+    #[test]
+    fn flood_explanations_name_flood_features() {
+        // A SYN flood against a normal-only model must be explained by
+        // count/error-rate/flag features, not by random ones.
+        let (model, pipeline) = setup();
+        let mut gen = TrafficGenerator::new(MixSpec::normal_only(), 7).unwrap();
+        let rec = gen.sample_of(AttackType::Neptune);
+        let x = pipeline.transform(&rec).unwrap();
+        let exp = explain(&model, pipeline.schema(), &x).unwrap();
+        let top_names: Vec<&str> = exp.top(8).iter().map(|d| d.name.as_str()).collect();
+        let has_flood_feature = top_names.iter().any(|n| {
+            n.contains("count") || n.contains("serror") || n.contains("flag=") || n.contains("same_srv")
+        });
+        assert!(
+            has_flood_feature,
+            "top deviations {top_names:?} lack flood features"
+        );
+    }
+
+    #[test]
+    fn render_is_compact_and_named() {
+        let (model, pipeline) = setup();
+        let mut gen = TrafficGenerator::new(MixSpec::normal_only(), 8).unwrap();
+        let rec = gen.sample_of(AttackType::Portsweep);
+        let x = pipeline.transform(&rec).unwrap();
+        let exp = explain(&model, pipeline.schema(), &x).unwrap();
+        let text = exp.render(3);
+        assert!(text.contains("leaf map"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn schema_width_is_validated() {
+        let (model, _) = setup();
+        let wrong = FeatureSchema::new();
+        assert!(matches!(
+            explain(&model, &wrong, &vec![0.0; model.dim()]).unwrap_err(),
+            DetectError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (model, pipeline) = setup();
+        let mut gen = TrafficGenerator::new(MixSpec::normal_only(), 9).unwrap();
+        let rec = gen.sample_of(AttackType::Normal);
+        let x = pipeline.transform(&rec).unwrap();
+        let exp = explain(&model, pipeline.schema(), &x).unwrap();
+        let json = serde_json::to_string(&exp).unwrap();
+        let back: Explanation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, exp);
+    }
+}

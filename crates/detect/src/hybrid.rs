@@ -1,0 +1,259 @@
+//! The hybrid detector: leaf labels first, QE threshold as a second line
+//! of defence.
+//!
+//! The labelled detector misses attacks that land on normal-labelled units
+//! (mimicry, unseen attack types resembling normal traffic); the
+//! QE-threshold detector misses attacks that cluster tightly near normal
+//! prototypes. The hybrid flags a record if **either** trips: its leaf is
+//! attack-labelled/dead, or its leaf quantization error exceeds the
+//! calibrated threshold.
+
+use mathkit::Matrix;
+use serde::{Deserialize, Serialize};
+use traffic::AttackCategory;
+
+use crate::labeled::LabeledGhsomDetector;
+use crate::{Classifier, DetectError, Detector};
+
+/// Labels + QE threshold combined.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridGhsomDetector {
+    inner: LabeledGhsomDetector,
+    threshold: f64,
+}
+
+impl HybridGhsomDetector {
+    /// Fits the label layer on `train`/`labels` and calibrates the QE
+    /// threshold at `percentile` of the scores of the *normal subset* of
+    /// the training data.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] for a percentile outside `(0, 1]`;
+    /// [`DetectError::EmptyInput`] when there are no records (or no normal
+    /// records to calibrate on); model errors propagate.
+    pub fn fit(
+        model: ghsom_core::GhsomModel,
+        train: &Matrix,
+        labels: &[AttackCategory],
+        percentile: f64,
+    ) -> Result<Self, DetectError> {
+        if !(percentile > 0.0 && percentile <= 1.0) {
+            return Err(DetectError::InvalidParameter {
+                name: "percentile",
+                reason: "must lie in (0, 1]",
+            });
+        }
+        let inner = LabeledGhsomDetector::fit(model, train, labels)?;
+        let normal_scores: Vec<f64> = train
+            .iter_rows()
+            .zip(labels)
+            .filter(|(_, &l)| l == AttackCategory::Normal)
+            .map(|(x, _)| Ok(inner.model().project(x)?.leaf_qe()))
+            .collect::<Result<_, DetectError>>()?;
+        if normal_scores.is_empty() {
+            return Err(DetectError::EmptyInput);
+        }
+        let threshold = mathkit::stats::quantile(&normal_scores, percentile)?;
+        Ok(HybridGhsomDetector { inner, threshold })
+    }
+
+    /// The calibrated QE threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The wrapped labelled detector.
+    pub fn labeled(&self) -> &LabeledGhsomDetector {
+        &self.inner
+    }
+}
+
+impl Detector for HybridGhsomDetector {
+    /// Verdict-consistent anomaly score. Attack-labelled leaves score in
+    /// `(2, 3]`; normal-labelled leaves score by their QE relative to the
+    /// calibrated threshold, mapped into `[0, 2)` such that `score > 1`
+    /// exactly when `qe > threshold`. The binary verdict is `score > 1`.
+    fn score(&self, x: &[f64]) -> Result<f64, DetectError> {
+        let qe = self.inner.model().project(x)?.leaf_qe();
+        if !matches!(self.inner.classify(x)?, Some(AttackCategory::Normal)) {
+            return Ok(2.0 + qe / (1.0 + qe));
+        }
+        let r = if self.threshold > 0.0 {
+            qe / self.threshold
+        } else if qe > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        };
+        Ok(2.0 * r / (1.0 + r))
+    }
+
+    fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError> {
+        // Label layer.
+        if !matches!(self.inner.classify(x)?, Some(AttackCategory::Normal)) {
+            return Ok(true);
+        }
+        // QE layer: normal-labelled leaf but unusual distance.
+        Ok(self.inner.model().project(x)?.leaf_qe() > self.threshold)
+    }
+
+    fn name(&self) -> &'static str {
+        "ghsom-hybrid"
+    }
+}
+
+impl Classifier for HybridGhsomDetector {
+    fn classify(&self, x: &[f64]) -> Result<Option<AttackCategory>, DetectError> {
+        let label = self.inner.classify(x)?;
+        // A "normal" verdict is overturned when the QE layer trips; the
+        // category is unknown in that case.
+        if label == Some(AttackCategory::Normal)
+            && self.inner.model().project(x)?.leaf_qe() > self.threshold
+        {
+            return Ok(None);
+        }
+        Ok(label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghsom_core::{GhsomConfig, GhsomModel};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (HybridGhsomDetector, Matrix) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..400 {
+            if i % 4 == 0 {
+                rows.push(vec![
+                    6.0 + rng.gen::<f64>() * 0.2,
+                    6.0 + rng.gen::<f64>() * 0.2,
+                ]);
+                labels.push(AttackCategory::Probe);
+            } else {
+                rows.push(vec![rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.4]);
+                labels.push(AttackCategory::Normal);
+            }
+        }
+        let data = Matrix::from_rows(rows).unwrap();
+        let model = GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.4,
+                tau2: 0.2,
+                seed: 9,
+                ..Default::default()
+            },
+            &data,
+        )
+        .unwrap();
+        let det = HybridGhsomDetector::fit(model, &data, &labels, 0.99).unwrap();
+        (det, data)
+    }
+
+    #[test]
+    fn labelled_attacks_are_flagged() {
+        let (det, _) = setup();
+        assert!(det.is_anomalous(&[6.1, 6.1]).unwrap());
+        assert_eq!(
+            det.classify(&[6.1, 6.1]).unwrap(),
+            Some(AttackCategory::Probe)
+        );
+    }
+
+    #[test]
+    fn normal_core_is_clean() {
+        let (det, _) = setup();
+        assert!(!det.is_anomalous(&[0.2, 0.2]).unwrap());
+    }
+
+    #[test]
+    fn qe_layer_catches_normal_labelled_outliers() {
+        let (det, _) = setup();
+        // A point beyond the normal cluster but much closer to it than to
+        // the attack cluster: the leaf label says normal, the QE layer
+        // overturns it.
+        let x = [1.2, 1.2];
+        let label = det.labeled().classify(&x).unwrap();
+        if label == Some(AttackCategory::Normal) {
+            // Verdict-consistent score: anomalous ⇔ score > 1.
+            assert!(det.score(&x).unwrap() > 1.0);
+            assert!(det.is_anomalous(&x).unwrap());
+            assert_eq!(det.classify(&x).unwrap(), None);
+        } else {
+            // The hierarchy put it on a dead/attack unit — still anomalous.
+            assert!(det.is_anomalous(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn score_is_verdict_consistent() {
+        let (det, data) = setup();
+        for x in data.iter_rows() {
+            let score = det.score(x).unwrap();
+            let verdict = det.is_anomalous(x).unwrap();
+            assert_eq!(
+                verdict,
+                score > 1.0,
+                "verdict/score disagree at score {score}"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_flags_superset_of_labeled() {
+        let (det, data) = setup();
+        for x in data.iter_rows() {
+            let labelled_flag = !matches!(
+                det.labeled().classify(x).unwrap(),
+                Some(AttackCategory::Normal)
+            );
+            if labelled_flag {
+                assert!(det.is_anomalous(x).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn fit_validates_percentile() {
+        let (det, data) = setup();
+        let model = det.labeled().model().clone();
+        let labels = vec![AttackCategory::Normal; data.rows()];
+        assert!(HybridGhsomDetector::fit(model.clone(), &data, &labels, 0.0).is_err());
+        assert!(HybridGhsomDetector::fit(model, &data, &labels, 1.1).is_err());
+    }
+
+    #[test]
+    fn fit_requires_normal_records() {
+        let (det, data) = setup();
+        let model = det.labeled().model().clone();
+        let all_attack = vec![AttackCategory::Dos; data.rows()];
+        assert_eq!(
+            HybridGhsomDetector::fit(model, &data, &all_attack, 0.99).unwrap_err(),
+            DetectError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn name_is_stable() {
+        let (det, _) = setup();
+        assert_eq!(det.name(), "ghsom-hybrid");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (det, data) = setup();
+        let json = serde_json::to_string(&det).unwrap();
+        let back: HybridGhsomDetector = serde_json::from_str(&json).unwrap();
+        for x in data.iter_rows().take(10) {
+            assert_eq!(
+                det.is_anomalous(x).unwrap(),
+                back.is_anomalous(x).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Anomaly detectors over the GHSOM, plus the paper's comparison baselines.
+//!
+//! All detectors implement the [`Detector`] trait (higher score = more
+//! anomalous) and, when trained with labels, the [`Classifier`] trait
+//! (predict an [`AttackCategory`]). The concrete implementations are:
+//!
+//! * [`threshold::QeThresholdDetector`] — GHSOM leaf quantization error
+//!   against a threshold calibrated on normal training traffic.
+//! * [`labeled::LabeledGhsomDetector`] — leaf units labelled by training
+//!   majority vote; records landing on attack-labelled or dead units are
+//!   flagged.
+//! * [`hybrid::HybridGhsomDetector`] — labels first, QE threshold as a
+//!   second line of defence for records that land on normal-labelled units
+//!   at unusual distance.
+//! * [`baseline`] — flat SOM, k-means++, single-layer growing grid
+//!   (hierarchy ablation) and PCA-residual detectors.
+//! * [`online::StreamingDetector`] — a thread-safe streaming wrapper with
+//!   an adaptive threshold.
+//!
+//! # Example
+//!
+//! ```
+//! use detect::prelude::*;
+//! use featurize::{KddPipeline, PipelineConfig};
+//! use ghsom_core::{GhsomConfig, GhsomModel};
+//! use traffic::synth;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (train, test) = synth::kdd_train_test(800, 400, 5)?;
+//! let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train)?;
+//! let x_train = pipeline.transform_dataset(&train)?;
+//! let model = GhsomModel::train(&GhsomConfig::default(), &x_train)?;
+//!
+//! // Calibrate the QE threshold on the normal part of the training data.
+//! let normal = train.filter(|r| !r.is_attack());
+//! let x_normal = pipeline.transform_dataset(&normal)?;
+//! let detector = QeThresholdDetector::fit(model, &x_normal, 0.99)?;
+//!
+//! let x = pipeline.transform(&test.records()[0])?;
+//! let _verdict = detector.is_anomalous(&x)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod error;
+pub mod explain;
+pub mod hybrid;
+pub mod labeled;
+pub mod online;
+pub mod threshold;
+pub mod typed;
+
+pub use error::DetectError;
+
+use traffic::AttackCategory;
+
+/// A fitted anomaly scorer: higher scores are more anomalous.
+pub trait Detector {
+    /// Anomaly score of one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`DetectError::DimensionMismatch`] on inputs
+    /// of the wrong width.
+    fn score(&self, x: &[f64]) -> Result<f64, DetectError>;
+
+    /// Binary verdict at the detector's fitted threshold.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::score`].
+    fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError>;
+
+    /// Short human-readable name for result tables.
+    fn name(&self) -> &'static str;
+
+    /// Scores a whole matrix of samples.
+    ///
+    /// # Errors
+    ///
+    /// Per-sample errors from [`Detector::score`].
+    fn score_all(&self, data: &mathkit::Matrix) -> Result<Vec<f64>, DetectError> {
+        data.iter_rows().map(|x| self.score(x)).collect()
+    }
+}
+
+/// A detector that can also predict the coarse attack category.
+pub trait Classifier: Detector {
+    /// Predicted category; `None` means "anomalous but of unknown kind"
+    /// (e.g. the sample landed on a unit no training record reached).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::score`].
+    fn classify(&self, x: &[f64]) -> Result<Option<AttackCategory>, DetectError>;
+}
+
+/// Convenience re-exports for downstream code and examples.
+pub mod prelude {
+    pub use crate::baseline::flat_som::FlatSomDetector;
+    pub use crate::baseline::growing::GrowingGridDetector;
+    pub use crate::baseline::kmeans::KMeansDetector;
+    pub use crate::baseline::pca::PcaDetector;
+    pub use crate::explain::{explain, Explanation, FeatureDeviation};
+    pub use crate::hybrid::HybridGhsomDetector;
+    pub use crate::labeled::{DeadUnitPolicy, LabeledGhsomDetector};
+    pub use crate::online::StreamingDetector;
+    pub use crate::threshold::QeThresholdDetector;
+    pub use crate::typed::TypedGhsomClassifier;
+    pub use crate::{Classifier, DetectError, Detector};
+}

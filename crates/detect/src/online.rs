@@ -1,0 +1,275 @@
+//! Thread-safe streaming detection with an adaptive threshold.
+//!
+//! Wraps any fitted [`Detector`] for deployment on a live record stream:
+//! scores are tracked with a running mean/deviation, and after a warm-up
+//! period the effective threshold adapts to `mean + k·σ` of the recent
+//! score distribution (floored at the detector's own fitted threshold
+//! semantics via the initial threshold). Interior state is behind a
+//! `parking_lot::Mutex`, so one detector instance can serve multiple
+//! ingest threads.
+
+use mathkit::Welford;
+use parking_lot::Mutex;
+
+use crate::{DetectError, Detector};
+
+/// Verdict for one streamed record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamVerdict {
+    /// The raw anomaly score.
+    pub score: f64,
+    /// Whether the record was flagged.
+    pub anomalous: bool,
+    /// The threshold in force when the record was scored.
+    pub threshold: f64,
+}
+
+/// Counters describing a stream session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Records observed.
+    pub seen: u64,
+    /// Records flagged anomalous.
+    pub flagged: u64,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    scores: Welford,
+    stats: StreamStats,
+}
+
+/// A streaming wrapper around any detector.
+///
+/// # Example
+///
+/// ```
+/// use detect::online::StreamingDetector;
+/// use detect::prelude::*;
+/// use mathkit::Matrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let normal = Matrix::from_rows(
+///     (0..100).map(|i| vec![(i % 10) as f64 * 0.01, 0.0]).collect(),
+/// )?;
+/// let pca = PcaDetector::fit(&normal, 1, 0.99, 0)?;
+/// let stream = StreamingDetector::new(pca, 3.0, 50);
+/// let verdict = stream.observe(&[0.05, 0.0])?;
+/// assert!(!verdict.anomalous);
+/// let verdict = stream.observe(&[0.0, 9.0])?;
+/// assert!(verdict.anomalous);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct StreamingDetector<D> {
+    inner: D,
+    /// Multiplier on the running deviation once adaptive.
+    k_sigma: f64,
+    /// Number of observations before the threshold adapts.
+    warmup: u64,
+    state: Mutex<StreamState>,
+}
+
+impl<D: Detector> StreamingDetector<D> {
+    /// Wraps `detector`; the adaptive threshold becomes
+    /// `mean + k_sigma·σ` of normal-looking scores after `warmup`
+    /// observations (before that, the wrapped detector's own verdict is
+    /// used).
+    pub fn new(detector: D, k_sigma: f64, warmup: u64) -> Self {
+        StreamingDetector {
+            inner: detector,
+            k_sigma,
+            warmup,
+            state: Mutex::new(StreamState {
+                scores: Welford::new(),
+                stats: StreamStats::default(),
+            }),
+        }
+    }
+
+    /// The wrapped detector.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Scores one record and updates the adaptive state.
+    ///
+    /// Flagged records do **not** update the score statistics — an attack
+    /// burst must not be allowed to drag the threshold up behind it
+    /// (self-poisoning).
+    ///
+    /// # Errors
+    ///
+    /// Scoring errors from the wrapped detector propagate; state is not
+    /// updated in that case.
+    pub fn observe(&self, x: &[f64]) -> Result<StreamVerdict, DetectError> {
+        let score = self.inner.score(x)?;
+        let mut state = self.state.lock();
+        let adaptive_ready = state.scores.count() >= self.warmup;
+        let threshold = if adaptive_ready {
+            state.scores.mean() + self.k_sigma * state.scores.population_std()
+        } else {
+            f64::INFINITY // sentinel: delegate to the inner detector
+        };
+        let anomalous = if adaptive_ready {
+            score > threshold || self.inner.is_anomalous(x)?
+        } else {
+            self.inner.is_anomalous(x)?
+        };
+        state.stats.seen += 1;
+        if anomalous {
+            state.stats.flagged += 1;
+        } else {
+            state.scores.push(score);
+        }
+        Ok(StreamVerdict {
+            score,
+            anomalous,
+            threshold: if adaptive_ready {
+                threshold
+            } else {
+                f64::NAN
+            },
+        })
+    }
+
+    /// Session counters.
+    pub fn stats(&self) -> StreamStats {
+        self.state.lock().stats
+    }
+
+    /// Resets the adaptive state and counters (the wrapped detector is
+    /// untouched).
+    pub fn reset(&self) {
+        let mut state = self.state.lock();
+        state.scores = Welford::new();
+        state.stats = StreamStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::pca::PcaDetector;
+    use mathkit::Matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn normal_line(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Matrix::from_rows(
+            (0..n)
+                .map(|_| {
+                    let t = rng.gen::<f64>() * 5.0;
+                    vec![t, t + rng.gen::<f64>() * 0.05]
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn stream() -> StreamingDetector<PcaDetector> {
+        let data = normal_line(200, 1);
+        let pca = PcaDetector::fit(&data, 1, 0.99, 0).unwrap();
+        StreamingDetector::new(pca, 4.0, 30)
+    }
+
+    #[test]
+    fn normal_stream_is_mostly_clean() {
+        let s = stream();
+        let data = normal_line(300, 2);
+        let mut flagged = 0;
+        for x in data.iter_rows() {
+            if s.observe(x).unwrap().anomalous {
+                flagged += 1;
+            }
+        }
+        assert!(flagged < 20, "{flagged}/300 flagged on clean stream");
+        assert_eq!(s.stats().seen, 300);
+        assert_eq!(s.stats().flagged, flagged);
+    }
+
+    #[test]
+    fn attacks_are_flagged_after_warmup() {
+        let s = stream();
+        let data = normal_line(100, 3);
+        for x in data.iter_rows() {
+            s.observe(x).unwrap();
+        }
+        let verdict = s.observe(&[3.0, -3.0]).unwrap();
+        assert!(verdict.anomalous);
+        assert!(verdict.threshold.is_finite());
+        assert!(verdict.score > verdict.threshold);
+    }
+
+    #[test]
+    fn flagged_records_do_not_poison_the_threshold() {
+        let s = stream();
+        let data = normal_line(100, 4);
+        for x in data.iter_rows() {
+            s.observe(x).unwrap();
+        }
+        let before = s.observe(data.row(0)).unwrap().threshold;
+        // A burst of extreme attacks.
+        for _ in 0..50 {
+            assert!(s.observe(&[5.0, -5.0]).unwrap().anomalous);
+        }
+        let after = s.observe(data.row(1)).unwrap().threshold;
+        assert!(
+            (after - before).abs() < before.abs() * 0.2 + 1e-6,
+            "threshold drifted {before} -> {after} under attack burst"
+        );
+    }
+
+    #[test]
+    fn warmup_uses_inner_detector() {
+        let s = stream();
+        let v = s.observe(&[1.0, 1.0]).unwrap();
+        assert!(v.threshold.is_nan(), "during warmup threshold is NaN");
+        assert!(!v.anomalous);
+        // The inner detector still fires during warmup.
+        let v = s.observe(&[2.0, -2.0]).unwrap();
+        assert!(v.anomalous);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let s = stream();
+        for x in normal_line(50, 5).iter_rows() {
+            s.observe(x).unwrap();
+        }
+        assert!(s.stats().seen > 0);
+        s.reset();
+        assert_eq!(s.stats(), StreamStats::default());
+    }
+
+    #[test]
+    fn concurrent_observation_is_safe() {
+        use std::sync::Arc;
+        let s = Arc::new(stream());
+        let data = Arc::new(normal_line(200, 6));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&s);
+            let data = Arc::clone(&data);
+            handles.push(std::thread::spawn(move || {
+                for (i, x) in data.iter_rows().enumerate() {
+                    if i % 4 == t {
+                        s.observe(x).unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.stats().seen, 200);
+    }
+
+    #[test]
+    fn inner_accessor() {
+        let s = stream();
+        assert_eq!(s.inner().name(), "pca-residual");
+    }
+}

@@ -1,0 +1,206 @@
+//! The QE-threshold detector: GHSOM leaf quantization error against a
+//! percentile threshold calibrated on normal traffic.
+//!
+//! This is the purest form of the paper's detection idea: the GHSOM is a
+//! model of *normal* traffic geometry, so a record that cannot be quantized
+//! well anywhere in the hierarchy is anomalous.
+
+use ghsom_core::GhsomModel;
+use mathkit::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::{DetectError, Detector};
+
+/// GHSOM + calibrated QE threshold.
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QeThresholdDetector {
+    model: GhsomModel,
+    threshold: f64,
+    percentile: f64,
+}
+
+impl QeThresholdDetector {
+    /// Calibrates the threshold at the given percentile of the leaf-QE
+    /// scores of `normal_data` (records known/assumed to be benign).
+    ///
+    /// `percentile = 0.99` means 1% of genuinely normal traffic will be
+    /// flagged — the calibration directly sets the expected false-positive
+    /// rate.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] for a percentile outside `(0, 1]`;
+    /// [`DetectError::EmptyInput`] for empty calibration data; model
+    /// errors propagate.
+    pub fn fit(
+        model: GhsomModel,
+        normal_data: &Matrix,
+        percentile: f64,
+    ) -> Result<Self, DetectError> {
+        if !(percentile > 0.0 && percentile <= 1.0) {
+            return Err(DetectError::InvalidParameter {
+                name: "percentile",
+                reason: "must lie in (0, 1]",
+            });
+        }
+        if normal_data.rows() == 0 {
+            return Err(DetectError::EmptyInput);
+        }
+        let scores = model.score_matrix(normal_data)?;
+        let threshold = mathkit::stats::quantile(&scores, percentile)?;
+        Ok(QeThresholdDetector {
+            model,
+            threshold,
+            percentile,
+        })
+    }
+
+    /// Builds the detector with an explicit threshold (used by ROC sweeps).
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] when `threshold` is not finite
+    /// and non-negative.
+    pub fn with_threshold(model: GhsomModel, threshold: f64) -> Result<Self, DetectError> {
+        if !threshold.is_finite() || threshold < 0.0 {
+            return Err(DetectError::InvalidParameter {
+                name: "threshold",
+                reason: "must be finite and non-negative",
+            });
+        }
+        Ok(QeThresholdDetector {
+            model,
+            threshold,
+            percentile: f64::NAN,
+        })
+    }
+
+    /// The underlying trained model.
+    pub fn model(&self) -> &GhsomModel {
+        &self.model
+    }
+
+    /// The calibrated threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The calibration percentile (NaN when built with an explicit
+    /// threshold).
+    pub fn percentile(&self) -> f64 {
+        self.percentile
+    }
+}
+
+impl Detector for QeThresholdDetector {
+    fn score(&self, x: &[f64]) -> Result<f64, DetectError> {
+        Ok(self.model.project(x)?.leaf_qe())
+    }
+
+    fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError> {
+        Ok(self.score(x)? > self.threshold)
+    }
+
+    fn name(&self) -> &'static str {
+        "ghsom-qe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghsom_core::GhsomConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn normal_blob(n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = (0..n)
+            .map(|_| vec![rng.gen::<f64>() * 0.2, rng.gen::<f64>() * 0.2])
+            .collect();
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    fn detector() -> QeThresholdDetector {
+        let data = normal_blob(300, 1);
+        let model = GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.5,
+                tau2: 0.5,
+                seed: 2,
+                ..Default::default()
+            },
+            &data,
+        )
+        .unwrap();
+        QeThresholdDetector::fit(model, &data, 0.99).unwrap()
+    }
+
+    #[test]
+    fn calibration_bounds_false_positives() {
+        let det = detector();
+        let fresh = normal_blob(1_000, 99);
+        let fp = fresh
+            .iter_rows()
+            .filter(|x| det.is_anomalous(x).unwrap())
+            .count();
+        // 99th percentile ⇒ ~1% FPR on fresh normal data; allow slack.
+        assert!(fp < 60, "false positives: {fp}/1000");
+    }
+
+    #[test]
+    fn flags_far_away_points() {
+        let det = detector();
+        assert!(det.is_anomalous(&[5.0, 5.0]).unwrap());
+        assert!(det.score(&[5.0, 5.0]).unwrap() > det.threshold());
+    }
+
+    #[test]
+    fn fit_validates_parameters() {
+        let data = normal_blob(50, 3);
+        let model = GhsomModel::train(&GhsomConfig::default(), &data).unwrap();
+        assert!(QeThresholdDetector::fit(model.clone(), &data, 0.0).is_err());
+        assert!(QeThresholdDetector::fit(model.clone(), &data, 1.5).is_err());
+        assert!(QeThresholdDetector::with_threshold(model.clone(), -1.0).is_err());
+        assert!(QeThresholdDetector::with_threshold(model, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn explicit_threshold_is_respected() {
+        let data = normal_blob(50, 4);
+        let model = GhsomModel::train(&GhsomConfig::default(), &data).unwrap();
+        let det = QeThresholdDetector::with_threshold(model, 0.0).unwrap();
+        // Zero threshold: everything with any quantization error is flagged.
+        assert!(det.is_anomalous(&[0.1, 0.11]).unwrap());
+        assert!(det.percentile().is_nan());
+    }
+
+    #[test]
+    fn score_all_matches_score() {
+        let det = detector();
+        let data = normal_blob(20, 5);
+        let all = det.score_all(&data).unwrap();
+        for (x, &s) in data.iter_rows().zip(&all) {
+            assert_eq!(det.score(x).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(detector().name(), "ghsom-qe");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let det = detector();
+        let json = serde_json::to_string(&det).unwrap();
+        let back: QeThresholdDetector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.threshold(), det.threshold());
+        assert_eq!(
+            back.score(&[0.3, 0.3]).unwrap(),
+            det.score(&[0.3, 0.3]).unwrap()
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Fine-grained classification: leaf units labelled with concrete
+//! [`AttackType`]s rather than coarse categories.
+//!
+//! GHSOM-IDS papers often include a type-level analysis ("which map regions
+//! capture smurf vs neptune?"). This classifier provides that view: it
+//! reuses the same majority-vote machinery as
+//! [`crate::labeled::LabeledGhsomDetector`] but at attack-type granularity,
+//! which also powers the per-type classification table of the repro
+//! harness.
+
+use std::collections::HashMap;
+
+use ghsom_core::GhsomModel;
+use mathkit::Matrix;
+use serde::{Deserialize, Serialize};
+use traffic::AttackType;
+
+use crate::DetectError;
+
+/// Serialization helper shared with the category-level detector (JSON map
+/// keys must be strings).
+mod leaf_map {
+    use super::HashMap;
+    use serde::de::Deserializer;
+    use serde::ser::Serializer;
+    use serde::{Deserialize, Serialize};
+
+    pub fn serialize<S, V>(
+        map: &HashMap<(usize, usize), V>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+        V: Serialize,
+    {
+        let mut entries: Vec<(&(usize, usize), &V)> = map.iter().collect();
+        entries.sort_by_key(|(k, _)| **k);
+        entries.serialize(serializer)
+    }
+
+    pub fn deserialize<'de, D, V>(deserializer: D) -> Result<HashMap<(usize, usize), V>, D::Error>
+    where
+        D: Deserializer<'de>,
+        V: Deserialize<'de>,
+    {
+        let entries: Vec<((usize, usize), V)> = Vec::deserialize(deserializer)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+/// GHSOM leaf units labelled with concrete attack types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TypedGhsomClassifier {
+    model: GhsomModel,
+    #[serde(with = "leaf_map")]
+    labels: HashMap<(usize, usize), AttackType>,
+}
+
+impl TypedGhsomClassifier {
+    /// Labels the model's leaves with the majority attack type of the
+    /// training records mapped to each.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::DimensionMismatch`] when `labels.len() !=
+    /// train.rows()`; [`DetectError::EmptyInput`] on empty data.
+    pub fn fit(
+        model: GhsomModel,
+        train: &Matrix,
+        labels: &[AttackType],
+    ) -> Result<Self, DetectError> {
+        if train.rows() == 0 {
+            return Err(DetectError::EmptyInput);
+        }
+        if labels.len() != train.rows() {
+            return Err(DetectError::DimensionMismatch {
+                expected: train.rows(),
+                found: labels.len(),
+            });
+        }
+        let mut tallies: HashMap<(usize, usize), HashMap<AttackType, usize>> = HashMap::new();
+        for (x, &label) in train.iter_rows().zip(labels) {
+            let key = model.project(x)?.leaf_key();
+            *tallies.entry(key).or_default().entry(label).or_insert(0) += 1;
+        }
+        let labels_map = tallies
+            .into_iter()
+            .map(|(key, tally)| {
+                let (label, _) = tally
+                    .into_iter()
+                    .max_by_key(|&(_, c)| c)
+                    .expect("tally non-empty");
+                (key, label)
+            })
+            .collect();
+        Ok(TypedGhsomClassifier {
+            model,
+            labels: labels_map,
+        })
+    }
+
+    /// The underlying trained model.
+    pub fn model(&self) -> &GhsomModel {
+        &self.model
+    }
+
+    /// Number of labelled leaves.
+    pub fn labelled_unit_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Predicted attack type of a sample. Dead leaves fall back to the
+    /// nearest labelled unit of the same map; `None` only when the leaf
+    /// map has no labelled units at all.
+    ///
+    /// # Errors
+    ///
+    /// Projection errors propagate.
+    pub fn classify(&self, x: &[f64]) -> Result<Option<AttackType>, DetectError> {
+        let key = self.model.project(x)?.leaf_key();
+        if let Some(&label) = self.labels.get(&key) {
+            return Ok(Some(label));
+        }
+        // Nearest labelled unit in the same map.
+        let som = self.model.nodes()[key.0].som();
+        let mut best: Option<(f64, AttackType)> = None;
+        for unit in 0..som.len() {
+            let Some(&label) = self.labels.get(&(key.0, unit)) else {
+                continue;
+            };
+            let d = mathkit::distance::sq_euclidean(x, som.unit_weight(unit));
+            match best {
+                Some((bd, _)) if d >= bd => {}
+                _ => best = Some((d, label)),
+            }
+        }
+        Ok(best.map(|(_, l)| l))
+    }
+
+    /// How many distinct attack types ended up owning at least one leaf —
+    /// a measure of how finely the hierarchy separates attack families.
+    pub fn distinct_leaf_types(&self) -> usize {
+        let set: std::collections::BTreeSet<AttackType> =
+            self.labels.values().copied().collect();
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghsom_core::GhsomConfig;
+    use traffic::synth::{MixSpec, TrafficGenerator};
+
+    fn setup() -> (
+        TypedGhsomClassifier,
+        Matrix,
+        Vec<AttackType>,
+        featurize::KddPipeline,
+    ) {
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), 17).unwrap();
+        let train = gen.generate(1_500);
+        let pipeline =
+            featurize::KddPipeline::fit(&featurize::PipelineConfig::default(), &train).unwrap();
+        let x = pipeline.transform_dataset(&train).unwrap();
+        let labels: Vec<AttackType> = train.iter().map(|r| r.label).collect();
+        let model = GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.3,
+                tau2: 0.03,
+                epochs_per_round: 3,
+                final_epochs: 2,
+                seed: 17,
+                ..Default::default()
+            },
+            &x,
+        )
+        .unwrap();
+        let clf = TypedGhsomClassifier::fit(model, &x, &labels).unwrap();
+        (clf, x, labels, pipeline)
+    }
+
+    #[test]
+    fn classifies_dominant_types_well() {
+        let (clf, x, labels, _) = setup();
+        let mut correct = 0usize;
+        let mut dominant_total = 0usize;
+        for (row, &truth) in x.iter_rows().zip(&labels) {
+            if matches!(
+                truth,
+                AttackType::Smurf | AttackType::Neptune | AttackType::Normal
+            ) {
+                dominant_total += 1;
+                if clf.classify(row).unwrap() == Some(truth) {
+                    correct += 1;
+                }
+            }
+        }
+        let acc = correct as f64 / dominant_total as f64;
+        assert!(acc > 0.95, "dominant-type accuracy {acc}");
+    }
+
+    #[test]
+    fn separates_multiple_attack_families() {
+        let (clf, _, _, _) = setup();
+        assert!(
+            clf.distinct_leaf_types() >= 5,
+            "only {} distinct types own leaves",
+            clf.distinct_leaf_types()
+        );
+        assert!(clf.labelled_unit_count() > 10);
+    }
+
+    #[test]
+    fn unseen_types_classify_to_plausible_families() {
+        // mscan never occurs in training; its records should classify as
+        // *some* attack type (probe-like), not crash.
+        let (clf, _, _, pipeline) = setup();
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_test(), 18).unwrap();
+        let mut classified = 0usize;
+        for _ in 0..20 {
+            let rec = gen.sample_of(AttackType::Mscan);
+            let x = pipeline.transform(&rec).unwrap();
+            if clf.classify(&x).unwrap().is_some() {
+                classified += 1;
+            }
+        }
+        assert!(classified >= 18, "only {classified}/20 produced a label");
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let (clf, x, labels, _) = setup();
+        let model = clf.model().clone();
+        assert!(TypedGhsomClassifier::fit(model, &x, &labels[..5]).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (clf, x, _, _) = setup();
+        let json = serde_json::to_string(&clf).unwrap();
+        let back: TypedGhsomClassifier = serde_json::from_str(&json).unwrap();
+        for row in x.iter_rows().take(20) {
+            assert_eq!(clf.classify(row).unwrap(), back.classify(row).unwrap());
+        }
+    }
+}

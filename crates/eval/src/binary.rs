@@ -1,0 +1,214 @@
+//! Binary detection metrics.
+//!
+//! Intrusion-detection papers report **detection rate** (recall on the
+//! attack class) against **false-positive rate** (fraction of normal
+//! traffic flagged). Both, plus the usual derived scores, are computed from
+//! the four outcome counts accumulated here.
+
+use serde::{Deserialize, Serialize};
+
+/// The four binary outcome counts (`true` = attack/anomalous).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// Attacks flagged as attacks.
+    pub true_positives: u64,
+    /// Normal records flagged as attacks.
+    pub false_positives: u64,
+    /// Normal records passed as normal.
+    pub true_negatives: u64,
+    /// Attacks passed as normal.
+    pub false_negatives: u64,
+}
+
+impl BinaryMetrics {
+    /// Empty counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates one `(truth, verdict)` pair.
+    pub fn record(&mut self, truth: bool, verdict: bool) {
+        match (truth, verdict) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_negatives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+        }
+    }
+
+    /// Builds counts from an iterator of `(truth, verdict)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (bool, bool)>>(pairs: I) -> Self {
+        let mut m = Self::new();
+        for (truth, verdict) in pairs {
+            m.record(truth, verdict);
+        }
+        m
+    }
+
+    /// Merges another set of counts into this one.
+    pub fn merge(&mut self, other: &BinaryMetrics) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Detection rate (attack recall, TPR): `TP / (TP + FN)`; 0 when there
+    /// were no attacks.
+    pub fn detection_rate(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_negatives)
+    }
+
+    /// False-positive rate: `FP / (FP + TN)`; 0 when there was no normal
+    /// traffic.
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.false_positives, self.false_positives + self.true_negatives)
+    }
+
+    /// Precision: `TP / (TP + FP)`; 0 when nothing was flagged.
+    pub fn precision(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_positives)
+    }
+
+    /// Accuracy over all records.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.true_positives + self.true_negatives, self.total())
+    }
+
+    /// F1 score (harmonic mean of precision and detection rate).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.detection_rate();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Matthews correlation coefficient in `[−1, 1]`; 0 for degenerate
+    /// denominators.
+    pub fn mcc(&self) -> f64 {
+        let tp = self.true_positives as f64;
+        let fp = self.false_positives as f64;
+        let tn = self.true_negatives as f64;
+        let fnn = self.false_negatives as f64;
+        let denom = ((tp + fp) * (tp + fnn) * (tn + fp) * (tn + fnn)).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            (tp * tn - fp * fnn) / denom
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BinaryMetrics {
+        BinaryMetrics {
+            true_positives: 80,
+            false_negatives: 20,
+            false_positives: 5,
+            true_negatives: 95,
+        }
+    }
+
+    #[test]
+    fn rates_match_hand_computation() {
+        let m = sample();
+        assert!((m.detection_rate() - 0.8).abs() < 1e-12);
+        assert!((m.false_positive_rate() - 0.05).abs() < 1e-12);
+        assert!((m.precision() - 80.0 / 85.0).abs() < 1e-12);
+        assert!((m.accuracy() - 175.0 / 200.0).abs() < 1e-12);
+        assert_eq!(m.total(), 200);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let m = sample();
+        let p = m.precision();
+        let r = m.detection_rate();
+        assert!((m.f1() - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_routes_all_four_outcomes() {
+        let mut m = BinaryMetrics::new();
+        m.record(true, true);
+        m.record(true, false);
+        m.record(false, true);
+        m.record(false, false);
+        assert_eq!(
+            m,
+            BinaryMetrics {
+                true_positives: 1,
+                false_negatives: 1,
+                false_positives: 1,
+                true_negatives: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn from_pairs_and_merge() {
+        let a = BinaryMetrics::from_pairs([(true, true), (false, false)]);
+        let b = BinaryMetrics::from_pairs([(true, false), (false, true)]);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.total(), 4);
+        assert_eq!(merged.true_positives, 1);
+        assert_eq!(merged.false_negatives, 1);
+    }
+
+    #[test]
+    fn degenerate_denominators_yield_zero() {
+        let empty = BinaryMetrics::new();
+        assert_eq!(empty.detection_rate(), 0.0);
+        assert_eq!(empty.false_positive_rate(), 0.0);
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+        assert_eq!(empty.mcc(), 0.0);
+    }
+
+    #[test]
+    fn mcc_extremes() {
+        let perfect = BinaryMetrics {
+            true_positives: 50,
+            true_negatives: 50,
+            false_positives: 0,
+            false_negatives: 0,
+        };
+        assert!((perfect.mcc() - 1.0).abs() < 1e-12);
+        let inverted = BinaryMetrics {
+            true_positives: 0,
+            true_negatives: 0,
+            false_positives: 50,
+            false_negatives: 50,
+        };
+        assert!((inverted.mcc() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = sample();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: BinaryMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

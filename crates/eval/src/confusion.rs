@@ -1,0 +1,334 @@
+//! Multi-class confusion matrices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::EvalError;
+
+/// A `classes × classes` confusion matrix; rows are truth, columns are
+/// predictions.
+///
+/// # Example
+///
+/// ```
+/// use evalkit::ConfusionMatrix;
+///
+/// # fn main() -> Result<(), evalkit::EvalError> {
+/// let mut cm = ConfusionMatrix::new(vec!["normal".into(), "dos".into()]);
+/// cm.record(0, 0)?; // normal predicted normal
+/// cm.record(1, 1)?; // dos predicted dos
+/// cm.record(1, 0)?; // dos missed
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// assert!((cm.recall(1) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    class_names: Vec<String>,
+    /// Row-major `counts[truth * n + pred]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix for the named classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_names` is empty.
+    pub fn new(class_names: Vec<String>) -> Self {
+        assert!(!class_names.is_empty(), "at least one class is required");
+        let n = class_names.len();
+        ConfusionMatrix {
+            class_names,
+            counts: vec![0; n * n],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Class names in index order.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Records one `(truth, prediction)` observation.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::ClassOutOfRange`] for indices `>= classes()`.
+    pub fn record(&mut self, truth: usize, pred: usize) -> Result<(), EvalError> {
+        let n = self.classes();
+        if truth >= n {
+            return Err(EvalError::ClassOutOfRange {
+                index: truth,
+                classes: n,
+            });
+        }
+        if pred >= n {
+            return Err(EvalError::ClassOutOfRange {
+                index: pred,
+                classes: n,
+            });
+        }
+        self.counts[truth * n + pred] += 1;
+        Ok(())
+    }
+
+    /// The count at `(truth, pred)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn count(&self, truth: usize, pred: usize) -> u64 {
+        let n = self.classes();
+        assert!(truth < n && pred < n, "class index out of bounds");
+        self.counts[truth * n + pred]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Row sum: observations whose truth is `class`.
+    pub fn truth_total(&self, class: usize) -> u64 {
+        let n = self.classes();
+        (0..n).map(|p| self.count(class, p)).sum()
+    }
+
+    /// Column sum: observations predicted as `class`.
+    pub fn predicted_total(&self, class: usize) -> u64 {
+        let n = self.classes();
+        (0..n).map(|t| self.count(t, class)).sum()
+    }
+
+    /// Overall accuracy; 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = self.classes();
+        let correct: u64 = (0..n).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of `class` (`diag / row sum`); 0 when the class never occurs.
+    pub fn recall(&self, class: usize) -> f64 {
+        let denom = self.truth_total(class);
+        if denom == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / denom as f64
+        }
+    }
+
+    /// Precision of `class` (`diag / column sum`); 0 when never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let denom = self.predicted_total(class);
+        if denom == 0 {
+            0.0
+        } else {
+            self.count(class, class) as f64 / denom as f64
+        }
+    }
+
+    /// F1 of `class`.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean recall over classes that occur.
+    pub fn macro_recall(&self) -> f64 {
+        let live: Vec<usize> = (0..self.classes())
+            .filter(|&c| self.truth_total(c) > 0)
+            .collect();
+        if live.is_empty() {
+            return 0.0;
+        }
+        live.iter().map(|&c| self.recall(c)).sum::<f64>() / live.len() as f64
+    }
+
+    /// Unweighted mean F1 over classes that occur.
+    pub fn macro_f1(&self) -> f64 {
+        let live: Vec<usize> = (0..self.classes())
+            .filter(|&c| self.truth_total(c) > 0)
+            .collect();
+        if live.is_empty() {
+            return 0.0;
+        }
+        live.iter().map(|&c| self.f1(c)).sum::<f64>() / live.len() as f64
+    }
+
+    /// Merges another matrix with identical class names.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::InvalidParameter`] when class name lists differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) -> Result<(), EvalError> {
+        if self.class_names != other.class_names {
+            return Err(EvalError::InvalidParameter {
+                name: "other",
+                reason: "confusion matrices have different class sets",
+            });
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    /// Renders an aligned table with truth rows and prediction columns.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.classes();
+        let name_width = self
+            .class_names
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(4)
+            .max("truth\\pred".len());
+        let cell_width = 9usize;
+        write!(f, "{:>name_width$}", "truth\\pred")?;
+        for name in &self.class_names {
+            write!(f, " {name:>cell_width$}")?;
+        }
+        writeln!(f)?;
+        for t in 0..n {
+            write!(f, "{:>name_width$}", self.class_names[t])?;
+            for p in 0..n {
+                write!(f, " {:>cell_width$}", self.count(t, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["normal".into(), "dos".into(), "probe".into()]
+    }
+
+    fn sample() -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new(names());
+        // truth normal: 8 correct, 2 as dos
+        for _ in 0..8 {
+            cm.record(0, 0).unwrap();
+        }
+        cm.record(0, 1).unwrap();
+        cm.record(0, 1).unwrap();
+        // truth dos: 5 correct
+        for _ in 0..5 {
+            cm.record(1, 1).unwrap();
+        }
+        // truth probe: 3 correct, 1 as normal
+        for _ in 0..3 {
+            cm.record(2, 2).unwrap();
+        }
+        cm.record(2, 0).unwrap();
+        cm
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let cm = sample();
+        assert_eq!(cm.total(), 19);
+        assert_eq!(cm.count(0, 1), 2);
+        assert_eq!(cm.truth_total(0), 10);
+        assert_eq!(cm.predicted_total(1), 7);
+        assert_eq!(cm.classes(), 3);
+    }
+
+    #[test]
+    fn accuracy_recall_precision() {
+        let cm = sample();
+        assert!((cm.accuracy() - 16.0 / 19.0).abs() < 1e-12);
+        assert!((cm.recall(0) - 0.8).abs() < 1e-12);
+        assert!((cm.recall(2) - 0.75).abs() < 1e-12);
+        assert!((cm.precision(1) - 5.0 / 7.0).abs() < 1e-12);
+        assert!((cm.precision(0) - 8.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_metrics_average_live_classes() {
+        let cm = sample();
+        let expected = (cm.recall(0) + cm.recall(1) + cm.recall(2)) / 3.0;
+        assert!((cm.macro_recall() - expected).abs() < 1e-12);
+        assert!(cm.macro_f1() > 0.0);
+    }
+
+    #[test]
+    fn macro_skips_absent_classes() {
+        let mut cm = ConfusionMatrix::new(names());
+        cm.record(0, 0).unwrap();
+        // Classes 1, 2 never occur in truth; macro recall is over class 0.
+        assert_eq!(cm.macro_recall(), 1.0);
+    }
+
+    #[test]
+    fn record_validates_indices() {
+        let mut cm = ConfusionMatrix::new(names());
+        assert!(cm.record(3, 0).is_err());
+        assert!(cm.record(0, 3).is_err());
+    }
+
+    #[test]
+    fn merge_requires_same_classes() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(), 38);
+        let other = ConfusionMatrix::new(vec!["x".into()]);
+        assert!(a.merge(&other).is_err());
+    }
+
+    #[test]
+    fn display_renders_all_cells() {
+        let cm = sample();
+        let text = cm.to_string();
+        assert!(text.contains("truth\\pred"));
+        assert!(text.contains("normal"));
+        assert!(text.contains("probe"));
+        // Count 8 must appear.
+        assert!(text.contains('8'));
+    }
+
+    #[test]
+    fn empty_matrix_metrics_are_zero() {
+        let cm = ConfusionMatrix::new(names());
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.macro_recall(), 0.0);
+        assert_eq!(cm.recall(0), 0.0);
+        assert_eq!(cm.precision(0), 0.0);
+        assert_eq!(cm.f1(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_panics() {
+        let _ = ConfusionMatrix::new(vec![]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cm = sample();
+        let json = serde_json::to_string(&cm).unwrap();
+        let back: ConfusionMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cm);
+    }
+}

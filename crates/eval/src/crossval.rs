@@ -1,0 +1,200 @@
+//! Cross-validation index generation.
+//!
+//! Fold assignment is separated from model fitting so any detector can be
+//! cross-validated without the evaluation kit depending on model crates.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::EvalError;
+
+/// One fold: indices held out for testing; everything else trains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Held-out indices.
+    pub test: Vec<usize>,
+}
+
+/// Seeded k-fold split of `n` items.
+///
+/// Every index appears in exactly one test fold; fold sizes differ by at
+/// most one.
+///
+/// # Errors
+///
+/// [`EvalError::InvalidParameter`] when `k < 2` or `k > n`.
+///
+/// # Example
+///
+/// ```
+/// use evalkit::crossval::kfold;
+///
+/// # fn main() -> Result<(), evalkit::EvalError> {
+/// let folds = kfold(10, 5, 42)?;
+/// assert_eq!(folds.len(), 5);
+/// assert!(folds.iter().all(|f| f.test.len() == 2 && f.train.len() == 8));
+/// # Ok(())
+/// # }
+/// ```
+pub fn kfold(n: usize, k: usize, seed: u64) -> Result<Vec<Fold>, EvalError> {
+    if k < 2 {
+        return Err(EvalError::InvalidParameter {
+            name: "k",
+            reason: "must be at least 2",
+        });
+    }
+    if k > n {
+        return Err(EvalError::InvalidParameter {
+            name: "k",
+            reason: "must not exceed the item count",
+        });
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        // Fold f takes every k-th item starting at f — balanced by
+        // construction.
+        let test: Vec<usize> = order.iter().copied().skip(f).step_by(k).collect();
+        let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
+        let train: Vec<usize> = (0..n).filter(|i| !test_set.contains(i)).collect();
+        folds.push(Fold { train, test });
+    }
+    Ok(folds)
+}
+
+/// Stratified k-fold: class proportions are preserved per fold (classes
+/// are given as one label index per item).
+///
+/// # Errors
+///
+/// [`EvalError::InvalidParameter`] as in [`kfold`];
+/// [`EvalError::EmptyInput`] when `labels` is empty.
+pub fn stratified_kfold(
+    labels: &[usize],
+    k: usize,
+    seed: u64,
+) -> Result<Vec<Fold>, EvalError> {
+    if labels.is_empty() {
+        return Err(EvalError::EmptyInput);
+    }
+    if k < 2 {
+        return Err(EvalError::InvalidParameter {
+            name: "k",
+            reason: "must be at least 2",
+        });
+    }
+    if k > labels.len() {
+        return Err(EvalError::InvalidParameter {
+            name: "k",
+            reason: "must not exceed the item count",
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Group indices by class, shuffle within class, deal round-robin.
+    let mut by_class: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for (i, &c) in labels.iter().enumerate() {
+        by_class.entry(c).or_default().push(i);
+    }
+    let mut test_sets: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut deal = 0usize;
+    for (_, mut members) in by_class {
+        members.shuffle(&mut rng);
+        for idx in members {
+            test_sets[deal % k].push(idx);
+            deal += 1;
+        }
+    }
+    let n = labels.len();
+    let folds = test_sets
+        .into_iter()
+        .map(|test| {
+            let test_set: std::collections::HashSet<usize> = test.iter().copied().collect();
+            Fold {
+                train: (0..n).filter(|i| !test_set.contains(i)).collect(),
+                test,
+            }
+        })
+        .collect();
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kfold_partitions_exactly() {
+        let folds = kfold(23, 4, 1).unwrap();
+        assert_eq!(folds.len(), 4);
+        let mut seen = vec![0usize; 23];
+        for fold in &folds {
+            assert_eq!(fold.train.len() + fold.test.len(), 23);
+            for &i in &fold.test {
+                seen[i] += 1;
+            }
+            // Train and test are disjoint.
+            let train: std::collections::HashSet<_> = fold.train.iter().collect();
+            assert!(fold.test.iter().all(|i| !train.contains(i)));
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each index in one test fold");
+    }
+
+    #[test]
+    fn fold_sizes_are_balanced() {
+        let folds = kfold(10, 3, 2).unwrap();
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn kfold_is_deterministic() {
+        assert_eq!(kfold(20, 4, 9).unwrap(), kfold(20, 4, 9).unwrap());
+        assert_ne!(kfold(20, 4, 9).unwrap(), kfold(20, 4, 10).unwrap());
+    }
+
+    #[test]
+    fn kfold_validates_parameters() {
+        assert!(kfold(10, 1, 0).is_err());
+        assert!(kfold(3, 4, 0).is_err());
+        assert!(kfold(4, 4, 0).is_ok());
+    }
+
+    #[test]
+    fn stratified_preserves_class_balance() {
+        // 40 of class 0, 20 of class 1.
+        let labels: Vec<usize> = (0..60).map(|i| usize::from(i % 3 == 0)).collect();
+        let folds = stratified_kfold(&labels, 4, 3).unwrap();
+        for fold in &folds {
+            let ones = fold.test.iter().filter(|&&i| labels[i] == 1).count();
+            let zeros = fold.test.len() - ones;
+            // Per fold: ~5 of class 1, ~10 of class 0.
+            assert!((4..=6).contains(&ones), "class-1 count {ones}");
+            assert!((9..=11).contains(&zeros), "class-0 count {zeros}");
+        }
+    }
+
+    #[test]
+    fn stratified_partitions_exactly() {
+        let labels: Vec<usize> = (0..31).map(|i| i % 3).collect();
+        let folds = stratified_kfold(&labels, 5, 7).unwrap();
+        let mut seen = vec![0usize; 31];
+        for fold in &folds {
+            for &i in &fold.test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn stratified_validates_inputs() {
+        assert!(stratified_kfold(&[], 2, 0).is_err());
+        assert!(stratified_kfold(&[0, 1], 1, 0).is_err());
+        assert!(stratified_kfold(&[0, 1], 3, 0).is_err());
+    }
+}

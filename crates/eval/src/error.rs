@@ -1,0 +1,77 @@
+//! Error type for evaluation routines.
+
+use std::fmt;
+
+/// Errors produced while computing metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// Paired inputs had different lengths.
+    LengthMismatch {
+        /// Length of the first sequence.
+        left: usize,
+        /// Length of the second sequence.
+        right: usize,
+    },
+    /// A metric that needs at least one observation received none.
+    EmptyInput,
+    /// A parameter was out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Violated constraint.
+        reason: &'static str,
+    },
+    /// A class index exceeded the configured class count.
+    ClassOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of classes configured.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::LengthMismatch { left, right } => {
+                write!(f, "paired inputs differ in length: {left} vs {right}")
+            }
+            EvalError::EmptyInput => write!(f, "metric requires at least one observation"),
+            EvalError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            EvalError::ClassOutOfRange { index, classes } => {
+                write!(f, "class index {index} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            EvalError::LengthMismatch { left: 3, right: 5 }.to_string(),
+            "paired inputs differ in length: 3 vs 5"
+        );
+        assert_eq!(
+            EvalError::ClassOutOfRange {
+                index: 7,
+                classes: 5
+            }
+            .to_string(),
+            "class index 7 out of range for 5 classes"
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<EvalError>();
+    }
+}

@@ -1,0 +1,42 @@
+//! Evaluation kit: the metrics and rendering behind every reproduced table
+//! and figure.
+//!
+//! * [`binary`] — detection rate / false-positive rate / precision / F1 /
+//!   MCC from binary verdicts ([`binary::BinaryMetrics`]).
+//! * [`confusion`] — multi-class confusion matrices with per-class
+//!   precision/recall and macro averages.
+//! * [`roc`] — ROC curves and AUC from raw scores (threshold sweep).
+//! * [`report`] — plain-text table and ASCII chart rendering for the
+//!   `repro` binary's paper-style output.
+//! * [`sweep`] — cartesian parameter grids for sensitivity experiments.
+//! * [`crossval`] — seeded (stratified) k-fold index generation.
+//!
+//! # Example
+//!
+//! ```
+//! use evalkit::binary::BinaryMetrics;
+//!
+//! let truth =   [true,  true,  false, false, true ];
+//! let verdict = [true,  false, false, true,  true ];
+//! let m = BinaryMetrics::from_pairs(truth.iter().copied().zip(verdict.iter().copied()));
+//! assert_eq!(m.true_positives, 2);
+//! assert_eq!(m.false_negatives, 1);
+//! assert!((m.detection_rate() - 2.0 / 3.0).abs() < 1e-12);
+//! assert!((m.false_positive_rate() - 0.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod confusion;
+pub mod crossval;
+pub mod error;
+pub mod report;
+pub mod roc;
+pub mod sweep;
+
+pub use binary::BinaryMetrics;
+pub use confusion::ConfusionMatrix;
+pub use error::EvalError;
+pub use roc::RocCurve;

@@ -1,0 +1,261 @@
+//! Plain-text rendering: aligned tables, ASCII histograms and scatter
+//! charts. The `repro` binary uses these to print paper-style tables and
+//! figures to stdout (and the same strings are written into
+//! `EXPERIMENTS.md`).
+
+/// An aligned plain-text table.
+///
+/// # Example
+///
+/// ```
+/// use evalkit::report::Table;
+///
+/// let mut t = Table::new(vec!["detector", "DR", "FPR"]);
+/// t.add_row(vec!["ghsom".into(), "0.97".into(), "0.02".into()]);
+/// t.add_row(vec!["k-means".into(), "0.91".into(), "0.05".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("ghsom"));
+/// assert!(text.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows are
+    /// truncated to the column count.
+    pub fn add_row(&mut self, mut row: Vec<String>) {
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders a GitHub-flavoured markdown version of the table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push('|');
+        for h in &self.headers {
+            out.push_str(&format!(" {h} |"));
+        }
+        out.push('\n');
+        out.push('|');
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for cell in row {
+                out.push_str(&format!(" {cell} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "{:<width$}", h, width = widths[i])?;
+            if i + 1 < cols {
+                write!(f, "  ")?;
+            }
+        }
+        writeln!(f)?;
+        let rule_len: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(rule_len))?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                write!(f, "{:<width$}", cell, width = widths[i])?;
+                if i + 1 < cols {
+                    write!(f, "  ")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 4 significant digits for table cells.
+pub fn cell(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders a horizontal ASCII bar histogram of pre-binned counts.
+///
+/// `labels[i]` annotates `counts[i]`; bars are scaled to `max_width`
+/// characters.
+///
+/// # Panics
+///
+/// Panics if `labels` and `counts` differ in length.
+pub fn ascii_histogram(labels: &[String], counts: &[u64], max_width: usize) -> String {
+    assert_eq!(labels.len(), counts.len(), "labels/counts length mismatch");
+    let peak = counts.iter().copied().max().unwrap_or(0).max(1);
+    let label_width = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, &count) in labels.iter().zip(counts) {
+        let bar_len = (count as f64 / peak as f64 * max_width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_width$} |{} {count}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+/// Renders an ASCII scatter chart of `(x, y)` points with both axes in
+/// `[0, 1]` — sized for ROC curves.
+pub fn ascii_chart(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    let width = width.max(2);
+    let height = height.max(2);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let cx = ((x.clamp(0.0, 1.0)) * (width - 1) as f64).round() as usize;
+        let cy = ((1.0 - y.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+        grid[cy][cx] = '*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("1.0 ┤{}\n", grid[0].iter().collect::<String>()));
+    for row in grid.iter().take(height - 1).skip(1) {
+        out.push_str(&format!("    │{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!(
+        "0.0 └{}\n",
+        grid[height - 1].iter().collect::<String>()
+    ));
+    out.push_str(&format!("     0.0{}1.0\n", " ".repeat(width.saturating_sub(6))));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.add_row(vec!["a".into(), "1".into()]);
+        t.add_row(vec!["long-name".into(), "2".into()]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have the same "value" column offset.
+        let col = lines[0].find("value").unwrap();
+        assert!(lines[2].chars().nth(col).is_some());
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn table_pads_and_truncates_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+        t.add_row(vec!["x".into(), "y".into(), "extra".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.to_string();
+        assert!(!text.contains("extra"));
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let mut t = Table::new(vec!["h1", "h2"]);
+        t.add_row(vec!["a".into(), "b".into()]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| h1 | h2 |");
+        assert_eq!(lines[1], "|---|---|");
+        assert_eq!(lines[2], "| a | b |");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn cell_formats_by_magnitude() {
+        assert_eq!(cell(0.0), "0");
+        assert_eq!(cell(0.12345), "0.1235");
+        assert_eq!(cell(3.216159), "3.216");
+        assert_eq!(cell(12345.6), "12346");
+    }
+
+    #[test]
+    fn histogram_scales_to_peak() {
+        let labels = vec!["a".to_string(), "bb".to_string()];
+        let out = ascii_histogram(&labels, &[10, 5], 20);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let hashes = |s: &str| s.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(lines[0]), 20);
+        assert_eq!(hashes(lines[1]), 10);
+        assert!(lines[0].ends_with("10"));
+    }
+
+    #[test]
+    fn histogram_of_zeros_is_empty_bars() {
+        let labels = vec!["x".to_string()];
+        let out = ascii_histogram(&labels, &[0], 10);
+        assert!(!out.contains('#'));
+    }
+
+    #[test]
+    fn chart_plots_corners() {
+        let out = ascii_chart(&[(0.0, 0.0), (1.0, 1.0)], 20, 10);
+        let lines: Vec<&str> = out.lines().collect();
+        // Top line carries the (1,1) star at the right edge.
+        assert!(lines[0].trim_end().ends_with('*'));
+        // Bottom data line carries the (0,0) star at the left edge.
+        assert!(lines[lines.len() - 2].contains('*'));
+    }
+
+    #[test]
+    fn chart_clamps_out_of_range() {
+        // Should not panic.
+        let out = ascii_chart(&[(-1.0, 2.0)], 10, 5);
+        assert!(out.contains('*'));
+    }
+}

@@ -1,0 +1,291 @@
+//! ROC curves and AUC from raw anomaly scores.
+
+use serde::{Deserialize, Serialize};
+
+use crate::EvalError;
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Score threshold (a record is flagged when `score > threshold`).
+    pub threshold: f64,
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// True-positive rate (detection rate) at this threshold.
+    pub tpr: f64,
+}
+
+/// A ROC curve computed by sweeping the decision threshold over all
+/// distinct scores.
+///
+/// # Example
+///
+/// ```
+/// use evalkit::RocCurve;
+///
+/// # fn main() -> Result<(), evalkit::EvalError> {
+/// // Attacks score high, normals low — a perfect detector.
+/// let scores = [0.1, 0.2, 0.9, 0.8];
+/// let truth = [false, false, true, true];
+/// let roc = RocCurve::from_scores(&scores, &truth)?;
+/// assert!((roc.auc() - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+    auc: f64,
+}
+
+impl RocCurve {
+    /// Builds the curve from anomaly scores (higher = more anomalous) and
+    /// ground truth (`true` = attack).
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::LengthMismatch`] on unequal lengths;
+    /// [`EvalError::EmptyInput`] on empty input;
+    /// [`EvalError::InvalidParameter`] when either class is absent (the
+    /// curve is undefined without both positives and negatives) or a score
+    /// is NaN.
+    pub fn from_scores(scores: &[f64], truth: &[bool]) -> Result<Self, EvalError> {
+        if scores.len() != truth.len() {
+            return Err(EvalError::LengthMismatch {
+                left: scores.len(),
+                right: truth.len(),
+            });
+        }
+        if scores.is_empty() {
+            return Err(EvalError::EmptyInput);
+        }
+        if scores.iter().any(|s| s.is_nan()) {
+            return Err(EvalError::InvalidParameter {
+                name: "scores",
+                reason: "scores must not contain NaN",
+            });
+        }
+        let positives = truth.iter().filter(|&&t| t).count();
+        let negatives = truth.len() - positives;
+        if positives == 0 || negatives == 0 {
+            return Err(EvalError::InvalidParameter {
+                name: "truth",
+                reason: "ROC requires both positive and negative examples",
+            });
+        }
+
+        // Sort by descending score; sweep thresholds between distinct
+        // score values.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("no NaN"));
+
+        let mut points = Vec::with_capacity(scores.len() + 2);
+        // Threshold above the maximum: nothing flagged. `f64::MAX` rather
+        // than infinity so the curve serializes to JSON losslessly.
+        points.push(RocPoint {
+            threshold: f64::MAX,
+            fpr: 0.0,
+            tpr: 0.0,
+        });
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0usize;
+        while i < order.len() {
+            let s = scores[order[i]];
+            // Consume the whole tie group.
+            while i < order.len() && scores[order[i]] == s {
+                if truth[order[i]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                // Flagging rule is `score > threshold`, so the operating
+                // point after consuming group `s` corresponds to any
+                // threshold just below `s`.
+                threshold: s,
+                fpr: fp as f64 / negatives as f64,
+                tpr: tp as f64 / positives as f64,
+            });
+        }
+
+        // Trapezoidal AUC over the swept points.
+        let mut auc = 0.0;
+        for pair in points.windows(2) {
+            let dx = pair[1].fpr - pair[0].fpr;
+            auc += dx * 0.5 * (pair[0].tpr + pair[1].tpr);
+        }
+
+        Ok(RocCurve {
+            points,
+            auc: auc.clamp(0.0, 1.0),
+        })
+    }
+
+    /// The operating points, from `(0, 0)` to `(1, 1)`.
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Area under the curve.
+    pub fn auc(&self) -> f64 {
+        self.auc
+    }
+
+    /// The point with the highest Youden index (`tpr − fpr`) — a standard
+    /// operating-point choice.
+    pub fn best_youden(&self) -> RocPoint {
+        *self
+            .points
+            .iter()
+            .max_by(|a, b| {
+                (a.tpr - a.fpr)
+                    .partial_cmp(&(b.tpr - b.fpr))
+                    .expect("finite rates")
+            })
+            .expect("curve has at least two points")
+    }
+
+    /// The detection rate achievable at (at most) the given
+    /// false-positive rate.
+    pub fn tpr_at_fpr(&self, max_fpr: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.fpr <= max_fpr)
+            .map(|p| p.tpr)
+            .fold(0.0, f64::max)
+    }
+
+    /// Downsamples the curve to at most `n` evenly spaced points (always
+    /// keeping the endpoints) — for plotting.
+    pub fn sampled(&self, n: usize) -> Vec<RocPoint> {
+        if n >= self.points.len() || n < 2 {
+            return self.points.clone();
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let idx = i * (self.points.len() - 1) / (n - 1);
+            out.push(self.points[idx]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detector_has_auc_one() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let truth = [true, true, false, false];
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        assert!((roc.auc() - 1.0).abs() < 1e-12);
+        assert_eq!(roc.tpr_at_fpr(0.0), 1.0);
+    }
+
+    #[test]
+    fn inverted_detector_has_auc_zero() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let truth = [true, true, false, false];
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        assert!(roc.auc() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_give_auc_about_half() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let scores: Vec<f64> = (0..2000).map(|_| rng.gen()).collect();
+        let truth: Vec<bool> = (0..2000).map(|_| rng.gen::<bool>()).collect();
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        assert!((roc.auc() - 0.5).abs() < 0.05, "auc {}", roc.auc());
+    }
+
+    #[test]
+    fn curve_is_monotone_and_anchored() {
+        let scores = [0.3, 0.7, 0.4, 0.9, 0.1, 0.5];
+        let truth = [false, true, false, true, false, true];
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        let pts = roc.points();
+        assert_eq!(pts[0].fpr, 0.0);
+        assert_eq!(pts[0].tpr, 0.0);
+        assert_eq!(pts[pts.len() - 1].fpr, 1.0);
+        assert_eq!(pts[pts.len() - 1].tpr, 1.0);
+        for pair in pts.windows(2) {
+            assert!(pair[1].fpr >= pair[0].fpr);
+            assert!(pair[1].tpr >= pair[0].tpr);
+        }
+    }
+
+    #[test]
+    fn ties_are_handled_as_one_group() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let truth = [true, false, true, false];
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        // One jump from (0,0) to (1,1): AUC = 0.5.
+        assert!((roc.auc() - 0.5).abs() < 1e-12);
+        assert_eq!(roc.points().len(), 2);
+    }
+
+    #[test]
+    fn youden_picks_the_knee() {
+        let scores = [0.9, 0.8, 0.7, 0.3, 0.2, 0.1];
+        let truth = [true, true, true, false, false, false];
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        let best = roc.best_youden();
+        assert_eq!(best.tpr, 1.0);
+        assert_eq!(best.fpr, 0.0);
+    }
+
+    #[test]
+    fn tpr_at_fpr_budget() {
+        let scores = [0.9, 0.6, 0.5, 0.4];
+        let truth = [true, false, true, false];
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        // At FPR 0: only the 0.9 attack is caught.
+        assert!((roc.tpr_at_fpr(0.0) - 0.5).abs() < 1e-12);
+        // Allowing 50% FPR catches both.
+        assert!((roc.tpr_at_fpr(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            RocCurve::from_scores(&[0.1], &[true, false]).unwrap_err(),
+            EvalError::LengthMismatch { .. }
+        ));
+        assert_eq!(
+            RocCurve::from_scores(&[], &[]).unwrap_err(),
+            EvalError::EmptyInput
+        );
+        assert!(RocCurve::from_scores(&[0.5, 0.4], &[true, true]).is_err());
+        assert!(RocCurve::from_scores(&[f64::NAN, 0.4], &[true, false]).is_err());
+    }
+
+    #[test]
+    fn sampled_keeps_endpoints() {
+        let scores: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let truth: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        let sampled = roc.sampled(10);
+        assert_eq!(sampled.len(), 10);
+        assert_eq!(sampled[0].fpr, roc.points()[0].fpr);
+        let last = roc.points().len() - 1;
+        assert_eq!(sampled[9].tpr, roc.points()[last].tpr);
+        // Degenerate n returns the full curve.
+        assert_eq!(roc.sampled(1).len(), roc.points().len());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let scores = [0.9, 0.1, 0.5, 0.4];
+        let truth = [true, false, true, false];
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        let json = serde_json::to_string(&roc).unwrap();
+        let back: RocCurve = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, roc);
+    }
+}

@@ -1,0 +1,171 @@
+//! Parameter grids for sensitivity experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::EvalError;
+
+/// One cell of a 2-D parameter sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// First parameter value (e.g. τ₁).
+    pub a: f64,
+    /// Second parameter value (e.g. τ₂).
+    pub b: f64,
+    /// The measured outcome.
+    pub value: f64,
+}
+
+/// A filled 2-D sweep grid (e.g. accuracy over τ₁ × τ₂).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    a_values: Vec<f64>,
+    b_values: Vec<f64>,
+    cells: Vec<SweepCell>,
+}
+
+impl SweepGrid {
+    /// Runs `f` over the cartesian product `a_values × b_values`.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::EmptyInput`] when either axis is empty; errors from `f`
+    /// propagate.
+    pub fn run<E, F>(a_values: &[f64], b_values: &[f64], mut f: F) -> Result<Self, E>
+    where
+        E: From<EvalError>,
+        F: FnMut(f64, f64) -> Result<f64, E>,
+    {
+        if a_values.is_empty() || b_values.is_empty() {
+            return Err(EvalError::EmptyInput.into());
+        }
+        let mut cells = Vec::with_capacity(a_values.len() * b_values.len());
+        for &a in a_values {
+            for &b in b_values {
+                cells.push(SweepCell {
+                    a,
+                    b,
+                    value: f(a, b)?,
+                });
+            }
+        }
+        Ok(SweepGrid {
+            a_values: a_values.to_vec(),
+            b_values: b_values.to_vec(),
+            cells,
+        })
+    }
+
+    /// Values of the first axis.
+    pub fn a_values(&self) -> &[f64] {
+        &self.a_values
+    }
+
+    /// Values of the second axis.
+    pub fn b_values(&self) -> &[f64] {
+        &self.b_values
+    }
+
+    /// All cells in row-major (`a` outer, `b` inner) order.
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// The measured value at `(a_idx, b_idx)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn value_at(&self, a_idx: usize, b_idx: usize) -> f64 {
+        assert!(a_idx < self.a_values.len() && b_idx < self.b_values.len());
+        self.cells[a_idx * self.b_values.len() + b_idx].value
+    }
+
+    /// The cell with the maximum value.
+    pub fn best(&self) -> SweepCell {
+        *self
+            .cells
+            .iter()
+            .max_by(|x, y| x.value.partial_cmp(&y.value).expect("finite values"))
+            .expect("grids are non-empty by construction")
+    }
+
+    /// Renders the grid as an aligned text matrix (rows = `a`, columns =
+    /// `b`); the top-left header cell names both axes.
+    pub fn render(&self, a_name: &str, b_name: &str) -> String {
+        let mut headers: Vec<String> = vec![format!("{a_name}\\{b_name}")];
+        headers.extend(self.b_values.iter().map(|b| crate::report::cell(*b)));
+        let mut table = crate::report::Table::new(headers);
+        for (i, &a) in self.a_values.iter().enumerate() {
+            let mut row = vec![crate::report::cell(a)];
+            for j in 0..self.b_values.len() {
+                row.push(crate::report::cell(self.value_at(i, j)));
+            }
+            table.add_row(row);
+        }
+        table.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> SweepGrid {
+        SweepGrid::run::<EvalError, _>(&[1.0, 2.0], &[10.0, 20.0, 30.0], |a, b| Ok(a * b))
+            .unwrap()
+    }
+
+    #[test]
+    fn runs_cartesian_product() {
+        let g = grid();
+        assert_eq!(g.cells().len(), 6);
+        assert_eq!(g.value_at(0, 0), 10.0);
+        assert_eq!(g.value_at(1, 2), 60.0);
+        assert_eq!(g.a_values(), &[1.0, 2.0]);
+        assert_eq!(g.b_values(), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn best_finds_maximum() {
+        let g = grid();
+        let best = g.best();
+        assert_eq!(best.value, 60.0);
+        assert_eq!((best.a, best.b), (2.0, 30.0));
+    }
+
+    #[test]
+    fn empty_axes_error() {
+        let r = SweepGrid::run::<EvalError, _>(&[], &[1.0], |_, _| Ok(0.0));
+        assert_eq!(r.unwrap_err(), EvalError::EmptyInput);
+        let r = SweepGrid::run::<EvalError, _>(&[1.0], &[], |_, _| Ok(0.0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn errors_from_the_closure_propagate() {
+        let r = SweepGrid::run::<EvalError, _>(&[1.0], &[1.0], |_, _| {
+            Err(EvalError::InvalidParameter {
+                name: "x",
+                reason: "boom",
+            })
+        });
+        assert!(matches!(r, Err(EvalError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn render_contains_all_values() {
+        let g = grid();
+        let text = g.render("tau1", "tau2");
+        assert!(text.contains("tau1\\tau2"));
+        assert!(text.contains("60"));
+        assert!(text.contains("10"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = grid();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: SweepGrid = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

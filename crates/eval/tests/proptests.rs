@@ -1,0 +1,118 @@
+//! Property-based tests for the evaluation kit.
+
+use evalkit::binary::BinaryMetrics;
+use evalkit::confusion::ConfusionMatrix;
+use evalkit::roc::RocCurve;
+use proptest::prelude::*;
+
+proptest! {
+    /// Binary metrics are consistent with their defining counts for any
+    /// verdict stream.
+    #[test]
+    fn binary_metrics_are_consistent(pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 1..200)) {
+        let m = BinaryMetrics::from_pairs(pairs.iter().copied());
+        prop_assert_eq!(m.total() as usize, pairs.len());
+        let attacks = pairs.iter().filter(|(t, _)| *t).count() as u64;
+        let normals = m.total() - attacks;
+        prop_assert_eq!(m.true_positives + m.false_negatives, attacks);
+        prop_assert_eq!(m.false_positives + m.true_negatives, normals);
+        for v in [m.detection_rate(), m.false_positive_rate(), m.precision(), m.accuracy(), m.f1()] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        prop_assert!((-1.0..=1.0).contains(&m.mcc()));
+    }
+
+    /// Merging two metric sets equals computing over the concatenation.
+    #[test]
+    fn binary_merge_is_concatenation(
+        a in prop::collection::vec((any::<bool>(), any::<bool>()), 0..100),
+        b in prop::collection::vec((any::<bool>(), any::<bool>()), 0..100)
+    ) {
+        let mut left = BinaryMetrics::from_pairs(a.iter().copied());
+        left.merge(&BinaryMetrics::from_pairs(b.iter().copied()));
+        let joint = BinaryMetrics::from_pairs(a.iter().chain(b.iter()).copied());
+        prop_assert_eq!(left, joint);
+    }
+
+    /// ROC curves are monotone, anchored at (0,0)/(1,1), with AUC in
+    /// [0, 1]; and flipping all labels mirrors the AUC around 0.5.
+    #[test]
+    fn roc_is_well_formed(
+        scores in prop::collection::vec(0.0f64..1.0, 4..200),
+        flip_threshold in 0.2f64..0.8
+    ) {
+        // Build truth that has both classes by construction.
+        let mut truth: Vec<bool> = scores.iter().map(|&s| s > flip_threshold).collect();
+        if truth.iter().all(|&t| t) { truth[0] = false; }
+        if truth.iter().all(|&t| !t) { truth[0] = true; }
+
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        prop_assert!((0.0..=1.0).contains(&roc.auc()));
+        let pts = roc.points();
+        prop_assert_eq!((pts[0].fpr, pts[0].tpr), (0.0, 0.0));
+        let last = pts[pts.len() - 1];
+        prop_assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+        for w in pts.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            prop_assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+
+        // Inverting truth mirrors the AUC.
+        let inverted: Vec<bool> = truth.iter().map(|t| !t).collect();
+        let roc_inv = RocCurve::from_scores(&scores, &inverted).unwrap();
+        prop_assert!((roc.auc() + roc_inv.auc() - 1.0).abs() < 1e-9);
+    }
+
+    /// tpr_at_fpr is monotone in the FPR budget.
+    #[test]
+    fn tpr_at_fpr_is_monotone(
+        scores in prop::collection::vec(0.0f64..1.0, 4..100),
+        b1 in 0.0f64..1.0, b2 in 0.0f64..1.0
+    ) {
+        let mut truth: Vec<bool> = scores.iter().enumerate().map(|(i, _)| i % 2 == 0).collect();
+        truth[0] = true;
+        truth[1] = false;
+        let roc = RocCurve::from_scores(&scores, &truth).unwrap();
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(roc.tpr_at_fpr(lo) <= roc.tpr_at_fpr(hi) + 1e-12);
+    }
+
+    /// Confusion-matrix marginals always reconcile, and accuracy equals
+    /// the weighted diagonal.
+    #[test]
+    fn confusion_marginals_reconcile(
+        observations in prop::collection::vec((0usize..4, 0usize..4), 1..300)
+    ) {
+        let names: Vec<String> = (0..4).map(|i| format!("c{i}")).collect();
+        let mut cm = ConfusionMatrix::new(names);
+        for &(t, p) in &observations {
+            cm.record(t, p).unwrap();
+        }
+        prop_assert_eq!(cm.total() as usize, observations.len());
+        let row_sum: u64 = (0..4).map(|c| cm.truth_total(c)).sum();
+        let col_sum: u64 = (0..4).map(|c| cm.predicted_total(c)).sum();
+        prop_assert_eq!(row_sum, cm.total());
+        prop_assert_eq!(col_sum, cm.total());
+        let diag: u64 = (0..4).map(|i| cm.count(i, i)).sum();
+        prop_assert!((cm.accuracy() - diag as f64 / cm.total() as f64).abs() < 1e-12);
+        for c in 0..4 {
+            prop_assert!((0.0..=1.0).contains(&cm.recall(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.precision(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.f1(c)));
+        }
+        prop_assert!((0.0..=1.0).contains(&cm.macro_recall()));
+    }
+
+    /// A perfect classifier has accuracy, macro recall and macro F1 of 1.
+    #[test]
+    fn perfect_classifier_metrics(truths in prop::collection::vec(0usize..3, 1..100)) {
+        let names: Vec<String> = (0..3).map(|i| format!("c{i}")).collect();
+        let mut cm = ConfusionMatrix::new(names);
+        for &t in &truths {
+            cm.record(t, t).unwrap();
+        }
+        prop_assert_eq!(cm.accuracy(), 1.0);
+        prop_assert_eq!(cm.macro_recall(), 1.0);
+        prop_assert_eq!(cm.macro_f1(), 1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! One-hot encoding of the categorical connection-record fields.
+//!
+//! The three KDD categorical vocabularies are closed enums
+//! ([`Protocol`], [`Service`], [`Flag`]), so the encoders are stateless and
+//! infallible — there is no "unknown category at transform time" failure
+//! mode to handle.
+
+use traffic::{Flag, Protocol, Service};
+
+/// Width of the one-hot protocol block.
+pub const PROTOCOL_DIM: usize = Protocol::ALL.len();
+/// Width of the one-hot service block.
+pub const SERVICE_DIM: usize = Service::ALL.len();
+/// Width of the one-hot flag block.
+pub const FLAG_DIM: usize = Flag::ALL.len();
+
+/// Index of a protocol within [`Protocol::ALL`].
+pub fn protocol_index(p: Protocol) -> usize {
+    Protocol::ALL
+        .iter()
+        .position(|&x| x == p)
+        .expect("Protocol::ALL is exhaustive")
+}
+
+/// Index of a service within [`Service::ALL`].
+pub fn service_index(s: Service) -> usize {
+    Service::ALL
+        .iter()
+        .position(|&x| x == s)
+        .expect("Service::ALL is exhaustive")
+}
+
+/// Index of a flag within [`Flag::ALL`].
+pub fn flag_index(f: Flag) -> usize {
+    Flag::ALL
+        .iter()
+        .position(|&x| x == f)
+        .expect("Flag::ALL is exhaustive")
+}
+
+/// Appends a one-hot block of width `dim` with `index` set to `scale`.
+///
+/// A `scale` below 1.0 is used to damp the categorical block relative to
+/// the continuous features (a common SOM trick: with 50 one-hot columns and
+/// 38 continuous ones, unscaled indicators would dominate the Euclidean
+/// metric).
+pub fn push_one_hot(out: &mut Vec<f64>, index: usize, dim: usize, scale: f64) {
+    debug_assert!(index < dim, "one-hot index out of range");
+    let start = out.len();
+    out.resize(start + dim, 0.0);
+    out[start + index] = scale;
+}
+
+/// Appends the full categorical encoding (protocol ⊕ service ⊕ flag) of a
+/// record's symbolic fields.
+pub fn push_categoricals(
+    out: &mut Vec<f64>,
+    protocol: Protocol,
+    service: Service,
+    flag: Flag,
+    scale: f64,
+) {
+    push_one_hot(out, protocol_index(protocol), PROTOCOL_DIM, scale);
+    push_one_hot(out, service_index(service), SERVICE_DIM, scale);
+    push_one_hot(out, flag_index(flag), FLAG_DIM, scale);
+}
+
+/// Total width of the categorical block.
+pub const CATEGORICAL_DIM: usize = PROTOCOL_DIM + SERVICE_DIM + FLAG_DIM;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; PROTOCOL_DIM];
+        for p in Protocol::ALL {
+            let i = protocol_index(p);
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+
+        let mut seen = [false; SERVICE_DIM];
+        for s in Service::ALL {
+            let i = service_index(s);
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+
+        let mut seen = [false; FLAG_DIM];
+        for f in Flag::ALL {
+            let i = flag_index(f);
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn one_hot_sets_exactly_one_position() {
+        let mut out = vec![9.0]; // pre-existing content is preserved
+        push_one_hot(&mut out, 2, 5, 1.0);
+        assert_eq!(out, vec![9.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn one_hot_respects_scale() {
+        let mut out = Vec::new();
+        push_one_hot(&mut out, 0, 3, 0.25);
+        assert_eq!(out, vec![0.25, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn categorical_block_width() {
+        let mut out = Vec::new();
+        push_categoricals(&mut out, Protocol::Icmp, Service::EcrI, Flag::Sf, 1.0);
+        assert_eq!(out.len(), CATEGORICAL_DIM);
+        assert_eq!(out.iter().filter(|&&x| x != 0.0).count(), 3);
+        // Protocol block: icmp is index 2.
+        assert_eq!(out[2], 1.0);
+    }
+
+    #[test]
+    fn distinct_categories_produce_distinct_encodings() {
+        let mut a = Vec::new();
+        push_categoricals(&mut a, Protocol::Tcp, Service::Http, Flag::Sf, 1.0);
+        let mut b = Vec::new();
+        push_categoricals(&mut b, Protocol::Tcp, Service::Http, Flag::S0, 1.0);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,265 @@
+//! Windowed traffic-feature entropy series.
+//!
+//! Scans disperse a feature distribution (destination ports during a port
+//! sweep) while floods concentrate one (destination addresses during DDoS).
+//! Normalized Shannon entropy of the per-window histograms turns that into
+//! four bounded time-series features. The streaming detector consumes these
+//! alongside the per-record GHSOM score.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use traffic::flows::FlowEvent;
+
+use crate::FeaturizeError;
+
+/// Entropy feature vector of one time window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntropyWindow {
+    /// Start time of the window (seconds).
+    pub start: f64,
+    /// Number of flows observed in the window.
+    pub flow_count: usize,
+    /// Normalized entropy of source addresses.
+    pub src_ip_entropy: f64,
+    /// Normalized entropy of destination addresses.
+    pub dst_ip_entropy: f64,
+    /// Normalized entropy of source ports.
+    pub src_port_entropy: f64,
+    /// Normalized entropy of destination ports.
+    pub dst_port_entropy: f64,
+    /// Fraction of flows in the window that are labelled attacks
+    /// (ground truth, for evaluation only).
+    pub attack_fraction: f64,
+}
+
+impl EntropyWindow {
+    /// The four entropy values as a feature vector.
+    pub fn features(&self) -> [f64; 4] {
+        [
+            self.src_ip_entropy,
+            self.dst_ip_entropy,
+            self.src_port_entropy,
+            self.dst_port_entropy,
+        ]
+    }
+}
+
+/// Normalized entropy of the value multiset in `counts`.
+fn normalized_entropy<K>(counts: &HashMap<K, u64>) -> f64 {
+    let values: Vec<u64> = counts.values().copied().collect();
+    mathkit::entropy::normalized(&values)
+}
+
+/// Slices a time-sorted flow trace into fixed windows of `window_secs` and
+/// computes the entropy features of each.
+///
+/// Windows with no flows are skipped (no distribution to measure).
+///
+/// # Errors
+///
+/// [`FeaturizeError::InvalidParameter`] when `window_secs` is not finite
+/// and positive; [`FeaturizeError::EmptyInput`] for an empty trace.
+pub fn entropy_series(
+    flows: &[FlowEvent],
+    window_secs: f64,
+) -> Result<Vec<EntropyWindow>, FeaturizeError> {
+    if !(window_secs.is_finite() && window_secs > 0.0) {
+        return Err(FeaturizeError::InvalidParameter {
+            name: "window_secs",
+            reason: "must be finite and positive",
+        });
+    }
+    if flows.is_empty() {
+        return Err(FeaturizeError::EmptyInput);
+    }
+    let mut out = Vec::new();
+    let t0 = flows[0].time;
+    let mut window_start = t0;
+    let mut src_ip: HashMap<u32, u64> = HashMap::new();
+    let mut dst_ip: HashMap<u32, u64> = HashMap::new();
+    let mut src_port: HashMap<u16, u64> = HashMap::new();
+    let mut dst_port: HashMap<u16, u64> = HashMap::new();
+    let mut count = 0usize;
+    let mut attacks = 0usize;
+
+    let flush = |start: f64,
+                     count: usize,
+                     attacks: usize,
+                     src_ip: &mut HashMap<u32, u64>,
+                     dst_ip: &mut HashMap<u32, u64>,
+                     src_port: &mut HashMap<u16, u64>,
+                     dst_port: &mut HashMap<u16, u64>,
+                     out: &mut Vec<EntropyWindow>| {
+        if count > 0 {
+            out.push(EntropyWindow {
+                start,
+                flow_count: count,
+                src_ip_entropy: normalized_entropy(src_ip),
+                dst_ip_entropy: normalized_entropy(dst_ip),
+                src_port_entropy: normalized_entropy(src_port),
+                dst_port_entropy: normalized_entropy(dst_port),
+                attack_fraction: attacks as f64 / count as f64,
+            });
+        }
+        src_ip.clear();
+        dst_ip.clear();
+        src_port.clear();
+        dst_port.clear();
+    };
+
+    for flow in flows {
+        while flow.time >= window_start + window_secs {
+            flush(
+                window_start,
+                count,
+                attacks,
+                &mut src_ip,
+                &mut dst_ip,
+                &mut src_port,
+                &mut dst_port,
+                &mut out,
+            );
+            count = 0;
+            attacks = 0;
+            window_start += window_secs;
+        }
+        *src_ip.entry(flow.src_ip).or_insert(0) += 1;
+        *dst_ip.entry(flow.dst_ip).or_insert(0) += 1;
+        *src_port.entry(flow.src_port).or_insert(0) += 1;
+        *dst_port.entry(flow.dst_port).or_insert(0) += 1;
+        count += 1;
+        if flow.label.is_attack() {
+            attacks += 1;
+        }
+    }
+    flush(
+        window_start,
+        count,
+        attacks,
+        &mut src_ip,
+        &mut dst_ip,
+        &mut src_port,
+        &mut dst_port,
+        &mut out,
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::flows::{AttackEpisode, EpisodeKind, FlowSimConfig, FlowSimulator};
+    use traffic::record::{Flag, Protocol, Service};
+    use traffic::AttackType;
+
+    fn flow(time: f64, src_ip: u32, dst_ip: u32, dst_port: u16) -> FlowEvent {
+        FlowEvent {
+            time,
+            src_ip,
+            dst_ip,
+            src_port: 1000 + (src_ip % 1000) as u16,
+            dst_port,
+            protocol: Protocol::Tcp,
+            service: Service::Http,
+            flag: Flag::Sf,
+            duration: 0.0,
+            src_bytes: 10.0,
+            dst_bytes: 10.0,
+            label: AttackType::Normal,
+        }
+    }
+
+    #[test]
+    fn windows_are_sliced_correctly() {
+        let flows = vec![flow(0.0, 1, 2, 80), flow(0.5, 1, 2, 80), flow(2.5, 1, 2, 80)];
+        let series = entropy_series(&flows, 1.0).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].flow_count, 2);
+        assert_eq!(series[1].flow_count, 1);
+        assert_eq!(series[0].start, 0.0);
+        assert_eq!(series[1].start, 2.0);
+    }
+
+    #[test]
+    fn concentrated_traffic_has_low_entropy() {
+        let flows: Vec<FlowEvent> = (0..50).map(|i| flow(i as f64 * 0.01, 1, 2, 80)).collect();
+        let series = entropy_series(&flows, 10.0).unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series[0].src_ip_entropy, 0.0);
+        assert_eq!(series[0].dst_port_entropy, 0.0);
+    }
+
+    #[test]
+    fn dispersed_ports_have_high_entropy() {
+        // Port scan shape: one source, one destination, all distinct ports.
+        let flows: Vec<FlowEvent> = (0..64)
+            .map(|i| flow(i as f64 * 0.01, 1, 2, 1000 + i as u16))
+            .collect();
+        let series = entropy_series(&flows, 10.0).unwrap();
+        assert!(series[0].dst_port_entropy > 0.99);
+        assert_eq!(series[0].dst_ip_entropy, 0.0);
+    }
+
+    #[test]
+    fn attack_fraction_is_ground_truth() {
+        let mut flows: Vec<FlowEvent> = (0..10).map(|i| flow(i as f64 * 0.1, i, 2, 80)).collect();
+        for f in flows.iter_mut().take(5) {
+            f.label = AttackType::Neptune;
+        }
+        let series = entropy_series(&flows, 10.0).unwrap();
+        assert!((series[0].attack_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let flows = vec![flow(0.0, 1, 2, 80)];
+        assert!(entropy_series(&flows, 0.0).is_err());
+        assert!(entropy_series(&flows, -1.0).is_err());
+        assert!(entropy_series(&flows, f64::NAN).is_err());
+        assert!(entropy_series(&[], 1.0).is_err());
+    }
+
+    #[test]
+    fn syn_flood_shifts_source_entropy_up_and_dst_down() {
+        let mut sim = FlowSimulator::new(
+            FlowSimConfig {
+                duration_secs: 30.0,
+                background_rate: 50.0,
+                server_count: 16,
+                client_count: 64,
+                episodes: vec![AttackEpisode {
+                    kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+                    start: 15.0,
+                    duration: 15.0,
+                    rate: 600.0,
+                }],
+            },
+            8,
+        );
+        let flows = sim.generate();
+        let series = entropy_series(&flows, 5.0).unwrap();
+        let quiet: Vec<&EntropyWindow> = series.iter().filter(|w| w.start < 15.0).collect();
+        let attack: Vec<&EntropyWindow> = series.iter().filter(|w| w.start >= 15.0).collect();
+        let mean = |ws: &[&EntropyWindow], f: fn(&EntropyWindow) -> f64| {
+            ws.iter().map(|w| f(w)).sum::<f64>() / ws.len() as f64
+        };
+        // Spoofed sources disperse src_ip entropy; the single victim
+        // concentrates dst_ip entropy.
+        assert!(
+            mean(&attack, |w| w.src_ip_entropy) > mean(&quiet, |w| w.src_ip_entropy),
+            "flood should raise source-address entropy"
+        );
+        assert!(
+            mean(&attack, |w| w.dst_ip_entropy) < mean(&quiet, |w| w.dst_ip_entropy),
+            "flood should concentrate destination-address entropy"
+        );
+    }
+
+    #[test]
+    fn features_accessor() {
+        let flows = vec![flow(0.0, 1, 2, 80)];
+        let series = entropy_series(&flows, 1.0).unwrap();
+        assert_eq!(series[0].features(), [0.0, 0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for feature engineering.
+
+use std::fmt;
+
+/// Errors produced by encoders, scalers and pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeaturizeError {
+    /// `transform` was called with an input of the wrong width.
+    DimensionMismatch {
+        /// Width the fitted transform expects.
+        expected: usize,
+        /// Width it received.
+        found: usize,
+    },
+    /// `fit` was called on an empty dataset.
+    EmptyInput,
+    /// The input contained NaN or infinite values.
+    NonFinite,
+    /// A configuration parameter was out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Violated constraint.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for FeaturizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeaturizeError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            FeaturizeError::EmptyInput => write!(f, "fit requires a non-empty dataset"),
+            FeaturizeError::NonFinite => write!(f, "input contains NaN or infinite values"),
+            FeaturizeError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeaturizeError {}
+
+impl From<mathkit::MathError> for FeaturizeError {
+    fn from(err: mathkit::MathError) -> Self {
+        match err {
+            mathkit::MathError::DimensionMismatch { expected, found } => {
+                FeaturizeError::DimensionMismatch { expected, found }
+            }
+            mathkit::MathError::EmptyInput => FeaturizeError::EmptyInput,
+            mathkit::MathError::NonFinite => FeaturizeError::NonFinite,
+            mathkit::MathError::InvalidParameter { name, reason } => {
+                FeaturizeError::InvalidParameter { name, reason }
+            }
+            mathkit::MathError::NoConvergence { .. } => FeaturizeError::InvalidParameter {
+                name: "iterations",
+                reason: "underlying numerical routine failed to converge",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            FeaturizeError::DimensionMismatch {
+                expected: 88,
+                found: 41
+            }
+            .to_string(),
+            "dimension mismatch: expected 88, found 41"
+        );
+        assert_eq!(
+            FeaturizeError::EmptyInput.to_string(),
+            "fit requires a non-empty dataset"
+        );
+    }
+
+    #[test]
+    fn converts_math_errors() {
+        let e: FeaturizeError = mathkit::MathError::EmptyInput.into();
+        assert_eq!(e, FeaturizeError::EmptyInput);
+        let e: FeaturizeError = mathkit::MathError::DimensionMismatch {
+            expected: 2,
+            found: 3,
+        }
+        .into();
+        assert!(matches!(e, FeaturizeError::DimensionMismatch { .. }));
+        let e: FeaturizeError = mathkit::MathError::NoConvergence { iterations: 5 }.into();
+        assert!(matches!(e, FeaturizeError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<FeaturizeError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Feature engineering for the GHSOM intrusion-detection pipeline.
+//!
+//! A SOM consumes fixed-length real vectors; KDD connection records mix
+//! continuous counts, bounded rates and three symbolic fields. This crate
+//! provides the bridge:
+//!
+//! * [`schema`] — feature metadata (names and kinds) for the assembled
+//!   vector, so downstream tools can explain map dimensions.
+//! * [`encode`] — one-hot encoding of the categorical vocabularies
+//!   (protocol, service, flag).
+//! * [`scale`] — fitted column scalers: min–max, z-score, and
+//!   `log1p`+min–max for the heavy-tailed byte/count columns (the standard
+//!   treatment in SOM-based IDS work).
+//! * [`pipeline`] — [`KddPipeline`], the end-to-end `ConnectionRecord ->
+//!   Vec<f64>` transform with fit/transform semantics and serde support.
+//! * [`select`] — variance-threshold and top-k feature selection.
+//! * [`entropywin`] — windowed traffic-feature entropy series over raw
+//!   flows (dispersal/concentration indicators).
+//!
+//! # Example
+//!
+//! ```
+//! use featurize::pipeline::{KddPipeline, PipelineConfig};
+//! use traffic::synth::{MixSpec, TrafficGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), 1)?;
+//! let train = gen.generate(500);
+//! let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train)?;
+//! let matrix = pipeline.transform_dataset(&train)?;
+//! assert_eq!(matrix.rows(), 500);
+//! assert_eq!(matrix.cols(), pipeline.output_dim());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod entropywin;
+pub mod error;
+pub mod pipeline;
+pub mod scale;
+pub mod schema;
+pub mod select;
+
+pub use error::FeaturizeError;
+pub use pipeline::{KddPipeline, PipelineConfig};
+pub use scale::ScalingKind;
+pub use schema::{FeatureKind, FeatureSchema};

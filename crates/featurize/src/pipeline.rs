@@ -1,0 +1,329 @@
+//! The end-to-end record → vector transform.
+//!
+//! [`KddPipeline`] assembles, for each [`ConnectionRecord`]:
+//!
+//! 1. the 38 continuous features, scaled by a fitted [`ColumnScaler`], and
+//! 2. (optionally) the one-hot categorical block (protocol ⊕ service ⊕
+//!    flag), damped by `categorical_scale`.
+//!
+//! The pipeline is fitted once on training data and then applied to any
+//! record; a fitted pipeline serializes with serde so a trained model and
+//! its exact input transform can be shipped together.
+
+use serde::{Deserialize, Serialize};
+use traffic::record::CONTINUOUS_FEATURE_NAMES;
+use traffic::{ConnectionRecord, Dataset};
+
+use crate::encode;
+use crate::scale::{ColumnScaler, ScalingKind};
+use crate::schema::{FeatureKind, FeatureSchema};
+use crate::FeaturizeError;
+
+/// Configuration of a [`KddPipeline`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Scaling strategy for the continuous block.
+    pub scaling: ScalingKind,
+    /// Whether to append the one-hot categorical block.
+    pub include_categoricals: bool,
+    /// Value used for the active one-hot position (damps the categorical
+    /// block relative to the `[0, 1]`-scaled continuous features).
+    pub categorical_scale: f64,
+}
+
+impl Default for PipelineConfig {
+    /// `log1p`+min–max scaling, categoricals included at half weight —
+    /// the configuration used by the headline experiments.
+    fn default() -> Self {
+        PipelineConfig {
+            scaling: ScalingKind::Log1pMinMax,
+            include_categoricals: true,
+            categorical_scale: 0.5,
+        }
+    }
+}
+
+/// A fitted record → vector transform.
+///
+/// # Example
+///
+/// ```
+/// use featurize::{KddPipeline, PipelineConfig};
+/// use traffic::synth::{MixSpec, TrafficGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), 3)?;
+/// let train = gen.generate(200);
+/// let pipe = KddPipeline::fit(&PipelineConfig::default(), &train)?;
+/// let v = pipe.transform(&train.records()[0])?;
+/// assert_eq!(v.len(), pipe.output_dim());
+/// assert!(v.iter().all(|x| x.is_finite()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KddPipeline {
+    config: PipelineConfig,
+    scaler: ColumnScaler,
+    schema: FeatureSchema,
+}
+
+impl KddPipeline {
+    /// Fits the pipeline to a training dataset.
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::EmptyInput`] on an empty dataset;
+    /// [`FeaturizeError::InvalidParameter`] when `categorical_scale` is not
+    /// finite and positive; scaler fitting errors propagate.
+    pub fn fit(config: &PipelineConfig, train: &Dataset) -> Result<Self, FeaturizeError> {
+        if train.is_empty() {
+            return Err(FeaturizeError::EmptyInput);
+        }
+        if !(config.categorical_scale.is_finite() && config.categorical_scale > 0.0) {
+            return Err(FeaturizeError::InvalidParameter {
+                name: "categorical_scale",
+                reason: "must be finite and positive",
+            });
+        }
+        let rows: Vec<Vec<f64>> = train.iter().map(|r| r.continuous_features()).collect();
+        let scaler = ColumnScaler::fit(config.scaling, rows.iter().map(|r| r.as_slice()))?;
+
+        let mut schema = FeatureSchema::new();
+        for name in CONTINUOUS_FEATURE_NAMES {
+            // Rates and binaries are already in [0,1]; after scaling all
+            // continuous columns share that range, so Continuous describes
+            // the post-transform kind adequately; keep the raw kind for
+            // explanation purposes.
+            let kind = if name.ends_with("_rate") {
+                FeatureKind::Rate
+            } else if matches!(
+                name,
+                "land" | "logged_in" | "root_shell" | "is_host_login" | "is_guest_login"
+            ) {
+                FeatureKind::Binary
+            } else {
+                FeatureKind::Continuous
+            };
+            schema.push(name, kind);
+        }
+        if config.include_categoricals {
+            for p in traffic::Protocol::ALL {
+                schema.push(format!("protocol={p}"), FeatureKind::OneHot);
+            }
+            for s in traffic::Service::ALL {
+                schema.push(format!("service={s}"), FeatureKind::OneHot);
+            }
+            for f in traffic::Flag::ALL {
+                schema.push(format!("flag={f}"), FeatureKind::OneHot);
+            }
+        }
+
+        Ok(KddPipeline {
+            config: config.clone(),
+            scaler,
+            schema,
+        })
+    }
+
+    /// Width of the output vectors.
+    pub fn output_dim(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The output feature schema (names + kinds per column).
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+
+    /// The configuration the pipeline was fitted with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Transforms one record into a feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaler width errors (cannot occur for records built by
+    /// this workspace, but the CSV path is a trust boundary).
+    pub fn transform(&self, rec: &ConnectionRecord) -> Result<Vec<f64>, FeaturizeError> {
+        let mut out = rec.continuous_features();
+        self.scaler.transform_in_place(&mut out)?;
+        if self.config.include_categoricals {
+            encode::push_categoricals(
+                &mut out,
+                rec.protocol,
+                rec.service,
+                rec.flag,
+                self.config.categorical_scale,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Transforms a whole dataset into a row-per-record matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::EmptyInput`] for an empty dataset; per-record
+    /// errors propagate.
+    pub fn transform_dataset(&self, ds: &Dataset) -> Result<mathkit::Matrix, FeaturizeError> {
+        if ds.is_empty() {
+            return Err(FeaturizeError::EmptyInput);
+        }
+        let mut rows = Vec::with_capacity(ds.len());
+        for rec in ds.iter() {
+            rows.push(self.transform(rec)?);
+        }
+        Ok(mathkit::Matrix::from_rows(rows)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traffic::synth::{MixSpec, TrafficGenerator};
+    use traffic::AttackType;
+
+    fn train_data(n: usize) -> Dataset {
+        TrafficGenerator::new(MixSpec::kdd_train(), 42)
+            .unwrap()
+            .generate(n)
+    }
+
+    #[test]
+    fn default_pipeline_dims() {
+        let train = train_data(300);
+        let pipe = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+        assert_eq!(
+            pipe.output_dim(),
+            ConnectionRecord::CONTINUOUS_COUNT + encode::CATEGORICAL_DIM
+        );
+        assert_eq!(pipe.schema().len(), pipe.output_dim());
+    }
+
+    #[test]
+    fn continuous_only_pipeline() {
+        let train = train_data(300);
+        let config = PipelineConfig {
+            include_categoricals: false,
+            ..Default::default()
+        };
+        let pipe = KddPipeline::fit(&config, &train).unwrap();
+        assert_eq!(pipe.output_dim(), ConnectionRecord::CONTINUOUS_COUNT);
+    }
+
+    #[test]
+    fn outputs_are_bounded_for_minmax_family() {
+        let train = train_data(500);
+        for scaling in [ScalingKind::MinMax, ScalingKind::Log1pMinMax] {
+            let config = PipelineConfig {
+                scaling,
+                ..Default::default()
+            };
+            let pipe = KddPipeline::fit(&config, &train).unwrap();
+            for rec in train.iter() {
+                let v = pipe.transform(rec).unwrap();
+                for &x in &v {
+                    assert!((0.0..=1.0).contains(&x), "{scaling} produced {x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unseen_test_data_stays_bounded() {
+        let train = train_data(300);
+        let pipe = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+        // Test mix contains unseen attack types with extreme values.
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_test(), 7).unwrap();
+        let test = gen.generate(300);
+        for rec in test.iter() {
+            let v = pipe.transform(rec).unwrap();
+            assert!(v.iter().all(|x| (0.0..=1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn transform_dataset_shape() {
+        let train = train_data(100);
+        let pipe = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+        let m = pipe.transform_dataset(&train).unwrap();
+        assert_eq!(m.shape(), (100, pipe.output_dim()));
+    }
+
+    #[test]
+    fn attacks_are_displaced_from_normal_in_feature_space() {
+        let train = train_data(2_000);
+        let pipe = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+        let normal_mean = mathkit::vector::mean_vector(
+            train
+                .iter()
+                .filter(|r| r.label == AttackType::Normal)
+                .map(|r| pipe.transform(r).unwrap())
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|v| v.as_slice()),
+        )
+        .unwrap();
+        let smurf_mean = mathkit::vector::mean_vector(
+            train
+                .iter()
+                .filter(|r| r.label == AttackType::Smurf)
+                .map(|r| pipe.transform(r).unwrap())
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|v| v.as_slice()),
+        )
+        .unwrap();
+        let d = mathkit::distance::euclidean(&normal_mean, &smurf_mean);
+        assert!(d > 1.0, "smurf centroid only {d} from normal centroid");
+    }
+
+    #[test]
+    fn fit_rejects_bad_inputs() {
+        assert_eq!(
+            KddPipeline::fit(&PipelineConfig::default(), &Dataset::new()).unwrap_err(),
+            FeaturizeError::EmptyInput
+        );
+        let config = PipelineConfig {
+            categorical_scale: 0.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            KddPipeline::fit(&config, &train_data(10)).unwrap_err(),
+            FeaturizeError::InvalidParameter { .. }
+        ));
+        assert!(KddPipeline::fit(
+            &PipelineConfig {
+                categorical_scale: f64::NAN,
+                ..Default::default()
+            },
+            &train_data(10)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn schema_names_are_meaningful() {
+        let pipe = KddPipeline::fit(&PipelineConfig::default(), &train_data(50)).unwrap();
+        let schema = pipe.schema();
+        assert_eq!(schema.name(0), "duration");
+        assert!(schema.index_of("service=http").is_some());
+        assert!(schema.index_of("flag=S0").is_some());
+        assert_eq!(schema.kind(schema.index_of("serror_rate").unwrap()), FeatureKind::Rate);
+        assert_eq!(schema.kind(schema.index_of("land").unwrap()), FeatureKind::Binary);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_transform() {
+        let train = train_data(100);
+        let pipe = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+        let json = serde_json::to_string(&pipe).unwrap();
+        let back: KddPipeline = serde_json::from_str(&json).unwrap();
+        for rec in train.iter().take(10) {
+            assert_eq!(pipe.transform(rec).unwrap(), back.transform(rec).unwrap());
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Fitted column scalers.
+//!
+//! All scalers follow fit/transform semantics: statistics are estimated on
+//! the training columns once, then applied to any number of vectors
+//! (including unseen test data, whose values may fall outside the training
+//! range — min–max outputs are clamped to `[0, 1]` so the SOM input space
+//! stays bounded, which is what the GHSOM training dynamics assume).
+
+use serde::{Deserialize, Serialize};
+
+use crate::FeaturizeError;
+
+/// The scaling strategy for the continuous feature block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScalingKind {
+    /// `(x − min) / (max − min)`, clamped to `[0, 1]`.
+    MinMax,
+    /// `(x − μ) / σ` (constant columns map to 0).
+    ZScore,
+    /// `log1p(x)` then min–max — the default: KDD byte/count columns span
+    /// seven orders of magnitude, and SOMs need comparable feature ranges.
+    #[default]
+    Log1pMinMax,
+}
+
+impl std::fmt::Display for ScalingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ScalingKind::MinMax => "min-max",
+            ScalingKind::ZScore => "z-score",
+            ScalingKind::Log1pMinMax => "log1p+min-max",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A scaler fitted to a set of columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnScaler {
+    kind: ScalingKind,
+    /// Per-column `(offset, scale)` such that `y = (f(x) − offset) · scale`,
+    /// where `f` is identity or `log1p` depending on `kind`.
+    params: Vec<(f64, f64)>,
+}
+
+impl ColumnScaler {
+    /// Fits the scaler to `rows` (each row one sample, columns aligned).
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::EmptyInput`] when `rows` is empty or rows have zero
+    /// width; [`FeaturizeError::DimensionMismatch`] on ragged rows;
+    /// [`FeaturizeError::NonFinite`] when any input is NaN/∞.
+    pub fn fit<'a, I>(kind: ScalingKind, rows: I) -> Result<Self, FeaturizeError>
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let mut iter = rows.into_iter();
+        let first = iter.next().ok_or(FeaturizeError::EmptyInput)?;
+        let width = first.len();
+        if width == 0 {
+            return Err(FeaturizeError::EmptyInput);
+        }
+
+        // Track per-column statistics in one pass.
+        let mut mins = vec![f64::INFINITY; width];
+        let mut maxs = vec![f64::NEG_INFINITY; width];
+        let mut welford: Vec<mathkit::Welford> = vec![mathkit::Welford::new(); width];
+
+        let mut absorb = |row: &[f64]| -> Result<(), FeaturizeError> {
+            if row.len() != width {
+                return Err(FeaturizeError::DimensionMismatch {
+                    expected: width,
+                    found: row.len(),
+                });
+            }
+            for (c, &x) in row.iter().enumerate() {
+                if !x.is_finite() {
+                    return Err(FeaturizeError::NonFinite);
+                }
+                let v = match kind {
+                    ScalingKind::Log1pMinMax => x.max(0.0).ln_1p(),
+                    _ => x,
+                };
+                mins[c] = mins[c].min(v);
+                maxs[c] = maxs[c].max(v);
+                welford[c].push(v);
+            }
+            Ok(())
+        };
+        absorb(first)?;
+        for row in iter {
+            absorb(row)?;
+        }
+
+        let params = (0..width)
+            .map(|c| match kind {
+                ScalingKind::MinMax | ScalingKind::Log1pMinMax => {
+                    let range = maxs[c] - mins[c];
+                    if range > 0.0 {
+                        (mins[c], 1.0 / range)
+                    } else {
+                        // Constant column: map everything to 0.
+                        (mins[c], 0.0)
+                    }
+                }
+                ScalingKind::ZScore => {
+                    let std = welford[c].population_std();
+                    if std > 0.0 {
+                        (welford[c].mean(), 1.0 / std)
+                    } else {
+                        (welford[c].mean(), 0.0)
+                    }
+                }
+            })
+            .collect();
+
+        Ok(ColumnScaler { kind, params })
+    }
+
+    /// The strategy this scaler was fitted with.
+    pub fn kind(&self) -> ScalingKind {
+        self.kind
+    }
+
+    /// Number of columns the scaler expects.
+    pub fn width(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Transforms one row in place.
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::DimensionMismatch`] on width mismatch.
+    pub fn transform_in_place(&self, row: &mut [f64]) -> Result<(), FeaturizeError> {
+        if row.len() != self.params.len() {
+            return Err(FeaturizeError::DimensionMismatch {
+                expected: self.params.len(),
+                found: row.len(),
+            });
+        }
+        for (x, &(offset, scale)) in row.iter_mut().zip(&self.params) {
+            let v = match self.kind {
+                ScalingKind::Log1pMinMax => x.max(0.0).ln_1p(),
+                _ => *x,
+            };
+            let y = (v - offset) * scale;
+            *x = match self.kind {
+                // Keep the SOM input space bounded even for unseen extremes.
+                ScalingKind::MinMax | ScalingKind::Log1pMinMax => y.clamp(0.0, 1.0),
+                ScalingKind::ZScore => y,
+            };
+        }
+        Ok(())
+    }
+
+    /// Transforms a row into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::DimensionMismatch`] on width mismatch.
+    pub fn transform(&self, row: &[f64]) -> Result<Vec<f64>, FeaturizeError> {
+        let mut out = row.to_vec();
+        self.transform_in_place(&mut out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 10.0, 5.0],
+            vec![5.0, 20.0, 5.0],
+            vec![10.0, 30.0, 5.0],
+        ]
+    }
+
+    fn fit(kind: ScalingKind) -> ColumnScaler {
+        let data = rows();
+        ColumnScaler::fit(kind, data.iter().map(|r| r.as_slice())).unwrap()
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let s = fit(ScalingKind::MinMax);
+        assert_eq!(s.transform(&[0.0, 10.0, 5.0]).unwrap(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(s.transform(&[10.0, 30.0, 5.0]).unwrap(), vec![1.0, 1.0, 0.0]);
+        assert_eq!(s.transform(&[5.0, 20.0, 5.0]).unwrap(), vec![0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn minmax_clamps_unseen_extremes() {
+        let s = fit(ScalingKind::MinMax);
+        let y = s.transform(&[100.0, -100.0, 5.0]).unwrap();
+        assert_eq!(y, vec![1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zscore_standardizes() {
+        let s = fit(ScalingKind::ZScore);
+        let y = s.transform(&[5.0, 20.0, 5.0]).unwrap();
+        // Column means are (5, 20, 5) → center maps to 0.
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+        let y = s.transform(&[10.0, 30.0, 5.0]).unwrap();
+        assert!(y[0] > 0.0 && y[1] > 0.0);
+        // Constant column → 0 regardless of input.
+        assert_eq!(y[2], 0.0);
+    }
+
+    #[test]
+    fn log1p_minmax_compresses_heavy_tails() {
+        let data = [vec![0.0], vec![100.0], vec![1_000_000.0]];
+        let s = ColumnScaler::fit(ScalingKind::Log1pMinMax, data.iter().map(|r| r.as_slice()))
+            .unwrap();
+        let lo = s.transform(&[0.0]).unwrap()[0];
+        let mid = s.transform(&[100.0]).unwrap()[0];
+        let hi = s.transform(&[1_000_000.0]).unwrap()[0];
+        assert_eq!(lo, 0.0);
+        assert_eq!(hi, 1.0);
+        // In raw min-max, 100 of 1e6 would be ~0.0001; log spacing lifts it.
+        assert!(mid > 0.2, "log-scaled mid {mid}");
+    }
+
+    #[test]
+    fn log1p_treats_negatives_as_zero() {
+        let data = [vec![0.0], vec![10.0]];
+        let s = ColumnScaler::fit(ScalingKind::Log1pMinMax, data.iter().map(|r| r.as_slice()))
+            .unwrap();
+        assert_eq!(s.transform(&[-5.0]).unwrap()[0], 0.0);
+    }
+
+    #[test]
+    fn fit_rejects_bad_inputs() {
+        let empty: Vec<&[f64]> = vec![];
+        assert_eq!(
+            ColumnScaler::fit(ScalingKind::MinMax, empty).unwrap_err(),
+            FeaturizeError::EmptyInput
+        );
+        let zero_width: Vec<&[f64]> = vec![&[]];
+        assert_eq!(
+            ColumnScaler::fit(ScalingKind::MinMax, zero_width).unwrap_err(),
+            FeaturizeError::EmptyInput
+        );
+        let ragged: Vec<&[f64]> = vec![&[1.0, 2.0], &[1.0]];
+        assert!(matches!(
+            ColumnScaler::fit(ScalingKind::MinMax, ragged).unwrap_err(),
+            FeaturizeError::DimensionMismatch { .. }
+        ));
+        let nan: Vec<&[f64]> = vec![&[f64::NAN]];
+        assert_eq!(
+            ColumnScaler::fit(ScalingKind::MinMax, nan).unwrap_err(),
+            FeaturizeError::NonFinite
+        );
+    }
+
+    #[test]
+    fn transform_rejects_wrong_width() {
+        let s = fit(ScalingKind::MinMax);
+        assert!(matches!(
+            s.transform(&[1.0]).unwrap_err(),
+            FeaturizeError::DimensionMismatch {
+                expected: 3,
+                found: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let s = fit(ScalingKind::ZScore);
+        assert_eq!(s.kind(), ScalingKind::ZScore);
+        assert_eq!(s.width(), 3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ScalingKind::MinMax.to_string(), "min-max");
+        assert_eq!(ScalingKind::Log1pMinMax.to_string(), "log1p+min-max");
+        assert_eq!(ScalingKind::default(), ScalingKind::Log1pMinMax);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = fit(ScalingKind::Log1pMinMax);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ColumnScaler = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

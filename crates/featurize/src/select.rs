@@ -1,0 +1,196 @@
+//! Feature selection on transformed matrices.
+//!
+//! Two simple, fit-on-train selectors used by the ablation experiments:
+//! variance thresholding (drop near-constant columns — one-hot columns for
+//! services that never occur, for instance) and top-k by variance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::FeaturizeError;
+
+/// A fitted column-subset selector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSelector {
+    keep: Vec<usize>,
+    input_dim: usize,
+}
+
+impl FeatureSelector {
+    /// Keeps every column whose variance on `data` exceeds `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::InvalidParameter`] when `threshold` is negative or
+    /// not finite, or when no column survives.
+    pub fn variance_threshold(
+        data: &mathkit::Matrix,
+        threshold: f64,
+    ) -> Result<Self, FeaturizeError> {
+        if !threshold.is_finite() || threshold < 0.0 {
+            return Err(FeaturizeError::InvalidParameter {
+                name: "threshold",
+                reason: "must be finite and non-negative",
+            });
+        }
+        let vars = data.col_variances();
+        let keep: Vec<usize> = vars
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > threshold)
+            .map(|(i, _)| i)
+            .collect();
+        if keep.is_empty() {
+            return Err(FeaturizeError::InvalidParameter {
+                name: "threshold",
+                reason: "no column exceeds the variance threshold",
+            });
+        }
+        Ok(FeatureSelector {
+            keep,
+            input_dim: data.cols(),
+        })
+    }
+
+    /// Keeps the `k` highest-variance columns (in original column order).
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::InvalidParameter`] when `k` is zero or exceeds the
+    /// column count.
+    pub fn top_k_by_variance(data: &mathkit::Matrix, k: usize) -> Result<Self, FeaturizeError> {
+        if k == 0 || k > data.cols() {
+            return Err(FeaturizeError::InvalidParameter {
+                name: "k",
+                reason: "must be in 1..=column count",
+            });
+        }
+        let vars = data.col_variances();
+        let mut order: Vec<usize> = (0..data.cols()).collect();
+        order.sort_by(|&a, &b| vars[b].partial_cmp(&vars[a]).expect("finite variances"));
+        let mut keep: Vec<usize> = order.into_iter().take(k).collect();
+        keep.sort_unstable();
+        Ok(FeatureSelector {
+            keep,
+            input_dim: data.cols(),
+        })
+    }
+
+    /// The kept column indices, ascending.
+    pub fn kept_indices(&self) -> &[usize] {
+        &self.keep
+    }
+
+    /// Number of output columns.
+    pub fn output_dim(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// Width the selector expects at transform time.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Projects one vector onto the kept columns.
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::DimensionMismatch`] on width mismatch.
+    pub fn transform(&self, row: &[f64]) -> Result<Vec<f64>, FeaturizeError> {
+        if row.len() != self.input_dim {
+            return Err(FeaturizeError::DimensionMismatch {
+                expected: self.input_dim,
+                found: row.len(),
+            });
+        }
+        Ok(self.keep.iter().map(|&i| row[i]).collect())
+    }
+
+    /// Projects a whole matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::DimensionMismatch`] on width mismatch.
+    pub fn transform_matrix(
+        &self,
+        data: &mathkit::Matrix,
+    ) -> Result<mathkit::Matrix, FeaturizeError> {
+        let rows: Result<Vec<Vec<f64>>, _> =
+            data.iter_rows().map(|r| self.transform(r)).collect();
+        Ok(mathkit::Matrix::from_rows(rows?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::Matrix;
+
+    fn data() -> Matrix {
+        // Column 0: variance 0 (constant); column 1: small; column 2: large.
+        Matrix::from_rows(vec![
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.1, 10.0],
+            vec![1.0, 0.2, 20.0],
+            vec![1.0, 0.1, 30.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn variance_threshold_drops_constant_columns() {
+        let sel = FeatureSelector::variance_threshold(&data(), 0.0).unwrap();
+        assert_eq!(sel.kept_indices(), &[1, 2]);
+        assert_eq!(sel.output_dim(), 2);
+        assert_eq!(sel.input_dim(), 3);
+    }
+
+    #[test]
+    fn higher_threshold_drops_more() {
+        let sel = FeatureSelector::variance_threshold(&data(), 1.0).unwrap();
+        assert_eq!(sel.kept_indices(), &[2]);
+    }
+
+    #[test]
+    fn threshold_that_drops_everything_errors() {
+        assert!(FeatureSelector::variance_threshold(&data(), 1e12).is_err());
+        assert!(FeatureSelector::variance_threshold(&data(), -1.0).is_err());
+        assert!(FeatureSelector::variance_threshold(&data(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn top_k_selects_highest_variance_in_order() {
+        let sel = FeatureSelector::top_k_by_variance(&data(), 2).unwrap();
+        assert_eq!(sel.kept_indices(), &[1, 2]);
+        let sel1 = FeatureSelector::top_k_by_variance(&data(), 1).unwrap();
+        assert_eq!(sel1.kept_indices(), &[2]);
+    }
+
+    #[test]
+    fn top_k_validates_k() {
+        assert!(FeatureSelector::top_k_by_variance(&data(), 0).is_err());
+        assert!(FeatureSelector::top_k_by_variance(&data(), 4).is_err());
+    }
+
+    #[test]
+    fn transform_projects_columns() {
+        let sel = FeatureSelector::top_k_by_variance(&data(), 2).unwrap();
+        assert_eq!(sel.transform(&[9.0, 8.0, 7.0]).unwrap(), vec![8.0, 7.0]);
+        assert!(sel.transform(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transform_matrix_projects_all_rows() {
+        let sel = FeatureSelector::top_k_by_variance(&data(), 1).unwrap();
+        let m = sel.transform_matrix(&data()).unwrap();
+        assert_eq!(m.shape(), (4, 1));
+        assert_eq!(m.col(0), vec![0.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let sel = FeatureSelector::top_k_by_variance(&data(), 2).unwrap();
+        let json = serde_json::to_string(&sel).unwrap();
+        let back: FeatureSelector = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sel);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the feature pipeline.
+
+use featurize::pipeline::{KddPipeline, PipelineConfig};
+use featurize::scale::{ColumnScaler, ScalingKind};
+use proptest::prelude::*;
+use traffic::synth::{profiles, MixSpec, TrafficGenerator};
+use traffic::AttackType;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Min-max-family scalers always produce values in [0, 1], even on
+    /// inputs far outside the fitted range.
+    #[test]
+    fn minmax_outputs_bounded(
+        train in prop::collection::vec(prop::collection::vec(-1e4f64..1e4, 3), 2..40),
+        probe in prop::collection::vec(-1e6f64..1e6, 3)
+    ) {
+        for kind in [ScalingKind::MinMax, ScalingKind::Log1pMinMax] {
+            let scaler = ColumnScaler::fit(kind, train.iter().map(|r| r.as_slice())).unwrap();
+            let out = scaler.transform(&probe).unwrap();
+            for &v in &out {
+                prop_assert!((0.0..=1.0).contains(&v), "{kind} produced {v}");
+            }
+        }
+    }
+
+    /// Scalers are monotone per column: x1 <= x2 in a column implies
+    /// scaled(x1) <= scaled(x2) (min-max and z-score are affine with
+    /// non-negative slope; log1p+min-max composes monotone maps).
+    #[test]
+    fn scalers_are_monotone(
+        train in prop::collection::vec(prop::collection::vec(0.0f64..1e4, 2), 3..40),
+        a in 0.0f64..1e4, b in 0.0f64..1e4
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for kind in [ScalingKind::MinMax, ScalingKind::ZScore, ScalingKind::Log1pMinMax] {
+            let scaler = ColumnScaler::fit(kind, train.iter().map(|r| r.as_slice())).unwrap();
+            let out_lo = scaler.transform(&[lo, lo]).unwrap();
+            let out_hi = scaler.transform(&[hi, hi]).unwrap();
+            prop_assert!(out_lo[0] <= out_hi[0] + 1e-12, "{kind} not monotone");
+        }
+    }
+
+    /// The full pipeline yields bounded, finite vectors of the advertised
+    /// width for every attack type — including types absent from the
+    /// fitting data.
+    #[test]
+    fn pipeline_output_is_bounded_for_all_types(seed in 0u64..200, type_idx in 0usize..33) {
+        use rand::SeedableRng;
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), seed).unwrap();
+        let train = gen.generate(120);
+        let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xFEED);
+        let rec = profiles::sample(AttackType::ALL[type_idx], &mut rng);
+        let v = pipeline.transform(&rec).unwrap();
+        prop_assert_eq!(v.len(), pipeline.output_dim());
+        for &x in &v {
+            prop_assert!(x.is_finite());
+            prop_assert!((0.0..=1.0).contains(&x), "value {x} out of range");
+        }
+    }
+
+    /// Pipeline fitting is deterministic in its inputs.
+    #[test]
+    fn pipeline_fit_is_deterministic(seed in 0u64..100) {
+        let mut gen1 = TrafficGenerator::new(MixSpec::kdd_train(), seed).unwrap();
+        let mut gen2 = TrafficGenerator::new(MixSpec::kdd_train(), seed).unwrap();
+        let train1 = gen1.generate(80);
+        let train2 = gen2.generate(80);
+        let p1 = KddPipeline::fit(&PipelineConfig::default(), &train1).unwrap();
+        let p2 = KddPipeline::fit(&PipelineConfig::default(), &train2).unwrap();
+        prop_assert_eq!(&p1, &p2);
+        let rec = &train1.records()[0];
+        prop_assert_eq!(p1.transform(rec).unwrap(), p2.transform(rec).unwrap());
+    }
+
+    /// Distinct categorical fields always produce distinct vectors when
+    /// categoricals are enabled (injectivity of the one-hot block).
+    #[test]
+    fn categorical_block_is_injective(seed in 0u64..100) {
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), seed).unwrap();
+        let train = gen.generate(60);
+        let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+        let base = traffic::ConnectionRecord::default();
+        let mut tcp = base.clone();
+        tcp.protocol = traffic::Protocol::Tcp;
+        let mut udp = base.clone();
+        udp.protocol = traffic::Protocol::Udp;
+        prop_assert_ne!(
+            pipeline.transform(&tcp).unwrap(),
+            pipeline.transform(&udp).unwrap()
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Distance metrics for codebook search.
+//!
+//! The SOM literature almost always uses Euclidean distance, but the
+//! detection layer sometimes prefers Manhattan (more robust to single-feature
+//! spikes) or cosine (volume-invariant). [`Metric`] makes the choice a value
+//! so detector configurations can be serialized.
+
+use serde::{Deserialize, Serialize};
+
+/// Squared Euclidean distance `‖a − b‖²`.
+///
+/// This is the kernel used for best-matching-unit search: the square root is
+/// monotone, so it can be skipped while comparing candidates.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "sq_euclidean: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance `‖a − b‖₂`.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Manhattan distance `‖a − b‖₁`.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "manhattan: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Chebyshev distance `‖a − b‖∞`.
+#[inline]
+pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "chebyshev: length mismatch");
+    a.iter().zip(b).fold(0.0, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Cosine distance `1 − cos(a, b)`, in `[0, 2]`.
+///
+/// If either vector is zero the distance is defined as `1.0` (maximally
+/// non-aligned with everything), which keeps detector score ranges bounded.
+#[inline]
+pub fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "cosine: length mismatch");
+    let (mut dot, mut na, mut nb) = (0.0, 0.0, 0.0);
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot / (na.sqrt() * nb.sqrt())
+}
+
+/// A serializable choice of distance metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Metric {
+    /// `‖a − b‖₂` — the SOM default.
+    #[default]
+    Euclidean,
+    /// `‖a − b‖²` — same ordering as Euclidean, cheaper; scores are squared.
+    SqEuclidean,
+    /// `‖a − b‖₁`.
+    Manhattan,
+    /// `‖a − b‖∞`.
+    Chebyshev,
+    /// `1 − cos(a, b)`.
+    Cosine,
+}
+
+impl Metric {
+    /// Evaluates the metric on a pair of equal-length vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the slices have different lengths.
+    #[inline]
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Metric::Euclidean => euclidean(a, b),
+            Metric::SqEuclidean => sq_euclidean(a, b),
+            Metric::Manhattan => manhattan(a, b),
+            Metric::Chebyshev => chebyshev(a, b),
+            Metric::Cosine => cosine(a, b),
+        }
+    }
+
+    /// All metric variants, for exhaustive testing and sweeps.
+    pub const ALL: [Metric; 5] = [
+        Metric::Euclidean,
+        Metric::SqEuclidean,
+        Metric::Manhattan,
+        Metric::Chebyshev,
+        Metric::Cosine,
+    ];
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Metric::Euclidean => "euclidean",
+            Metric::SqEuclidean => "sq-euclidean",
+            Metric::Manhattan => "manhattan",
+            Metric::Chebyshev => "chebyshev",
+            Metric::Cosine => "cosine",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: [f64; 3] = [1.0, 2.0, 3.0];
+    const B: [f64; 3] = [4.0, 6.0, 3.0];
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        assert!((euclidean(&A, &B) - 5.0).abs() < 1e-12);
+        assert!((sq_euclidean(&A, &B) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        assert_eq!(manhattan(&A, &B), 7.0);
+        assert_eq!(chebyshev(&A, &B), 4.0);
+    }
+
+    #[test]
+    fn cosine_of_parallel_is_zero() {
+        assert!(cosine(&[1.0, 2.0], &[2.0, 4.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_is_one() {
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_of_opposite_is_two() {
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_with_zero_vector_is_one() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+        assert_eq!(cosine(&[1.0, 1.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        for m in Metric::ALL {
+            assert!(
+                m.eval(&A, &A).abs() < 1e-12,
+                "{m} distance of a point to itself must be ~0"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for m in Metric::ALL {
+            assert!(
+                (m.eval(&A, &B) - m.eval(&B, &A)).abs() < 1e-12,
+                "{m} must be symmetric"
+            );
+        }
+    }
+
+    #[test]
+    fn metric_eval_dispatches() {
+        assert_eq!(Metric::Euclidean.eval(&A, &B), euclidean(&A, &B));
+        assert_eq!(Metric::SqEuclidean.eval(&A, &B), sq_euclidean(&A, &B));
+        assert_eq!(Metric::Manhattan.eval(&A, &B), manhattan(&A, &B));
+        assert_eq!(Metric::Chebyshev.eval(&A, &B), chebyshev(&A, &B));
+        assert_eq!(Metric::Cosine.eval(&A, &B), cosine(&A, &B));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Metric::Euclidean.to_string(), "euclidean");
+        assert_eq!(Metric::Cosine.to_string(), "cosine");
+    }
+
+    #[test]
+    fn default_is_euclidean() {
+        assert_eq!(Metric::default(), Metric::Euclidean);
+    }
+}

@@ -1,0 +1,270 @@
+//! Shannon entropy and divergences over count histograms.
+//!
+//! Traffic-feature entropy (of destination ports, source addresses, …) is a
+//! classic anomaly indicator: scans disperse a distribution, floods
+//! concentrate it. The windowed feature extractor in the `featurize` crate
+//! uses these routines.
+
+use crate::MathError;
+
+/// Shannon entropy (base 2) of a count histogram.
+///
+/// Zero-count bins contribute nothing. An all-zero (or empty) histogram has
+/// entropy `0.0`, matching the convention that an empty observation window is
+/// maximally concentrated.
+///
+/// The result lies in `[0, log2(k)]` where `k` is the number of non-zero
+/// bins.
+///
+/// # Example
+///
+/// ```
+/// use mathkit::entropy::shannon;
+///
+/// // Uniform over 4 symbols → 2 bits.
+/// assert!((shannon(&[5, 5, 5, 5]) - 2.0).abs() < 1e-12);
+/// // Fully concentrated → 0 bits.
+/// assert_eq!(shannon(&[10, 0, 0]), 0.0);
+/// ```
+pub fn shannon(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    let mut h = 0.0;
+    for &c in counts {
+        if c == 0 {
+            continue;
+        }
+        let p = c as f64 / total;
+        h -= p * p.log2();
+    }
+    // Guard against -0.0 from rounding.
+    h.max(0.0)
+}
+
+/// Shannon entropy of an explicit probability vector.
+///
+/// # Errors
+///
+/// [`MathError::InvalidParameter`] if any probability is negative or the
+/// probabilities do not sum to 1 within `1e-9` (empty input is also
+/// rejected).
+pub fn shannon_probs(probs: &[f64]) -> Result<f64, MathError> {
+    if probs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    let mut sum = 0.0;
+    for &p in probs {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(MathError::InvalidParameter {
+                name: "probs",
+                reason: "probabilities must lie in [0, 1]",
+            });
+        }
+        sum += p;
+    }
+    if (sum - 1.0).abs() > 1e-9 {
+        return Err(MathError::InvalidParameter {
+            name: "probs",
+            reason: "probabilities must sum to 1",
+        });
+    }
+    let mut h = 0.0;
+    for &p in probs {
+        if p > 0.0 {
+            h -= p * p.log2();
+        }
+    }
+    Ok(h.max(0.0))
+}
+
+/// Entropy normalized into `[0, 1]` by the maximum `log2(len)`.
+///
+/// A histogram with a single bin is defined to have normalized entropy `0`.
+/// This is the form used as a feature value, because it is comparable across
+/// windows with different alphabet sizes.
+pub fn normalized(counts: &[u64]) -> f64 {
+    if counts.len() <= 1 {
+        return 0.0;
+    }
+    let h = shannon(counts);
+    let hmax = (counts.len() as f64).log2();
+    (h / hmax).clamp(0.0, 1.0)
+}
+
+/// Kullback–Leibler divergence `D(p‖q)` in bits.
+///
+/// # Errors
+///
+/// [`MathError::DimensionMismatch`] when lengths differ;
+/// [`MathError::InvalidParameter`] when `p` has mass where `q` has none
+/// (the divergence would be infinite) or when either vector is not a valid
+/// distribution.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> Result<f64, MathError> {
+    if p.len() != q.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: p.len(),
+            found: q.len(),
+        });
+    }
+    // Validate both are distributions.
+    shannon_probs(p)?;
+    shannon_probs(q)?;
+    let mut d = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi == 0.0 {
+            continue;
+        }
+        if qi == 0.0 {
+            return Err(MathError::InvalidParameter {
+                name: "q",
+                reason: "q must dominate p (no zero where p is positive)",
+            });
+        }
+        d += pi * (pi / qi).log2();
+    }
+    Ok(d.max(0.0))
+}
+
+/// Jensen–Shannon divergence in bits — a bounded, symmetric smoothing of KL.
+///
+/// Always finite; lies in `[0, 1]` for base-2 logarithms.
+///
+/// # Errors
+///
+/// [`MathError::DimensionMismatch`] when lengths differ;
+/// [`MathError::InvalidParameter`] when either input is not a distribution.
+pub fn js_divergence(p: &[f64], q: &[f64]) -> Result<f64, MathError> {
+    if p.len() != q.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: p.len(),
+            found: q.len(),
+        });
+    }
+    shannon_probs(p)?;
+    shannon_probs(q)?;
+    let m: Vec<f64> = p.iter().zip(q).map(|(a, b)| 0.5 * (a + b)).collect();
+    let mut d = 0.0;
+    for (&pi, &mi) in p.iter().zip(&m) {
+        if pi > 0.0 {
+            d += 0.5 * pi * (pi / mi).log2();
+        }
+    }
+    for (&qi, &mi) in q.iter().zip(&m) {
+        if qi > 0.0 {
+            d += 0.5 * qi * (qi / mi).log2();
+        }
+    }
+    Ok(d.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shannon_uniform_is_log2_k() {
+        assert!((shannon(&[1, 1]) - 1.0).abs() < 1e-12);
+        assert!((shannon(&[3, 3, 3, 3, 3, 3, 3, 3]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shannon_concentrated_is_zero() {
+        assert_eq!(shannon(&[42]), 0.0);
+        assert_eq!(shannon(&[0, 0, 99, 0]), 0.0);
+    }
+
+    #[test]
+    fn shannon_empty_is_zero() {
+        assert_eq!(shannon(&[]), 0.0);
+        assert_eq!(shannon(&[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn shannon_bounds() {
+        let counts = [7, 1, 3, 9, 2];
+        let h = shannon(&counts);
+        assert!(h >= 0.0);
+        assert!(h <= (counts.len() as f64).log2() + 1e-12);
+    }
+
+    #[test]
+    fn shannon_probs_matches_counts() {
+        let h1 = shannon(&[1, 3]);
+        let h2 = shannon_probs(&[0.25, 0.75]).unwrap();
+        assert!((h1 - h2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shannon_probs_rejects_invalid() {
+        assert!(shannon_probs(&[]).is_err());
+        assert!(shannon_probs(&[0.5, 0.6]).is_err());
+        assert!(shannon_probs(&[-0.1, 1.1]).is_err());
+    }
+
+    #[test]
+    fn normalized_entropy_range() {
+        assert_eq!(normalized(&[5]), 0.0);
+        assert_eq!(normalized(&[]), 0.0);
+        assert!((normalized(&[1, 1, 1, 1]) - 1.0).abs() < 1e-12);
+        let n = normalized(&[10, 1]);
+        assert!(n > 0.0 && n < 1.0);
+    }
+
+    #[test]
+    fn kl_self_divergence_is_zero() {
+        let p = [0.2, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_is_positive_for_different_distributions() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        let d = kl_divergence(&p, &q).unwrap();
+        assert!(d > 0.0);
+    }
+
+    #[test]
+    fn kl_rejects_unsupported_mass() {
+        let p = [0.5, 0.5];
+        let q = [1.0, 0.0];
+        assert!(kl_divergence(&p, &q).is_err());
+    }
+
+    #[test]
+    fn kl_rejects_length_mismatch() {
+        assert!(matches!(
+            kl_divergence(&[1.0], &[0.5, 0.5]).unwrap_err(),
+            MathError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn js_is_symmetric_and_bounded() {
+        let p = [0.9, 0.1, 0.0];
+        let q = [0.1, 0.1, 0.8];
+        let d1 = js_divergence(&p, &q).unwrap();
+        let d2 = js_divergence(&q, &p).unwrap();
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0 && d1 <= 1.0);
+    }
+
+    #[test]
+    fn js_handles_disjoint_support() {
+        // Unlike KL, JS stays finite on disjoint supports and reaches its
+        // maximum of 1 bit.
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        let d = js_divergence(&p, &q).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_self_divergence_is_zero() {
+        let p = [0.3, 0.7];
+        assert!(js_divergence(&p, &p).unwrap().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type shared by all `mathkit` operations.
+
+use std::fmt;
+
+/// Errors produced by `mathkit` routines.
+///
+/// Every fallible public function in this crate returns `Result<_, MathError>`
+/// so callers can propagate numerical problems with `?`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension the operation expected.
+        expected: usize,
+        /// Dimension it actually received.
+        found: usize,
+    },
+    /// An operation that requires at least one element received none.
+    EmptyInput,
+    /// An input contained a NaN or infinite value.
+    NonFinite,
+    /// A parameter was outside its valid domain (e.g. a negative variance).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations that were attempted.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            MathError::EmptyInput => write!(f, "operation requires a non-empty input"),
+            MathError::NonFinite => write!(f, "input contains a NaN or infinite value"),
+            MathError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MathError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(MathError, &str)> = vec![
+            (
+                MathError::DimensionMismatch {
+                    expected: 3,
+                    found: 2,
+                },
+                "dimension mismatch: expected 3, found 2",
+            ),
+            (MathError::EmptyInput, "operation requires a non-empty input"),
+            (MathError::NonFinite, "input contains a NaN or infinite value"),
+            (
+                MathError::InvalidParameter {
+                    name: "sigma",
+                    reason: "must be positive",
+                },
+                "invalid parameter `sigma`: must be positive",
+            ),
+            (
+                MathError::NoConvergence { iterations: 10 },
+                "no convergence after 10 iterations",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<MathError>();
+    }
+}

@@ -1,0 +1,64 @@
+//! Dense numerics for the `ghsom-suite` workspace.
+//!
+//! This crate provides the small, self-contained numerical substrate that the
+//! growing hierarchical self-organizing map (GHSOM) and its evaluation
+//! harness need:
+//!
+//! * [`vector`] — flat `&[f64]` kernels (dot products, norms, fused
+//!   SOM-style updates) used in the hot training loops.
+//! * [`matrix`] — a row-major dense [`Matrix`] with the handful of
+//!   operations GHSOM needs (covariance, transpose, matrix-vector products).
+//! * [`stats`] — running statistics ([`Welford`]), summaries, quantiles and
+//!   fixed-range histograms.
+//! * [`entropy`] — Shannon entropy and divergences over count histograms,
+//!   used by the windowed traffic-feature extractors.
+//! * [`distance`] — the distance metrics a SOM codebook search can use.
+//! * [`sampler`] — seedable samplers (normal, log-normal, Pareto, Zipf,
+//!   gamma, categorical) used by the synthetic traffic generators; the
+//!   sanctioned `rand` crate only ships uniform sampling, so the classic
+//!   transforms are implemented here.
+//! * [`pca`] — power-iteration principal component analysis, used both for
+//!   SOM linear initialization and as the classical PCA-residual baseline
+//!   detector.
+//!
+//! The crate is deliberately free of `unsafe` and of heavyweight linear
+//! algebra dependencies: every routine is sized to what the paper's
+//! reproduction actually exercises, and each is tested directly.
+//!
+//! # Example
+//!
+//! ```
+//! use mathkit::{distance::euclidean, matrix::Matrix, pca::Pca};
+//!
+//! # fn main() -> Result<(), mathkit::MathError> {
+//! let data = Matrix::from_rows(vec![
+//!     vec![1.0, 2.0, 0.1],
+//!     vec![2.0, 4.1, 0.0],
+//!     vec![3.0, 6.0, -0.1],
+//!     vec![4.0, 7.9, 0.1],
+//! ])?;
+//! let pca = Pca::fit(&data, 1, 200, 7)?;
+//! // The first component captures the dominant (x, 2x) direction.
+//! assert!(pca.explained_ratio()[0] > 0.95);
+//! assert!(euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0 < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod entropy;
+pub mod error;
+pub mod matrix;
+pub mod pca;
+pub mod sampler;
+pub mod stats;
+pub mod vector;
+
+pub use distance::Metric;
+pub use error::MathError;
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use stats::{Histogram, Summary, Welford};

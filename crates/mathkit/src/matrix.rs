@@ -1,0 +1,499 @@
+//! A row-major dense matrix sized for GHSOM's needs.
+//!
+//! Data sets in this workspace are matrices whose rows are samples; the
+//! operations below (column statistics, covariance, matrix–vector products)
+//! are exactly what PCA initialization and the PCA-residual baseline need.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{vector, MathError};
+
+/// Dense row-major matrix of `f64`.
+///
+/// Rows are samples and columns are features throughout this workspace.
+///
+/// # Example
+///
+/// ```
+/// use mathkit::Matrix;
+///
+/// # fn main() -> Result<(), mathkit::MathError> {
+/// let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m.shape(), (2, 2));
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.col_mean(1), 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::EmptyInput`] when `rows` is empty or the first row has
+    /// zero length; [`MathError::DimensionMismatch`] when rows are ragged;
+    /// [`MathError::NonFinite`] when any entry is NaN or infinite.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Result<Self, MathError> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(MathError::EmptyInput);
+        }
+        let ncols = rows[0].len();
+        if ncols == 0 {
+            return Err(MathError::EmptyInput);
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in &rows {
+            if row.len() != ncols {
+                return Err(MathError::DimensionMismatch {
+                    expected: ncols,
+                    found: row.len(),
+                });
+            }
+            if !vector::all_finite(row) {
+                return Err(MathError::NonFinite);
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::DimensionMismatch`] when `data.len() != rows * cols`,
+    /// [`MathError::EmptyInput`] when either dimension is zero.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MathError> {
+        if rows == 0 || cols == 0 {
+            return Err(MathError::EmptyInput);
+        }
+        if data.len() != rows * cols {
+            return Err(MathError::DimensionMismatch {
+                expected: rows * cols,
+                found: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.cols)
+    }
+
+    /// Copy of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index out of bounds");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Flat row-major view of the underlying buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::DimensionMismatch`] when the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix, MathError> {
+        if self.cols != other.rows {
+            return Err(MathError::DimensionMismatch {
+                expected: self.cols,
+                found: other.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.get(k, c);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::DimensionMismatch`] when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, MathError> {
+        if v.len() != self.cols {
+            return Err(MathError::DimensionMismatch {
+                expected: self.cols,
+                found: v.len(),
+            });
+        }
+        Ok(self.iter_rows().map(|row| vector::dot(row, v)).collect())
+    }
+
+    /// Mean of each column.
+    pub fn col_means(&self) -> Vec<f64> {
+        let mut means = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            for (m, x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        let inv = 1.0 / self.rows as f64;
+        for m in means.iter_mut() {
+            *m *= inv;
+        }
+        means
+    }
+
+    /// Mean of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col_mean(&self, c: usize) -> f64 {
+        assert!(c < self.cols, "column index out of bounds");
+        self.col(c).iter().sum::<f64>() / self.rows as f64
+    }
+
+    /// Population variance of each column.
+    pub fn col_variances(&self) -> Vec<f64> {
+        let means = self.col_means();
+        let mut vars = vec![0.0; self.cols];
+        for row in self.iter_rows() {
+            for ((v, x), m) in vars.iter_mut().zip(row).zip(&means) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let inv = 1.0 / self.rows as f64;
+        for v in vars.iter_mut() {
+            *v *= inv;
+        }
+        vars
+    }
+
+    /// Subtracts the column means in place, returning the means.
+    ///
+    /// After this call every column of the matrix has zero mean.
+    pub fn center_columns(&mut self) -> Vec<f64> {
+        let means = self.col_means();
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            for (x, m) in row.iter_mut().zip(&means) {
+                *x -= m;
+            }
+        }
+        means
+    }
+
+    /// Sample covariance matrix of the rows (features × features).
+    ///
+    /// Uses the `1/(n−1)` normalization; for a single row the covariance is
+    /// defined as the zero matrix.
+    pub fn covariance(&self) -> Matrix {
+        let d = self.cols;
+        let means = self.col_means();
+        let mut cov = Matrix::zeros(d, d);
+        if self.rows < 2 {
+            return cov;
+        }
+        for row in self.iter_rows() {
+            for i in 0..d {
+                let di = row[i] - means[i];
+                if di == 0.0 {
+                    continue;
+                }
+                for j in i..d {
+                    let dj = row[j] - means[j];
+                    cov.data[i * d + j] += di * dj;
+                }
+            }
+        }
+        let inv = 1.0 / (self.rows - 1) as f64;
+        for i in 0..d {
+            for j in i..d {
+                let v = cov.data[i * d + j] * inv;
+                cov.data[i * d + j] = v;
+                cov.data[j * d + i] = v;
+            }
+        }
+        cov
+    }
+
+    /// Frobenius norm `√Σ aᵢⱼ²`.
+    pub fn frobenius_norm(&self) -> f64 {
+        vector::norm(&self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(0, 2), 3.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+        assert_eq!(m.as_slice().len(), 6);
+    }
+
+    #[test]
+    fn from_rows_rejects_bad_inputs() {
+        assert_eq!(
+            Matrix::from_rows(vec![]).unwrap_err(),
+            MathError::EmptyInput
+        );
+        assert_eq!(
+            Matrix::from_rows(vec![vec![]]).unwrap_err(),
+            MathError::EmptyInput
+        );
+        assert!(matches!(
+            Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err(),
+            MathError::DimensionMismatch { .. }
+        ));
+        assert_eq!(
+            Matrix::from_rows(vec![vec![f64::NAN]]).unwrap_err(),
+            MathError::NonFinite
+        );
+    }
+
+    #[test]
+    fn from_flat_validates_length() {
+        assert!(Matrix::from_flat(2, 2, vec![0.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_flat(2, 2, vec![0.0; 3]).unwrap_err(),
+            MathError::DimensionMismatch { .. }
+        ));
+        assert_eq!(
+            Matrix::from_flat(0, 2, vec![]).unwrap_err(),
+            MathError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn set_and_row_mut() {
+        let mut m = Matrix::zeros(2, 2);
+        m.set(0, 1, 9.0);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.get(0, 1), 9.0);
+        assert_eq!(m.get(1, 0), 7.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = sample();
+        let mut id = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            id.set(i, i, 1.0);
+        }
+        assert_eq!(m.matmul(&id).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_hand_example() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(vec![vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(
+            c,
+            Matrix::from_rows(vec![vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap()
+        );
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = sample(); // 2x3
+        assert!(matches!(
+            a.matmul(&a).unwrap_err(),
+            MathError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn mul_vec_works() {
+        let m = sample();
+        assert_eq!(m.mul_vec(&[1.0, 0.0, 1.0]).unwrap(), vec![4.0, 10.0]);
+        assert!(m.mul_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn column_statistics() {
+        let m = sample();
+        assert_eq!(m.col_means(), vec![2.5, 3.5, 4.5]);
+        assert_eq!(m.col_mean(0), 2.5);
+        // population variance of {1,4} = 2.25
+        assert_eq!(m.col_variances(), vec![2.25, 2.25, 2.25]);
+    }
+
+    #[test]
+    fn center_columns_zeroes_means() {
+        let mut m = sample();
+        let means = m.center_columns();
+        assert_eq!(means, vec![2.5, 3.5, 4.5]);
+        for mean in m.col_means() {
+            assert!(mean.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        let m = Matrix::from_rows(vec![
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ])
+        .unwrap();
+        let cov = m.covariance();
+        // var(x) = 1, cov(x, 2x) = 2, var(2x) = 4 (sample normalization)
+        assert!((cov.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((cov.get(0, 1) - 2.0).abs() < 1e-12);
+        assert!((cov.get(1, 0) - 2.0).abs() < 1e-12);
+        assert!((cov.get(1, 1) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_single_row_is_zero() {
+        let m = Matrix::from_rows(vec![vec![5.0, 7.0]]).unwrap();
+        assert_eq!(m.covariance(), Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn frobenius_norm_example() {
+        let m = Matrix::from_rows(vec![vec![3.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = sample();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,354 @@
+//! Power-iteration principal component analysis.
+//!
+//! Two consumers in this workspace:
+//!
+//! 1. **SOM linear initialization** — spreading the initial codebook along
+//!    the first two principal axes of the training data speeds up and
+//!    stabilizes convergence (Kohonen's recommended initialization).
+//! 2. **The PCA-residual baseline detector** — the classical subspace method
+//!    scores a sample by its squared residual off the top-`k` principal
+//!    subspace.
+//!
+//! Power iteration with deflation is entirely adequate here: we only ever
+//! need a handful of leading components of covariance matrices with at most
+//! ~120 features.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{vector, MathError, Matrix};
+
+/// A fitted PCA model: mean vector, leading components and their variances.
+///
+/// # Example
+///
+/// ```
+/// use mathkit::{Matrix, Pca};
+///
+/// # fn main() -> Result<(), mathkit::MathError> {
+/// let data = Matrix::from_rows(vec![
+///     vec![0.0, 0.0],
+///     vec![1.0, 1.0],
+///     vec![2.0, 2.0],
+///     vec![3.0, 3.1],
+/// ])?;
+/// let pca = Pca::fit(&data, 1, 100, 42)?;
+/// // Points on the diagonal have almost no residual …
+/// assert!(pca.residual_sq(&[1.5, 1.5])? < 0.01);
+/// // … but a point far off the diagonal does.
+/// assert!(pca.residual_sq(&[3.0, -3.0])? > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `k × d` matrix; each row is a unit-norm principal axis.
+    components: Matrix,
+    /// Variance captured by each component (eigenvalues of the covariance).
+    eigenvalues: Vec<f64>,
+    /// Total variance (trace of the covariance matrix).
+    total_variance: f64,
+}
+
+impl Pca {
+    /// Fits `k` principal components to the rows of `data`.
+    ///
+    /// `iterations` bounds the power-iteration count per component (200 is
+    /// plenty for the matrices in this workspace); `seed` makes the random
+    /// starting vectors reproducible.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::InvalidParameter`] when `k` is zero or exceeds the
+    /// feature count; [`MathError::EmptyInput`] when `data` has no rows.
+    pub fn fit(data: &Matrix, k: usize, iterations: usize, seed: u64) -> Result<Self, MathError> {
+        let d = data.cols();
+        if k == 0 || k > d {
+            return Err(MathError::InvalidParameter {
+                name: "k",
+                reason: "component count must be in 1..=feature count",
+            });
+        }
+        if data.rows() == 0 {
+            return Err(MathError::EmptyInput);
+        }
+        let mean = data.col_means();
+        let mut cov = data.covariance();
+        let total_variance: f64 = (0..d).map(|i| cov.get(i, i)).sum();
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut components = Matrix::zeros(k, d);
+        let mut eigenvalues = Vec::with_capacity(k);
+
+        for comp in 0..k {
+            let (v, lambda) = power_iteration(&cov, iterations, &mut rng)?;
+            // Deflate: cov -= lambda * v vᵀ
+            for i in 0..d {
+                for j in 0..d {
+                    let val = cov.get(i, j) - lambda * v[i] * v[j];
+                    cov.set(i, j, val);
+                }
+            }
+            components.row_mut(comp).copy_from_slice(&v);
+            eigenvalues.push(lambda.max(0.0));
+        }
+
+        Ok(Pca {
+            mean,
+            components,
+            eigenvalues,
+            total_variance: total_variance.max(0.0),
+        })
+    }
+
+    /// Number of fitted components.
+    pub fn n_components(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// The training-data mean that is subtracted before projection.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Unit-norm principal axis `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_components()`.
+    pub fn component(&self, i: usize) -> &[f64] {
+        self.components.row(i)
+    }
+
+    /// Variance captured by each component.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance captured by each component.
+    ///
+    /// All-zero data (zero total variance) yields all-zero ratios.
+    pub fn explained_ratio(&self) -> Vec<f64> {
+        if self.total_variance <= 0.0 {
+            return vec![0.0; self.eigenvalues.len()];
+        }
+        self.eigenvalues
+            .iter()
+            .map(|&l| (l / self.total_variance).clamp(0.0, 1.0))
+            .collect()
+    }
+
+    /// Projects a sample onto the principal subspace, returning `k` scores.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::DimensionMismatch`] when `x.len() != dim()`.
+    pub fn transform(&self, x: &[f64]) -> Result<Vec<f64>, MathError> {
+        if x.len() != self.dim() {
+            return Err(MathError::DimensionMismatch {
+                expected: self.dim(),
+                found: x.len(),
+            });
+        }
+        let centered = vector::sub(x, &self.mean);
+        Ok(self
+            .components
+            .iter_rows()
+            .map(|c| vector::dot(c, &centered))
+            .collect())
+    }
+
+    /// Reconstructs a sample from the principal subspace: `mean + Σ tᵢ·vᵢ`.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::DimensionMismatch`] when `x.len() != dim()`.
+    pub fn reconstruct(&self, x: &[f64]) -> Result<Vec<f64>, MathError> {
+        let scores = self.transform(x)?;
+        let mut out = self.mean.clone();
+        for (t, comp) in scores.iter().zip(self.components.iter_rows()) {
+            vector::axpy(&mut out, *t, comp);
+        }
+        Ok(out)
+    }
+
+    /// Squared residual `‖x − reconstruct(x)‖²` — the classical subspace
+    /// anomaly score (large residual ⇒ the sample leaves the normal
+    /// subspace).
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::DimensionMismatch`] when `x.len() != dim()`.
+    pub fn residual_sq(&self, x: &[f64]) -> Result<f64, MathError> {
+        let rec = self.reconstruct(x)?;
+        Ok(crate::distance::sq_euclidean(x, &rec))
+    }
+}
+
+/// Leading eigenpair of a symmetric matrix by power iteration.
+///
+/// Returns `(eigenvector, eigenvalue)`. For a (near-)zero matrix the
+/// eigenvalue converges to ~0 and an arbitrary unit vector is returned,
+/// which is exactly what deflation needs.
+fn power_iteration(
+    m: &Matrix,
+    iterations: usize,
+    rng: &mut StdRng,
+) -> Result<(Vec<f64>, f64), MathError> {
+    let d = m.rows();
+    if d != m.cols() {
+        return Err(MathError::DimensionMismatch {
+            expected: d,
+            found: m.cols(),
+        });
+    }
+    let mut v: Vec<f64> = (0..d).map(|_| rng.gen::<f64>() - 0.5).collect();
+    vector::normalize(&mut v);
+    if vector::norm(&v) == 0.0 {
+        v[0] = 1.0;
+    }
+    let mut lambda = 0.0;
+    for _ in 0..iterations.max(1) {
+        let mut next = m.mul_vec(&v)?;
+        let n = vector::norm(&next);
+        if n < 1e-300 {
+            // Matrix annihilates v (zero matrix after deflation).
+            return Ok((v, 0.0));
+        }
+        for x in next.iter_mut() {
+            *x /= n;
+        }
+        let new_lambda = vector::dot(&next, &m.mul_vec(&next)?);
+        let converged = (new_lambda - lambda).abs() <= 1e-12 * new_lambda.abs().max(1.0);
+        v = next;
+        lambda = new_lambda;
+        if converged {
+            break;
+        }
+    }
+    Ok((v, lambda))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data stretched along (1, 1)/√2 with slight noise on (1, -1).
+    fn diagonal_data() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..100 {
+            let t = i as f64 / 10.0;
+            let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+            rows.push(vec![t + noise, t - noise]);
+        }
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn first_component_is_dominant_direction() {
+        let pca = Pca::fit(&diagonal_data(), 2, 300, 1).unwrap();
+        let c0 = pca.component(0);
+        // Should be ±(1,1)/√2.
+        let expected = 1.0 / 2f64.sqrt();
+        assert!(
+            (c0[0].abs() - expected).abs() < 1e-3,
+            "component 0 = {c0:?}"
+        );
+        assert!((c0[1].abs() - expected).abs() < 1e-3);
+        assert!(c0[0].signum() == c0[1].signum());
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let pca = Pca::fit(&diagonal_data(), 2, 300, 2).unwrap();
+        let c0 = pca.component(0);
+        let c1 = pca.component(1);
+        assert!((vector::norm(c0) - 1.0).abs() < 1e-9);
+        assert!((vector::norm(c1) - 1.0).abs() < 1e-9);
+        assert!(vector::dot(c0, c1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_and_explain_variance() {
+        let pca = Pca::fit(&diagonal_data(), 2, 300, 3).unwrap();
+        let ev = pca.eigenvalues();
+        assert!(ev[0] >= ev[1]);
+        let ratios = pca.explained_ratio();
+        assert!(ratios[0] > 0.99, "ratios {ratios:?}");
+        assert!((ratios.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transform_reconstruct_roundtrip_in_subspace() {
+        let pca = Pca::fit(&diagonal_data(), 2, 300, 4).unwrap();
+        // With all components kept, reconstruction is exact.
+        let x = [3.3, 3.1];
+        let rec = pca.reconstruct(&x).unwrap();
+        assert!(crate::distance::euclidean(&x, &rec) < 1e-6);
+        assert!(pca.residual_sq(&x).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn residual_flags_off_subspace_points() {
+        let pca = Pca::fit(&diagonal_data(), 1, 300, 5).unwrap();
+        let on = pca.residual_sq(&[5.0, 5.0]).unwrap();
+        let off = pca.residual_sq(&[5.0, -5.0]).unwrap();
+        assert!(on < 0.1, "on-subspace residual {on}");
+        assert!(off > 10.0, "off-subspace residual {off}");
+    }
+
+    #[test]
+    fn fit_rejects_bad_k() {
+        let data = diagonal_data();
+        assert!(Pca::fit(&data, 0, 10, 0).is_err());
+        assert!(Pca::fit(&data, 3, 10, 0).is_err());
+    }
+
+    #[test]
+    fn transform_rejects_wrong_dimension() {
+        let pca = Pca::fit(&diagonal_data(), 1, 100, 0).unwrap();
+        assert!(matches!(
+            pca.transform(&[1.0, 2.0, 3.0]).unwrap_err(),
+            MathError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn constant_data_has_zero_variance() {
+        let data = Matrix::from_rows(vec![vec![2.0, 2.0]; 10]).unwrap();
+        let pca = Pca::fit(&data, 1, 100, 0).unwrap();
+        assert_eq!(pca.explained_ratio(), vec![0.0]);
+        // Every point reconstructs to the mean, residual of the constant is 0.
+        assert!(pca.residual_sq(&[2.0, 2.0]).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Pca::fit(&diagonal_data(), 2, 300, 9).unwrap();
+        let b = Pca::fit(&diagonal_data(), 2, 300, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let pca = Pca::fit(&diagonal_data(), 2, 100, 1).unwrap();
+        let json = serde_json::to_string(&pca).unwrap();
+        let back: Pca = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pca);
+    }
+
+    #[test]
+    fn accessors() {
+        let pca = Pca::fit(&diagonal_data(), 2, 100, 1).unwrap();
+        assert_eq!(pca.n_components(), 2);
+        assert_eq!(pca.dim(), 2);
+        assert_eq!(pca.mean().len(), 2);
+    }
+}

@@ -1,0 +1,452 @@
+//! Running and batch statistics: Welford accumulators, summaries, quantiles
+//! and fixed-range histograms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::MathError;
+
+/// Numerically stable running mean/variance accumulator (Welford's method).
+///
+/// Used wherever the pipeline needs single-pass statistics: scaler fitting,
+/// quantization-error tracking during GHSOM growth, and the streaming
+/// detector's adaptive threshold.
+///
+/// # Example
+///
+/// ```
+/// use mathkit::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.count(), 8);
+/// assert!((w.mean() - 5.0).abs() < 1e-12);
+/// assert!((w.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (`Σ(x−μ)²/n`); `0.0` when empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (`Σ(x−μ)²/(n−1)`); `0.0` with fewer than 2 samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    ///
+    /// The result is identical (up to floating-point rounding) to pushing all
+    /// of `other`'s observations into `self`.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+/// Batch summary of a slice: extrema, mean, deviation and key quantiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Computes a summary of `values`.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::EmptyInput`] if `values` is empty,
+    /// [`MathError::NonFinite`] if it contains NaN or ±∞.
+    pub fn from_slice(values: &[f64]) -> Result<Self, MathError> {
+        crate::vector::validate(values)?;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        let mut w = Welford::new();
+        for &x in values {
+            w.push(x);
+        }
+        Ok(Summary {
+            count: values.len(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: w.mean(),
+            std: w.sample_std(),
+            median: quantile_sorted(&sorted, 0.5),
+            p05: quantile_sorted(&sorted, 0.05),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
+        })
+    }
+}
+
+/// Linear-interpolation quantile of an already **sorted** slice.
+///
+/// `q` is clamped into `[0, 1]`. This is the "type 7" estimator (the
+/// numpy/R default).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] + frac * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Convenience quantile of an unsorted slice (sorts a copy).
+///
+/// # Errors
+///
+/// [`MathError::EmptyInput`] if `values` is empty,
+/// [`MathError::NonFinite`] if it contains NaN or ±∞.
+pub fn quantile(values: &[f64], q: f64) -> Result<f64, MathError> {
+    crate::vector::validate(values)?;
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    Ok(quantile_sorted(&sorted, q))
+}
+
+/// Fixed-range histogram with equal-width bins.
+///
+/// Out-of-range observations are clamped into the first/last bin so that
+/// `total()` always equals the number of `add` calls — detector score
+/// distributions have long right tails and losing them would bias the
+/// threshold calibration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi]` with `nbins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::InvalidParameter`] when `nbins == 0`, when `lo >= hi`,
+    /// or when either bound is not finite.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Result<Self, MathError> {
+        if nbins == 0 {
+            return Err(MathError::InvalidParameter {
+                name: "nbins",
+                reason: "must be at least 1",
+            });
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(MathError::InvalidParameter {
+                name: "range",
+                reason: "bounds must be finite",
+            });
+        }
+        if lo >= hi {
+            return Err(MathError::InvalidParameter {
+                name: "range",
+                reason: "lo must be strictly less than hi",
+            });
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+        })
+    }
+
+    /// Adds an observation (NaN observations are ignored).
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        let n = self.bins.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
+        self.bins[idx] += 1;
+    }
+
+    /// Adds every value in a slice.
+    pub fn extend_from_slice(&mut self, values: &[f64]) {
+        for &x in values {
+            self.add(x);
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total number of recorded (non-NaN) observations.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Bin counts normalized to probabilities; all-zero when empty.
+    pub fn normalized(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// `(lower, upper)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin index out of bounds");
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// The histogram's configured `[lo, hi]` range.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [1.5, 2.5, 3.5, 10.0, -4.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.sample_variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+        let mut w1 = Welford::new();
+        w1.push(5.0);
+        assert_eq!(w1.mean(), 5.0);
+        assert_eq!(w1.sample_variance(), 0.0);
+        assert_eq!(w1.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..20] {
+            left.push(x);
+        }
+        for &x in &xs[20..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-10);
+        assert!((left.sample_variance() - all.sample_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        let b = Welford::new();
+        let before = a;
+        a.merge(&b);
+        assert_eq!(a, before);
+        let mut c = Welford::new();
+        c.merge(&before);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn summary_of_known_data() {
+        let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.std - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(Summary::from_slice(&[]).is_err());
+        assert!(Summary::from_slice(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 40.0);
+        assert_eq!(quantile_sorted(&sorted, 0.5), 25.0);
+        // q clamped
+        assert_eq!(quantile_sorted(&sorted, -3.0), 10.0);
+        assert_eq!(quantile_sorted(&sorted, 9.0), 40.0);
+    }
+
+    #[test]
+    fn quantile_unsorted_convenience() {
+        let q = quantile(&[3.0, 1.0, 2.0], 0.5).unwrap();
+        assert_eq!(q, 2.0);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile_sorted(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn histogram_basic_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.extend_from_slice(&[0.5, 1.5, 2.5, 9.9, 5.0]);
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-100.0);
+        h.add(100.0);
+        h.add(f64::NAN); // ignored
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn histogram_normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.extend_from_slice(&[0.5, 1.5, 2.5, 3.5]);
+        let p = h.normalized();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn histogram_empty_normalized_is_zero() {
+        let h = Histogram::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(h.normalized(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn histogram_bin_edges() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+        assert_eq!(h.range(), (0.0, 10.0));
+    }
+
+    #[test]
+    fn histogram_rejects_bad_parameters() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! Flat `&[f64]` kernels used by the SOM/GHSOM training loops.
+//!
+//! These functions are the hot path of codebook training: they avoid
+//! allocation and use `debug_assert!` for dimension checks so release builds
+//! pay no cost, while the fallible `checked_*` wrappers are available at API
+//! boundaries where inputs come from the outside world.
+
+use crate::MathError;
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Dimension-checked [`dot`].
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] if lengths differ.
+pub fn checked_dot(a: &[f64], b: &[f64]) -> Result<f64, MathError> {
+    if a.len() != b.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: a.len(),
+            found: b.len(),
+        });
+    }
+    Ok(dot(a, b))
+}
+
+/// Squared Euclidean norm `‖a‖²`.
+#[inline]
+pub fn norm_sq(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// Euclidean norm `‖a‖₂`.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    norm_sq(a).sqrt()
+}
+
+/// Manhattan norm `‖a‖₁`.
+#[inline]
+pub fn norm_l1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Chebyshev norm `‖a‖∞`.
+#[inline]
+pub fn norm_linf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// Normalizes `a` to unit Euclidean length in place.
+///
+/// A zero vector is left untouched (there is no meaningful direction to
+/// preserve), which is the behaviour the power-iteration PCA relies on.
+pub fn normalize(a: &mut [f64]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Element-wise `out = a - b` into a fresh vector.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise `a += s * b`, the fused update at the heart of SOM training
+/// (`w += α·h·(x − w)` is expressed as `axpy(w, α·h, x − w)` without the
+/// temporary by [`som_update`]).
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn axpy(a: &mut [f64], s: f64, b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len(), "axpy: length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += s * y;
+    }
+}
+
+/// The Kohonen update rule `w += rate · (x − w)` without allocating.
+///
+/// `rate` is the product of the learning rate and the neighborhood kernel
+/// value for the unit being updated. With `rate = 1` the weight jumps exactly
+/// onto the input; with `rate = 0` it is unchanged.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn som_update(w: &mut [f64], rate: f64, x: &[f64]) {
+    debug_assert_eq!(w.len(), x.len(), "som_update: length mismatch");
+    for (wi, xi) in w.iter_mut().zip(x) {
+        *wi += rate * (xi - *wi);
+    }
+}
+
+/// Arithmetic mean of a set of equal-length vectors.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] when `rows` is empty and
+/// [`MathError::DimensionMismatch`] when the rows disagree on length.
+pub fn mean_vector<'a, I>(rows: I) -> Result<Vec<f64>, MathError>
+where
+    I: IntoIterator<Item = &'a [f64]>,
+{
+    let mut iter = rows.into_iter();
+    let first = iter.next().ok_or(MathError::EmptyInput)?;
+    let mut acc: Vec<f64> = first.to_vec();
+    let mut count = 1usize;
+    for row in iter {
+        if row.len() != acc.len() {
+            return Err(MathError::DimensionMismatch {
+                expected: acc.len(),
+                found: row.len(),
+            });
+        }
+        for (a, x) in acc.iter_mut().zip(row) {
+            *a += x;
+        }
+        count += 1;
+    }
+    let inv = 1.0 / count as f64;
+    for a in acc.iter_mut() {
+        *a *= inv;
+    }
+    Ok(acc)
+}
+
+/// Linear interpolation `(1−t)·a + t·b` as a fresh vector.
+///
+/// Used when a new SOM row/column is inserted between two existing units.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths.
+pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "lerp: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + t * (y - x)).collect()
+}
+
+/// Returns `true` when every element is finite (no NaN, no ±∞).
+#[inline]
+pub fn all_finite(a: &[f64]) -> bool {
+    a.iter().all(|x| x.is_finite())
+}
+
+/// Validates that a slice is non-empty and fully finite.
+///
+/// # Errors
+///
+/// [`MathError::EmptyInput`] for an empty slice, [`MathError::NonFinite`]
+/// when any element is NaN or infinite.
+pub fn validate(a: &[f64]) -> Result<(), MathError> {
+    if a.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    if !all_finite(a) {
+        return Err(MathError::NonFinite);
+    }
+    Ok(())
+}
+
+/// Index of the minimum value, breaking ties toward the lowest index.
+///
+/// Returns `None` for an empty slice. NaN entries never win.
+pub fn argmin(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in a.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if x >= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the maximum value, breaking ties toward the lowest index.
+///
+/// Returns `None` for an empty slice. NaN entries never win.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in a.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Clamps every element into `[lo, hi]` in place.
+pub fn clamp_in_place(a: &mut [f64], lo: f64, hi: f64) {
+    for x in a.iter_mut() {
+        *x = x.clamp(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, -5.0, 6.0];
+        assert_eq!(dot(&a, &b), 4.0 - 10.0 + 18.0);
+        assert_eq!(norm_sq(&a), 14.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm_l1(&b), 15.0);
+        assert_eq!(norm_linf(&b), 6.0);
+    }
+
+    #[test]
+    fn checked_dot_rejects_mismatch() {
+        let err = checked_dot(&[1.0], &[1.0, 2.0]).unwrap_err();
+        assert_eq!(
+            err,
+            MathError::DimensionMismatch {
+                expected: 1,
+                found: 2
+            }
+        );
+    }
+
+    #[test]
+    fn normalize_makes_unit_length() {
+        let mut v = vec![3.0, 0.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_leaves_zero_vector() {
+        let mut v = vec![0.0, 0.0];
+        normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn som_update_moves_toward_input() {
+        let mut w = vec![0.0, 0.0];
+        som_update(&mut w, 0.5, &[2.0, -2.0]);
+        assert_eq!(w, vec![1.0, -1.0]);
+        // rate = 1 jumps exactly onto the input
+        som_update(&mut w, 1.0, &[5.0, 5.0]);
+        assert_eq!(w, vec![5.0, 5.0]);
+        // rate = 0 is a no-op
+        som_update(&mut w, 0.0, &[100.0, 100.0]);
+        assert_eq!(w, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = vec![1.0, 1.0];
+        axpy(&mut a, 2.0, &[3.0, -1.0]);
+        assert_eq!(a, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn mean_vector_averages_rows() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 2.0], vec![3.0, 6.0]];
+        let m = mean_vector(rows.iter().map(|r| r.as_slice())).unwrap();
+        assert_eq!(m, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_vector_rejects_empty_and_ragged() {
+        let empty: Vec<&[f64]> = vec![];
+        assert_eq!(mean_vector(empty).unwrap_err(), MathError::EmptyInput);
+        let ragged: Vec<&[f64]> = vec![&[1.0, 2.0], &[1.0]];
+        assert!(matches!(
+            mean_vector(ragged).unwrap_err(),
+            MathError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = [0.0, 10.0];
+        let b = [10.0, 0.0];
+        assert_eq!(lerp(&a, &b, 0.0), vec![0.0, 10.0]);
+        assert_eq!(lerp(&a, &b, 1.0), vec![10.0, 0.0]);
+        assert_eq!(lerp(&a, &b, 0.5), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn validate_flags_bad_inputs() {
+        assert_eq!(validate(&[]).unwrap_err(), MathError::EmptyInput);
+        assert_eq!(validate(&[1.0, f64::NAN]).unwrap_err(), MathError::NonFinite);
+        assert_eq!(
+            validate(&[f64::INFINITY]).unwrap_err(),
+            MathError::NonFinite
+        );
+        assert!(validate(&[0.0, -1.0]).is_ok());
+    }
+
+    #[test]
+    fn argmin_argmax_with_ties_and_nan() {
+        assert_eq!(argmin(&[]), None);
+        assert_eq!(argmin(&[2.0, 1.0, 1.0]), Some(1));
+        assert_eq!(argmax(&[2.0, 2.0, 1.0]), Some(0));
+        assert_eq!(argmin(&[f64::NAN, 3.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN, f64::NAN]), None);
+    }
+
+    #[test]
+    fn clamp_bounds_all_elements() {
+        let mut v = vec![-2.0, 0.5, 7.0];
+        clamp_in_place(&mut v, 0.0, 1.0);
+        assert_eq!(v, vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn sub_produces_difference() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Property-based tests for the numerical substrate.
+//!
+//! These check the algebraic laws the rest of the workspace silently relies
+//! on: metric axioms, entropy bounds, Welford/merge equivalence, quantile
+//! monotonicity and PCA projection contraction.
+
+use mathkit::distance::{self, Metric};
+use mathkit::sampler::{Categorical, Zipf};
+use mathkit::stats::{quantile_sorted, Welford};
+use mathkit::{entropy, vector, Matrix, Pca};
+use proptest::prelude::*;
+
+/// A strategy for finite, reasonably-sized f64 values.
+fn finite() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e6..1e6f64,
+        Just(0.0),
+        Just(1.0),
+        Just(-1.0),
+    ]
+}
+
+fn vec_pair(len: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    len.prop_flat_map(|n| {
+        (
+            prop::collection::vec(finite(), n),
+            prop::collection::vec(finite(), n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn metrics_are_non_negative_and_symmetric((a, b) in vec_pair(1..16)) {
+        for m in Metric::ALL {
+            let d_ab = m.eval(&a, &b);
+            let d_ba = m.eval(&b, &a);
+            prop_assert!(d_ab >= -1e-9, "{m} produced negative distance {d_ab}");
+            prop_assert!((d_ab - d_ba).abs() <= 1e-9 * d_ab.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn metrics_self_distance_is_zero(a in prop::collection::vec(finite(), 1..16)) {
+        let zero = vector::norm(&a) == 0.0;
+        for m in Metric::ALL {
+            // Cosine distance of the zero vector to itself is defined as 1
+            // (no direction to align), so it is exempt here.
+            if m == Metric::Cosine && zero {
+                continue;
+            }
+            prop_assert!(m.eval(&a, &a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn euclidean_triangle_inequality(
+        (a, b) in vec_pair(3..8),
+        c in prop::collection::vec(finite(), 3..8)
+    ) {
+        // Only comparable when all three have the same length.
+        if c.len() == a.len() {
+            let ab = distance::euclidean(&a, &b);
+            let ac = distance::euclidean(&a, &c);
+            let cb = distance::euclidean(&c, &b);
+            prop_assert!(ab <= ac + cb + 1e-6 * ab.max(1.0));
+        }
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in prop::collection::vec(-1e3..1e3f64, 1..10),
+                       b in prop::collection::vec(-1e3..1e3f64, 1..10),
+                       s in -100.0..100.0f64) {
+        if a.len() == b.len() {
+            let scaled: Vec<f64> = a.iter().map(|x| x * s).collect();
+            let lhs = vector::dot(&scaled, &b);
+            let rhs = s * vector::dot(&a, &b);
+            prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn som_update_is_convex_combination(
+        w in prop::collection::vec(-1e3..1e3f64, 1..10),
+        x in prop::collection::vec(-1e3..1e3f64, 1..10),
+        rate in 0.0..1.0f64
+    ) {
+        if w.len() == x.len() {
+            let mut updated = w.clone();
+            vector::som_update(&mut updated, rate, &x);
+            // Each coordinate stays inside [min(w,x), max(w,x)].
+            for ((u, wi), xi) in updated.iter().zip(&w).zip(&x) {
+                let lo = wi.min(*xi) - 1e-9;
+                let hi = wi.max(*xi) + 1e-9;
+                prop_assert!((lo..=hi).contains(u), "coordinate escaped hull");
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_bounds_hold(counts in prop::collection::vec(0u64..1000, 1..64)) {
+        let h = entropy::shannon(&counts);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (counts.len() as f64).log2() + 1e-9);
+        let n = entropy::normalized(&counts);
+        prop_assert!((0.0..=1.0).contains(&n));
+    }
+
+    #[test]
+    fn entropy_is_permutation_invariant(mut counts in prop::collection::vec(0u64..1000, 2..32)) {
+        let h1 = entropy::shannon(&counts);
+        counts.rotate_left(1);
+        let h2 = entropy::shannon(&counts);
+        prop_assert!((h1 - h2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_matches_sequential(
+        xs in prop::collection::vec(-1e4..1e4f64, 0..64),
+        ys in prop::collection::vec(-1e4..1e4f64, 0..64)
+    ) {
+        let mut seq = Welford::new();
+        for &x in xs.iter().chain(&ys) { seq.push(x); }
+        let mut a = Welford::new();
+        for &x in &xs { a.push(x); }
+        let mut b = Welford::new();
+        for &y in &ys { b.push(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), seq.count());
+        if seq.count() > 0 {
+            prop_assert!((a.mean() - seq.mean()).abs() < 1e-6 * seq.mean().abs().max(1.0));
+            prop_assert!((a.population_variance() - seq.population_variance()).abs()
+                < 1e-6 * seq.population_variance().max(1.0));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone(mut xs in prop::collection::vec(-1e4..1e4f64, 1..64),
+                              q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile_sorted(&xs, lo) <= quantile_sorted(&xs, hi) + 1e-9);
+        // Quantiles never escape the data range.
+        prop_assert!(quantile_sorted(&xs, lo) >= xs[0] - 1e-9);
+        prop_assert!(quantile_sorted(&xs, hi) <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    #[test]
+    fn categorical_samples_in_range(weights in prop::collection::vec(0.0..10.0f64, 1..32),
+                                    seed in 0u64..1000) {
+        use rand::SeedableRng;
+        if weights.iter().sum::<f64>() > 0.0 {
+            let cat = Categorical::new(&weights).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                let i = cat.sample(&mut rng);
+                prop_assert!(i < weights.len());
+                prop_assert!(weights[i] > 0.0, "sampled a zero-weight category");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range(n in 1usize..200, s in 0.0..3.0f64, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let zipf = Zipf::new(n, s).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(zipf.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn matrix_transpose_is_involution(rows in 1usize..8, cols in 1usize..8, seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen::<f64>() * 10.0 - 5.0).collect();
+        let m = Matrix::from_flat(rows, cols, data).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diagonal(rows in 2usize..20, cols in 1usize..6, seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen::<f64>() * 10.0 - 5.0).collect();
+        let m = Matrix::from_flat(rows, cols, data).unwrap();
+        let cov = m.covariance();
+        for i in 0..cols {
+            prop_assert!(cov.get(i, i) >= -1e-9, "negative variance on diagonal");
+            for j in 0..cols {
+                prop_assert!((cov.get(i, j) - cov.get(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn pca_residual_is_non_negative_and_zero_for_mean(
+        rows in 4usize..24, cols in 2usize..5, seed in 0u64..50
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen::<f64>() * 4.0).collect();
+        let m = Matrix::from_flat(rows, cols, data).unwrap();
+        let pca = Pca::fit(&m, 1, 100, seed).unwrap();
+        for row in m.iter_rows() {
+            prop_assert!(pca.residual_sq(row).unwrap() >= -1e-9);
+        }
+        // The mean itself projects to scores ~0 and reconstructs to itself.
+        let mean = m.col_means();
+        prop_assert!(pca.residual_sq(&mean).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn mean_vector_lies_in_coordinate_hull(
+        rows in 1usize..16, cols in 1usize..6, seed in 0u64..100
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|_| (0..cols).map(|_| rng.gen::<f64>() * 10.0 - 5.0).collect())
+            .collect();
+        let mean = vector::mean_vector(data.iter().map(|r| r.as_slice())).unwrap();
+        for c in 0..cols {
+            let lo = data.iter().map(|r| r[c]).fold(f64::INFINITY, f64::min);
+            let hi = data.iter().map(|r| r[c]).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(mean[c] >= lo - 1e-9 && mean[c] <= hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type for SOM construction and training.
+
+use std::fmt;
+
+/// Errors produced by SOM operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SomError {
+    /// Sample dimensionality does not match the codebook.
+    DimensionMismatch {
+        /// Codebook dimensionality.
+        expected: usize,
+        /// Sample dimensionality received.
+        found: usize,
+    },
+    /// An operation that needs data received an empty set.
+    EmptyInput,
+    /// A grid or training parameter was out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Violated constraint.
+        reason: &'static str,
+    },
+    /// Input contained NaN or infinite values.
+    NonFinite,
+}
+
+impl fmt::Display for SomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SomError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: codebook is {expected}-d, sample is {found}-d")
+            }
+            SomError::EmptyInput => write!(f, "operation requires a non-empty data set"),
+            SomError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SomError::NonFinite => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl std::error::Error for SomError {}
+
+impl From<mathkit::MathError> for SomError {
+    fn from(err: mathkit::MathError) -> Self {
+        match err {
+            mathkit::MathError::DimensionMismatch { expected, found } => {
+                SomError::DimensionMismatch { expected, found }
+            }
+            mathkit::MathError::EmptyInput => SomError::EmptyInput,
+            mathkit::MathError::NonFinite => SomError::NonFinite,
+            mathkit::MathError::InvalidParameter { name, reason } => {
+                SomError::InvalidParameter { name, reason }
+            }
+            mathkit::MathError::NoConvergence { .. } => SomError::InvalidParameter {
+                name: "iterations",
+                reason: "underlying numerical routine failed to converge",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SomError::DimensionMismatch {
+                expected: 88,
+                found: 3
+            }
+            .to_string(),
+            "dimension mismatch: codebook is 88-d, sample is 3-d"
+        );
+        assert_eq!(
+            SomError::InvalidParameter {
+                name: "rows",
+                reason: "must be at least 1"
+            }
+            .to_string(),
+            "invalid parameter `rows`: must be at least 1"
+        );
+    }
+
+    #[test]
+    fn converts_math_errors() {
+        let e: SomError = mathkit::MathError::EmptyInput.into();
+        assert_eq!(e, SomError::EmptyInput);
+        let e: SomError = mathkit::MathError::NonFinite.into();
+        assert_eq!(e, SomError::NonFinite);
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<SomError>();
+    }
+}

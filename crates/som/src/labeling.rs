@@ -1,0 +1,249 @@
+//! Majority-vote unit labeling.
+//!
+//! After unsupervised training, each unit is labelled with the majority
+//! ground-truth class of the training samples mapped to it. Units that
+//! attract no training samples stay unlabelled — at detection time such
+//! units are treated as anomalous by convention (nothing normal ever
+//! mapped there).
+//!
+//! The label type is generic so the same machinery calibrates against
+//! concrete attack types, coarse categories, or plain booleans.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use mathkit::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::map::Som;
+use crate::SomError;
+
+/// Per-unit majority labels with hit counts and confidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitLabels<L> {
+    labels: Vec<Option<L>>,
+    confidence: Vec<f64>,
+    hits: Vec<usize>,
+}
+
+impl<L: Clone + Eq + Hash> UnitLabels<L> {
+    /// Calibrates unit labels by mapping every row of `data` to its BMU and
+    /// tallying `labels`.
+    ///
+    /// # Errors
+    ///
+    /// [`SomError::DimensionMismatch`] when `labels.len() != data.rows()`
+    /// or sample width differs from the codebook;
+    /// [`SomError::EmptyInput`] when `data` has no rows.
+    pub fn fit(som: &Som, data: &Matrix, labels: &[L]) -> Result<Self, SomError> {
+        if data.rows() == 0 {
+            return Err(SomError::EmptyInput);
+        }
+        if labels.len() != data.rows() {
+            return Err(SomError::DimensionMismatch {
+                expected: data.rows(),
+                found: labels.len(),
+            });
+        }
+        let mut tallies: Vec<HashMap<L, usize>> = vec![HashMap::new(); som.len()];
+        let mut hits = vec![0usize; som.len()];
+        for (x, label) in data.iter_rows().zip(labels) {
+            let unit = som.bmu(x)?.unit;
+            *tallies[unit].entry(label.clone()).or_insert(0) += 1;
+            hits[unit] += 1;
+        }
+        let mut unit_labels = Vec::with_capacity(som.len());
+        let mut confidence = Vec::with_capacity(som.len());
+        for (tally, &h) in tallies.iter().zip(&hits) {
+            if h == 0 {
+                unit_labels.push(None);
+                confidence.push(0.0);
+            } else {
+                let (label, count) = tally
+                    .iter()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(l, &c)| (l.clone(), c))
+                    .expect("non-zero hits imply a tally entry");
+                unit_labels.push(Some(label));
+                confidence.push(count as f64 / h as f64);
+            }
+        }
+        Ok(UnitLabels {
+            labels: unit_labels,
+            confidence,
+            hits,
+        })
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when there are no units (cannot occur for fitted labels).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The majority label of unit `i`, or `None` for a dead unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn label(&self, i: usize) -> Option<&L> {
+        self.labels[i].as_ref()
+    }
+
+    /// Majority-vote purity of unit `i` in `[0, 1]` (0 for dead units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn confidence(&self, i: usize) -> f64 {
+        self.confidence[i]
+    }
+
+    /// Training hits of unit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn hits(&self, i: usize) -> usize {
+        self.hits[i]
+    }
+
+    /// Fraction of units that attracted at least one training sample.
+    pub fn coverage(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        let live = self.labels.iter().filter(|l| l.is_some()).count();
+        live as f64 / self.labels.len() as f64
+    }
+
+    /// Mean majority-vote purity over live units (1.0 = every unit pure).
+    pub fn mean_purity(&self) -> f64 {
+        let live: Vec<f64> = self
+            .confidence
+            .iter()
+            .zip(&self.labels)
+            .filter(|(_, l)| l.is_some())
+            .map(|(&c, _)| c)
+            .collect();
+        if live.is_empty() {
+            return 0.0;
+        }
+        live.iter().sum::<f64>() / live.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::TrainParams;
+
+    /// Two tight clusters labelled "a" / "b".
+    fn labelled_clusters() -> (Matrix, Vec<&'static str>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let jitter = (i % 10) as f64 * 0.002;
+            if i % 2 == 0 {
+                rows.push(vec![0.1 + jitter, 0.1]);
+                labels.push("a");
+            } else {
+                rows.push(vec![0.9 - jitter, 0.9]);
+                labels.push("b");
+            }
+        }
+        (Matrix::from_rows(rows).unwrap(), labels)
+    }
+
+    fn trained_som(data: &Matrix) -> Som {
+        let mut som = Som::from_data_sample(2, 2, data, 5).unwrap();
+        som.train_online(data, &TrainParams::default()).unwrap();
+        som
+    }
+
+    #[test]
+    fn majority_labels_are_pure_for_separated_clusters() {
+        let (data, labels) = labelled_clusters();
+        let som = trained_som(&data);
+        let ul = UnitLabels::fit(&som, &data, &labels).unwrap();
+        assert_eq!(ul.len(), som.len());
+        // Every live unit should be pure.
+        for i in 0..ul.len() {
+            if ul.label(i).is_some() {
+                assert!(ul.confidence(i) > 0.99, "unit {i} impure");
+            }
+        }
+        assert!(ul.mean_purity() > 0.99);
+        // Both labels must be represented.
+        let named: Vec<&&str> = (0..ul.len()).filter_map(|i| ul.label(i)).collect();
+        assert!(named.contains(&&"a"));
+        assert!(named.contains(&&"b"));
+    }
+
+    #[test]
+    fn hits_sum_to_sample_count() {
+        let (data, labels) = labelled_clusters();
+        let som = trained_som(&data);
+        let ul = UnitLabels::fit(&som, &data, &labels).unwrap();
+        let total: usize = (0..ul.len()).map(|i| ul.hits(i)).sum();
+        assert_eq!(total, data.rows());
+    }
+
+    #[test]
+    fn dead_units_are_unlabelled() {
+        let (data, labels) = labelled_clusters();
+        // A big map on tiny data guarantees dead units.
+        let som = Som::random_uniform(6, 6, 2, 3).unwrap();
+        let ul = UnitLabels::fit(&som, &data, &labels).unwrap();
+        assert!(ul.coverage() < 1.0);
+        let dead = (0..ul.len()).find(|&i| ul.label(i).is_none()).unwrap();
+        assert_eq!(ul.confidence(dead), 0.0);
+        assert_eq!(ul.hits(dead), 0);
+    }
+
+    #[test]
+    fn fit_rejects_mismatched_labels() {
+        let (data, _) = labelled_clusters();
+        let som = trained_som(&data);
+        let short = vec!["a"; 3];
+        assert!(matches!(
+            UnitLabels::fit(&som, &data, &short).unwrap_err(),
+            SomError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn works_with_non_str_labels() {
+        let (data, _) = labelled_clusters();
+        let som = trained_som(&data);
+        let labels: Vec<u32> = (0..data.rows() as u32).map(|i| i % 2).collect();
+        let ul = UnitLabels::fit(&som, &data, &labels).unwrap();
+        assert!(ul.coverage() > 0.0);
+    }
+
+    #[test]
+    fn mixed_unit_reports_fractional_confidence() {
+        // One-unit map: every sample maps to it; labels are 2:1 mixed.
+        let data = Matrix::from_rows(vec![vec![0.0], vec![0.1], vec![0.2]]).unwrap();
+        let som = Som::random_uniform(1, 1, 1, 0).unwrap();
+        let ul = UnitLabels::fit(&som, &data, &["x", "x", "y"]).unwrap();
+        assert_eq!(ul.label(0), Some(&"x"));
+        assert!((ul.confidence(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ul.coverage(), 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (data, labels) = labelled_clusters();
+        let som = trained_som(&data);
+        let owned: Vec<String> = labels.iter().map(|s| s.to_string()).collect();
+        let ul = UnitLabels::fit(&som, &data, &owned).unwrap();
+        let json = serde_json::to_string(&ul).unwrap();
+        let back: UnitLabels<String> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ul);
+    }
+}

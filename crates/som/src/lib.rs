@@ -1,0 +1,54 @@
+//! Kohonen self-organizing map substrate.
+//!
+//! Every node of a growing hierarchical SOM *is* a SOM, and the paper's
+//! flat-SOM baseline is one too — this crate provides that shared machinery:
+//!
+//! * [`topology`] — rectangular/hexagonal grids with neighbor iteration and
+//!   grid distances.
+//! * [`neighborhood`] — Gaussian, bubble and Mexican-hat kernels.
+//! * [`schedule`] — learning-rate/radius decay schedules (linear,
+//!   exponential, inverse-time).
+//! * [`map`] — the [`Som`] itself: codebook storage, best-matching-unit
+//!   search, online (Kohonen) and batch training, quantization and
+//!   topographic error, U-matrix, hit histograms.
+//! * [`labeling`] — generic majority-vote unit labeling
+//!   ([`labeling::UnitLabels`]), used to calibrate trained maps against
+//!   training labels.
+//!
+//! # Example
+//!
+//! ```
+//! use mathkit::Matrix;
+//! use som::map::{Som, TrainParams};
+//!
+//! # fn main() -> Result<(), som::SomError> {
+//! // Two well-separated clusters in 2-D.
+//! let mut rows = Vec::new();
+//! for i in 0..50 {
+//!     let t = (i % 25) as f64 * 0.001;
+//!     rows.push(if i < 25 { vec![t, t] } else { vec![1.0 - t, 1.0 + t] });
+//! }
+//! let data = Matrix::from_rows(rows)?;
+//! let mut som = Som::from_data_sample(4, 4, &data, 7)?;
+//! som.train_online(&data, &TrainParams::default())?;
+//! // After training the map quantizes the data well.
+//! assert!(som.quantization_error(&data)? < 0.35);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod labeling;
+pub mod map;
+pub mod neighborhood;
+pub mod schedule;
+pub mod topology;
+
+pub use error::SomError;
+pub use map::{Som, TrainParams};
+pub use neighborhood::NeighborhoodKind;
+pub use schedule::DecaySchedule;
+pub use topology::{GridLayout, GridTopology};

@@ -1,0 +1,155 @@
+//! Neighborhood kernels: how strongly a unit at lattice distance `d` from
+//! the best-matching unit is pulled toward the input.
+
+use serde::{Deserialize, Serialize};
+
+/// The neighborhood function shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NeighborhoodKind {
+    /// `exp(−d²/2σ²)` — smooth, the standard choice.
+    #[default]
+    Gaussian,
+    /// `1` inside the radius, `0` outside — the original Kohonen bubble.
+    Bubble,
+    /// Difference-of-importance "Mexican hat": positive center, slightly
+    /// negative surround, zero far away. The negative lobe sharpens cluster
+    /// boundaries.
+    MexicanHat,
+}
+
+impl NeighborhoodKind {
+    /// Kernel value for lattice distance `d` at radius `sigma`.
+    ///
+    /// All kernels return `1.0` at `d = 0` and (except for the Mexican hat's
+    /// small negative lobe) values in `[0, 1]`. A non-positive `sigma` is
+    /// treated as "winner only": 1 at distance 0, 0 elsewhere.
+    pub fn value(&self, d: f64, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            return if d == 0.0 { 1.0 } else { 0.0 };
+        }
+        match self {
+            NeighborhoodKind::Gaussian => (-d * d / (2.0 * sigma * sigma)).exp(),
+            NeighborhoodKind::Bubble => {
+                if d <= sigma {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            NeighborhoodKind::MexicanHat => {
+                let r = d * d / (sigma * sigma);
+                (1.0 - r) * (-r / 2.0).exp()
+            }
+        }
+    }
+
+    /// Lattice distance beyond which the kernel is negligible (`< 1e-4`) —
+    /// used to skip far units in the online update loop.
+    pub fn cutoff(&self, sigma: f64) -> f64 {
+        if sigma <= 0.0 {
+            return 0.0;
+        }
+        match self {
+            // exp(-d²/2σ²) < 1e-4  ⇔  d > σ·√(2·ln 1e4) ≈ 4.29 σ
+            NeighborhoodKind::Gaussian => 4.3 * sigma,
+            NeighborhoodKind::Bubble => sigma,
+            // The hat's tail carries the extra (1 − d²/σ²) factor, so it
+            // needs a wider cutoff than the plain Gaussian: at d = 5.1σ,
+            // |(1 − r)·e^{−r/2}| ≈ 6e-5 with r = d²/σ².
+            NeighborhoodKind::MexicanHat => 5.1 * sigma,
+        }
+    }
+
+    /// All kernel variants, for sweeps and exhaustive tests.
+    pub const ALL: [NeighborhoodKind; 3] = [
+        NeighborhoodKind::Gaussian,
+        NeighborhoodKind::Bubble,
+        NeighborhoodKind::MexicanHat,
+    ];
+}
+
+impl std::fmt::Display for NeighborhoodKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            NeighborhoodKind::Gaussian => "gaussian",
+            NeighborhoodKind::Bubble => "bubble",
+            NeighborhoodKind::MexicanHat => "mexican-hat",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_peak_at_center() {
+        for k in NeighborhoodKind::ALL {
+            assert!((k.value(0.0, 2.0) - 1.0).abs() < 1e-12, "{k}");
+        }
+    }
+
+    #[test]
+    fn gaussian_decays_monotonically() {
+        let k = NeighborhoodKind::Gaussian;
+        let mut prev = k.value(0.0, 1.5);
+        for i in 1..20 {
+            let v = k.value(i as f64 * 0.5, 1.5);
+            assert!(v < prev);
+            assert!(v > 0.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn gaussian_sigma_value() {
+        // At d = σ the Gaussian is exp(-1/2).
+        let v = NeighborhoodKind::Gaussian.value(2.0, 2.0);
+        assert!((v - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bubble_is_a_step() {
+        let k = NeighborhoodKind::Bubble;
+        assert_eq!(k.value(1.9, 2.0), 1.0);
+        assert_eq!(k.value(2.0, 2.0), 1.0);
+        assert_eq!(k.value(2.1, 2.0), 0.0);
+    }
+
+    #[test]
+    fn mexican_hat_has_negative_lobe() {
+        let k = NeighborhoodKind::MexicanHat;
+        // At d = σ the hat crosses zero; beyond it the value is negative.
+        assert!(k.value(1.0, 1.0).abs() < 1e-12);
+        assert!(k.value(1.5, 1.0) < 0.0);
+        // The negative lobe is small.
+        assert!(k.value(1.5, 1.0) > -0.5);
+    }
+
+    #[test]
+    fn zero_sigma_means_winner_only() {
+        for k in NeighborhoodKind::ALL {
+            assert_eq!(k.value(0.0, 0.0), 1.0, "{k}");
+            assert_eq!(k.value(1.0, 0.0), 0.0, "{k}");
+            assert_eq!(k.cutoff(0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn values_beyond_cutoff_are_negligible() {
+        for k in NeighborhoodKind::ALL {
+            for sigma in [0.5, 1.0, 3.0] {
+                let d = k.cutoff(sigma) + 0.01;
+                assert!(k.value(d, sigma).abs() < 1.1e-4, "{k} σ={sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NeighborhoodKind::Gaussian.to_string(), "gaussian");
+        assert_eq!(NeighborhoodKind::MexicanHat.to_string(), "mexican-hat");
+        assert_eq!(NeighborhoodKind::default(), NeighborhoodKind::Gaussian);
+    }
+}

@@ -1,0 +1,233 @@
+//! Decay schedules for the learning rate and neighborhood radius.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SomError;
+
+/// A monotone decay from a start to an end value over the training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecaySchedule {
+    /// Linear interpolation from `start` at t=0 to `end` at t=1.
+    Linear {
+        /// Initial value.
+        start: f64,
+        /// Final value.
+        end: f64,
+    },
+    /// Exponential decay `start·(end/start)^t`; requires both positive.
+    Exponential {
+        /// Initial value.
+        start: f64,
+        /// Final value.
+        end: f64,
+    },
+    /// `start / (1 + c·t)` — the classical inverse-time schedule.
+    InverseTime {
+        /// Initial value.
+        start: f64,
+        /// Decay speed (larger ⇒ faster decay); the value at t=1 is
+        /// `start / (1 + c)`.
+        c: f64,
+    },
+}
+
+impl DecaySchedule {
+    /// Validates the schedule's parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SomError::InvalidParameter`] when values are non-finite, negative,
+    /// increasing (`end > start`), or (for exponential) non-positive.
+    pub fn validate(&self) -> Result<(), SomError> {
+        let bad = |reason: &'static str| SomError::InvalidParameter {
+            name: "schedule",
+            reason,
+        };
+        match *self {
+            DecaySchedule::Linear { start, end } => {
+                if !start.is_finite() || !end.is_finite() {
+                    return Err(bad("bounds must be finite"));
+                }
+                if start < 0.0 || end < 0.0 {
+                    return Err(bad("bounds must be non-negative"));
+                }
+                if end > start {
+                    return Err(bad("schedule must not increase"));
+                }
+            }
+            DecaySchedule::Exponential { start, end } => {
+                if !(start.is_finite() && end.is_finite() && start > 0.0 && end > 0.0) {
+                    return Err(bad("exponential bounds must be finite and positive"));
+                }
+                if end > start {
+                    return Err(bad("schedule must not increase"));
+                }
+            }
+            DecaySchedule::InverseTime { start, c } => {
+                if !(start.is_finite() && start >= 0.0) {
+                    return Err(bad("start must be finite and non-negative"));
+                }
+                if !(c.is_finite() && c >= 0.0) {
+                    return Err(bad("c must be finite and non-negative"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Value at normalized progress `t ∈ [0, 1]` (clamped).
+    pub fn at(&self, t: f64) -> f64 {
+        let t = t.clamp(0.0, 1.0);
+        match *self {
+            DecaySchedule::Linear { start, end } => start + t * (end - start),
+            DecaySchedule::Exponential { start, end } => start * (end / start).powf(t),
+            DecaySchedule::InverseTime { start, c } => start / (1.0 + c * t),
+        }
+    }
+
+    /// Value at step `step` of `total_steps` (progress `step/(total−1)`;
+    /// a single-step run uses the start value).
+    pub fn at_step(&self, step: usize, total_steps: usize) -> f64 {
+        if total_steps <= 1 {
+            return self.at(0.0);
+        }
+        self.at(step as f64 / (total_steps - 1) as f64)
+    }
+}
+
+impl Default for DecaySchedule {
+    /// Linear decay from 0.5 to 0.02 — a robust default learning-rate
+    /// schedule for the map sizes in this workspace.
+    fn default() -> Self {
+        DecaySchedule::Linear {
+            start: 0.5,
+            end: 0.02,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_interpolates() {
+        let s = DecaySchedule::Linear {
+            start: 1.0,
+            end: 0.0,
+        };
+        assert_eq!(s.at(0.0), 1.0);
+        assert_eq!(s.at(0.5), 0.5);
+        assert_eq!(s.at(1.0), 0.0);
+        // Clamped outside [0,1].
+        assert_eq!(s.at(-1.0), 1.0);
+        assert_eq!(s.at(2.0), 0.0);
+    }
+
+    #[test]
+    fn exponential_hits_endpoints() {
+        let s = DecaySchedule::Exponential {
+            start: 1.0,
+            end: 0.01,
+        };
+        assert!((s.at(0.0) - 1.0).abs() < 1e-12);
+        assert!((s.at(1.0) - 0.01).abs() < 1e-12);
+        assert!((s.at(0.5) - 0.1).abs() < 1e-12); // geometric midpoint
+    }
+
+    #[test]
+    fn inverse_time_decays() {
+        let s = DecaySchedule::InverseTime { start: 1.0, c: 9.0 };
+        assert_eq!(s.at(0.0), 1.0);
+        assert!((s.at(1.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schedules_are_monotone_non_increasing() {
+        let schedules = [
+            DecaySchedule::Linear {
+                start: 0.9,
+                end: 0.1,
+            },
+            DecaySchedule::Exponential {
+                start: 0.9,
+                end: 0.1,
+            },
+            DecaySchedule::InverseTime { start: 0.9, c: 5.0 },
+        ];
+        for s in schedules {
+            s.validate().unwrap();
+            let mut prev = s.at(0.0);
+            for i in 1..=20 {
+                let v = s.at(i as f64 / 20.0);
+                assert!(v <= prev + 1e-12, "{s:?} increased");
+                prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn at_step_handles_degenerate_totals() {
+        let s = DecaySchedule::Linear {
+            start: 1.0,
+            end: 0.0,
+        };
+        assert_eq!(s.at_step(0, 1), 1.0);
+        assert_eq!(s.at_step(0, 0), 1.0);
+        assert_eq!(s.at_step(0, 5), 1.0);
+        assert_eq!(s.at_step(4, 5), 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(DecaySchedule::Linear {
+            start: 0.1,
+            end: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(DecaySchedule::Linear {
+            start: -1.0,
+            end: -2.0
+        }
+        .validate()
+        .is_err());
+        assert!(DecaySchedule::Exponential {
+            start: 0.0,
+            end: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(DecaySchedule::Exponential {
+            start: 1.0,
+            end: f64::NAN
+        }
+        .validate()
+        .is_err());
+        assert!(DecaySchedule::InverseTime {
+            start: 1.0,
+            c: -1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn default_is_reasonable() {
+        let d = DecaySchedule::default();
+        d.validate().unwrap();
+        assert_eq!(d.at(0.0), 0.5);
+        assert!((d.at(1.0) - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = DecaySchedule::Exponential {
+            start: 2.0,
+            end: 0.5,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: DecaySchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

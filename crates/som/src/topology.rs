@@ -1,0 +1,325 @@
+//! Grid topologies: unit indexing, neighbor iteration and grid distance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SomError;
+
+/// Lattice arrangement of the units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GridLayout {
+    /// Square lattice; 4-connected neighbors, Euclidean grid distance.
+    #[default]
+    Rectangular,
+    /// Hexagonal lattice (odd rows shifted right); 6-connected neighbors,
+    /// axial hex distance.
+    Hexagonal,
+}
+
+/// A `rows × cols` grid of SOM units.
+///
+/// Units are identified by a flat index in row-major order; the topology
+/// maps between indices and `(row, col)` positions and answers distance
+/// queries on the lattice (not in feature space).
+///
+/// # Example
+///
+/// ```
+/// use som::topology::GridTopology;
+///
+/// # fn main() -> Result<(), som::SomError> {
+/// let grid = GridTopology::rectangular(3, 4)?;
+/// assert_eq!(grid.len(), 12);
+/// assert_eq!(grid.index(1, 2), 6);
+/// assert_eq!(grid.coords(6), (1, 2));
+/// assert_eq!(grid.grid_distance(0, 0), 0.0);
+/// // Diagonal neighbor at Euclidean distance √2.
+/// assert!((grid.grid_distance(0, 5) - 2f64.sqrt()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GridTopology {
+    rows: usize,
+    cols: usize,
+    layout: GridLayout,
+}
+
+impl GridTopology {
+    /// Creates a grid with the given layout.
+    ///
+    /// # Errors
+    ///
+    /// [`SomError::InvalidParameter`] when either dimension is zero.
+    pub fn new(rows: usize, cols: usize, layout: GridLayout) -> Result<Self, SomError> {
+        if rows == 0 {
+            return Err(SomError::InvalidParameter {
+                name: "rows",
+                reason: "must be at least 1",
+            });
+        }
+        if cols == 0 {
+            return Err(SomError::InvalidParameter {
+                name: "cols",
+                reason: "must be at least 1",
+            });
+        }
+        Ok(GridTopology { rows, cols, layout })
+    }
+
+    /// Creates a rectangular grid.
+    ///
+    /// # Errors
+    ///
+    /// [`SomError::InvalidParameter`] when either dimension is zero.
+    pub fn rectangular(rows: usize, cols: usize) -> Result<Self, SomError> {
+        Self::new(rows, cols, GridLayout::Rectangular)
+    }
+
+    /// Creates a hexagonal grid.
+    ///
+    /// # Errors
+    ///
+    /// [`SomError::InvalidParameter`] when either dimension is zero.
+    pub fn hexagonal(rows: usize, cols: usize) -> Result<Self, SomError> {
+        Self::new(rows, cols, GridLayout::Hexagonal)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The lattice layout.
+    pub fn layout(&self) -> GridLayout {
+        self.layout
+    }
+
+    /// Total number of units.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `false` always — construction rejects empty grids.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Flat index of `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of bounds.
+    #[inline]
+    pub fn index(&self, row: usize, col: usize) -> usize {
+        assert!(row < self.rows && col < self.cols, "grid position out of bounds");
+        row * self.cols + col
+    }
+
+    /// `(row, col)` of a flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn coords(&self, index: usize) -> (usize, usize) {
+        assert!(index < self.len(), "unit index out of bounds");
+        (index / self.cols, index % self.cols)
+    }
+
+    /// Iterator over all `(row, col)` positions in row-major order.
+    pub fn iter_coords(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.len()).map(move |i| self.coords(i))
+    }
+
+    /// Lattice distance between two units (by flat index).
+    ///
+    /// Rectangular grids use Euclidean distance on `(row, col)`; hexagonal
+    /// grids use the axial hex distance of the offset coordinates. In both
+    /// cases adjacent units are at distance 1, which is what the
+    /// neighborhood kernels assume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn grid_distance(&self, a: usize, b: usize) -> f64 {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        match self.layout {
+            GridLayout::Rectangular => {
+                let dr = ar as f64 - br as f64;
+                let dc = ac as f64 - bc as f64;
+                (dr * dr + dc * dc).sqrt()
+            }
+            GridLayout::Hexagonal => {
+                // Convert odd-r offset to axial coordinates, then use the
+                // standard hex distance.
+                let to_axial = |r: usize, c: usize| -> (i64, i64) {
+                    let r = r as i64;
+                    let c = c as i64;
+                    let q = c - (r - (r & 1)) / 2;
+                    (q, r)
+                };
+                let (aq, ar) = to_axial(ar, ac);
+                let (bq, br) = to_axial(br, bc);
+                let dq = aq - bq;
+                let dr = ar - br;
+                (((dq).abs() + (dr).abs() + (dq + dr).abs()) / 2) as f64
+            }
+        }
+    }
+
+    /// Flat indices of the immediate lattice neighbors of `index`
+    /// (4-connected for rectangular, 6-connected for hexagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn neighbors(&self, index: usize) -> Vec<usize> {
+        let (r, c) = self.coords(index);
+        let r = r as i64;
+        let c = c as i64;
+        let candidates: Vec<(i64, i64)> = match self.layout {
+            GridLayout::Rectangular => {
+                vec![(r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)]
+            }
+            GridLayout::Hexagonal => {
+                // odd-r offset neighbor table
+                if r % 2 == 0 {
+                    vec![
+                        (r, c - 1),
+                        (r, c + 1),
+                        (r - 1, c - 1),
+                        (r - 1, c),
+                        (r + 1, c - 1),
+                        (r + 1, c),
+                    ]
+                } else {
+                    vec![
+                        (r, c - 1),
+                        (r, c + 1),
+                        (r - 1, c),
+                        (r - 1, c + 1),
+                        (r + 1, c),
+                        (r + 1, c + 1),
+                    ]
+                }
+            }
+        };
+        candidates
+            .into_iter()
+            .filter(|&(nr, nc)| {
+                nr >= 0 && nc >= 0 && (nr as usize) < self.rows && (nc as usize) < self.cols
+            })
+            .map(|(nr, nc)| self.index(nr as usize, nc as usize))
+            .collect()
+    }
+
+    /// Half the larger grid dimension — the conventional initial
+    /// neighborhood radius.
+    pub fn default_radius(&self) -> f64 {
+        (self.rows.max(self.cols) as f64 / 2.0).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_dimensions() {
+        assert!(GridTopology::rectangular(0, 3).is_err());
+        assert!(GridTopology::rectangular(3, 0).is_err());
+        assert!(GridTopology::rectangular(1, 1).is_ok());
+    }
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let g = GridTopology::rectangular(3, 5).unwrap();
+        for i in 0..g.len() {
+            let (r, c) = g.coords(i);
+            assert_eq!(g.index(r, c), i);
+        }
+        assert_eq!(g.iter_coords().count(), 15);
+    }
+
+    #[test]
+    fn rectangular_distance_is_euclidean() {
+        let g = GridTopology::rectangular(4, 4).unwrap();
+        assert_eq!(g.grid_distance(0, 0), 0.0);
+        assert_eq!(g.grid_distance(0, 1), 1.0);
+        assert_eq!(g.grid_distance(0, 4), 1.0);
+        assert!((g.grid_distance(0, 5) - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(g.grid_distance(0, 3), 3.0);
+    }
+
+    #[test]
+    fn rectangular_neighbors() {
+        let g = GridTopology::rectangular(3, 3).unwrap();
+        // Center unit (1,1) = 4 has 4 neighbors.
+        let mut n = g.neighbors(4);
+        n.sort_unstable();
+        assert_eq!(n, vec![1, 3, 5, 7]);
+        // Corner has 2.
+        let mut n = g.neighbors(0);
+        n.sort_unstable();
+        assert_eq!(n, vec![1, 3]);
+    }
+
+    #[test]
+    fn hexagonal_neighbors_count() {
+        let g = GridTopology::hexagonal(4, 4).unwrap();
+        // An interior unit has 6 neighbors.
+        let interior = g.index(1, 1);
+        assert_eq!(g.neighbors(interior).len(), 6);
+        // All neighbor distances are exactly 1.
+        for n in g.neighbors(interior) {
+            assert_eq!(g.grid_distance(interior, n), 1.0, "neighbor {n}");
+        }
+    }
+
+    #[test]
+    fn hex_distance_symmetry_and_identity() {
+        let g = GridTopology::hexagonal(5, 5).unwrap();
+        for a in 0..g.len() {
+            assert_eq!(g.grid_distance(a, a), 0.0);
+            for b in 0..g.len() {
+                assert_eq!(g.grid_distance(a, b), g.grid_distance(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_mutual() {
+        for layout in [GridLayout::Rectangular, GridLayout::Hexagonal] {
+            let g = GridTopology::new(4, 5, layout).unwrap();
+            for i in 0..g.len() {
+                for n in g.neighbors(i) {
+                    assert!(
+                        g.neighbors(n).contains(&i),
+                        "{layout:?}: {i} -> {n} not mutual"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_radius() {
+        assert_eq!(GridTopology::rectangular(2, 2).unwrap().default_radius(), 1.0);
+        assert_eq!(GridTopology::rectangular(10, 4).unwrap().default_radius(), 5.0);
+        assert_eq!(GridTopology::rectangular(1, 1).unwrap().default_radius(), 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = GridTopology::hexagonal(3, 7).unwrap();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: GridTopology = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the SOM substrate.
+
+use mathkit::Matrix;
+use proptest::prelude::*;
+use som::map::{Som, TrainParams};
+use som::topology::{GridLayout, GridTopology};
+use som::{DecaySchedule, NeighborhoodKind};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Matrix::from_flat(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen::<f64>()).collect(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Grid distance is a metric on the lattice: identity, symmetry, and
+    /// triangle inequality (checked on sampled triples).
+    #[test]
+    fn grid_distance_is_a_metric(
+        rows in 1usize..7, cols in 1usize..7,
+        layout_idx in 0usize..2,
+        a in 0usize..49, b in 0usize..49, c in 0usize..49
+    ) {
+        let layout = [GridLayout::Rectangular, GridLayout::Hexagonal][layout_idx];
+        let g = GridTopology::new(rows, cols, layout).unwrap();
+        let n = g.len();
+        let (a, b, c) = (a % n, b % n, c % n);
+        prop_assert_eq!(g.grid_distance(a, a), 0.0);
+        prop_assert!((g.grid_distance(a, b) - g.grid_distance(b, a)).abs() < 1e-12);
+        prop_assert!(
+            g.grid_distance(a, b) <= g.grid_distance(a, c) + g.grid_distance(c, b) + 1e-9
+        );
+    }
+
+    /// Neighbor lists are symmetric and each neighbor is at lattice
+    /// distance exactly 1.
+    #[test]
+    fn neighbors_are_mutual_at_distance_one(
+        rows in 1usize..7, cols in 1usize..7, layout_idx in 0usize..2
+    ) {
+        let layout = [GridLayout::Rectangular, GridLayout::Hexagonal][layout_idx];
+        let g = GridTopology::new(rows, cols, layout).unwrap();
+        for i in 0..g.len() {
+            for n in g.neighbors(i) {
+                prop_assert!(g.neighbors(n).contains(&i));
+                prop_assert_eq!(g.grid_distance(i, n), 1.0);
+            }
+        }
+    }
+
+    /// The BMU really is the argmin over units for arbitrary inputs.
+    #[test]
+    fn bmu_is_globally_optimal(seed in 0u64..200, dim in 1usize..6) {
+        let data = random_matrix(20, dim, seed);
+        let som = Som::from_data_sample(3, 3, &data, seed).unwrap();
+        let x: Vec<f64> = data.row(0).to_vec();
+        let bmu = som.bmu(&x).unwrap();
+        for u in 0..som.len() {
+            let d = mathkit::distance::euclidean(&x, som.unit_weight(u));
+            prop_assert!(bmu.distance <= d + 1e-12);
+        }
+    }
+
+    /// Neighborhood kernels are bounded and peak at the center.
+    #[test]
+    fn kernels_are_bounded(d in 0.0f64..20.0, sigma in 0.01f64..10.0) {
+        for k in NeighborhoodKind::ALL {
+            let v = k.value(d, sigma);
+            prop_assert!(v <= 1.0 + 1e-12, "{k} exceeded 1");
+            prop_assert!(v >= -0.5, "{k} fell below the hat's lobe bound");
+            prop_assert!(v <= k.value(0.0, sigma) + 1e-12, "{k} not peaked at 0");
+        }
+    }
+
+    /// Schedules stay within [end, start] for any progress.
+    #[test]
+    fn schedules_stay_in_range(start in 0.01f64..2.0, frac in 0.01f64..1.0, t in -1.0f64..2.0) {
+        let end = start * frac;
+        for s in [
+            DecaySchedule::Linear { start, end },
+            DecaySchedule::Exponential { start, end },
+        ] {
+            let v = s.at(t);
+            prop_assert!(v >= end - 1e-12 && v <= start + 1e-12, "{s:?} produced {v}");
+        }
+    }
+
+    /// Online training never loses data: hit histograms always sum to the
+    /// sample count, and weights remain finite.
+    #[test]
+    fn training_preserves_invariants(seed in 0u64..100) {
+        let data = random_matrix(40, 3, seed);
+        let mut som = Som::from_data_sample(3, 3, &data, seed).unwrap();
+        som.train_online(
+            &data,
+            &TrainParams { epochs: 3, shuffle_seed: seed, ..Default::default() },
+        )
+        .unwrap();
+        for u in 0..som.len() {
+            prop_assert!(mathkit::vector::all_finite(som.unit_weight(u)));
+        }
+        let hits = som.hit_histogram(&data).unwrap();
+        prop_assert_eq!(hits.iter().sum::<usize>(), 40);
+        let (qe, uhits) = som.unit_quantization(&data).unwrap();
+        prop_assert_eq!(uhits.iter().sum::<usize>(), 40);
+        let total: f64 = qe.iter().sum();
+        let mqe = som.quantization_error(&data).unwrap();
+        prop_assert!((total / 40.0 - mqe).abs() < 1e-9);
+    }
+
+    /// Training with data inside the unit cube keeps weights inside a
+    /// slightly inflated cube (convex updates cannot escape the hull by
+    /// much, and sample-initialized weights start inside it).
+    #[test]
+    fn weights_stay_near_data_hull(seed in 0u64..100) {
+        let data = random_matrix(30, 2, seed);
+        let mut som = Som::from_data_sample(2, 3, &data, seed).unwrap();
+        som.train_online(&data, &TrainParams::default()).unwrap();
+        for u in 0..som.len() {
+            for &w in som.unit_weight(u) {
+                prop_assert!((-0.5..=1.5).contains(&w), "weight {w} escaped");
+            }
+        }
+    }
+}

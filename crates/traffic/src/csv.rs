@@ -1,0 +1,308 @@
+//! Reader/writer for the KDD Cup 99 CSV column format.
+//!
+//! The on-disk format is 41 comma-separated feature fields followed by the
+//! label with a trailing dot, e.g.
+//!
+//! ```text
+//! 0,tcp,http,SF,215,45076,0,0,0,0,0,1,…,0.00,0.00,normal.
+//! ```
+//!
+//! With these routines the *real* KDD files can be dropped into any
+//! experiment in place of the synthetic generator. The mapping is lossy in
+//! exactly one documented way: service names outside the modelled 36-name
+//! vocabulary parse to [`crate::Service::Other`].
+
+use std::io::{BufRead, Write};
+
+use crate::label::AttackType;
+use crate::record::{ConnectionRecord, Flag, Protocol, Service};
+use crate::{Dataset, TrafficError};
+
+/// Number of comma-separated fields per line (41 features + label).
+pub const FIELDS_PER_LINE: usize = 42;
+
+/// Formats one record as a KDD CSV line (no trailing newline).
+pub fn to_line(rec: &ConnectionRecord) -> String {
+    // Counts print as integers, rates with two decimals — matching the
+    // original files' formatting.
+    let int = |v: f64| format!("{}", v.round() as i64);
+    let rate = |v: f64| format!("{v:.2}");
+    [
+        int(rec.duration),
+        rec.protocol.name().to_string(),
+        rec.service.name().to_string(),
+        rec.flag.name().to_string(),
+        int(rec.src_bytes),
+        int(rec.dst_bytes),
+        int(rec.land),
+        int(rec.wrong_fragment),
+        int(rec.urgent),
+        int(rec.hot),
+        int(rec.num_failed_logins),
+        int(rec.logged_in),
+        int(rec.num_compromised),
+        int(rec.root_shell),
+        int(rec.su_attempted),
+        int(rec.num_root),
+        int(rec.num_file_creations),
+        int(rec.num_shells),
+        int(rec.num_access_files),
+        int(rec.num_outbound_cmds),
+        int(rec.is_host_login),
+        int(rec.is_guest_login),
+        int(rec.count),
+        int(rec.srv_count),
+        rate(rec.serror_rate),
+        rate(rec.srv_serror_rate),
+        rate(rec.rerror_rate),
+        rate(rec.srv_rerror_rate),
+        rate(rec.same_srv_rate),
+        rate(rec.diff_srv_rate),
+        rate(rec.srv_diff_host_rate),
+        int(rec.dst_host_count),
+        int(rec.dst_host_srv_count),
+        rate(rec.dst_host_same_srv_rate),
+        rate(rec.dst_host_diff_srv_rate),
+        rate(rec.dst_host_same_src_port_rate),
+        rate(rec.dst_host_srv_diff_host_rate),
+        rate(rec.dst_host_serror_rate),
+        rate(rec.dst_host_srv_serror_rate),
+        rate(rec.dst_host_rerror_rate),
+        rate(rec.dst_host_srv_rerror_rate),
+        format!("{}.", rec.label.name()),
+    ]
+    .join(",")
+}
+
+/// Parses one KDD CSV line.
+///
+/// # Errors
+///
+/// [`TrafficError::FieldCount`] on a malformed field count,
+/// [`TrafficError::FieldParse`] when a numeric field fails to parse, and
+/// [`TrafficError::UnknownLabel`] for unknown protocol/flag/label strings.
+/// `line_no` is used only for error reporting.
+pub fn parse_line(line: &str, line_no: usize) -> Result<ConnectionRecord, TrafficError> {
+    let fields: Vec<&str> = line.trim().split(',').collect();
+    if fields.len() != FIELDS_PER_LINE {
+        return Err(TrafficError::FieldCount {
+            line: line_no,
+            expected: FIELDS_PER_LINE,
+            found: fields.len(),
+        });
+    }
+    let num = |idx: usize, column: &'static str| -> Result<f64, TrafficError> {
+        fields[idx]
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| TrafficError::FieldParse {
+                line: line_no,
+                column,
+                value: fields[idx].to_string(),
+            })
+    };
+    Ok(ConnectionRecord {
+        duration: num(0, "duration")?,
+        protocol: Protocol::parse(fields[1])?,
+        service: Service::parse(fields[2]),
+        flag: Flag::parse(fields[3])?,
+        src_bytes: num(4, "src_bytes")?,
+        dst_bytes: num(5, "dst_bytes")?,
+        land: num(6, "land")?,
+        wrong_fragment: num(7, "wrong_fragment")?,
+        urgent: num(8, "urgent")?,
+        hot: num(9, "hot")?,
+        num_failed_logins: num(10, "num_failed_logins")?,
+        logged_in: num(11, "logged_in")?,
+        num_compromised: num(12, "num_compromised")?,
+        root_shell: num(13, "root_shell")?,
+        su_attempted: num(14, "su_attempted")?,
+        num_root: num(15, "num_root")?,
+        num_file_creations: num(16, "num_file_creations")?,
+        num_shells: num(17, "num_shells")?,
+        num_access_files: num(18, "num_access_files")?,
+        num_outbound_cmds: num(19, "num_outbound_cmds")?,
+        is_host_login: num(20, "is_host_login")?,
+        is_guest_login: num(21, "is_guest_login")?,
+        count: num(22, "count")?,
+        srv_count: num(23, "srv_count")?,
+        serror_rate: num(24, "serror_rate")?,
+        srv_serror_rate: num(25, "srv_serror_rate")?,
+        rerror_rate: num(26, "rerror_rate")?,
+        srv_rerror_rate: num(27, "srv_rerror_rate")?,
+        same_srv_rate: num(28, "same_srv_rate")?,
+        diff_srv_rate: num(29, "diff_srv_rate")?,
+        srv_diff_host_rate: num(30, "srv_diff_host_rate")?,
+        dst_host_count: num(31, "dst_host_count")?,
+        dst_host_srv_count: num(32, "dst_host_srv_count")?,
+        dst_host_same_srv_rate: num(33, "dst_host_same_srv_rate")?,
+        dst_host_diff_srv_rate: num(34, "dst_host_diff_srv_rate")?,
+        dst_host_same_src_port_rate: num(35, "dst_host_same_src_port_rate")?,
+        dst_host_srv_diff_host_rate: num(36, "dst_host_srv_diff_host_rate")?,
+        dst_host_serror_rate: num(37, "dst_host_serror_rate")?,
+        dst_host_srv_serror_rate: num(38, "dst_host_srv_serror_rate")?,
+        dst_host_rerror_rate: num(39, "dst_host_rerror_rate")?,
+        dst_host_srv_rerror_rate: num(40, "dst_host_srv_rerror_rate")?,
+        label: AttackType::parse(fields[41])?,
+    })
+}
+
+/// Reads a whole KDD CSV stream into a [`Dataset`]. Blank lines are skipped.
+///
+/// A mutable reference can be passed for `reader` (see `std`'s blanket
+/// `Read for &mut R` impl) when the caller wants to keep the reader.
+///
+/// # Errors
+///
+/// Any I/O error is surfaced as [`TrafficError::FieldParse`] on the
+/// offending line; format errors are reported per
+/// [`parse_line`].
+pub fn read_dataset<R: BufRead>(reader: R) -> Result<Dataset, TrafficError> {
+    let mut records = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.map_err(|e| TrafficError::FieldParse {
+            line: line_no,
+            column: "io",
+            value: e.to_string(),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(parse_line(&line, line_no)?);
+    }
+    Ok(Dataset::from_records(records))
+}
+
+/// Writes a dataset as KDD CSV lines.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `writer`.
+pub fn write_dataset<W: Write>(dataset: &Dataset, mut writer: W) -> std::io::Result<()> {
+    for rec in dataset.iter() {
+        writeln!(writer, "{}", to_line(rec))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{MixSpec, TrafficGenerator};
+
+    /// A real line from the KDD Cup 99 10% file.
+    const REAL_KDD_LINE: &str = "0,tcp,http,SF,215,45076,0,0,0,0,0,1,0,0,0,0,0,0,0,0,0,0,1,1,0.00,0.00,0.00,0.00,1.00,0.00,0.00,0,0,0.00,0.00,0.00,0.00,0.00,0.00,0.00,0.00,normal.";
+
+    #[test]
+    fn parses_real_kdd_line() {
+        let rec = parse_line(REAL_KDD_LINE, 1).unwrap();
+        assert_eq!(rec.protocol, Protocol::Tcp);
+        assert_eq!(rec.service, Service::Http);
+        assert_eq!(rec.flag, Flag::Sf);
+        assert_eq!(rec.src_bytes, 215.0);
+        assert_eq!(rec.dst_bytes, 45_076.0);
+        assert_eq!(rec.logged_in, 1.0);
+        assert_eq!(rec.same_srv_rate, 1.0);
+        assert_eq!(rec.label, AttackType::Normal);
+        rec.validate().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_through_csv() {
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), 21).unwrap();
+        let ds = gen.generate(100);
+        let mut buf = Vec::new();
+        write_dataset(&ds, &mut buf).unwrap();
+        let back = read_dataset(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), ds.len());
+        for (orig, parsed) in ds.iter().zip(back.iter()) {
+            assert_eq!(orig.label, parsed.label);
+            assert_eq!(orig.protocol, parsed.protocol);
+            assert_eq!(orig.service, parsed.service);
+            assert_eq!(orig.flag, parsed.flag);
+            // Counts are integral, so they survive exactly.
+            assert_eq!(orig.src_bytes.round(), parsed.src_bytes);
+            assert_eq!(orig.count.round(), parsed.count);
+            // Rates are rounded to 2 decimals on write.
+            assert!((orig.serror_rate - parsed.serror_rate).abs() <= 0.005 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_field_count() {
+        let err = parse_line("1,2,3", 7).unwrap_err();
+        assert_eq!(
+            err,
+            TrafficError::FieldCount {
+                line: 7,
+                expected: 42,
+                found: 3
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_numeric_field() {
+        let bad = REAL_KDD_LINE.replacen("215", "abc", 1);
+        let err = parse_line(&bad, 3).unwrap_err();
+        assert!(matches!(
+            err,
+            TrafficError::FieldParse {
+                line: 3,
+                column: "src_bytes",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_protocol_and_label() {
+        let bad_proto = REAL_KDD_LINE.replacen("tcp", "gre", 1);
+        assert!(matches!(
+            parse_line(&bad_proto, 1).unwrap_err(),
+            TrafficError::UnknownLabel(_)
+        ));
+        let bad_label = REAL_KDD_LINE.replace("normal.", "slowloris.");
+        assert!(matches!(
+            parse_line(&bad_label, 1).unwrap_err(),
+            TrafficError::UnknownLabel(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_service_maps_to_other() {
+        let odd_service = REAL_KDD_LINE.replacen("http", "tftp_u", 1);
+        let rec = parse_line(&odd_service, 1).unwrap();
+        assert_eq!(rec.service, Service::Other);
+    }
+
+    #[test]
+    fn read_dataset_skips_blank_lines() {
+        let text = format!("{REAL_KDD_LINE}\n\n{REAL_KDD_LINE}\n");
+        let ds = read_dataset(text.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn read_dataset_reports_line_numbers() {
+        let text = format!("{REAL_KDD_LINE}\nnot,a,line\n");
+        let err = read_dataset(text.as_bytes()).unwrap_err();
+        assert_eq!(
+            err,
+            TrafficError::FieldCount {
+                line: 2,
+                expected: 42,
+                found: 3
+            }
+        );
+    }
+
+    #[test]
+    fn to_line_formats_label_with_dot() {
+        let rec = ConnectionRecord::default();
+        let line = to_line(&rec);
+        assert!(line.ends_with("normal."));
+        assert_eq!(line.split(',').count(), FIELDS_PER_LINE);
+    }
+}

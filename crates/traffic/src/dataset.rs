@@ -1,0 +1,364 @@
+//! Labelled record containers with splitting and class accounting.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::label::{AttackCategory, AttackType};
+use crate::record::ConnectionRecord;
+use crate::TrafficError;
+
+/// An in-memory labelled dataset of connection records.
+///
+/// # Example
+///
+/// ```
+/// use traffic::synth::{MixSpec, TrafficGenerator};
+///
+/// # fn main() -> Result<(), traffic::TrafficError> {
+/// let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), 1)?;
+/// let ds = gen.generate(500);
+/// let (train, test) = ds.split_at_fraction(0.8, 42)?;
+/// assert_eq!(train.len() + test.len(), 500);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    records: Vec<ConnectionRecord>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a vector of records.
+    pub fn from_records(records: Vec<ConnectionRecord>) -> Self {
+        Dataset { records }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrow of the underlying records.
+    pub fn records(&self) -> &[ConnectionRecord] {
+        &self.records
+    }
+
+    /// Iterator over records.
+    pub fn iter(&self) -> std::slice::Iter<'_, ConnectionRecord> {
+        self.records.iter()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: ConnectionRecord) {
+        self.records.push(record);
+    }
+
+    /// Consumes the dataset, returning its records.
+    pub fn into_records(self) -> Vec<ConnectionRecord> {
+        self.records
+    }
+
+    /// Appends all records of `other`.
+    pub fn merge(&mut self, other: Dataset) {
+        self.records.extend(other.records);
+    }
+
+    /// Record counts per concrete attack type, sorted by type.
+    pub fn counts_by_type(&self) -> BTreeMap<AttackType, usize> {
+        let mut counts = BTreeMap::new();
+        for rec in &self.records {
+            *counts.entry(rec.label).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Record counts per coarse category, sorted by category.
+    pub fn counts_by_category(&self) -> BTreeMap<AttackCategory, usize> {
+        let mut counts = BTreeMap::new();
+        for rec in &self.records {
+            *counts.entry(rec.category()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Number of attack (non-normal) records.
+    pub fn attack_count(&self) -> usize {
+        self.records.iter().filter(|r| r.is_attack()).count()
+    }
+
+    /// A new dataset containing only records matching `predicate`.
+    pub fn filter<F: Fn(&ConnectionRecord) -> bool>(&self, predicate: F) -> Dataset {
+        Dataset {
+            records: self
+                .records
+                .iter()
+                .filter(|r| predicate(r))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Only the records of the given category.
+    pub fn of_category(&self, cat: AttackCategory) -> Dataset {
+        self.filter(|r| r.category() == cat)
+    }
+
+    /// Shuffles (seeded) and splits into `(first, second)` where `first`
+    /// holds `fraction` of the records.
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::EmptyDataset`] when empty;
+    /// [`TrafficError::InvalidMix`] when `fraction` is outside `(0, 1)`.
+    pub fn split_at_fraction(
+        &self,
+        fraction: f64,
+        seed: u64,
+    ) -> Result<(Dataset, Dataset), TrafficError> {
+        if self.is_empty() {
+            return Err(TrafficError::EmptyDataset);
+        }
+        if !(fraction > 0.0 && fraction < 1.0) {
+            return Err(TrafficError::InvalidMix("split fraction must be in (0, 1)"));
+        }
+        let mut shuffled = self.records.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+        let cut = ((shuffled.len() as f64) * fraction).round() as usize;
+        let cut = cut.clamp(1, shuffled.len() - 1);
+        let second = shuffled.split_off(cut);
+        Ok((Dataset::from_records(shuffled), Dataset::from_records(second)))
+    }
+
+    /// Stratified split: each concrete attack type is split at `fraction`
+    /// independently, so both halves preserve the class mixture (rare
+    /// classes with a single record land in the first half).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Dataset::split_at_fraction`].
+    pub fn stratified_split(
+        &self,
+        fraction: f64,
+        seed: u64,
+    ) -> Result<(Dataset, Dataset), TrafficError> {
+        if self.is_empty() {
+            return Err(TrafficError::EmptyDataset);
+        }
+        if !(fraction > 0.0 && fraction < 1.0) {
+            return Err(TrafficError::InvalidMix("split fraction must be in (0, 1)"));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        let mut by_type: BTreeMap<AttackType, Vec<ConnectionRecord>> = BTreeMap::new();
+        for rec in &self.records {
+            by_type.entry(rec.label).or_default().push(rec.clone());
+        }
+        for (_, mut group) in by_type {
+            group.shuffle(&mut rng);
+            let cut = ((group.len() as f64) * fraction).round() as usize;
+            let cut = cut.clamp(1, group.len());
+            let tail = group.split_off(cut.min(group.len()));
+            first.extend(group);
+            second.extend(tail);
+        }
+        // Re-shuffle so downstream consumers don't see class-sorted data.
+        first.shuffle(&mut rng);
+        second.shuffle(&mut rng);
+        Ok((Dataset::from_records(first), Dataset::from_records(second)))
+    }
+
+    /// Takes a seeded random subsample of at most `n` records.
+    pub fn subsample(&self, n: usize, seed: u64) -> Dataset {
+        if n >= self.len() {
+            return self.clone();
+        }
+        let mut shuffled = self.records.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+        shuffled.truncate(n);
+        Dataset::from_records(shuffled)
+    }
+
+    /// The set of distinct labels present.
+    pub fn distinct_labels(&self) -> Vec<AttackType> {
+        self.counts_by_type().into_keys().collect()
+    }
+}
+
+impl FromIterator<ConnectionRecord> for Dataset {
+    fn from_iter<I: IntoIterator<Item = ConnectionRecord>>(iter: I) -> Self {
+        Dataset {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<ConnectionRecord> for Dataset {
+    fn extend<I: IntoIterator<Item = ConnectionRecord>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a ConnectionRecord;
+    type IntoIter = std::slice::Iter<'a, ConnectionRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl IntoIterator for Dataset {
+    type Item = ConnectionRecord;
+    type IntoIter = std::vec::IntoIter<ConnectionRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{MixSpec, TrafficGenerator};
+
+    fn dataset(n: usize) -> Dataset {
+        TrafficGenerator::new(MixSpec::kdd_train(), 77)
+            .unwrap()
+            .generate(n)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ds = dataset(100);
+        assert_eq!(ds.len(), 100);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.records().len(), 100);
+        assert_eq!(ds.iter().count(), 100);
+        assert!(Dataset::new().is_empty());
+    }
+
+    #[test]
+    fn counts_partition_dataset() {
+        let ds = dataset(500);
+        let by_type: usize = ds.counts_by_type().values().sum();
+        let by_cat: usize = ds.counts_by_category().values().sum();
+        assert_eq!(by_type, 500);
+        assert_eq!(by_cat, 500);
+        assert_eq!(ds.attack_count() + ds.of_category(AttackCategory::Normal).len(), 500);
+    }
+
+    #[test]
+    fn split_preserves_records() {
+        let ds = dataset(200);
+        let (a, b) = ds.split_at_fraction(0.75, 1).unwrap();
+        assert_eq!(a.len(), 150);
+        assert_eq!(b.len(), 50);
+        let mut merged = a.clone();
+        merged.merge(b);
+        assert_eq!(merged.len(), 200);
+        // Same multiset of labels.
+        assert_eq!(merged.counts_by_type(), ds.counts_by_type());
+    }
+
+    #[test]
+    fn split_rejects_bad_inputs() {
+        assert!(Dataset::new().split_at_fraction(0.5, 0).is_err());
+        let ds = dataset(10);
+        assert!(ds.split_at_fraction(0.0, 0).is_err());
+        assert!(ds.split_at_fraction(1.0, 0).is_err());
+        assert!(ds.split_at_fraction(1.5, 0).is_err());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let ds = dataset(100);
+        let (a1, _) = ds.split_at_fraction(0.5, 9).unwrap();
+        let (a2, _) = ds.split_at_fraction(0.5, 9).unwrap();
+        assert_eq!(a1, a2);
+        let (a3, _) = ds.split_at_fraction(0.5, 10).unwrap();
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn stratified_split_preserves_mixture() {
+        let ds = dataset(2_000);
+        let (a, b) = ds.stratified_split(0.5, 3).unwrap();
+        assert_eq!(a.len() + b.len(), 2_000);
+        let full = ds.counts_by_category();
+        let half = a.counts_by_category();
+        for (cat, &n) in &full {
+            if n >= 20 {
+                let got = *half.get(cat).unwrap_or(&0) as f64;
+                let want = n as f64 * 0.5;
+                assert!(
+                    (got - want).abs() / want < 0.25,
+                    "{cat}: expected ~{want}, got {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subsample_bounds() {
+        let ds = dataset(100);
+        assert_eq!(ds.subsample(10, 0).len(), 10);
+        assert_eq!(ds.subsample(1_000, 0).len(), 100);
+        // Deterministic.
+        assert_eq!(ds.subsample(10, 5), ds.subsample(10, 5));
+    }
+
+    #[test]
+    fn filter_and_of_category() {
+        let ds = dataset(500);
+        let dos = ds.of_category(AttackCategory::Dos);
+        assert!(dos.iter().all(|r| r.category() == AttackCategory::Dos));
+        let floods = ds.filter(|r| r.count > 400.0);
+        assert!(floods.iter().all(|r| r.count > 400.0));
+    }
+
+    #[test]
+    fn collection_traits() {
+        let ds = dataset(10);
+        let collected: Dataset = ds.iter().cloned().collect();
+        assert_eq!(collected, ds);
+        let mut ext = Dataset::new();
+        ext.extend(ds.clone());
+        assert_eq!(ext.len(), 10);
+        let v: Vec<_> = ds.clone().into_iter().collect();
+        assert_eq!(v.len(), 10);
+        assert_eq!(ds.into_records().len(), 10);
+    }
+
+    #[test]
+    fn distinct_labels_sorted_unique() {
+        let ds = dataset(1_000);
+        let labels = ds.distinct_labels();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(labels, sorted);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ds = dataset(20);
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ds);
+    }
+}

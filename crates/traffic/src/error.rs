@@ -1,0 +1,102 @@
+//! Error type for traffic generation and parsing.
+
+use std::fmt;
+
+/// Errors produced while generating or parsing traffic data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficError {
+    /// A CSV line had the wrong number of fields.
+    FieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Number of fields expected.
+        expected: usize,
+        /// Number of fields found.
+        found: usize,
+    },
+    /// A CSV field failed to parse.
+    FieldParse {
+        /// 1-based line number.
+        line: usize,
+        /// Column name of the offending field.
+        column: &'static str,
+        /// The raw value that failed to parse.
+        value: String,
+    },
+    /// An unknown attack label was encountered.
+    UnknownLabel(String),
+    /// A generator mix specification was invalid.
+    InvalidMix(&'static str),
+    /// The requested operation needs a non-empty dataset.
+    EmptyDataset,
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::FieldCount {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: expected {expected} fields, found {found}"
+            ),
+            TrafficError::FieldParse {
+                line,
+                column,
+                value,
+            } => write!(f, "line {line}: cannot parse `{value}` as {column}"),
+            TrafficError::UnknownLabel(l) => write!(f, "unknown attack label `{l}`"),
+            TrafficError::InvalidMix(reason) => write!(f, "invalid traffic mix: {reason}"),
+            TrafficError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TrafficError::FieldCount {
+                line: 3,
+                expected: 42,
+                found: 40
+            }
+            .to_string(),
+            "line 3: expected 42 fields, found 40"
+        );
+        assert_eq!(
+            TrafficError::UnknownLabel("zorp".into()).to_string(),
+            "unknown attack label `zorp`"
+        );
+        assert_eq!(
+            TrafficError::InvalidMix("weights sum to zero").to_string(),
+            "invalid traffic mix: weights sum to zero"
+        );
+        assert_eq!(
+            TrafficError::EmptyDataset.to_string(),
+            "operation requires a non-empty dataset"
+        );
+        assert_eq!(
+            TrafficError::FieldParse {
+                line: 7,
+                column: "src_bytes",
+                value: "abc".into()
+            }
+            .to_string(),
+            "line 7: cannot parse `abc` as src_bytes"
+        );
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<TrafficError>();
+    }
+}

@@ -1,0 +1,278 @@
+//! The KDD-99 attack taxonomy.
+//!
+//! Thirty-two concrete attack types plus `normal`, grouped into the four
+//! standard attack categories. Types marked *test-only* below never appear
+//! in the training mix — the evaluation uses them to measure detection of
+//! genuinely unseen attacks, exactly as the KDD "corrected" test set does.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TrafficError;
+
+/// The coarse five-way classification used in every KDD-family evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AttackCategory {
+    /// Legitimate traffic.
+    Normal,
+    /// Denial of service (floods, resource exhaustion).
+    Dos,
+    /// Surveillance / scanning.
+    Probe,
+    /// Remote-to-local: unauthorized access from a remote machine.
+    R2l,
+    /// User-to-root: privilege escalation.
+    U2r,
+}
+
+impl AttackCategory {
+    /// All categories in canonical order.
+    pub const ALL: [AttackCategory; 5] = [
+        AttackCategory::Normal,
+        AttackCategory::Dos,
+        AttackCategory::Probe,
+        AttackCategory::R2l,
+        AttackCategory::U2r,
+    ];
+
+    /// `true` for every category except [`AttackCategory::Normal`].
+    pub fn is_attack(&self) -> bool {
+        !matches!(self, AttackCategory::Normal)
+    }
+}
+
+impl std::fmt::Display for AttackCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            AttackCategory::Normal => "normal",
+            AttackCategory::Dos => "dos",
+            AttackCategory::Probe => "probe",
+            AttackCategory::R2l => "r2l",
+            AttackCategory::U2r => "u2r",
+        };
+        f.write_str(name)
+    }
+}
+
+macro_rules! attack_types {
+    ($( $variant:ident => ($name:literal, $cat:ident, $unseen:literal) ),+ $(,)?) => {
+        /// A concrete attack type (or `Normal`), using the KDD-99 label
+        /// vocabulary.
+        ///
+        /// The `unseen` flag marks types that occur only in test data —
+        /// they model the novel attacks a deployed detector must catch
+        /// without ever having trained on them.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum AttackType {
+            $( $variant ),+
+        }
+
+        impl AttackType {
+            /// Every attack type, in declaration order.
+            pub const ALL: [AttackType; attack_types!(@count $($variant)+)] = [
+                $( AttackType::$variant ),+
+            ];
+
+            /// The KDD label string (e.g. `"neptune"`).
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $( AttackType::$variant => $name ),+
+                }
+            }
+
+            /// The coarse category this type belongs to.
+            pub fn category(&self) -> AttackCategory {
+                match self {
+                    $( AttackType::$variant => AttackCategory::$cat ),+
+                }
+            }
+
+            /// `true` when the type never appears in training data.
+            pub fn is_test_only(&self) -> bool {
+                match self {
+                    $( AttackType::$variant => $unseen ),+
+                }
+            }
+
+            /// Parses a KDD label string (a trailing `.` as found in the raw
+            /// KDD files is tolerated).
+            ///
+            /// # Errors
+            ///
+            /// [`TrafficError::UnknownLabel`] for unrecognized labels.
+            pub fn parse(label: &str) -> Result<Self, TrafficError> {
+                let label = label.trim().trim_end_matches('.');
+                match label {
+                    $( $name => Ok(AttackType::$variant), )+
+                    other => Err(TrafficError::UnknownLabel(other.to_string())),
+                }
+            }
+        }
+    };
+    (@count $($x:ident)+) => { 0usize $( + { let _ = stringify!($x); 1 } )+ };
+}
+
+attack_types! {
+    Normal         => ("normal",          Normal, false),
+    // --- DoS (training) ---
+    Back           => ("back",            Dos,    false),
+    Land           => ("land",            Dos,    false),
+    Neptune        => ("neptune",         Dos,    false),
+    Pod            => ("pod",             Dos,    false),
+    Smurf          => ("smurf",           Dos,    false),
+    Teardrop       => ("teardrop",        Dos,    false),
+    // --- DoS (test-only) ---
+    Apache2        => ("apache2",         Dos,    true),
+    Mailbomb       => ("mailbomb",        Dos,    true),
+    Processtable   => ("processtable",    Dos,    true),
+    Udpstorm       => ("udpstorm",        Dos,    true),
+    // --- Probe (training) ---
+    Ipsweep        => ("ipsweep",         Probe,  false),
+    Nmap           => ("nmap",            Probe,  false),
+    Portsweep      => ("portsweep",       Probe,  false),
+    Satan          => ("satan",           Probe,  false),
+    // --- Probe (test-only) ---
+    Mscan          => ("mscan",           Probe,  true),
+    Saint          => ("saint",           Probe,  true),
+    // --- R2L (training) ---
+    FtpWrite       => ("ftp_write",       R2l,    false),
+    GuessPasswd    => ("guess_passwd",    R2l,    false),
+    Imap           => ("imap",            R2l,    false),
+    Multihop       => ("multihop",        R2l,    false),
+    Phf            => ("phf",             R2l,    false),
+    Spy            => ("spy",             R2l,    false),
+    Warezclient    => ("warezclient",     R2l,    false),
+    Warezmaster    => ("warezmaster",     R2l,    false),
+    // --- R2L (test-only) ---
+    Httptunnel     => ("httptunnel",      R2l,    true),
+    Snmpguess      => ("snmpguess",       R2l,    true),
+    // --- U2R (training) ---
+    BufferOverflow => ("buffer_overflow", U2r,    false),
+    Loadmodule     => ("loadmodule",      U2r,    false),
+    Perl           => ("perl",            U2r,    false),
+    Rootkit        => ("rootkit",         U2r,    false),
+    // --- U2R (test-only) ---
+    Ps             => ("ps",              U2r,    true),
+    Xterm          => ("xterm",           U2r,    true),
+}
+
+impl AttackType {
+    /// All types in a category.
+    pub fn in_category(cat: AttackCategory) -> Vec<AttackType> {
+        AttackType::ALL
+            .iter()
+            .copied()
+            .filter(|t| t.category() == cat)
+            .collect()
+    }
+
+    /// All types that may appear in training data.
+    pub fn training_types() -> Vec<AttackType> {
+        AttackType::ALL
+            .iter()
+            .copied()
+            .filter(|t| !t.is_test_only())
+            .collect()
+    }
+
+    /// `true` for everything except [`AttackType::Normal`].
+    pub fn is_attack(&self) -> bool {
+        !matches!(self, AttackType::Normal)
+    }
+}
+
+impl std::fmt::Display for AttackType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_every_type() {
+        for t in AttackType::ALL {
+            assert_eq!(AttackType::parse(t.name()).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_trailing_dot_and_whitespace() {
+        assert_eq!(AttackType::parse("smurf.").unwrap(), AttackType::Smurf);
+        assert_eq!(AttackType::parse(" normal.\n").unwrap(), AttackType::Normal);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert_eq!(
+            AttackType::parse("slowloris").unwrap_err(),
+            TrafficError::UnknownLabel("slowloris".into())
+        );
+    }
+
+    #[test]
+    fn category_assignment_spot_checks() {
+        assert_eq!(AttackType::Neptune.category(), AttackCategory::Dos);
+        assert_eq!(AttackType::Portsweep.category(), AttackCategory::Probe);
+        assert_eq!(AttackType::GuessPasswd.category(), AttackCategory::R2l);
+        assert_eq!(AttackType::Rootkit.category(), AttackCategory::U2r);
+        assert_eq!(AttackType::Normal.category(), AttackCategory::Normal);
+    }
+
+    #[test]
+    fn normal_is_not_attack() {
+        assert!(!AttackType::Normal.is_attack());
+        assert!(!AttackCategory::Normal.is_attack());
+        assert!(AttackType::Smurf.is_attack());
+        assert!(AttackCategory::U2r.is_attack());
+    }
+
+    #[test]
+    fn test_only_types_are_marked() {
+        assert!(AttackType::Apache2.is_test_only());
+        assert!(AttackType::Mscan.is_test_only());
+        assert!(!AttackType::Neptune.is_test_only());
+        assert!(!AttackType::Normal.is_test_only());
+    }
+
+    #[test]
+    fn training_types_excludes_test_only() {
+        let train = AttackType::training_types();
+        assert!(train.contains(&AttackType::Smurf));
+        assert!(!train.contains(&AttackType::Saint));
+        assert!(train.contains(&AttackType::Normal));
+        // 33 total, 10 test-only.
+        assert_eq!(AttackType::ALL.len(), 33);
+        assert_eq!(train.len(), 23);
+    }
+
+    #[test]
+    fn in_category_partitions_all_types() {
+        let mut total = 0;
+        for cat in AttackCategory::ALL {
+            let types = AttackType::in_category(cat);
+            for t in &types {
+                assert_eq!(t.category(), cat);
+            }
+            total += types.len();
+        }
+        assert_eq!(total, AttackType::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_kdd_names() {
+        assert_eq!(AttackType::BufferOverflow.to_string(), "buffer_overflow");
+        assert_eq!(AttackCategory::R2l.to_string(), "r2l");
+    }
+
+    #[test]
+    fn every_category_has_both_seen_and_unseen_attacks() {
+        for cat in [AttackCategory::Dos, AttackCategory::Probe, AttackCategory::R2l, AttackCategory::U2r] {
+            let types = AttackType::in_category(cat);
+            assert!(types.iter().any(|t| t.is_test_only()), "{cat} lacks unseen types");
+            assert!(types.iter().any(|t| !t.is_test_only()), "{cat} lacks training types");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Synthetic KDD-Cup-99-style network traffic substrate.
+//!
+//! The target paper evaluates a growing hierarchical SOM on a standard
+//! intrusion-detection dataset (the KDD Cup 99 family). That data is not
+//! available in this offline environment, so this crate implements the
+//! closest synthetic equivalent that exercises the same code paths (the
+//! substitution is documented in `DESIGN.md` §3):
+//!
+//! * [`record`] — the 41-feature connection record, its categorical
+//!   vocabularies ([`Protocol`], [`Service`], [`Flag`]) and feature-name
+//!   metadata.
+//! * [`label`] — the attack taxonomy: 30+ concrete [`AttackType`]s grouped
+//!   into the five standard [`AttackCategory`]s (normal, DoS, probe, R2L,
+//!   U2R), including test-only attack types unseen during training.
+//! * [`synth`] — seeded generative models per attack type that reproduce the
+//!   documented feature signatures (SYN-flood S0 flags, smurf ICMP
+//!   `ecr_i` floods, port-scan service dispersal, …).
+//! * [`dataset`] — labelled record containers with stratified splitting and
+//!   class accounting.
+//! * [`csv`] — reader/writer for the actual KDD CSV column format, so the
+//!   real dataset can be dropped in where available.
+//! * [`flows`] — a raw flow-event simulator (5-tuples over time), and
+//! * [`window`] — the 2-second sliding-window aggregator that derives the
+//!   KDD time-based features from raw flows, mirroring how the original
+//!   dataset's features were produced from tcpdump traces.
+//!
+//! # Example
+//!
+//! ```
+//! use traffic::synth::{MixSpec, TrafficGenerator};
+//! use traffic::label::AttackCategory;
+//!
+//! # fn main() -> Result<(), traffic::TrafficError> {
+//! let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), 42)?;
+//! let dataset = gen.generate(1000);
+//! let counts = dataset.counts_by_category();
+//! // The KDD training mix is dominated by DoS floods.
+//! assert!(counts[&AttackCategory::Dos] > counts[&AttackCategory::Normal]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod error;
+pub mod flows;
+pub mod label;
+pub mod record;
+pub mod synth;
+pub mod window;
+
+pub use dataset::Dataset;
+pub use error::TrafficError;
+pub use label::{AttackCategory, AttackType};
+pub use record::{ConnectionRecord, Flag, Protocol, Service};

@@ -1,0 +1,653 @@
+//! The 41-feature connection record and its categorical vocabularies.
+//!
+//! Field order, names and semantics follow the KDD Cup 99 feature set
+//! exactly, so the [`crate::csv`] module can read and write the real
+//! dataset's files. Features 1–9 are *basic* (derived from the connection
+//! itself), 10–22 are *content* features (from payload inspection), 23–31
+//! are *time-based* traffic features over a 2-second window, and 32–41 are
+//! *host-based* traffic features over the last 100 connections.
+
+use serde::{Deserialize, Serialize};
+
+use crate::label::AttackType;
+use crate::TrafficError;
+
+/// Transport protocol of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Protocol {
+    #[default]
+    Tcp,
+    Udp,
+    Icmp,
+}
+
+impl Protocol {
+    /// All protocols in KDD order.
+    pub const ALL: [Protocol; 3] = [Protocol::Tcp, Protocol::Udp, Protocol::Icmp];
+
+    /// KDD string form.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Tcp => "tcp",
+            Protocol::Udp => "udp",
+            Protocol::Icmp => "icmp",
+        }
+    }
+
+    /// Parses the KDD string form.
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::UnknownLabel`] for anything else.
+    pub fn parse(s: &str) -> Result<Self, TrafficError> {
+        match s.trim() {
+            "tcp" => Ok(Protocol::Tcp),
+            "udp" => Ok(Protocol::Udp),
+            "icmp" => Ok(Protocol::Icmp),
+            other => Err(TrafficError::UnknownLabel(other.to_string())),
+        }
+    }
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+macro_rules! services {
+    ($( $variant:ident => $name:literal ),+ $(,)?) => {
+        /// Application service of a connection (KDD vocabulary subset).
+        ///
+        /// The real KDD files contain ~70 service names; the 36 most common
+        /// are modelled here and everything else parses to
+        /// [`Service::Other`] (a documented, slightly lossy mapping that
+        /// does not affect the detectors: rare services are exactly what
+        /// `other` encodes).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum Service {
+            #[default]
+            $( $variant ),+
+        }
+
+        impl Service {
+            /// All modelled services.
+            pub const ALL: [Service; services!(@count $($variant)+)] = [
+                $( Service::$variant ),+
+            ];
+
+            /// KDD string form.
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $( Service::$variant => $name ),+
+                }
+            }
+
+            /// Parses a KDD service name; unknown names map to
+            /// [`Service::Other`].
+            pub fn parse(s: &str) -> Self {
+                match s.trim() {
+                    $( $name => Service::$variant, )+
+                    _ => Service::Other,
+                }
+            }
+        }
+    };
+    (@count $($x:ident)+) => { 0usize $( + { let _ = stringify!($x); 1 } )+ };
+}
+
+services! {
+    Http      => "http",
+    Smtp      => "smtp",
+    Ftp       => "ftp",
+    FtpData   => "ftp_data",
+    Telnet    => "telnet",
+    Ssh       => "ssh",
+    DomainUdp => "domain_u",
+    Domain    => "domain",
+    Pop3      => "pop_3",
+    Imap4     => "imap4",
+    Finger    => "finger",
+    EcoI      => "eco_i",
+    EcrI      => "ecr_i",
+    Private   => "private",
+    Auth      => "auth",
+    Irc       => "IRC",
+    X11       => "X11",
+    Time      => "time",
+    Whois     => "whois",
+    Nntp      => "nntp",
+    Uucp      => "uucp",
+    NetbiosNs => "netbios_ns",
+    Sunrpc    => "sunrpc",
+    Gopher    => "gopher",
+    Vmnet     => "vmnet",
+    CsnetNs   => "csnet_ns",
+    Link      => "link",
+    Mtp       => "mtp",
+    Login     => "login",
+    Shell     => "shell",
+    Exec      => "exec",
+    Printer   => "printer",
+    Courier   => "courier",
+    Snmp      => "snmp",
+    UrpI      => "urp_i",
+    Other     => "other",
+}
+
+impl std::fmt::Display for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+macro_rules! flags {
+    ($( $variant:ident => $name:literal ),+ $(,)?) => {
+        /// TCP connection status flag (full 11-value KDD vocabulary).
+        ///
+        /// `SF` is a normal completed connection; `S0` is a connection
+        /// attempt with no reply (the SYN-flood signature); `REJ` is a
+        /// rejected attempt (the port-scan signature).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+        #[allow(missing_docs)]
+        pub enum Flag {
+            #[default]
+            $( $variant ),+
+        }
+
+        impl Flag {
+            /// All flags.
+            pub const ALL: [Flag; flags!(@count $($variant)+)] = [
+                $( Flag::$variant ),+
+            ];
+
+            /// KDD string form.
+            pub fn name(&self) -> &'static str {
+                match self {
+                    $( Flag::$variant => $name ),+
+                }
+            }
+
+            /// Parses the KDD string form.
+            ///
+            /// # Errors
+            ///
+            /// [`TrafficError::UnknownLabel`] for anything else.
+            pub fn parse(s: &str) -> Result<Self, TrafficError> {
+                match s.trim() {
+                    $( $name => Ok(Flag::$variant), )+
+                    other => Err(TrafficError::UnknownLabel(other.to_string())),
+                }
+            }
+        }
+    };
+    (@count $($x:ident)+) => { 0usize $( + { let _ = stringify!($x); 1 } )+ };
+}
+
+flags! {
+    Sf     => "SF",
+    S0     => "S0",
+    S1     => "S1",
+    S2     => "S2",
+    S3     => "S3",
+    Rej    => "REJ",
+    Rsto   => "RSTO",
+    Rstr   => "RSTR",
+    RstOS0 => "RSTOS0",
+    Oth    => "OTH",
+    Sh     => "SH",
+}
+
+impl std::fmt::Display for Flag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One labelled network connection, in the exact KDD Cup 99 feature layout.
+///
+/// This is a passive, C-style data record: all fields are public and the
+/// invariants (rates in `[0,1]`, counts non-negative) are enforced by the
+/// generators and checked by [`ConnectionRecord::validate`] at trust
+/// boundaries (CSV ingest).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectionRecord {
+    // --- basic features (1-9) ---
+    /// 1: connection duration in seconds.
+    pub duration: f64,
+    /// 2: transport protocol.
+    pub protocol: Protocol,
+    /// 3: application service.
+    pub service: Service,
+    /// 4: connection status flag.
+    pub flag: Flag,
+    /// 5: bytes from source to destination.
+    pub src_bytes: f64,
+    /// 6: bytes from destination to source.
+    pub dst_bytes: f64,
+    /// 7: 1 if connection is from/to the same host/port (land attack).
+    pub land: f64,
+    /// 8: number of wrong fragments.
+    pub wrong_fragment: f64,
+    /// 9: number of urgent packets.
+    pub urgent: f64,
+    // --- content features (10-22) ---
+    /// 10: number of "hot" indicators.
+    pub hot: f64,
+    /// 11: number of failed login attempts.
+    pub num_failed_logins: f64,
+    /// 12: 1 if successfully logged in.
+    pub logged_in: f64,
+    /// 13: number of compromised conditions.
+    pub num_compromised: f64,
+    /// 14: 1 if root shell was obtained.
+    pub root_shell: f64,
+    /// 15: 1 if `su root` was attempted.
+    pub su_attempted: f64,
+    /// 16: number of root accesses.
+    pub num_root: f64,
+    /// 17: number of file-creation operations.
+    pub num_file_creations: f64,
+    /// 18: number of shell prompts.
+    pub num_shells: f64,
+    /// 19: number of operations on access-control files.
+    pub num_access_files: f64,
+    /// 20: number of outbound commands in an ftp session.
+    pub num_outbound_cmds: f64,
+    /// 21: 1 if the login belongs to the "hot" list.
+    pub is_host_login: f64,
+    /// 22: 1 if the login is a guest login.
+    pub is_guest_login: f64,
+    // --- time-based traffic features, 2-second window (23-31) ---
+    /// 23: connections to the same host in the past 2 seconds.
+    pub count: f64,
+    /// 24: connections to the same service in the past 2 seconds.
+    pub srv_count: f64,
+    /// 25: fraction of `count` connections with SYN errors.
+    pub serror_rate: f64,
+    /// 26: fraction of `srv_count` connections with SYN errors.
+    pub srv_serror_rate: f64,
+    /// 27: fraction of `count` connections with REJ errors.
+    pub rerror_rate: f64,
+    /// 28: fraction of `srv_count` connections with REJ errors.
+    pub srv_rerror_rate: f64,
+    /// 29: fraction of `count` connections to the same service.
+    pub same_srv_rate: f64,
+    /// 30: fraction of `count` connections to different services.
+    pub diff_srv_rate: f64,
+    /// 31: fraction of `srv_count` connections to different hosts.
+    pub srv_diff_host_rate: f64,
+    // --- host-based traffic features, last-100-connections window (32-41) ---
+    /// 32: connections to the same destination host (of last 100).
+    pub dst_host_count: f64,
+    /// 33: connections to the same service on the destination host.
+    pub dst_host_srv_count: f64,
+    /// 34: fraction to the same service.
+    pub dst_host_same_srv_rate: f64,
+    /// 35: fraction to different services.
+    pub dst_host_diff_srv_rate: f64,
+    /// 36: fraction from the same source port.
+    pub dst_host_same_src_port_rate: f64,
+    /// 37: fraction to different hosts on the same service.
+    pub dst_host_srv_diff_host_rate: f64,
+    /// 38: fraction with SYN errors.
+    pub dst_host_serror_rate: f64,
+    /// 39: fraction with SYN errors, same service.
+    pub dst_host_srv_serror_rate: f64,
+    /// 40: fraction with REJ errors.
+    pub dst_host_rerror_rate: f64,
+    /// 41: fraction with REJ errors, same service.
+    pub dst_host_srv_rerror_rate: f64,
+    /// Ground-truth label.
+    pub label: AttackType,
+}
+
+impl Default for ConnectionRecord {
+    /// An all-zero, `SF`-flagged, `normal`-labelled record — the neutral
+    /// starting point the generators mutate.
+    fn default() -> Self {
+        ConnectionRecord {
+            duration: 0.0,
+            protocol: Protocol::Tcp,
+            service: Service::Http,
+            flag: Flag::Sf,
+            src_bytes: 0.0,
+            dst_bytes: 0.0,
+            land: 0.0,
+            wrong_fragment: 0.0,
+            urgent: 0.0,
+            hot: 0.0,
+            num_failed_logins: 0.0,
+            logged_in: 0.0,
+            num_compromised: 0.0,
+            root_shell: 0.0,
+            su_attempted: 0.0,
+            num_root: 0.0,
+            num_file_creations: 0.0,
+            num_shells: 0.0,
+            num_access_files: 0.0,
+            num_outbound_cmds: 0.0,
+            is_host_login: 0.0,
+            is_guest_login: 0.0,
+            count: 0.0,
+            srv_count: 0.0,
+            serror_rate: 0.0,
+            srv_serror_rate: 0.0,
+            rerror_rate: 0.0,
+            srv_rerror_rate: 0.0,
+            same_srv_rate: 0.0,
+            diff_srv_rate: 0.0,
+            srv_diff_host_rate: 0.0,
+            dst_host_count: 0.0,
+            dst_host_srv_count: 0.0,
+            dst_host_same_srv_rate: 0.0,
+            dst_host_diff_srv_rate: 0.0,
+            dst_host_same_src_port_rate: 0.0,
+            dst_host_srv_diff_host_rate: 0.0,
+            dst_host_serror_rate: 0.0,
+            dst_host_srv_serror_rate: 0.0,
+            dst_host_rerror_rate: 0.0,
+            dst_host_srv_rerror_rate: 0.0,
+            label: AttackType::Normal,
+        }
+    }
+}
+
+/// Names of the 38 continuous features, in the order produced by
+/// [`ConnectionRecord::continuous_features`].
+pub const CONTINUOUS_FEATURE_NAMES: [&str; 38] = [
+    "duration",
+    "src_bytes",
+    "dst_bytes",
+    "land",
+    "wrong_fragment",
+    "urgent",
+    "hot",
+    "num_failed_logins",
+    "logged_in",
+    "num_compromised",
+    "root_shell",
+    "su_attempted",
+    "num_root",
+    "num_file_creations",
+    "num_shells",
+    "num_access_files",
+    "num_outbound_cmds",
+    "is_host_login",
+    "is_guest_login",
+    "count",
+    "srv_count",
+    "serror_rate",
+    "srv_serror_rate",
+    "rerror_rate",
+    "srv_rerror_rate",
+    "same_srv_rate",
+    "diff_srv_rate",
+    "srv_diff_host_rate",
+    "dst_host_count",
+    "dst_host_srv_count",
+    "dst_host_same_srv_rate",
+    "dst_host_diff_srv_rate",
+    "dst_host_same_src_port_rate",
+    "dst_host_srv_diff_host_rate",
+    "dst_host_serror_rate",
+    "dst_host_srv_serror_rate",
+    "dst_host_rerror_rate",
+    "dst_host_srv_rerror_rate",
+];
+
+impl ConnectionRecord {
+    /// Total number of KDD features (38 continuous + 3 categorical).
+    pub const FEATURE_COUNT: usize = 41;
+
+    /// Number of continuous features.
+    pub const CONTINUOUS_COUNT: usize = 38;
+
+    /// The 38 continuous features in [`CONTINUOUS_FEATURE_NAMES`] order.
+    ///
+    /// The three categorical features (protocol, service, flag) are
+    /// intentionally excluded — the `featurize` crate one-hot encodes them.
+    pub fn continuous_features(&self) -> Vec<f64> {
+        vec![
+            self.duration,
+            self.src_bytes,
+            self.dst_bytes,
+            self.land,
+            self.wrong_fragment,
+            self.urgent,
+            self.hot,
+            self.num_failed_logins,
+            self.logged_in,
+            self.num_compromised,
+            self.root_shell,
+            self.su_attempted,
+            self.num_root,
+            self.num_file_creations,
+            self.num_shells,
+            self.num_access_files,
+            self.num_outbound_cmds,
+            self.is_host_login,
+            self.is_guest_login,
+            self.count,
+            self.srv_count,
+            self.serror_rate,
+            self.srv_serror_rate,
+            self.rerror_rate,
+            self.srv_rerror_rate,
+            self.same_srv_rate,
+            self.diff_srv_rate,
+            self.srv_diff_host_rate,
+            self.dst_host_count,
+            self.dst_host_srv_count,
+            self.dst_host_same_srv_rate,
+            self.dst_host_diff_srv_rate,
+            self.dst_host_same_src_port_rate,
+            self.dst_host_srv_diff_host_rate,
+            self.dst_host_serror_rate,
+            self.dst_host_srv_serror_rate,
+            self.dst_host_rerror_rate,
+            self.dst_host_srv_rerror_rate,
+        ]
+    }
+
+    /// Checks the structural invariants: all values finite and
+    /// non-negative, every `*_rate` field within `[0, 1]`, binary
+    /// indicators in `{0, 1}`.
+    ///
+    /// Used at trust boundaries (CSV ingest); generator output is checked
+    /// in tests.
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::FieldParse`] naming the first offending field
+    /// (reported with `line: 0` since no file context exists here).
+    pub fn validate(&self) -> Result<(), TrafficError> {
+        let bad = |column: &'static str, value: f64| TrafficError::FieldParse {
+            line: 0,
+            column,
+            value: value.to_string(),
+        };
+        let features = self.continuous_features();
+        for (name, value) in CONTINUOUS_FEATURE_NAMES.iter().zip(&features) {
+            if !value.is_finite() || *value < 0.0 {
+                return Err(bad(name, *value));
+            }
+        }
+        let rates = [
+            ("serror_rate", self.serror_rate),
+            ("srv_serror_rate", self.srv_serror_rate),
+            ("rerror_rate", self.rerror_rate),
+            ("srv_rerror_rate", self.srv_rerror_rate),
+            ("same_srv_rate", self.same_srv_rate),
+            ("diff_srv_rate", self.diff_srv_rate),
+            ("srv_diff_host_rate", self.srv_diff_host_rate),
+            ("dst_host_same_srv_rate", self.dst_host_same_srv_rate),
+            ("dst_host_diff_srv_rate", self.dst_host_diff_srv_rate),
+            (
+                "dst_host_same_src_port_rate",
+                self.dst_host_same_src_port_rate,
+            ),
+            (
+                "dst_host_srv_diff_host_rate",
+                self.dst_host_srv_diff_host_rate,
+            ),
+            ("dst_host_serror_rate", self.dst_host_serror_rate),
+            ("dst_host_srv_serror_rate", self.dst_host_srv_serror_rate),
+            ("dst_host_rerror_rate", self.dst_host_rerror_rate),
+            ("dst_host_srv_rerror_rate", self.dst_host_srv_rerror_rate),
+        ];
+        for (name, value) in rates {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(bad(name, value));
+            }
+        }
+        let binaries = [
+            ("land", self.land),
+            ("logged_in", self.logged_in),
+            ("root_shell", self.root_shell),
+            ("is_host_login", self.is_host_login),
+            ("is_guest_login", self.is_guest_login),
+        ];
+        for (name, value) in binaries {
+            if value != 0.0 && value != 1.0 {
+                return Err(bad(name, value));
+            }
+        }
+        Ok(())
+    }
+
+    /// Shorthand for `self.label.category()`.
+    pub fn category(&self) -> crate::label::AttackCategory {
+        self.label.category()
+    }
+
+    /// Shorthand for `self.label.is_attack()`.
+    pub fn is_attack(&self) -> bool {
+        self.label.is_attack()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::AttackCategory;
+
+    #[test]
+    fn protocol_roundtrip() {
+        for p in Protocol::ALL {
+            assert_eq!(Protocol::parse(p.name()).unwrap(), p);
+        }
+        assert!(Protocol::parse("sctp").is_err());
+    }
+
+    #[test]
+    fn service_roundtrip_and_fallback() {
+        for s in Service::ALL {
+            assert_eq!(Service::parse(s.name()), s);
+        }
+        assert_eq!(Service::parse("tftp_u"), Service::Other);
+        assert_eq!(Service::ALL.len(), 36);
+    }
+
+    #[test]
+    fn flag_roundtrip() {
+        for f in Flag::ALL {
+            assert_eq!(Flag::parse(f.name()).unwrap(), f);
+        }
+        assert!(Flag::parse("XX").is_err());
+        assert_eq!(Flag::ALL.len(), 11);
+    }
+
+    #[test]
+    fn default_record_is_valid_normal() {
+        let r = ConnectionRecord::default();
+        assert!(r.validate().is_ok());
+        assert_eq!(r.label, AttackType::Normal);
+        assert_eq!(r.category(), AttackCategory::Normal);
+        assert!(!r.is_attack());
+    }
+
+    #[test]
+    fn continuous_features_match_names() {
+        let r = ConnectionRecord {
+            duration: 1.0,
+            src_bytes: 2.0,
+            dst_host_srv_rerror_rate: 0.5,
+            ..Default::default()
+        };
+        let f = r.continuous_features();
+        assert_eq!(f.len(), ConnectionRecord::CONTINUOUS_COUNT);
+        assert_eq!(f.len(), CONTINUOUS_FEATURE_NAMES.len());
+        assert_eq!(f[0], 1.0); // duration
+        assert_eq!(f[1], 2.0); // src_bytes
+        assert_eq!(f[37], 0.5); // dst_host_srv_rerror_rate
+    }
+
+    #[test]
+    fn validate_rejects_negative_and_nonfinite() {
+        let mut r = ConnectionRecord {
+            src_bytes: -1.0,
+            ..Default::default()
+        };
+        assert!(r.validate().is_err());
+        r.src_bytes = f64::NAN;
+        assert!(r.validate().is_err());
+        r.src_bytes = f64::INFINITY;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_rate() {
+        let r = ConnectionRecord {
+            serror_rate: 1.5,
+            ..Default::default()
+        };
+        let err = r.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            TrafficError::FieldParse {
+                column: "serror_rate",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_non_binary_indicator() {
+        let r = ConnectionRecord {
+            logged_in: 0.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            r.validate().unwrap_err(),
+            TrafficError::FieldParse {
+                column: "logged_in",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn feature_count_constants_are_consistent() {
+        assert_eq!(
+            ConnectionRecord::FEATURE_COUNT,
+            ConnectionRecord::CONTINUOUS_COUNT + 3
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = ConnectionRecord {
+            protocol: Protocol::Icmp,
+            service: Service::EcrI,
+            label: AttackType::Smurf,
+            src_bytes: 1032.0,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ConnectionRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

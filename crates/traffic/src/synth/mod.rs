@@ -1,0 +1,372 @@
+//! Seeded synthetic traffic generation.
+//!
+//! [`MixSpec`] describes a class mixture (which attack types, with which
+//! weights); [`TrafficGenerator`] draws labelled [`ConnectionRecord`]s from
+//! it. The built-in mixes reproduce the well-known class imbalance of the
+//! KDD Cup 99 "10%" training file and its "corrected" test file (which
+//! introduces attack types absent from training).
+
+pub mod profiles;
+
+use mathkit::sampler::Categorical;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::label::AttackType;
+use crate::record::ConnectionRecord;
+use crate::TrafficError;
+
+/// A weighted mixture of traffic classes.
+///
+/// # Example
+///
+/// ```
+/// use traffic::synth::MixSpec;
+/// use traffic::AttackType;
+///
+/// # fn main() -> Result<(), traffic::TrafficError> {
+/// let mix = MixSpec::custom(vec![
+///     (AttackType::Normal, 0.8),
+///     (AttackType::Neptune, 0.2),
+/// ])?;
+/// assert_eq!(mix.classes().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixSpec {
+    weights: Vec<(AttackType, f64)>,
+}
+
+impl MixSpec {
+    /// A mixture with user-provided weights (need not sum to 1; they are
+    /// normalized internally).
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::InvalidMix`] when empty, when a weight is negative or
+    /// non-finite, when all weights are zero, or when a class repeats.
+    pub fn custom(weights: Vec<(AttackType, f64)>) -> Result<Self, TrafficError> {
+        if weights.is_empty() {
+            return Err(TrafficError::InvalidMix("mix must name at least one class"));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut total = 0.0;
+        for (ty, w) in &weights {
+            if !w.is_finite() || *w < 0.0 {
+                return Err(TrafficError::InvalidMix(
+                    "weights must be finite and non-negative",
+                ));
+            }
+            if !seen.insert(*ty) {
+                return Err(TrafficError::InvalidMix("duplicate class in mix"));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(TrafficError::InvalidMix("at least one weight must be positive"));
+        }
+        Ok(MixSpec { weights })
+    }
+
+    /// The KDD Cup 99 "10%" **training** distribution: dominated by `smurf`
+    /// and `neptune`, with ~20% normal traffic and rare R2L/U2R records.
+    ///
+    /// Weights are the actual record counts of the original file, so the
+    /// generated class proportions match the dataset the paper trained on.
+    pub fn kdd_train() -> Self {
+        use AttackType::*;
+        MixSpec {
+            weights: vec![
+                (Smurf, 280_790.0),
+                (Neptune, 107_201.0),
+                (Normal, 97_278.0),
+                (Back, 2_203.0),
+                (Satan, 1_589.0),
+                (Ipsweep, 1_247.0),
+                (Portsweep, 1_040.0),
+                (Warezclient, 1_020.0),
+                (Teardrop, 979.0),
+                (Pod, 264.0),
+                (Nmap, 231.0),
+                (GuessPasswd, 53.0),
+                (BufferOverflow, 30.0),
+                (Land, 21.0),
+                (Warezmaster, 20.0),
+                (Imap, 12.0),
+                (Rootkit, 10.0),
+                (Loadmodule, 9.0),
+                (FtpWrite, 8.0),
+                (Multihop, 7.0),
+                (Phf, 4.0),
+                (Perl, 3.0),
+                (Spy, 2.0),
+            ],
+        }
+    }
+
+    /// The KDD Cup 99 "corrected" **test** distribution: a different class
+    /// balance than training and, crucially, attack types that never occur
+    /// in training (`apache2`, `mailbomb`, `mscan`, `saint`, `httptunnel`,
+    /// `snmpguess`, `ps`, `xterm`, …).
+    pub fn kdd_test() -> Self {
+        use AttackType::*;
+        MixSpec {
+            weights: vec![
+                (Smurf, 164_091.0),
+                (Normal, 60_593.0),
+                (Neptune, 58_001.0),
+                (GuessPasswd, 4_367.0),
+                (Mscan, 1_053.0),
+                (Warezmaster, 1_602.0),
+                (Apache2, 794.0),
+                (Satan, 1_633.0),
+                (Processtable, 759.0),
+                (Saint, 736.0),
+                (Mailbomb, 5_000.0),
+                (Snmpguess, 2_406.0),
+                (Back, 1_098.0),
+                (Httptunnel, 158.0),
+                (Portsweep, 354.0),
+                (Ipsweep, 306.0),
+                (Pod, 87.0),
+                (Nmap, 84.0),
+                (Teardrop, 12.0),
+                (BufferOverflow, 22.0),
+                (Land, 9.0),
+                (Xterm, 13.0),
+                (Rootkit, 13.0),
+                (Ps, 16.0),
+                (Multihop, 18.0),
+                (Udpstorm, 2.0),
+                (Perl, 2.0),
+                (Loadmodule, 2.0),
+                (FtpWrite, 3.0),
+                (Imap, 1.0),
+                (Phf, 2.0),
+            ],
+        }
+    }
+
+    /// Normal traffic only (used to fit anomaly thresholds).
+    pub fn normal_only() -> Self {
+        MixSpec {
+            weights: vec![(AttackType::Normal, 1.0)],
+        }
+    }
+
+    /// Equal weight on every training-time class — useful for clustering
+    /// diagnostics where the extreme KDD imbalance is a nuisance.
+    pub fn balanced_training() -> Self {
+        MixSpec {
+            weights: AttackType::training_types()
+                .into_iter()
+                .map(|t| (t, 1.0))
+                .collect(),
+        }
+    }
+
+    /// The classes named by this mix.
+    pub fn classes(&self) -> Vec<AttackType> {
+        self.weights.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// The (unnormalized) weight of a class, or 0 if absent.
+    pub fn weight(&self, ty: AttackType) -> f64 {
+        self.weights
+            .iter()
+            .find(|(t, _)| *t == ty)
+            .map(|(_, w)| *w)
+            .unwrap_or(0.0)
+    }
+
+    /// Normalized probability of a class.
+    pub fn probability(&self, ty: AttackType) -> f64 {
+        let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        self.weight(ty) / total
+    }
+}
+
+/// Draws labelled connection records from a [`MixSpec`], deterministically
+/// under a seed.
+///
+/// # Example
+///
+/// ```
+/// use traffic::synth::{MixSpec, TrafficGenerator};
+///
+/// # fn main() -> Result<(), traffic::TrafficError> {
+/// let mut gen = TrafficGenerator::new(MixSpec::normal_only(), 7)?;
+/// let ds = gen.generate(100);
+/// assert_eq!(ds.len(), 100);
+/// assert!(ds.iter().all(|r| !r.is_attack()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TrafficGenerator {
+    classes: Vec<AttackType>,
+    sampler: Categorical,
+    rng: StdRng,
+}
+
+impl TrafficGenerator {
+    /// Creates a generator for `mix` with the given seed.
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::InvalidMix`] when the weights cannot form a
+    /// categorical distribution (this can only happen through
+    /// [`MixSpec::custom`] misuse and is double-checked here).
+    pub fn new(mix: MixSpec, seed: u64) -> Result<Self, TrafficError> {
+        let weights: Vec<f64> = mix.weights.iter().map(|(_, w)| *w).collect();
+        let sampler = Categorical::new(&weights)
+            .map_err(|_| TrafficError::InvalidMix("weights do not form a distribution"))?;
+        Ok(TrafficGenerator {
+            classes: mix.classes(),
+            sampler,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Draws a single record from the mixture.
+    pub fn sample(&mut self) -> ConnectionRecord {
+        let ty = self.classes[self.sampler.sample(&mut self.rng)];
+        profiles::sample(ty, &mut self.rng)
+    }
+
+    /// Draws a single record of a *specific* class.
+    pub fn sample_of(&mut self, ty: AttackType) -> ConnectionRecord {
+        profiles::sample(ty, &mut self.rng)
+    }
+
+    /// Generates `n` records into a [`Dataset`].
+    pub fn generate(&mut self, n: usize) -> Dataset {
+        let records = (0..n).map(|_| self.sample()).collect();
+        Dataset::from_records(records)
+    }
+
+    /// Generates exactly `n` records of class `ty`.
+    pub fn generate_of(&mut self, ty: AttackType, n: usize) -> Dataset {
+        let records = (0..n).map(|_| self.sample_of(ty)).collect();
+        Dataset::from_records(records)
+    }
+}
+
+/// Convenience: the standard paper-scale experiment data — a training set
+/// drawn from the KDD training mix and a test set from the corrected-test
+/// mix (which includes unseen attack types).
+///
+/// # Errors
+///
+/// Never fails in practice (the built-in mixes are valid); the `Result`
+/// keeps the signature honest about the fallible constructor it wraps.
+pub fn kdd_train_test(
+    n_train: usize,
+    n_test: usize,
+    seed: u64,
+) -> Result<(Dataset, Dataset), TrafficError> {
+    let mut train_gen = TrafficGenerator::new(MixSpec::kdd_train(), seed)?;
+    // Decorrelate the test stream from the training stream.
+    let mut test_gen = TrafficGenerator::new(MixSpec::kdd_test(), seed.wrapping_add(0x9E37_79B9))?;
+    Ok((train_gen.generate(n_train), test_gen.generate(n_test)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::AttackCategory;
+
+    #[test]
+    fn custom_mix_validation() {
+        assert!(MixSpec::custom(vec![]).is_err());
+        assert!(MixSpec::custom(vec![(AttackType::Normal, -1.0)]).is_err());
+        assert!(MixSpec::custom(vec![(AttackType::Normal, 0.0)]).is_err());
+        assert!(MixSpec::custom(vec![
+            (AttackType::Normal, 1.0),
+            (AttackType::Normal, 1.0)
+        ])
+        .is_err());
+        assert!(MixSpec::custom(vec![(AttackType::Normal, f64::NAN)]).is_err());
+        assert!(MixSpec::custom(vec![(AttackType::Normal, 2.0)]).is_ok());
+    }
+
+    #[test]
+    fn kdd_train_mix_has_no_test_only_types() {
+        for ty in MixSpec::kdd_train().classes() {
+            assert!(!ty.is_test_only(), "{ty} is test-only but in training mix");
+        }
+    }
+
+    #[test]
+    fn kdd_test_mix_contains_unseen_types() {
+        let classes = MixSpec::kdd_test().classes();
+        assert!(classes.iter().any(|t| t.is_test_only()));
+        assert!(classes.contains(&AttackType::Mscan));
+        assert!(classes.contains(&AttackType::Apache2));
+    }
+
+    #[test]
+    fn kdd_train_proportions_match_reference() {
+        let mix = MixSpec::kdd_train();
+        // smurf is ~56.8% of the 10% file.
+        assert!((mix.probability(AttackType::Smurf) - 0.568).abs() < 0.01);
+        assert!((mix.probability(AttackType::Normal) - 0.197).abs() < 0.01);
+        assert_eq!(mix.weight(AttackType::Apache2), 0.0);
+    }
+
+    #[test]
+    fn generator_respects_mixture() {
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), 11).unwrap();
+        let ds = gen.generate(5_000);
+        let counts = ds.counts_by_category();
+        let dos = counts[&AttackCategory::Dos] as f64 / ds.len() as f64;
+        let normal = counts[&AttackCategory::Normal] as f64 / ds.len() as f64;
+        assert!((dos - 0.79).abs() < 0.05, "dos fraction {dos}");
+        assert!((normal - 0.197).abs() < 0.05, "normal fraction {normal}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = TrafficGenerator::new(MixSpec::kdd_train(), 5).unwrap();
+        let mut b = TrafficGenerator::new(MixSpec::kdd_train(), 5).unwrap();
+        let da = a.generate(200);
+        let db = b.generate(200);
+        assert_eq!(da.records(), db.records());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TrafficGenerator::new(MixSpec::kdd_train(), 5).unwrap();
+        let mut b = TrafficGenerator::new(MixSpec::kdd_train(), 6).unwrap();
+        assert_ne!(a.generate(50).records(), b.generate(50).records());
+    }
+
+    #[test]
+    fn generate_of_yields_requested_class() {
+        let mut gen = TrafficGenerator::new(MixSpec::normal_only(), 1).unwrap();
+        let ds = gen.generate_of(AttackType::Satan, 25);
+        assert_eq!(ds.len(), 25);
+        assert!(ds.iter().all(|r| r.label == AttackType::Satan));
+    }
+
+    #[test]
+    fn all_generated_records_are_valid() {
+        let (train, test) = kdd_train_test(2_000, 2_000, 99).unwrap();
+        for rec in train.iter().chain(test.iter()) {
+            rec.validate().expect("generated record must validate");
+        }
+    }
+
+    #[test]
+    fn balanced_mix_covers_all_training_types() {
+        let mix = MixSpec::balanced_training();
+        assert_eq!(mix.classes().len(), AttackType::training_types().len());
+        let mut gen = TrafficGenerator::new(mix, 3).unwrap();
+        let ds = gen.generate(2_000);
+        // With 23 classes and 2000 draws, every class should appear.
+        let counts = ds.counts_by_type();
+        assert!(counts.len() >= 20, "only {} classes appeared", counts.len());
+    }
+}

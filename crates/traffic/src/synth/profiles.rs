@@ -1,0 +1,981 @@
+//! Per-class generative models.
+//!
+//! Each function draws one [`ConnectionRecord`] whose features carry the
+//! *documented* signature of its class — the displacement directions that
+//! published analyses of KDD Cup 99 attribute to each attack. A
+//! prototype-based clusterer (SOM/GHSOM) sees exactly these geometric
+//! structures; reproducing them is what makes the synthetic substitution
+//! behaviour-preserving (see `DESIGN.md` §3).
+//!
+//! Values are drawn with jitter around the class centroids so that clusters
+//! have realistic spread and partial overlap (R2L/U2R intentionally overlap
+//! normal interactive sessions — that is why those categories are hard for
+//! every detector in the literature).
+
+use mathkit::sampler::{self, Categorical};
+use rand::Rng;
+
+use crate::label::AttackType;
+use crate::record::{ConnectionRecord, Flag, Protocol, Service};
+
+/// Draws one record of the given class.
+pub fn sample<R: Rng + ?Sized>(ty: AttackType, rng: &mut R) -> ConnectionRecord {
+    let mut rec = match ty {
+        AttackType::Normal => normal(rng),
+        // DoS
+        AttackType::Back => back(rng),
+        AttackType::Land => land(rng),
+        AttackType::Neptune => neptune(rng),
+        AttackType::Pod => pod(rng),
+        AttackType::Smurf => smurf(rng),
+        AttackType::Teardrop => teardrop(rng),
+        AttackType::Apache2 => apache2(rng),
+        AttackType::Mailbomb => mailbomb(rng),
+        AttackType::Processtable => processtable(rng),
+        AttackType::Udpstorm => udpstorm(rng),
+        // Probe
+        AttackType::Ipsweep => ipsweep(rng),
+        AttackType::Nmap => nmap(rng),
+        AttackType::Portsweep => portsweep(rng),
+        AttackType::Satan => satan(rng),
+        AttackType::Mscan => mscan(rng),
+        AttackType::Saint => saint(rng),
+        // R2L
+        AttackType::FtpWrite => ftp_write(rng),
+        AttackType::GuessPasswd => guess_passwd(rng),
+        AttackType::Imap => imap(rng),
+        AttackType::Multihop => multihop(rng),
+        AttackType::Phf => phf(rng),
+        AttackType::Spy => spy(rng),
+        AttackType::Warezclient => warezclient(rng),
+        AttackType::Warezmaster => warezmaster(rng),
+        AttackType::Httptunnel => httptunnel(rng),
+        AttackType::Snmpguess => snmpguess(rng),
+        // U2R
+        AttackType::BufferOverflow => buffer_overflow(rng),
+        AttackType::Loadmodule => loadmodule(rng),
+        AttackType::Perl => perl(rng),
+        AttackType::Rootkit => rootkit(rng),
+        AttackType::Ps => ps(rng),
+        AttackType::Xterm => xterm(rng),
+    };
+    rec.label = ty;
+    rec
+}
+
+// --------------------------------------------------------------------------
+// helpers
+// --------------------------------------------------------------------------
+
+/// A rate in `[0, 1]` jittered around `mean`.
+fn rate<R: Rng + ?Sized>(rng: &mut R, mean: f64, jitter: f64) -> f64 {
+    sampler::truncated_normal(rng, mean, jitter, 0.0, 1.0)
+}
+
+/// A non-negative count with gamma-shaped spread around `mean`.
+fn count<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    sampler::gamma(rng, 4.0, mean / 4.0).round()
+}
+
+/// A byte volume, log-normal around `exp(mu)`.
+fn bytes<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    sampler::log_normal(rng, mu, sigma).round().max(0.0)
+}
+
+/// Bernoulli 0/1 indicator.
+fn flip<R: Rng + ?Sized>(rng: &mut R, p: f64) -> f64 {
+    if rng.gen::<f64>() < p {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// `count`/`srv_count` + rate block of a flood against one service: near
+/// the 511-connection window cap, homogeneous service, error rate `err`.
+fn flood_window<R: Rng + ?Sized>(rec: &mut ConnectionRecord, rng: &mut R, err: f64) {
+    rec.count = sampler::truncated_normal(rng, 450.0, 60.0, 100.0, 511.0).round();
+    rec.srv_count = (rec.count * rate(rng, 0.97, 0.02)).round();
+    rec.serror_rate = rate(rng, err, 0.03);
+    rec.srv_serror_rate = rate(rng, err, 0.03);
+    rec.same_srv_rate = rate(rng, 1.0, 0.02);
+    rec.diff_srv_rate = rate(rng, 0.02, 0.02);
+    rec.dst_host_count = 255.0;
+    rec.dst_host_srv_count = sampler::truncated_normal(rng, 250.0, 10.0, 1.0, 255.0).round();
+    rec.dst_host_same_srv_rate = rate(rng, 1.0, 0.02);
+    rec.dst_host_serror_rate = rate(rng, err, 0.03);
+    rec.dst_host_srv_serror_rate = rate(rng, err, 0.03);
+}
+
+// --------------------------------------------------------------------------
+// normal traffic: a mixture of five behavioural sub-profiles
+// --------------------------------------------------------------------------
+
+fn normal<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    // web, mail, dns, file transfer, interactive login
+    let profile = Categorical::new(&[0.50, 0.20, 0.15, 0.08, 0.07])
+        .expect("static weights are valid")
+        .sample(rng);
+    match profile {
+        0 => normal_web(rng),
+        1 => normal_mail(rng),
+        2 => normal_dns(rng),
+        3 => normal_ftp(rng),
+        _ => normal_interactive(rng),
+    }
+}
+
+/// Shared tail of all normal profiles: a quiet, well-behaved 2-second and
+/// host window.
+fn normal_windows<R: Rng + ?Sized>(rec: &mut ConnectionRecord, rng: &mut R) {
+    rec.count = count(rng, 6.0).min(511.0);
+    rec.srv_count = (rec.count * rate(rng, 0.8, 0.15)).round();
+    rec.serror_rate = rate(rng, 0.01, 0.02);
+    rec.srv_serror_rate = rate(rng, 0.01, 0.02);
+    rec.rerror_rate = rate(rng, 0.01, 0.02);
+    rec.srv_rerror_rate = rate(rng, 0.01, 0.02);
+    rec.same_srv_rate = rate(rng, 0.9, 0.1);
+    rec.diff_srv_rate = rate(rng, 0.05, 0.05);
+    rec.srv_diff_host_rate = rate(rng, 0.05, 0.08);
+    rec.dst_host_count = count(rng, 120.0).min(255.0);
+    rec.dst_host_srv_count = (rec.dst_host_count * rate(rng, 0.8, 0.2)).round();
+    rec.dst_host_same_srv_rate = rate(rng, 0.85, 0.15);
+    rec.dst_host_diff_srv_rate = rate(rng, 0.05, 0.05);
+    rec.dst_host_same_src_port_rate = rate(rng, 0.1, 0.1);
+    rec.dst_host_srv_diff_host_rate = rate(rng, 0.03, 0.04);
+    rec.dst_host_serror_rate = rate(rng, 0.01, 0.02);
+    rec.dst_host_srv_serror_rate = rate(rng, 0.01, 0.02);
+    rec.dst_host_rerror_rate = rate(rng, 0.01, 0.02);
+    rec.dst_host_srv_rerror_rate = rate(rng, 0.01, 0.02);
+}
+
+fn normal_web<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Http,
+        flag: Flag::Sf,
+        duration: sampler::exponential(rng, 0.5).min(60.0),
+        src_bytes: bytes(rng, 5.4, 0.6),  // ~220 B request
+        dst_bytes: bytes(rng, 7.7, 1.2),  // ~2 KB response
+        logged_in: 1.0,
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec
+}
+
+fn normal_mail<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: if rng.gen::<f64>() < 0.7 {
+            Service::Smtp
+        } else {
+            Service::Pop3
+        },
+        flag: Flag::Sf,
+        duration: sampler::exponential(rng, 0.3).min(120.0),
+        src_bytes: bytes(rng, 6.9, 0.9),
+        dst_bytes: bytes(rng, 5.8, 0.8),
+        logged_in: flip(rng, 0.5),
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec
+}
+
+fn normal_dns<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Udp,
+        service: Service::DomainUdp,
+        flag: Flag::Sf,
+        duration: 0.0,
+        src_bytes: bytes(rng, 3.8, 0.4), // ~45 B query
+        dst_bytes: bytes(rng, 4.8, 0.5), // ~120 B answer
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    // DNS fans out to many resolvers.
+    rec.srv_diff_host_rate = rate(rng, 0.2, 0.1);
+    rec
+}
+
+fn normal_ftp<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let data = rng.gen::<f64>() < 0.6;
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: if data { Service::FtpData } else { Service::Ftp },
+        flag: Flag::Sf,
+        duration: sampler::exponential(rng, 0.1).min(300.0),
+        src_bytes: if data { bytes(rng, 9.0, 1.8) } else { bytes(rng, 5.0, 0.7) },
+        dst_bytes: if data { bytes(rng, 4.0, 1.0) } else { bytes(rng, 5.5, 0.7) },
+        logged_in: 1.0,
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec
+}
+
+fn normal_interactive<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: if rng.gen::<f64>() < 0.5 {
+            Service::Telnet
+        } else {
+            Service::Ssh
+        },
+        flag: Flag::Sf,
+        duration: sampler::log_normal(rng, 4.5, 1.0).min(3600.0),
+        src_bytes: bytes(rng, 7.0, 1.0),
+        dst_bytes: bytes(rng, 8.0, 1.2),
+        logged_in: 1.0,
+        hot: if rng.gen::<f64>() < 0.05 { 1.0 } else { 0.0 },
+        num_file_creations: if rng.gen::<f64>() < 0.1 { 1.0 } else { 0.0 },
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec
+}
+
+// --------------------------------------------------------------------------
+// DoS
+// --------------------------------------------------------------------------
+
+/// SYN flood: S0 half-open connections, zero payload, saturated window.
+fn neptune<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: if rng.gen::<f64>() < 0.8 {
+            Service::Private
+        } else {
+            Service::Http
+        },
+        flag: if rng.gen::<f64>() < 0.95 { Flag::S0 } else { Flag::Rej },
+        ..Default::default()
+    };
+    flood_window(&mut rec, rng, 0.99);
+    rec
+}
+
+/// ICMP echo-reply flood: the fixed 1032-byte smurf payload.
+fn smurf<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Icmp,
+        service: Service::EcrI,
+        flag: Flag::Sf,
+        src_bytes: 1032.0 + if rng.gen::<f64>() < 0.1 { 8.0 } else { 0.0 },
+        ..Default::default()
+    };
+    flood_window(&mut rec, rng, 0.0);
+    rec
+}
+
+/// Apache buffer-overrun URL flood: huge requests against http.
+fn back<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Http,
+        flag: Flag::Sf,
+        duration: sampler::exponential(rng, 0.5).min(10.0),
+        src_bytes: sampler::truncated_normal(rng, 54_000.0, 2_000.0, 40_000.0, 70_000.0).round(),
+        dst_bytes: bytes(rng, 9.0, 0.5),
+        logged_in: 1.0,
+        hot: 2.0,
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec.count = count(rng, 15.0).min(511.0);
+    rec
+}
+
+/// Same-host-same-port TCP loop.
+fn land<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: if rng.gen::<f64>() < 0.5 {
+            Service::Telnet
+        } else {
+            Service::Finger
+        },
+        flag: Flag::S0,
+        land: 1.0,
+        serror_rate: 1.0,
+        srv_serror_rate: 1.0,
+        same_srv_rate: 1.0,
+        count: 1.0,
+        srv_count: 1.0,
+        dst_host_count: count(rng, 10.0).min(255.0),
+        dst_host_serror_rate: rate(rng, 0.9, 0.1),
+        dst_host_srv_serror_rate: rate(rng, 0.9, 0.1),
+        dst_host_same_srv_rate: 1.0,
+        ..Default::default()
+    };
+    rec.dst_host_srv_count = rec.dst_host_count;
+    rec
+}
+
+/// Oversized fragmented ICMP echo ("ping of death").
+fn pod<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Icmp,
+        service: Service::EcoI,
+        flag: Flag::Sf,
+        src_bytes: sampler::truncated_normal(rng, 1480.0, 60.0, 564.0, 1480.0).round(),
+        wrong_fragment: 1.0 + flip(rng, 0.3),
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec.count = count(rng, 30.0).min(511.0);
+    rec.same_srv_rate = 1.0;
+    rec
+}
+
+/// Overlapping UDP fragments.
+fn teardrop<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Udp,
+        service: Service::Private,
+        flag: Flag::Sf,
+        src_bytes: 28.0,
+        wrong_fragment: 3.0,
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec.count = sampler::truncated_normal(rng, 150.0, 50.0, 10.0, 511.0).round();
+    rec.srv_count = rec.count;
+    rec.same_srv_rate = 1.0;
+    rec
+}
+
+/// Test-only: Apache2 header flood (many slow requests, one host).
+fn apache2<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Http,
+        flag: if rng.gen::<f64>() < 0.7 { Flag::Sf } else { Flag::Rstr },
+        duration: sampler::exponential(rng, 0.1).min(200.0),
+        src_bytes: sampler::truncated_normal(rng, 30_000.0, 8_000.0, 10_000.0, 80_000.0).round(),
+        dst_bytes: 0.0,
+        ..Default::default()
+    };
+    flood_window(&mut rec, rng, 0.05);
+    rec.count = sampler::truncated_normal(rng, 200.0, 60.0, 50.0, 511.0).round();
+    rec.srv_count = rec.count;
+    rec
+}
+
+/// Test-only: SMTP mail bomb.
+fn mailbomb<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Smtp,
+        flag: Flag::Sf,
+        duration: sampler::exponential(rng, 1.0).min(20.0),
+        src_bytes: sampler::truncated_normal(rng, 2500.0, 400.0, 500.0, 10_000.0).round(),
+        dst_bytes: bytes(rng, 5.5, 0.4),
+        ..Default::default()
+    };
+    flood_window(&mut rec, rng, 0.0);
+    rec.count = sampler::truncated_normal(rng, 300.0, 80.0, 50.0, 511.0).round();
+    rec.srv_count = rec.count;
+    rec
+}
+
+/// Test-only: telnet process-table exhaustion (long-lived connections).
+fn processtable<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Telnet,
+        flag: if rng.gen::<f64>() < 0.6 { Flag::S0 } else { Flag::Sf },
+        duration: sampler::log_normal(rng, 5.0, 0.8).min(3600.0),
+        src_bytes: 0.0,
+        dst_bytes: 0.0,
+        ..Default::default()
+    };
+    flood_window(&mut rec, rng, 0.6);
+    rec
+}
+
+/// Test-only: UDP echo/chargen storm.
+fn udpstorm<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Udp,
+        service: Service::Other,
+        flag: Flag::Sf,
+        src_bytes: sampler::truncated_normal(rng, 1_000_000.0, 200_000.0, 100_000.0, 5_000_000.0)
+            .round(),
+        ..Default::default()
+    };
+    flood_window(&mut rec, rng, 0.0);
+    rec
+}
+
+// --------------------------------------------------------------------------
+// Probe
+// --------------------------------------------------------------------------
+
+/// Shared probe window: connections fan out, errors dominate.
+fn probe_window<R: Rng + ?Sized>(
+    rec: &mut ConnectionRecord,
+    rng: &mut R,
+    rerror: f64,
+    serror: f64,
+    many_services: bool,
+) {
+    rec.count = count(rng, 12.0).min(511.0);
+    rec.srv_count = count(rng, 8.0).min(511.0);
+    rec.serror_rate = rate(rng, serror, 0.05);
+    rec.srv_serror_rate = rate(rng, serror, 0.05);
+    rec.rerror_rate = rate(rng, rerror, 0.05);
+    rec.srv_rerror_rate = rate(rng, rerror, 0.05);
+    if many_services {
+        // Port sweep: one host, every service touched once.
+        rec.same_srv_rate = rate(rng, 0.05, 0.04);
+        rec.diff_srv_rate = rate(rng, 0.9, 0.08);
+        rec.dst_host_count = count(rng, 200.0).min(255.0);
+        rec.dst_host_srv_count = count(rng, 3.0).min(255.0);
+        rec.dst_host_same_srv_rate = rate(rng, 0.02, 0.02);
+        rec.dst_host_diff_srv_rate = rate(rng, 0.9, 0.08);
+    } else {
+        // Host sweep: one service, every host touched once.
+        rec.same_srv_rate = rate(rng, 1.0, 0.03);
+        rec.diff_srv_rate = rate(rng, 0.02, 0.02);
+        rec.srv_diff_host_rate = rate(rng, 0.8, 0.15);
+        rec.dst_host_count = count(rng, 6.0).min(255.0);
+        rec.dst_host_srv_count = count(rng, 140.0).min(255.0);
+        rec.dst_host_same_srv_rate = rate(rng, 0.9, 0.1);
+        rec.dst_host_srv_diff_host_rate = rate(rng, 0.7, 0.2);
+    }
+    rec.dst_host_same_src_port_rate = rate(rng, 0.6, 0.3);
+    rec.dst_host_serror_rate = rate(rng, serror, 0.05);
+    rec.dst_host_srv_serror_rate = rate(rng, serror, 0.05);
+    rec.dst_host_rerror_rate = rate(rng, rerror, 0.05);
+    rec.dst_host_srv_rerror_rate = rate(rng, rerror, 0.05);
+}
+
+/// ICMP host sweep.
+fn ipsweep<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Icmp,
+        service: Service::EcoI,
+        flag: Flag::Sf,
+        src_bytes: if rng.gen::<f64>() < 0.5 { 8.0 } else { 18.0 },
+        ..Default::default()
+    };
+    probe_window(&mut rec, rng, 0.0, 0.0, false);
+    rec
+}
+
+/// TCP port sweep against one host.
+fn portsweep<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Private,
+        flag: match rng.gen_range(0..10) {
+            0..=5 => Flag::Rej,
+            6..=8 => Flag::Rstr,
+            _ => Flag::S0,
+        },
+        duration: 0.0,
+        src_bytes: 0.0,
+        ..Default::default()
+    };
+    probe_window(&mut rec, rng, 0.7, 0.25, true);
+    rec
+}
+
+/// Stealth scanner: SYN/FIN tricks, mixed protocols.
+fn nmap<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let icmp = rng.gen::<f64>() < 0.4;
+    let mut rec = ConnectionRecord {
+        protocol: if icmp { Protocol::Icmp } else { Protocol::Tcp },
+        service: if icmp { Service::EcoI } else { Service::Private },
+        flag: if icmp {
+            Flag::Sf
+        } else {
+            match rng.gen_range(0..3) {
+                0 => Flag::Sh,
+                1 => Flag::S0,
+                _ => Flag::Rej,
+            }
+        },
+        src_bytes: if icmp { 8.0 } else { 0.0 },
+        ..Default::default()
+    };
+    probe_window(&mut rec, rng, 0.3, 0.3, !icmp);
+    rec
+}
+
+/// Vulnerability scanner touching many services with some payload.
+fn satan<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: match rng.gen_range(0..4) {
+            0 => Service::Private,
+            1 => Service::Telnet,
+            2 => Service::Finger,
+            _ => Service::Other,
+        },
+        flag: if rng.gen::<f64>() < 0.6 { Flag::Rej } else { Flag::Sf },
+        src_bytes: if rng.gen::<f64>() < 0.5 { 0.0 } else { bytes(rng, 3.0, 0.8) },
+        ..Default::default()
+    };
+    probe_window(&mut rec, rng, 0.8, 0.1, true);
+    rec
+}
+
+/// Test-only: mscan — aggressive multi-host multi-service scan.
+fn mscan<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: if rng.gen::<f64>() < 0.5 {
+            Service::Private
+        } else {
+            Service::NetbiosNs
+        },
+        flag: if rng.gen::<f64>() < 0.5 { Flag::Rej } else { Flag::S0 },
+        src_bytes: 0.0,
+        ..Default::default()
+    };
+    probe_window(&mut rec, rng, 0.5, 0.5, true);
+    rec.count = count(rng, 80.0).min(511.0);
+    rec
+}
+
+/// Test-only: saint — satan successor, slightly stealthier.
+fn saint<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = satan(rng);
+    rec.count = count(rng, 5.0).min(511.0);
+    rec.rerror_rate = rate(rng, 0.6, 0.1);
+    rec
+}
+
+// --------------------------------------------------------------------------
+// R2L — shaped like normal interactive traffic with credential anomalies
+// --------------------------------------------------------------------------
+
+fn guess_passwd<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: match rng.gen_range(0..3) {
+            0 => Service::Telnet,
+            1 => Service::Pop3,
+            _ => Service::Ftp,
+        },
+        flag: if rng.gen::<f64>() < 0.6 { Flag::Sf } else { Flag::Rsto },
+        duration: sampler::exponential(rng, 0.5).min(60.0),
+        src_bytes: bytes(rng, 4.8, 0.4),
+        dst_bytes: bytes(rng, 5.5, 0.5),
+        num_failed_logins: 1.0 + count(rng, 2.0).min(4.0),
+        hot: flip(rng, 0.3),
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec.count = count(rng, 3.0).min(511.0);
+    rec
+}
+
+fn ftp_write<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Ftp,
+        flag: Flag::Sf,
+        duration: sampler::exponential(rng, 0.05).min(600.0),
+        src_bytes: bytes(rng, 5.5, 0.6),
+        dst_bytes: bytes(rng, 5.0, 0.6),
+        logged_in: 1.0,
+        is_guest_login: 1.0,
+        hot: 2.0,
+        num_file_creations: 1.0 + flip(rng, 0.5),
+        num_access_files: 1.0,
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec
+}
+
+fn imap<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Imap4,
+        flag: if rng.gen::<f64>() < 0.5 { Flag::Rsto } else { Flag::Sf },
+        duration: sampler::exponential(rng, 1.0).min(30.0),
+        src_bytes: bytes(rng, 6.5, 0.5),
+        dst_bytes: bytes(rng, 4.5, 0.8),
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec
+}
+
+fn multihop<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Telnet,
+        flag: Flag::Sf,
+        duration: sampler::log_normal(rng, 5.5, 0.8).min(7200.0),
+        src_bytes: bytes(rng, 7.5, 0.8),
+        dst_bytes: bytes(rng, 9.0, 1.0),
+        logged_in: 1.0,
+        hot: count(rng, 3.0),
+        num_root: count(rng, 2.0),
+        num_compromised: flip(rng, 0.5),
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec
+}
+
+/// phf CGI exploit: a single characteristic HTTP request.
+fn phf<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Http,
+        flag: Flag::Sf,
+        duration: sampler::exponential(rng, 2.0).min(10.0),
+        src_bytes: sampler::truncated_normal(rng, 51.0, 4.0, 30.0, 80.0).round(),
+        dst_bytes: sampler::truncated_normal(rng, 8127.0, 300.0, 5000.0, 12_000.0).round(),
+        logged_in: 1.0,
+        hot: 1.0,
+        num_access_files: 1.0,
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec.count = 1.0;
+    rec.srv_count = 1.0;
+    rec
+}
+
+fn spy<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Telnet,
+        flag: Flag::Sf,
+        duration: sampler::log_normal(rng, 5.0, 1.0).min(7200.0),
+        src_bytes: bytes(rng, 6.0, 0.8),
+        dst_bytes: bytes(rng, 7.5, 1.0),
+        logged_in: 1.0,
+        num_access_files: 1.0 + flip(rng, 0.5),
+        hot: flip(rng, 0.5),
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec
+}
+
+fn warezclient<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::FtpData,
+        flag: Flag::Sf,
+        duration: sampler::exponential(rng, 0.02).min(3600.0),
+        // Large warez download.
+        src_bytes: bytes(rng, 12.0, 1.0),
+        dst_bytes: 0.0,
+        is_guest_login: 1.0,
+        logged_in: 1.0,
+        hot: count(rng, 8.0),
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec
+}
+
+fn warezmaster<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Ftp,
+        flag: Flag::Sf,
+        duration: sampler::exponential(rng, 0.05).min(3600.0),
+        // Upload to the compromised server.
+        src_bytes: bytes(rng, 7.0, 0.8),
+        dst_bytes: bytes(rng, 11.5, 1.0),
+        is_guest_login: 1.0,
+        logged_in: 1.0,
+        hot: 2.0,
+        num_file_creations: 1.0,
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec
+}
+
+/// Test-only: httptunnel — covert channel over long-lived HTTP.
+fn httptunnel<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service: Service::Http,
+        flag: Flag::Sf,
+        duration: sampler::log_normal(rng, 6.5, 0.8).min(86_400.0),
+        src_bytes: bytes(rng, 8.5, 0.8),
+        dst_bytes: bytes(rng, 8.5, 0.8),
+        logged_in: 1.0,
+        hot: flip(rng, 0.3),
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec.dst_host_same_src_port_rate = rate(rng, 0.9, 0.1);
+    rec
+}
+
+/// Test-only: snmpguess — community-string guessing over UDP.
+fn snmpguess<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Udp,
+        service: Service::Snmp,
+        flag: Flag::Sf,
+        duration: 0.0,
+        src_bytes: sampler::truncated_normal(rng, 55.0, 8.0, 30.0, 120.0).round(),
+        dst_bytes: 0.0,
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec.count = count(rng, 60.0).min(511.0);
+    rec.srv_count = rec.count;
+    rec.same_srv_rate = 1.0;
+    rec.dst_host_same_src_port_rate = rate(rng, 0.95, 0.05);
+    rec
+}
+
+// --------------------------------------------------------------------------
+// U2R — interactive sessions that end in privilege escalation
+// --------------------------------------------------------------------------
+
+/// Shared U2R base: a logged-in interactive session.
+fn u2r_session<R: Rng + ?Sized>(rng: &mut R, service: Service) -> ConnectionRecord {
+    let mut rec = ConnectionRecord {
+        protocol: Protocol::Tcp,
+        service,
+        flag: Flag::Sf,
+        duration: sampler::log_normal(rng, 4.8, 1.0).min(7200.0),
+        src_bytes: bytes(rng, 7.2, 1.0),
+        dst_bytes: bytes(rng, 8.2, 1.2),
+        logged_in: 1.0,
+        ..Default::default()
+    };
+    normal_windows(&mut rec, rng);
+    rec.count = count(rng, 2.0).min(511.0);
+    rec.srv_count = rec.count;
+    rec
+}
+
+fn buffer_overflow<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let service = if rng.gen::<f64>() < 0.7 { Service::Telnet } else { Service::Ftp };
+    let mut rec = u2r_session(rng, service);
+    rec.hot = count(rng, 2.0) + 1.0;
+    rec.root_shell = flip(rng, 0.8);
+    rec.num_file_creations = count(rng, 1.5);
+    rec.num_compromised = 1.0 + count(rng, 1.0);
+    rec.su_attempted = flip(rng, 0.3);
+    rec
+}
+
+fn loadmodule<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = u2r_session(rng, Service::Telnet);
+    rec.root_shell = flip(rng, 0.7);
+    rec.num_file_creations = 1.0 + count(rng, 1.0);
+    rec.num_root = count(rng, 1.5);
+    rec.num_access_files = 1.0;
+    rec
+}
+
+fn perl<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = u2r_session(rng, Service::Telnet);
+    rec.root_shell = 1.0;
+    rec.num_root = 2.0 + count(rng, 1.0);
+    rec.num_shells = 1.0;
+    rec
+}
+
+fn rootkit<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let service = if rng.gen::<f64>() < 0.5 { Service::Telnet } else { Service::Ftp };
+    let mut rec = u2r_session(rng, service);
+    rec.num_root = count(rng, 2.0);
+    rec.num_file_creations = count(rng, 2.0);
+    rec.hot = count(rng, 1.5);
+    rec.su_attempted = flip(rng, 0.4);
+    rec
+}
+
+/// Test-only: ps exploit.
+fn ps<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = u2r_session(rng, Service::Telnet);
+    rec.root_shell = 1.0;
+    rec.num_file_creations = 1.0 + count(rng, 2.0);
+    rec.num_shells = 1.0 + flip(rng, 0.5);
+    rec
+}
+
+/// Test-only: xterm exploit.
+fn xterm<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
+    let mut rec = u2r_session(rng, Service::Telnet);
+    rec.root_shell = 1.0;
+    rec.hot = 1.0 + count(rng, 1.0);
+    rec.num_compromised = 1.0;
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn every_type_generates_valid_records() {
+        let mut r = rng();
+        for ty in AttackType::ALL {
+            for _ in 0..50 {
+                let rec = sample(ty, &mut r);
+                assert_eq!(rec.label, ty);
+                rec.validate()
+                    .unwrap_or_else(|e| panic!("{ty} produced invalid record: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn neptune_signature() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let rec = sample(AttackType::Neptune, &mut r);
+            assert_eq!(rec.protocol, Protocol::Tcp);
+            assert!(rec.flag == Flag::S0 || rec.flag == Flag::Rej);
+            assert_eq!(rec.src_bytes, 0.0);
+            assert!(rec.serror_rate > 0.8, "serror_rate {}", rec.serror_rate);
+            assert!(rec.count >= 100.0, "count {}", rec.count);
+        }
+    }
+
+    #[test]
+    fn smurf_signature() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let rec = sample(AttackType::Smurf, &mut r);
+            assert_eq!(rec.protocol, Protocol::Icmp);
+            assert_eq!(rec.service, Service::EcrI);
+            assert!(rec.src_bytes >= 1032.0);
+            assert!(rec.count >= 100.0);
+            assert!(rec.serror_rate < 0.2);
+        }
+    }
+
+    #[test]
+    fn portsweep_disperses_services() {
+        let mut r = rng();
+        let mut diff_sum = 0.0;
+        for _ in 0..50 {
+            let rec = sample(AttackType::Portsweep, &mut r);
+            diff_sum += rec.diff_srv_rate;
+            assert!(rec.src_bytes == 0.0);
+        }
+        assert!(diff_sum / 50.0 > 0.7, "portsweep must disperse services");
+    }
+
+    #[test]
+    fn ipsweep_fans_across_hosts() {
+        let mut r = rng();
+        let mut fan = 0.0;
+        for _ in 0..50 {
+            let rec = sample(AttackType::Ipsweep, &mut r);
+            assert_eq!(rec.protocol, Protocol::Icmp);
+            fan += rec.srv_diff_host_rate;
+        }
+        assert!(fan / 50.0 > 0.5, "ipsweep must fan across hosts");
+    }
+
+    #[test]
+    fn guess_passwd_has_failed_logins() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let rec = sample(AttackType::GuessPasswd, &mut r);
+            assert!(rec.num_failed_logins >= 1.0);
+            assert_eq!(rec.logged_in, 0.0);
+        }
+    }
+
+    #[test]
+    fn u2r_types_show_escalation_markers() {
+        let mut r = rng();
+        for ty in [
+            AttackType::BufferOverflow,
+            AttackType::Perl,
+            AttackType::Ps,
+            AttackType::Xterm,
+        ] {
+            let mut any_root = false;
+            for _ in 0..30 {
+                let rec = sample(ty, &mut r);
+                assert_eq!(rec.logged_in, 1.0);
+                if rec.root_shell == 1.0 || rec.num_root > 0.0 {
+                    any_root = true;
+                }
+            }
+            assert!(any_root, "{ty} never showed root markers");
+        }
+    }
+
+    #[test]
+    fn land_sets_land_bit() {
+        let mut r = rng();
+        let rec = sample(AttackType::Land, &mut r);
+        assert_eq!(rec.land, 1.0);
+        assert_eq!(rec.serror_rate, 1.0);
+    }
+
+    #[test]
+    fn teardrop_and_pod_have_wrong_fragments() {
+        let mut r = rng();
+        assert!(sample(AttackType::Teardrop, &mut r).wrong_fragment >= 3.0);
+        assert!(sample(AttackType::Pod, &mut r).wrong_fragment >= 1.0);
+    }
+
+    #[test]
+    fn normal_is_mostly_quiet() {
+        let mut r = rng();
+        let mut serror = 0.0;
+        let mut n_logged = 0;
+        for _ in 0..200 {
+            let rec = sample(AttackType::Normal, &mut r);
+            serror += rec.serror_rate;
+            if rec.logged_in == 1.0 {
+                n_logged += 1;
+            }
+            assert!(rec.count <= 511.0);
+        }
+        assert!(serror / 200.0 < 0.05, "normal traffic must have low serror");
+        assert!(n_logged > 50, "many normal sessions are logged in");
+    }
+
+    #[test]
+    fn dos_floods_separate_from_normal_in_count() {
+        let mut r = rng();
+        let dos_mean: f64 = (0..100)
+            .map(|_| sample(AttackType::Neptune, &mut r).count)
+            .sum::<f64>()
+            / 100.0;
+        let normal_mean: f64 = (0..100)
+            .map(|_| sample(AttackType::Normal, &mut r).count)
+            .sum::<f64>()
+            / 100.0;
+        assert!(
+            dos_mean > 10.0 * normal_mean,
+            "flood count {dos_mean} vs normal {normal_mean}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_under_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for ty in AttackType::ALL {
+            assert_eq!(sample(ty, &mut a), sample(ty, &mut b));
+        }
+    }
+}

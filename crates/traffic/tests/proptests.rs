@@ -1,0 +1,116 @@
+//! Property-based tests for the traffic substrate.
+
+use proptest::prelude::*;
+use traffic::csv;
+use traffic::synth::{profiles, MixSpec, TrafficGenerator};
+use traffic::window::WindowAggregator;
+use traffic::{AttackType, Dataset};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every record any profile generates under any seed is structurally
+    /// valid (rates in range, counts non-negative, binaries in {0,1}).
+    #[test]
+    fn all_profiles_generate_valid_records(seed in 0u64..5_000, type_idx in 0usize..33) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ty = AttackType::ALL[type_idx];
+        let rec = profiles::sample(ty, &mut rng);
+        prop_assert_eq!(rec.label, ty);
+        prop_assert!(rec.validate().is_ok(), "{} invalid: {:?}", ty, rec.validate());
+    }
+
+    /// Generated records survive the CSV round-trip with identical labels
+    /// and categorical fields, and numeric fields within format precision.
+    #[test]
+    fn csv_roundtrip_is_faithful(seed in 0u64..2_000) {
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), seed).unwrap();
+        let rec = gen.sample();
+        let line = csv::to_line(&rec);
+        let parsed = csv::parse_line(&line, 1).unwrap();
+        prop_assert_eq!(parsed.label, rec.label);
+        prop_assert_eq!(parsed.protocol, rec.protocol);
+        prop_assert_eq!(parsed.service, rec.service);
+        prop_assert_eq!(parsed.flag, rec.flag);
+        prop_assert_eq!(parsed.src_bytes, rec.src_bytes.round());
+        prop_assert!((parsed.serror_rate - rec.serror_rate).abs() <= 0.005 + 1e-12);
+        prop_assert!((parsed.dst_host_same_srv_rate - rec.dst_host_same_srv_rate).abs() <= 0.005 + 1e-12);
+    }
+
+    /// Splits partition the dataset: sizes add up and the label multiset
+    /// is preserved.
+    #[test]
+    fn splits_partition_records(n in 10usize..200, frac in 0.1f64..0.9, seed in 0u64..100) {
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), seed).unwrap();
+        let ds = gen.generate(n);
+        let (a, b) = ds.split_at_fraction(frac, seed).unwrap();
+        prop_assert_eq!(a.len() + b.len(), n);
+        let mut merged = a.clone();
+        merged.merge(b);
+        prop_assert_eq!(merged.counts_by_type(), ds.counts_by_type());
+    }
+
+    /// Stratified splits also partition and roughly respect the fraction
+    /// for populous classes.
+    #[test]
+    fn stratified_splits_partition(n in 50usize..300, seed in 0u64..100) {
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), seed).unwrap();
+        let ds = gen.generate(n);
+        let (a, b) = ds.stratified_split(0.5, seed).unwrap();
+        prop_assert_eq!(a.len() + b.len(), n);
+        let mut merged = a.clone();
+        merged.merge(b);
+        prop_assert_eq!(merged.counts_by_type(), ds.counts_by_type());
+    }
+
+    /// The window aggregator produces valid records for any flow ordering
+    /// produced by the simulator, and `count`/`srv_count` never exceed the
+    /// KDD caps.
+    #[test]
+    fn window_aggregation_respects_caps(seed in 0u64..50) {
+        use traffic::flows::{FlowSimConfig, FlowSimulator};
+        let mut sim = FlowSimulator::new(
+            FlowSimConfig {
+                duration_secs: 10.0,
+                background_rate: 100.0,
+                server_count: 4, // few servers → busy windows
+                client_count: 16,
+                episodes: vec![],
+            },
+            seed,
+        );
+        let flows = sim.generate();
+        let mut agg = WindowAggregator::new();
+        for flow in &flows {
+            let rec = agg.push(flow);
+            prop_assert!(rec.validate().is_ok());
+            prop_assert!(rec.count >= 1.0 && rec.count <= 511.0);
+            prop_assert!(rec.srv_count >= 1.0 && rec.srv_count <= 511.0);
+            prop_assert!(rec.dst_host_count >= 1.0 && rec.dst_host_count <= 255.0);
+        }
+    }
+
+    /// Generator determinism: same mix + seed ⇒ identical datasets; and a
+    /// dataset is never empty when n > 0.
+    #[test]
+    fn generator_determinism(n in 1usize..64, seed in 0u64..500) {
+        let mut a = TrafficGenerator::new(MixSpec::kdd_test(), seed).unwrap();
+        let mut b = TrafficGenerator::new(MixSpec::kdd_test(), seed).unwrap();
+        let da: Dataset = a.generate(n);
+        let db: Dataset = b.generate(n);
+        prop_assert_eq!(da.records(), db.records());
+        prop_assert_eq!(da.len(), n);
+    }
+
+    /// Attack-type parsing accepts every canonical name (with and without
+    /// the trailing dot) and rejects corrupted ones.
+    #[test]
+    fn label_parse_total_on_vocabulary(type_idx in 0usize..33, dot in proptest::bool::ANY) {
+        let ty = AttackType::ALL[type_idx];
+        let name = if dot { format!("{}.", ty.name()) } else { ty.name().to_string() };
+        prop_assert_eq!(AttackType::parse(&name).unwrap(), ty);
+        let corrupted = format!("{}zz", ty.name());
+        prop_assert!(AttackType::parse(&corrupted).is_err());
+    }
+}

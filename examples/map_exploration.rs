@@ -1,0 +1,131 @@
+//! Map exploration: inspect what a trained GHSOM learned — the hierarchy
+//! tree, per-map U-matrices and the attack categories each leaf unit
+//! captured. This mirrors the qualitative "map analysis" sections of
+//! SOM-based IDS papers.
+//!
+//! ```text
+//! cargo run --release --example map_exploration
+//! ```
+
+use std::collections::HashMap;
+
+use ghsom_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut gen = traffic::synth::TrafficGenerator::new(traffic::synth::MixSpec::kdd_train(), 5)?;
+    let train = gen.generate(5_000);
+    let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train)?;
+    let x_train = pipeline.transform_dataset(&train)?;
+
+    println!("training GHSOM …");
+    let model = GhsomModel::train(
+        &GhsomConfig {
+            tau1: 0.3,
+            tau2: 0.03,
+            seed: 5,
+            ..Default::default()
+        },
+        &x_train,
+    )?;
+    let stats = model.topology_stats();
+    println!(
+        "hierarchy: {} maps, {} units, depth {} (mqe0 = {:.4})\n",
+        stats.maps,
+        stats.total_units,
+        stats.max_depth,
+        model.mqe0()
+    );
+
+    // --- Hierarchy tree ---------------------------------------------------
+    println!("hierarchy tree (map: rows x cols [training hits]):");
+    print_tree(&model, 0, 0);
+
+    // --- Per-unit category census of the root map -------------------------
+    println!("\nroot-map unit census (majority category per unit):");
+    let mut unit_census: HashMap<usize, HashMap<AttackCategory, usize>> = HashMap::new();
+    for (x, rec) in x_train.iter_rows().zip(train.iter()) {
+        let projection = model.project(x)?;
+        let root_step = projection.steps()[0];
+        *unit_census
+            .entry(root_step.unit)
+            .or_default()
+            .entry(rec.category())
+            .or_insert(0) += 1;
+    }
+    let root = model.root();
+    let topo = root.som().topology();
+    for r in 0..topo.rows() {
+        let mut line = String::new();
+        for c in 0..topo.cols() {
+            let unit = topo.index(r, c);
+            let cell = match unit_census.get(&unit) {
+                Some(tally) => {
+                    let (cat, _) = tally.iter().max_by_key(|(_, &n)| n).unwrap();
+                    match cat {
+                        AttackCategory::Normal => "norm ",
+                        AttackCategory::Dos => "dos  ",
+                        AttackCategory::Probe => "probe",
+                        AttackCategory::R2l => "r2l  ",
+                        AttackCategory::U2r => "u2r  ",
+                    }
+                }
+                None => "  .  ",
+            };
+            line.push_str(cell);
+            line.push(' ');
+        }
+        println!("  {line}");
+    }
+
+    // --- U-matrix of the root map -----------------------------------------
+    println!("\nroot-map U-matrix (higher = cluster boundary):");
+    let umatrix = root.som().umatrix();
+    let max = umatrix.iter().cloned().fold(1e-12, f64::max);
+    let shades = [' ', '.', ':', '+', '#'];
+    for r in 0..topo.rows() {
+        let mut line = String::new();
+        for c in 0..topo.cols() {
+            let v = umatrix[topo.index(r, c)] / max;
+            let shade = shades[((v * (shades.len() - 1) as f64).round() as usize)
+                .min(shades.len() - 1)];
+            line.push(shade);
+            line.push(shade);
+        }
+        println!("  |{line}|");
+    }
+
+    // --- What an attack projection looks like ------------------------------
+    println!("\nprojection traces:");
+    for ty in [AttackType::Normal, AttackType::Smurf, AttackType::Portsweep] {
+        let rec = gen.sample_of(ty);
+        let x = pipeline.transform(&rec)?;
+        let p = model.project(&x)?;
+        let path: Vec<String> = p
+            .steps()
+            .iter()
+            .map(|s| format!("map{}→unit{} (qe {:.3})", s.node, s.unit, s.distance))
+            .collect();
+        println!("  {:<12} {}", ty.to_string(), path.join("  →  "));
+    }
+    Ok(())
+}
+
+fn print_tree(model: &ghsom_suite::core::GhsomModel, node: usize, indent: usize) {
+    let n = &model.nodes()[node];
+    let topo = n.som().topology();
+    let hits: usize = n.unit_hits().iter().sum();
+    println!(
+        "{:indent$}map {}: {}x{} [{} hits]",
+        "",
+        node,
+        topo.rows(),
+        topo.cols(),
+        hits,
+        indent = indent
+    );
+    for unit in 0..n.som().len() {
+        if let Some(child) = n.child_of_unit(unit) {
+            print_tree(model, child, indent + 2);
+        }
+    }
+}

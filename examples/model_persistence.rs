@@ -1,0 +1,80 @@
+//! Model persistence: train once, serialize the pipeline + detector as a
+//! single JSON artifact, reload it in a "fresh process" and verify the
+//! verdicts are identical — the ship-a-trained-model workflow.
+//!
+//! ```text
+//! cargo run --release --example model_persistence
+//! ```
+
+use ghsom_suite::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Everything a deployment needs: the exact input transform and the
+/// fitted detector, versioned together.
+#[derive(Serialize, Deserialize)]
+struct DetectorArtifact {
+    format_version: u32,
+    pipeline: KddPipeline,
+    detector: HybridGhsomDetector,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Training process -------------------------------------------------
+    println!("training …");
+    let (train, test) = traffic::synth::kdd_train_test(3_000, 1_000, 21)?;
+    let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train)?;
+    let x_train = pipeline.transform_dataset(&train)?;
+    let labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
+    let model = GhsomModel::train(
+        &GhsomConfig {
+            tau1: 0.3,
+            tau2: 0.03,
+            seed: 21,
+            ..Default::default()
+        },
+        &x_train,
+    )?;
+    let detector = HybridGhsomDetector::fit(model, &x_train, &labels, 0.99)?;
+
+    let artifact = DetectorArtifact {
+        format_version: 1,
+        pipeline,
+        detector,
+    };
+    let json = serde_json::to_string(&artifact)?;
+    let path = std::env::temp_dir().join("ghsom_detector.json");
+    std::fs::write(&path, &json)?;
+    println!(
+        "  wrote {} ({:.1} MiB)",
+        path.display(),
+        json.len() as f64 / (1024.0 * 1024.0)
+    );
+
+    // --- "Deployment process" --------------------------------------------
+    println!("reloading …");
+    let reloaded: DetectorArtifact = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
+    assert_eq!(reloaded.format_version, 1);
+
+    // Verdicts must agree exactly between the trained and reloaded
+    // detectors.
+    let mut flagged = 0usize;
+    for rec in test.iter() {
+        let x_orig = artifact.pipeline.transform(rec)?;
+        let x_new = reloaded.pipeline.transform(rec)?;
+        assert_eq!(x_orig, x_new, "pipeline transform drifted");
+        let v_orig = artifact.detector.is_anomalous(&x_orig)?;
+        let v_new = reloaded.detector.is_anomalous(&x_new)?;
+        assert_eq!(v_orig, v_new, "detector verdict drifted");
+        if v_new {
+            flagged += 1;
+        }
+    }
+    println!(
+        "  verified: {} verdicts identical pre/post reload ({} flagged of {})",
+        test.len(),
+        flagged,
+        test.len()
+    );
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

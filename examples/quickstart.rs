@@ -1,0 +1,61 @@
+//! Quickstart: train a GHSOM on synthetic KDD-style traffic and detect
+//! anomalies in a held-out test set.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ghsom_suite::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: KDD-99-style training mix and corrected-test mix (the test
+    //    mix contains attack types that never occur in training).
+    println!("generating synthetic KDD-style traffic …");
+    let (train, test) = traffic::synth::kdd_train_test(4_000, 2_000, 42)?;
+    println!(
+        "  train: {} records ({} attacks), test: {} records ({} attacks)",
+        train.len(),
+        train.attack_count(),
+        test.len(),
+        test.attack_count()
+    );
+
+    // 2. Features: 38 scaled continuous features + one-hot categoricals.
+    let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train)?;
+    let x_train = pipeline.transform_dataset(&train)?;
+    let x_test = pipeline.transform_dataset(&test)?;
+    println!("  feature vectors: {} dimensions", pipeline.output_dim());
+
+    // 3. Model: grow the hierarchical SOM.
+    println!("training GHSOM (tau1 = 0.3, tau2 = 0.03) …");
+    let config = GhsomConfig {
+        tau1: 0.3,
+        tau2: 0.03,
+        seed: 42,
+        ..Default::default()
+    };
+    let model = GhsomModel::train(&config, &x_train)?;
+    let stats = model.topology_stats();
+    println!(
+        "  grown: {} maps, {} units, depth {}",
+        stats.maps, stats.total_units, stats.max_depth
+    );
+
+    // 4. Detector: unit labels + QE threshold at the 99th percentile of
+    //    normal training scores.
+    let labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
+    let detector = HybridGhsomDetector::fit(model, &x_train, &labels, 0.99)?;
+
+    // 5. Evaluate on the held-out test set.
+    let mut metrics = evalkit::BinaryMetrics::new();
+    for (x, record) in x_test.iter_rows().zip(test.iter()) {
+        metrics.record(record.is_attack(), detector.is_anomalous(x)?);
+    }
+    println!("\nresults on {} held-out records:", metrics.total());
+    println!("  detection rate       {:.4}", metrics.detection_rate());
+    println!("  false positive rate  {:.4}", metrics.false_positive_rate());
+    println!("  precision            {:.4}", metrics.precision());
+    println!("  F1                   {:.4}", metrics.f1());
+    println!("  accuracy             {:.4}", metrics.accuracy());
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! # ghsom-suite
+//!
+//! A full Rust reproduction of *"Network traffic anomaly detection based on
+//! growing hierarchical SOM"* (DSN 2013): the GHSOM algorithm, the network
+//! traffic substrate it is evaluated on, the detection layer, the
+//! comparison baselines, and the evaluation harness that regenerates the
+//! paper-style tables and figures.
+//!
+//! This crate is an umbrella that re-exports the workspace members:
+//!
+//! | re-export | crate | contents |
+//! |---|---|---|
+//! | [`core`](mod@core) | `ghsom-core` | the GHSOM itself (τ₁/τ₂ growth, hierarchy, projection) |
+//! | [`som`] | `som` | Kohonen SOM substrate (grids, kernels, training) |
+//! | [`traffic`] | `traffic` | KDD-style records, attack generators, flows, CSV |
+//! | [`featurize`] | `featurize` | encoders, scalers, record→vector pipeline |
+//! | [`detect`] | `detect` | GHSOM detectors + flat-SOM/k-means/growing-grid/PCA baselines |
+//! | [`evalkit`] | `evalkit` | metrics, ROC/AUC, confusion matrices, tables |
+//! | [`mathkit`] | `mathkit` | vectors, matrices, stats, samplers, PCA |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ghsom_suite::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Synthesize KDD-style traffic (train mix has no unseen attacks).
+//! let (train, test) = traffic::synth::kdd_train_test(1_000, 500, 42)?;
+//!
+//! // 2. Fit the feature pipeline on training data.
+//! let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train)?;
+//! let x_train = pipeline.transform_dataset(&train)?;
+//!
+//! // 3. Train the GHSOM.
+//! let model = GhsomModel::train(&GhsomConfig::default(), &x_train)?;
+//!
+//! // 4. Fit the hybrid detector (unit labels + QE threshold).
+//! let labels: Vec<_> = train.iter().map(|r| r.category()).collect();
+//! let detector = HybridGhsomDetector::fit(model, &x_train, &labels, 0.99)?;
+//!
+//! // 5. Detect.
+//! let x = pipeline.transform(&test.records()[0])?;
+//! let _ = detector.is_anomalous(&x)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/repro.rs` for the table/figure reproduction
+//! harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use detect;
+pub use evalkit;
+pub use featurize;
+pub use ghsom_core as core;
+pub use mathkit;
+pub use som;
+pub use traffic;
+
+/// The most common imports for building a detection pipeline.
+pub mod prelude {
+    pub use detect::prelude::*;
+    pub use featurize::{KddPipeline, PipelineConfig, ScalingKind};
+    pub use ghsom_core::{GhsomConfig, GhsomModel};
+    pub use traffic::{self, AttackCategory, AttackType, ConnectionRecord, Dataset};
+}

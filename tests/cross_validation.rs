@@ -1,0 +1,91 @@
+//! Cross-validated evaluation: ties `evalkit::crossval` to the full
+//! detector stack and checks that detection quality is stable across
+//! folds (no single lucky split).
+
+use evalkit::crossval::stratified_kfold;
+use ghsom_suite::prelude::*;
+
+#[test]
+fn stratified_cv_of_the_hybrid_detector_is_stable() {
+    // One mixed dataset; CV splits it into train/test folds.
+    let mut gen =
+        traffic::synth::TrafficGenerator::new(traffic::synth::MixSpec::kdd_train(), 31).unwrap();
+    let all = gen.generate(1_800);
+    let cat_index = |c: AttackCategory| AttackCategory::ALL.iter().position(|&x| x == c).unwrap();
+    let labels_idx: Vec<usize> = all.iter().map(|r| cat_index(r.category())).collect();
+
+    let folds = stratified_kfold(&labels_idx, 3, 7).unwrap();
+    let mut f1s = Vec::new();
+    for (fold_no, fold) in folds.iter().enumerate() {
+        let train: Dataset = fold
+            .train
+            .iter()
+            .map(|&i| all.records()[i].clone())
+            .collect();
+        let test: Dataset = fold
+            .test
+            .iter()
+            .map(|&i| all.records()[i].clone())
+            .collect();
+
+        let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+        let x_train = pipeline.transform_dataset(&train).unwrap();
+        let x_test = pipeline.transform_dataset(&test).unwrap();
+        let cats: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
+        let model = GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.3,
+                tau2: 0.03,
+                epochs_per_round: 2,
+                final_epochs: 2,
+                seed: 31 + fold_no as u64,
+                ..Default::default()
+            },
+            &x_train,
+        )
+        .unwrap();
+        let det = HybridGhsomDetector::fit(model, &x_train, &cats, 0.99).unwrap();
+
+        let mut m = evalkit::BinaryMetrics::new();
+        for (x, rec) in x_test.iter_rows().zip(test.iter()) {
+            m.record(rec.is_attack(), det.is_anomalous(x).unwrap());
+        }
+        f1s.push(m.f1());
+    }
+
+    // Every fold performs well, and the spread across folds is small.
+    for (i, &f1) in f1s.iter().enumerate() {
+        assert!(f1 > 0.95, "fold {i} F1 {f1}");
+    }
+    let mean = f1s.iter().sum::<f64>() / f1s.len() as f64;
+    let spread = f1s
+        .iter()
+        .map(|f| (f - mean).abs())
+        .fold(0.0f64, f64::max);
+    assert!(spread < 0.03, "fold F1 spread {spread} (values {f1s:?})");
+}
+
+#[test]
+fn cv_folds_respect_class_stratification_end_to_end() {
+    let mut gen =
+        traffic::synth::TrafficGenerator::new(traffic::synth::MixSpec::kdd_train(), 32).unwrap();
+    let all = gen.generate(900);
+    let cat_index = |c: AttackCategory| AttackCategory::ALL.iter().position(|&x| x == c).unwrap();
+    let labels_idx: Vec<usize> = all.iter().map(|r| cat_index(r.category())).collect();
+    let folds = stratified_kfold(&labels_idx, 3, 9).unwrap();
+
+    let overall_normal =
+        labels_idx.iter().filter(|&&c| c == 0).count() as f64 / labels_idx.len() as f64;
+    for fold in &folds {
+        let fold_normal = fold
+            .test
+            .iter()
+            .filter(|&&i| labels_idx[i] == 0)
+            .count() as f64
+            / fold.test.len() as f64;
+        assert!(
+            (fold_normal - overall_normal).abs() < 0.05,
+            "fold normal fraction {fold_normal} vs overall {overall_normal}"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end integration tests spanning every crate: raw data → features
+//! → GHSOM → detection → evaluation.
+
+use ghsom_suite::prelude::*;
+
+/// Builds a complete small pipeline once, shared by several assertions.
+fn build() -> (
+    Dataset,
+    Dataset,
+    KddPipeline,
+    mathkit::Matrix,
+    mathkit::Matrix,
+    HybridGhsomDetector,
+) {
+    let (train, test) = traffic::synth::kdd_train_test(1_500, 1_000, 2024).unwrap();
+    let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+    let x_train = pipeline.transform_dataset(&train).unwrap();
+    let x_test = pipeline.transform_dataset(&test).unwrap();
+    let labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
+    let model = GhsomModel::train(
+        &GhsomConfig {
+            tau1: 0.3,
+            tau2: 0.03,
+            epochs_per_round: 3,
+            final_epochs: 3,
+            seed: 2024,
+            ..Default::default()
+        },
+        &x_train,
+    )
+    .unwrap();
+    let detector = HybridGhsomDetector::fit(model, &x_train, &labels, 0.99).unwrap();
+    (train, test, pipeline, x_train, x_test, detector)
+}
+
+#[test]
+fn full_pipeline_beats_chance_and_bounds_false_positives() {
+    let (_, test, _, _, x_test, detector) = build();
+    let mut metrics = evalkit::BinaryMetrics::new();
+    for (x, rec) in x_test.iter_rows().zip(test.iter()) {
+        metrics.record(rec.is_attack(), detector.is_anomalous(x).unwrap());
+    }
+    assert!(
+        metrics.detection_rate() > 0.80,
+        "detection rate {}",
+        metrics.detection_rate()
+    );
+    assert!(
+        metrics.false_positive_rate() < 0.15,
+        "false positive rate {}",
+        metrics.false_positive_rate()
+    );
+    assert!(metrics.accuracy() > 0.80, "accuracy {}", metrics.accuracy());
+}
+
+#[test]
+fn dos_floods_are_nearly_always_caught() {
+    let (_, test, _, _, x_test, detector) = build();
+    let mut caught = 0usize;
+    let mut total = 0usize;
+    for (x, rec) in x_test.iter_rows().zip(test.iter()) {
+        if rec.category() == AttackCategory::Dos {
+            total += 1;
+            if detector.is_anomalous(x).unwrap() {
+                caught += 1;
+            }
+        }
+    }
+    assert!(total > 0);
+    let rate = caught as f64 / total as f64;
+    assert!(rate > 0.9, "DoS detection rate {rate}");
+}
+
+#[test]
+fn unseen_attack_types_are_still_detected() {
+    let (_, test, _, _, x_test, detector) = build();
+    let mut caught = 0usize;
+    let mut total = 0usize;
+    for (x, rec) in x_test.iter_rows().zip(test.iter()) {
+        if rec.label.is_test_only() {
+            total += 1;
+            if detector.is_anomalous(x).unwrap() {
+                caught += 1;
+            }
+        }
+    }
+    assert!(total > 20, "test set should contain unseen attacks, got {total}");
+    let rate = caught as f64 / total as f64;
+    // Unseen types are harder; still require well above chance.
+    assert!(rate > 0.5, "unseen-attack detection rate {rate}");
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_under_fixed_seeds() {
+    let (_, _, _, _, x_test_a, det_a) = build();
+    let (_, _, _, _, x_test_b, det_b) = build();
+    assert_eq!(x_test_a, x_test_b);
+    for (xa, xb) in x_test_a.iter_rows().zip(x_test_b.iter_rows()).take(200) {
+        assert_eq!(
+            det_a.is_anomalous(xa).unwrap(),
+            det_b.is_anomalous(xb).unwrap()
+        );
+        assert_eq!(det_a.score(xa).unwrap(), det_b.score(xb).unwrap());
+    }
+}
+
+#[test]
+fn trained_detector_roundtrips_through_json() {
+    let (_, _, _, _, x_test, detector) = build();
+    let json = serde_json::to_string(&detector).unwrap();
+    let restored: HybridGhsomDetector = serde_json::from_str(&json).unwrap();
+    for x in x_test.iter_rows().take(100) {
+        assert_eq!(
+            detector.is_anomalous(x).unwrap(),
+            restored.is_anomalous(x).unwrap()
+        );
+        assert_eq!(detector.classify(x).unwrap(), restored.classify(x).unwrap());
+    }
+}
+
+#[test]
+fn csv_roundtrip_preserves_detection_results() {
+    let (_, test, pipeline, _, _, detector) = build();
+    // Write the test set to CSV and read it back (simulating use of the
+    // real KDD files).
+    let mut buf = Vec::new();
+    traffic::csv::write_dataset(&test, &mut buf).unwrap();
+    let reloaded = traffic::csv::read_dataset(buf.as_slice()).unwrap();
+    assert_eq!(reloaded.len(), test.len());
+    // Rates are rounded to 2 decimals in CSV, so verdicts may flip only
+    // for borderline records; require > 99% agreement.
+    let mut agree = 0usize;
+    for (orig, reload) in test.iter().zip(reloaded.iter()) {
+        let vo = detector
+            .is_anomalous(&pipeline.transform(orig).unwrap())
+            .unwrap();
+        let vr = detector
+            .is_anomalous(&pipeline.transform(reload).unwrap())
+            .unwrap();
+        if vo == vr {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree as f64 / test.len() as f64 > 0.99,
+        "only {agree}/{} verdicts agree after CSV roundtrip",
+        test.len()
+    );
+}
+
+#[test]
+fn roc_of_ghsom_scores_has_meaningful_auc() {
+    let (_, test, _, _, x_test, detector) = build();
+    let scores = detector.score_all(&x_test).unwrap();
+    let truth: Vec<bool> = test.iter().map(|r| r.is_attack()).collect();
+    let roc = evalkit::RocCurve::from_scores(&scores, &truth).unwrap();
+    assert!(roc.auc() > 0.9, "AUC {}", roc.auc());
+}
+
+#[test]
+fn hybrid_score_is_verdict_consistent() {
+    let (_, _, _, _, x_test, detector) = build();
+    for x in x_test.iter_rows().take(500) {
+        let score = detector.score(x).unwrap();
+        assert_eq!(detector.is_anomalous(x).unwrap(), score > 1.0);
+    }
+}
+
+#[test]
+fn raw_qe_inverts_on_mixed_training_data() {
+    // Documented property: a GHSOM trained on the attack-dominated KDD mix
+    // quantizes the tight DoS clusters better than diverse normal traffic,
+    // so raw leaf QE ranks attacks *below* normal records. This is why the
+    // detection layer uses labels (and why Figure 3 uses a
+    // normal-only-trained model).
+    let (_, test, _, _, x_test, detector) = build();
+    let qe_scores: Vec<f64> = x_test
+        .iter_rows()
+        .map(|x| detector.labeled().model().project(x).unwrap().leaf_qe())
+        .collect();
+    let truth: Vec<bool> = test.iter().map(|r| r.is_attack()).collect();
+    let roc = evalkit::RocCurve::from_scores(&qe_scores, &truth).unwrap();
+    assert!(
+        roc.auc() < 0.5,
+        "expected inverted raw-QE ranking, AUC {}",
+        roc.auc()
+    );
+}

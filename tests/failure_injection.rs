@@ -1,0 +1,174 @@
+//! Failure-injection tests: malformed inputs, degenerate data and
+//! pathological configurations must produce errors (or graceful
+//! degradation) — never panics or silent nonsense.
+
+use ghsom_suite::prelude::*;
+use mathkit::Matrix;
+
+fn tiny_train() -> (Dataset, KddPipeline, Matrix, Vec<AttackCategory>) {
+    let mut gen =
+        traffic::synth::TrafficGenerator::new(traffic::synth::MixSpec::kdd_train(), 1).unwrap();
+    let train = gen.generate(120);
+    let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+    let x = pipeline.transform_dataset(&train).unwrap();
+    let labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
+    (train, pipeline, x, labels)
+}
+
+#[test]
+fn nan_and_infinite_training_data_is_rejected() {
+    let bad_nan = Matrix::from_flat(2, 3, vec![0.0, f64::NAN, 0.1, 0.2, 0.3, 0.4]).unwrap();
+    let bad_inf = Matrix::from_flat(2, 3, vec![0.0, f64::INFINITY, 0.1, 0.2, 0.3, 0.4]).unwrap();
+    for bad in [bad_nan, bad_inf] {
+        let err = GhsomModel::train(&GhsomConfig::default(), &bad).unwrap_err();
+        assert!(matches!(err, ghsom_suite::core::GhsomError::NonFinite));
+    }
+}
+
+#[test]
+fn wrong_dimension_inputs_error_at_every_layer() {
+    let (_, _, x, labels) = tiny_train();
+    let model = GhsomModel::train(&GhsomConfig::default(), &x).unwrap();
+    let det = HybridGhsomDetector::fit(model.clone(), &x, &labels, 0.99).unwrap();
+
+    assert!(model.project(&[1.0, 2.0]).is_err());
+    assert!(det.score(&[1.0]).is_err());
+    assert!(det.is_anomalous(&[1.0]).is_err());
+    assert!(det.classify(&[1.0]).is_err());
+}
+
+#[test]
+fn empty_dataset_errors_are_clean() {
+    let empty = Dataset::new();
+    assert!(KddPipeline::fit(&PipelineConfig::default(), &empty).is_err());
+    assert!(empty.split_at_fraction(0.5, 0).is_err());
+    assert!(empty.stratified_split(0.5, 0).is_err());
+}
+
+#[test]
+fn single_class_training_data_still_trains() {
+    // All-normal data (the anomaly-detection setting): the model trains
+    // and the QE detector calibrates; the labelled detector labels every
+    // unit normal and never flags the training data.
+    let mut gen =
+        traffic::synth::TrafficGenerator::new(traffic::synth::MixSpec::normal_only(), 2).unwrap();
+    let train = gen.generate(200);
+    let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+    let x = pipeline.transform_dataset(&train).unwrap();
+    let labels = vec![AttackCategory::Normal; train.len()];
+    let model = GhsomModel::train(
+        &GhsomConfig {
+            epochs_per_round: 2,
+            final_epochs: 1,
+            ..Default::default()
+        },
+        &x,
+    )
+    .unwrap();
+    let qe = QeThresholdDetector::fit(model.clone(), &x, 0.99).unwrap();
+    let labelled = LabeledGhsomDetector::fit(model, &x, &labels).unwrap();
+    let mut flagged = 0;
+    for row in x.iter_rows() {
+        assert!(!labelled.is_anomalous(row).unwrap());
+        if qe.is_anomalous(row).unwrap() {
+            flagged += 1;
+        }
+    }
+    // 99th percentile calibration ⇒ ≈1% of calibration data above.
+    assert!(flagged <= 10, "{flagged}/200 flagged");
+}
+
+#[test]
+fn constant_feature_data_degenerates_gracefully() {
+    // Every record identical: mqe0 = 0, single 2x2 map, zero scores.
+    let row = vec![0.5; 10];
+    let data = Matrix::from_rows(vec![row.clone(); 50]).unwrap();
+    let model = GhsomModel::train(&GhsomConfig::default(), &data).unwrap();
+    assert_eq!(model.map_count(), 1);
+    assert_eq!(model.project(&row).unwrap().leaf_qe(), 0.0);
+    let qe = QeThresholdDetector::fit(model, &data, 0.99).unwrap();
+    assert!(!qe.is_anomalous(&row).unwrap());
+    // Any deviation from the constant is flagged (threshold is 0).
+    let mut other = row.clone();
+    other[0] = 0.9;
+    assert!(qe.is_anomalous(&other).unwrap());
+}
+
+#[test]
+fn pathological_tau_values_are_rejected_not_looped() {
+    let (_, _, x, _) = tiny_train();
+    for (tau1, tau2) in [(0.0, 0.03), (1.0, 0.03), (0.3, 0.0), (0.3, 1.01), (f64::NAN, 0.5)] {
+        let config = GhsomConfig {
+            tau1,
+            tau2,
+            ..Default::default()
+        };
+        assert!(
+            GhsomModel::train(&config, &x).is_err(),
+            "tau1={tau1} tau2={tau2} accepted"
+        );
+    }
+}
+
+#[test]
+fn malformed_csv_is_reported_with_line_numbers() {
+    let good = {
+        let mut gen =
+            traffic::synth::TrafficGenerator::new(traffic::synth::MixSpec::kdd_train(), 3)
+                .unwrap();
+        traffic::csv::to_line(&gen.sample())
+    };
+    // Field-count error on line 2.
+    let text = format!("{good}\nbad,line\n");
+    match traffic::csv::read_dataset(text.as_bytes()) {
+        Err(traffic::TrafficError::FieldCount { line, .. }) => assert_eq!(line, 2),
+        other => panic!("expected FieldCount, got {other:?}"),
+    }
+    // Numeric garbage on line 1.
+    let garbled = good.replacen(&good[..1], "x", 1);
+    assert!(traffic::csv::read_dataset(garbled.as_bytes()).is_err());
+}
+
+#[test]
+fn detector_fitting_with_mismatched_labels_fails() {
+    let (_, _, x, labels) = tiny_train();
+    let model = GhsomModel::train(&GhsomConfig::default(), &x).unwrap();
+    let short = &labels[..10];
+    assert!(LabeledGhsomDetector::fit(model.clone(), &x, short).is_err());
+    assert!(HybridGhsomDetector::fit(model.clone(), &x, short, 0.99).is_err());
+    assert!(FlatSomDetector::fit(&x, short, 4, 4, 0.99, 0).is_err());
+    assert!(KMeansDetector::fit(&x, short, 4, 0.99, 0).is_err());
+}
+
+#[test]
+fn out_of_range_calibration_percentiles_fail() {
+    let (_, _, x, labels) = tiny_train();
+    let model = GhsomModel::train(&GhsomConfig::default(), &x).unwrap();
+    for p in [0.0, -0.5, 1.5, f64::NAN] {
+        assert!(
+            HybridGhsomDetector::fit(model.clone(), &x, &labels, p).is_err(),
+            "percentile {p} accepted"
+        );
+    }
+}
+
+#[test]
+fn zero_weight_mixes_are_rejected() {
+    use traffic::synth::MixSpec;
+    assert!(MixSpec::custom(vec![]).is_err());
+    assert!(MixSpec::custom(vec![(AttackType::Smurf, 0.0)]).is_err());
+    assert!(MixSpec::custom(vec![(AttackType::Smurf, -2.0)]).is_err());
+}
+
+#[test]
+fn streaming_detector_propagates_scoring_errors_without_state_change() {
+    let (_, _, x, labels) = tiny_train();
+    let model = GhsomModel::train(&GhsomConfig::default(), &x).unwrap();
+    let det = HybridGhsomDetector::fit(model, &x, &labels, 0.99).unwrap();
+    let stream = detect::online::StreamingDetector::new(det, 3.0, 10);
+    assert!(stream.observe(&[1.0, 2.0]).is_err());
+    assert_eq!(stream.stats().seen, 0, "failed observation must not count");
+    // A valid observation still works afterwards.
+    stream.observe(x.row(0)).unwrap();
+    assert_eq!(stream.stats().seen, 1);
+}

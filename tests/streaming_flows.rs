@@ -1,0 +1,166 @@
+//! Integration tests of the live-deployment path: raw flow simulation →
+//! window aggregation → feature pipeline → streaming detector.
+
+use detect::online::StreamingDetector;
+use ghsom_suite::prelude::*;
+use traffic::flows::{AttackEpisode, EpisodeKind, FlowSimConfig, FlowSimulator};
+use traffic::window::derive_dataset;
+
+/// Trains on records derived from a *flow trace* via the same window
+/// aggregation used at detection time — matching the training distribution
+/// to the deployment distribution, as a real NetFlow deployment must.
+fn trained_detector(seed: u64) -> (KddPipeline, HybridGhsomDetector) {
+    let mut sim = FlowSimulator::new(
+        FlowSimConfig {
+            duration_secs: 120.0,
+            background_rate: 60.0,
+            server_count: 32,
+            client_count: 128,
+            episodes: vec![
+                AttackEpisode {
+                    kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+                    start: 40.0,
+                    duration: 15.0,
+                    rate: 400.0,
+                },
+                AttackEpisode {
+                    kind: EpisodeKind::PortScan { target: 0xC0A8_0002 },
+                    start: 80.0,
+                    duration: 15.0,
+                    rate: 100.0,
+                },
+            ],
+        },
+        seed ^ 0xF10,
+    );
+    let train = derive_dataset(&sim.generate());
+    let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+    let x_train = pipeline.transform_dataset(&train).unwrap();
+    let labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
+    let model = GhsomModel::train(
+        &GhsomConfig {
+            tau1: 0.3,
+            tau2: 0.03,
+            epochs_per_round: 3,
+            final_epochs: 3,
+            seed,
+            ..Default::default()
+        },
+        &x_train,
+    )
+    .unwrap();
+    let det = HybridGhsomDetector::fit(model, &x_train, &labels, 0.995).unwrap();
+    (pipeline, det)
+}
+
+fn simulate(seed: u64) -> (Vec<traffic::flows::FlowEvent>, Dataset) {
+    let mut sim = FlowSimulator::new(
+        FlowSimConfig {
+            duration_secs: 60.0,
+            background_rate: 60.0,
+            server_count: 32,
+            client_count: 128,
+            episodes: vec![AttackEpisode {
+                kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+                start: 30.0,
+                duration: 20.0,
+                rate: 400.0,
+            }],
+        },
+        seed,
+    );
+    let flows = sim.generate();
+    let derived = derive_dataset(&flows);
+    (flows, derived)
+}
+
+#[test]
+fn windowed_records_flow_through_the_pipeline() {
+    let (pipeline, _) = trained_detector(1);
+    let (_, derived) = simulate(2);
+    // Every derived record transforms without error and stays bounded.
+    for rec in derived.iter().take(500) {
+        let x = pipeline.transform(rec).unwrap();
+        assert_eq!(x.len(), pipeline.output_dim());
+        assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+}
+
+#[test]
+fn streaming_detector_catches_the_flood_window() {
+    let (pipeline, det) = trained_detector(3);
+    let stream = StreamingDetector::new(det, 4.0, 100);
+    let (flows, derived) = simulate(4);
+
+    let mut quiet_flagged = 0usize;
+    let mut quiet_total = 0usize;
+    let mut attack_flagged = 0usize;
+    let mut attack_total = 0usize;
+    for (flow, rec) in flows.iter().zip(derived.iter()) {
+        let x = pipeline.transform(rec).unwrap();
+        let verdict = stream.observe(&x).unwrap();
+        // Skip the earliest seconds while windows warm up.
+        if flow.time < 5.0 {
+            continue;
+        }
+        if flow.label.is_attack() {
+            attack_total += 1;
+            if verdict.anomalous {
+                attack_flagged += 1;
+            }
+        } else if flow.time < 30.0 {
+            quiet_total += 1;
+            if verdict.anomalous {
+                quiet_flagged += 1;
+            }
+        }
+    }
+    assert!(attack_total > 1_000, "flood should dominate: {attack_total}");
+    let attack_rate = attack_flagged as f64 / attack_total as f64;
+    let quiet_rate = quiet_flagged as f64 / quiet_total.max(1) as f64;
+    assert!(
+        attack_rate > 0.9,
+        "flood flows flagged at only {attack_rate}"
+    );
+    assert!(
+        quiet_rate < 0.2,
+        "quiet traffic flagged at {quiet_rate}"
+    );
+    assert!(attack_rate > 4.0 * quiet_rate);
+}
+
+#[test]
+fn entropy_series_separates_attack_windows() {
+    let (flows, _) = simulate(5);
+    let series = featurize::entropywin::entropy_series(&flows, 5.0).unwrap();
+    // Windows overlapping the flood have high ground-truth attack fraction
+    // and show the flood entropy signature (dispersed sources).
+    let attack_windows: Vec<_> = series.iter().filter(|w| w.attack_fraction > 0.5).collect();
+    let quiet_windows: Vec<_> = series.iter().filter(|w| w.attack_fraction == 0.0).collect();
+    assert!(!attack_windows.is_empty());
+    assert!(!quiet_windows.is_empty());
+    let mean = |ws: &[&featurize::entropywin::EntropyWindow], f: fn(&featurize::entropywin::EntropyWindow) -> f64| {
+        ws.iter().map(|w| f(w)).sum::<f64>() / ws.len() as f64
+    };
+    assert!(
+        mean(&attack_windows, |w| w.src_ip_entropy)
+            > mean(&quiet_windows, |w| w.src_ip_entropy)
+    );
+}
+
+#[test]
+fn stream_state_is_isolated_between_sessions() {
+    let (pipeline, det) = trained_detector(6);
+    let stream = StreamingDetector::new(det, 4.0, 10);
+    let (_, derived) = simulate(7);
+    for rec in derived.iter().take(50) {
+        stream.observe(&pipeline.transform(rec).unwrap()).unwrap();
+    }
+    assert_eq!(stream.stats().seen, 50);
+    stream.reset();
+    assert_eq!(stream.stats().seen, 0);
+    for rec in derived.iter().take(10) {
+        stream.observe(&pipeline.transform(rec).unwrap()).unwrap();
+    }
+    assert_eq!(stream.stats().seen, 10);
+}
