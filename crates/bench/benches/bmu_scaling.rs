@@ -1,13 +1,62 @@
 //! Best-matching-unit search scaling: cost per lookup as the codebook
 //! grows (the inner loop of both training and detection).
+//!
+//! Four engines are compared on identical data and codebooks:
+//!
+//! * `naive`    — the seed implementation, reproduced verbatim: one
+//!   enum-dispatched `Metric::eval` per codebook row, with the original
+//!   sequential-reduction distance kernel (a loop-carried FP dependency
+//!   chain, so it cannot vectorize).
+//! * `scan`     — [`Som::bmu_scan`]: the same per-row loop over today's
+//!   chunked, four-accumulator distance kernels (satellite fix: metric
+//!   resolved once, kernels vectorizable).
+//! * `batch`    — the Gram-trick batched engine ([`Som::bmu_batch`]),
+//!   pinned to one thread via `GHSOM_THREADS=1`.
+//! * `parallel` — the same batched engine with the thread cap lifted
+//!   (identical to `batch` on single-core machines).
+//!
+//! The acceptance bar for the batched engine is ≥ 5× over the naive loop
+//! on a 32×32 map at dim 41 with 10k samples, single-threaded. Numbers
+//! land in `target/shim-criterion/bmu_scaling.json` (see `BENCH_1.json`
+//! for the tracked trajectory).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ghsom_bench::harness::{prepare, RunConfig};
+use mathkit::Metric;
 use som::map::Som;
+
+/// The seed's distance kernel: iterator map + sequential `sum()`, whose
+/// fixed reduction order forbids vectorization. Kept verbatim as the
+/// benchmark baseline.
+fn seed_sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// The seed's BMU loop: per-row metric dispatch over the seed kernel.
+fn seed_bmu(som: &Som, x: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for u in 0..som.len() {
+        let w = som.unit_weight(u);
+        let d = match som.metric() {
+            Metric::Euclidean => seed_sq_euclidean(x, w).sqrt(),
+            _ => unreachable!("benchmark maps use the Euclidean metric"),
+        };
+        if d < best.1 {
+            best = (u, d);
+        }
+    }
+    best
+}
 
 fn bench_bmu_scaling(c: &mut Criterion) {
     let data = prepare(&RunConfig {
-        n_train: 512,
+        n_train: 10_000,
         n_test: 10,
         seed: 5,
     })
@@ -18,15 +67,57 @@ fn bench_bmu_scaling(c: &mut Criterion) {
     group.throughput(Throughput::Elements(x.rows() as u64));
     for side in [4usize, 8, 16, 32] {
         let som = Som::from_data_sample(side, side, x, 9).unwrap();
+        let units = side * side;
+
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{}u", side * side)),
+            BenchmarkId::new("naive", format!("{units}u")),
             &som,
             |b, som| {
                 b.iter(|| {
                     let mut acc = 0.0;
                     for row in x.iter_rows() {
-                        acc += som.bmu(row).unwrap().distance;
+                        acc += seed_bmu(som, row).1;
                     }
+                    black_box(acc)
+                });
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("scan", format!("{units}u")),
+            &som,
+            |b, som| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for row in x.iter_rows() {
+                        acc += som.bmu_scan(row).unwrap().distance;
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+
+        std::env::set_var("GHSOM_THREADS", "1");
+        group.bench_with_input(
+            BenchmarkId::new("batch", format!("{units}u")),
+            &som,
+            |b, som| {
+                b.iter(|| {
+                    let matches = som.bmu_batch(x).unwrap();
+                    let acc: f64 = matches.iter().map(|m| m.distance).sum();
+                    black_box(acc)
+                });
+            },
+        );
+        std::env::remove_var("GHSOM_THREADS");
+
+        group.bench_with_input(
+            BenchmarkId::new("parallel", format!("{units}u")),
+            &som,
+            |b, som| {
+                b.iter(|| {
+                    let matches = som.bmu_batch(x).unwrap();
+                    let acc: f64 = matches.iter().map(|m| m.distance).sum();
                     black_box(acc)
                 });
             },

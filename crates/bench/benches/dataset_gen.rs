@@ -32,7 +32,9 @@ fn bench_dataset_gen(c: &mut Criterion) {
         server_count: 32,
         client_count: 128,
         episodes: vec![AttackEpisode {
-            kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+            kind: EpisodeKind::SynFlood {
+                target: 0xC0A8_0001,
+            },
             start: 20.0,
             duration: 20.0,
             rate: 100.0,

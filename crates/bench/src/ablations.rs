@@ -134,12 +134,8 @@ pub fn ablation_scaling(run: &RunConfig) -> Result<Table, Box<dyn std::error::Er
         let train_categories: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
         let config = experiment_config(0.3, 0.03, run.seed);
         let model = ghsom_core::GhsomModel::train(&config, &x_train)?;
-        let det = HybridGhsomDetector::fit(
-            model,
-            &x_train,
-            &train_categories,
-            CALIBRATION_PERCENTILE,
-        )?;
+        let det =
+            HybridGhsomDetector::fit(model, &x_train, &train_categories, CALIBRATION_PERCENTILE)?;
         let mut m = evalkit::BinaryMetrics::new();
         for (x, rec) in x_test.iter_rows().zip(test.iter()) {
             m.record(rec.is_attack(), det.is_anomalous(x)?);
@@ -163,7 +159,13 @@ pub fn ablation_scaling(run: &RunConfig) -> Result<Table, Box<dyn std::error::Er
 /// Training/evaluation errors propagate.
 pub fn ablation_training_mode(data: &ExperimentData) -> Result<Table, Box<dyn std::error::Error>> {
     let mut table = Table::new(vec![
-        "mode", "maps", "units", "train (s)", "DR", "FPR", "F1",
+        "mode",
+        "maps",
+        "units",
+        "train (s)",
+        "DR",
+        "FPR",
+        "F1",
     ]);
     for mode in [
         ghsom_core::TrainingMode::Online,

@@ -12,7 +12,11 @@ use crate::harness::{
 /// test (test includes attack types unseen in training).
 pub fn table1(data: &ExperimentData) -> Table {
     let mut table = Table::new(vec![
-        "class", "category", "train", "test", "unseen-in-train",
+        "class",
+        "category",
+        "train",
+        "test",
+        "unseen-in-train",
     ]);
     let train_counts = data.train.counts_by_type();
     let test_counts = data.test.counts_by_type();
@@ -50,7 +54,13 @@ pub fn table1(data: &ExperimentData) -> Table {
 /// Training errors propagate.
 pub fn table2(data: &ExperimentData) -> Result<Table, Box<dyn std::error::Error>> {
     let mut table = Table::new(vec![
-        "tau1", "tau2", "maps", "units", "depth", "layer breakdown", "train (s)",
+        "tau1",
+        "tau2",
+        "maps",
+        "units",
+        "depth",
+        "layer breakdown",
+        "train (s)",
     ]);
     for &tau1 in &[0.6, 0.3, 0.1] {
         for &tau2 in &[0.1, 0.03, 0.01] {
@@ -89,9 +99,7 @@ pub fn table3(
     data: &ExperimentData,
     detectors: &FittedDetectors,
 ) -> Result<Table, Box<dyn std::error::Error>> {
-    let mut table = Table::new(vec![
-        "detector", "DR", "FPR", "precision", "F1", "accuracy",
-    ]);
+    let mut table = Table::new(vec!["detector", "DR", "FPR", "precision", "F1", "accuracy"]);
     let all: [&dyn detect::Detector; 5] = [
         &detectors.ghsom,
         &detectors.growing,
@@ -171,7 +179,12 @@ pub fn table6(
     let clf = TypedGhsomClassifier::fit(model, &data.x_train, &train_types)?;
 
     let mut table = Table::new(vec![
-        "type", "category", "test records", "correct", "recall", "seen in train",
+        "type",
+        "category",
+        "test records",
+        "correct",
+        "recall",
+        "seen in train",
     ]);
     let test_counts = data.test.counts_by_type();
     for (&ty, &total) in &test_counts {
@@ -208,7 +221,10 @@ pub fn run_all(run: &RunConfig) -> Result<Vec<(String, Table)>, Box<dyn std::err
     let detectors = fit_all_detectors(&data, model)?;
     Ok(vec![
         ("Table 1 — dataset composition".into(), table1(&data)),
-        ("Table 2 — GHSOM topology vs (tau1, tau2)".into(), table2(&data)?),
+        (
+            "Table 2 — GHSOM topology vs (tau1, tau2)".into(),
+            table2(&data)?,
+        ),
         (
             "Table 3 — overall detection comparison".into(),
             table3(&data, &detectors)?,
@@ -252,7 +268,13 @@ mod tests {
         let t = table3(&data, &detectors).unwrap();
         assert_eq!(t.len(), 5);
         let text = t.to_string();
-        for name in ["ghsom-hybrid", "growing-grid", "flat-som", "kmeans", "pca-residual"] {
+        for name in [
+            "ghsom-hybrid",
+            "growing-grid",
+            "flat-som",
+            "kmeans",
+            "pca-residual",
+        ] {
             assert!(text.contains(name), "missing {name}");
         }
     }

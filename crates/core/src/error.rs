@@ -35,7 +35,10 @@ impl fmt::Display for GhsomError {
             }
             GhsomError::EmptyInput => write!(f, "training requires a non-empty data set"),
             GhsomError::DimensionMismatch { expected, found } => {
-                write!(f, "dimension mismatch: model is {expected}-d, sample is {found}-d")
+                write!(
+                    f,
+                    "dimension mismatch: model is {expected}-d, sample is {found}-d"
+                )
             }
             GhsomError::NonFinite => write!(f, "input contains NaN or infinite values"),
             GhsomError::Som(e) => write!(f, "som error: {e}"),

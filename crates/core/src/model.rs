@@ -1,8 +1,24 @@
 //! The trained GHSOM model and its training orchestrator.
+//!
+//! # Parallel training and scoring
+//!
+//! Training proceeds in breadth-first *waves*: all maps queued at the
+//! current depth are independent of each other, so when the total-unit
+//! budget provably cannot bind within the wave (a conservative worst-case
+//! growth bound fits in the remaining budget) the wave's maps are trained
+//! concurrently through [`mathkit::parallel`]. Otherwise the wave falls
+//! back to the exact sequential schedule. Either way the result is
+//! bit-identical to fully sequential training: node indices, derived
+//! seeds, growth-log order and the growth guards are all preserved.
+//!
+//! Bulk scoring ([`GhsomModel::project_batch`] / [`GhsomModel::score_matrix`])
+//! routes whole sample groups level-by-level through each map's batched
+//! BMU engine ([`som::Som::bmu_batch`]) instead of projecting samples one
+//! at a time.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
-use mathkit::{distance, Matrix};
+use mathkit::{distance, parallel, Matrix};
 use serde::{Deserialize, Serialize};
 use som::map::Som;
 
@@ -90,7 +106,10 @@ impl Projection {
 
     /// The leaf hop.
     pub fn leaf(&self) -> PathStep {
-        *self.steps.last().expect("projections have at least one step")
+        *self
+            .steps
+            .last()
+            .expect("projections have at least one step")
     }
 
     /// `(node, unit)` identity of the leaf unit — the key the labelled
@@ -167,13 +186,9 @@ impl GhsomModel {
         };
 
         // Work queue of maps to grow: (parent link, data row indices,
-        // parent reference error, depth).
-        struct WorkItem {
-            parent: Option<(usize, usize)>,
-            indices: Vec<usize>,
-            parent_mqe: f64,
-            depth: usize,
-        }
+        // parent reference error, depth). Processed in breadth-first
+        // *waves* — all queued items share a depth and are mutually
+        // independent, which is what makes sibling-parallel training safe.
         let mut queue = VecDeque::new();
         queue.push_back(WorkItem {
             parent: None,
@@ -183,123 +198,96 @@ impl GhsomModel {
         });
 
         let mut total_units = 0usize;
-        while let Some(item) = queue.pop_front() {
-            let node_idx = model.nodes.len();
-            let subset = submatrix(data, &item.indices)?;
-
-            // --- Breadth growth ------------------------------------------
-            let mut grid = GrowingGrid::new(config, &subset, config.derived_seed(node_idx, 0))?;
-            grid.train(
-                &subset,
-                config,
-                config.epochs_per_round,
-                config.derived_seed(node_idx, 1),
-            )?;
-            let mut rounds = 0usize;
-            // The `grid.len() < sample count` guard prevents the classic
-            // GHSOM over-growth pathology: a map cannot usefully hold more
-            // units than it has training records.
-            while grid.mean_unit_mqe() > config.tau1 * item.parent_mqe
-                && rounds < config.max_growth_rounds
-                && grid.len() < config.max_map_units
-                && grid.len() < item.indices.len()
-                && total_units + grid.len() < config.max_total_units
-            {
-                let insertion = grid.grow_once()?;
-                let t = grid.som().topology();
-                model.growth_log.push(match insertion {
-                    Insertion::Row(_) => GrowthEvent::RowInserted {
-                        node: node_idx,
-                        rows: t.rows(),
-                        cols: t.cols(),
-                    },
-                    Insertion::Column(_) => GrowthEvent::ColumnInserted {
-                        node: node_idx,
-                        rows: t.rows(),
-                        cols: t.cols(),
-                    },
-                });
-                rounds += 1;
-                grid.train(
-                    &subset,
-                    config,
-                    config.epochs_per_round,
-                    config.derived_seed(node_idx, 1 + rounds),
-                )?;
-            }
-            if config.final_epochs > 0 {
-                grid.train(
-                    &subset,
-                    config,
-                    config.final_epochs,
-                    config.derived_seed(node_idx, usize::MAX / 2),
-                )?;
-            }
-
-            // --- Freeze the node ------------------------------------------
-            let unit_hits = grid.unit_hits().to_vec();
-            let unit_mqe: Vec<f64> = grid
-                .unit_qe()
+        while !queue.is_empty() {
+            let wave: Vec<WorkItem> = queue.drain(..).collect();
+            let base = model.nodes.len();
+            let budget = config.max_total_units.saturating_sub(total_units);
+            // Conservative worst case of the wave's breadth growth. When it
+            // fits in the remaining unit budget, the budget guard provably
+            // cannot bind for any item regardless of processing order, so
+            // sibling maps can train concurrently with a snapshot budget
+            // and the result is bit-identical to the sequential schedule.
+            let worst: usize = wave
                 .iter()
-                .zip(&unit_hits)
-                .map(|(&qe, &h)| if h > 0 { qe / h as f64 } else { 0.0 })
-                .collect();
-            let assignments = grid.som().assign(&subset)?;
-            let som = grid.into_som();
-            let t = som.topology();
-            total_units += som.len();
-            model.growth_log.push(GrowthEvent::MapCreated {
-                node: node_idx,
-                depth: item.depth,
-                rows: t.rows(),
-                cols: t.cols(),
-                samples: item.indices.len(),
-            });
-            let units = som.len();
-            model.nodes.push(MapNode {
-                som,
-                depth: item.depth,
-                parent: item.parent,
-                children: vec![None; units],
-                unit_hits: unit_hits.clone(),
-                unit_mqe: unit_mqe.clone(),
-            });
-            if let Some((pnode, punit)) = item.parent {
-                model.nodes[pnode].children[punit] = Some(node_idx);
-                model.growth_log.push(GrowthEvent::ChildSpawned {
-                    parent: pnode,
-                    unit: punit,
-                    child: node_idx,
-                });
-            }
+                .map(|item| worst_case_units(config, item.indices.len()))
+                .sum();
+            let grown: Vec<Result<GrownMap, GhsomError>> =
+                if wave.len() > 1 && worst.saturating_add(1) <= budget {
+                    let items: Vec<(usize, &WorkItem)> = wave.iter().enumerate().collect();
+                    parallel::par_map(&items, |&(i, item)| {
+                        grow_map(config, data, item, base + i, budget)
+                    })
+                } else {
+                    let mut out = Vec::with_capacity(wave.len());
+                    let mut running = total_units;
+                    for (i, item) in wave.iter().enumerate() {
+                        let item_budget = config.max_total_units.saturating_sub(running);
+                        let g = grow_map(config, data, item, base + i, item_budget);
+                        if let Ok(g) = &g {
+                            running += g.som.len();
+                        }
+                        out.push(g);
+                    }
+                    out
+                };
 
-            // --- Vertical expansion ---------------------------------------
-            if item.depth >= config.max_depth {
-                continue;
-            }
-            for unit in 0..units {
-                if unit_hits[unit] < config.min_unit_samples {
-                    continue;
+            // Apply the wave in order: node numbering, growth log, parent
+            // links and child scheduling all match the sequential schedule.
+            for (i, (item, grown)) in wave.into_iter().zip(grown).enumerate() {
+                let grown = grown?;
+                let node_idx = base + i;
+                debug_assert_eq!(node_idx, model.nodes.len());
+                total_units += grown.som.len();
+                for event in grown.events {
+                    model.growth_log.push(event);
                 }
-                if unit_mqe[unit] <= config.tau2 * mqe0 {
-                    continue;
-                }
-                if total_units >= config.max_total_units {
-                    break;
-                }
-                let child_indices: Vec<usize> = assignments
-                    .iter()
-                    .zip(&item.indices)
-                    .filter(|(&a, _)| a == unit)
-                    .map(|(_, &orig)| orig)
-                    .collect();
-                debug_assert_eq!(child_indices.len(), unit_hits[unit]);
-                queue.push_back(WorkItem {
-                    parent: Some((node_idx, unit)),
-                    indices: child_indices,
-                    parent_mqe: unit_mqe[unit],
-                    depth: item.depth + 1,
+                let units = grown.som.len();
+                model.nodes.push(MapNode {
+                    som: grown.som,
+                    depth: item.depth,
+                    parent: item.parent,
+                    children: vec![None; units],
+                    unit_hits: grown.unit_hits.clone(),
+                    unit_mqe: grown.unit_mqe.clone(),
                 });
+                if let Some((pnode, punit)) = item.parent {
+                    model.nodes[pnode].children[punit] = Some(node_idx);
+                    model.growth_log.push(GrowthEvent::ChildSpawned {
+                        parent: pnode,
+                        unit: punit,
+                        child: node_idx,
+                    });
+                }
+
+                // --- Vertical expansion -----------------------------------
+                if item.depth >= config.max_depth {
+                    continue;
+                }
+                for unit in 0..units {
+                    if grown.unit_hits[unit] < config.min_unit_samples {
+                        continue;
+                    }
+                    if grown.unit_mqe[unit] <= config.tau2 * mqe0 {
+                        continue;
+                    }
+                    if total_units >= config.max_total_units {
+                        break;
+                    }
+                    let child_indices: Vec<usize> = grown
+                        .assignments
+                        .iter()
+                        .zip(&item.indices)
+                        .filter(|(&a, _)| a == unit)
+                        .map(|(_, &orig)| orig)
+                        .collect();
+                    debug_assert_eq!(child_indices.len(), grown.unit_hits[unit]);
+                    queue.push_back(WorkItem {
+                        parent: Some((node_idx, unit)),
+                        indices: child_indices,
+                        parent_mqe: grown.unit_mqe[unit],
+                        depth: item.depth + 1,
+                    });
+                }
             }
         }
 
@@ -410,17 +398,198 @@ impl GhsomModel {
         Ok(Projection { steps })
     }
 
+    /// Projects every row of a matrix root→leaf — the bulk scoring path.
+    ///
+    /// Routes whole sample groups level-by-level: all samples sharing a map
+    /// go through one batched BMU search ([`som::Som::bmu_batch`], parallel
+    /// under the `rayon` feature), then split among that map's children.
+    /// Produces exactly the projections [`GhsomModel::project`] would.
+    ///
+    /// # Errors
+    ///
+    /// [`GhsomError::DimensionMismatch`] on samples of the wrong width.
+    pub fn project_batch(&self, data: &Matrix) -> Result<Vec<Projection>, GhsomError> {
+        if data.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        if data.cols() != self.dim() {
+            return Err(GhsomError::DimensionMismatch {
+                expected: self.dim(),
+                found: data.cols(),
+            });
+        }
+        let n = data.rows();
+        let mut projections: Vec<Projection> = vec![Projection { steps: Vec::new() }; n];
+        // Frontier of (node, samples routed to it), root first. BTreeMap
+        // grouping keeps traversal order deterministic.
+        let mut frontier: Vec<(usize, Vec<usize>)> = vec![(self.root, (0..n).collect())];
+        while !frontier.is_empty() {
+            let mut next: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (node_idx, samples) in frontier {
+                let node = &self.nodes[node_idx];
+                let subset = submatrix(data, &samples)?;
+                let matches = node.som.bmu_batch(&subset)?;
+                let mut children: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                for (&sample, m) in samples.iter().zip(&matches) {
+                    projections[sample].steps.push(PathStep {
+                        node: node_idx,
+                        unit: m.unit,
+                        distance: m.distance,
+                    });
+                    if let Some(child) = node.children[m.unit] {
+                        children.entry(child).or_default().push(sample);
+                    }
+                }
+                next.extend(children);
+            }
+            frontier = next;
+        }
+        Ok(projections)
+    }
+
     /// Projects every row of a matrix, returning the leaf QE scores — the
-    /// bulk scoring path detectors use.
+    /// bulk scoring path detectors use. Built on
+    /// [`GhsomModel::project_batch`].
     ///
     /// # Errors
     ///
     /// Per-sample errors from [`GhsomModel::project`].
     pub fn score_matrix(&self, data: &Matrix) -> Result<Vec<f64>, GhsomError> {
-        data.iter_rows()
-            .map(|x| Ok(self.project(x)?.leaf_qe()))
-            .collect()
+        Ok(self
+            .project_batch(data)?
+            .into_iter()
+            .map(|p| p.leaf_qe())
+            .collect())
     }
+}
+
+/// One queued map-growing job.
+struct WorkItem {
+    parent: Option<(usize, usize)>,
+    indices: Vec<usize>,
+    parent_mqe: f64,
+    depth: usize,
+}
+
+/// Everything one breadth-growth run produces, ready to be spliced into
+/// the model in wave order.
+struct GrownMap {
+    som: Som,
+    unit_hits: Vec<usize>,
+    unit_mqe: Vec<f64>,
+    /// BMU of every subset row on the final map (drives child scheduling).
+    assignments: Vec<usize>,
+    /// Insertion events followed by the `MapCreated` event.
+    events: Vec<GrowthEvent>,
+}
+
+/// Conservative upper bound on how many units a map grown from `samples`
+/// records can reach, counting the one insertion that may land after the
+/// stopping guards last held.
+fn worst_case_units(config: &GhsomConfig, samples: usize) -> usize {
+    let r = config.max_growth_rounds;
+    let initial = config.initial_rows * config.initial_cols;
+    let side_bound = (config.initial_rows + r).max(config.initial_cols + r);
+    let area_bound = (config.initial_rows + r) * (config.initial_cols + r);
+    let cap_bound = config
+        .max_map_units
+        .min(samples.max(initial))
+        .saturating_add(side_bound);
+    initial.max(area_bound.min(cap_bound))
+}
+
+/// Grows and trains one map: the per-item body of [`GhsomModel::train`],
+/// pure in everything except `config`-derived seeds so sibling maps can
+/// run concurrently.
+///
+/// `unit_budget` replaces the sequential `total_units + grid.len() <
+/// max_total_units` guard with `grid.len() < unit_budget`; callers pass
+/// either the live remaining budget (sequential) or a wave snapshot that
+/// the guard provably cannot reach (parallel).
+fn grow_map(
+    config: &GhsomConfig,
+    data: &Matrix,
+    item: &WorkItem,
+    node_idx: usize,
+    unit_budget: usize,
+) -> Result<GrownMap, GhsomError> {
+    let subset = submatrix(data, &item.indices)?;
+    let mut events = Vec::new();
+
+    // --- Breadth growth --------------------------------------------------
+    let mut grid = GrowingGrid::new(config, &subset, config.derived_seed(node_idx, 0))?;
+    grid.train(
+        &subset,
+        config,
+        config.epochs_per_round,
+        config.derived_seed(node_idx, 1),
+    )?;
+    let mut rounds = 0usize;
+    // The `grid.len() < sample count` guard prevents the classic GHSOM
+    // over-growth pathology: a map cannot usefully hold more units than it
+    // has training records.
+    while grid.mean_unit_mqe() > config.tau1 * item.parent_mqe
+        && rounds < config.max_growth_rounds
+        && grid.len() < config.max_map_units
+        && grid.len() < item.indices.len()
+        && grid.len() < unit_budget
+    {
+        let insertion = grid.grow_once()?;
+        let t = grid.som().topology();
+        events.push(match insertion {
+            Insertion::Row(_) => GrowthEvent::RowInserted {
+                node: node_idx,
+                rows: t.rows(),
+                cols: t.cols(),
+            },
+            Insertion::Column(_) => GrowthEvent::ColumnInserted {
+                node: node_idx,
+                rows: t.rows(),
+                cols: t.cols(),
+            },
+        });
+        rounds += 1;
+        grid.train(
+            &subset,
+            config,
+            config.epochs_per_round,
+            config.derived_seed(node_idx, 1 + rounds),
+        )?;
+    }
+    if config.final_epochs > 0 {
+        grid.train(
+            &subset,
+            config,
+            config.final_epochs,
+            config.derived_seed(node_idx, usize::MAX / 2),
+        )?;
+    }
+
+    // --- Freeze ----------------------------------------------------------
+    let unit_hits = grid.unit_hits().to_vec();
+    let unit_mqe: Vec<f64> = grid
+        .unit_qe()
+        .iter()
+        .zip(&unit_hits)
+        .map(|(&qe, &h)| if h > 0 { qe / h as f64 } else { 0.0 })
+        .collect();
+    let assignments = grid.som().assign(&subset)?;
+    let som = grid.into_som();
+    let t = som.topology();
+    events.push(GrowthEvent::MapCreated {
+        node: node_idx,
+        depth: item.depth,
+        rows: t.rows(),
+        cols: t.cols(),
+        samples: item.indices.len(),
+    });
+    Ok(GrownMap {
+        som,
+        unit_hits,
+        unit_mqe,
+        assignments,
+        events,
+    })
 }
 
 /// Copies the selected rows into a fresh matrix.
@@ -638,7 +807,11 @@ mod tests {
             &data,
         )
         .unwrap();
-        assert!(model.total_units() <= 64 + 16, "total {}", model.total_units());
+        assert!(
+            model.total_units() <= 64 + 16,
+            "total {}",
+            model.total_units()
+        );
         for node in model.nodes() {
             assert!(node.som().len() <= 16 + 4, "map too big");
         }
@@ -746,7 +919,11 @@ mod tests {
         // stays well under the global scale.
         let scores = a.score_matrix(&data).unwrap();
         let mean = scores.iter().sum::<f64>() / scores.len() as f64;
-        assert!(mean < a.mqe0(), "batch mean leaf QE {mean} vs mqe0 {}", a.mqe0());
+        assert!(
+            mean < a.mqe0(),
+            "batch mean leaf QE {mean} vs mqe0 {}",
+            a.mqe0()
+        );
     }
 
     #[test]

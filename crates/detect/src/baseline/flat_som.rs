@@ -61,15 +61,22 @@ impl FlatSomDetector {
             },
         )?;
         let unit_labels = UnitLabels::fit(&som, train, labels)?;
-        let normal_distances: Vec<f64> = train
+        // Calibrate on the normal slice through the batched BMU engine.
+        let normal_rows: Vec<Vec<f64>> = train
             .iter_rows()
             .zip(labels)
             .filter(|(_, &l)| l == AttackCategory::Normal)
-            .map(|(x, _)| Ok(som.bmu(x)?.distance))
-            .collect::<Result<_, DetectError>>()?;
-        if normal_distances.is_empty() {
+            .map(|(x, _)| x.to_vec())
+            .collect();
+        if normal_rows.is_empty() {
             return Err(DetectError::EmptyInput);
         }
+        let normal = Matrix::from_rows(normal_rows)?;
+        let normal_distances: Vec<f64> = som
+            .bmu_batch(&normal)?
+            .into_iter()
+            .map(|m| m.distance)
+            .collect();
         let threshold = mathkit::stats::quantile(&normal_distances, percentile)?;
         Ok(FlatSomDetector {
             som,
@@ -101,19 +108,8 @@ impl Detector for FlatSomDetector {
     /// threshold, with `score > 1 ⇔ anomalous`.
     fn score(&self, x: &[f64]) -> Result<f64, DetectError> {
         let bmu = self.som.bmu(x)?;
-        match self.labels.label(bmu.unit) {
-            Some(AttackCategory::Normal) => {
-                let r = if self.threshold > 0.0 {
-                    bmu.distance / self.threshold
-                } else if bmu.distance > 0.0 {
-                    f64::INFINITY
-                } else {
-                    0.0
-                };
-                Ok(2.0 * r / (1.0 + r))
-            }
-            _ => Ok(2.0 + bmu.distance / (1.0 + bmu.distance)),
-        }
+        let normal = matches!(self.labels.label(bmu.unit), Some(AttackCategory::Normal));
+        Ok(crate::verdict_score(bmu.distance, self.threshold, normal))
     }
 
     fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError> {
@@ -127,6 +123,32 @@ impl Detector for FlatSomDetector {
 
     fn name(&self) -> &'static str {
         "flat-som"
+    }
+
+    /// Batched scoring through [`Som::bmu_batch`] (Gram-trick engine,
+    /// parallel under the `rayon` feature).
+    fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, DetectError> {
+        let matches = self.som.bmu_batch(data)?;
+        Ok(matches
+            .into_iter()
+            .map(|bmu| {
+                let normal = matches!(self.labels.label(bmu.unit), Some(AttackCategory::Normal));
+                crate::verdict_score(bmu.distance, self.threshold, normal)
+            })
+            .collect())
+    }
+
+    /// Batched verdicts through [`Som::bmu_batch`].
+    fn is_anomalous_all(&self, data: &Matrix) -> Result<Vec<bool>, DetectError> {
+        Ok(self
+            .som
+            .bmu_batch(data)?
+            .into_iter()
+            .map(|bmu| match self.labels.label(bmu.unit) {
+                Some(AttackCategory::Normal) => bmu.distance > self.threshold,
+                _ => true,
+            })
+            .collect())
     }
 }
 

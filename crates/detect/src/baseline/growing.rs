@@ -70,6 +70,16 @@ impl Detector for GrowingGridDetector {
     fn name(&self) -> &'static str {
         "growing-grid"
     }
+
+    /// Batched scoring via the wrapped hybrid detector.
+    fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, DetectError> {
+        self.inner.score_all(data)
+    }
+
+    /// Batched verdicts via the wrapped hybrid detector.
+    fn is_anomalous_all(&self, data: &Matrix) -> Result<Vec<bool>, DetectError> {
+        self.inner.is_anomalous_all(data)
+    }
 }
 
 impl Classifier for GrowingGridDetector {

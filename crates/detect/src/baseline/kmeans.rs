@@ -61,9 +61,7 @@ impl KMeans {
                 if counts[c] == 0 {
                     // Re-seed an empty cluster at a random sample.
                     let idx = rng.gen_range(0..n);
-                    centroids
-                        .row_mut(c)
-                        .copy_from_slice(data.row(idx));
+                    centroids.row_mut(c).copy_from_slice(data.row(idx));
                     continue;
                 }
                 let inv = 1.0 / counts[c] as f64;
@@ -144,13 +142,41 @@ impl KMeans {
         Ok(nearest_centroid(&self.centroids, x))
     }
 
+    /// Nearest centroid of every row — chunk-parallel under the `rayon`
+    /// feature, bit-identical to mapping [`KMeans::nearest`].
+    ///
+    /// # Errors
+    ///
+    /// Width errors per [`KMeans::nearest`].
+    pub fn nearest_batch(&self, data: &Matrix) -> Result<Vec<(usize, f64)>, DetectError> {
+        if data.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        if data.cols() != self.centroids.cols() {
+            return Err(DetectError::DimensionMismatch {
+                expected: self.centroids.cols(),
+                found: data.cols(),
+            });
+        }
+        let chunks = mathkit::parallel::par_map_chunks(data.rows(), 512, |range| {
+            range
+                .map(|i| nearest_centroid(&self.centroids, data.row(i)))
+                .collect::<Vec<_>>()
+        });
+        Ok(chunks.into_iter().flatten().collect())
+    }
+
     /// Cluster assignment of every row.
     ///
     /// # Errors
     ///
     /// Width errors per [`KMeans::nearest`].
     pub fn assign(&self, data: &Matrix) -> Result<Vec<usize>, DetectError> {
-        data.iter_rows().map(|x| Ok(self.nearest(x)?.0)).collect()
+        Ok(self
+            .nearest_batch(data)?
+            .into_iter()
+            .map(|(c, _)| c)
+            .collect())
     }
 
     /// Sum of squared distances to assigned centroids.
@@ -159,12 +185,11 @@ impl KMeans {
     ///
     /// Width errors per [`KMeans::nearest`].
     pub fn inertia(&self, data: &Matrix) -> Result<f64, DetectError> {
-        let mut acc = 0.0;
-        for x in data.iter_rows() {
-            let (_, d) = self.nearest(x)?;
-            acc += d * d;
-        }
-        Ok(acc)
+        Ok(self
+            .nearest_batch(data)?
+            .into_iter()
+            .map(|(_, d)| d * d)
+            .sum())
     }
 }
 
@@ -226,9 +251,16 @@ impl KMeansDetector {
         for (&c, &l) in assignment.iter().zip(labels) {
             *tallies[c].entry(l).or_insert(0) += 1;
         }
+        // Ties break toward the smaller category so the fitted detector is
+        // independent of HashMap iteration order (same rule as the GHSOM
+        // labelled detectors).
         let cluster_labels: Vec<Option<AttackCategory>> = tallies
             .iter()
-            .map(|t| t.iter().max_by_key(|(_, &c)| c).map(|(&l, _)| l))
+            .map(|t| {
+                t.iter()
+                    .max_by_key(|(&l, &c)| (c, std::cmp::Reverse(l)))
+                    .map(|(&l, _)| l)
+            })
             .collect();
         // Threshold on normal distances.
         let normal_distances: Vec<f64> = train
@@ -266,19 +298,8 @@ impl Detector for KMeansDetector {
     /// threshold, with `score > 1 ⇔ anomalous`.
     fn score(&self, x: &[f64]) -> Result<f64, DetectError> {
         let (cluster, d) = self.kmeans.nearest(x)?;
-        match self.cluster_labels[cluster] {
-            Some(AttackCategory::Normal) => {
-                let r = if self.threshold > 0.0 {
-                    d / self.threshold
-                } else if d > 0.0 {
-                    f64::INFINITY
-                } else {
-                    0.0
-                };
-                Ok(2.0 * r / (1.0 + r))
-            }
-            _ => Ok(2.0 + d / (1.0 + d)),
-        }
+        let normal = matches!(self.cluster_labels[cluster], Some(AttackCategory::Normal));
+        Ok(crate::verdict_score(d, self.threshold, normal))
     }
 
     fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError> {
@@ -291,6 +312,32 @@ impl Detector for KMeansDetector {
 
     fn name(&self) -> &'static str {
         "kmeans"
+    }
+
+    /// Batched scoring through [`KMeans::nearest_batch`].
+    fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, DetectError> {
+        Ok(self
+            .kmeans
+            .nearest_batch(data)?
+            .into_iter()
+            .map(|(cluster, d)| {
+                let normal = matches!(self.cluster_labels[cluster], Some(AttackCategory::Normal));
+                crate::verdict_score(d, self.threshold, normal)
+            })
+            .collect())
+    }
+
+    /// Batched verdicts through [`KMeans::nearest_batch`].
+    fn is_anomalous_all(&self, data: &Matrix) -> Result<Vec<bool>, DetectError> {
+        Ok(self
+            .kmeans
+            .nearest_batch(data)?
+            .into_iter()
+            .map(|(cluster, d)| {
+                !matches!(self.cluster_labels[cluster], Some(AttackCategory::Normal))
+                    || d > self.threshold
+            })
+            .collect())
     }
 }
 

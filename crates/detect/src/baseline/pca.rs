@@ -26,7 +26,12 @@ impl PcaDetector {
     ///
     /// [`DetectError::InvalidParameter`] for an invalid `k` or percentile;
     /// [`DetectError::EmptyInput`] on empty data.
-    pub fn fit(normal_data: &Matrix, k: usize, percentile: f64, seed: u64) -> Result<Self, DetectError> {
+    pub fn fit(
+        normal_data: &Matrix,
+        k: usize,
+        percentile: f64,
+        seed: u64,
+    ) -> Result<Self, DetectError> {
         if !(percentile > 0.0 && percentile <= 1.0) {
             return Err(DetectError::InvalidParameter {
                 name: "percentile",
@@ -45,11 +50,7 @@ impl PcaDetector {
             .map(|x| Ok(pca.residual_sq(x)?))
             .collect::<Result<_, DetectError>>()?;
         let threshold = mathkit::stats::quantile(&residuals, percentile)?;
-        Ok(PcaDetector {
-            pca,
-            threshold,
-            k,
-        })
+        Ok(PcaDetector { pca, threshold, k })
     }
 
     /// The fitted subspace model.
@@ -79,6 +80,20 @@ impl Detector for PcaDetector {
 
     fn name(&self) -> &'static str {
         "pca-residual"
+    }
+
+    /// Chunk-parallel scoring (residuals are independent per sample).
+    fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, DetectError> {
+        crate::score_all_parallel(self, data)
+    }
+
+    /// Batched verdicts from the batched scores.
+    fn is_anomalous_all(&self, data: &Matrix) -> Result<Vec<bool>, DetectError> {
+        Ok(self
+            .score_all(data)?
+            .into_iter()
+            .map(|s| s > self.threshold)
+            .collect())
     }
 }
 

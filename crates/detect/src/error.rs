@@ -29,7 +29,10 @@ impl fmt::Display for DetectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DetectError::DimensionMismatch { expected, found } => {
-                write!(f, "dimension mismatch: detector is {expected}-d, sample is {found}-d")
+                write!(
+                    f,
+                    "dimension mismatch: detector is {expected}-d, sample is {found}-d"
+                )
             }
             DetectError::EmptyInput => write!(f, "fitting requires a non-empty calibration set"),
             DetectError::InvalidParameter { name, reason } => {

@@ -185,7 +185,10 @@ mod tests {
         let exp = explain(&model, pipeline.schema(), &x).unwrap();
         let top_names: Vec<&str> = exp.top(8).iter().map(|d| d.name.as_str()).collect();
         let has_flood_feature = top_names.iter().any(|n| {
-            n.contains("count") || n.contains("serror") || n.contains("flag=") || n.contains("same_srv")
+            n.contains("count")
+                || n.contains("serror")
+                || n.contains("flag=")
+                || n.contains("same_srv")
         });
         assert!(
             has_flood_feature,

@@ -45,15 +45,19 @@ impl HybridGhsomDetector {
             });
         }
         let inner = LabeledGhsomDetector::fit(model, train, labels)?;
-        let normal_scores: Vec<f64> = train
+        // Calibrate on the normal slice through the batched scorer (one
+        // grouped hierarchy traversal instead of a projection per row).
+        let normal_rows: Vec<Vec<f64>> = train
             .iter_rows()
             .zip(labels)
             .filter(|(_, &l)| l == AttackCategory::Normal)
-            .map(|(x, _)| Ok(inner.model().project(x)?.leaf_qe()))
-            .collect::<Result<_, DetectError>>()?;
-        if normal_scores.is_empty() {
+            .map(|(x, _)| x.to_vec())
+            .collect();
+        if normal_rows.is_empty() {
             return Err(DetectError::EmptyInput);
         }
+        let normal = Matrix::from_rows(normal_rows)?;
+        let normal_scores = inner.model().score_matrix(&normal)?;
         let threshold = mathkit::stats::quantile(&normal_scores, percentile)?;
         Ok(HybridGhsomDetector { inner, threshold })
     }
@@ -76,17 +80,8 @@ impl Detector for HybridGhsomDetector {
     /// exactly when `qe > threshold`. The binary verdict is `score > 1`.
     fn score(&self, x: &[f64]) -> Result<f64, DetectError> {
         let qe = self.inner.model().project(x)?.leaf_qe();
-        if !matches!(self.inner.classify(x)?, Some(AttackCategory::Normal)) {
-            return Ok(2.0 + qe / (1.0 + qe));
-        }
-        let r = if self.threshold > 0.0 {
-            qe / self.threshold
-        } else if qe > 0.0 {
-            f64::INFINITY
-        } else {
-            0.0
-        };
-        Ok(2.0 * r / (1.0 + r))
+        let normal = matches!(self.inner.classify(x)?, Some(AttackCategory::Normal));
+        Ok(crate::verdict_score(qe, self.threshold, normal))
     }
 
     fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError> {
@@ -100,6 +95,37 @@ impl Detector for HybridGhsomDetector {
 
     fn name(&self) -> &'static str {
         "ghsom-hybrid"
+    }
+
+    /// Batched scoring: one hierarchy traversal feeds both the label and
+    /// the QE layer for every sample.
+    fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, DetectError> {
+        let projections = self.inner.model().project_batch(data)?;
+        Ok(projections
+            .iter()
+            .zip(data.iter_rows())
+            .map(|(p, x)| {
+                let classification = self.inner.classify_key(p.leaf_key(), x);
+                let normal = matches!(classification, Some(AttackCategory::Normal));
+                crate::verdict_score(p.leaf_qe(), self.threshold, normal)
+            })
+            .collect())
+    }
+
+    /// Batched verdicts: the same single hierarchy traversal as
+    /// [`Detector::score_all`], applying the label layer then the QE
+    /// threshold per sample.
+    fn is_anomalous_all(&self, data: &Matrix) -> Result<Vec<bool>, DetectError> {
+        let projections = self.inner.model().project_batch(data)?;
+        Ok(projections
+            .iter()
+            .zip(data.iter_rows())
+            .map(|(p, x)| {
+                let classification = self.inner.classify_key(p.leaf_key(), x);
+                !matches!(classification, Some(AttackCategory::Normal))
+                    || p.leaf_qe() > self.threshold
+            })
+            .collect())
     }
 }
 
@@ -250,10 +276,7 @@ mod tests {
         let json = serde_json::to_string(&det).unwrap();
         let back: HybridGhsomDetector = serde_json::from_str(&json).unwrap();
         for x in data.iter_rows().take(10) {
-            assert_eq!(
-                det.is_anomalous(x).unwrap(),
-                back.is_anomalous(x).unwrap()
-            );
+            assert_eq!(det.is_anomalous(x).unwrap(), back.is_anomalous(x).unwrap());
         }
     }
 }

@@ -20,29 +20,23 @@ use crate::{Classifier, DetectError, Detector};
 /// strings, and sorting keeps the serialized form deterministic.
 mod leaf_map {
     use super::HashMap;
-    use serde::de::Deserializer;
-    use serde::ser::Serializer;
-    use serde::{Deserialize, Serialize};
+    use serde::{Deserialize, Serialize, Value};
 
-    pub fn serialize<S, V>(
-        map: &HashMap<(usize, usize), V>,
-        serializer: S,
-    ) -> Result<S::Ok, S::Error>
-    where
-        S: Serializer,
-        V: Serialize,
-    {
+    pub fn serialize<V: Serialize>(map: &HashMap<(usize, usize), V>) -> Value {
         let mut entries: Vec<(&(usize, usize), &V)> = map.iter().collect();
         entries.sort_by_key(|(k, _)| **k);
-        entries.serialize(serializer)
+        Value::Seq(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
     }
 
-    pub fn deserialize<'de, D, V>(deserializer: D) -> Result<HashMap<(usize, usize), V>, D::Error>
-    where
-        D: Deserializer<'de>,
-        V: Deserialize<'de>,
-    {
-        let entries: Vec<((usize, usize), V)> = Vec::deserialize(deserializer)?;
+    pub fn deserialize<V: Deserialize>(
+        v: &Value,
+    ) -> Result<HashMap<(usize, usize), V>, serde::Error> {
+        let entries: Vec<((usize, usize), V)> = Deserialize::from_value(v)?;
         Ok(entries.into_iter().collect())
     }
 }
@@ -122,9 +116,11 @@ impl LabeledGhsomDetector {
         let mut confidence = HashMap::with_capacity(tallies.len());
         for (key, tally) in tallies {
             let total: usize = tally.values().sum();
+            // Ties break toward the smaller category so the fitted detector
+            // is independent of HashMap iteration order.
             let (label, count) = tally
                 .into_iter()
-                .max_by_key(|&(_, c)| c)
+                .max_by_key(|&(label, c)| (c, std::cmp::Reverse(label)))
                 .expect("tally is non-empty");
             unit_labels.insert(key, label);
             confidence.insert(key, count as f64 / total as f64);
@@ -158,6 +154,46 @@ impl LabeledGhsomDetector {
             }
         }
         best.map(|(_, l)| l)
+    }
+
+    /// Classification from an already-computed projection — the shared
+    /// core of the single-sample and batched paths.
+    pub(crate) fn classify_key(&self, key: (usize, usize), x: &[f64]) -> Option<AttackCategory> {
+        if let Some(&label) = self.labels.get(&key) {
+            return Some(label);
+        }
+        match self.policy {
+            DeadUnitPolicy::Anomalous => None,
+            DeadUnitPolicy::NearestLabelled => self.nearest_labelled_in_node(key.0, x),
+        }
+    }
+
+    /// Verdict-consistent anomaly score from a known leaf QE and
+    /// classification (see [`Detector::score`] on this type).
+    pub(crate) fn score_from(qe: f64, classification: Option<AttackCategory>) -> f64 {
+        let squashed = qe / (1.0 + qe); // [0, 1)
+        match classification {
+            Some(AttackCategory::Normal) => squashed,
+            _ => 1.0 + 1e-9 + squashed,
+        }
+    }
+
+    /// Classifies every row of `data` through one batched hierarchy
+    /// traversal ([`GhsomModel::project_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Projection errors propagate.
+    pub fn classify_batch(
+        &self,
+        data: &Matrix,
+    ) -> Result<Vec<Option<AttackCategory>>, DetectError> {
+        let projections = self.model.project_batch(data)?;
+        Ok(projections
+            .iter()
+            .zip(data.iter_rows())
+            .map(|(p, x)| self.classify_key(p.leaf_key(), x))
+            .collect())
     }
 
     /// The underlying trained model.
@@ -203,12 +239,8 @@ impl Detector for LabeledGhsomDetector {
     /// normal-only-trained model for pure QE scoring.
     fn score(&self, x: &[f64]) -> Result<f64, DetectError> {
         let projection = self.model.project(x)?;
-        let qe = projection.leaf_qe();
-        let squashed = qe / (1.0 + qe); // [0, 1)
-        match self.classify(x)? {
-            Some(AttackCategory::Normal) => Ok(squashed),
-            _ => Ok(1.0 + 1e-9 + squashed),
-        }
+        let classification = self.classify_key(projection.leaf_key(), x);
+        Ok(Self::score_from(projection.leaf_qe(), classification))
     }
 
     fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError> {
@@ -218,18 +250,34 @@ impl Detector for LabeledGhsomDetector {
     fn name(&self) -> &'static str {
         "ghsom-labeled"
     }
+
+    /// Batched scoring: one hierarchy traversal for the whole matrix.
+    fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, DetectError> {
+        let projections = self.model.project_batch(data)?;
+        Ok(projections
+            .iter()
+            .zip(data.iter_rows())
+            .map(|(p, x)| {
+                let classification = self.classify_key(p.leaf_key(), x);
+                Self::score_from(p.leaf_qe(), classification)
+            })
+            .collect())
+    }
+
+    /// Batched verdicts via [`LabeledGhsomDetector::classify_batch`].
+    fn is_anomalous_all(&self, data: &Matrix) -> Result<Vec<bool>, DetectError> {
+        Ok(self
+            .classify_batch(data)?
+            .into_iter()
+            .map(|c| !matches!(c, Some(AttackCategory::Normal)))
+            .collect())
+    }
 }
 
 impl Classifier for LabeledGhsomDetector {
     fn classify(&self, x: &[f64]) -> Result<Option<AttackCategory>, DetectError> {
         let key = self.model.project(x)?.leaf_key();
-        if let Some(&label) = self.labels.get(&key) {
-            return Ok(Some(label));
-        }
-        match self.policy {
-            DeadUnitPolicy::Anomalous => Ok(None),
-            DeadUnitPolicy::NearestLabelled => Ok(self.nearest_labelled_in_node(key.0, x)),
-        }
+        Ok(self.classify_key(key, x))
     }
 }
 

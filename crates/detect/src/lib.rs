@@ -80,12 +80,72 @@ pub trait Detector {
 
     /// Scores a whole matrix of samples.
     ///
+    /// The default maps [`Detector::score`] row by row; concrete detectors
+    /// override it with batched (and, under the `rayon` feature,
+    /// data-parallel) implementations that produce the same values.
+    ///
     /// # Errors
     ///
     /// Per-sample errors from [`Detector::score`].
     fn score_all(&self, data: &mathkit::Matrix) -> Result<Vec<f64>, DetectError> {
         data.iter_rows().map(|x| self.score(x)).collect()
     }
+
+    /// Binary verdicts for a whole matrix of samples.
+    ///
+    /// The default maps [`Detector::is_anomalous`] row by row; detectors
+    /// with a batched scorer override it so bulk paths (e.g.
+    /// [`online::StreamingDetector::observe_batch`]) avoid per-sample
+    /// model traversals. Overrides must produce exactly the per-sample
+    /// verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Per-sample errors from [`Detector::is_anomalous`].
+    fn is_anomalous_all(&self, data: &mathkit::Matrix) -> Result<Vec<bool>, DetectError> {
+        data.iter_rows().map(|x| self.is_anomalous(x)).collect()
+    }
+}
+
+/// The shared verdict-consistent score convention of the labelled
+/// detectors: records on attack-labelled (or unresolvable) units score in
+/// `(2, 3]`; normal-labelled records score by their distance relative to
+/// the calibrated threshold, mapped into `[0, 2)` so that `score > 1`
+/// exactly when `distance > threshold`.
+///
+/// One definition keeps every `score`/`score_all` pair trivially in
+/// agreement.
+pub(crate) fn verdict_score(distance: f64, threshold: f64, is_normal: bool) -> f64 {
+    if !is_normal {
+        return 2.0 + distance / (1.0 + distance);
+    }
+    let r = if threshold > 0.0 {
+        distance / threshold
+    } else if distance > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    2.0 * r / (1.0 + r)
+}
+
+/// Chunk-parallel [`Detector::score_all`] for detectors whose per-sample
+/// scoring has no better batched form. Bit-identical to the sequential
+/// default (chunks merge in order).
+pub(crate) fn score_all_parallel<D: Detector + Sync>(
+    detector: &D,
+    data: &mathkit::Matrix,
+) -> Result<Vec<f64>, DetectError> {
+    let chunks = mathkit::parallel::par_map_chunks(data.rows(), 512, |range| {
+        range
+            .map(|i| detector.score(data.row(i)))
+            .collect::<Result<Vec<f64>, DetectError>>()
+    });
+    let mut out = Vec::with_capacity(data.rows());
+    for chunk in chunks {
+        out.extend(chunk?);
+    }
+    Ok(out)
 }
 
 /// A detector that can also predict the coarse attack category.

@@ -106,6 +106,21 @@ impl Detector for QeThresholdDetector {
     fn name(&self) -> &'static str {
         "ghsom-qe"
     }
+
+    /// Batched scoring through [`GhsomModel::score_matrix`] (one grouped
+    /// BMU pass per hierarchy map, parallel under the `rayon` feature).
+    fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, DetectError> {
+        Ok(self.model.score_matrix(data)?)
+    }
+
+    /// Batched verdicts from the batched scores.
+    fn is_anomalous_all(&self, data: &Matrix) -> Result<Vec<bool>, DetectError> {
+        Ok(self
+            .score_all(data)?
+            .into_iter()
+            .map(|s| s > self.threshold)
+            .collect())
+    }
 }
 
 #[cfg(test)]

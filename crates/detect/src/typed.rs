@@ -21,29 +21,23 @@ use crate::DetectError;
 /// keys must be strings).
 mod leaf_map {
     use super::HashMap;
-    use serde::de::Deserializer;
-    use serde::ser::Serializer;
-    use serde::{Deserialize, Serialize};
+    use serde::{Deserialize, Serialize, Value};
 
-    pub fn serialize<S, V>(
-        map: &HashMap<(usize, usize), V>,
-        serializer: S,
-    ) -> Result<S::Ok, S::Error>
-    where
-        S: Serializer,
-        V: Serialize,
-    {
+    pub fn serialize<V: Serialize>(map: &HashMap<(usize, usize), V>) -> Value {
         let mut entries: Vec<(&(usize, usize), &V)> = map.iter().collect();
         entries.sort_by_key(|(k, _)| **k);
-        entries.serialize(serializer)
+        Value::Seq(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
     }
 
-    pub fn deserialize<'de, D, V>(deserializer: D) -> Result<HashMap<(usize, usize), V>, D::Error>
-    where
-        D: Deserializer<'de>,
-        V: Deserialize<'de>,
-    {
-        let entries: Vec<((usize, usize), V)> = Vec::deserialize(deserializer)?;
+    pub fn deserialize<V: Deserialize>(
+        v: &Value,
+    ) -> Result<HashMap<(usize, usize), V>, serde::Error> {
+        let entries: Vec<((usize, usize), V)> = Deserialize::from_value(v)?;
         Ok(entries.into_iter().collect())
     }
 }
@@ -86,9 +80,11 @@ impl TypedGhsomClassifier {
         let labels_map = tallies
             .into_iter()
             .map(|(key, tally)| {
+                // Ties break toward the smaller type so the fitted
+                // classifier is independent of HashMap iteration order.
                 let (label, _) = tally
                     .into_iter()
-                    .max_by_key(|&(_, c)| c)
+                    .max_by_key(|&(label, c)| (c, std::cmp::Reverse(label)))
                     .expect("tally non-empty");
                 (key, label)
             })
@@ -118,8 +114,30 @@ impl TypedGhsomClassifier {
     /// Projection errors propagate.
     pub fn classify(&self, x: &[f64]) -> Result<Option<AttackType>, DetectError> {
         let key = self.model.project(x)?.leaf_key();
+        Ok(self.classify_key(key, x))
+    }
+
+    /// Classifies every row through one batched hierarchy traversal
+    /// ([`GhsomModel::project_batch`]); same results as mapping
+    /// [`TypedGhsomClassifier::classify`] row by row.
+    ///
+    /// # Errors
+    ///
+    /// Projection errors propagate.
+    pub fn classify_batch(&self, data: &Matrix) -> Result<Vec<Option<AttackType>>, DetectError> {
+        let projections = self.model.project_batch(data)?;
+        Ok(projections
+            .iter()
+            .zip(data.iter_rows())
+            .map(|(p, x)| self.classify_key(p.leaf_key(), x))
+            .collect())
+    }
+
+    /// Classification from a known leaf key — shared by the single and
+    /// batched paths.
+    fn classify_key(&self, key: (usize, usize), x: &[f64]) -> Option<AttackType> {
         if let Some(&label) = self.labels.get(&key) {
-            return Ok(Some(label));
+            return Some(label);
         }
         // Nearest labelled unit in the same map.
         let som = self.model.nodes()[key.0].som();
@@ -134,14 +152,13 @@ impl TypedGhsomClassifier {
                 _ => best = Some((d, label)),
             }
         }
-        Ok(best.map(|(_, l)| l))
+        best.map(|(_, l)| l)
     }
 
     /// How many distinct attack types ended up owning at least one leaf —
     /// a measure of how finely the hierarchy separates attack families.
     pub fn distinct_leaf_types(&self) -> usize {
-        let set: std::collections::BTreeSet<AttackType> =
-            self.labels.values().copied().collect();
+        let set: std::collections::BTreeSet<AttackType> = self.labels.values().copied().collect();
         set.len()
     }
 }

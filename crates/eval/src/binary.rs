@@ -61,18 +61,27 @@ impl BinaryMetrics {
     /// Detection rate (attack recall, TPR): `TP / (TP + FN)`; 0 when there
     /// were no attacks.
     pub fn detection_rate(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_negatives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
     }
 
     /// False-positive rate: `FP / (FP + TN)`; 0 when there was no normal
     /// traffic.
     pub fn false_positive_rate(&self) -> f64 {
-        ratio(self.false_positives, self.false_positives + self.true_negatives)
+        ratio(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
     }
 
     /// Precision: `TP / (TP + FP)`; 0 when nothing was flagged.
     pub fn precision(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_positives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
     }
 
     /// Accuracy over all records.

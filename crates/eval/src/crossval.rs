@@ -73,11 +73,7 @@ pub fn kfold(n: usize, k: usize, seed: u64) -> Result<Vec<Fold>, EvalError> {
 ///
 /// [`EvalError::InvalidParameter`] as in [`kfold`];
 /// [`EvalError::EmptyInput`] when `labels` is empty.
-pub fn stratified_kfold(
-    labels: &[usize],
-    k: usize,
-    seed: u64,
-) -> Result<Vec<Fold>, EvalError> {
+pub fn stratified_kfold(labels: &[usize], k: usize, seed: u64) -> Result<Vec<Fold>, EvalError> {
     if labels.is_empty() {
         return Err(EvalError::EmptyInput);
     }
@@ -122,6 +118,27 @@ pub fn stratified_kfold(
     Ok(folds)
 }
 
+/// Evaluates `f` on every fold concurrently (under the `rayon` feature;
+/// sequential otherwise), returning the per-fold results in fold order.
+///
+/// Fold model fits are independent, so this parallelizes whole
+/// cross-validation runs without touching the fold assignment logic. `f`
+/// receives the fold index and the fold.
+///
+/// # Errors
+///
+/// The first failing fold's error (in fold order) propagates.
+pub fn map_folds<R, E, F>(folds: &[Fold], f: F) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize, &Fold) -> Result<R, E> + Sync,
+{
+    let indexed: Vec<(usize, &Fold)> = folds.iter().enumerate().collect();
+    let results = mathkit::parallel::par_map(&indexed, |&(i, fold)| f(i, fold));
+    results.into_iter().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,7 +147,7 @@ mod tests {
     fn kfold_partitions_exactly() {
         let folds = kfold(23, 4, 1).unwrap();
         assert_eq!(folds.len(), 4);
-        let mut seen = vec![0usize; 23];
+        let mut seen = [0usize; 23];
         for fold in &folds {
             assert_eq!(fold.train.len() + fold.test.len(), 23);
             for &i in &fold.test {

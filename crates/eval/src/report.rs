@@ -165,7 +165,10 @@ pub fn ascii_chart(points: &[(f64, f64)], width: usize, height: usize) -> String
         "0.0 └{}\n",
         grid[height - 1].iter().collect::<String>()
     ));
-    out.push_str(&format!("     0.0{}1.0\n", " ".repeat(width.saturating_sub(6))));
+    out.push_str(&format!(
+        "     0.0{}1.0\n",
+        " ".repeat(width.saturating_sub(6))
+    ));
     out
 }
 

@@ -55,6 +55,43 @@ impl SweepGrid {
         })
     }
 
+    /// [`SweepGrid::run`] with the cells evaluated concurrently (under the
+    /// `rayon` feature; sequential otherwise). `f` must therefore be
+    /// `Fn + Sync` rather than `FnMut`. Cell order in the result is
+    /// identical to the sequential version.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::EmptyInput`] when either axis is empty; the first
+    /// failing cell's error (in row-major order) propagates.
+    pub fn run_par<E, F>(a_values: &[f64], b_values: &[f64], f: F) -> Result<Self, E>
+    where
+        E: From<EvalError> + Send,
+        F: Fn(f64, f64) -> Result<f64, E> + Sync,
+    {
+        if a_values.is_empty() || b_values.is_empty() {
+            return Err(EvalError::EmptyInput.into());
+        }
+        let pairs: Vec<(f64, f64)> = a_values
+            .iter()
+            .flat_map(|&a| b_values.iter().map(move |&b| (a, b)))
+            .collect();
+        let results = mathkit::parallel::par_map(&pairs, |&(a, b)| f(a, b));
+        let mut cells = Vec::with_capacity(pairs.len());
+        for ((a, b), value) in pairs.into_iter().zip(results) {
+            cells.push(SweepCell {
+                a,
+                b,
+                value: value?,
+            });
+        }
+        Ok(SweepGrid {
+            a_values: a_values.to_vec(),
+            b_values: b_values.to_vec(),
+            cells,
+        })
+    }
+
     /// Values of the first axis.
     pub fn a_values(&self) -> &[f64] {
         &self.a_values
@@ -111,8 +148,7 @@ mod tests {
     use super::*;
 
     fn grid() -> SweepGrid {
-        SweepGrid::run::<EvalError, _>(&[1.0, 2.0], &[10.0, 20.0, 30.0], |a, b| Ok(a * b))
-            .unwrap()
+        SweepGrid::run::<EvalError, _>(&[1.0, 2.0], &[10.0, 20.0, 30.0], |a, b| Ok(a * b)).unwrap()
     }
 
     #[test]
@@ -144,6 +180,28 @@ mod tests {
     #[test]
     fn errors_from_the_closure_propagate() {
         let r = SweepGrid::run::<EvalError, _>(&[1.0], &[1.0], |_, _| {
+            Err(EvalError::InvalidParameter {
+                name: "x",
+                reason: "boom",
+            })
+        });
+        assert!(matches!(r, Err(EvalError::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn run_par_matches_sequential_run() {
+        let seq = grid();
+        let par =
+            SweepGrid::run_par::<EvalError, _>(&[1.0, 2.0], &[10.0, 20.0, 30.0], |a, b| Ok(a * b))
+                .unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn run_par_propagates_errors_and_validates() {
+        let r = SweepGrid::run_par::<EvalError, _>(&[], &[1.0], |_, _| Ok(0.0));
+        assert_eq!(r.unwrap_err(), EvalError::EmptyInput);
+        let r = SweepGrid::run_par::<EvalError, _>(&[1.0], &[1.0], |_, _| {
             Err(EvalError::InvalidParameter {
                 name: "x",
                 reason: "boom",

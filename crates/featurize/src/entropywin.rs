@@ -84,13 +84,13 @@ pub fn entropy_series(
     let mut attacks = 0usize;
 
     let flush = |start: f64,
-                     count: usize,
-                     attacks: usize,
-                     src_ip: &mut HashMap<u32, u64>,
-                     dst_ip: &mut HashMap<u32, u64>,
-                     src_port: &mut HashMap<u16, u64>,
-                     dst_port: &mut HashMap<u16, u64>,
-                     out: &mut Vec<EntropyWindow>| {
+                 count: usize,
+                 attacks: usize,
+                 src_ip: &mut HashMap<u32, u64>,
+                 dst_ip: &mut HashMap<u32, u64>,
+                 src_port: &mut HashMap<u16, u64>,
+                 dst_port: &mut HashMap<u16, u64>,
+                 out: &mut Vec<EntropyWindow>| {
         if count > 0 {
             out.push(EntropyWindow {
                 start,
@@ -172,7 +172,11 @@ mod tests {
 
     #[test]
     fn windows_are_sliced_correctly() {
-        let flows = vec![flow(0.0, 1, 2, 80), flow(0.5, 1, 2, 80), flow(2.5, 1, 2, 80)];
+        let flows = vec![
+            flow(0.0, 1, 2, 80),
+            flow(0.5, 1, 2, 80),
+            flow(2.5, 1, 2, 80),
+        ];
         let series = entropy_series(&flows, 1.0).unwrap();
         assert_eq!(series.len(), 2);
         assert_eq!(series[0].flow_count, 2);
@@ -229,7 +233,9 @@ mod tests {
                 server_count: 16,
                 client_count: 64,
                 episodes: vec![AttackEpisode {
-                    kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+                    kind: EpisodeKind::SynFlood {
+                        target: 0xC0A8_0001,
+                    },
                     start: 15.0,
                     duration: 15.0,
                     rate: 600.0,

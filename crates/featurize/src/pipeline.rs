@@ -312,8 +312,14 @@ mod tests {
         assert_eq!(schema.name(0), "duration");
         assert!(schema.index_of("service=http").is_some());
         assert!(schema.index_of("flag=S0").is_some());
-        assert_eq!(schema.kind(schema.index_of("serror_rate").unwrap()), FeatureKind::Rate);
-        assert_eq!(schema.kind(schema.index_of("land").unwrap()), FeatureKind::Binary);
+        assert_eq!(
+            schema.kind(schema.index_of("serror_rate").unwrap()),
+            FeatureKind::Rate
+        );
+        assert_eq!(
+            schema.kind(schema.index_of("land").unwrap()),
+            FeatureKind::Binary
+        );
     }
 
     #[test]

@@ -188,7 +188,10 @@ mod tests {
     fn minmax_maps_to_unit_interval() {
         let s = fit(ScalingKind::MinMax);
         assert_eq!(s.transform(&[0.0, 10.0, 5.0]).unwrap(), vec![0.0, 0.0, 0.0]);
-        assert_eq!(s.transform(&[10.0, 30.0, 5.0]).unwrap(), vec![1.0, 1.0, 0.0]);
+        assert_eq!(
+            s.transform(&[10.0, 30.0, 5.0]).unwrap(),
+            vec![1.0, 1.0, 0.0]
+        );
         assert_eq!(s.transform(&[5.0, 20.0, 5.0]).unwrap(), vec![0.5, 0.5, 0.0]);
     }
 
@@ -214,8 +217,8 @@ mod tests {
     #[test]
     fn log1p_minmax_compresses_heavy_tails() {
         let data = [vec![0.0], vec![100.0], vec![1_000_000.0]];
-        let s = ColumnScaler::fit(ScalingKind::Log1pMinMax, data.iter().map(|r| r.as_slice()))
-            .unwrap();
+        let s =
+            ColumnScaler::fit(ScalingKind::Log1pMinMax, data.iter().map(|r| r.as_slice())).unwrap();
         let lo = s.transform(&[0.0]).unwrap()[0];
         let mid = s.transform(&[100.0]).unwrap()[0];
         let hi = s.transform(&[1_000_000.0]).unwrap()[0];
@@ -228,8 +231,8 @@ mod tests {
     #[test]
     fn log1p_treats_negatives_as_zero() {
         let data = [vec![0.0], vec![10.0]];
-        let s = ColumnScaler::fit(ScalingKind::Log1pMinMax, data.iter().map(|r| r.as_slice()))
-            .unwrap();
+        let s =
+            ColumnScaler::fit(ScalingKind::Log1pMinMax, data.iter().map(|r| r.as_slice())).unwrap();
         assert_eq!(s.transform(&[-5.0]).unwrap()[0], 0.0);
     }
 

@@ -114,8 +114,7 @@ impl FeatureSelector {
         &self,
         data: &mathkit::Matrix,
     ) -> Result<mathkit::Matrix, FeaturizeError> {
-        let rows: Result<Vec<Vec<f64>>, _> =
-            data.iter_rows().map(|r| self.transform(r)).collect();
+        let rows: Result<Vec<Vec<f64>>, _> = data.iter_rows().map(|r| self.transform(r)).collect();
         Ok(mathkit::Matrix::from_rows(rows?)?)
     }
 }

@@ -1,0 +1,486 @@
+//! Batched nearest-codebook-row kernels — the compute core of SOM/GHSOM
+//! best-matching-unit search.
+//!
+//! The naive BMU loop evaluates `‖x − w‖²` row by row, re-reading the whole
+//! codebook per sample through an enum-dispatched metric. The kernels here
+//! restructure that search around the Gram identity
+//!
+//! ```text
+//! ‖x − w‖² = ‖x‖² − 2·x·w + ‖w‖²
+//! ```
+//!
+//! with the codebook stored **transposed** (feature-major). A
+//! register-blocked microkernel ([`GROUP`] = 8 accumulators held in
+//! locals) turns the accumulation into broadcast-multiply-add streams the
+//! compiler vectorizes, and the unit-group-outer / sample-inner loop order
+//! keeps each weight slab L1-resident across a whole sample block.
+//! Codebook row norms are computed once per codebook version and reused
+//! across every sample (see `som::Som`'s cache).
+//!
+//! Numerical contract: for a given `(x, w)` pair the dot product and norms
+//! are accumulated in ascending feature order, so the single-sample and
+//! batched paths produce **bit-identical** distances — callers may mix them
+//! freely. The Gram form does lose a few ULPs to cancellation versus the
+//! subtract-square form for nearly-coincident points; tests compare against
+//! the naive scan with a 1e-9 relative tolerance.
+
+use crate::Matrix;
+
+/// `‖w‖²` of every row.
+///
+/// Accumulated with [`gram_norm_sq`], the exact operation sequence of the
+/// kernel's dot products, so that `‖x‖² − 2·x·w + ‖w‖²` cancels to exactly
+/// zero when `x` equals a codebook row.
+pub fn row_norms_sq(w: &Matrix) -> Vec<f64> {
+    w.iter_rows().map(gram_norm_sq).collect()
+}
+
+/// `‖w‖²/2` of every row — the precomputed half of the proxy ranking
+/// `‖w‖²/2 − x·w` the kernels compare by. This is what callers should
+/// cache per codebook version (halving is exact in binary floating
+/// point, so no information is lost versus [`row_norms_sq`]).
+pub fn half_row_norms_sq(w: &Matrix) -> Vec<f64> {
+    w.iter_rows().map(|r| 0.5 * gram_norm_sq(r)).collect()
+}
+
+/// Squared norm with the same multiply-add sequence as [`dots8`]: for
+/// `x == w` the three Gram terms are then bit-identical and the squared
+/// distance is exactly zero, with or without FMA in the build.
+#[inline]
+fn gram_norm_sq(x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &v in x {
+        acc = fmadd(acc, v, v);
+    }
+    acc
+}
+
+/// The codebook packed into group-tiled layout for the microkernel:
+/// units are grouped in slabs of [`GROUP`]; within group `g`, weight `j`
+/// of group-member `k` (unit `g·GROUP + k`) lives at
+/// `g·(dim·GROUP) + j·GROUP + k`. Each group's slab is contiguous
+/// (`dim × GROUP` doubles, ~2.6 KB at dim 41), so the kernel streams
+/// sequential cache lines — no power-of-two stride aliasing in L1. The
+/// tail group is zero-padded; callers bound comparisons by the true unit
+/// count.
+pub fn pack_codebook(w: &Matrix) -> Vec<f64> {
+    let (units, dim) = w.shape();
+    let groups = units.div_ceil(GROUP);
+    let mut wt = vec![0.0; groups * dim * GROUP];
+    for (u, row) in w.iter_rows().enumerate() {
+        let (g, k) = (u / GROUP, u % GROUP);
+        for (j, &x) in row.iter().enumerate() {
+            wt[g * (dim * GROUP) + j * GROUP + k] = x;
+        }
+    }
+    wt
+}
+
+/// Index and squared distance of the best (and optionally runner-up) match.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nearest {
+    /// Index of the nearest codebook row (lowest index wins ties).
+    pub unit: usize,
+    /// Squared Euclidean distance to it (clamped at zero).
+    pub d2: f64,
+}
+
+/// Best and second-best matches of one sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nearest2 {
+    /// The best match.
+    pub first: Nearest,
+    /// The runner-up.
+    pub second: Nearest,
+}
+
+/// Units per register-blocked microkernel call: 8 independent dot-product
+/// accumulators live in locals, which the compiler keeps in one ZMM / two
+/// YMM registers across the feature loop — the shape that turns the Gram
+/// accumulation into broadcast-FMA streams with no loop-carried memory
+/// dependency. The 8-unit weight group (`8 × dim` doubles, ~2.6 KB at
+/// dim 41) stays L1-resident while a whole sample block streams past it.
+const GROUP: usize = 8;
+
+/// Fused (when the build target has FMA, e.g. via the workspace's
+/// `target-cpu=native`) or plain multiply-add. Both batched and
+/// single-sample paths go through the same helper, so distances stay
+/// bit-identical within one build whichever path computed them.
+#[inline(always)]
+fn fmadd(acc: f64, a: f64, b: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, acc)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        acc + a * b
+    }
+}
+
+/// Samples per microkernel call: four samples share each weight-slab load,
+/// and 4 × 8 accumulators give the out-of-order core four independent FMA
+/// chains per unit lane. (4 × 8 doubles is exactly the SSE register
+/// budget, so baseline builds don't spill.)
+const SAMPLE_BLOCK: usize = 4;
+
+/// Dot products of one sample against unit group `g`:
+/// `out[k] = x · w_{g·GROUP+k}`. Eight independent accumulators live in
+/// locals (one ZMM / two YMM registers) across the feature loop; the
+/// group slab of [`pack_codebook`] is streamed contiguously.
+#[inline]
+fn dots8(x: &[f64], wt: &[f64], dim: usize, g: usize) -> [f64; GROUP] {
+    let slab = &wt[g * (dim * GROUP)..(g + 1) * (dim * GROUP)];
+    let mut acc = [0.0f64; GROUP];
+    for (seg, &xj) in slab.chunks_exact(GROUP).zip(x) {
+        for k in 0..GROUP {
+            acc[k] = fmadd(acc[k], xj, seg[k]);
+        }
+    }
+    acc
+}
+
+/// [`dots8`] for four samples at once against the same unit group. Each
+/// per-(sample, unit) accumulation is the identical operation sequence as
+/// [`dots8`], so results are bit-equal to four separate calls.
+#[inline]
+#[allow(clippy::type_complexity)]
+fn dots8_quad(
+    x0: &[f64],
+    x1: &[f64],
+    x2: &[f64],
+    x3: &[f64],
+    wt: &[f64],
+    dim: usize,
+    g: usize,
+) -> [[f64; GROUP]; SAMPLE_BLOCK] {
+    let slab = &wt[g * (dim * GROUP)..(g + 1) * (dim * GROUP)];
+    let (x0, x1, x2, x3) = (&x0[..dim], &x1[..dim], &x2[..dim], &x3[..dim]);
+    let mut a0 = [0.0f64; GROUP];
+    let mut a1 = [0.0f64; GROUP];
+    let mut a2 = [0.0f64; GROUP];
+    let mut a3 = [0.0f64; GROUP];
+    for (j, seg) in slab.chunks_exact(GROUP).enumerate() {
+        let (y0, y1, y2, y3) = (x0[j], x1[j], x2[j], x3[j]);
+        for k in 0..GROUP {
+            a0[k] = fmadd(a0[k], y0, seg[k]);
+            a1[k] = fmadd(a1[k], y1, seg[k]);
+            a2[k] = fmadd(a2[k], y2, seg[k]);
+            a3[k] = fmadd(a3[k], y3, seg[k]);
+        }
+    }
+    [a0, a1, a2, a3]
+}
+
+/// Nearest codebook row of `x` under squared Euclidean distance.
+///
+/// `wt` is the [`pack_codebook`] layout and `wn_half` the
+/// [`half_row_norms_sq`] of the same codebook version. Ties resolve to
+/// the lowest unit index. Allocation-free (this is the per-record hot
+/// path of hierarchy projection) and bit-identical to the corresponding
+/// entry of [`gram_nearest_block`].
+///
+/// # Panics
+///
+/// Debug-asserts shape agreement; garbage in, garbage out in release.
+pub fn gram_nearest(x: &[f64], wt: &[f64], wn_half: &[f64]) -> Nearest {
+    let dim = x.len();
+    let units = wn_half.len();
+    debug_assert_eq!(wt.len(), units.div_ceil(GROUP) * GROUP * dim);
+    let mut best = Nearest {
+        unit: 0,
+        d2: f64::INFINITY,
+    };
+    for g in 0..units.div_ceil(GROUP) {
+        let g0 = g * GROUP;
+        let gl = GROUP.min(units - g0);
+        let dots = dots8(x, wt, dim, g);
+        for (k, (&dot, &wh)) in dots.iter().zip(&wn_half[g0..g0 + gl]).enumerate() {
+            let proxy = wh - dot;
+            if proxy < best.d2 {
+                best = Nearest {
+                    unit: g0 + k,
+                    d2: proxy,
+                };
+            }
+        }
+    }
+    best.d2 = (gram_norm_sq(x) + 2.0 * best.d2).max(0.0);
+    best
+}
+
+/// Best *and* second-best codebook rows of `x` (for topographic error).
+///
+/// Tie behaviour matches a sequential two-best scan in ascending unit
+/// order with strict `<` comparisons.
+///
+/// # Panics
+///
+/// Debug-asserts shape agreement, and that the codebook has ≥ 2 rows.
+pub fn gram_nearest2(x: &[f64], wt: &[f64], wn_half: &[f64]) -> Nearest2 {
+    let mut out = Vec::with_capacity(1);
+    gram_nearest2_block(x, x.len(), wt, wn_half, &mut out);
+    out[0]
+}
+
+/// [`gram_nearest`] over a contiguous block of samples (row-major, width
+/// `dim`), appending one [`Nearest`] per row to `out`.
+///
+/// Loop order is unit-group outer / sample inner: each 8-unit slab of the
+/// transposed codebook is loaded into L1 once and reused by every sample
+/// in the block, so the search is compute-bound (broadcast-FMA) instead
+/// of codebook-bandwidth-bound.
+pub fn gram_nearest_block(
+    rows: &[f64],
+    dim: usize,
+    wt: &[f64],
+    wn_half: &[f64],
+    out: &mut Vec<Nearest>,
+) {
+    debug_assert_eq!(rows.len() % dim, 0);
+    let ns = rows.len() / dim;
+    let units = wn_half.len();
+    debug_assert_eq!(wt.len(), units.div_ceil(GROUP) * GROUP * dim);
+    let start = out.len();
+    out.extend((0..ns).map(|_| Nearest {
+        unit: 0,
+        d2: f64::INFINITY,
+    }));
+    let xn: Vec<f64> = rows.chunks_exact(dim).map(gram_norm_sq).collect();
+    // Candidates are ranked by the proxy `‖w‖²/2 − x·w`; for a fixed
+    // sample, `d² = ‖x‖² + 2·proxy` is strictly increasing in it, so the
+    // argmin (and tie order) is preserved while the per-unit compare costs
+    // one subtraction instead of sub + mul + add. `out[..].d2` holds the
+    // proxy during the scan and is mapped to the distance at the end.
+    let quads = ns / SAMPLE_BLOCK * SAMPLE_BLOCK;
+    for g in 0..units.div_ceil(GROUP) {
+        let g0 = g * GROUP;
+        let gl = GROUP.min(units - g0);
+        let wnh = &wn_half[g0..g0 + gl];
+        let mut update = |s: usize, dots: &[f64; GROUP]| {
+            let best = &mut out[start + s];
+            // Locals keep the running best in registers across the group
+            // instead of a load/store-forwarding chain through `out`.
+            let (mut bu, mut bd) = (best.unit, best.d2);
+            for (k, (&dot, &wh)) in dots.iter().zip(wnh).enumerate() {
+                let proxy = wh - dot;
+                if proxy < bd {
+                    bu = g0 + k;
+                    bd = proxy;
+                }
+            }
+            *best = Nearest { unit: bu, d2: bd };
+        };
+        let mut s = 0;
+        while s < quads {
+            let base = s * dim;
+            let quad = dots8_quad(
+                &rows[base..base + dim],
+                &rows[base + dim..base + 2 * dim],
+                &rows[base + 2 * dim..base + 3 * dim],
+                &rows[base + 3 * dim..base + 4 * dim],
+                wt,
+                dim,
+                g,
+            );
+            for (q, dots) in quad.iter().enumerate() {
+                update(s + q, dots);
+            }
+            s += SAMPLE_BLOCK;
+        }
+        for s in quads..ns {
+            let dots = dots8(&rows[s * dim..(s + 1) * dim], wt, dim, g);
+            update(s, &dots);
+        }
+    }
+    for (n, &x2) in out[start..].iter_mut().zip(&xn) {
+        n.d2 = (x2 + 2.0 * n.d2).max(0.0);
+    }
+}
+
+/// [`gram_nearest2`] over a contiguous block of samples.
+pub fn gram_nearest2_block(
+    rows: &[f64],
+    dim: usize,
+    wt: &[f64],
+    wn_half: &[f64],
+    out: &mut Vec<Nearest2>,
+) {
+    debug_assert_eq!(rows.len() % dim, 0);
+    let ns = rows.len() / dim;
+    let units = wn_half.len();
+    debug_assert!(units >= 2, "gram_nearest2 requires at least 2 units");
+    let start = out.len();
+    let inf = Nearest {
+        unit: 0,
+        d2: f64::INFINITY,
+    };
+    out.extend((0..ns).map(|_| Nearest2 {
+        first: inf,
+        second: inf,
+    }));
+    let xn: Vec<f64> = rows.chunks_exact(dim).map(gram_norm_sq).collect();
+    // Same proxy ranking as `gram_nearest_block`.
+    let update = |two: &mut Nearest2, unit: usize, proxy: f64| {
+        if proxy < two.first.d2 {
+            two.second = two.first;
+            two.first = Nearest { unit, d2: proxy };
+        } else if proxy < two.second.d2 {
+            two.second = Nearest { unit, d2: proxy };
+        }
+    };
+    for g in 0..units.div_ceil(GROUP) {
+        let g0 = g * GROUP;
+        let gl = GROUP.min(units - g0);
+        for (s, x) in rows.chunks_exact(dim).enumerate() {
+            let dots = dots8(x, wt, dim, g);
+            let two = &mut out[start + s];
+            for (k, &dot) in dots.iter().enumerate().take(gl) {
+                update(two, g0 + k, wn_half[g0 + k] - dot);
+            }
+        }
+    }
+    for (n, &x2) in out[start..].iter_mut().zip(&xn) {
+        n.first.d2 = (x2 + 2.0 * n.first.d2).max(0.0);
+        n.second.d2 = (x2 + 2.0 * n.second.d2).max(0.0);
+    }
+}
+
+/// Nearest row under an arbitrary metric kernel, with the enum dispatch
+/// hoisted out of the loop. Used by the non-Euclidean batched paths.
+pub fn kernel_nearest<F: Fn(&[f64], &[f64]) -> f64>(x: &[f64], w: &Matrix, kernel: &F) -> Nearest {
+    let mut best = Nearest {
+        unit: 0,
+        d2: f64::INFINITY,
+    };
+    for (u, row) in w.iter_rows().enumerate() {
+        let d = kernel(x, row);
+        if d < best.d2 {
+            best = Nearest { unit: u, d2: d };
+        }
+    }
+    best
+}
+
+/// Two best rows under an arbitrary metric kernel.
+pub fn kernel_nearest2<F: Fn(&[f64], &[f64]) -> f64>(
+    x: &[f64],
+    w: &Matrix,
+    kernel: &F,
+) -> Nearest2 {
+    let mut first = Nearest {
+        unit: 0,
+        d2: f64::INFINITY,
+    };
+    let mut second = first;
+    for (u, row) in w.iter_rows().enumerate() {
+        let d = kernel(x, row);
+        if d < first.d2 {
+            second = first;
+            first = Nearest { unit: u, d2: d };
+        } else if d < second.d2 {
+            second = Nearest { unit: u, d2: d };
+        }
+    }
+    Nearest2 { first, second }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance;
+
+    fn codebook() -> Matrix {
+        Matrix::from_rows(vec![
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.5],
+            vec![0.2, 0.9, 0.1],
+            vec![1.0, 1.0, 1.0],
+            vec![0.2, 0.9, 0.1], // duplicate of unit 2 — tie case
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn gram_matches_naive_scan() {
+        let w = codebook();
+        let wt = pack_codebook(&w);
+        let wn = half_row_norms_sq(&w);
+        for x in [
+            [0.1, 0.1, 0.0],
+            [0.9, 0.1, 0.45],
+            [0.2, 0.9, 0.1],
+            [10.0, -3.0, 2.0],
+        ] {
+            let got = gram_nearest(&x, &wt, &wn);
+            let mut best = (0usize, f64::INFINITY);
+            for (u, row) in w.iter_rows().enumerate() {
+                let d = distance::sq_euclidean(&x, row);
+                if d < best.1 {
+                    best = (u, d);
+                }
+            }
+            assert_eq!(got.unit, best.0);
+            assert!((got.d2 - best.1).abs() <= 1e-9 * best.1.max(1.0));
+        }
+    }
+
+    #[test]
+    fn duplicate_rows_tie_to_lowest_index() {
+        let w = codebook();
+        let wt = pack_codebook(&w);
+        let wn = half_row_norms_sq(&w);
+        // Exactly on the duplicated weight: units 2 and 4 tie at zero.
+        let got = gram_nearest(&[0.2, 0.9, 0.1], &wt, &wn);
+        assert_eq!(got.unit, 2);
+        assert_eq!(got.d2, 0.0);
+        let two = gram_nearest2(&[0.2, 0.9, 0.1], &wt, &wn);
+        assert_eq!(two.first.unit, 2);
+        assert_eq!(two.second.unit, 4);
+    }
+
+    #[test]
+    fn block_matches_single() {
+        let w = codebook();
+        let wt = pack_codebook(&w);
+        let wn = half_row_norms_sq(&w);
+        let data = Matrix::from_rows(vec![
+            vec![0.1, 0.2, 0.3],
+            vec![0.9, 0.9, 0.9],
+            vec![-1.0, 0.5, 0.0],
+        ])
+        .unwrap();
+        let mut out = Vec::new();
+        gram_nearest_block(data.as_slice(), 3, &wt, &wn, &mut out);
+        for (x, got) in data.iter_rows().zip(&out) {
+            let single = gram_nearest(x, &wt, &wn);
+            assert_eq!(*got, single);
+        }
+    }
+
+    #[test]
+    fn nearest2_orders_by_distance() {
+        let w = codebook();
+        let wt = pack_codebook(&w);
+        let wn = half_row_norms_sq(&w);
+        let two = gram_nearest2(&[0.6, 0.4, 0.3], &wt, &wn);
+        assert!(two.first.d2 <= two.second.d2);
+        assert_ne!(two.first.unit, two.second.unit);
+    }
+
+    #[test]
+    fn kernel_scan_matches_metric() {
+        let w = codebook();
+        let x = [0.3, 0.3, 0.3];
+        let got = kernel_nearest(&x, &w, &distance::manhattan);
+        let mut best = (0usize, f64::INFINITY);
+        for (u, row) in w.iter_rows().enumerate() {
+            let d = distance::manhattan(&x, row);
+            if d < best.1 {
+                best = (u, d);
+            }
+        }
+        assert_eq!(got.unit, best.0);
+        assert_eq!(got.d2, best.1);
+    }
+}

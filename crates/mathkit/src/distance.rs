@@ -18,13 +18,22 @@ use serde::{Deserialize, Serialize};
 #[inline]
 pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "sq_euclidean: length mismatch");
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+    // Four independent accumulators over `chunks_exact` — the shape LLVM
+    // auto-vectorizes; the remainder runs scalar.
+    let mut acc = [0.0f64; 4];
+    for (xa, xb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+        for k in 0..4 {
+            let d = xa[k] - xb[k];
+            acc[k] += d * d;
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let tail = a.len() - a.len() % 4;
+    for (x, y) in a[tail..].iter().zip(&b[tail..]) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum
 }
 
 /// Euclidean distance `‖a − b‖₂`.
@@ -37,7 +46,18 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 #[inline]
 pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "manhattan: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    let mut acc = [0.0f64; 4];
+    for (xa, xb) in a.chunks_exact(4).zip(b.chunks_exact(4)) {
+        for k in 0..4 {
+            acc[k] += (xa[k] - xb[k]).abs();
+        }
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let tail = a.len() - a.len() % 4;
+    for (x, y) in a[tail..].iter().zip(&b[tail..]) {
+        sum += (x - y).abs();
+    }
+    sum
 }
 
 /// Chebyshev distance `‖a − b‖∞`.
@@ -97,6 +117,40 @@ impl Metric {
             Metric::Chebyshev => chebyshev(a, b),
             Metric::Cosine => cosine(a, b),
         }
+    }
+
+    /// The comparison kernel as a plain function, resolved **once** per
+    /// search instead of once per codebook row.
+    ///
+    /// For the Euclidean family the kernel is the squared distance (a
+    /// monotone proxy, so argmin ordering is preserved); run the winning
+    /// value through [`Metric::finalize`] to recover the metric's distance.
+    #[inline]
+    pub fn scan_kernel(&self) -> fn(&[f64], &[f64]) -> f64 {
+        match self {
+            Metric::Euclidean | Metric::SqEuclidean => sq_euclidean,
+            Metric::Manhattan => manhattan,
+            Metric::Chebyshev => chebyshev,
+            Metric::Cosine => cosine,
+        }
+    }
+
+    /// Maps a [`Metric::scan_kernel`] proxy value back to the metric's
+    /// distance (the square root for [`Metric::Euclidean`], identity
+    /// otherwise).
+    #[inline]
+    pub fn finalize(&self, proxy: f64) -> f64 {
+        match self {
+            Metric::Euclidean => proxy.max(0.0).sqrt(),
+            _ => proxy,
+        }
+    }
+
+    /// `true` when BMU search under this metric can use the Gram-trick
+    /// batched engine (`‖x−w‖² = ‖x‖² − 2·x·w + ‖w‖²`).
+    #[inline]
+    pub fn gram_compatible(&self) -> bool {
+        matches!(self, Metric::Euclidean | Metric::SqEuclidean)
     }
 
     /// All metric variants, for exhaustive testing and sweeps.

@@ -67,8 +67,14 @@ mod tests {
                 },
                 "dimension mismatch: expected 3, found 2",
             ),
-            (MathError::EmptyInput, "operation requires a non-empty input"),
-            (MathError::NonFinite, "input contains a NaN or infinite value"),
+            (
+                MathError::EmptyInput,
+                "operation requires a non-empty input",
+            ),
+            (
+                MathError::NonFinite,
+                "input contains a NaN or infinite value",
+            ),
             (
                 MathError::InvalidParameter {
                     name: "sigma",

@@ -12,7 +12,13 @@
 //!   fixed-range histograms.
 //! * [`entropy`] — Shannon entropy and divergences over count histograms,
 //!   used by the windowed traffic-feature extractors.
-//! * [`distance`] — the distance metrics a SOM codebook search can use.
+//! * [`distance`] — the distance metrics a SOM codebook search can use,
+//!   with monomorphized scan kernels resolved once per search.
+//! * [`batch`] — the batched nearest-row engine: Gram-trick
+//!   (`‖x−w‖² = ‖x‖² − 2·x·w + ‖w‖²`) kernels over a transposed codebook,
+//!   the compute core of batched BMU search.
+//! * [`parallel`] — deterministic chunked data-parallel helpers (std
+//!   scoped threads behind the `rayon` cargo feature).
 //! * [`sampler`] — seedable samplers (normal, log-normal, Pareto, Zipf,
 //!   gamma, categorical) used by the synthetic traffic generators; the
 //!   sanctioned `rand` crate only ships uniform sampling, so the classic
@@ -48,10 +54,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod distance;
 pub mod entropy;
 pub mod error;
 pub mod matrix;
+pub mod parallel;
 pub mod pca;
 pub mod sampler;
 pub mod stats;

@@ -463,12 +463,7 @@ mod tests {
 
     #[test]
     fn covariance_of_perfectly_correlated_columns() {
-        let m = Matrix::from_rows(vec![
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         let cov = m.covariance();
         // var(x) = 1, cov(x, 2x) = 2, var(2x) = 4 (sample normalization)
         assert!((cov.get(0, 0) - 1.0).abs() < 1e-12);

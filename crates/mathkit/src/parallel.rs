@@ -1,0 +1,135 @@
+//! Deterministic data-parallel helpers for the hot batch kernels.
+//!
+//! The `rayon` cargo feature gates the actual threading (the offline build
+//! container has no rayon crate, so the implementation uses `std::thread`
+//! scoped threads with a work-stealing-free chunk queue). The helpers are
+//! **bit-deterministic**: work is split into fixed-size chunks and results
+//! are merged in chunk-index order, so the output is identical whatever the
+//! thread count — including one. With the feature disabled the same chunked
+//! algorithm runs sequentially, producing the same bits.
+//!
+//! Thread count comes from `std::thread::available_parallelism`, clamped by
+//! the `GHSOM_THREADS` environment variable when set (handy for
+//! single-thread baselines in benchmarks).
+
+use std::ops::Range;
+
+/// The number of worker threads parallel helpers may use.
+///
+/// `GHSOM_THREADS=1` forces sequential execution; unset or invalid values
+/// fall back to the machine's available parallelism.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("GHSOM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `0..total` into `chunk`-sized ranges, maps each through `f`, and
+/// returns the results in chunk order.
+///
+/// Deterministic: the chunk partition depends only on `total` and `chunk`,
+/// never on the thread count. Panics in workers propagate.
+pub fn par_map_chunks<R, F>(total: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let nchunks = total.div_ceil(chunk);
+    let range_of = |i: usize| i * chunk..((i + 1) * chunk).min(total);
+    run_indexed(nchunks, move |i| f(range_of(i)))
+}
+
+/// Maps `f` over `items`, returning results in item order; parallel when the
+/// `rayon` feature is enabled and the machine has more than one thread.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_indexed(items.len(), move |i| f(&items[i]))
+}
+
+#[cfg(feature = "rayon")]
+fn run_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    let workers = max_threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|o| o.expect("all chunks completed"))
+        .collect()
+}
+
+#[cfg(not(feature = "rayon"))]
+fn run_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    (0..n).map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_range_in_order() {
+        let sums = par_map_chunks(10, 3, |r| r.clone().sum::<usize>());
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<usize> = par_map_chunks(0, 4, |r| r.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_chunk_runs_inline() {
+        let out = par_map_chunks(3, 100, |r| r.len());
+        assert_eq!(out, vec![3]);
+    }
+}

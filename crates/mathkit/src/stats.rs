@@ -98,8 +98,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
     }
 }
@@ -274,10 +274,7 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.bins.len()];
         }
-        self.bins
-            .iter()
-            .map(|&c| c as f64 / total as f64)
-            .collect()
+        self.bins.iter().map(|&c| c as f64 / total as f64).collect()
     }
 
     /// `(lower, upper)` edges of bin `i`.
@@ -309,8 +306,7 @@ mod tests {
             w.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.sample_variance() - var).abs() < 1e-12);
     }

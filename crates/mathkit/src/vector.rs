@@ -312,7 +312,10 @@ mod tests {
     #[test]
     fn validate_flags_bad_inputs() {
         assert_eq!(validate(&[]).unwrap_err(), MathError::EmptyInput);
-        assert_eq!(validate(&[1.0, f64::NAN]).unwrap_err(), MathError::NonFinite);
+        assert_eq!(
+            validate(&[1.0, f64::NAN]).unwrap_err(),
+            MathError::NonFinite
+        );
         assert_eq!(
             validate(&[f64::INFINITY]).unwrap_err(),
             MathError::NonFinite

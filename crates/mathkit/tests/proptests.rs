@@ -12,12 +12,7 @@ use proptest::prelude::*;
 
 /// A strategy for finite, reasonably-sized f64 values.
 fn finite() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        -1e6..1e6f64,
-        Just(0.0),
-        Just(1.0),
-        Just(-1.0),
-    ]
+    prop_oneof![-1e6..1e6f64, Just(0.0), Just(1.0), Just(-1.0),]
 }
 
 fn vec_pair(len: std::ops::Range<usize>) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {

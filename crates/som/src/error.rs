@@ -29,7 +29,10 @@ impl fmt::Display for SomError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SomError::DimensionMismatch { expected, found } => {
-                write!(f, "dimension mismatch: codebook is {expected}-d, sample is {found}-d")
+                write!(
+                    f,
+                    "dimension mismatch: codebook is {expected}-d, sample is {found}-d"
+                )
             }
             SomError::EmptyInput => write!(f, "operation requires a non-empty data set"),
             SomError::InvalidParameter { name, reason } => {

@@ -9,7 +9,6 @@
 //! The label type is generic so the same machinery calibrates against
 //! concrete attack types, coarse categories, or plain booleans.
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
 use mathkit::Matrix;
@@ -45,11 +44,17 @@ impl<L: Clone + Eq + Hash> UnitLabels<L> {
                 found: labels.len(),
             });
         }
-        let mut tallies: Vec<HashMap<L, usize>> = vec![HashMap::new(); som.len()];
+        // Tallies are first-seen-ordered vectors rather than HashMaps so
+        // that tie-breaking below is deterministic (first label reached in
+        // data order wins a tie), independent of hasher state.
+        let mut tallies: Vec<Vec<(L, usize)>> = vec![Vec::new(); som.len()];
         let mut hits = vec![0usize; som.len()];
         for (x, label) in data.iter_rows().zip(labels) {
             let unit = som.bmu(x)?.unit;
-            *tallies[unit].entry(label.clone()).or_insert(0) += 1;
+            match tallies[unit].iter_mut().find(|(l, _)| l == label) {
+                Some((_, c)) => *c += 1,
+                None => tallies[unit].push((label.clone(), 1)),
+            }
             hits[unit] += 1;
         }
         let mut unit_labels = Vec::with_capacity(som.len());
@@ -61,8 +66,9 @@ impl<L: Clone + Eq + Hash> UnitLabels<L> {
             } else {
                 let (label, count) = tally
                     .iter()
-                    .max_by_key(|(_, &c)| c)
-                    .map(|(l, &c)| (l.clone(), c))
+                    .rev() // keep the FIRST-seen maximum on ties
+                    .max_by_key(|(_, c)| *c)
+                    .map(|(l, c)| (l.clone(), *c))
                     .expect("non-zero hits imply a tally entry");
                 unit_labels.push(Some(label));
                 confidence.push(count as f64 / h as f64);

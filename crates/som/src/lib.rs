@@ -48,7 +48,7 @@ pub mod schedule;
 pub mod topology;
 
 pub use error::SomError;
-pub use map::{Som, TrainParams};
+pub use map::{BmuMatch, Som, TrainParams};
 pub use neighborhood::NeighborhoodKind;
 pub use schedule::DecaySchedule;
 pub use topology::{GridLayout, GridTopology};

@@ -1,6 +1,30 @@
 //! The self-organizing map: codebook, BMU search, training, quality metrics.
+//!
+//! # Batched BMU engine
+//!
+//! Best-matching-unit search is the hot path of both training and
+//! detection. Two implementations coexist:
+//!
+//! * [`Som::bmu_scan`] — the naive reference: one [`Metric::eval`] per
+//!   codebook row. Kept for benchmarks and equivalence tests.
+//! * [`Som::bmu`] / [`Som::bmu_batch`] — the batched engine. For the
+//!   Euclidean metric family it uses the Gram identity
+//!   `‖x−w‖² = ‖x‖² − 2·x·w + ‖w‖²` over a transposed codebook with cached
+//!   row norms (see [`mathkit::batch`]); other metrics get a scan with the
+//!   metric kernel resolved once per search instead of once per row. The
+//!   transposed-codebook/norm cache is built lazily on first use and
+//!   invalidated whenever training mutates the weights.
+//!
+//! Batch entry points process samples in fixed-size chunks through
+//! [`mathkit::parallel`], so with the `rayon` cargo feature they use every
+//! core while remaining bit-deterministic (results are merged in chunk
+//! order; set `GHSOM_THREADS=1` to force sequential execution).
+//!
+//! Tie-breaking is identical everywhere: units are scanned in ascending
+//! index order with strict `<`, so the lowest unit index wins ties.
 
-use mathkit::{distance, vector, Matrix, Metric};
+use mathkit::batch;
+use mathkit::{distance, parallel, vector, Matrix, Metric};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -80,6 +104,62 @@ pub struct TrainReport {
     pub epoch_mean_bmu_distance: Vec<f64>,
 }
 
+/// Samples per parallel work chunk in the batch BMU paths. Fixed (never
+/// derived from the thread count) so results are bit-identical at any
+/// parallelism, including `GHSOM_THREADS=1` and builds without the `rayon`
+/// feature.
+const BMU_CHUNK: usize = 512;
+
+/// Lazily-built derived views of the codebook used by the Gram-trick BMU
+/// engine: the transposed (feature-major) weights and per-unit squared
+/// norms.
+#[derive(Debug, Clone, Default)]
+struct CacheData {
+    /// Group-tiled packed codebook (see [`batch::pack_codebook`]).
+    wt: Vec<f64>,
+    /// `‖w_u‖²/2` per unit — the proxy-ranking half-norms.
+    wn_half: Vec<f64>,
+}
+
+/// Interior-mutable holder for [`CacheData`].
+///
+/// Deliberately invisible to the map's value semantics: compares equal to
+/// everything (so derived `PartialEq` on [`Som`] ignores it), serializes
+/// as `null`, and deserializes empty — the cache rebuilds on first use.
+#[derive(Debug, Default)]
+struct BmuCache(std::sync::OnceLock<CacheData>);
+
+impl Clone for BmuCache {
+    fn clone(&self) -> Self {
+        match self.0.get() {
+            Some(data) => {
+                let lock = std::sync::OnceLock::new();
+                let _ = lock.set(data.clone());
+                BmuCache(lock)
+            }
+            None => BmuCache::default(),
+        }
+    }
+}
+
+impl PartialEq for BmuCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl serde::Serialize for BmuCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for BmuCache {
+    fn from_value(_v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(BmuCache::default())
+    }
+}
+
 /// A self-organizing map with a dense codebook.
 ///
 /// See the [crate-level example](crate) for end-to-end usage.
@@ -89,6 +169,8 @@ pub struct Som {
     /// `units × dim` codebook; row `i` is the weight vector of unit `i`.
     weights: Matrix,
     metric: Metric,
+    /// Derived codebook views for the batched BMU engine (see module docs).
+    cache: BmuCache,
 }
 
 impl Som {
@@ -114,6 +196,7 @@ impl Som {
             topology,
             weights,
             metric,
+            cache: BmuCache::default(),
         })
     }
 
@@ -143,6 +226,7 @@ impl Som {
             topology,
             weights,
             metric: Metric::Euclidean,
+            cache: BmuCache::default(),
         })
     }
 
@@ -174,6 +258,7 @@ impl Som {
             topology,
             weights,
             metric: Metric::Euclidean,
+            cache: BmuCache::default(),
         })
     }
 
@@ -216,6 +301,7 @@ impl Som {
             topology,
             weights,
             metric: Metric::Euclidean,
+            cache: BmuCache::default(),
         })
     }
 
@@ -263,13 +349,57 @@ impl Som {
         &self.weights
     }
 
-    /// Best-matching unit for a sample.
+    /// The Gram-engine cache, building it on first use.
+    fn cache_data(&self) -> &CacheData {
+        self.cache.0.get_or_init(|| CacheData {
+            wt: batch::pack_codebook(&self.weights),
+            wn_half: batch::half_row_norms_sq(&self.weights),
+        })
+    }
+
+    /// Drops the derived codebook views; must be called after every weight
+    /// mutation so stale norms/transposes are never read.
+    fn invalidate_cache(&mut self) {
+        self.cache = BmuCache::default();
+    }
+
+    /// Best-matching unit for a sample, via the batched engine's kernels
+    /// (Gram trick for the Euclidean family, hoisted-kernel scan
+    /// otherwise).
+    ///
+    /// Bit-identical to [`Som::bmu_batch`] on the same map; agrees with
+    /// the naive [`Som::bmu_scan`] up to floating-point reassociation
+    /// (~1e-12 relative).
     ///
     /// # Errors
     ///
     /// [`SomError::DimensionMismatch`] when the sample width differs from
     /// the codebook.
     pub fn bmu(&self, x: &[f64]) -> Result<BmuMatch, SomError> {
+        self.check_dim(x)?;
+        let n = if self.metric.gram_compatible() {
+            let cache = self.cache_data();
+            batch::gram_nearest(x, &cache.wt, &cache.wn_half)
+        } else {
+            batch::kernel_nearest(x, &self.weights, &self.metric.scan_kernel())
+        };
+        Ok(BmuMatch {
+            unit: n.unit,
+            distance: self.metric.finalize(n.d2),
+        })
+    }
+
+    /// Reference best-matching-unit search: the naive per-row
+    /// [`Metric::eval`] loop the batched engine replaced.
+    ///
+    /// Kept as the ground truth for the equivalence property tests and the
+    /// `bmu_scaling` benchmark baseline; not used by any hot path.
+    ///
+    /// # Errors
+    ///
+    /// [`SomError::DimensionMismatch`] when the sample width differs from
+    /// the codebook.
+    pub fn bmu_scan(&self, x: &[f64]) -> Result<BmuMatch, SomError> {
         self.check_dim(x)?;
         let mut best = BmuMatch {
             unit: 0,
@@ -301,27 +431,133 @@ impl Som {
                 reason: "bmu_pair requires at least 2 units",
             });
         }
-        let mut first = BmuMatch {
-            unit: 0,
-            distance: f64::INFINITY,
+        let n2 = if self.metric.gram_compatible() {
+            let cache = self.cache_data();
+            batch::gram_nearest2(x, &cache.wt, &cache.wn_half)
+        } else {
+            batch::kernel_nearest2(x, &self.weights, &self.metric.scan_kernel())
         };
-        let mut second = first;
-        for (i, w) in self.weights.iter_rows().enumerate() {
-            let d = self.metric.eval(x, w);
-            if d < first.distance {
-                second = first;
-                first = BmuMatch {
-                    unit: i,
-                    distance: d,
-                };
-            } else if d < second.distance {
-                second = BmuMatch {
-                    unit: i,
-                    distance: d,
-                };
-            }
+        Ok((
+            BmuMatch {
+                unit: n2.first.unit,
+                distance: self.metric.finalize(n2.first.d2),
+            },
+            BmuMatch {
+                unit: n2.second.unit,
+                distance: self.metric.finalize(n2.second.d2),
+            },
+        ))
+    }
+
+    /// Best-matching unit of **every** row of `data` — the batched engine.
+    ///
+    /// Chunked and, with the `rayon` feature, data-parallel; results are
+    /// identical to mapping [`Som::bmu`] over the rows (same kernels, same
+    /// tie-breaking: lowest unit index wins).
+    ///
+    /// # Errors
+    ///
+    /// [`SomError::DimensionMismatch`] when the sample width differs from
+    /// the codebook.
+    pub fn bmu_batch(&self, data: &Matrix) -> Result<Vec<BmuMatch>, SomError> {
+        if data.rows() > 0 {
+            self.check_dim(data.row(0))?;
         }
-        Ok((first, second))
+        let nearest = self.nearest_batch(data);
+        Ok(nearest
+            .into_iter()
+            .map(|n| BmuMatch {
+                unit: n.unit,
+                distance: self.metric.finalize(n.d2),
+            })
+            .collect())
+    }
+
+    /// The two best-matching units of every row of `data`.
+    ///
+    /// # Errors
+    ///
+    /// [`SomError::DimensionMismatch`] on width mismatch;
+    /// [`SomError::InvalidParameter`] when the map has a single unit.
+    pub fn bmu_pair_batch(&self, data: &Matrix) -> Result<Vec<(BmuMatch, BmuMatch)>, SomError> {
+        if data.rows() > 0 {
+            self.check_dim(data.row(0))?;
+        }
+        if self.len() < 2 {
+            return Err(SomError::InvalidParameter {
+                name: "units",
+                reason: "bmu_pair requires at least 2 units",
+            });
+        }
+        let dim = self.dim();
+        let rows = data.as_slice();
+        let chunks: Vec<Vec<batch::Nearest2>> = if self.metric.gram_compatible() {
+            let cache = self.cache_data();
+            parallel::par_map_chunks(data.rows(), BMU_CHUNK, |r| {
+                let mut out = Vec::with_capacity(r.len());
+                batch::gram_nearest2_block(
+                    &rows[r.start * dim..r.end * dim],
+                    dim,
+                    &cache.wt,
+                    &cache.wn_half,
+                    &mut out,
+                );
+                out
+            })
+        } else {
+            let kernel = self.metric.scan_kernel();
+            parallel::par_map_chunks(data.rows(), BMU_CHUNK, |r| {
+                rows[r.start * dim..r.end * dim]
+                    .chunks_exact(dim)
+                    .map(|x| batch::kernel_nearest2(x, &self.weights, &kernel))
+                    .collect()
+            })
+        };
+        Ok(chunks
+            .into_iter()
+            .flatten()
+            .map(|n2| {
+                (
+                    BmuMatch {
+                        unit: n2.first.unit,
+                        distance: self.metric.finalize(n2.first.d2),
+                    },
+                    BmuMatch {
+                        unit: n2.second.unit,
+                        distance: self.metric.finalize(n2.second.d2),
+                    },
+                )
+            })
+            .collect())
+    }
+
+    /// Raw chunked nearest-unit search shared by the batch entry points.
+    fn nearest_batch(&self, data: &Matrix) -> Vec<batch::Nearest> {
+        let dim = self.dim();
+        let rows = data.as_slice();
+        let chunks: Vec<Vec<batch::Nearest>> = if self.metric.gram_compatible() {
+            let cache = self.cache_data();
+            parallel::par_map_chunks(data.rows(), BMU_CHUNK, |r| {
+                let mut out = Vec::with_capacity(r.len());
+                batch::gram_nearest_block(
+                    &rows[r.start * dim..r.end * dim],
+                    dim,
+                    &cache.wt,
+                    &cache.wn_half,
+                    &mut out,
+                );
+                out
+            })
+        } else {
+            let kernel = self.metric.scan_kernel();
+            parallel::par_map_chunks(data.rows(), BMU_CHUNK, |r| {
+                rows[r.start * dim..r.end * dim]
+                    .chunks_exact(dim)
+                    .map(|x| batch::kernel_nearest(x, &self.weights, &kernel))
+                    .collect()
+            })
+        };
+        chunks.into_iter().flatten().collect()
     }
 
     /// Online (Kohonen) training: per-sample winner updates with decaying
@@ -354,6 +590,10 @@ impl Som {
             epoch_mean_bmu_distance: Vec::with_capacity(params.epochs),
         };
 
+        // Weights mutate after every sample, so the Gram cache can never be
+        // reused here; scan with the metric kernel resolved once for the
+        // whole run instead of once per codebook row.
+        let kernel = self.metric.scan_kernel();
         let mut step = 0usize;
         for epoch in 0..params.epochs {
             let mut rng = StdRng::seed_from_u64(params.shuffle_seed ^ (epoch as u64));
@@ -365,10 +605,10 @@ impl Som {
                 let sigma = radius.at(t);
                 let cutoff = params.neighborhood.cutoff(sigma);
                 let x = data.row(idx);
-                let bmu = self.bmu(x)?;
-                qe_acc += bmu.distance;
+                let near = batch::kernel_nearest(x, &self.weights, &kernel);
+                qe_acc += self.metric.finalize(near.d2);
                 for u in 0..self.len() {
-                    let d = self.topology.grid_distance(bmu.unit, u);
+                    let d = self.topology.grid_distance(near.unit, u);
                     if d > cutoff {
                         continue;
                     }
@@ -382,6 +622,7 @@ impl Som {
             }
             report.epoch_mean_bmu_distance.push(qe_acc / n as f64);
         }
+        self.invalidate_cache();
         Ok(report)
     }
 
@@ -417,24 +658,42 @@ impl Som {
         for epoch in 0..params.epochs {
             let sigma = radius.at_step(epoch, params.epochs);
             let cutoff = params.neighborhood.cutoff(sigma);
+            // Batched BMU pass over the epoch's (frozen) codebook.
+            let matches = self.nearest_batch(data);
+            let qe_acc: f64 = matches.iter().map(|n| self.metric.finalize(n.d2)).sum();
+            // Neighborhood-weighted accumulation, chunked over samples with
+            // per-chunk partials merged in chunk order — parallel under the
+            // `rayon` feature, bit-identical at any thread count.
+            let partials = parallel::par_map_chunks(data.rows(), BMU_CHUNK, |range| {
+                let mut num = vec![0.0; units * dim];
+                let mut den = vec![0.0; units];
+                for idx in range {
+                    let x = data.row(idx);
+                    let winner = matches[idx].unit;
+                    for u in 0..units {
+                        let d = self.topology.grid_distance(winner, u);
+                        if d > cutoff {
+                            continue;
+                        }
+                        let h = params.neighborhood.value(d, sigma).max(0.0);
+                        if h == 0.0 {
+                            continue;
+                        }
+                        let row = &mut num[u * dim..(u + 1) * dim];
+                        vector::axpy(row, h, x);
+                        den[u] += h;
+                    }
+                }
+                (num, den)
+            });
             let mut numerators = vec![0.0; units * dim];
             let mut denominators = vec![0.0; units];
-            let mut qe_acc = 0.0;
-            for x in data.iter_rows() {
-                let bmu = self.bmu(x)?;
-                qe_acc += bmu.distance;
-                for u in 0..units {
-                    let d = self.topology.grid_distance(bmu.unit, u);
-                    if d > cutoff {
-                        continue;
-                    }
-                    let h = params.neighborhood.value(d, sigma).max(0.0);
-                    if h == 0.0 {
-                        continue;
-                    }
-                    let row = &mut numerators[u * dim..(u + 1) * dim];
-                    vector::axpy(row, h, x);
-                    denominators[u] += h;
+            for (num, den) in partials {
+                for (acc, x) in numerators.iter_mut().zip(&num) {
+                    *acc += x;
+                }
+                for (acc, x) in denominators.iter_mut().zip(&den) {
+                    *acc += x;
                 }
             }
             for u in 0..units {
@@ -447,7 +706,10 @@ impl Som {
                 }
                 // Units with no mass keep their previous weights.
             }
-            report.epoch_mean_bmu_distance.push(qe_acc / data.rows() as f64);
+            self.invalidate_cache();
+            report
+                .epoch_mean_bmu_distance
+                .push(qe_acc / data.rows() as f64);
         }
         Ok(report)
     }
@@ -463,10 +725,8 @@ impl Som {
         if data.rows() == 0 {
             return Err(SomError::EmptyInput);
         }
-        let mut acc = 0.0;
-        for x in data.iter_rows() {
-            acc += self.bmu(x)?.distance;
-        }
+        let matches = self.bmu_batch(data)?;
+        let acc: f64 = matches.iter().map(|m| m.distance).sum();
         Ok(acc / data.rows() as f64)
     }
 
@@ -476,7 +736,7 @@ impl Som {
     ///
     /// Shape errors per [`Som::bmu`].
     pub fn assign(&self, data: &Matrix) -> Result<Vec<usize>, SomError> {
-        data.iter_rows().map(|x| Ok(self.bmu(x)?.unit)).collect()
+        Ok(self.bmu_batch(data)?.into_iter().map(|m| m.unit).collect())
     }
 
     /// Per-unit quantization statistics: `(qe_sum, hits)` for every unit,
@@ -493,10 +753,9 @@ impl Som {
         }
         let mut qe = vec![0.0; self.len()];
         let mut hits = vec![0usize; self.len()];
-        for x in data.iter_rows() {
-            let bmu = self.bmu(x)?;
-            qe[bmu.unit] += bmu.distance;
-            hits[bmu.unit] += 1;
+        for m in self.bmu_batch(data)? {
+            qe[m.unit] += m.distance;
+            hits[m.unit] += 1;
         }
         Ok((qe, hits))
     }
@@ -514,8 +773,7 @@ impl Som {
             return Err(SomError::EmptyInput);
         }
         let mut errors = 0usize;
-        for x in data.iter_rows() {
-            let (b1, b2) = self.bmu_pair(x)?;
+        for (b1, b2) in self.bmu_pair_batch(data)? {
             if !self.topology.neighbors(b1.unit).contains(&b2.unit) {
                 errors += 1;
             }
@@ -557,8 +815,8 @@ impl Som {
     /// Shape errors per [`Som::bmu`].
     pub fn hit_histogram(&self, data: &Matrix) -> Result<Vec<usize>, SomError> {
         let mut hits = vec![0usize; self.len()];
-        for x in data.iter_rows() {
-            hits[self.bmu(x)?.unit] += 1;
+        for m in self.bmu_batch(data)? {
+            hits[m.unit] += 1;
         }
         Ok(hits)
     }
@@ -580,12 +838,7 @@ mod tests {
 
     /// Four tight clusters at the corners of the unit square.
     fn four_clusters() -> Matrix {
-        let centers = [
-            [0.1, 0.1],
-            [0.9, 0.1],
-            [0.1, 0.9],
-            [0.9, 0.9],
-        ];
+        let centers = [[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9]];
         let mut rng = StdRng::seed_from_u64(99);
         let mut rows = Vec::new();
         for _ in 0..200 {
@@ -665,9 +918,7 @@ mod tests {
         assert!(after < 0.1, "converged QE should be small, got {after}");
         assert_eq!(report.epoch_mean_bmu_distance.len(), 10);
         // Epoch-wise proxy decreases overall.
-        assert!(
-            report.epoch_mean_bmu_distance[9] < report.epoch_mean_bmu_distance[0]
-        );
+        assert!(report.epoch_mean_bmu_distance[9] < report.epoch_mean_bmu_distance[0]);
     }
 
     #[test]
@@ -769,7 +1020,7 @@ mod tests {
     fn empty_data_is_rejected() {
         let mut som = Som::random_uniform(2, 2, 2, 0).unwrap();
         let empty = Matrix::zeros(1, 2); // can't build a 0-row Matrix, so…
-        // …exercise the error paths that need >0 rows via assign/bmu dims.
+                                         // …exercise the error paths that need >0 rows via assign/bmu dims.
         assert!(som.quantization_error(&empty).is_ok());
         let params = TrainParams {
             epochs: 0,
@@ -824,6 +1075,56 @@ mod tests {
         let json = serde_json::to_string(&som).unwrap();
         let back: Som = serde_json::from_str(&json).unwrap();
         assert_eq!(back, som);
+    }
+
+    #[test]
+    fn bmu_batch_matches_bmu_and_scan() {
+        let data = four_clusters();
+        let som = Som::from_data_sample(3, 3, &data, 21).unwrap();
+        let batch = som.bmu_batch(&data).unwrap();
+        assert_eq!(batch.len(), data.rows());
+        for (x, m) in data.iter_rows().zip(&batch) {
+            let single = som.bmu(x).unwrap();
+            assert_eq!(m.unit, single.unit);
+            assert_eq!(m.distance.to_bits(), single.distance.to_bits());
+            let naive = som.bmu_scan(x).unwrap();
+            assert_eq!(m.unit, naive.unit);
+            assert!((m.distance - naive.distance).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn norm_cache_is_invalidated_by_training() {
+        let data = four_clusters();
+        let mut som = Som::from_data_sample(3, 3, &data, 23).unwrap();
+        // Prime the Gram cache, then mutate weights through online
+        // training: stale norms would corrupt every subsequent distance.
+        let _ = som.bmu_batch(&data).unwrap();
+        som.train_online(&data, &TrainParams::default()).unwrap();
+        let warm = som.bmu_batch(&data).unwrap();
+        let cold = Som::from_parts(*som.topology(), som.weights().clone(), som.metric())
+            .unwrap()
+            .bmu_batch(&data)
+            .unwrap();
+        assert_eq!(warm.len(), cold.len());
+        for (w, c) in warm.iter().zip(&cold) {
+            assert_eq!(w.unit, c.unit);
+            assert_eq!(w.distance.to_bits(), c.distance.to_bits());
+        }
+    }
+
+    #[test]
+    fn serde_drops_the_cache_but_roundtrips_weights() {
+        let data = four_clusters();
+        let som = Som::from_data_sample(3, 3, &data, 29).unwrap();
+        let _ = som.bmu_batch(&data).unwrap(); // primed cache serializes as null
+        let json = serde_json::to_string(&som).unwrap();
+        let back: Som = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, som);
+        let a = som.bmu(&[0.4, 0.6]).unwrap();
+        let b = back.bmu(&[0.4, 0.6]).unwrap();
+        assert_eq!(a.unit, b.unit);
+        assert_eq!(a.distance.to_bits(), b.distance.to_bits());
     }
 
     #[test]

@@ -116,7 +116,10 @@ impl GridTopology {
     /// Panics if the position is out of bounds.
     #[inline]
     pub fn index(&self, row: usize, col: usize) -> usize {
-        assert!(row < self.rows && col < self.cols, "grid position out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "grid position out of bounds"
+        );
         row * self.cols + col
     }
 
@@ -310,9 +313,18 @@ mod tests {
 
     #[test]
     fn default_radius() {
-        assert_eq!(GridTopology::rectangular(2, 2).unwrap().default_radius(), 1.0);
-        assert_eq!(GridTopology::rectangular(10, 4).unwrap().default_radius(), 5.0);
-        assert_eq!(GridTopology::rectangular(1, 1).unwrap().default_radius(), 1.0);
+        assert_eq!(
+            GridTopology::rectangular(2, 2).unwrap().default_radius(),
+            1.0
+        );
+        assert_eq!(
+            GridTopology::rectangular(10, 4).unwrap().default_radius(),
+            5.0
+        );
+        assert_eq!(
+            GridTopology::rectangular(1, 1).unwrap().default_radius(),
+            1.0
+        );
     }
 
     #[test]

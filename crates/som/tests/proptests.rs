@@ -130,3 +130,147 @@ proptest! {
         }
     }
 }
+
+/// Equivalence and cache-coherence properties of the batched BMU engine.
+mod batched_bmu {
+    use super::*;
+    use mathkit::Metric;
+    use som::topology::GridTopology;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// `bmu_batch` (Gram trick + chunked parallelism) returns exactly
+        /// the unit indices of the naive scan and distances within 1e-9,
+        /// for every metric. Sample counts straddle the parallel chunk
+        /// size so both the single-chunk and multi-chunk code paths run.
+        #[test]
+        fn bmu_batch_matches_naive_scan(
+            seed in 0u64..60,
+            dim in 1usize..8,
+            n in prop_oneof![Just(7usize), Just(100), Just(530)]
+        ) {
+            let data = random_matrix(n, dim, seed);
+            let mut som = Som::from_data_sample(3, 3, &data, seed ^ 0xBEEF).unwrap();
+            for metric in Metric::ALL {
+                som.set_metric(metric);
+                let batch = som.bmu_batch(&data).unwrap();
+                prop_assert_eq!(batch.len(), n);
+                for (x, m) in data.iter_rows().zip(&batch) {
+                    let naive = som.bmu_scan(x).unwrap();
+                    prop_assert_eq!(
+                        m.unit, naive.unit,
+                        "{metric}: batch unit {} != naive {}", m.unit, naive.unit
+                    );
+                    let tol = 1e-9 * naive.distance.abs().max(1.0);
+                    prop_assert!(
+                        (m.distance - naive.distance).abs() <= tol,
+                        "{metric}: batch distance {} vs naive {}",
+                        m.distance,
+                        naive.distance
+                    );
+                    // The single-sample engine is bit-identical to batch.
+                    let single = som.bmu(x).unwrap();
+                    prop_assert_eq!(m.unit, single.unit);
+                    prop_assert_eq!(m.distance.to_bits(), single.distance.to_bits());
+                }
+            }
+        }
+
+        /// Duplicate codebook rows: the batch engine resolves ties exactly
+        /// like the naive scan — the lowest unit index wins.
+        #[test]
+        fn bmu_batch_breaks_ties_like_naive(seed in 0u64..60, dim in 1usize..6) {
+            let data = random_matrix(12, dim, seed);
+            // Codebook whose rows are all duplicated pairs of data rows.
+            let mut rows = Vec::new();
+            for i in 0..3 {
+                rows.push(data.row(i).to_vec());
+                rows.push(data.row(i).to_vec());
+            }
+            let weights = Matrix::from_rows(rows).unwrap();
+            let som = Som::from_parts(
+                GridTopology::rectangular(2, 3).unwrap(),
+                weights,
+                Metric::Euclidean,
+            )
+            .unwrap();
+            let batch = som.bmu_batch(&data).unwrap();
+            for (i, (x, m)) in data.iter_rows().zip(&batch).enumerate() {
+                let naive = som.bmu_scan(x).unwrap();
+                prop_assert_eq!(m.unit, naive.unit, "row {}", i);
+                // Probing exactly a duplicated weight must land on the
+                // lower of the two identical units with distance zero.
+                if i < 3 {
+                    prop_assert_eq!(m.unit, 2 * i);
+                    prop_assert!(m.distance == 0.0, "distance {}", m.distance);
+                }
+            }
+            let pairs = som.bmu_pair_batch(&data).unwrap();
+            for (i, (first, second)) in pairs.iter().enumerate().take(3) {
+                prop_assert_eq!(first.unit, 2 * i);
+                prop_assert_eq!(second.unit, 2 * i + 1, "runner-up is the twin");
+            }
+        }
+
+        /// The transposed-codebook/norm cache is refreshed after training
+        /// mutates the weights: post-training batch results match a map
+        /// rebuilt from the same weights with a cold cache.
+        #[test]
+        fn cached_norms_refresh_after_training(seed in 0u64..60) {
+            let data = random_matrix(50, 3, seed);
+            let mut som = Som::from_data_sample(3, 3, &data, seed).unwrap();
+            // Prime the cache before training.
+            let _ = som.bmu_batch(&data).unwrap();
+            som.train_online(
+                &data,
+                &TrainParams { epochs: 2, shuffle_seed: seed, ..Default::default() },
+            )
+            .unwrap();
+            let warm = som.bmu_batch(&data).unwrap();
+            // A clone through parts shares the weights but starts cold.
+            let cold_map = Som::from_parts(
+                *som.topology(),
+                som.weights().clone(),
+                som.metric(),
+            )
+            .unwrap();
+            let cold = cold_map.bmu_batch(&data).unwrap();
+            for (w, c) in warm.iter().zip(&cold) {
+                prop_assert_eq!(w.unit, c.unit);
+                prop_assert_eq!(w.distance.to_bits(), c.distance.to_bits());
+            }
+            // And batch training refreshes per-epoch as well.
+            let _ = som.bmu_batch(&data).unwrap(); // re-prime
+            som.train_batch(
+                &data,
+                &TrainParams { epochs: 2, ..Default::default() },
+            )
+            .unwrap();
+            let warm2 = som.bmu_batch(&data).unwrap();
+            let cold2 = Som::from_parts(*som.topology(), som.weights().clone(), som.metric())
+                .unwrap()
+                .bmu_batch(&data)
+                .unwrap();
+            for (w, c) in warm2.iter().zip(&cold2) {
+                prop_assert_eq!(w.unit, c.unit);
+                prop_assert_eq!(w.distance.to_bits(), c.distance.to_bits());
+            }
+        }
+
+        /// `bmu_pair_batch` agrees with the sequential two-best reference.
+        #[test]
+        fn bmu_pair_batch_matches_reference(seed in 0u64..40, dim in 1usize..6) {
+            let data = random_matrix(40, dim, seed);
+            let som = Som::from_data_sample(3, 3, &data, seed).unwrap();
+            let pairs = som.bmu_pair_batch(&data).unwrap();
+            for (x, (b1, b2)) in data.iter_rows().zip(&pairs) {
+                prop_assert!(b1.distance <= b2.distance);
+                prop_assert_ne!(b1.unit, b2.unit);
+                // First of the pair is the BMU.
+                let naive = som.bmu_scan(x).unwrap();
+                prop_assert_eq!(b1.unit, naive.unit);
+            }
+        }
+    }
+}

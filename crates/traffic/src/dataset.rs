@@ -140,7 +140,10 @@ impl Dataset {
         let cut = ((shuffled.len() as f64) * fraction).round() as usize;
         let cut = cut.clamp(1, shuffled.len() - 1);
         let second = shuffled.split_off(cut);
-        Ok((Dataset::from_records(shuffled), Dataset::from_records(second)))
+        Ok((
+            Dataset::from_records(shuffled),
+            Dataset::from_records(second),
+        ))
     }
 
     /// Stratified split: each concrete attack type is split at `fraction`
@@ -259,7 +262,10 @@ mod tests {
         let by_cat: usize = ds.counts_by_category().values().sum();
         assert_eq!(by_type, 500);
         assert_eq!(by_cat, 500);
-        assert_eq!(ds.attack_count() + ds.of_category(AttackCategory::Normal).len(), 500);
+        assert_eq!(
+            ds.attack_count() + ds.of_category(AttackCategory::Normal).len(),
+            500
+        );
     }
 
     #[test]

@@ -38,10 +38,7 @@ impl fmt::Display for TrafficError {
                 line,
                 expected,
                 found,
-            } => write!(
-                f,
-                "line {line}: expected {expected} fields, found {found}"
-            ),
+            } => write!(f, "line {line}: expected {expected} fields, found {found}"),
             TrafficError::FieldParse {
                 line,
                 column,

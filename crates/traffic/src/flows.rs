@@ -328,13 +328,17 @@ mod tests {
             client_count: 64,
             episodes: vec![
                 AttackEpisode {
-                    kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+                    kind: EpisodeKind::SynFlood {
+                        target: 0xC0A8_0001,
+                    },
                     start: 20.0,
                     duration: 10.0,
                     rate: 300.0,
                 },
                 AttackEpisode {
-                    kind: EpisodeKind::PortScan { target: 0xC0A8_0002 },
+                    kind: EpisodeKind::PortScan {
+                        target: 0xC0A8_0002,
+                    },
                     start: 40.0,
                     duration: 10.0,
                     rate: 100.0,

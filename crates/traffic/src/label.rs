@@ -269,10 +269,21 @@ mod tests {
 
     #[test]
     fn every_category_has_both_seen_and_unseen_attacks() {
-        for cat in [AttackCategory::Dos, AttackCategory::Probe, AttackCategory::R2l, AttackCategory::U2r] {
+        for cat in [
+            AttackCategory::Dos,
+            AttackCategory::Probe,
+            AttackCategory::R2l,
+            AttackCategory::U2r,
+        ] {
             let types = AttackType::in_category(cat);
-            assert!(types.iter().any(|t| t.is_test_only()), "{cat} lacks unseen types");
-            assert!(types.iter().any(|t| !t.is_test_only()), "{cat} lacks training types");
+            assert!(
+                types.iter().any(|t| t.is_test_only()),
+                "{cat} lacks unseen types"
+            );
+            assert!(
+                types.iter().any(|t| !t.is_test_only()),
+                "{cat} lacks training types"
+            );
         }
     }
 }

@@ -65,7 +65,9 @@ impl MixSpec {
             total += w;
         }
         if total <= 0.0 {
-            return Err(TrafficError::InvalidMix("at least one weight must be positive"));
+            return Err(TrafficError::InvalidMix(
+                "at least one weight must be positive",
+            ));
         }
         Ok(MixSpec { weights })
     }
@@ -283,11 +285,9 @@ mod tests {
         assert!(MixSpec::custom(vec![]).is_err());
         assert!(MixSpec::custom(vec![(AttackType::Normal, -1.0)]).is_err());
         assert!(MixSpec::custom(vec![(AttackType::Normal, 0.0)]).is_err());
-        assert!(MixSpec::custom(vec![
-            (AttackType::Normal, 1.0),
-            (AttackType::Normal, 1.0)
-        ])
-        .is_err());
+        assert!(
+            MixSpec::custom(vec![(AttackType::Normal, 1.0), (AttackType::Normal, 1.0)]).is_err()
+        );
         assert!(MixSpec::custom(vec![(AttackType::Normal, f64::NAN)]).is_err());
         assert!(MixSpec::custom(vec![(AttackType::Normal, 2.0)]).is_ok());
     }

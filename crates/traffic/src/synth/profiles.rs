@@ -158,8 +158,8 @@ fn normal_web<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
         service: Service::Http,
         flag: Flag::Sf,
         duration: sampler::exponential(rng, 0.5).min(60.0),
-        src_bytes: bytes(rng, 5.4, 0.6),  // ~220 B request
-        dst_bytes: bytes(rng, 7.7, 1.2),  // ~2 KB response
+        src_bytes: bytes(rng, 5.4, 0.6), // ~220 B request
+        dst_bytes: bytes(rng, 7.7, 1.2), // ~2 KB response
         logged_in: 1.0,
         ..Default::default()
     };
@@ -209,8 +209,16 @@ fn normal_ftp<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
         service: if data { Service::FtpData } else { Service::Ftp },
         flag: Flag::Sf,
         duration: sampler::exponential(rng, 0.1).min(300.0),
-        src_bytes: if data { bytes(rng, 9.0, 1.8) } else { bytes(rng, 5.0, 0.7) },
-        dst_bytes: if data { bytes(rng, 4.0, 1.0) } else { bytes(rng, 5.5, 0.7) },
+        src_bytes: if data {
+            bytes(rng, 9.0, 1.8)
+        } else {
+            bytes(rng, 5.0, 0.7)
+        },
+        dst_bytes: if data {
+            bytes(rng, 4.0, 1.0)
+        } else {
+            bytes(rng, 5.5, 0.7)
+        },
         logged_in: 1.0,
         ..Default::default()
     };
@@ -252,7 +260,11 @@ fn neptune<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
         } else {
             Service::Http
         },
-        flag: if rng.gen::<f64>() < 0.95 { Flag::S0 } else { Flag::Rej },
+        flag: if rng.gen::<f64>() < 0.95 {
+            Flag::S0
+        } else {
+            Flag::Rej
+        },
         ..Default::default()
     };
     flood_window(&mut rec, rng, 0.99);
@@ -354,7 +366,11 @@ fn apache2<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
     let mut rec = ConnectionRecord {
         protocol: Protocol::Tcp,
         service: Service::Http,
-        flag: if rng.gen::<f64>() < 0.7 { Flag::Sf } else { Flag::Rstr },
+        flag: if rng.gen::<f64>() < 0.7 {
+            Flag::Sf
+        } else {
+            Flag::Rstr
+        },
         duration: sampler::exponential(rng, 0.1).min(200.0),
         src_bytes: sampler::truncated_normal(rng, 30_000.0, 8_000.0, 10_000.0, 80_000.0).round(),
         dst_bytes: 0.0,
@@ -388,7 +404,11 @@ fn processtable<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
     let mut rec = ConnectionRecord {
         protocol: Protocol::Tcp,
         service: Service::Telnet,
-        flag: if rng.gen::<f64>() < 0.6 { Flag::S0 } else { Flag::Sf },
+        flag: if rng.gen::<f64>() < 0.6 {
+            Flag::S0
+        } else {
+            Flag::Sf
+        },
         duration: sampler::log_normal(rng, 5.0, 0.8).min(3600.0),
         src_bytes: 0.0,
         dst_bytes: 0.0,
@@ -491,7 +511,11 @@ fn nmap<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
     let icmp = rng.gen::<f64>() < 0.4;
     let mut rec = ConnectionRecord {
         protocol: if icmp { Protocol::Icmp } else { Protocol::Tcp },
-        service: if icmp { Service::EcoI } else { Service::Private },
+        service: if icmp {
+            Service::EcoI
+        } else {
+            Service::Private
+        },
         flag: if icmp {
             Flag::Sf
         } else {
@@ -518,8 +542,16 @@ fn satan<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
             2 => Service::Finger,
             _ => Service::Other,
         },
-        flag: if rng.gen::<f64>() < 0.6 { Flag::Rej } else { Flag::Sf },
-        src_bytes: if rng.gen::<f64>() < 0.5 { 0.0 } else { bytes(rng, 3.0, 0.8) },
+        flag: if rng.gen::<f64>() < 0.6 {
+            Flag::Rej
+        } else {
+            Flag::Sf
+        },
+        src_bytes: if rng.gen::<f64>() < 0.5 {
+            0.0
+        } else {
+            bytes(rng, 3.0, 0.8)
+        },
         ..Default::default()
     };
     probe_window(&mut rec, rng, 0.8, 0.1, true);
@@ -535,7 +567,11 @@ fn mscan<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
         } else {
             Service::NetbiosNs
         },
-        flag: if rng.gen::<f64>() < 0.5 { Flag::Rej } else { Flag::S0 },
+        flag: if rng.gen::<f64>() < 0.5 {
+            Flag::Rej
+        } else {
+            Flag::S0
+        },
         src_bytes: 0.0,
         ..Default::default()
     };
@@ -564,7 +600,11 @@ fn guess_passwd<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
             1 => Service::Pop3,
             _ => Service::Ftp,
         },
-        flag: if rng.gen::<f64>() < 0.6 { Flag::Sf } else { Flag::Rsto },
+        flag: if rng.gen::<f64>() < 0.6 {
+            Flag::Sf
+        } else {
+            Flag::Rsto
+        },
         duration: sampler::exponential(rng, 0.5).min(60.0),
         src_bytes: bytes(rng, 4.8, 0.4),
         dst_bytes: bytes(rng, 5.5, 0.5),
@@ -600,7 +640,11 @@ fn imap<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
     let mut rec = ConnectionRecord {
         protocol: Protocol::Tcp,
         service: Service::Imap4,
-        flag: if rng.gen::<f64>() < 0.5 { Flag::Rsto } else { Flag::Sf },
+        flag: if rng.gen::<f64>() < 0.5 {
+            Flag::Rsto
+        } else {
+            Flag::Sf
+        },
         duration: sampler::exponential(rng, 1.0).min(30.0),
         src_bytes: bytes(rng, 6.5, 0.5),
         dst_bytes: bytes(rng, 4.5, 0.8),
@@ -762,7 +806,11 @@ fn u2r_session<R: Rng + ?Sized>(rng: &mut R, service: Service) -> ConnectionReco
 }
 
 fn buffer_overflow<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
-    let service = if rng.gen::<f64>() < 0.7 { Service::Telnet } else { Service::Ftp };
+    let service = if rng.gen::<f64>() < 0.7 {
+        Service::Telnet
+    } else {
+        Service::Ftp
+    };
     let mut rec = u2r_session(rng, service);
     rec.hot = count(rng, 2.0) + 1.0;
     rec.root_shell = flip(rng, 0.8);
@@ -790,7 +838,11 @@ fn perl<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
 }
 
 fn rootkit<R: Rng + ?Sized>(rng: &mut R) -> ConnectionRecord {
-    let service = if rng.gen::<f64>() < 0.5 { Service::Telnet } else { Service::Ftp };
+    let service = if rng.gen::<f64>() < 0.5 {
+        Service::Telnet
+    } else {
+        Service::Ftp
+    };
     let mut rec = u2r_session(rng, service);
     rec.num_root = count(rng, 2.0);
     rec.num_file_creations = count(rng, 2.0);

@@ -305,7 +305,9 @@ mod tests {
                 server_count: 8,
                 client_count: 32,
                 episodes: vec![AttackEpisode {
-                    kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+                    kind: EpisodeKind::SynFlood {
+                        target: 0xC0A8_0001,
+                    },
                     start: 10.0,
                     duration: 5.0,
                     rate: 400.0,
@@ -330,7 +332,9 @@ mod tests {
                 server_count: 8,
                 client_count: 32,
                 episodes: vec![AttackEpisode {
-                    kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+                    kind: EpisodeKind::SynFlood {
+                        target: 0xC0A8_0001,
+                    },
                     start: 10.0,
                     duration: 20.0,
                     rate: 500.0,

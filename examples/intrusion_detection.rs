@@ -123,11 +123,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .zip(test.iter())
         .find(|(x, rec)| rec.is_attack() && ghsom.is_anomalous(x).unwrap_or(false))
     {
-        let explanation = detect::explain::explain(
-            ghsom.labeled().model(),
-            pipeline.schema(),
-            x,
-        )?;
+        let explanation = detect::explain::explain(ghsom.labeled().model(), pipeline.schema(), x)?;
         println!(
             "why was this {} record flagged? top feature deviations:\n{}",
             rec.label,

@@ -86,8 +86,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut line = String::new();
         for c in 0..topo.cols() {
             let v = umatrix[topo.index(r, c)] / max;
-            let shade = shades[((v * (shades.len() - 1) as f64).round() as usize)
-                .min(shades.len() - 1)];
+            let shade =
+                shades[((v * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1)];
             line.push(shade);
             line.push(shade);
         }

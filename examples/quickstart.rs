@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nresults on {} held-out records:", metrics.total());
     println!("  detection rate       {:.4}", metrics.detection_rate());
-    println!("  false positive rate  {:.4}", metrics.false_positive_rate());
+    println!(
+        "  false positive rate  {:.4}",
+        metrics.false_positive_rate()
+    );
     println!("  precision            {:.4}", metrics.precision());
     println!("  F1                   {:.4}", metrics.f1());
     println!("  accuracy             {:.4}", metrics.accuracy());

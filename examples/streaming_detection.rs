@@ -26,13 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             client_count: 256,
             episodes: vec![
                 AttackEpisode {
-                    kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+                    kind: EpisodeKind::SynFlood {
+                        target: 0xC0A8_0001,
+                    },
                     start: 60.0,
                     duration: 20.0,
                     rate: 500.0,
                 },
                 AttackEpisode {
-                    kind: EpisodeKind::PortScan { target: 0xC0A8_0003 },
+                    kind: EpisodeKind::PortScan {
+                        target: 0xC0A8_0003,
+                    },
                     start: 120.0,
                     duration: 20.0,
                     rate: 120.0,
@@ -67,13 +71,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         client_count: 256,
         episodes: vec![
             AttackEpisode {
-                kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+                kind: EpisodeKind::SynFlood {
+                    target: 0xC0A8_0001,
+                },
                 start: 40.0,
                 duration: 15.0,
                 rate: 500.0,
             },
             AttackEpisode {
-                kind: EpisodeKind::PortScan { target: 0xC0A8_0002 },
+                kind: EpisodeKind::PortScan {
+                    target: 0xC0A8_0002,
+                },
                 start: 85.0,
                 duration: 15.0,
                 rate: 120.0,
@@ -105,7 +113,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n  window      flows   attacks   flagged   flag-rate");
     println!("  ------------------------------------------------------");
     for b in 0..12 {
-        let marker = if bucket_truth[b] > 0 { "  << attack" } else { "" };
+        let marker = if bucket_truth[b] > 0 {
+            "  << attack"
+        } else {
+            ""
+        };
         println!(
             "  {:>3}-{:<4}s {:>7} {:>9} {:>9}   {:>6.3}{marker}",
             b * 10,

@@ -1,0 +1,309 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the subset of the criterion API this workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, throughput
+//! annotations, `bench_function`/`bench_with_input`, `Bencher::iter`).
+//! Measurement is deliberately simple: an adaptive warm-up picks an
+//! iteration count targeting a fixed sample duration, then a fixed number
+//! of samples are timed and summarized by median. Results print to stdout
+//! and append to `target/shim-criterion/<group>.json` for downstream
+//! tooling (e.g. `BENCH_1.json` perf trajectories).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration measurement driver passed to bench closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median ns/iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: find an iteration count that takes ≥ ~25 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(25) || iters >= 1 << 24 {
+                break;
+            }
+            let scale = if elapsed.as_nanos() == 0 {
+                100
+            } else {
+                (Duration::from_millis(30).as_nanos() / elapsed.as_nanos()).max(2) as u64
+            };
+            iters = iters.saturating_mul(scale).min(1 << 24);
+        }
+        // Sampling.
+        const SAMPLES: usize = 7;
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[SAMPLES / 2];
+    }
+}
+
+/// Throughput annotation for a group (reported alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One measured result.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    id: String,
+    ns_per_iter: f64,
+    throughput: Option<Throughput>,
+}
+
+/// The top-level harness state.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        run_one(self, String::new(), id.to_string(), None, f);
+    }
+
+    /// Prints the summary table and writes the JSON sidecar files.
+    pub fn final_summary(&self) {
+        let mut by_group: std::collections::BTreeMap<&str, Vec<&Record>> = Default::default();
+        for r in &self.records {
+            by_group.entry(r.group.as_str()).or_default().push(r);
+        }
+        for (group, records) in by_group {
+            let path = sidecar_path(group);
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let mut json = String::from("[\n");
+            for (i, r) in records.iter().enumerate() {
+                if i > 0 {
+                    json.push_str(",\n");
+                }
+                json.push_str(&format!(
+                    "  {{\"group\": \"{}\", \"id\": \"{}\", \"ns_per_iter\": {:.1}{}}}",
+                    r.group,
+                    r.id,
+                    r.ns_per_iter,
+                    match r.throughput {
+                        Some(Throughput::Elements(n)) => format!(
+                            ", \"elements\": {n}, \"elements_per_sec\": {:.1}",
+                            n as f64 / (r.ns_per_iter * 1e-9)
+                        ),
+                        Some(Throughput::Bytes(n)) => format!(", \"bytes\": {n}"),
+                        None => String::new(),
+                    }
+                ));
+            }
+            json.push_str("\n]\n");
+            let _ = std::fs::write(&path, json);
+            println!("# results written to {}", path.display());
+        }
+    }
+}
+
+fn sidecar_path(group: &str) -> std::path::PathBuf {
+    let safe: String = group
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let name = if safe.is_empty() {
+        "ungrouped".to_string()
+    } else {
+        safe
+    };
+    std::path::PathBuf::from("target/shim-criterion").join(format!("{name}.json"))
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &mut Criterion,
+    group: String,
+    id: String,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        ns_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.clone()
+    } else {
+        format!("{group}/{id}")
+    };
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 / (b.ns_per_iter * 1e-9) / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.3} MiB/s)",
+                n as f64 / (b.ns_per_iter * 1e-9) / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("{label:<48} {:>14.1} ns/iter{extra}", b.ns_per_iter);
+    criterion.records.push(Record {
+        group,
+        id,
+        ns_per_iter: b.ns_per_iter,
+        throughput,
+    });
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benches with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for criterion compatibility; the shim's sample count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility; the shim's timing is adaptive.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benches a function within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            self.criterion,
+            self.name.clone(),
+            id.into().id,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Benches a function parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            self.criterion,
+            self.name.clone(),
+            id.into().id,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (results are flushed by `final_summary`).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}

@@ -1,0 +1,454 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim.
+//!
+//! The container this workspace builds in has no crates.io access, so this
+//! macro is written against `proc_macro` alone — no `syn`, no `quote`. It
+//! parses the subset of Rust item grammar the workspace actually contains:
+//!
+//! * structs with named fields (optionally generic over type parameters),
+//! * unit structs,
+//! * enums whose variants are unit or struct-like (named fields),
+//! * `#[serde(with = "module")]` on named fields, which routes the field
+//!   through `module::serialize(&field) -> serde::Value` and
+//!   `module::deserialize(&serde::Value) -> Result<T, serde::Error>`.
+//!
+//! Tuple structs and tuple enum variants are rejected with a compile error
+//! naming the offending item, so unsupported shapes fail loudly instead of
+//! silently misserializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated code parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated code parses")
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other}"),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i);
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                generics,
+                shape: Shape::Struct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                name,
+                generics,
+                shape: Shape::UnitStruct,
+            },
+            _ => panic!("serde derive: tuple struct `{name}` is not supported"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                generics,
+                shape: Shape::Enum(parse_variants(g.stream())),
+            },
+            _ => panic!("serde derive: malformed enum `{name}`"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Skips leading outer attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(_)) => *i += 1,
+                    _ => panic!("serde derive: malformed attribute"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<T, U>` type parameters (lifetimes/const generics unsupported).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            Some(TokenTree::Ident(id)) if expect_param && depth == 1 => {
+                params.push(id.to_string());
+                expect_param = false;
+            }
+            Some(_) => {}
+            None => panic!("serde derive: unterminated generics"),
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Parses the body of a braced struct / struct variant into fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let mut with = None;
+        // Attributes: capture #[serde(with = "...")], skip everything else.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    i += 1;
+                    match tokens.get(i) {
+                        Some(TokenTree::Group(g)) => {
+                            if let Some(w) = parse_serde_with(g.stream()) {
+                                with = Some(w);
+                            }
+                            i += 1;
+                        }
+                        _ => panic!("serde derive: malformed field attribute"),
+                    }
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, found {other}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle = 0i64;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+/// Extracts `with = "path"` from the inside of a `#[serde(...)]` attribute,
+/// if this attribute is one.
+fn parse_serde_with(stream: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g.stream().into_iter().collect::<Vec<_>>(),
+        _ => return None,
+    };
+    match (inner.first(), inner.get(1), inner.get(2)) {
+        (
+            Some(TokenTree::Ident(key)),
+            Some(TokenTree::Punct(eq)),
+            Some(TokenTree::Literal(lit)),
+        ) if key.to_string() == "with" && eq.as_char() == '=' => {
+            let s = lit.to_string();
+            Some(s.trim_matches('"').to_string())
+        }
+        _ => panic!(
+            "serde derive: only `#[serde(with = \"module\")]` is supported, got `{:?}`",
+            inner.iter().map(ToString::to_string).collect::<Vec<_>>()
+        ),
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde derive: tuple variant `{name}` is not supported")
+            }
+            _ => None,
+        };
+        // Skip an optional discriminant `= expr` and the trailing comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// --- code generation -------------------------------------------------------
+
+fn generics_decl(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let decl = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let use_ = item.generics.join(", ");
+        (format!("<{decl}>"), format!("<{use_}>"))
+    }
+}
+
+fn ser_field_expr(field: &Field, access: &str) -> String {
+    match &field.with {
+        Some(path) => format!("{path}::serialize({access})"),
+        None => format!("::serde::Serialize::to_value({access})"),
+    }
+}
+
+fn de_field_expr(field: &Field, map_var: &str) -> String {
+    let name = &field.name;
+    match &field.with {
+        Some(path) => {
+            format!("{name}: {path}::deserialize(::serde::map_get({map_var}, \"{name}\")?)?")
+        }
+        None => format!(
+            "{name}: ::serde::Deserialize::from_value(::serde::map_get({map_var}, \"{name}\")?)?"
+        ),
+    }
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let (impl_g, ty_g) = generics_decl(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Struct(fields) => {
+            let mut s = String::from("let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                let expr = ser_field_expr(f, &format!("&self.{}", f.name));
+                s.push_str(&format!(
+                    "__m.push((\"{}\".to_string(), {expr}));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Map(__m)");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    Some(fields) => {
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            let expr = ser_field_expr(f, &f.name);
+                            pushes.push_str(&format!(
+                                "__m.push((\"{}\".to_string(), {expr}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                             {pushes}\
+                             ::serde::Value::Map(vec![(\"{v}\".to_string(), ::serde::Value::Map(__m))])\n\
+                             }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let (impl_g, ty_g) = generics_decl(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| de_field_expr(f, "__m"))
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+                 Ok({name} {{\n{inits}\n}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    None => {
+                        unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n", v = v.name))
+                    }
+                    Some(fields) => {
+                        let inits = fields
+                            .iter()
+                            .map(|f| de_field_expr(f, "__m"))
+                            .collect::<Vec<_>>()
+                            .join(",\n");
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __m = __inner.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected map for {name}::{v}\"))?;\n\
+                             Ok({name}::{v} {{\n{inits}\n}})\n\
+                             }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"expected {name}, got {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_g} ::serde::Deserialize for {name}{ty_g} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

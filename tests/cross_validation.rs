@@ -58,10 +58,7 @@ fn stratified_cv_of_the_hybrid_detector_is_stable() {
         assert!(f1 > 0.95, "fold {i} F1 {f1}");
     }
     let mean = f1s.iter().sum::<f64>() / f1s.len() as f64;
-    let spread = f1s
-        .iter()
-        .map(|f| (f - mean).abs())
-        .fold(0.0f64, f64::max);
+    let spread = f1s.iter().map(|f| (f - mean).abs()).fold(0.0f64, f64::max);
     assert!(spread < 0.03, "fold F1 spread {spread} (values {f1s:?})");
 }
 
@@ -77,11 +74,7 @@ fn cv_folds_respect_class_stratification_end_to_end() {
     let overall_normal =
         labels_idx.iter().filter(|&&c| c == 0).count() as f64 / labels_idx.len() as f64;
     for fold in &folds {
-        let fold_normal = fold
-            .test
-            .iter()
-            .filter(|&&i| labels_idx[i] == 0)
-            .count() as f64
+        let fold_normal = fold.test.iter().filter(|&&i| labels_idx[i] == 0).count() as f64
             / fold.test.len() as f64;
         assert!(
             (fold_normal - overall_normal).abs() < 0.05,

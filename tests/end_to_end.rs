@@ -84,7 +84,10 @@ fn unseen_attack_types_are_still_detected() {
             }
         }
     }
-    assert!(total > 20, "test set should contain unseen attacks, got {total}");
+    assert!(
+        total > 20,
+        "test set should contain unseen attacks, got {total}"
+    );
     let rate = caught as f64 / total as f64;
     // Unseen types are harder; still require well above chance.
     assert!(rate > 0.5, "unseen-attack detection rate {rate}");

@@ -97,7 +97,13 @@ fn constant_feature_data_degenerates_gracefully() {
 #[test]
 fn pathological_tau_values_are_rejected_not_looped() {
     let (_, _, x, _) = tiny_train();
-    for (tau1, tau2) in [(0.0, 0.03), (1.0, 0.03), (0.3, 0.0), (0.3, 1.01), (f64::NAN, 0.5)] {
+    for (tau1, tau2) in [
+        (0.0, 0.03),
+        (1.0, 0.03),
+        (0.3, 0.0),
+        (0.3, 1.01),
+        (f64::NAN, 0.5),
+    ] {
         let config = GhsomConfig {
             tau1,
             tau2,
@@ -114,8 +120,7 @@ fn pathological_tau_values_are_rejected_not_looped() {
 fn malformed_csv_is_reported_with_line_numbers() {
     let good = {
         let mut gen =
-            traffic::synth::TrafficGenerator::new(traffic::synth::MixSpec::kdd_train(), 3)
-                .unwrap();
+            traffic::synth::TrafficGenerator::new(traffic::synth::MixSpec::kdd_train(), 3).unwrap();
         traffic::csv::to_line(&gen.sample())
     };
     // Field-count error on line 2.

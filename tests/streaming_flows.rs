@@ -18,13 +18,17 @@ fn trained_detector(seed: u64) -> (KddPipeline, HybridGhsomDetector) {
             client_count: 128,
             episodes: vec![
                 AttackEpisode {
-                    kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+                    kind: EpisodeKind::SynFlood {
+                        target: 0xC0A8_0001,
+                    },
                     start: 40.0,
                     duration: 15.0,
                     rate: 400.0,
                 },
                 AttackEpisode {
-                    kind: EpisodeKind::PortScan { target: 0xC0A8_0002 },
+                    kind: EpisodeKind::PortScan {
+                        target: 0xC0A8_0002,
+                    },
                     start: 80.0,
                     duration: 15.0,
                     rate: 100.0,
@@ -61,7 +65,9 @@ fn simulate(seed: u64) -> (Vec<traffic::flows::FlowEvent>, Dataset) {
             server_count: 32,
             client_count: 128,
             episodes: vec![AttackEpisode {
-                kind: EpisodeKind::SynFlood { target: 0xC0A8_0001 },
+                kind: EpisodeKind::SynFlood {
+                    target: 0xC0A8_0001,
+                },
                 start: 30.0,
                 duration: 20.0,
                 rate: 400.0,
@@ -115,17 +121,17 @@ fn streaming_detector_catches_the_flood_window() {
             }
         }
     }
-    assert!(attack_total > 1_000, "flood should dominate: {attack_total}");
+    assert!(
+        attack_total > 1_000,
+        "flood should dominate: {attack_total}"
+    );
     let attack_rate = attack_flagged as f64 / attack_total as f64;
     let quiet_rate = quiet_flagged as f64 / quiet_total.max(1) as f64;
     assert!(
         attack_rate > 0.9,
         "flood flows flagged at only {attack_rate}"
     );
-    assert!(
-        quiet_rate < 0.2,
-        "quiet traffic flagged at {quiet_rate}"
-    );
+    assert!(quiet_rate < 0.2, "quiet traffic flagged at {quiet_rate}");
     assert!(attack_rate > 4.0 * quiet_rate);
 }
 
@@ -139,12 +145,12 @@ fn entropy_series_separates_attack_windows() {
     let quiet_windows: Vec<_> = series.iter().filter(|w| w.attack_fraction == 0.0).collect();
     assert!(!attack_windows.is_empty());
     assert!(!quiet_windows.is_empty());
-    let mean = |ws: &[&featurize::entropywin::EntropyWindow], f: fn(&featurize::entropywin::EntropyWindow) -> f64| {
+    let mean = |ws: &[&featurize::entropywin::EntropyWindow],
+                f: fn(&featurize::entropywin::EntropyWindow) -> f64| {
         ws.iter().map(|w| f(w)).sum::<f64>() / ws.len() as f64
     };
     assert!(
-        mean(&attack_windows, |w| w.src_ip_entropy)
-            > mean(&quiet_windows, |w| w.src_ip_entropy)
+        mean(&attack_windows, |w| w.src_ip_entropy) > mean(&quiet_windows, |w| w.src_ip_entropy)
     );
 }
 
