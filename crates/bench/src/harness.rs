@@ -205,7 +205,23 @@ pub fn fit_all_detectors(
     })
 }
 
-/// Binary evaluation of one detector on the test set.
+/// Moves a fitted hybrid detector onto the compiled serving plane
+/// (labels and threshold transfer unchanged; projections are
+/// bit-identical).
+///
+/// # Errors
+///
+/// Compilation errors propagate.
+pub fn compile_detector(
+    detector: &HybridGhsomDetector,
+) -> Result<HybridGhsomDetector<ghsom_serve::CompiledGhsom>, ghsom_serve::ServeError> {
+    use ghsom_serve::Compile;
+    Ok(detector.with_scorer(detector.labeled().model().compile()?))
+}
+
+/// Binary evaluation of one detector on the test set, through the batched
+/// verdict path ([`Detector::is_anomalous_all`] — one grouped hierarchy
+/// traversal for GHSOM-backed detectors instead of a projection per row).
 ///
 /// # Errors
 ///
@@ -214,11 +230,10 @@ pub fn evaluate_binary(
     detector: &dyn Detector,
     data: &ExperimentData,
 ) -> Result<evalkit::BinaryMetrics, DetectError> {
-    let mut metrics = evalkit::BinaryMetrics::new();
-    for (x, &truth) in data.x_test.iter_rows().zip(&data.test_truth) {
-        metrics.record(truth, detector.is_anomalous(x)?);
-    }
-    Ok(metrics)
+    let verdicts = detector.is_anomalous_all(&data.x_test)?;
+    Ok(evalkit::BinaryMetrics::from_pairs(
+        data.test_truth.iter().copied().zip(verdicts),
+    ))
 }
 
 /// Per-category detection rates of one detector (recall per attack
@@ -298,6 +313,24 @@ mod tests {
         assert_eq!(rows.len(), 5);
         let total: usize = rows.iter().map(|(_, _, n)| n).sum();
         assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn compiled_detector_reproduces_tree_metrics() {
+        let data = prepare(&small_run()).unwrap();
+        let model = train_default_model(&data, 1).unwrap();
+        let det = HybridGhsomDetector::fit(
+            model,
+            &data.x_train,
+            &data.train_categories,
+            CALIBRATION_PERCENTILE,
+        )
+        .unwrap();
+        let served = compile_detector(&det).unwrap();
+        let tree = evaluate_binary(&det, &data).unwrap();
+        let flat = evaluate_binary(&served, &data).unwrap();
+        // The serving plane is bit-identical: every confusion cell agrees.
+        assert_eq!(tree, flat);
     }
 
     #[test]

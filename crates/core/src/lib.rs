@@ -53,10 +53,12 @@ pub mod config;
 pub mod error;
 pub mod growing;
 pub mod model;
+pub mod scorer;
 pub mod stats;
 
 pub use config::{GhsomConfig, TrainingMode};
 pub use error::GhsomError;
 pub use growing::GrowingGrid;
 pub use model::{GhsomModel, MapNode, PathStep, Projection};
+pub use scorer::Scorer;
 pub use stats::{GrowthEvent, GrowthLog, TopologyStats};

@@ -41,6 +41,45 @@ pub struct MapNode {
 }
 
 impl MapNode {
+    /// Builds a node from explicit parts — used by [`GhsomModel::from_parts`]
+    /// to assemble hierarchies outside the growth procedure (tests,
+    /// benchmarks, model import).
+    ///
+    /// # Errors
+    ///
+    /// [`GhsomError::InvalidConfig`] when `children`, `unit_hits` or
+    /// `unit_mqe` do not have one entry per SOM unit, or `depth` is zero.
+    pub fn new(
+        som: Som,
+        depth: usize,
+        parent: Option<(usize, usize)>,
+        children: Vec<Option<usize>>,
+        unit_hits: Vec<usize>,
+        unit_mqe: Vec<f64>,
+    ) -> Result<Self, GhsomError> {
+        if depth == 0 {
+            return Err(GhsomError::InvalidConfig {
+                name: "depth",
+                reason: "layer-1 maps have depth 1",
+            });
+        }
+        let units = som.len();
+        if children.len() != units || unit_hits.len() != units || unit_mqe.len() != units {
+            return Err(GhsomError::InvalidConfig {
+                name: "children/unit_hits/unit_mqe",
+                reason: "must have one entry per unit",
+            });
+        }
+        Ok(MapNode {
+            som,
+            depth,
+            parent,
+            children,
+            unit_hits,
+            unit_mqe,
+        })
+    }
+
     /// The trained map.
     pub fn som(&self) -> &Som {
         &self.som
@@ -99,6 +138,19 @@ pub struct Projection {
 }
 
 impl Projection {
+    /// Builds a projection from explicit hops (root first) — the
+    /// constructor alternative hierarchy representations (e.g. the compiled
+    /// serving arena) use to report paths in the same shape the tree does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty: a projection always has at least the
+    /// root hop.
+    pub fn from_steps(steps: Vec<PathStep>) -> Self {
+        assert!(!steps.is_empty(), "projections have at least one step");
+        Projection { steps }
+    }
+
     /// All hops, root first.
     pub fn steps(&self) -> &[PathStep] {
         &self.steps
@@ -292,6 +344,88 @@ impl GhsomModel {
         }
 
         Ok(model)
+    }
+
+    /// Assembles a model from explicit parts, bypassing training — for
+    /// tests, benchmarks and model import. Node 0 must be the root.
+    ///
+    /// The growth log of an assembled model is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`GhsomError::EmptyInput`] when `nodes` is empty;
+    /// [`GhsomError::DimensionMismatch`] when any map's codebook width
+    /// differs from `mean`; [`GhsomError::InvalidConfig`] when parent/child
+    /// links or depths are inconsistent (root must have depth 1 and no
+    /// parent, every child link must point past its parent at depth + 1 and
+    /// be mirrored by the child's parent link), or `mqe0` is not finite and
+    /// non-negative.
+    pub fn from_parts(
+        config: GhsomConfig,
+        mean: Vec<f64>,
+        mqe0: f64,
+        nodes: Vec<MapNode>,
+    ) -> Result<Self, GhsomError> {
+        if nodes.is_empty() {
+            return Err(GhsomError::EmptyInput);
+        }
+        if !(mqe0.is_finite() && mqe0 >= 0.0) {
+            return Err(GhsomError::InvalidConfig {
+                name: "mqe0",
+                reason: "must be finite and non-negative",
+            });
+        }
+        if nodes[0].parent.is_some() || nodes[0].depth != 1 {
+            return Err(GhsomError::InvalidConfig {
+                name: "nodes",
+                reason: "node 0 must be the depth-1 root with no parent",
+            });
+        }
+        for (idx, node) in nodes.iter().enumerate() {
+            if node.som.dim() != mean.len() {
+                return Err(GhsomError::DimensionMismatch {
+                    expected: mean.len(),
+                    found: node.som.dim(),
+                });
+            }
+            if idx > 0 && node.parent.is_none() {
+                return Err(GhsomError::InvalidConfig {
+                    name: "nodes",
+                    reason: "only node 0 may lack a parent",
+                });
+            }
+            if let Some((pnode, punit)) = node.parent {
+                let valid = pnode < idx
+                    && punit < nodes[pnode].children.len()
+                    && nodes[pnode].children[punit] == Some(idx)
+                    && node.depth == nodes[pnode].depth + 1;
+                if !valid {
+                    return Err(GhsomError::InvalidConfig {
+                        name: "nodes",
+                        reason: "parent link must be mirrored by the parent at depth + 1",
+                    });
+                }
+            }
+            for (unit, &child) in node.children.iter().enumerate() {
+                let Some(child) = child else { continue };
+                let valid =
+                    child > idx && child < nodes.len() && nodes[child].parent == Some((idx, unit));
+                if !valid {
+                    return Err(GhsomError::InvalidConfig {
+                        name: "nodes",
+                        reason: "child links must point forward to nodes that link back",
+                    });
+                }
+            }
+        }
+        Ok(GhsomModel {
+            config,
+            mean,
+            mqe0,
+            nodes,
+            root: 0,
+            growth_log: GrowthLog::new(),
+        })
     }
 
     /// The configuration the model was trained with.

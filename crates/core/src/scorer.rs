@@ -1,0 +1,196 @@
+//! The [`Scorer`] abstraction over GHSOM representations.
+//!
+//! A trained hierarchy exists in two shapes in this workspace: the
+//! training-time node tree ([`GhsomModel`]) and the serving-time flattened
+//! arena (`ghsom_serve::CompiledGhsom`). Both answer exactly the same
+//! inference questions — project a sample root→leaf, score whole matrices,
+//! expose unit prototypes — so the detection layer is written against this
+//! trait and accepts either representation. Implementations must agree
+//! *bit-for-bit* on projections: a detector fitted on the tree (leaf keys,
+//! thresholds) serves unchanged on the compiled plane.
+
+use std::borrow::Cow;
+
+use mathkit::Matrix;
+
+use crate::model::{GhsomModel, Projection};
+use crate::GhsomError;
+
+/// Read-only inference over a trained GHSOM, independent of how the
+/// hierarchy is stored.
+///
+/// Node indices are the breadth-first creation order of training (root is
+/// node 0) and are stable across representations: `(node, unit)` leaf keys
+/// computed on one implementation are valid on any other compiled from the
+/// same model.
+pub trait Scorer {
+    /// Input dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Number of maps in the hierarchy.
+    fn map_count(&self) -> usize;
+
+    /// Number of units in map `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    fn map_units(&self, node: usize) -> usize;
+
+    /// Node index of the child map expanded from `(node, unit)`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `unit` is out of bounds.
+    fn child_of(&self, node: usize, unit: usize) -> Option<usize>;
+
+    /// Weight vector of `(node, unit)` — borrowed where the representation
+    /// stores row-major weights, gathered otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or `unit` is out of bounds.
+    fn unit_prototype(&self, node: usize, unit: usize) -> Cow<'_, [f64]>;
+
+    /// All of map `node`'s weight vectors, row-major in original unit
+    /// order (`map_units(node) × dim`) — the bulk form consumers scanning
+    /// a whole map (e.g. nearest-labelled-unit fallbacks) should prefer
+    /// over per-unit [`Scorer::unit_prototype`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    fn map_weights(&self, node: usize) -> Cow<'_, [f64]> {
+        let dim = self.dim();
+        let mut out = Vec::with_capacity(self.map_units(node) * dim);
+        for unit in 0..self.map_units(node) {
+            out.extend_from_slice(&self.unit_prototype(node, unit));
+        }
+        Cow::Owned(out)
+    }
+
+    /// Projects one sample root→leaf.
+    ///
+    /// # Errors
+    ///
+    /// [`GhsomError::DimensionMismatch`] on a sample of the wrong width.
+    fn project(&self, x: &[f64]) -> Result<Projection, GhsomError>;
+
+    /// Projects every row of a matrix root→leaf (the bulk path).
+    ///
+    /// # Errors
+    ///
+    /// [`GhsomError::DimensionMismatch`] on samples of the wrong width.
+    fn project_batch(&self, data: &Matrix) -> Result<Vec<Projection>, GhsomError>;
+
+    /// Leaf quantization error of every row — the detectors' bulk scoring
+    /// path. The default materializes [`Scorer::project_batch`];
+    /// implementations with a cheaper leaf-only walk override it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scorer::project_batch`].
+    fn score_matrix(&self, data: &Matrix) -> Result<Vec<f64>, GhsomError> {
+        Ok(self
+            .project_batch(data)?
+            .into_iter()
+            .map(|p| p.leaf_qe())
+            .collect())
+    }
+}
+
+impl Scorer for GhsomModel {
+    fn dim(&self) -> usize {
+        GhsomModel::dim(self)
+    }
+
+    fn map_count(&self) -> usize {
+        GhsomModel::map_count(self)
+    }
+
+    fn map_units(&self, node: usize) -> usize {
+        self.nodes()[node].som().len()
+    }
+
+    fn child_of(&self, node: usize, unit: usize) -> Option<usize> {
+        self.nodes()[node].child_of_unit(unit)
+    }
+
+    fn unit_prototype(&self, node: usize, unit: usize) -> Cow<'_, [f64]> {
+        Cow::Borrowed(self.nodes()[node].som().unit_weight(unit))
+    }
+
+    fn map_weights(&self, node: usize) -> Cow<'_, [f64]> {
+        Cow::Borrowed(self.nodes()[node].som().weights().as_slice())
+    }
+
+    fn project(&self, x: &[f64]) -> Result<Projection, GhsomError> {
+        GhsomModel::project(self, x)
+    }
+
+    fn project_batch(&self, data: &Matrix) -> Result<Vec<Projection>, GhsomError> {
+        GhsomModel::project_batch(self, data)
+    }
+
+    fn score_matrix(&self, data: &Matrix) -> Result<Vec<f64>, GhsomError> {
+        GhsomModel::score_matrix(self, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GhsomConfig;
+
+    fn model() -> GhsomModel {
+        let rows: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                let c = (i % 3) as f64 * 4.0;
+                vec![c + (i % 7) as f64 * 0.01, c + (i % 5) as f64 * 0.01]
+            })
+            .collect();
+        let data = Matrix::from_rows(rows).unwrap();
+        GhsomModel::train(
+            &GhsomConfig {
+                tau1: 0.4,
+                tau2: 0.1,
+                seed: 11,
+                ..Default::default()
+            },
+            &data,
+        )
+        .unwrap()
+    }
+
+    /// The trait impl must answer exactly like the inherent methods.
+    #[test]
+    fn trait_matches_inherent_methods() {
+        let m = model();
+        let scorer: &dyn Scorer = &m;
+        assert_eq!(scorer.dim(), 2);
+        assert_eq!(scorer.map_count(), m.map_count());
+        for (i, node) in m.nodes().iter().enumerate() {
+            assert_eq!(scorer.map_units(i), node.som().len());
+            for u in 0..node.som().len() {
+                assert_eq!(scorer.child_of(i, u), node.child_of_unit(u));
+                assert_eq!(
+                    scorer.unit_prototype(i, u).as_ref(),
+                    node.som().unit_weight(u)
+                );
+            }
+        }
+        let x = [0.05, 0.02];
+        assert_eq!(scorer.project(&x).unwrap(), m.project(&x).unwrap());
+    }
+
+    #[test]
+    fn default_score_matrix_matches_projections() {
+        let m = model();
+        let data = Matrix::from_rows(vec![vec![0.0, 0.0], vec![4.0, 4.0], vec![8.0, 8.0]]).unwrap();
+        let scorer: &dyn Scorer = &m;
+        let scores = scorer.score_matrix(&data).unwrap();
+        for (x, &s) in data.iter_rows().zip(&scores) {
+            assert_eq!(m.project(x).unwrap().leaf_qe(), s);
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! names from the fitted pipeline's schema.
 
 use featurize::FeatureSchema;
-use ghsom_core::GhsomModel;
+use ghsom_core::Scorer;
 use serde::{Deserialize, Serialize};
 
 use crate::DetectError;
@@ -71,7 +71,9 @@ impl Explanation {
     }
 }
 
-/// Explains a record's projection against a trained model.
+/// Explains a record's projection against a trained model — either the
+/// training-time tree or the compiled serving arena (any
+/// [`Scorer`]).
 ///
 /// `schema` must be the schema of the pipeline that produced `x` (its
 /// length must match the model's input dimensionality).
@@ -80,8 +82,8 @@ impl Explanation {
 ///
 /// [`DetectError::DimensionMismatch`] when `x` or the schema width differ
 /// from the model; projection errors propagate.
-pub fn explain(
-    model: &GhsomModel,
+pub fn explain<M: Scorer + ?Sized>(
+    model: &M,
     schema: &FeatureSchema,
     x: &[f64],
 ) -> Result<Explanation, DetectError> {
@@ -93,10 +95,10 @@ pub fn explain(
     }
     let projection = model.project(x)?;
     let (node, unit) = projection.leaf_key();
-    let prototype = model.nodes()[node].som().unit_weight(unit);
+    let prototype = model.unit_prototype(node, unit);
     let mut deviations: Vec<FeatureDeviation> = x
         .iter()
-        .zip(prototype)
+        .zip(prototype.as_ref())
         .enumerate()
         .map(|(index, (&value, &proto))| {
             let d = value - proto;
@@ -125,7 +127,7 @@ pub fn explain(
 mod tests {
     use super::*;
     use featurize::{KddPipeline, PipelineConfig};
-    use ghsom_core::GhsomConfig;
+    use ghsom_core::{GhsomConfig, GhsomModel};
     use traffic::synth::{MixSpec, TrafficGenerator};
     use traffic::AttackType;
 

@@ -8,6 +8,7 @@
 //! attack-labelled/dead, or its leaf quantization error exceeds the
 //! calibrated threshold.
 
+use ghsom_core::{GhsomModel, Scorer};
 use mathkit::Matrix;
 use serde::{Deserialize, Serialize};
 use traffic::AttackCategory;
@@ -16,13 +17,17 @@ use crate::labeled::LabeledGhsomDetector;
 use crate::{Classifier, DetectError, Detector};
 
 /// Labels + QE threshold combined.
+///
+/// Generic over the hierarchy representation `M` like its
+/// [`LabeledGhsomDetector`] core: fit on the training tree, then serve
+/// from the compiled arena via [`HybridGhsomDetector::with_scorer`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct HybridGhsomDetector {
-    inner: LabeledGhsomDetector,
+pub struct HybridGhsomDetector<M = GhsomModel> {
+    inner: LabeledGhsomDetector<M>,
     threshold: f64,
 }
 
-impl HybridGhsomDetector {
+impl<M: Scorer> HybridGhsomDetector<M> {
     /// Fits the label layer on `train`/`labels` and calibrates the QE
     /// threshold at `percentile` of the scores of the *normal subset* of
     /// the training data.
@@ -33,7 +38,7 @@ impl HybridGhsomDetector {
     /// [`DetectError::EmptyInput`] when there are no records (or no normal
     /// records to calibrate on); model errors propagate.
     pub fn fit(
-        model: ghsom_core::GhsomModel,
+        model: M,
         train: &Matrix,
         labels: &[AttackCategory],
         percentile: f64,
@@ -68,12 +73,21 @@ impl HybridGhsomDetector {
     }
 
     /// The wrapped labelled detector.
-    pub fn labeled(&self) -> &LabeledGhsomDetector {
+    pub fn labeled(&self) -> &LabeledGhsomDetector<M> {
         &self.inner
+    }
+
+    /// Moves the fitted labels and threshold onto another representation
+    /// of the *same* hierarchy (typically `model.compile()`d for serving).
+    pub fn with_scorer<N: Scorer>(&self, model: N) -> HybridGhsomDetector<N> {
+        HybridGhsomDetector {
+            inner: self.inner.with_scorer(model),
+            threshold: self.threshold,
+        }
     }
 }
 
-impl Detector for HybridGhsomDetector {
+impl<M: Scorer> Detector for HybridGhsomDetector<M> {
     /// Verdict-consistent anomaly score. Attack-labelled leaves score in
     /// `(2, 3]`; normal-labelled leaves score by their QE relative to the
     /// calibrated threshold, mapped into `[0, 2)` such that `score > 1`
@@ -127,9 +141,25 @@ impl Detector for HybridGhsomDetector {
             })
             .collect())
     }
+
+    /// Scores and verdicts from **one** hierarchy traversal and one label
+    /// lookup per sample — the streaming hot path.
+    fn score_and_flag_all(&self, data: &Matrix) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
+        let projections = self.inner.model().project_batch(data)?;
+        let mut scores = Vec::with_capacity(projections.len());
+        let mut flags = Vec::with_capacity(projections.len());
+        for (p, x) in projections.iter().zip(data.iter_rows()) {
+            let classification = self.inner.classify_key(p.leaf_key(), x);
+            let normal = matches!(classification, Some(AttackCategory::Normal));
+            let score = crate::verdict_score(p.leaf_qe(), self.threshold, normal);
+            scores.push(score);
+            flags.push(!normal || p.leaf_qe() > self.threshold);
+        }
+        Ok((scores, flags))
+    }
 }
 
-impl Classifier for HybridGhsomDetector {
+impl<M: Scorer> Classifier for HybridGhsomDetector<M> {
     fn classify(&self, x: &[f64]) -> Result<Option<AttackCategory>, DetectError> {
         let label = self.inner.classify(x)?;
         // A "normal" verdict is overturned when the QE layer trips; the

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use ghsom_core::GhsomModel;
+use ghsom_core::{GhsomModel, Scorer};
 use mathkit::Matrix;
 use serde::{Deserialize, Serialize};
 use traffic::AttackCategory;
@@ -58,9 +58,15 @@ pub enum DeadUnitPolicy {
 }
 
 /// GHSOM with majority-vote leaf labels.
+///
+/// Generic over the hierarchy representation `M` (the [`GhsomModel`] tree
+/// by default, or the compiled serving arena): leaf `(node, unit)` keys
+/// are identical across representations, so a label table fitted on the
+/// tree serves unchanged on the compiled plane via
+/// [`LabeledGhsomDetector::with_scorer`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LabeledGhsomDetector {
-    model: GhsomModel,
+pub struct LabeledGhsomDetector<M = GhsomModel> {
+    model: M,
     /// Majority category per leaf `(node, unit)`.
     #[serde(with = "leaf_map")]
     labels: HashMap<(usize, usize), AttackCategory>,
@@ -71,7 +77,7 @@ pub struct LabeledGhsomDetector {
     policy: DeadUnitPolicy,
 }
 
-impl LabeledGhsomDetector {
+impl<M: Scorer> LabeledGhsomDetector<M> {
     /// Labels the model's leaf units from training data.
     ///
     /// # Errors
@@ -79,11 +85,7 @@ impl LabeledGhsomDetector {
     /// [`DetectError::DimensionMismatch`] when `labels.len() !=
     /// train.rows()`; [`DetectError::EmptyInput`] on empty data; model
     /// errors propagate.
-    pub fn fit(
-        model: GhsomModel,
-        train: &Matrix,
-        labels: &[AttackCategory],
-    ) -> Result<Self, DetectError> {
+    pub fn fit(model: M, train: &Matrix, labels: &[AttackCategory]) -> Result<Self, DetectError> {
         Self::fit_with_policy(model, train, labels, DeadUnitPolicy::default())
     }
 
@@ -93,7 +95,7 @@ impl LabeledGhsomDetector {
     ///
     /// Same conditions as [`LabeledGhsomDetector::fit`].
     pub fn fit_with_policy(
-        model: GhsomModel,
+        model: M,
         train: &Matrix,
         labels: &[AttackCategory],
         policy: DeadUnitPolicy,
@@ -107,9 +109,10 @@ impl LabeledGhsomDetector {
                 found: labels.len(),
             });
         }
+        // One batched hierarchy traversal labels the whole training set.
         let mut tallies: HashMap<(usize, usize), HashMap<AttackCategory, usize>> = HashMap::new();
-        for (x, &label) in train.iter_rows().zip(labels) {
-            let key = model.project(x)?.leaf_key();
+        for (projection, &label) in model.project_batch(train)?.iter().zip(labels) {
+            let key = projection.leaf_key();
             *tallies.entry(key).or_default().entry(label).or_insert(0) += 1;
         }
         let mut unit_labels = HashMap::with_capacity(tallies.len());
@@ -141,13 +144,14 @@ impl LabeledGhsomDetector {
     /// Label of the nearest labelled unit (by weight distance to `x`) in
     /// the given map, if the map has any labelled units.
     fn nearest_labelled_in_node(&self, node: usize, x: &[f64]) -> Option<AttackCategory> {
-        let som = self.model.nodes()[node].som();
+        let weights = self.model.map_weights(node);
+        let dim = self.model.dim();
         let mut best: Option<(f64, AttackCategory)> = None;
-        for unit in 0..som.len() {
+        for unit in 0..self.model.map_units(node) {
             let Some(&label) = self.labels.get(&(node, unit)) else {
                 continue;
             };
-            let d = mathkit::distance::sq_euclidean(x, som.unit_weight(unit));
+            let d = mathkit::distance::sq_euclidean(x, &weights[unit * dim..(unit + 1) * dim]);
             match best {
                 Some((bd, _)) if d >= bd => {}
                 _ => best = Some((d, label)),
@@ -197,8 +201,21 @@ impl LabeledGhsomDetector {
     }
 
     /// The underlying trained model.
-    pub fn model(&self) -> &GhsomModel {
+    pub fn model(&self) -> &M {
         &self.model
+    }
+
+    /// Moves the fitted label/confidence tables onto another
+    /// representation of the *same* hierarchy (typically
+    /// `model.compile()`d for serving). Leaf keys transfer unchanged
+    /// because projections agree bit-for-bit.
+    pub fn with_scorer<N: Scorer>(&self, model: N) -> LabeledGhsomDetector<N> {
+        LabeledGhsomDetector {
+            model,
+            labels: self.labels.clone(),
+            confidence: self.confidence.clone(),
+            policy: self.policy,
+        }
     }
 
     /// Number of labelled leaf units.
@@ -226,7 +243,7 @@ impl LabeledGhsomDetector {
     }
 }
 
-impl Detector for LabeledGhsomDetector {
+impl<M: Scorer> Detector for LabeledGhsomDetector<M> {
     /// Verdict-consistent anomaly score: records on attack-labelled (or
     /// unresolvable) leaves score in `(1, 2]`, records on normal-labelled
     /// leaves score in `[0, 1)` ordered by leaf quantization error. The
@@ -272,9 +289,22 @@ impl Detector for LabeledGhsomDetector {
             .map(|c| !matches!(c, Some(AttackCategory::Normal)))
             .collect())
     }
+
+    /// Scores and verdicts from one hierarchy traversal.
+    fn score_and_flag_all(&self, data: &Matrix) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
+        let projections = self.model.project_batch(data)?;
+        let mut scores = Vec::with_capacity(projections.len());
+        let mut flags = Vec::with_capacity(projections.len());
+        for (p, x) in projections.iter().zip(data.iter_rows()) {
+            let classification = self.classify_key(p.leaf_key(), x);
+            scores.push(Self::score_from(p.leaf_qe(), classification));
+            flags.push(!matches!(classification, Some(AttackCategory::Normal)));
+        }
+        Ok((scores, flags))
+    }
 }
 
-impl Classifier for LabeledGhsomDetector {
+impl<M: Scorer> Classifier for LabeledGhsomDetector<M> {
     fn classify(&self, x: &[f64]) -> Result<Option<AttackCategory>, DetectError> {
         let key = self.model.project(x)?.leaf_key();
         Ok(self.classify_key(key, x))

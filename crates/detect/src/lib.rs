@@ -105,6 +105,24 @@ pub trait Detector {
     fn is_anomalous_all(&self, data: &mathkit::Matrix) -> Result<Vec<bool>, DetectError> {
         data.iter_rows().map(|x| self.is_anomalous(x)).collect()
     }
+
+    /// Scores **and** verdicts for a whole matrix in one call — the shape
+    /// streaming consumers want. The default runs the two batched methods
+    /// back to back; model-backed detectors override it to derive both
+    /// from a single hierarchy traversal. Overrides must produce exactly
+    /// the per-sample scores and verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Per-sample errors from [`Detector::score`] /
+    /// [`Detector::is_anomalous`].
+    #[allow(clippy::type_complexity)]
+    fn score_and_flag_all(
+        &self,
+        data: &mathkit::Matrix,
+    ) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
+        Ok((self.score_all(data)?, self.is_anomalous_all(data)?))
+    }
 }
 
 /// The shared verdict-consistent score convention of the labelled

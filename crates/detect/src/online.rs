@@ -24,19 +24,33 @@ pub struct StreamVerdict {
     pub threshold: f64,
 }
 
-/// Counters describing a stream session.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// A consistent snapshot of a stream session.
+///
+/// Produced by [`StreamingDetector::stats`] under **one** lock
+/// acquisition, so the counters and the score-baseline moments always
+/// belong to the same instant: a concurrent [`StreamingDetector::reset`]
+/// or `observe` can never produce a snapshot whose `tracked` comes from
+/// after the reset while `score_mean`/`score_std` come from before (a
+/// torn pair).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StreamStats {
     /// Records observed.
     pub seen: u64,
     /// Records flagged anomalous.
     pub flagged: u64,
+    /// Unflagged records feeding the adaptive baseline.
+    pub tracked: u64,
+    /// Mean of the tracked scores (`0.0` when `tracked == 0`).
+    pub score_mean: f64,
+    /// Population σ of the tracked scores (`0.0` when `tracked == 0`).
+    pub score_std: f64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Default)]
 struct StreamState {
     scores: Welford,
-    stats: StreamStats,
+    seen: u64,
+    flagged: u64,
 }
 
 /// A streaming wrapper around any detector.
@@ -81,10 +95,7 @@ impl<D: Detector> StreamingDetector<D> {
             inner: detector,
             k_sigma,
             warmup,
-            state: Mutex::new(StreamState {
-                scores: Welford::new(),
-                stats: StreamStats::default(),
-            }),
+            state: Mutex::new(StreamState::default()),
         }
     }
 
@@ -117,9 +128,9 @@ impl<D: Detector> StreamingDetector<D> {
         } else {
             self.inner.is_anomalous(x)?
         };
-        state.stats.seen += 1;
+        state.seen += 1;
         if anomalous {
-            state.stats.flagged += 1;
+            state.flagged += 1;
         } else {
             state.scores.push(score);
         }
@@ -133,20 +144,19 @@ impl<D: Detector> StreamingDetector<D> {
     /// Observes a whole burst of records in arrival order.
     ///
     /// Scoring and inner verdicts run through the wrapped detector's
-    /// batched [`Detector::score_all`] / [`Detector::is_anomalous_all`]
-    /// (parallel under the `rayon` feature, and one hierarchy traversal
-    /// each for the GHSOM detectors); the adaptive-threshold state then
-    /// updates sequentially per record, so the verdicts are identical to
-    /// calling [`StreamingDetector::observe`] row by row.
+    /// batched [`Detector::score_and_flag_all`] (parallel under the
+    /// `rayon` feature, and **one** hierarchy traversal for the GHSOM
+    /// detectors); the adaptive-threshold state then updates sequentially
+    /// per record, so the verdicts are identical to calling
+    /// [`StreamingDetector::observe`] row by row.
     ///
     /// # Errors
     ///
     /// Scoring errors from the wrapped detector propagate; state is not
-    /// updated in that case (both batched calls complete before any state
+    /// updated in that case (the batched call completes before any state
     /// changes).
     pub fn observe_batch(&self, data: &mathkit::Matrix) -> Result<Vec<StreamVerdict>, DetectError> {
-        let scores = self.inner.score_all(data)?;
-        let inner_flags = self.inner.is_anomalous_all(data)?;
+        let (scores, inner_flags) = self.inner.score_and_flag_all(data)?;
         let mut state = self.state.lock();
         let mut verdicts = Vec::with_capacity(scores.len());
         for (score, inner_flag) in scores.into_iter().zip(inner_flags) {
@@ -161,9 +171,9 @@ impl<D: Detector> StreamingDetector<D> {
             } else {
                 inner_flag
             };
-            state.stats.seen += 1;
+            state.seen += 1;
             if anomalous {
-                state.stats.flagged += 1;
+                state.flagged += 1;
             } else {
                 state.scores.push(score);
             }
@@ -176,17 +186,25 @@ impl<D: Detector> StreamingDetector<D> {
         Ok(verdicts)
     }
 
-    /// Session counters.
+    /// A consistent snapshot of the session counters *and* the adaptive
+    /// score baseline, taken under a single lock acquisition (see
+    /// [`StreamStats`]).
     pub fn stats(&self) -> StreamStats {
-        self.state.lock().stats
+        let state = self.state.lock();
+        let tracked = state.scores.count();
+        StreamStats {
+            seen: state.seen,
+            flagged: state.flagged,
+            tracked,
+            score_mean: state.scores.mean(),
+            score_std: state.scores.population_std(),
+        }
     }
 
     /// Resets the adaptive state and counters (the wrapped detector is
     /// untouched).
     pub fn reset(&self) {
-        let mut state = self.state.lock();
-        state.scores = Welford::new();
-        state.stats = StreamStats::default();
+        *self.state.lock() = StreamState::default();
     }
 }
 
@@ -287,6 +305,75 @@ mod tests {
         assert!(s.stats().seen > 0);
         s.reset();
         assert_eq!(s.stats(), StreamStats::default());
+    }
+
+    #[test]
+    fn stats_report_the_score_baseline() {
+        let s = stream();
+        let data = normal_line(120, 9);
+        for x in data.iter_rows() {
+            s.observe(x).unwrap();
+        }
+        let stats = s.stats();
+        assert_eq!(stats.seen, 120);
+        assert_eq!(stats.tracked + stats.flagged, stats.seen);
+        assert!(stats.tracked > 0);
+        assert!(stats.score_mean.is_finite() && stats.score_mean >= 0.0);
+        assert!(stats.score_std.is_finite() && stats.score_std >= 0.0);
+    }
+
+    /// Regression test: `stats()` must snapshot counters and the mean/σ
+    /// pair under ONE lock acquisition. With split reads, a concurrent
+    /// `reset()` could produce `tracked == 0` alongside a stale non-zero
+    /// mean (a torn pair); this hammers observe/reset/stats concurrently
+    /// and asserts every snapshot is internally consistent.
+    #[test]
+    fn stats_never_tear_under_concurrent_reset() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let s = Arc::new(stream());
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..2 {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let data = normal_line(200, 10 + t);
+                while !stop.load(Ordering::Relaxed) {
+                    for x in data.iter_rows() {
+                        s.observe(x).unwrap();
+                    }
+                }
+            }));
+        }
+        {
+            let s = Arc::clone(&s);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    s.reset();
+                    std::thread::yield_now();
+                }
+            }));
+        }
+        for _ in 0..2_000 {
+            let snap = s.stats();
+            assert!(
+                snap.tracked + snap.flagged == snap.seen,
+                "torn counters: {snap:?}"
+            );
+            if snap.tracked == 0 {
+                // Freshly reset: the moments must be reset too, not stale.
+                assert_eq!(snap.score_mean, 0.0, "torn mean/σ pair: {snap:?}");
+                assert_eq!(snap.score_std, 0.0, "torn mean/σ pair: {snap:?}");
+            } else {
+                assert!(snap.score_mean.is_finite() && snap.score_std.is_finite());
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! model of *normal* traffic geometry, so a record that cannot be quantized
 //! well anywhere in the hierarchy is anomalous.
 
-use ghsom_core::GhsomModel;
+use ghsom_core::{GhsomModel, Scorer};
 use mathkit::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -13,15 +13,22 @@ use crate::{DetectError, Detector};
 
 /// GHSOM + calibrated QE threshold.
 ///
+/// Generic over the hierarchy representation: `M` is the training-time
+/// tree ([`GhsomModel`], the default) or the compiled serving arena
+/// (`ghsom_serve::CompiledGhsom`) — fit on the tree, then move the fitted
+/// threshold onto the compiled plane with
+/// [`QeThresholdDetector::with_scorer`]. Verdicts are identical on both
+/// (projections are bit-identical by construction).
+///
 /// See the [crate-level example](crate) for end-to-end usage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct QeThresholdDetector {
-    model: GhsomModel,
+pub struct QeThresholdDetector<M = GhsomModel> {
+    model: M,
     threshold: f64,
     percentile: f64,
 }
 
-impl QeThresholdDetector {
+impl<M: Scorer> QeThresholdDetector<M> {
     /// Calibrates the threshold at the given percentile of the leaf-QE
     /// scores of `normal_data` (records known/assumed to be benign).
     ///
@@ -34,11 +41,7 @@ impl QeThresholdDetector {
     /// [`DetectError::InvalidParameter`] for a percentile outside `(0, 1]`;
     /// [`DetectError::EmptyInput`] for empty calibration data; model
     /// errors propagate.
-    pub fn fit(
-        model: GhsomModel,
-        normal_data: &Matrix,
-        percentile: f64,
-    ) -> Result<Self, DetectError> {
+    pub fn fit(model: M, normal_data: &Matrix, percentile: f64) -> Result<Self, DetectError> {
         if !(percentile > 0.0 && percentile <= 1.0) {
             return Err(DetectError::InvalidParameter {
                 name: "percentile",
@@ -63,7 +66,7 @@ impl QeThresholdDetector {
     ///
     /// [`DetectError::InvalidParameter`] when `threshold` is not finite
     /// and non-negative.
-    pub fn with_threshold(model: GhsomModel, threshold: f64) -> Result<Self, DetectError> {
+    pub fn with_threshold(model: M, threshold: f64) -> Result<Self, DetectError> {
         if !threshold.is_finite() || threshold < 0.0 {
             return Err(DetectError::InvalidParameter {
                 name: "threshold",
@@ -78,7 +81,7 @@ impl QeThresholdDetector {
     }
 
     /// The underlying trained model.
-    pub fn model(&self) -> &GhsomModel {
+    pub fn model(&self) -> &M {
         &self.model
     }
 
@@ -92,9 +95,20 @@ impl QeThresholdDetector {
     pub fn percentile(&self) -> f64 {
         self.percentile
     }
+
+    /// Moves the fitted threshold onto another representation of the
+    /// *same* hierarchy (typically `model.compile()`d for serving).
+    /// Thresholds transfer unchanged because projections agree bit-for-bit.
+    pub fn with_scorer<N: Scorer>(&self, model: N) -> QeThresholdDetector<N> {
+        QeThresholdDetector {
+            model,
+            threshold: self.threshold,
+            percentile: self.percentile,
+        }
+    }
 }
 
-impl Detector for QeThresholdDetector {
+impl<M: Scorer> Detector for QeThresholdDetector<M> {
     fn score(&self, x: &[f64]) -> Result<f64, DetectError> {
         Ok(self.model.project(x)?.leaf_qe())
     }
@@ -120,6 +134,13 @@ impl Detector for QeThresholdDetector {
             .into_iter()
             .map(|s| s > self.threshold)
             .collect())
+    }
+
+    /// One traversal: verdicts are thresholded scores.
+    fn score_and_flag_all(&self, data: &Matrix) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
+        let scores = self.score_all(data)?;
+        let flags = scores.iter().map(|&s| s > self.threshold).collect();
+        Ok((scores, flags))
     }
 }
 

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use ghsom_core::GhsomModel;
+use ghsom_core::{GhsomModel, Scorer};
 use mathkit::Matrix;
 use serde::{Deserialize, Serialize};
 use traffic::AttackType;
@@ -43,14 +43,18 @@ mod leaf_map {
 }
 
 /// GHSOM leaf units labelled with concrete attack types.
+///
+/// Generic over the hierarchy representation `M` (the [`GhsomModel`] tree
+/// by default, or the compiled serving arena via
+/// [`TypedGhsomClassifier::with_scorer`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TypedGhsomClassifier {
-    model: GhsomModel,
+pub struct TypedGhsomClassifier<M = GhsomModel> {
+    model: M,
     #[serde(with = "leaf_map")]
     labels: HashMap<(usize, usize), AttackType>,
 }
 
-impl TypedGhsomClassifier {
+impl<M: Scorer> TypedGhsomClassifier<M> {
     /// Labels the model's leaves with the majority attack type of the
     /// training records mapped to each.
     ///
@@ -58,11 +62,7 @@ impl TypedGhsomClassifier {
     ///
     /// [`DetectError::DimensionMismatch`] when `labels.len() !=
     /// train.rows()`; [`DetectError::EmptyInput`] on empty data.
-    pub fn fit(
-        model: GhsomModel,
-        train: &Matrix,
-        labels: &[AttackType],
-    ) -> Result<Self, DetectError> {
+    pub fn fit(model: M, train: &Matrix, labels: &[AttackType]) -> Result<Self, DetectError> {
         if train.rows() == 0 {
             return Err(DetectError::EmptyInput);
         }
@@ -73,8 +73,8 @@ impl TypedGhsomClassifier {
             });
         }
         let mut tallies: HashMap<(usize, usize), HashMap<AttackType, usize>> = HashMap::new();
-        for (x, &label) in train.iter_rows().zip(labels) {
-            let key = model.project(x)?.leaf_key();
+        for (projection, &label) in model.project_batch(train)?.iter().zip(labels) {
+            let key = projection.leaf_key();
             *tallies.entry(key).or_default().entry(label).or_insert(0) += 1;
         }
         let labels_map = tallies
@@ -96,8 +96,17 @@ impl TypedGhsomClassifier {
     }
 
     /// The underlying trained model.
-    pub fn model(&self) -> &GhsomModel {
+    pub fn model(&self) -> &M {
         &self.model
+    }
+
+    /// Moves the fitted type labels onto another representation of the
+    /// *same* hierarchy (typically `model.compile()`d for serving).
+    pub fn with_scorer<N: Scorer>(&self, model: N) -> TypedGhsomClassifier<N> {
+        TypedGhsomClassifier {
+            model,
+            labels: self.labels.clone(),
+        }
     }
 
     /// Number of labelled leaves.
@@ -140,13 +149,14 @@ impl TypedGhsomClassifier {
             return Some(label);
         }
         // Nearest labelled unit in the same map.
-        let som = self.model.nodes()[key.0].som();
+        let weights = self.model.map_weights(key.0);
+        let dim = self.model.dim();
         let mut best: Option<(f64, AttackType)> = None;
-        for unit in 0..som.len() {
+        for unit in 0..self.model.map_units(key.0) {
             let Some(&label) = self.labels.get(&(key.0, unit)) else {
                 continue;
             };
-            let d = mathkit::distance::sq_euclidean(x, som.unit_weight(unit));
+            let d = mathkit::distance::sq_euclidean(x, &weights[unit * dim..(unit + 1) * dim]);
             match best {
                 Some((bd, _)) if d >= bd => {}
                 _ => best = Some((d, label)),

@@ -1,0 +1,104 @@
+//! Microkernel-level comparison of the Gram-trick nearest-row engines:
+//! the 4-sample block ([`batch::gram_nearest_block`], the tree engine's
+//! kernel), the wide 8-sample block ([`batch::gram_nearest_block8`]) and
+//! the norm-pruned search ([`batch::gram_nearest_block_pruned`], the
+//! serving plane's kernel), on the acceptance shape (1024 units, dim 41,
+//! 10k samples).
+//!
+//! Isolated here so kernel changes can be measured without building the
+//! whole workspace. End-to-end numbers live in `ghsom-bench`'s `serving`
+//! bench and `BENCH_2.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mathkit::{batch, Matrix};
+
+fn lcg_matrix(rows: usize, cols: usize, mut state: u64) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect();
+    Matrix::from_flat(rows, cols, data).unwrap()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    const DIM: usize = 41;
+    const UNITS: usize = 1024;
+    const SAMPLES: usize = 10_000;
+    let w = lcg_matrix(UNITS, DIM, 7);
+    let x = lcg_matrix(SAMPLES, DIM, 99);
+    let wt = batch::pack_codebook(&w);
+    let wn = batch::half_row_norms_sq(&w);
+
+    // Norm-sorted layout for the pruned search.
+    let mut order: Vec<usize> = (0..UNITS).collect();
+    order.sort_by(|&a, &b| wn[a].partial_cmp(&wn[b]).unwrap().then(a.cmp(&b)));
+    let sorted = Matrix::from_rows(order.iter().map(|&u| w.row(u).to_vec()).collect()).unwrap();
+    let swt = batch::pack_codebook(&sorted);
+    let swn = batch::half_row_norms_sq(&sorted);
+    let perm: Vec<u32> = order.iter().map(|&u| u as u32).collect();
+
+    // The kernels must agree bit-for-bit before we time them.
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let mut p = Vec::new();
+    batch::gram_nearest_block(x.as_slice(), DIM, &wt, &wn, &mut a);
+    batch::gram_nearest_block8(x.as_slice(), DIM, &wt, &wn, &mut b);
+    batch::gram_nearest_block_pruned(x.as_slice(), DIM, &swt, &swn, &perm, &mut p);
+    assert_eq!(a, b);
+    assert_eq!(a, p);
+
+    let mut group = c.benchmark_group("gram_kernels");
+    group.throughput(Throughput::Elements(SAMPLES as u64));
+    group.bench_function("block4", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::with_capacity(SAMPLES);
+            batch::gram_nearest_block(x.as_slice(), DIM, &wt, &wn, &mut out);
+            black_box(out)
+        });
+    });
+    group.bench_function("block8", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::with_capacity(SAMPLES);
+            batch::gram_nearest_block8(x.as_slice(), DIM, &wt, &wn, &mut out);
+            black_box(out)
+        });
+    });
+    group.bench_function("pruned", |bench| {
+        bench.iter(|| {
+            let mut out = Vec::with_capacity(SAMPLES);
+            batch::gram_nearest_block_pruned(x.as_slice(), DIM, &swt, &swn, &perm, &mut out);
+            black_box(out)
+        });
+    });
+    // The chunked shape the batch engines actually run (512-sample work
+    // chunks): isolates the cost of chunking from the kernel itself.
+    group.bench_function("pruned_chunk512", |bench| {
+        bench.iter(|| {
+            let mut acc = 0usize;
+            let mut s = 0;
+            while s < SAMPLES {
+                let e = (s + 512).min(SAMPLES);
+                let mut out = Vec::with_capacity(e - s);
+                batch::gram_nearest_block_pruned(
+                    &x.as_slice()[s * DIM..e * DIM],
+                    DIM,
+                    &swt,
+                    &swn,
+                    &perm,
+                    &mut out,
+                );
+                acc += out.len();
+                s = e;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

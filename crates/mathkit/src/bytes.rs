@@ -1,0 +1,201 @@
+//! Little-endian byte-layout helpers for binary model snapshots.
+//!
+//! The serving plane persists compiled models as sectioned binary files
+//! (see `ghsom_serve::snapshot` for the wire format). This module holds
+//! the representation-agnostic pieces: fixed little-endian scalar
+//! encode/decode, bulk slice encode/decode, 8-byte alignment arithmetic,
+//! and the FNV-1a-64 checksum the snapshot header carries. Everything here
+//! is safe code; zero-copy reinterpretation of mapped bytes lives with the
+//! format owner.
+//!
+//! All multi-byte values are **little-endian** on every target; on the
+//! dominant LE platforms the bulk paths compile down to `memcpy`.
+
+/// Rounds `offset` up to the next multiple of `align`.
+///
+/// # Panics
+///
+/// Panics if `align` is zero or the result overflows `usize`.
+pub fn align_up(offset: usize, align: usize) -> usize {
+    assert!(align > 0, "alignment must be positive");
+    offset
+        .checked_add(align - 1)
+        .expect("aligned offset overflows usize")
+        / align
+        * align
+}
+
+/// Appends `v` as 8 little-endian bytes.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` as 4 little-endian bytes.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends `v` as 8 little-endian bytes (IEEE-754 bit pattern, exact).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a whole slice of `u32`s.
+pub fn put_u32s(out: &mut Vec<u8>, vs: &[u32]) {
+    out.reserve(vs.len() * 4);
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+
+/// Appends a whole slice of `u64`s.
+pub fn put_u64s(out: &mut Vec<u8>, vs: &[u64]) {
+    out.reserve(vs.len() * 8);
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+/// Appends a whole slice of `f64`s (bit patterns, exact roundtrip).
+pub fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    out.reserve(vs.len() * 8);
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+/// Reads a little-endian `u64` at `offset`, or `None` past the end.
+pub fn get_u64(bytes: &[u8], offset: usize) -> Option<u64> {
+    let end = offset.checked_add(8)?;
+    let b: [u8; 8] = bytes.get(offset..end)?.try_into().ok()?;
+    Some(u64::from_le_bytes(b))
+}
+
+/// Reads a little-endian `u32` at `offset`, or `None` past the end.
+pub fn get_u32(bytes: &[u8], offset: usize) -> Option<u32> {
+    let end = offset.checked_add(4)?;
+    let b: [u8; 4] = bytes.get(offset..end)?.try_into().ok()?;
+    Some(u32::from_le_bytes(b))
+}
+
+/// Reads a little-endian `f64` at `offset`, or `None` past the end.
+pub fn get_f64(bytes: &[u8], offset: usize) -> Option<f64> {
+    get_u64(bytes, offset).map(f64::from_bits)
+}
+
+/// Decodes a whole little-endian `u32` section.
+///
+/// Returns `None` when `bytes` is not a multiple of 4 long.
+pub fn get_u32s(bytes: &[u8]) -> Option<Vec<u32>> {
+    if !bytes.len().is_multiple_of(4) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
+            .collect(),
+    )
+}
+
+/// Decodes a whole little-endian `u64` section.
+///
+/// Returns `None` when `bytes` is not a multiple of 8 long.
+pub fn get_u64s(bytes: &[u8]) -> Option<Vec<u64>> {
+    if !bytes.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect(),
+    )
+}
+
+/// Decodes a whole little-endian `f64` section (exact bit patterns).
+///
+/// Returns `None` when `bytes` is not a multiple of 8 long.
+pub fn get_f64s(bytes: &[u8]) -> Option<Vec<f64>> {
+    Some(get_u64s(bytes)?.into_iter().map(f64::from_bits).collect())
+}
+
+/// FNV-1a 64-bit checksum.
+///
+/// Deliberately simple: the snapshot checksum defends against truncation
+/// and bit rot, not adversaries. Stable across platforms and releases —
+/// this function is part of the snapshot wire format.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn align_up_rounds_to_multiples() {
+        assert_eq!(align_up(0, 8), 0);
+        assert_eq!(align_up(1, 8), 8);
+        assert_eq!(align_up(8, 8), 8);
+        assert_eq!(align_up(9, 8), 16);
+        assert_eq!(align_up(13, 4), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "alignment must be positive")]
+    fn align_up_rejects_zero() {
+        align_up(1, 0);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX - 1);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::NAN);
+        assert_eq!(get_u64(&buf, 0), Some(u64::MAX - 1));
+        assert_eq!(get_u32(&buf, 8), Some(0xDEAD_BEEF));
+        assert_eq!(get_f64(&buf, 12).unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(get_f64(&buf, 20).unwrap().is_nan());
+        // Out-of-range reads fail instead of panicking.
+        assert_eq!(get_u64(&buf, buf.len() - 4), None);
+        assert_eq!(get_u32(&buf, usize::MAX - 1), None);
+    }
+
+    #[test]
+    fn slices_roundtrip_exactly() {
+        let f = [1.5, -2.25, f64::MIN_POSITIVE, 0.1 + 0.2];
+        let u = [0u32, 1, u32::MAX];
+        let w = [7u64, u64::MAX];
+        let mut buf = Vec::new();
+        put_f64s(&mut buf, &f);
+        put_u32s(&mut buf, &u);
+        put_u64s(&mut buf, &w);
+        let back_f = get_f64s(&buf[..32]).unwrap();
+        for (a, b) in f.iter().zip(&back_f) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(get_u32s(&buf[32..44]).unwrap(), u);
+        assert_eq!(get_u64s(&buf[44..]).unwrap(), w);
+        // Ragged sections are rejected.
+        assert_eq!(get_f64s(&buf[..31]), None);
+        assert_eq!(get_u32s(&buf[..3]), None);
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod bytes;
 pub mod distance;
 pub mod entropy;
 pub mod error;

@@ -1,0 +1,155 @@
+//! Error type of the serving plane: compilation and snapshot decoding.
+
+use std::fmt;
+
+/// Errors produced while compiling, saving, loading or serving a model.
+///
+/// Snapshot decoding never panics on hostile bytes: every malformed input
+/// maps to one of the typed variants below.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Sample width differs from the compiled model.
+    DimensionMismatch {
+        /// Model dimensionality.
+        expected: usize,
+        /// Sample dimensionality.
+        found: usize,
+    },
+    /// The model uses a metric the Gram-trick arena cannot serve.
+    UnsupportedMetric {
+        /// Display name of the offending metric.
+        metric: String,
+    },
+    /// The snapshot does not start with the `GHSOMSNP` magic.
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// The byte buffer is shorter than the header or its declared length.
+    Truncated {
+        /// Bytes the snapshot declares (or the header requires).
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes as read.
+        found: u64,
+    },
+    /// The snapshot parses but violates a structural invariant.
+    Malformed(&'static str),
+    /// A zero-copy view needs 8-byte-aligned bytes (e.g. an mmap-ed file);
+    /// decode with `CompiledGhsom::from_bytes` instead, which copies.
+    Misaligned,
+    /// Filesystem I/O failed.
+    Io(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::DimensionMismatch { expected, found } => write!(
+                f,
+                "dimension mismatch: model is {expected}-d, sample is {found}-d"
+            ),
+            ServeError::UnsupportedMetric { metric } => write!(
+                f,
+                "metric `{metric}` is not servable by the Gram-trick arena (Euclidean only)"
+            ),
+            ServeError::BadMagic => write!(f, "not a GHSOM snapshot (bad magic)"),
+            ServeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot version {found} is not supported (this build reads <= {supported})"
+            ),
+            ServeError::Truncated { needed, got } => {
+                write!(f, "snapshot truncated: need {needed} bytes, got {got}")
+            }
+            ServeError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: header {expected:#018x}, payload {found:#018x}"
+            ),
+            ServeError::Malformed(reason) => write!(f, "malformed snapshot: {reason}"),
+            ServeError::Misaligned => write!(
+                f,
+                "zero-copy snapshot view requires 8-byte-aligned bytes; use from_bytes to copy"
+            ),
+            ServeError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+impl From<ServeError> for ghsom_core::GhsomError {
+    /// Maps serving errors into the core error space for the
+    /// [`ghsom_core::Scorer`] trait implementations (whose methods return
+    /// [`ghsom_core::GhsomError`]). Only width mismatches can actually
+    /// occur during arena walks; everything else folds into
+    /// `InvalidConfig` to stay total.
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::DimensionMismatch { expected, found } => {
+                ghsom_core::GhsomError::DimensionMismatch { expected, found }
+            }
+            _ => ghsom_core::GhsomError::InvalidConfig {
+                name: "compiled model",
+                reason: "serving-plane operation failed",
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_actionable() {
+        assert!(ServeError::BadMagic.to_string().contains("magic"));
+        assert!(ServeError::Truncated { needed: 9, got: 3 }
+            .to_string()
+            .contains("need 9"));
+        assert!(ServeError::UnsupportedVersion {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains("version 9"));
+        assert!(ServeError::Misaligned.to_string().contains("from_bytes"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ServeError>();
+    }
+
+    #[test]
+    fn converts_into_core_errors() {
+        let e: ghsom_core::GhsomError = ServeError::DimensionMismatch {
+            expected: 3,
+            found: 1,
+        }
+        .into();
+        assert_eq!(
+            e,
+            ghsom_core::GhsomError::DimensionMismatch {
+                expected: 3,
+                found: 1
+            }
+        );
+    }
+}

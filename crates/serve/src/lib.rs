@@ -1,0 +1,127 @@
+//! # ghsom-serve — the compiled inference plane
+//!
+//! Training and serving want different data structures. Training grows a
+//! tree of [`ghsom_core::MapNode`]s, each owning its own codebook, cache
+//! and stats — flexible, mutable, pointer-rich. Detection is pure
+//! inference over a **frozen** hierarchy: project each record root→leaf,
+//! read the leaf key and quantization error. This crate is the serving
+//! side of that split:
+//!
+//! * [`CompiledGhsom`] — an immutable, flattened arena compiled from a
+//!   trained [`ghsom_core::GhsomModel`] ([`Compile::compile`]), with
+//!   projections **bit-identical** to the tree's.
+//! * A **versioned binary snapshot format** ([`snapshot`]) with
+//!   [`CompiledGhsom::save`]/[`CompiledGhsom::load`], plus the zero-copy
+//!   [`SnapshotView`] for `mmap`-ed model files.
+//! * Both representations implement [`ghsom_core::Scorer`], so every
+//!   detector in the `detect` crate serves from either.
+//!
+//! # Arena layout
+//!
+//! All per-map data is concatenated into flat tables in node order (the
+//! breadth-first creation order of training; root = 0), addressed through
+//! two prefix-sum offset tables:
+//!
+//! ```text
+//! per map m (map_count = n):
+//!   rows[m], cols[m]          grid shape                      (u32)
+//!   depth[m]                  hierarchy depth, root = 1       (u32)
+//!   parent_node/unit[m]       upward link, NO_LINK for root   (u32)
+//!   unit_off[m..=m+1]         global-unit range of map m      (u64, n+1 entries)
+//!   wt_off[m..=m+1]           arena range of map m            (u64, n+1 entries)
+//!
+//! per global unit u (total_units = unit_off[n]):
+//!   children[u]               child node or NO_LINK, original order (u32)
+//!   unit_hits[u]              training hits, original order         (u64)
+//!   unit_mqe[u]               training mean QE, original order      (f64)
+//!   wn_half[u]                ‖w‖²/2 half-norm, ASCENDING per map   (f64)
+//!   perm[u]                   packed position → original unit       (u32)
+//!
+//! codebook arena:
+//!   wt[wt_off[m]..wt_off[m+1]]  map m's codebook in the group-tiled
+//!                               transposed layout of mathkit::batch::pack_codebook
+//!                               (GROUP = 8 units per tile, zero-padded tail),
+//!                               units reordered ascending by norm
+//! ```
+//!
+//! Projection is an arena walk: slice `wt`/`wn_half`/`perm` for the
+//! current map, run the **norm-pruned** Gram-trick search
+//! ([`mathkit::batch::gram_nearest_block_pruned`]: seed at the group
+//! whose norm band brackets `‖x‖`, expand outward, stop when the
+//! triangle-inequality bound `‖x−w‖ ≥ |‖x‖−‖w‖|` proves the rest worse
+//! than the running best — results stay exactly the exhaustive scan's,
+//! including ties, thanks to a conservative rounding slack and
+//! lexicographic `(distance, original index)` selection), then follow
+//! `children`. No node structs, no per-map norm-cache checks — the
+//! half-norms and the norm ordering were baked in at compile time — and
+//! bulk scoring never materializes intermediate matrices: the root level
+//! runs directly on the caller's buffer.
+//!
+//! # Snapshot wire format (version 1)
+//!
+//! All integers and floats are **little-endian**; `f64` is the IEEE-754
+//! bit pattern (exact roundtrip, including negative zero).
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic "GHSOMSNP"
+//!      8     4  format version (u32) — readers reject unknown versions
+//!     12     4  section count (u32)
+//!     16     8  total snapshot length in bytes (u64)
+//!     24     8  FNV-1a-64 checksum of bytes [32, total_len) (u64)
+//!     32   24×k section table: { id: u32, reserved: u32,
+//!                                offset: u64, len: u64 } per section
+//!      …        section payloads, each 8-byte aligned, zero-padded gaps
+//! ```
+//!
+//! Section ids 1–15 carry, in order: META (dim, node count, total units,
+//! mqe₀), MEAN, ROWS, COLS, DEPTH, PARENT_NODE, PARENT_UNIT, UNIT_OFF,
+//! WT_OFF, CHILDREN, UNIT_HITS, UNIT_MQE, WN_HALF, the WT codebook arena
+//! and PERM — exactly the tables above. Offsets are absolute and 8-byte
+//! aligned so a mapped file can serve `f64`/`u64` sections in place.
+//!
+//! **Versioning policy.** Incompatible layout changes bump the version and
+//! old readers reject the file with a typed error; *adding* an optional
+//! section id does not (unknown ids are skipped). Truncation is caught by
+//! the declared total length, bit rot by the checksum, and everything that
+//! parses is structurally validated (link symmetry, forward-only child
+//! edges, shape/offset consistency, finite arena values) before the first
+//! walk — hostile bytes cannot panic the process or run the walker out of
+//! bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use ghsom_core::{GhsomConfig, GhsomModel};
+//! use ghsom_serve::{Compile, CompiledGhsom};
+//! use mathkit::Matrix;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = Matrix::from_rows(
+//!     (0..60).map(|i| vec![(i % 6) as f64, (i % 3) as f64]).collect(),
+//! )?;
+//! let model = GhsomModel::train(&GhsomConfig::default(), &data)?;
+//!
+//! // Compile for serving: bit-identical projections, flat arena.
+//! let compiled = model.compile()?;
+//! let snapshot = compiled.to_bytes();
+//! let reloaded = CompiledGhsom::from_bytes(&snapshot)?;
+//! let x = data.row(0);
+//! assert_eq!(
+//!     model.project(x)?.leaf_qe().to_bits(),
+//!     reloaded.project(x)?.leaf_qe().to_bits(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(unsafe_code)] // one documented cast in snapshot::cast, allowed locally
+#![warn(missing_docs)]
+
+pub mod compiled;
+pub mod error;
+pub mod snapshot;
+
+pub use compiled::{Compile, CompiledGhsom};
+pub use error::ServeError;
+pub use snapshot::SnapshotView;

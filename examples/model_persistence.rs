@@ -1,6 +1,19 @@
-//! Model persistence: train once, serialize the pipeline + detector as a
-//! single JSON artifact, reload it in a "fresh process" and verify the
-//! verdicts are identical — the ship-a-trained-model workflow.
+//! Model persistence: train once, ship the model as a **binary
+//! snapshot**, reload it in a "fresh process" and verify the projections
+//! are bit-identical — the ship-a-trained-model workflow.
+//!
+//! Two artifacts are written:
+//!
+//! * `ghsom_model.ghsom` — the compiled hierarchy in the versioned binary
+//!   snapshot format (magic + checksummed aligned sections; see
+//!   `ghsom_serve::snapshot`). This is the serving artifact: compact,
+//!   validated on load, zero-copy mappable.
+//! * `ghsom_detector.json` — the feature pipeline + fitted detector
+//!   thresholds/labels through JSON serde. JSON remains the
+//!   **debug/interchange** path: human-inspectable and stable across
+//!   representations, but it must be parsed and rebuilt on load, carries
+//!   no integrity check, and cannot be mapped — the snapshot is the
+//!   serving artifact.
 //!
 //! ```text
 //! cargo run --release --example model_persistence
@@ -9,8 +22,10 @@
 use ghsom_suite::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// Everything a deployment needs: the exact input transform and the
-/// fitted detector, versioned together.
+/// The slow-changing, human-readable part of a deployment: the exact
+/// input transform and the fitted detector state (labels + threshold),
+/// versioned together. The heavyweight hierarchy ships separately as a
+/// binary snapshot.
 #[derive(Serialize, Deserialize)]
 struct DetectorArtifact {
     format_version: u32,
@@ -36,45 +51,70 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let detector = HybridGhsomDetector::fit(model, &x_train, &labels, 0.99)?;
 
+    // Compile the hierarchy and write the binary snapshot.
+    let compiled = detector.labeled().model().compile()?;
+    let snapshot_path = std::env::temp_dir().join("ghsom_model.ghsom");
+    compiled.save(&snapshot_path)?;
+    println!(
+        "  wrote {} ({:.2} MiB binary snapshot, {} maps / {} units)",
+        snapshot_path.display(),
+        compiled.to_bytes().len() as f64 / (1024.0 * 1024.0),
+        compiled.map_count(),
+        compiled.total_units(),
+    );
+
+    // Write the pipeline + detector state as JSON (debug/interchange).
     let artifact = DetectorArtifact {
-        format_version: 1,
+        format_version: 2,
         pipeline,
         detector,
     };
     let json = serde_json::to_string(&artifact)?;
-    let path = std::env::temp_dir().join("ghsom_detector.json");
-    std::fs::write(&path, &json)?;
+    let json_path = std::env::temp_dir().join("ghsom_detector.json");
+    std::fs::write(&json_path, &json)?;
     println!(
-        "  wrote {} ({:.1} MiB)",
-        path.display(),
+        "  wrote {} ({:.2} MiB JSON artifact)",
+        json_path.display(),
         json.len() as f64 / (1024.0 * 1024.0)
     );
 
     // --- "Deployment process" --------------------------------------------
     println!("reloading …");
-    let reloaded: DetectorArtifact = serde_json::from_str(&std::fs::read_to_string(&path)?)?;
-    assert_eq!(reloaded.format_version, 1);
+    let reloaded: DetectorArtifact = serde_json::from_str(&std::fs::read_to_string(&json_path)?)?;
+    assert_eq!(reloaded.format_version, 2);
+    let served_model = CompiledGhsom::load(&snapshot_path)?;
+    // Move the fitted thresholds/labels onto the reloaded compiled plane.
+    let served = reloaded.detector.with_scorer(served_model);
 
-    // Verdicts must agree exactly between the trained and reloaded
-    // detectors.
+    // Projections and verdicts must agree exactly between the trained
+    // tree and the snapshot-reloaded arena.
     let mut flagged = 0usize;
     for rec in test.iter() {
         let x_orig = artifact.pipeline.transform(rec)?;
         let x_new = reloaded.pipeline.transform(rec)?;
         assert_eq!(x_orig, x_new, "pipeline transform drifted");
+        let p_tree = artifact.detector.labeled().model().project(&x_orig)?;
+        let p_flat = served.labeled().model().project(&x_new)?;
+        assert_eq!(p_tree.leaf_key(), p_flat.leaf_key(), "leaf key drifted");
+        assert_eq!(
+            p_tree.leaf_qe().to_bits(),
+            p_flat.leaf_qe().to_bits(),
+            "leaf QE drifted"
+        );
         let v_orig = artifact.detector.is_anomalous(&x_orig)?;
-        let v_new = reloaded.detector.is_anomalous(&x_new)?;
+        let v_new = served.is_anomalous(&x_new)?;
         assert_eq!(v_orig, v_new, "detector verdict drifted");
         if v_new {
             flagged += 1;
         }
     }
     println!(
-        "  verified: {} verdicts identical pre/post reload ({} flagged of {})",
+        "  verified: {} projections bit-identical pre/post snapshot reload ({} flagged of {})",
         test.len(),
         flagged,
         test.len()
     );
-    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&snapshot_path).ok();
+    std::fs::remove_file(&json_path).ok();
     Ok(())
 }

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &x_train,
     )?;
     let detector = HybridGhsomDetector::fit(model, &x_train, &labels, 0.995)?;
-    let stream = StreamingDetector::new(detector, 4.0, 200);
+    // Serve from the compiled plane: the tree trains, the arena serves
+    // (bit-identical verdicts, no pointer chasing on the hot path).
+    let compiled = detector.labeled().model().compile()?;
+    let stream = StreamingDetector::new(detector.with_scorer(compiled), 4.0, 200);
 
     // --- Simulate a live link -------------------------------------------
     println!("online phase: simulating 120 s of traffic with two attacks …");

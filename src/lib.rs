@@ -11,6 +11,7 @@
 //! | re-export | crate | contents |
 //! |---|---|---|
 //! | [`core`](mod@core) | `ghsom-core` | the GHSOM itself (τ₁/τ₂ growth, hierarchy, projection) |
+//! | [`serve`] | `ghsom-serve` | compiled serving arena + versioned binary model snapshots |
 //! | [`som`] | `som` | Kohonen SOM substrate (grids, kernels, training) |
 //! | [`traffic`] | `traffic` | KDD-style records, attack generators, flows, CSV |
 //! | [`featurize`] | `featurize` | encoders, scalers, record→vector pipeline |
@@ -62,6 +63,23 @@
 //! (`cargo bench -p ghsom-bench --bench bmu_scaling`; tracked in
 //! `BENCH_1.json`).
 //!
+//! # Serving: the compiled inference plane
+//!
+//! Training and serving use different representations. A trained
+//! [`core::GhsomModel`] compiles into a [`serve::CompiledGhsom`] — one
+//! flat, immutable arena (group-tiled transposed codebooks with baked-in
+//! half-norms, flat index tables instead of a node tree) whose
+//! projections are **bit-identical** to the tree's. The arena persists as
+//! a versioned, checksummed **binary snapshot**
+//! ([`serve::CompiledGhsom::save`]/[`serve::CompiledGhsom::load`], plus
+//! the zero-copy [`serve::SnapshotView`] for mmap-ed model files; JSON
+//! serde remains the debug/interchange path). Every GHSOM detector is
+//! generic over the representation through [`core::Scorer`] — fit on the
+//! tree, move the fitted thresholds/labels to the compiled plane with
+//! `with_scorer`, and the hot paths (`score_all`,
+//! `StreamingDetector::observe_batch`) run on the arena. See
+//! `BENCH_2.json` for the measured tree-vs-compiled serving numbers.
+//!
 //! The **`rayon` cargo feature** (default on) additionally parallelizes
 //! those paths over sample chunks and sibling maps using std scoped
 //! threads (the offline build container has no rayon crate; the feature
@@ -78,6 +96,7 @@ pub use detect;
 pub use evalkit;
 pub use featurize;
 pub use ghsom_core as core;
+pub use ghsom_serve as serve;
 pub use mathkit;
 pub use som;
 pub use traffic;
@@ -86,6 +105,7 @@ pub use traffic;
 pub mod prelude {
     pub use detect::prelude::*;
     pub use featurize::{KddPipeline, PipelineConfig, ScalingKind};
-    pub use ghsom_core::{GhsomConfig, GhsomModel};
+    pub use ghsom_core::{GhsomConfig, GhsomModel, Scorer};
+    pub use ghsom_serve::{Compile, CompiledGhsom, SnapshotView};
     pub use traffic::{self, AttackCategory, AttackType, ConnectionRecord, Dataset};
 }

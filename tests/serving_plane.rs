@@ -1,0 +1,153 @@
+//! End-to-end test of the serving plane: train → fit detectors → compile
+//! → snapshot → reload → serve, verifying the compiled arena and the
+//! binary snapshot reproduce the training-time detector exactly.
+
+use ghsom_suite::prelude::*;
+use ghsom_suite::serve::ServeError;
+
+fn setup() -> (
+    GhsomModel,
+    KddPipeline,
+    mathkit::Matrix,
+    mathkit::Matrix,
+    Vec<AttackCategory>,
+) {
+    let (train, test) = traffic::synth::kdd_train_test(1_200, 600, 33).unwrap();
+    let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+    let x_train = pipeline.transform_dataset(&train).unwrap();
+    let x_test = pipeline.transform_dataset(&test).unwrap();
+    let labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
+    let model = GhsomModel::train(
+        &GhsomConfig {
+            tau1: 0.3,
+            tau2: 0.05,
+            epochs_per_round: 3,
+            final_epochs: 2,
+            seed: 33,
+            ..Default::default()
+        },
+        &x_train,
+    )
+    .unwrap();
+    (model, pipeline, x_train, x_test, labels)
+}
+
+#[test]
+fn compiled_plane_reproduces_training_projections() {
+    let (model, _, x_train, x_test, _) = setup();
+    let compiled = model.compile().unwrap();
+    assert!(compiled.map_count() >= 2, "expected a real hierarchy");
+    for data in [&x_train, &x_test] {
+        let tree = model.project_batch(data).unwrap();
+        let flat = compiled.project_batch(data).unwrap();
+        for (t, f) in tree.iter().zip(&flat) {
+            assert_eq!(t.leaf_key(), f.leaf_key());
+            assert_eq!(t.leaf_qe().to_bits(), f.leaf_qe().to_bits());
+        }
+    }
+}
+
+#[test]
+fn snapshot_survives_the_filesystem_and_serves_detectors() {
+    let (model, _, x_train, x_test, labels) = setup();
+    let detector = HybridGhsomDetector::fit(model, &x_train, &labels, 0.99).unwrap();
+
+    // Compile and persist the model as a binary snapshot.
+    let compiled = detector.labeled().model().compile().unwrap();
+    let path = std::env::temp_dir().join("ghsom_serving_plane_e2e.ghsom");
+    compiled.save(&path).unwrap();
+    let reloaded = CompiledGhsom::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded, compiled);
+
+    // The reloaded arena serves the fitted detector with identical
+    // verdicts and scores.
+    let served = detector.with_scorer(reloaded);
+    let tree_scores = detector.score_all(&x_test).unwrap();
+    let flat_scores = served.score_all(&x_test).unwrap();
+    let tree_verdicts = detector.is_anomalous_all(&x_test).unwrap();
+    let flat_verdicts = served.is_anomalous_all(&x_test).unwrap();
+    for i in 0..x_test.rows() {
+        assert_eq!(tree_scores[i].to_bits(), flat_scores[i].to_bits());
+        assert_eq!(tree_verdicts[i], flat_verdicts[i]);
+    }
+    // Classification agrees record by record too.
+    for x in x_test.iter_rows().take(100) {
+        assert_eq!(detector.classify(x).unwrap(), served.classify(x).unwrap());
+    }
+}
+
+#[test]
+fn streaming_detector_runs_on_the_compiled_plane() {
+    let (model, _, x_train, x_test, labels) = setup();
+    let detector = HybridGhsomDetector::fit(model, &x_train, &labels, 0.99).unwrap();
+    let compiled = detector.labeled().model().compile().unwrap();
+    let tree_stream = StreamingDetector::new(detector.clone(), 4.0, 200);
+    let flat_stream = StreamingDetector::new(detector.with_scorer(compiled), 4.0, 200);
+    let tree_verdicts = tree_stream.observe_batch(&x_test).unwrap();
+    let flat_verdicts = flat_stream.observe_batch(&x_test).unwrap();
+    assert_eq!(tree_verdicts.len(), flat_verdicts.len());
+    for (a, b) in tree_verdicts.iter().zip(&flat_verdicts) {
+        assert_eq!(a.anomalous, b.anomalous);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+    }
+    let (ts, fs) = (tree_stream.stats(), flat_stream.stats());
+    assert_eq!(ts.seen, fs.seen);
+    assert_eq!(ts.flagged, fs.flagged);
+    assert_eq!(ts.score_mean.to_bits(), fs.score_mean.to_bits());
+}
+
+#[test]
+fn explanations_agree_across_representations() {
+    let (model, pipeline, _, x_test, _) = setup();
+    let compiled = model.compile().unwrap();
+    for x in x_test.iter_rows().take(25) {
+        let from_tree = explain(&model, pipeline.schema(), x).unwrap();
+        let from_arena = explain(&compiled, pipeline.schema(), x).unwrap();
+        assert_eq!(from_tree, from_arena);
+    }
+}
+
+#[test]
+fn snapshot_view_serves_without_copying() {
+    let (model, _, _, x_test, _) = setup();
+    let compiled = model.compile().unwrap();
+    let raw = compiled.to_bytes();
+    // Copy to a provably 8-byte-aligned position (a bare Vec<u8> has no
+    // alignment guarantee).
+    let mut buf = vec![0u8; raw.len() + 8];
+    let off = buf.as_ptr().align_offset(8);
+    buf[off..off + raw.len()].copy_from_slice(&raw);
+    let view = SnapshotView::parse(&buf[off..off + raw.len()]).unwrap();
+    let a = compiled.score_all(&x_test).unwrap();
+    let b = view.score_all(&x_test).unwrap();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+#[test]
+fn hostile_snapshot_bytes_yield_typed_errors() {
+    let (model, _, _, _, _) = setup();
+    let raw = model.compile().unwrap().to_bytes();
+    // Truncated.
+    assert!(matches!(
+        CompiledGhsom::from_bytes(&raw[..raw.len() / 2]).unwrap_err(),
+        ServeError::Truncated { .. }
+    ));
+    // Corrupted payload.
+    let mut bad = raw.clone();
+    let at = bad.len() - 1;
+    bad[at] ^= 0x01;
+    assert!(matches!(
+        CompiledGhsom::from_bytes(&bad).unwrap_err(),
+        ServeError::ChecksumMismatch { .. }
+    ));
+    // Wrong version.
+    let mut bad = raw;
+    bad[8..12].copy_from_slice(&7u32.to_le_bytes());
+    assert!(matches!(
+        CompiledGhsom::from_bytes(&bad).unwrap_err(),
+        ServeError::UnsupportedVersion { found: 7, .. }
+    ));
+}
