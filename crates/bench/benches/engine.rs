@@ -1,0 +1,130 @@
+//! End-to-end engine benchmarks: the full record → vector → arena-walk →
+//! verdict path behind the `Engine` facade, plus bundle load latency.
+//!
+//! Three groups:
+//!
+//! * `engine_throughput` — records/s through [`Engine::score_records`]
+//!   (stateless batched verdicts) and [`Engine::observe_records`]
+//!   (streaming with the adaptive threshold), on raw `ConnectionRecord`s
+//!   — this includes the per-record feature transform the serving-plane
+//!   benches (`serving.rs`) deliberately exclude.
+//! * `engine_load` — bundle load latency: `cold` reads + decodes the
+//!   whole artifact into an owned engine (`Engine::load`), `mmap_validate`
+//!   maps the file and runs the zero-copy structural validation only
+//!   (`MappedFile` + `SnapshotView::parse` — the page-cache-warm
+//!   fast path a daemon uses to sanity-check artifacts), `mmap_load`
+//!   decodes the engine out of the mapped bytes.
+//! * `engine_single_record` — per-record latency of `score_record`
+//!   (transform + one hierarchy traversal).
+//!
+//! Numbers land in `target/shim-criterion/engine.json`; the tracked
+//! trajectory is `BENCH_3.json` at the repo root.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ghsom_core::GhsomConfig;
+use ghsom_serve::{Engine, EngineConfig, MappedFile, SnapshotView};
+use traffic::Dataset;
+
+/// Records per streaming window (matches `serving.rs`).
+const WINDOW: usize = 512;
+
+fn fit_engine() -> (Engine, Dataset) {
+    let (train, test) = traffic::synth::kdd_train_test(8_000, 6_000, 42).expect("data");
+    let config = EngineConfig::default()
+        .with_ghsom(
+            GhsomConfig::default()
+                .with_tau1(0.3)
+                .with_tau2(0.03)
+                .with_max_depth(4)
+                .with_epochs(3, 3)
+                .with_max_growth_rounds(16)
+                .with_max_map_units(256)
+                .with_max_total_units(2_000)
+                .with_min_unit_samples(10)
+                .with_seed(42),
+        )
+        .with_stream(4.0, 1_000);
+    (Engine::fit(&config, &train).expect("engine fit"), test)
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let (engine, test) = fit_engine();
+    let records = test.records();
+
+    let mut group = c.benchmark_group("engine_throughput");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    std::env::set_var("GHSOM_THREADS", "1");
+    group.bench_function("score_records", |b| {
+        b.iter(|| black_box(engine.score_records(records).unwrap()));
+    });
+    group.bench_function("observe_records_512w", |b| {
+        b.iter(|| {
+            engine.reset_stream();
+            let mut flagged = 0usize;
+            for window in records.chunks(WINDOW) {
+                flagged += engine
+                    .observe_records(window)
+                    .unwrap()
+                    .iter()
+                    .filter(|v| v.anomalous)
+                    .count();
+            }
+            black_box(flagged)
+        });
+    });
+    std::env::remove_var("GHSOM_THREADS");
+    group.finish();
+}
+
+fn bench_load_latency(c: &mut Criterion) {
+    let (engine, _) = fit_engine();
+    let path = std::env::temp_dir().join("ghsom_engine_bench.bundle");
+    engine.save(&path).expect("bundle save");
+    let bundle_len = std::fs::metadata(&path).expect("metadata").len();
+
+    let mut group = c.benchmark_group("engine_load");
+    group.throughput(Throughput::Bytes(bundle_len));
+    group.bench_function("cold_read_decode", |b| {
+        b.iter(|| black_box(Engine::load(&path).unwrap().dim()));
+    });
+    group.bench_function("mmap_validate_zero_copy", |b| {
+        b.iter(|| {
+            let mapped = MappedFile::open(&path).unwrap();
+            black_box(SnapshotView::parse(&mapped).unwrap().total_units())
+        });
+    });
+    group.bench_function("mmap_decode_engine", |b| {
+        b.iter(|| {
+            let mapped = MappedFile::open(&path).unwrap();
+            black_box(Engine::from_bytes(&mapped).unwrap().dim())
+        });
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+fn bench_single_record(c: &mut Criterion) {
+    let (engine, test) = fit_engine();
+    let records = test.records();
+
+    let mut group = c.benchmark_group("engine_single_record");
+    group.throughput(Throughput::Elements(1));
+    std::env::set_var("GHSOM_THREADS", "1");
+    let mut i = 0usize;
+    group.bench_function("score_record", |b| {
+        b.iter(|| {
+            i = (i + 1) % records.len();
+            black_box(engine.score_record(&records[i]).unwrap())
+        });
+    });
+    std::env::remove_var("GHSOM_THREADS");
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_throughput,
+    bench_load_latency,
+    bench_single_record
+);
+criterion_main!(benches);

@@ -124,10 +124,7 @@ pub fn ablation_scaling(run: &RunConfig) -> Result<Table, Box<dyn std::error::Er
         ScalingKind::ZScore,
         ScalingKind::Log1pMinMax,
     ] {
-        let pipe_config = PipelineConfig {
-            scaling,
-            ..Default::default()
-        };
+        let pipe_config = PipelineConfig::default().with_scaling(scaling);
         let pipeline = KddPipeline::fit(&pipe_config, &train)?;
         let x_train = pipeline.transform_dataset(&train)?;
         let x_test = pipeline.transform_dataset(&test)?;
@@ -171,10 +168,7 @@ pub fn ablation_training_mode(data: &ExperimentData) -> Result<Table, Box<dyn st
         ghsom_core::TrainingMode::Online,
         ghsom_core::TrainingMode::Batch,
     ] {
-        let config = ghsom_core::GhsomConfig {
-            training: mode,
-            ..experiment_config(0.3, 0.03, 42)
-        };
+        let config = experiment_config(0.3, 0.03, 42).with_training(mode);
         let start = std::time::Instant::now();
         let model = ghsom_core::GhsomModel::train(&config, &data.x_train)?;
         let elapsed = start.elapsed().as_secs_f64();

@@ -92,19 +92,16 @@ pub fn prepare_from(
 /// The GHSOM configuration used by the experiments, parameterized on the
 /// two scientific knobs.
 pub fn experiment_config(tau1: f64, tau2: f64, seed: u64) -> GhsomConfig {
-    GhsomConfig {
-        tau1,
-        tau2,
-        max_depth: 4,
-        epochs_per_round: 3,
-        final_epochs: 3,
-        max_growth_rounds: 16,
-        max_map_units: 256,
-        max_total_units: 2_000,
-        min_unit_samples: 10,
-        seed,
-        ..Default::default()
-    }
+    GhsomConfig::default()
+        .with_tau1(tau1)
+        .with_tau2(tau2)
+        .with_max_depth(4)
+        .with_epochs(3, 3)
+        .with_max_growth_rounds(16)
+        .with_max_map_units(256)
+        .with_max_total_units(2_000)
+        .with_min_unit_samples(10)
+        .with_seed(seed)
 }
 
 /// The default (τ₁ = 0.3, τ₂ = 0.03) experiment model.

@@ -34,7 +34,19 @@ impl std::fmt::Display for TrainingMode {
 /// The two parameters that matter scientifically are [`tau1`](Self::tau1)
 /// (breadth) and [`tau2`](Self::tau2) (depth); everything else is
 /// engineering guard-rails with defaults that match the GHSOM literature.
+///
+/// The struct is `#[non_exhaustive]` so new knobs can be added without a
+/// semver break: start from [`GhsomConfig::default`] and apply the
+/// chainable `with_*` setters (fields stay `pub`, so direct assignment
+/// through a `mut` binding works too):
+///
+/// ```
+/// use ghsom_core::GhsomConfig;
+/// let config = GhsomConfig::default().with_tau1(0.2).with_tau2(0.05).with_seed(7);
+/// assert_eq!(config.tau1, 0.2);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct GhsomConfig {
     /// Breadth threshold τ₁ ∈ (0, 1): a map stops growing horizontally once
     /// its mean quantization error falls below `τ₁ · mqe(parent unit)`.
@@ -104,6 +116,102 @@ impl Default for GhsomConfig {
 }
 
 impl GhsomConfig {
+    /// Returns the config with the breadth threshold τ₁ replaced.
+    #[must_use]
+    pub fn with_tau1(mut self, tau1: f64) -> Self {
+        self.tau1 = tau1;
+        self
+    }
+
+    /// Returns the config with the depth threshold τ₂ replaced.
+    #[must_use]
+    pub fn with_tau2(mut self, tau2: f64) -> Self {
+        self.tau2 = tau2;
+        self
+    }
+
+    /// Returns the config with the hard depth cap replaced.
+    #[must_use]
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Returns the config with the initial grid shape of new maps
+    /// replaced.
+    #[must_use]
+    pub fn with_initial_grid(mut self, rows: usize, cols: usize) -> Self {
+        self.initial_rows = rows;
+        self.initial_cols = cols;
+        self
+    }
+
+    /// Returns the config with both epoch budgets replaced (training
+    /// epochs per growth round, fine-tuning epochs after growth stops).
+    #[must_use]
+    pub fn with_epochs(mut self, per_round: usize, final_epochs: usize) -> Self {
+        self.epochs_per_round = per_round;
+        self.final_epochs = final_epochs;
+        self
+    }
+
+    /// Returns the config with the per-map growth-round cap replaced.
+    #[must_use]
+    pub fn with_max_growth_rounds(mut self, rounds: usize) -> Self {
+        self.max_growth_rounds = rounds;
+        self
+    }
+
+    /// Returns the config with the per-map unit cap replaced.
+    #[must_use]
+    pub fn with_max_map_units(mut self, units: usize) -> Self {
+        self.max_map_units = units;
+        self
+    }
+
+    /// Returns the config with the global unit cap replaced.
+    #[must_use]
+    pub fn with_max_total_units(mut self, units: usize) -> Self {
+        self.max_total_units = units;
+        self
+    }
+
+    /// Returns the config with the vertical-expansion sample floor
+    /// replaced.
+    #[must_use]
+    pub fn with_min_unit_samples(mut self, samples: usize) -> Self {
+        self.min_unit_samples = samples;
+        self
+    }
+
+    /// Returns the config with the learning-rate schedule replaced.
+    #[must_use]
+    pub fn with_learning_rate(mut self, schedule: DecaySchedule) -> Self {
+        self.learning_rate = schedule;
+        self
+    }
+
+    /// Returns the config with the neighborhood kernel replaced.
+    #[must_use]
+    pub fn with_neighborhood(mut self, kind: NeighborhoodKind) -> Self {
+        self.neighborhood = kind;
+        self
+    }
+
+    /// Returns the config with the SOM training rule replaced.
+    #[must_use]
+    pub fn with_training(mut self, mode: TrainingMode) -> Self {
+        self.training = mode;
+        self
+    }
+
+    /// Returns the config with the master seed replaced.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Validates every field.
     ///
     /// # Errors

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by GHSOM operations.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum GhsomError {
     /// A configuration value was out of its valid domain.
     InvalidConfig {

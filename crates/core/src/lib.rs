@@ -37,7 +37,7 @@
 //!     });
 //! }
 //! let data = Matrix::from_rows(rows)?;
-//! let config = GhsomConfig { tau1: 0.5, tau2: 0.1, seed: 9, ..Default::default() };
+//! let config = GhsomConfig::default().with_tau1(0.5).with_tau2(0.1).with_seed(9);
 //! let model = GhsomModel::train(&config, &data)?;
 //! assert!(model.total_units() >= 4);
 //! let projection = model.project(data.row(0))?;

@@ -32,15 +32,12 @@ proptest! {
         seed in 0u64..50
     ) {
         let data = clustered_matrix(150, 3, seed);
-        let config = GhsomConfig {
-            tau1,
-            tau2,
-            epochs_per_round: 2,
-            final_epochs: 1,
-            max_growth_rounds: 8,
-            seed,
-            ..Default::default()
-        };
+        let config = GhsomConfig::default()
+.with_tau1(tau1)
+.with_tau2(tau2)
+.with_epochs(2, 1)
+.with_max_growth_rounds(8)
+.with_seed(seed);
         let model = GhsomModel::train(&config, &data).unwrap();
         prop_assert!(model.map_count() >= 1);
         prop_assert!(model.max_depth() <= config.max_depth);
@@ -68,14 +65,11 @@ proptest! {
     #[test]
     fn projection_paths_are_valid(seed in 0u64..50) {
         let data = clustered_matrix(120, 3, seed);
-        let config = GhsomConfig {
-            tau1: 0.4,
-            tau2: 0.1,
-            epochs_per_round: 2,
-            final_epochs: 1,
-            seed,
-            ..Default::default()
-        };
+        let config = GhsomConfig::default()
+.with_tau1(0.4)
+.with_tau2(0.1)
+.with_epochs(2, 1)
+.with_seed(seed);
         let model = GhsomModel::train(&config, &data).unwrap();
         for x in data.iter_rows() {
             let p = model.project(x).unwrap();
@@ -99,15 +93,12 @@ proptest! {
     fn tau1_monotonicity_on_root_map(seed in 0u64..20) {
         let data = clustered_matrix(150, 4, seed);
         let units_at = |tau1: f64| {
-            let config = GhsomConfig {
-                tau1,
-                tau2: 1.0, // no vertical growth: isolate breadth
-                max_depth: 1,
-                epochs_per_round: 2,
-                final_epochs: 1,
-                seed,
-                ..Default::default()
-            };
+            let config = GhsomConfig::default()
+.with_tau1(tau1)
+.with_tau2(1.0)
+.with_max_depth(1)
+.with_epochs(2, 1)
+.with_seed(seed);
             GhsomModel::train(&config, &data).unwrap().total_units()
         };
         let coarse = units_at(0.8);
@@ -120,15 +111,12 @@ proptest! {
     #[test]
     fn training_is_deterministic(tau1 in 0.2f64..0.8, tau2 in 0.02f64..0.5, seed in 0u64..25) {
         let data = clustered_matrix(80, 2, seed);
-        let config = GhsomConfig {
-            tau1,
-            tau2,
-            epochs_per_round: 2,
-            final_epochs: 1,
-            max_growth_rounds: 6,
-            seed,
-            ..Default::default()
-        };
+        let config = GhsomConfig::default()
+.with_tau1(tau1)
+.with_tau2(tau2)
+.with_epochs(2, 1)
+.with_max_growth_rounds(6)
+.with_seed(seed);
         let a = GhsomModel::train(&config, &data).unwrap();
         let b = GhsomModel::train(&config, &data).unwrap();
         prop_assert_eq!(a, b);
@@ -138,14 +126,11 @@ proptest! {
     #[test]
     fn growth_log_reconciles(seed in 0u64..40) {
         let data = clustered_matrix(100, 3, seed);
-        let config = GhsomConfig {
-            tau1: 0.3,
-            tau2: 0.08,
-            epochs_per_round: 2,
-            final_epochs: 1,
-            seed,
-            ..Default::default()
-        };
+        let config = GhsomConfig::default()
+.with_tau1(0.3)
+.with_tau2(0.08)
+.with_epochs(2, 1)
+.with_seed(seed);
         let model = GhsomModel::train(&config, &data).unwrap();
         prop_assert_eq!(model.growth_log().map_count(), model.map_count());
         let timeline = model.growth_log().unit_timeline();

@@ -33,15 +33,13 @@ impl GrowingGridDetector {
         percentile: f64,
         seed: u64,
     ) -> Result<Self, DetectError> {
-        let config = ghsom_core::GhsomConfig {
-            tau1,
+        let config = ghsom_core::GhsomConfig::default()
+            .with_tau1(tau1)
             // Depth is capped at 1, so tau2 never triggers; 1.0 makes the
             // intent explicit.
-            tau2: 1.0,
-            max_depth: 1,
-            seed,
-            ..Default::default()
-        };
+            .with_tau2(1.0)
+            .with_max_depth(1)
+            .with_seed(seed);
         let model = ghsom_core::GhsomModel::train(&config, train)?;
         let inner = HybridGhsomDetector::fit(model, train, labels, percentile)?;
         Ok(GrowingGridDetector { inner })

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by detector fitting and scoring.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum DetectError {
     /// Sample width differs from what the detector was fitted on.
     DimensionMismatch {

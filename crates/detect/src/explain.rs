@@ -136,16 +136,8 @@ mod tests {
         let train = gen.generate(800);
         let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
         let x = pipeline.transform_dataset(&train).unwrap();
-        let model = GhsomModel::train(
-            &GhsomConfig {
-                epochs_per_round: 3,
-                final_epochs: 2,
-                seed: 4,
-                ..Default::default()
-            },
-            &x,
-        )
-        .unwrap();
+        let model =
+            GhsomModel::train(&GhsomConfig::default().with_epochs(3, 2).with_seed(4), &x).unwrap();
         (model, pipeline)
     }
 

@@ -13,8 +13,38 @@ use mathkit::Matrix;
 use serde::{Deserialize, Serialize};
 use traffic::AttackCategory;
 
-use crate::labeled::LabeledGhsomDetector;
+use crate::labeled::{LabeledGhsomDetector, LabeledState};
 use crate::{Classifier, DetectError, Detector};
+
+/// The fitted state of a [`HybridGhsomDetector`], decoupled from the
+/// hierarchy representation: the label layer's tables plus the calibrated
+/// QE threshold. Extract with [`HybridGhsomDetector::state`], rebind to
+/// any [`ghsom_core::Scorer`] over the same hierarchy with
+/// [`HybridGhsomDetector::from_state`] — the serving-bundle persistence
+/// path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridState {
+    /// Fitted label layer.
+    pub labeled: LabeledState,
+    /// Calibrated QE threshold.
+    pub threshold: f64,
+}
+
+/// The complete answer for one record from a single hierarchy traversal:
+/// anomaly score, binary verdict and predicted category, mutually
+/// consistent by construction (`anomalous ⇔ score > 1`, and `category`
+/// follows the [`Classifier`] convention — `None` means "anomalous of
+/// unknown kind").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridVerdict {
+    /// Verdict-consistent anomaly score (see [`Detector::score`] on
+    /// [`HybridGhsomDetector`]).
+    pub score: f64,
+    /// Binary verdict at the fitted threshold.
+    pub anomalous: bool,
+    /// Predicted category (`None` = anomalous of unknown kind).
+    pub category: Option<AttackCategory>,
+}
 
 /// Labels + QE threshold combined.
 ///
@@ -80,10 +110,75 @@ impl<M: Scorer> HybridGhsomDetector<M> {
     /// Moves the fitted labels and threshold onto another representation
     /// of the *same* hierarchy (typically `model.compile()`d for serving).
     pub fn with_scorer<N: Scorer>(&self, model: N) -> HybridGhsomDetector<N> {
-        HybridGhsomDetector {
-            inner: self.inner.with_scorer(model),
+        HybridGhsomDetector::from_state(model, self.state())
+    }
+
+    /// Extracts the fitted state (labels + threshold) for persistence
+    /// independent of the hierarchy.
+    pub fn state(&self) -> HybridState {
+        HybridState {
+            labeled: self.inner.state(),
             threshold: self.threshold,
         }
+    }
+
+    /// Rebinds a previously extracted state to a hierarchy
+    /// representation. The caller must pair the state with (a
+    /// representation of) the hierarchy it was fitted on.
+    pub fn from_state(model: M, state: HybridState) -> Self {
+        HybridGhsomDetector {
+            inner: LabeledGhsomDetector::from_state(model, state.labeled),
+            threshold: state.threshold,
+        }
+    }
+
+    /// The shared verdict core: score, flag and category from an
+    /// already-computed leaf key and QE.
+    fn verdict_from(&self, key: (usize, usize), qe: f64, x: &[f64]) -> HybridVerdict {
+        let classification = self.inner.classify_key(key, x);
+        let normal = matches!(classification, Some(AttackCategory::Normal));
+        let anomalous = !normal || qe > self.threshold;
+        HybridVerdict {
+            score: crate::verdict_score(qe, self.threshold, normal),
+            anomalous,
+            // A "normal" label overturned by the QE layer means
+            // "anomalous of unknown kind" — same convention as
+            // `Classifier::classify`.
+            category: if normal && anomalous {
+                None
+            } else {
+                classification
+            },
+        }
+    }
+
+    /// Score, binary verdict and predicted category from **one**
+    /// hierarchy traversal — the single-record serving path (the separate
+    /// [`Detector::score`] / [`Detector::is_anomalous`] /
+    /// [`Classifier::classify`] calls each project the sample again).
+    ///
+    /// # Errors
+    ///
+    /// Projection errors propagate.
+    pub fn verdict(&self, x: &[f64]) -> Result<HybridVerdict, DetectError> {
+        let p = self.inner.model().project(x)?;
+        Ok(self.verdict_from(p.leaf_key(), p.leaf_qe(), x))
+    }
+
+    /// [`HybridGhsomDetector::verdict`] for a whole matrix through one
+    /// batched hierarchy traversal (chunk-parallel under the `rayon`
+    /// feature) — the bulk serving path.
+    ///
+    /// # Errors
+    ///
+    /// Projection errors propagate.
+    pub fn verdicts_all(&self, data: &Matrix) -> Result<Vec<HybridVerdict>, DetectError> {
+        let projections = self.inner.model().project_batch(data)?;
+        Ok(projections
+            .iter()
+            .zip(data.iter_rows())
+            .map(|(p, x)| self.verdict_from(p.leaf_key(), p.leaf_qe(), x))
+            .collect())
     }
 }
 
@@ -109,6 +204,14 @@ impl<M: Scorer> Detector for HybridGhsomDetector<M> {
 
     fn name(&self) -> &'static str {
         "ghsom-hybrid"
+    }
+
+    /// Score and verdict from **one** hierarchy traversal (the separate
+    /// methods each project the sample again) — the streaming per-record
+    /// hot path.
+    fn score_and_flag(&self, x: &[f64]) -> Result<(f64, bool), DetectError> {
+        let v = self.verdict(x)?;
+        Ok((v.score, v.anomalous))
     }
 
     /// Batched scoring: one hierarchy traversal feeds both the label and
@@ -198,12 +301,10 @@ mod tests {
         }
         let data = Matrix::from_rows(rows).unwrap();
         let model = GhsomModel::train(
-            &GhsomConfig {
-                tau1: 0.4,
-                tau2: 0.2,
-                seed: 9,
-                ..Default::default()
-            },
+            &GhsomConfig::default()
+                .with_tau1(0.4)
+                .with_tau2(0.2)
+                .with_seed(9),
             &data,
         )
         .unwrap();
@@ -298,6 +399,43 @@ mod tests {
     fn name_is_stable() {
         let (det, _) = setup();
         assert_eq!(det.name(), "ghsom-hybrid");
+    }
+
+    #[test]
+    fn verdict_agrees_with_the_separate_calls() {
+        let (det, data) = setup();
+        let batch = det.verdicts_all(&data).unwrap();
+        assert_eq!(batch.len(), data.rows());
+        for (x, v) in data.iter_rows().zip(&batch) {
+            let single = det.verdict(x).unwrap();
+            assert_eq!(single, *v, "single/batch verdict disagree");
+            assert_eq!(single.score.to_bits(), det.score(x).unwrap().to_bits());
+            assert_eq!(single.anomalous, det.is_anomalous(x).unwrap());
+            assert_eq!(single.category, det.classify(x).unwrap());
+            assert_eq!(single.anomalous, single.score > 1.0);
+            // The single-traversal streaming pair agrees too.
+            let (score, flag) = det.score_and_flag(x).unwrap();
+            assert_eq!(score.to_bits(), single.score.to_bits());
+            assert_eq!(flag, single.anomalous);
+        }
+    }
+
+    #[test]
+    fn state_roundtrip_rebinds_to_any_scorer() {
+        let (det, data) = setup();
+        let state = det.state();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: HybridState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+        let rebuilt = HybridGhsomDetector::from_state(det.labeled().model().clone(), back);
+        assert_eq!(rebuilt.threshold(), det.threshold());
+        for x in data.iter_rows().take(25) {
+            assert_eq!(
+                det.verdict(x).unwrap(),
+                rebuilt.verdict(x).unwrap(),
+                "state roundtrip changed a verdict"
+            );
+        }
     }
 
     #[test]

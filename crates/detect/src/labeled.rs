@@ -57,6 +57,27 @@ pub enum DeadUnitPolicy {
     NearestLabelled,
 }
 
+/// The fitted state of a [`LabeledGhsomDetector`], decoupled from the
+/// hierarchy representation.
+///
+/// Leaf `(node, unit)` keys are stable across representations of the same
+/// hierarchy, so a state extracted with [`LabeledGhsomDetector::state`]
+/// can be rebound to any [`Scorer`] with
+/// [`LabeledGhsomDetector::from_state`] — this is what lets a serving
+/// bundle persist the label tables next to the compiled arena and
+/// reconstruct the detector without the training-time model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledState {
+    /// Majority category per leaf `(node, unit)`.
+    #[serde(with = "leaf_map")]
+    labels: HashMap<(usize, usize), AttackCategory>,
+    /// Majority-vote purity per labelled leaf.
+    #[serde(with = "leaf_map")]
+    confidence: HashMap<(usize, usize), f64>,
+    /// Dead-unit handling.
+    policy: DeadUnitPolicy,
+}
+
 /// GHSOM with majority-vote leaf labels.
 ///
 /// Generic over the hierarchy representation `M` (the [`GhsomModel`] tree
@@ -210,11 +231,29 @@ impl<M: Scorer> LabeledGhsomDetector<M> {
     /// `model.compile()`d for serving). Leaf keys transfer unchanged
     /// because projections agree bit-for-bit.
     pub fn with_scorer<N: Scorer>(&self, model: N) -> LabeledGhsomDetector<N> {
-        LabeledGhsomDetector {
-            model,
+        LabeledGhsomDetector::from_state(model, self.state())
+    }
+
+    /// Extracts the fitted state (label/confidence tables + policy) so it
+    /// can be persisted independently of the hierarchy.
+    pub fn state(&self) -> LabeledState {
+        LabeledState {
             labels: self.labels.clone(),
             confidence: self.confidence.clone(),
             policy: self.policy,
+        }
+    }
+
+    /// Rebinds a previously extracted state to a hierarchy
+    /// representation. The caller is responsible for pairing the state
+    /// with (a representation of) the hierarchy it was fitted on — leaf
+    /// keys are only meaningful against that hierarchy.
+    pub fn from_state(model: M, state: LabeledState) -> Self {
+        LabeledGhsomDetector {
+            model,
+            labels: state.labels,
+            confidence: state.confidence,
+            policy: state.policy,
         }
     }
 
@@ -266,6 +305,17 @@ impl<M: Scorer> Detector for LabeledGhsomDetector<M> {
 
     fn name(&self) -> &'static str {
         "ghsom-labeled"
+    }
+
+    /// Score and verdict from **one** hierarchy traversal (the separate
+    /// methods each project the sample again).
+    fn score_and_flag(&self, x: &[f64]) -> Result<(f64, bool), DetectError> {
+        let projection = self.model.project(x)?;
+        let classification = self.classify_key(projection.leaf_key(), x);
+        Ok((
+            Self::score_from(projection.leaf_qe(), classification),
+            !matches!(classification, Some(AttackCategory::Normal)),
+        ))
     }
 
     /// Batched scoring: one hierarchy traversal for the whole matrix.
@@ -341,12 +391,10 @@ mod tests {
     fn detector() -> (LabeledGhsomDetector, Matrix, Vec<AttackCategory>) {
         let (data, labels) = labelled_data(300, 1);
         let model = GhsomModel::train(
-            &GhsomConfig {
-                tau1: 0.4,
-                tau2: 0.2,
-                seed: 5,
-                ..Default::default()
-            },
+            &GhsomConfig::default()
+                .with_tau1(0.4)
+                .with_tau2(0.2)
+                .with_seed(5),
             &data,
         )
         .unwrap();
@@ -444,12 +492,10 @@ mod tests {
     fn dead_unit_policy_changes_fallback_behaviour() {
         let (data, labels) = labelled_data(300, 9);
         let model = GhsomModel::train(
-            &GhsomConfig {
-                tau1: 0.1, // wide maps → guaranteed dead units
-                tau2: 0.5,
-                seed: 4,
-                ..Default::default()
-            },
+            &GhsomConfig::default()
+                .with_tau1(0.1)
+                .with_tau2(0.5)
+                .with_seed(4),
             &data,
         )
         .unwrap();

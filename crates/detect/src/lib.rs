@@ -75,6 +75,22 @@ pub trait Detector {
     /// Same conditions as [`Detector::score`].
     fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError>;
 
+    /// Score **and** verdict for one sample — the single-record analogue
+    /// of [`Detector::score_and_flag_all`], and the call streaming
+    /// consumers ([`online::StreamingDetector::observe`]) make per
+    /// record. The default runs the two methods back to back;
+    /// model-backed detectors override it to derive both from a single
+    /// hierarchy traversal. Overrides must produce exactly the separate
+    /// methods' values.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::score`] /
+    /// [`Detector::is_anomalous`].
+    fn score_and_flag(&self, x: &[f64]) -> Result<(f64, bool), DetectError> {
+        Ok((self.score(x)?, self.is_anomalous(x)?))
+    }
+
     /// Short human-readable name for result tables.
     fn name(&self) -> &'static str;
 
@@ -184,9 +200,9 @@ pub mod prelude {
     pub use crate::baseline::kmeans::KMeansDetector;
     pub use crate::baseline::pca::PcaDetector;
     pub use crate::explain::{explain, Explanation, FeatureDeviation};
-    pub use crate::hybrid::HybridGhsomDetector;
-    pub use crate::labeled::{DeadUnitPolicy, LabeledGhsomDetector};
-    pub use crate::online::StreamingDetector;
+    pub use crate::hybrid::{HybridGhsomDetector, HybridState, HybridVerdict};
+    pub use crate::labeled::{DeadUnitPolicy, LabeledGhsomDetector, LabeledState};
+    pub use crate::online::{StreamStats, StreamVerdict, StreamingDetector};
     pub use crate::threshold::QeThresholdDetector;
     pub use crate::typed::TypedGhsomClassifier;
     pub use crate::{Classifier, DetectError, Detector};

@@ -104,18 +104,32 @@ impl<D: Detector> StreamingDetector<D> {
         &self.inner
     }
 
+    /// The deviation multiplier of the adaptive threshold.
+    pub fn k_sigma(&self) -> f64 {
+        self.k_sigma
+    }
+
+    /// Observations required before the threshold adapts.
+    pub fn warmup(&self) -> u64 {
+        self.warmup
+    }
+
     /// Scores one record and updates the adaptive state.
     ///
     /// Flagged records do **not** update the score statistics — an attack
     /// burst must not be allowed to drag the threshold up behind it
     /// (self-poisoning).
     ///
+    /// Scoring and the inner verdict come from the wrapped detector's
+    /// [`Detector::score_and_flag`] — **one** hierarchy traversal per
+    /// record for the GHSOM detectors, outside the lock.
+    ///
     /// # Errors
     ///
     /// Scoring errors from the wrapped detector propagate; state is not
     /// updated in that case.
     pub fn observe(&self, x: &[f64]) -> Result<StreamVerdict, DetectError> {
-        let score = self.inner.score(x)?;
+        let (score, inner_flag) = self.inner.score_and_flag(x)?;
         let mut state = self.state.lock();
         let adaptive_ready = state.scores.count() >= self.warmup;
         let threshold = if adaptive_ready {
@@ -124,9 +138,9 @@ impl<D: Detector> StreamingDetector<D> {
             f64::INFINITY // sentinel: delegate to the inner detector
         };
         let anomalous = if adaptive_ready {
-            score > threshold || self.inner.is_anomalous(x)?
+            score > threshold || inner_flag
         } else {
-            self.inner.is_anomalous(x)?
+            inner_flag
         };
         state.seen += 1;
         if anomalous {

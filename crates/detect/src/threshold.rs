@@ -121,6 +121,12 @@ impl<M: Scorer> Detector for QeThresholdDetector<M> {
         "ghsom-qe"
     }
 
+    /// One traversal: the verdict is the thresholded score.
+    fn score_and_flag(&self, x: &[f64]) -> Result<(f64, bool), DetectError> {
+        let score = self.score(x)?;
+        Ok((score, score > self.threshold))
+    }
+
     /// Batched scoring through [`GhsomModel::score_matrix`] (one grouped
     /// BMU pass per hierarchy map, parallel under the `rayon` feature).
     fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, DetectError> {
@@ -162,12 +168,10 @@ mod tests {
     fn detector() -> QeThresholdDetector {
         let data = normal_blob(300, 1);
         let model = GhsomModel::train(
-            &GhsomConfig {
-                tau1: 0.5,
-                tau2: 0.5,
-                seed: 2,
-                ..Default::default()
-            },
+            &GhsomConfig::default()
+                .with_tau1(0.5)
+                .with_tau2(0.5)
+                .with_seed(2),
             &data,
         )
         .unwrap();

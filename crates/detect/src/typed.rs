@@ -192,14 +192,11 @@ mod tests {
         let x = pipeline.transform_dataset(&train).unwrap();
         let labels: Vec<AttackType> = train.iter().map(|r| r.label).collect();
         let model = GhsomModel::train(
-            &GhsomConfig {
-                tau1: 0.3,
-                tau2: 0.03,
-                epochs_per_round: 3,
-                final_epochs: 2,
-                seed: 17,
-                ..Default::default()
-            },
+            &GhsomConfig::default()
+                .with_tau1(0.3)
+                .with_tau2(0.03)
+                .with_epochs(3, 2)
+                .with_seed(17),
             &x,
         )
         .unwrap();

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced while computing metrics.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EvalError {
     /// Paired inputs had different lengths.
     LengthMismatch {

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by encoders, scalers and pipelines.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum FeaturizeError {
     /// `transform` was called with an input of the wrong width.
     DimensionMismatch {

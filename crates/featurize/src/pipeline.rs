@@ -20,7 +20,13 @@ use crate::schema::{FeatureKind, FeatureSchema};
 use crate::FeaturizeError;
 
 /// Configuration of a [`KddPipeline`].
+///
+/// `#[non_exhaustive]` so new knobs never break downstream crates: start
+/// from [`PipelineConfig::default`] and apply the chainable `with_*`
+/// setters (fields stay `pub` for direct assignment through a `mut`
+/// binding).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct PipelineConfig {
     /// Scaling strategy for the continuous block.
     pub scaling: ScalingKind,
@@ -40,6 +46,29 @@ impl Default for PipelineConfig {
             include_categoricals: true,
             categorical_scale: 0.5,
         }
+    }
+}
+
+impl PipelineConfig {
+    /// Returns the config with the continuous-block scaling replaced.
+    #[must_use]
+    pub fn with_scaling(mut self, scaling: ScalingKind) -> Self {
+        self.scaling = scaling;
+        self
+    }
+
+    /// Returns the config with the categorical block toggled.
+    #[must_use]
+    pub fn with_categoricals(mut self, include: bool) -> Self {
+        self.include_categoricals = include;
+        self
+    }
+
+    /// Returns the config with the one-hot damping factor replaced.
+    #[must_use]
+    pub fn with_categorical_scale(mut self, scale: f64) -> Self {
+        self.categorical_scale = scale;
+        self
     }
 }
 

@@ -775,12 +775,10 @@ mod tests {
 
     fn model() -> GhsomModel {
         GhsomModel::train(
-            &GhsomConfig {
-                tau1: 0.4,
-                tau2: 0.05,
-                seed: 3,
-                ..Default::default()
-            },
+            &GhsomConfig::default()
+                .with_tau1(0.4)
+                .with_tau2(0.05)
+                .with_seed(3),
             &hierarchical_data(),
         )
         .unwrap()

@@ -5,8 +5,11 @@ use std::fmt;
 /// Errors produced while compiling, saving, loading or serving a model.
 ///
 /// Snapshot decoding never panics on hostile bytes: every malformed input
-/// maps to one of the typed variants below.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// maps to one of the typed variants below. The enum is
+/// `#[non_exhaustive]`: downstream matches need a wildcard arm, and new
+/// serving-surface variants can be added without a semver break.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ServeError {
     /// Sample width differs from the compiled model.
     DimensionMismatch {
@@ -50,6 +53,23 @@ pub enum ServeError {
     Misaligned,
     /// Filesystem I/O failed.
     Io(String),
+    /// The snapshot is a valid *model-only* artifact (no embedded pipeline
+    /// or detector sections); load it with `CompiledGhsom::load` or wire
+    /// it into an `Engine` through `Engine::builder`.
+    NotABundle {
+        /// Format version found in the header.
+        version: u32,
+    },
+    /// The engine builder is missing a required component.
+    MissingComponent(&'static str),
+    /// No engine is deployed under the requested tenant name.
+    UnknownTenant(String),
+    /// The feature pipeline failed (fitting or per-record transform).
+    Pipeline(featurize::FeaturizeError),
+    /// The detection layer failed (fitting or scoring).
+    Detector(detect::DetectError),
+    /// GHSOM training failed during `Engine::fit`.
+    Train(ghsom_core::GhsomError),
 }
 
 impl fmt::Display for ServeError {
@@ -81,15 +101,56 @@ impl fmt::Display for ServeError {
                 "zero-copy snapshot view requires 8-byte-aligned bytes; use from_bytes to copy"
             ),
             ServeError::Io(msg) => write!(f, "snapshot I/O error: {msg}"),
+            ServeError::NotABundle { version } => write!(
+                f,
+                "snapshot (version {version}) is a model-only artifact, not an engine bundle; \
+                 load it with CompiledGhsom::load or assemble an Engine via Engine::builder"
+            ),
+            ServeError::MissingComponent(what) => {
+                write!(f, "engine builder is missing a required component: {what}")
+            }
+            ServeError::UnknownTenant(name) => {
+                write!(f, "no engine deployed under tenant `{name}`")
+            }
+            ServeError::Pipeline(e) => write!(f, "feature pipeline error: {e}"),
+            ServeError::Detector(e) => write!(f, "detector error: {e}"),
+            ServeError::Train(e) => write!(f, "training error: {e}"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Pipeline(e) => Some(e),
+            ServeError::Detector(e) => Some(e),
+            ServeError::Train(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for ServeError {
     fn from(e: std::io::Error) -> Self {
         ServeError::Io(e.to_string())
+    }
+}
+
+impl From<featurize::FeaturizeError> for ServeError {
+    fn from(e: featurize::FeaturizeError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+impl From<detect::DetectError> for ServeError {
+    fn from(e: detect::DetectError) -> Self {
+        ServeError::Detector(e)
+    }
+}
+
+impl From<ghsom_core::GhsomError> for ServeError {
+    fn from(e: ghsom_core::GhsomError) -> Self {
+        ServeError::Train(e)
     }
 }
 

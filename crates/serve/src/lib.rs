@@ -7,14 +7,21 @@
 //! read the leaf key and quantization error. This crate is the serving
 //! side of that split:
 //!
+//! * [`Engine`] — the one-artifact serving facade: fitted feature
+//!   pipeline + compiled arena + fitted detector + adaptive streaming
+//!   layer behind one API (`score_record` / `score_records` / `observe`),
+//!   persisted as a single **bundle** snapshot
+//!   ([`Engine::save`]/[`Engine::load`]; see [`engine`] for the layout).
+//! * [`EngineRegistry`] — named multi-tenant engines with zero-downtime
+//!   [`EngineRegistry::swap`] rollover for long-running daemons.
 //! * [`CompiledGhsom`] — an immutable, flattened arena compiled from a
 //!   trained [`ghsom_core::GhsomModel`] ([`Compile::compile`]), with
 //!   projections **bit-identical** to the tree's.
 //! * A **versioned binary snapshot format** ([`snapshot`]) with
 //!   [`CompiledGhsom::save`]/[`CompiledGhsom::load`], plus the zero-copy
-//!   [`SnapshotView`] for `mmap`-ed model files.
-//! * Both representations implement [`ghsom_core::Scorer`], so every
-//!   detector in the `detect` crate serves from either.
+//!   [`SnapshotView`] for memory-mapped model files ([`MappedFile`]).
+//! * Both hierarchy representations implement [`ghsom_core::Scorer`], so
+//!   every detector in the `detect` crate serves from either.
 //!
 //! # Arena layout
 //!
@@ -79,15 +86,19 @@
 //! WT_OFF, CHILDREN, UNIT_HITS, UNIT_MQE, WN_HALF, the WT codebook arena
 //! and PERM — exactly the tables above. Offsets are absolute and 8-byte
 //! aligned so a mapped file can serve `f64`/`u64` sections in place.
+//! **Engine bundles** (version 2, [`snapshot::BUNDLE_VERSION`]) carry the
+//! same 15 sections plus the required PIPELINE (id 16) and DETECTOR
+//! (id 17) sections — see [`engine`] for their layout.
 //!
 //! **Versioning policy.** Incompatible layout changes bump the version and
 //! old readers reject the file with a typed error; *adding* an optional
-//! section id does not (unknown ids are skipped). Truncation is caught by
-//! the declared total length, bit rot by the checksum, and everything that
-//! parses is structurally validated (link symmetry, forward-only child
-//! edges, shape/offset consistency, finite arena values) before the first
-//! walk — hostile bytes cannot panic the process or run the walker out of
-//! bounds.
+//! section id does not (unknown ids are skipped). Model-only version-1
+//! snapshots keep loading everywhere; bundle-aware readers accept both
+//! versions. Truncation is caught by the declared total length, bit rot by
+//! the checksum, and everything that parses is structurally validated
+//! (link symmetry, forward-only child edges, shape/offset consistency,
+//! finite arena values) before the first walk — hostile bytes cannot panic
+//! the process or run the walker out of bounds.
 //!
 //! # Example
 //!
@@ -115,13 +126,19 @@
 //! # }
 //! ```
 
-#![deny(unsafe_code)] // one documented cast in snapshot::cast, allowed locally
+#![deny(unsafe_code)] // two documented islands: snapshot::cast and mmap, allowed locally
 #![warn(missing_docs)]
 
 pub mod compiled;
+pub mod engine;
 pub mod error;
+pub mod mmap;
+pub mod registry;
 pub mod snapshot;
 
 pub use compiled::{Compile, CompiledGhsom};
+pub use engine::{Engine, EngineBuilder, EngineConfig};
 pub use error::ServeError;
+pub use mmap::MappedFile;
+pub use registry::EngineRegistry;
 pub use snapshot::SnapshotView;

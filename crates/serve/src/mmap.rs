@@ -1,0 +1,248 @@
+//! Read-only memory-mapped snapshot files.
+//!
+//! [`MappedFile`] maps a snapshot (or bundle) file into the address space
+//! so a serving process can validate and walk it **in place** through
+//! [`crate::SnapshotView`] — no heap copy of the multi-megabyte arena, and
+//! repeated loads of the same artifact are served from the page cache.
+//! `mmap` returns page-aligned memory, which satisfies the view's 8-byte
+//! alignment requirement by construction.
+//!
+//! ```no_run
+//! use ghsom_serve::{MappedFile, SnapshotView};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mapped = MappedFile::open("model.ghsom")?;
+//! let view = SnapshotView::parse(&mapped)?; // zero-copy, validated once
+//! let x = vec![0.0; view.dim()];
+//! let _ = view.project(&x)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! On 64-bit Unix this is a real `mmap(2)` private read-only mapping,
+//! called through a minimal FFI declaration (the workspace builds offline
+//! with no `libc` crate; `std` already links the C library). The raw
+//! declaration hardcodes a 64-bit `off_t`, which only matches the C ABI
+//! on 64-bit targets — so on every other target (32-bit Unix included,
+//! where `off_t` may be 4 bytes without LFS) the module degrades to an
+//! 8-byte-aligned heap read: same API, same alignment guarantee, no
+//! page-cache sharing.
+
+// The second of the two unsafe islands in this crate (the other is
+// `snapshot::cast`): raw mmap/munmap FFI plus the slice reconstruction
+// over the mapping. Confined here, with the invariants documented at each
+// call site.
+#[allow(unsafe_code)]
+mod imp {
+    use crate::ServeError;
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    mod sys {
+        use std::ffi::{c_int, c_void};
+
+        extern "C" {
+            pub fn mmap(
+                addr: *mut c_void,
+                len: usize,
+                prot: c_int,
+                flags: c_int,
+                fd: c_int,
+                offset: i64,
+            ) -> *mut c_void;
+            pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        }
+
+        pub const PROT_READ: c_int = 1;
+        pub const MAP_PRIVATE: c_int = 2;
+    }
+
+    /// A read-only byte buffer backed by a memory-mapped file (64-bit
+    /// Unix) or an aligned heap copy (elsewhere). Dereferences to `&[u8]`
+    /// whose start is at least 8-byte aligned.
+    #[derive(Debug)]
+    pub struct MappedFile {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        ptr: *mut std::ffi::c_void,
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        buf: Vec<u64>,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is private, read-only and never mutated after
+    // construction; exposing it from multiple threads is no different
+    // from sharing any immutable buffer.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    unsafe impl Send for MappedFile {}
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    unsafe impl Sync for MappedFile {}
+
+    impl MappedFile {
+        /// Maps `path` read-only.
+        ///
+        /// # Errors
+        ///
+        /// [`ServeError::Io`] when the file cannot be opened, inspected
+        /// or mapped.
+        pub fn open<P: AsRef<std::path::Path>>(path: P) -> Result<Self, ServeError> {
+            let file = std::fs::File::open(&path)?;
+            let len = usize::try_from(file.metadata()?.len())
+                .map_err(|_| ServeError::Io("file too large to map".to_string()))?;
+            Self::from_file(&file, len)
+        }
+
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        fn from_file(file: &std::fs::File, len: usize) -> Result<Self, ServeError> {
+            use std::os::unix::io::AsRawFd;
+            if len == 0 {
+                // mmap rejects zero-length mappings; an empty file is an
+                // empty buffer.
+                return Ok(MappedFile {
+                    ptr: std::ptr::null_mut(),
+                    len: 0,
+                });
+            }
+            // SAFETY: plain mmap call with a live fd; a private read-only
+            // mapping has no aliasing requirements on our side. The fd
+            // may be closed afterwards — the mapping persists until
+            // munmap.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 {
+                return Err(ServeError::Io(format!("mmap of {len} bytes failed")));
+            }
+            Ok(MappedFile { ptr, len })
+        }
+
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        fn from_file(file: &std::fs::File, len: usize) -> Result<Self, ServeError> {
+            use std::io::Read;
+            let mut bytes = Vec::with_capacity(len);
+            let mut file = file;
+            file.read_to_end(&mut bytes)?;
+            let len = bytes.len();
+            // Copy into a u64-backed buffer so the byte view is 8-byte
+            // aligned like a real mapping.
+            let mut buf = vec![0u64; len.div_ceil(8)];
+            // SAFETY: u64 has no padding and the allocation is at least
+            // `len` bytes; writing raw bytes over it is well-defined.
+            unsafe {
+                std::ptr::copy_nonoverlapping(bytes.as_ptr(), buf.as_mut_ptr().cast::<u8>(), len);
+            }
+            Ok(MappedFile { buf, len })
+        }
+
+        /// Length in bytes.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// Whether the mapped file was empty.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+
+    impl std::ops::Deref for MappedFile {
+        type Target = [u8];
+
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        fn deref(&self) -> &[u8] {
+            if self.len == 0 {
+                return &[];
+            }
+            // SAFETY: the mapping covers exactly `len` readable bytes and
+            // lives until Drop; the returned slice borrows `self`.
+            unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+        }
+
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        fn deref(&self) -> &[u8] {
+            // SAFETY: the u64 buffer owns at least `len` initialized
+            // bytes (zero-filled tail) and the slice borrows `self`.
+            unsafe { std::slice::from_raw_parts(self.buf.as_ptr().cast::<u8>(), self.len) }
+        }
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    impl Drop for MappedFile {
+        fn drop(&mut self) {
+            if self.len > 0 {
+                // SAFETY: `ptr`/`len` are exactly the live mapping
+                // created in `from_file`; unmapping it once here is the
+                // matching release.
+                unsafe {
+                    sys::munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+pub use imp::MappedFile;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::tests_support::compiled_fixture;
+    use crate::SnapshotView;
+
+    #[test]
+    fn mapped_snapshot_serves_zero_copy() {
+        let compiled = compiled_fixture();
+        let path = std::env::temp_dir().join("ghsom_serve_mmap_test.ghsom");
+        compiled.save(&path).unwrap();
+        let mapped = MappedFile::open(&path).unwrap();
+        assert_eq!(mapped.len(), compiled.to_bytes().len());
+        assert!(!mapped.is_empty());
+        // Page alignment ⇒ the zero-copy view parses without copying.
+        let view = SnapshotView::parse(&mapped).unwrap();
+        assert_eq!(view.dim(), compiled.dim());
+        let x = vec![0.25; compiled.dim()];
+        assert_eq!(
+            view.project(&x).unwrap().leaf_qe().to_bits(),
+            compiled.project(&x).unwrap().leaf_qe().to_bits()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_missing_files_are_typed() {
+        let path = std::env::temp_dir().join("ghsom_serve_mmap_empty.ghsom");
+        std::fs::write(&path, b"").unwrap();
+        let mapped = MappedFile::open(&path).unwrap();
+        assert!(mapped.is_empty());
+        assert_eq!(&*mapped, b"");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            MappedFile::open("/nonexistent/definitely/missing").unwrap_err(),
+            crate::ServeError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn mapping_is_dropped_cleanly_and_shareable() {
+        let compiled = compiled_fixture();
+        let path = std::env::temp_dir().join("ghsom_serve_mmap_share.ghsom");
+        compiled.save(&path).unwrap();
+        let mapped = std::sync::Arc::new(MappedFile::open(&path).unwrap());
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let mapped = std::sync::Arc::clone(&mapped);
+                std::thread::spawn(move || SnapshotView::parse(&mapped).unwrap().total_units())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), compiled.total_units());
+        }
+        drop(mapped);
+        std::fs::remove_file(&path).ok();
+    }
+}

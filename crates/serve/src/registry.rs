@@ -1,0 +1,287 @@
+//! Hot-swappable multi-tenant engine registry.
+//!
+//! A long-running detection daemon serves many tenants (networks, sites,
+//! customers), each with its own fitted [`Engine`], and models roll over
+//! while traffic keeps flowing. [`EngineRegistry`] is the piece between
+//! the ingest loop and the engines:
+//!
+//! * **Named tenants** — engines are deployed under string names;
+//!   [`EngineRegistry::get`] hands out an `Arc<Engine>` to score against.
+//! * **Swap-based rollover** — [`EngineRegistry::swap`] atomically
+//!   replaces a tenant's engine behind the same name. In-flight work
+//!   holds its own `Arc` and finishes on the engine it started with; the
+//!   next `get` sees the new one. Nothing is torn down until the last
+//!   reference drops — **zero downtime**.
+//! * **Cheap reads** — each tenant slot is an `Arc` swapped under a
+//!   reader–writer lock that is held only for the pointer clone (a
+//!   refcount bump), never during scoring. A swap therefore never waits
+//!   on in-flight scoring, and scoring never waits on a swap beyond that
+//!   pointer exchange; the concurrency test in `tests/engine_bundle.rs`
+//!   exercises exactly this (continuous `score_record` traffic while
+//!   another thread swaps engines mid-stream).
+//!
+//! The registry is `Sync`: share one instance (`Arc<EngineRegistry>` or a
+//! plain borrow from scoped threads) between ingest threads and a control
+//! plane doing deploy/retire/swap.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::engine::Engine;
+use crate::ServeError;
+
+/// One tenant's current engine. The slot outlives individual engines:
+/// readers resolve the slot once and re-read the pointer per record
+/// batch, so a swap becomes visible mid-stream.
+#[derive(Debug)]
+struct TenantSlot {
+    engine: RwLock<Arc<Engine>>,
+}
+
+impl TenantSlot {
+    fn current(&self) -> Arc<Engine> {
+        self.engine.read().clone()
+    }
+
+    fn swap(&self, engine: Arc<Engine>) -> Arc<Engine> {
+        std::mem::replace(&mut *self.engine.write(), engine)
+    }
+}
+
+/// Named, hot-swappable engines for multi-tenant serving.
+///
+/// # Example
+///
+/// ```
+/// use ghsom_serve::{Engine, EngineConfig, EngineRegistry};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let (train, test) = traffic::synth::kdd_train_test(500, 50, 1)?;
+/// let registry = EngineRegistry::new();
+/// registry.deploy("edge-eu", Engine::fit(&EngineConfig::default(), &train)?);
+///
+/// let verdict = registry.score_record("edge-eu", &test.records()[0])?;
+/// # let _ = verdict.anomalous;
+///
+/// // Zero-downtime rollover: traffic between the two calls keeps
+/// // scoring on whichever engine its Arc points at.
+/// let retrained = Engine::fit(&EngineConfig::default(), &train)?;
+/// let old = registry.swap("edge-eu", retrained)?;
+/// # let _ = old;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct EngineRegistry {
+    tenants: RwLock<HashMap<String, Arc<TenantSlot>>>,
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploys `engine` under `name`, creating the tenant or replacing
+    /// its current engine. Returns the replaced engine, if any (callers
+    /// can drain stats from it before dropping the last reference).
+    pub fn deploy(&self, name: &str, engine: Engine) -> Option<Arc<Engine>> {
+        let engine = Arc::new(engine);
+        let mut tenants = self.tenants.write();
+        match tenants.get(name) {
+            Some(slot) => Some(slot.swap(engine)),
+            None => {
+                tenants.insert(
+                    name.to_string(),
+                    Arc::new(TenantSlot {
+                        engine: RwLock::new(engine),
+                    }),
+                );
+                None
+            }
+        }
+    }
+
+    /// Replaces the engine of an **existing** tenant and returns the
+    /// retired one. Concurrent [`EngineRegistry::score_record`] /
+    /// [`EngineRegistry::get`] calls are never blocked beyond the pointer
+    /// exchange: in-flight scoring finishes on the old engine, the next
+    /// lookup serves the new one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when no engine is deployed under
+    /// `name` (use [`EngineRegistry::deploy`] to create tenants — a swap
+    /// that silently creates one would hide rollout typos).
+    pub fn swap(&self, name: &str, engine: Engine) -> Result<Arc<Engine>, ServeError> {
+        let slot = self.slot(name)?;
+        Ok(slot.swap(Arc::new(engine)))
+    }
+
+    /// Removes a tenant entirely and returns its final engine. In-flight
+    /// references stay valid; new lookups fail with
+    /// [`ServeError::UnknownTenant`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when no engine is deployed under
+    /// `name`.
+    pub fn retire(&self, name: &str) -> Result<Arc<Engine>, ServeError> {
+        let slot = self
+            .tenants
+            .write()
+            .remove(name)
+            .ok_or_else(|| ServeError::UnknownTenant(name.to_string()))?;
+        Ok(slot.current())
+    }
+
+    /// The current engine of a tenant (an `Arc` clone — hold it across a
+    /// batch, re-`get` per batch to pick up swaps).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when no engine is deployed under
+    /// `name`.
+    pub fn get(&self, name: &str) -> Result<Arc<Engine>, ServeError> {
+        Ok(self.slot(name)?.current())
+    }
+
+    /// Scores one record against a tenant's **current** engine —
+    /// `get` + [`Engine::score_record`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] for unknown names; scoring errors
+    /// propagate.
+    pub fn score_record(
+        &self,
+        name: &str,
+        record: &traffic::ConnectionRecord,
+    ) -> Result<detect::prelude::HybridVerdict, ServeError> {
+        self.get(name)?.score_record(record)
+    }
+
+    /// Streams one record through a tenant's current engine
+    /// (`get` + [`Engine::observe`]). Note that a swap resets the
+    /// adaptive baseline: streaming state lives in the engine, not the
+    /// slot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] for unknown names; scoring errors
+    /// propagate.
+    pub fn observe(
+        &self,
+        name: &str,
+        record: &traffic::ConnectionRecord,
+    ) -> Result<detect::prelude::StreamVerdict, ServeError> {
+        self.get(name)?.observe(record)
+    }
+
+    /// Sorted tenant names.
+    pub fn tenants(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tenants.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of deployed tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.read().len()
+    }
+
+    /// Whether no tenant is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.read().is_empty()
+    }
+
+    fn slot(&self, name: &str) -> Result<Arc<TenantSlot>, ServeError> {
+        self.tenants
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTenant(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use ghsom_core::GhsomConfig;
+
+    fn tiny_engine(seed: u64) -> Engine {
+        let (train, _) = traffic::synth::kdd_train_test(300, 10, seed).unwrap();
+        let config = EngineConfig::default()
+            .with_ghsom(GhsomConfig::default().with_epochs(2, 1).with_seed(seed));
+        Engine::fit(&config, &train).unwrap()
+    }
+
+    #[test]
+    fn deploy_get_retire_lifecycle() {
+        let registry = EngineRegistry::new();
+        assert!(registry.is_empty());
+        assert!(matches!(
+            registry.get("a").unwrap_err(),
+            ServeError::UnknownTenant(_)
+        ));
+        assert!(registry.deploy("a", tiny_engine(1)).is_none());
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.tenants(), vec!["a".to_string()]);
+        let engine = registry.get("a").unwrap();
+        assert!(engine.dim() > 0);
+        let retired = registry.retire("a").unwrap();
+        assert_eq!(retired.dim(), engine.dim());
+        assert!(registry.is_empty());
+        assert!(matches!(
+            registry.retire("a").unwrap_err(),
+            ServeError::UnknownTenant(_)
+        ));
+    }
+
+    #[test]
+    fn swap_requires_an_existing_tenant_and_replaces_in_place() {
+        let registry = EngineRegistry::new();
+        assert!(matches!(
+            registry.swap("t", tiny_engine(2)).unwrap_err(),
+            ServeError::UnknownTenant(_)
+        ));
+        registry.deploy("t", tiny_engine(2));
+        let before = registry.get("t").unwrap();
+        let old = registry.swap("t", tiny_engine(3)).unwrap();
+        assert!(
+            Arc::ptr_eq(&before, &old),
+            "swap must return the retired engine"
+        );
+        let after = registry.get("t").unwrap();
+        assert!(!Arc::ptr_eq(&before, &after), "swap must be observable");
+        // The in-flight reference stays fully usable after the swap.
+        let (_, test) = traffic::synth::kdd_train_test(10, 20, 9).unwrap();
+        before.score_record(&test.records()[0]).unwrap();
+    }
+
+    #[test]
+    fn deploy_over_an_existing_tenant_returns_the_old_engine() {
+        let registry = EngineRegistry::new();
+        registry.deploy("t", tiny_engine(4));
+        let replaced = registry.deploy("t", tiny_engine(5));
+        assert!(replaced.is_some());
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let registry = EngineRegistry::new();
+        registry.deploy("eu", tiny_engine(6));
+        registry.deploy("us", tiny_engine(7));
+        let (_, test) = traffic::synth::kdd_train_test(10, 30, 8).unwrap();
+        // Both tenants score the same stream independently.
+        for rec in test.iter() {
+            registry.observe("eu", rec).unwrap();
+        }
+        assert_eq!(registry.get("eu").unwrap().stream_stats().seen, 30);
+        assert_eq!(registry.get("us").unwrap().stream_stats().seen, 0);
+    }
+}

@@ -31,7 +31,8 @@ use crate::ServeError;
 /// The 8-byte magic every snapshot starts with.
 pub const MAGIC: [u8; 8] = *b"GHSOMSNP";
 
-/// Current (and oldest supported) format version.
+/// Format version of **model-only** snapshots
+/// ([`CompiledGhsom::to_bytes`]): the 15 arena sections, nothing else.
 ///
 /// Policy: the version is bumped on **any** incompatible layout change —
 /// new required sections, changed element widths, changed section
@@ -41,6 +42,16 @@ pub const MAGIC: [u8; 8] = *b"GHSOMSNP";
 /// ignored by older readers, and `VERSION` stays the floor both sides
 /// agree on.
 pub const VERSION: u32 = 1;
+
+/// Format version of **engine bundles** (`Engine::to_bytes`): the same 15
+/// arena sections plus the required `PIPELINE` and `DETECTOR` sections
+/// (see [`crate::engine`]). Bundles are version-gated upward — a version-1
+/// reader rejects them with [`ServeError::UnsupportedVersion`] instead of
+/// silently serving a model without its input transform — while
+/// version-[`VERSION`] model-only snapshots still load everywhere
+/// (`CompiledGhsom::from_bytes` accepts both versions; `Engine::from_bytes`
+/// reports [`ServeError::NotABundle`] for them).
+pub const BUNDLE_VERSION: u32 = 2;
 
 /// Fixed preamble size: magic (8) + version (4) + section count (4) +
 /// total length (8) + checksum (8).
@@ -66,8 +77,16 @@ const SEC_UNIT_MQE: u32 = 12;
 const SEC_WN_HALF: u32 = 13;
 const SEC_WT: u32 = 14;
 const SEC_PERM: u32 = 15;
+/// Bundle section: the fitted feature pipeline as UTF-8 JSON
+/// (required from [`BUNDLE_VERSION`] on; see [`crate::engine`]).
+pub(crate) const SEC_PIPELINE: u32 = 16;
+/// Bundle section: the fitted detector + stream state as UTF-8 JSON
+/// (required from [`BUNDLE_VERSION`] on; see [`crate::engine`]).
+pub(crate) const SEC_DETECTOR: u32 = 17;
 
-/// Every section a version-1 snapshot must carry.
+/// Every section a snapshot of any supported version must carry (the
+/// arena tables). Bundles additionally require [`SEC_PIPELINE`] and
+/// [`SEC_DETECTOR`].
 const REQUIRED: [u32; 15] = [
     SEC_META,
     SEC_MEAN,
@@ -101,9 +120,43 @@ fn push_section(buf: &mut Vec<u8>, table: &mut Vec<(u32, usize, usize)>, id: u32
     buf.extend_from_slice(payload);
 }
 
+/// Lays out a header + section table + payloads buffer and seals it with
+/// the total length and checksum — the shared tail of every encoder
+/// (model-only snapshots and engine bundles).
+pub(crate) fn seal(version: u32, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC);
+    bytes::put_u32(&mut buf, version);
+    bytes::put_u32(&mut buf, sections.len() as u32);
+    bytes::put_u64(&mut buf, 0); // total length, patched below
+    bytes::put_u64(&mut buf, 0); // checksum, patched below
+    debug_assert_eq!(buf.len(), HEADER_LEN);
+    // Reserve the section table, then lay out the payloads.
+    buf.resize(HEADER_LEN + sections.len() * SECTION_ENTRY_LEN, 0);
+    let mut table = Vec::with_capacity(sections.len());
+    for (id, payload) in sections {
+        push_section(&mut buf, &mut table, *id, payload);
+    }
+    // Patch the table…
+    for (i, (id, offset, len)) in table.into_iter().enumerate() {
+        let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
+        buf[at..at + 4].copy_from_slice(&id.to_le_bytes());
+        buf[at + 4..at + 8].copy_from_slice(&0u32.to_le_bytes());
+        buf[at + 8..at + 16].copy_from_slice(&(offset as u64).to_le_bytes());
+        buf[at + 16..at + 24].copy_from_slice(&(len as u64).to_le_bytes());
+    }
+    // …then the length and the checksum over everything after it.
+    let total = buf.len() as u64;
+    buf[16..24].copy_from_slice(&total.to_le_bytes());
+    let checksum = bytes::fnv1a64(&buf[HEADER_LEN..]);
+    buf[24..32].copy_from_slice(&checksum.to_le_bytes());
+    buf
+}
+
 impl CompiledGhsom {
-    /// Serializes the arena into the version-[`VERSION`] snapshot format.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// The arena's 15 sections in canonical id order — the payload of a
+    /// model-only snapshot, and the prefix an engine bundle extends.
+    pub(crate) fn arena_sections(&self) -> Vec<(u32, Vec<u8>)> {
         let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(REQUIRED.len());
         let mut meta = Vec::with_capacity(META_LEN);
         bytes::put_u32(&mut meta, self.dim as u32);
@@ -141,39 +194,20 @@ impl CompiledGhsom {
         sections.push((SEC_WN_HALF, f64s(&self.wn_half)));
         sections.push((SEC_WT, f64s(&self.wt)));
         sections.push((SEC_PERM, u32s(&self.perm)));
+        sections
+    }
 
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&MAGIC);
-        bytes::put_u32(&mut buf, VERSION);
-        bytes::put_u32(&mut buf, sections.len() as u32);
-        bytes::put_u64(&mut buf, 0); // total length, patched below
-        bytes::put_u64(&mut buf, 0); // checksum, patched below
-        debug_assert_eq!(buf.len(), HEADER_LEN);
-        // Reserve the section table, then lay out the payloads.
-        buf.resize(HEADER_LEN + sections.len() * SECTION_ENTRY_LEN, 0);
-        let mut table = Vec::with_capacity(sections.len());
-        for (id, payload) in &sections {
-            push_section(&mut buf, &mut table, *id, payload);
-        }
-        // Patch the table…
-        for (i, (id, offset, len)) in table.into_iter().enumerate() {
-            let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
-            buf[at..at + 4].copy_from_slice(&id.to_le_bytes());
-            buf[at + 4..at + 8].copy_from_slice(&0u32.to_le_bytes());
-            buf[at + 8..at + 16].copy_from_slice(&(offset as u64).to_le_bytes());
-            buf[at + 16..at + 24].copy_from_slice(&(len as u64).to_le_bytes());
-        }
-        // …then the length and the checksum over everything after it.
-        let total = buf.len() as u64;
-        buf[16..24].copy_from_slice(&total.to_le_bytes());
-        let checksum = bytes::fnv1a64(&buf[HEADER_LEN..]);
-        buf[24..32].copy_from_slice(&checksum.to_le_bytes());
-        buf
+    /// Serializes the arena into the version-[`VERSION`] model-only
+    /// snapshot format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        seal(VERSION, &self.arena_sections())
     }
 
     /// Decodes a snapshot into an owned arena. Accepts any buffer
     /// alignment (section payloads are copied); for in-place serving of
-    /// mapped files use [`SnapshotView`].
+    /// mapped files use [`SnapshotView`]. Both model-only snapshots and
+    /// engine bundles are accepted — the extra bundle sections are simply
+    /// ignored here.
     ///
     /// # Errors
     ///
@@ -181,6 +215,13 @@ impl CompiledGhsom {
     /// checksum mismatches and structural violations.
     pub fn from_bytes(raw: &[u8]) -> Result<Self, ServeError> {
         let sections = parse_preamble(raw)?;
+        Self::decode_arena(raw, &sections)
+    }
+
+    /// Decodes the 15 arena sections out of an already-parsed snapshot —
+    /// shared by [`CompiledGhsom::from_bytes`] and the bundle decoder in
+    /// [`crate::engine`].
+    pub(crate) fn decode_arena(raw: &[u8], sections: &Sections) -> Result<Self, ServeError> {
         let meta = Meta::decode(sections.payload(raw, SEC_META)?)?;
         let get_u32s = |id: u32| -> Result<Vec<u32>, ServeError> {
             bytes::get_u32s(sections.payload(raw, id)?)
@@ -277,13 +318,15 @@ impl Meta {
 }
 
 /// Parsed and bounds-checked section table.
-struct Sections {
+pub(crate) struct Sections {
+    /// Format version from the header ([`VERSION`] or [`BUNDLE_VERSION`]).
+    pub(crate) version: u32,
     /// id → `(offset, len)`, both in bytes, validated in range.
     map: BTreeMap<u32, (usize, usize)>,
 }
 
 impl Sections {
-    fn payload<'a>(&self, raw: &'a [u8], id: u32) -> Result<&'a [u8], ServeError> {
+    pub(crate) fn payload<'a>(&self, raw: &'a [u8], id: u32) -> Result<&'a [u8], ServeError> {
         let &(offset, len) = self
             .map
             .get(&id)
@@ -293,7 +336,7 @@ impl Sections {
 }
 
 /// Validates magic, version, length, checksum and the section table.
-fn parse_preamble(raw: &[u8]) -> Result<Sections, ServeError> {
+pub(crate) fn parse_preamble(raw: &[u8]) -> Result<Sections, ServeError> {
     if raw.len() < HEADER_LEN {
         return Err(ServeError::Truncated {
             needed: HEADER_LEN,
@@ -304,10 +347,10 @@ fn parse_preamble(raw: &[u8]) -> Result<Sections, ServeError> {
         return Err(ServeError::BadMagic);
     }
     let version = bytes::get_u32(raw, 8).expect("length checked");
-    if version != VERSION {
+    if version != VERSION && version != BUNDLE_VERSION {
         return Err(ServeError::UnsupportedVersion {
             found: version,
-            supported: VERSION,
+            supported: BUNDLE_VERSION,
         });
     }
     let section_count = bytes::get_u32(raw, 12).expect("length checked") as usize;
@@ -370,7 +413,16 @@ fn parse_preamble(raw: &[u8]) -> Result<Sections, ServeError> {
             return Err(ServeError::Malformed("missing required section"));
         }
     }
-    Ok(Sections { map })
+    if version >= BUNDLE_VERSION {
+        // A bundle without its pipeline/detector sections is malformed —
+        // the version gate is exactly the promise that they are present.
+        for id in [SEC_PIPELINE, SEC_DETECTOR] {
+            if !map.contains_key(&id) {
+                return Err(ServeError::Malformed("bundle is missing a bundle section"));
+            }
+        }
+    }
+    Ok(Sections { version, map })
 }
 
 // --- zero-copy view ---------------------------------------------------------
@@ -378,10 +430,11 @@ fn parse_preamble(raw: &[u8]) -> Result<Sections, ServeError> {
 /// Safe zero-copy reinterpretation of aligned little-endian section
 /// payloads.
 ///
-/// This is the only unsafe code in the workspace; it is confined to
-/// [`slice_cast`], whose preconditions (element types with no invalid bit
-/// patterns, checked length multiple, checked alignment) make the
-/// `from_raw_parts` call sound.
+/// One of the two unsafe islands in the workspace (the other is
+/// [`crate::mmap`]); it is confined to [`slice_cast`], whose
+/// preconditions (element types with no invalid bit patterns, checked
+/// length multiple, checked alignment) make the `from_raw_parts` call
+/// sound.
 #[allow(unsafe_code)]
 mod cast {
     use crate::ServeError;
@@ -600,13 +653,14 @@ impl Scorer for SnapshotView<'_> {
     }
 }
 
+/// Shared fixtures for this crate's test modules.
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests_support {
     use super::*;
     use crate::compiled::Compile;
     use ghsom_core::{GhsomConfig, GhsomModel};
 
-    fn model() -> GhsomModel {
+    pub(crate) fn model_fixture() -> GhsomModel {
         let rows: Vec<Vec<f64>> = (0..300)
             .map(|i| {
                 let c = (i % 3) as f64 * 5.0;
@@ -614,19 +668,26 @@ mod tests {
             })
             .collect();
         GhsomModel::train(
-            &GhsomConfig {
-                tau1: 0.4,
-                tau2: 0.08,
-                seed: 17,
-                ..Default::default()
-            },
+            &GhsomConfig::default()
+                .with_tau1(0.4)
+                .with_tau2(0.08)
+                .with_seed(17),
             &Matrix::from_rows(rows).unwrap(),
         )
         .unwrap()
     }
 
+    pub(crate) fn compiled_fixture() -> CompiledGhsom {
+        model_fixture().compile().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
     fn compiled() -> CompiledGhsom {
-        model().compile().unwrap()
+        tests_support::compiled_fixture()
     }
 
     /// Copies the snapshot to an 8-byte-aligned position inside a padded
@@ -740,7 +801,7 @@ mod tests {
             CompiledGhsom::from_bytes(&bad).unwrap_err(),
             ServeError::UnsupportedVersion {
                 found: 99,
-                supported: VERSION
+                supported: BUNDLE_VERSION
             }
         );
     }

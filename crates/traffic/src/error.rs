@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced while generating or parsing traffic data.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum TrafficError {
     /// A CSV line had the wrong number of fields.
     FieldCount {

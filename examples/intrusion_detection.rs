@@ -17,14 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train_labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
 
     println!("training GHSOM and baselines on {} records …", train.len());
-    let config = GhsomConfig {
-        tau1: 0.3,
-        tau2: 0.03,
-        epochs_per_round: 3,
-        final_epochs: 3,
-        seed: 7,
-        ..Default::default()
-    };
+    let config = GhsomConfig::default()
+        .with_tau1(0.3)
+        .with_tau2(0.03)
+        .with_epochs(3, 3)
+        .with_seed(7);
     let model = GhsomModel::train(&config, &x_train)?;
     let units = model.total_units();
     println!(

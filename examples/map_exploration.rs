@@ -19,12 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("training GHSOM …");
     let model = GhsomModel::train(
-        &GhsomConfig {
-            tau1: 0.3,
-            tau2: 0.03,
-            seed: 5,
-            ..Default::default()
-        },
+        &GhsomConfig::default()
+            .with_tau1(0.3)
+            .with_tau2(0.03)
+            .with_seed(5),
         &x_train,
     )?;
     let stats = model.topology_stats();

@@ -1,6 +1,14 @@
 //! Model persistence: train once, ship the model as a **binary
 //! snapshot**, reload it in a "fresh process" and verify the projections
-//! are bit-identical — the ship-a-trained-model workflow.
+//! are bit-identical — the ship-a-trained-model workflow, one layer below
+//! the `Engine` facade.
+//!
+//! > For deployments, prefer the one-artifact **engine bundle**
+//! > (`Engine::save`/`Engine::load`, see `examples/serve_daemon.rs`): it
+//! > carries the pipeline, arena and detector state in a single
+//! > checksummed file. This example shows the two-artifact split the
+//! > bundle packages up — useful when the pipeline/detector state must
+//! > stay human-editable or ship on a different cadence than the model.
 //!
 //! Two artifacts are written:
 //!
@@ -41,12 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x_train = pipeline.transform_dataset(&train)?;
     let labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
     let model = GhsomModel::train(
-        &GhsomConfig {
-            tau1: 0.3,
-            tau2: 0.03,
-            seed: 21,
-            ..Default::default()
-        },
+        &GhsomConfig::default()
+            .with_tau1(0.3)
+            .with_tau2(0.03)
+            .with_seed(21),
         &x_train,
     )?;
     let detector = HybridGhsomDetector::fit(model, &x_train, &labels, 0.99)?;

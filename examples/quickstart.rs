@@ -28,12 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Model: grow the hierarchical SOM.
     println!("training GHSOM (tau1 = 0.3, tau2 = 0.03) …");
-    let config = GhsomConfig {
-        tau1: 0.3,
-        tau2: 0.03,
-        seed: 42,
-        ..Default::default()
-    };
+    let config = GhsomConfig::default()
+        .with_tau1(0.3)
+        .with_tau2(0.03)
+        .with_seed(42);
     let model = GhsomModel::train(&config, &x_train)?;
     let stats = model.topology_stats();
     println!(

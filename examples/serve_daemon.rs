@@ -1,0 +1,145 @@
+//! A miniature multi-tenant detection daemon: the deployment shape the
+//! serving plane was built for.
+//!
+//! The example plays both sides of the artifact boundary:
+//!
+//! 1. **Training side** — fits one [`Engine`] per tenant (different
+//!    traffic mixes/seeds) and writes each as a **bundle** file
+//!    (`<tenant>.bundle`: fitted pipeline + compiled arena + detector
+//!    state in one checksummed snapshot) into a spool directory.
+//! 2. **Daemon side** — scans the directory, **memory-maps** every
+//!    bundle ([`MappedFile`]), validates it zero-copy
+//!    ([`SnapshotView::parse`]) before committing to a heap decode, and
+//!    deploys the engines into an [`EngineRegistry`]. It then scores an
+//!    interleaved record stream against per-tenant engines, and —
+//!    mid-stream — retrains one tenant and [`EngineRegistry::swap`]s the
+//!    new engine in with traffic still flowing (zero downtime: in-flight
+//!    batches finish on the engine they started with).
+//!
+//! ```text
+//! cargo run --release --example serve_daemon
+//! ```
+
+use std::time::Instant;
+
+use ghsom_suite::prelude::*;
+
+/// Tenants with deliberately different traffic profiles.
+const TENANTS: [(&str, u64); 3] = [("edge-eu", 11), ("edge-us", 23), ("core-dc", 37)];
+
+fn fit_tenant_engine(seed: u64, n_train: usize) -> Result<Engine, Box<dyn std::error::Error>> {
+    let (train, _) = traffic::synth::kdd_train_test(n_train, 10, seed)?;
+    let config = EngineConfig::default()
+        .with_ghsom(GhsomConfig::default().with_epochs(3, 3).with_seed(seed))
+        .with_stream(4.0, 200);
+    Ok(Engine::fit(&config, &train)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Training side: one bundle artifact per tenant -------------------
+    let spool = std::env::temp_dir().join("ghsom_serve_daemon_spool");
+    std::fs::create_dir_all(&spool)?;
+    println!(
+        "fitting and spooling tenant bundles to {} …",
+        spool.display()
+    );
+    for (tenant, seed) in TENANTS {
+        let engine = fit_tenant_engine(seed, 2_000)?;
+        let path = spool.join(format!("{tenant}.bundle"));
+        engine.save(&path)?;
+        println!(
+            "  {tenant}: {} maps / {} units, {:.2} MiB bundle",
+            engine.compiled().map_count(),
+            engine.compiled().total_units(),
+            std::fs::metadata(&path)?.len() as f64 / (1024.0 * 1024.0),
+        );
+    }
+
+    // --- Daemon side: mmap + validate + deploy ---------------------------
+    println!("\ndaemon start: scanning spool directory …");
+    let registry = EngineRegistry::new();
+    for entry in std::fs::read_dir(&spool)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("bundle") {
+            continue;
+        }
+        let tenant = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or("bundle file without a stem")?
+            .to_string();
+        let t0 = Instant::now();
+        // Map the artifact and validate it in place (zero-copy, page
+        // cache shared with every other process serving this bundle)…
+        let mapped = MappedFile::open(&path)?;
+        let view = SnapshotView::parse(&mapped)?;
+        let validated_us = t0.elapsed().as_micros();
+        // …then decode the full engine (pipeline + detector + arena) out
+        // of the same mapped bytes.
+        let engine = Engine::from_bytes(&mapped)?;
+        let loaded_us = t0.elapsed().as_micros();
+        println!(
+            "  deployed `{tenant}`: {} units validated in {validated_us} µs, engine up in {loaded_us} µs",
+            view.total_units(),
+        );
+        registry.deploy(&tenant, engine);
+    }
+    assert_eq!(registry.len(), TENANTS.len());
+
+    // --- Serve an interleaved stream -------------------------------------
+    let (_, stream_data) = traffic::synth::kdd_train_test(10, 6_000, 99)?;
+    let records = stream_data.records();
+    println!(
+        "\nscoring {} records round-robin across tenants …",
+        records.len()
+    );
+    let t0 = Instant::now();
+    let mut flagged = 0usize;
+    for (i, chunk) in records.chunks(512).enumerate() {
+        let tenant = TENANTS[i % TENANTS.len()].0;
+        // Re-resolve per batch: this is what makes swaps visible.
+        let engine = registry.get(tenant)?;
+        flagged += engine
+            .observe_records(chunk)?
+            .iter()
+            .filter(|v| v.anomalous)
+            .count();
+
+        // Mid-stream rollover for one tenant: retrain on "fresh" traffic
+        // and swap with zero downtime.
+        if i == 5 {
+            let retrained = fit_tenant_engine(TENANTS[0].1 ^ 0xFF, 1_500)?;
+            let old = registry.swap(TENANTS[0].0, retrained)?;
+            println!(
+                "  swapped `{}` mid-stream (old engine had seen {} records; swap did not stall scoring)",
+                TENANTS[0].0,
+                old.stream_stats().seen,
+            );
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    println!(
+        "  {} records in {:.3} s ({:.0} records/s through full record→verdict engines), {} flagged",
+        records.len(),
+        elapsed,
+        records.len() as f64 / elapsed,
+        flagged,
+    );
+
+    for tenant in registry.tenants() {
+        let stats = registry.get(&tenant)?.stream_stats();
+        println!(
+            "  `{tenant}`: seen {} flagged {} (baseline over {} tracked scores)",
+            stats.seen, stats.flagged, stats.tracked,
+        );
+    }
+
+    // Retire everything and clean up the spool.
+    for (tenant, _) in TENANTS {
+        registry.retire(tenant)?;
+    }
+    assert!(registry.is_empty());
+    std::fs::remove_dir_all(&spool).ok();
+    println!("\ndaemon shut down cleanly");
+    Ok(())
+}

@@ -51,12 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x_train = pipeline.transform_dataset(&train)?;
     let labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
     let model = GhsomModel::train(
-        &GhsomConfig {
-            tau1: 0.3,
-            tau2: 0.03,
-            seed: 3,
-            ..Default::default()
-        },
+        &GhsomConfig::default()
+            .with_tau1(0.3)
+            .with_tau2(0.03)
+            .with_seed(3),
         &x_train,
     )?;
     let detector = HybridGhsomDetector::fit(model, &x_train, &labels, 0.995)?;

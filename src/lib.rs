@@ -21,34 +21,40 @@
 //!
 //! # Quickstart
 //!
+//! The [`serve::Engine`] facade owns the whole record → vector →
+//! hierarchy-walk → verdict path:
+//!
 //! ```
 //! use ghsom_suite::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! // 1. Synthesize KDD-style traffic (train mix has no unseen attacks).
 //! let (train, test) = traffic::synth::kdd_train_test(1_000, 500, 42)?;
-//!
-//! // 2. Fit the feature pipeline on training data.
-//! let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train)?;
-//! let x_train = pipeline.transform_dataset(&train)?;
-//!
-//! // 3. Train the GHSOM.
-//! let model = GhsomModel::train(&GhsomConfig::default(), &x_train)?;
-//!
-//! // 4. Fit the hybrid detector (unit labels + QE threshold).
-//! let labels: Vec<_> = train.iter().map(|r| r.category()).collect();
-//! let detector = HybridGhsomDetector::fit(model, &x_train, &labels, 0.99)?;
-//!
-//! // 5. Detect.
-//! let x = pipeline.transform(&test.records()[0])?;
-//! let _ = detector.is_anomalous(&x)?;
+//! let engine = Engine::fit(&EngineConfig::default(), &train)?;
+//! let verdict = engine.score_record(&test.records()[0])?;
+//! # let _ = (verdict.score, verdict.anomalous, verdict.category);
 //! # Ok(())
 //! # }
 //! ```
 //!
-//! See `examples/` for runnable end-to-end scenarios and
-//! `crates/bench/src/bin/repro.rs` for the table/figure reproduction
-//! harness.
+//! `verdict` carries the anomaly score, the binary flag and the predicted
+//! attack category from one hierarchy traversal. From the same engine:
+//! [`serve::Engine::score_records`] batches whole record slices,
+//! [`serve::Engine::observe`] streams with an adaptive `mean + k·σ`
+//! threshold, and [`serve::Engine::save`]/[`serve::Engine::load`] persist
+//! **one bundle artifact** (fitted pipeline + compiled arena + detector
+//! state, checksummed and validated on load) that a serving process loads
+//! with no access to the training objects. [`serve::EngineRegistry`] runs
+//! many named engines side by side with zero-downtime
+//! [`serve::EngineRegistry::swap`] rollover.
+//!
+//! Each stage (pipeline, model, detector) remains independently usable —
+//! fit them yourself and assemble with
+//! `Engine::builder().pipeline(p).model(&m).detector(&d).build()`; see
+//! the crate docs of [`featurize`], [`core`](mod@core) and [`detect`].
+//!
+//! See `examples/` for runnable end-to-end scenarios (including the
+//! multi-tenant `serve_daemon`) and `crates/bench/src/bin/repro.rs` for
+//! the table/figure reproduction harness.
 //!
 //! # Performance: the batched BMU engine
 //!
@@ -78,7 +84,9 @@
 //! tree, move the fitted thresholds/labels to the compiled plane with
 //! `with_scorer`, and the hot paths (`score_all`,
 //! `StreamingDetector::observe_batch`) run on the arena. See
-//! `BENCH_2.json` for the measured tree-vs-compiled serving numbers.
+//! `BENCH_2.json` for the measured tree-vs-compiled serving numbers and
+//! `BENCH_3.json` for end-to-end engine throughput and bundle load
+//! latency (cold read vs memory-mapped).
 //!
 //! The **`rayon` cargo feature** (default on) additionally parallelizes
 //! those paths over sample chunks and sibling maps using std scoped
@@ -106,6 +114,9 @@ pub mod prelude {
     pub use detect::prelude::*;
     pub use featurize::{KddPipeline, PipelineConfig, ScalingKind};
     pub use ghsom_core::{GhsomConfig, GhsomModel, Scorer};
-    pub use ghsom_serve::{Compile, CompiledGhsom, SnapshotView};
+    pub use ghsom_serve::{
+        Compile, CompiledGhsom, Engine, EngineBuilder, EngineConfig, EngineRegistry, MappedFile,
+        ServeError, SnapshotView,
+    };
     pub use traffic::{self, AttackCategory, AttackType, ConnectionRecord, Dataset};
 }

@@ -20,14 +20,11 @@ fn build() -> Bench {
     let x_test = pipeline.transform_dataset(&test).unwrap();
     let labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
     let model = GhsomModel::train(
-        &GhsomConfig {
-            tau1: 0.3,
-            tau2: 0.03,
-            epochs_per_round: 3,
-            final_epochs: 3,
-            seed: 77,
-            ..Default::default()
-        },
+        &GhsomConfig::default()
+            .with_tau1(0.3)
+            .with_tau2(0.03)
+            .with_epochs(3, 3)
+            .with_seed(77),
         &x_train,
     )
     .unwrap();

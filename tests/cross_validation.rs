@@ -33,14 +33,11 @@ fn stratified_cv_of_the_hybrid_detector_is_stable() {
         let x_test = pipeline.transform_dataset(&test).unwrap();
         let cats: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
         let model = GhsomModel::train(
-            &GhsomConfig {
-                tau1: 0.3,
-                tau2: 0.03,
-                epochs_per_round: 2,
-                final_epochs: 2,
-                seed: 31 + fold_no as u64,
-                ..Default::default()
-            },
+            &GhsomConfig::default()
+                .with_tau1(0.3)
+                .with_tau2(0.03)
+                .with_epochs(2, 2)
+                .with_seed(31 + fold_no as u64),
             &x_train,
         )
         .unwrap();

@@ -1,0 +1,208 @@
+//! End-to-end acceptance tests of the one-artifact serving surface:
+//!
+//! * the bundle round-trip property — fit → save → load → **bit-identical
+//!   verdicts on 1 000 held-out records**, with no training objects in
+//!   reach of the reloaded engine;
+//! * hostile-bytes behaviour of the bundle decoder (truncation, bit
+//!   flips, wrong versions) — typed errors, never panics;
+//! * legacy compatibility — version-1 model-only snapshots still load and
+//!   serve, and are version-gated out of the bundle path;
+//! * the registry concurrency contract — [`EngineRegistry::swap`] is
+//!   observable mid-stream without blocking concurrent
+//!   [`Engine::score_record`] traffic.
+
+use proptest::prelude::*;
+
+use ghsom_suite::prelude::*;
+
+fn small_engine(seed: u64, n_train: usize) -> (Engine, Dataset) {
+    let (train, test) = traffic::synth::kdd_train_test(n_train, 1_000, seed).unwrap();
+    let config = EngineConfig::default()
+        .with_ghsom(GhsomConfig::default().with_epochs(2, 2).with_seed(seed))
+        .with_stream(4.0, 100);
+    (Engine::fit(&config, &train).unwrap(), test)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// fit → save → load → identical verdicts on 1k records, across
+    /// random training seeds (each case fits a fresh engine).
+    #[test]
+    fn bundle_roundtrip_verdicts_are_bit_identical(seed in 0u64..1000) {
+        let (engine, test) = small_engine(seed, 1_200);
+        prop_assert_eq!(test.len(), 1_000);
+        let path = std::env::temp_dir().join(format!("ghsom_bundle_prop_{seed}.bundle"));
+        engine.save(&path).unwrap();
+        let reloaded = Engine::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // The reloaded engine has no access to the original pipeline,
+        // model or detector objects — only the bundle bytes.
+        let a = engine.score_records(test.records()).unwrap();
+        let b = reloaded.score_records(test.records()).unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+            prop_assert_eq!(x.anomalous, y.anomalous);
+            prop_assert_eq!(x.category, y.category);
+        }
+        // And the bundle re-serializes byte-identically.
+        prop_assert_eq!(reloaded.to_bytes(), engine.to_bytes());
+    }
+
+    /// Single-byte corruption anywhere in a bundle is always caught with
+    /// a typed error (checksum for payload flips, header checks for the
+    /// preamble) — never a panic, never a silently different verdict.
+    #[test]
+    fn bundle_corruption_is_always_typed(at_frac in 0usize..100, bit in 0u8..8) {
+        // One shared engine: the property ranges over corruption sites.
+        let (engine, _) = small_engine(7, 400);
+        let bundle = engine.to_bytes();
+        let at = (bundle.len() - 1) * at_frac / 100;
+        let mut bad = bundle.clone();
+        bad[at] ^= 1 << bit;
+        prop_assert!(
+            Engine::from_bytes(&bad).is_err(),
+            "flip at byte {} bit {} was not detected", at, bit
+        );
+    }
+}
+
+#[test]
+fn truncation_and_versions_are_typed() {
+    let (engine, _) = small_engine(3, 400);
+    let bundle = engine.to_bytes();
+    for cut in (0..bundle.len()).step_by(997) {
+        assert!(matches!(
+            Engine::from_bytes(&bundle[..cut]).unwrap_err(),
+            ServeError::Truncated { .. }
+        ));
+    }
+    let mut future = bundle.clone();
+    future[8..12].copy_from_slice(&77u32.to_le_bytes());
+    assert!(matches!(
+        Engine::from_bytes(&future).unwrap_err(),
+        ServeError::UnsupportedVersion { found: 77, .. }
+    ));
+}
+
+/// A version-1 model-only snapshot (the PR 2 artifact) still loads
+/// everywhere it used to, and the Engine path version-gates it with a
+/// typed error instead of serving a model without its input transform.
+#[test]
+fn legacy_model_only_snapshots_still_load() {
+    let (engine, test) = small_engine(5, 600);
+    // Write the legacy artifact exactly as PR 2 code would have.
+    let legacy = engine.compiled().to_bytes();
+    assert_eq!(ghsom_serve::snapshot::VERSION, 1);
+    let path = std::env::temp_dir().join("ghsom_legacy_model_only.ghsom");
+    std::fs::write(&path, &legacy).unwrap();
+
+    // 1. The arena loader accepts it unchanged.
+    let arena = CompiledGhsom::load(&path).unwrap();
+    assert_eq!(&arena, engine.compiled());
+
+    // 2. The zero-copy view accepts it unchanged (via mmap, as a real
+    //    server would).
+    let mapped = MappedFile::open(&path).unwrap();
+    let view = SnapshotView::parse(&mapped).unwrap();
+    assert_eq!(view.total_units(), engine.compiled().total_units());
+
+    // 3. The engine path refuses it with the typed gate…
+    assert!(matches!(
+        Engine::load(&path).unwrap_err(),
+        ServeError::NotABundle { version: 1 }
+    ));
+
+    // 4. …and the builder is the documented escape hatch: legacy arena +
+    //    separately shipped pipeline/detector still make a full engine
+    //    with identical verdicts.
+    let rebuilt = Engine::builder()
+        .pipeline(engine.pipeline().clone())
+        .compiled(arena)
+        .detector(engine.detector())
+        .build()
+        .unwrap();
+    for rec in test.iter().take(200) {
+        assert_eq!(
+            engine.score_record(rec).unwrap(),
+            rebuilt.score_record(rec).unwrap()
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The registry's rollover contract: while scoring threads hammer
+/// `score_record` through the registry, a control thread swaps the
+/// tenant's engine repeatedly. Every score call must succeed (no
+/// downtime), scoring must keep making progress *during* swaps (no
+/// blocking), and the swaps must become visible to readers mid-stream.
+#[test]
+fn registry_swap_is_observable_and_non_blocking_mid_stream() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let (engine, test) = small_engine(9, 500);
+    let registry = Arc::new(EngineRegistry::new());
+    registry.deploy("tenant", engine);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scored = Arc::new(AtomicU64::new(0));
+    let generations_seen = Arc::new(std::sync::Mutex::new(std::collections::HashSet::new()));
+    let records = Arc::new(test.records().to_vec());
+
+    let mut handles = Vec::new();
+    for t in 0..3 {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        let scored = Arc::clone(&scored);
+        let generations = Arc::clone(&generations_seen);
+        let records = Arc::clone(&records);
+        handles.push(std::thread::spawn(move || {
+            let mut i = t;
+            while !stop.load(Ordering::Relaxed) {
+                // Resolve per record: swaps must become visible here.
+                let engine = registry.get("tenant").unwrap();
+                generations
+                    .lock()
+                    .unwrap()
+                    .insert(Arc::as_ptr(&engine) as usize);
+                engine.score_record(&records[i % records.len()]).unwrap();
+                scored.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        }));
+    }
+
+    // Control plane: swap engines mid-stream and verify scoring makes
+    // progress across every swap.
+    let mut swapped = 0u32;
+    for seed in 0..4u64 {
+        let before = scored.load(Ordering::Relaxed);
+        let (fresh, _) = small_engine(100 + seed, 400);
+        let old = registry.swap("tenant", fresh).unwrap();
+        drop(old); // last in-registry reference to the retired engine
+        swapped += 1;
+        // Scoring continues after (and despite) the swap.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while scored.load(Ordering::Relaxed) <= before {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "scoring stalled across swap {swapped}"
+            );
+            std::thread::yield_now();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    // The readers saw multiple engine generations — the swap was
+    // observable mid-stream, not just after the readers drained.
+    let generations = generations_seen.lock().unwrap().len();
+    assert!(
+        generations >= 2,
+        "readers observed only {generations} engine generation(s) across {swapped} swaps"
+    );
+    assert!(scored.load(Ordering::Relaxed) > 0);
+}

@@ -56,15 +56,7 @@ fn single_class_training_data_still_trains() {
     let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
     let x = pipeline.transform_dataset(&train).unwrap();
     let labels = vec![AttackCategory::Normal; train.len()];
-    let model = GhsomModel::train(
-        &GhsomConfig {
-            epochs_per_round: 2,
-            final_epochs: 1,
-            ..Default::default()
-        },
-        &x,
-    )
-    .unwrap();
+    let model = GhsomModel::train(&GhsomConfig::default().with_epochs(2, 1), &x).unwrap();
     let qe = QeThresholdDetector::fit(model.clone(), &x, 0.99).unwrap();
     let labelled = LabeledGhsomDetector::fit(model, &x, &labels).unwrap();
     let mut flagged = 0;
@@ -104,11 +96,7 @@ fn pathological_tau_values_are_rejected_not_looped() {
         (0.3, 1.01),
         (f64::NAN, 0.5),
     ] {
-        let config = GhsomConfig {
-            tau1,
-            tau2,
-            ..Default::default()
-        };
+        let config = GhsomConfig::default().with_tau1(tau1).with_tau2(tau2);
         assert!(
             GhsomModel::train(&config, &x).is_err(),
             "tau1={tau1} tau2={tau2} accepted"

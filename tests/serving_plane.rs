@@ -18,14 +18,11 @@ fn setup() -> (
     let x_test = pipeline.transform_dataset(&test).unwrap();
     let labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
     let model = GhsomModel::train(
-        &GhsomConfig {
-            tau1: 0.3,
-            tau2: 0.05,
-            epochs_per_round: 3,
-            final_epochs: 2,
-            seed: 33,
-            ..Default::default()
-        },
+        &GhsomConfig::default()
+            .with_tau1(0.3)
+            .with_tau2(0.05)
+            .with_epochs(3, 2)
+            .with_seed(33),
         &x_train,
     )
     .unwrap();

@@ -42,14 +42,11 @@ fn trained_detector(seed: u64) -> (KddPipeline, HybridGhsomDetector) {
     let x_train = pipeline.transform_dataset(&train).unwrap();
     let labels: Vec<AttackCategory> = train.iter().map(|r| r.category()).collect();
     let model = GhsomModel::train(
-        &GhsomConfig {
-            tau1: 0.3,
-            tau2: 0.03,
-            epochs_per_round: 3,
-            final_epochs: 3,
-            seed,
-            ..Default::default()
-        },
+        &GhsomConfig::default()
+            .with_tau1(0.3)
+            .with_tau2(0.03)
+            .with_epochs(3, 3)
+            .with_seed(seed),
         &x_train,
     )
     .unwrap();
