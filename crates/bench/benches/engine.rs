@@ -1,13 +1,19 @@
 //! End-to-end engine benchmarks: the full record → vector → arena-walk →
 //! verdict path behind the `Engine` facade, plus bundle load latency.
 //!
-//! Three groups:
+//! Four groups:
 //!
+//! * `engine_transform` — records/s through the feature transform alone:
+//!   `per_record` maps `KddPipeline::transform` (one `Vec` per record)
+//!   over the slice, `batch` is `KddPipeline::transform_batch` into a
+//!   reused `FeatureMatrix` (the zero-alloc columnar plane). The CI
+//!   bench smoke job gates on `batch` never regressing below
+//!   `per_record`.
 //! * `engine_throughput` — records/s through [`Engine::score_records`]
 //!   (stateless batched verdicts) and [`Engine::observe_records`]
 //!   (streaming with the adaptive threshold), on raw `ConnectionRecord`s
-//!   — this includes the per-record feature transform the serving-plane
-//!   benches (`serving.rs`) deliberately exclude.
+//!   — the fused transform→walk serving path the serving-plane benches
+//!   (`serving.rs`) deliberately exclude the transform from.
 //! * `engine_load` — bundle load latency: `cold` reads + decodes the
 //!   whole artifact into an owned engine (`Engine::load`), `mmap_validate`
 //!   maps the file and runs the zero-copy structural validation only
@@ -15,12 +21,20 @@
 //!   fast path a daemon uses to sanity-check artifacts), `mmap_load`
 //!   decodes the engine out of the mapped bytes.
 //! * `engine_single_record` — per-record latency of `score_record`
-//!   (transform + one hierarchy traversal).
+//!   (thread-local scratch-row transform + one hierarchy traversal).
 //!
-//! Numbers land in `target/shim-criterion/engine.json`; the tracked
-//! trajectory is `BENCH_3.json` at the repo root.
+//! Numbers land in one shim-criterion sidecar per group under the bench
+//! package root (`crates/bench/target/shim-criterion/engine_*.json` —
+//! the CI regression gate reads `engine_transform.json`); the tracked
+//! trajectory is `BENCH_4.json` (end-to-end history in `BENCH_3.json`)
+//! at the repo root.
+//!
+//! Set `ENGINE_BENCH_QUICK=1` to run on a small train/test split — the
+//! CI smoke mode: fast enough for every push, still meaningful for the
+//! batch-vs-per-record transform ratio the smoke job checks.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use featurize::FeatureMatrix;
 use ghsom_core::GhsomConfig;
 use ghsom_serve::{Engine, EngineConfig, MappedFile, SnapshotView};
 use traffic::Dataset;
@@ -28,8 +42,18 @@ use traffic::Dataset;
 /// Records per streaming window (matches `serving.rs`).
 const WINDOW: usize = 512;
 
+/// `true` when the CI smoke job asks for the quick, small-split mode.
+fn quick_mode() -> bool {
+    std::env::var("ENGINE_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
 fn fit_engine() -> (Engine, Dataset) {
-    let (train, test) = traffic::synth::kdd_train_test(8_000, 6_000, 42).expect("data");
+    let (n_train, n_test) = if quick_mode() {
+        (1_500, 1_500)
+    } else {
+        (8_000, 6_000)
+    };
+    let (train, test) = traffic::synth::kdd_train_test(n_train, n_test, 42).expect("data");
     let config = EngineConfig::default()
         .with_ghsom(
             GhsomConfig::default()
@@ -47,6 +71,32 @@ fn fit_engine() -> (Engine, Dataset) {
     (Engine::fit(&config, &train).expect("engine fit"), test)
 }
 
+fn bench_transform(c: &mut Criterion) {
+    let (engine, test) = fit_engine();
+    let records = test.records();
+    let pipeline = engine.pipeline();
+
+    let mut group = c.benchmark_group("engine_transform");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("per_record", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for rec in records {
+                acc += pipeline.transform(rec).unwrap()[0];
+            }
+            black_box(acc)
+        });
+    });
+    let mut buf = FeatureMatrix::new();
+    group.bench_function("batch", |b| {
+        b.iter(|| {
+            pipeline.transform_batch(records, &mut buf).unwrap();
+            black_box(buf.as_slice()[0])
+        });
+    });
+    group.finish();
+}
+
 fn bench_throughput(c: &mut Criterion) {
     let (engine, test) = fit_engine();
     let records = test.records();
@@ -56,6 +106,20 @@ fn bench_throughput(c: &mut Criterion) {
     std::env::set_var("GHSOM_THREADS", "1");
     group.bench_function("score_records", |b| {
         b.iter(|| black_box(engine.score_records(records).unwrap()));
+    });
+    group.bench_function("score_records_unfused_baseline", |b| {
+        // The pre-fusion serving shape (PR 3): one `Vec` per record, an
+        // owned `Matrix` materialization, then the owned-verdict path.
+        // Kept as the within-host baseline the fused path is compared
+        // against in BENCH_4.json.
+        b.iter(|| {
+            let rows: Vec<Vec<f64>> = records
+                .iter()
+                .map(|r| engine.pipeline().transform(r).unwrap())
+                .collect();
+            let m = mathkit::Matrix::from_rows(rows).unwrap();
+            black_box(engine.detector().verdicts_all(&m).unwrap())
+        });
     });
     group.bench_function("observe_records_512w", |b| {
         b.iter(|| {
@@ -123,6 +187,7 @@ fn bench_single_record(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_transform,
     bench_throughput,
     bench_load_latency,
     bench_single_record

@@ -11,7 +11,7 @@
 
 use std::borrow::Cow;
 
-use mathkit::Matrix;
+use mathkit::{Matrix, MatrixView};
 
 use crate::model::{GhsomModel, Projection};
 use crate::GhsomError;
@@ -83,6 +83,26 @@ pub trait Scorer {
     /// [`GhsomError::DimensionMismatch`] on samples of the wrong width.
     fn project_batch(&self, data: &Matrix) -> Result<Vec<Projection>, GhsomError>;
 
+    /// [`Scorer::project_batch`] over a **borrowed** matrix view — the
+    /// zero-copy entry point of the fused serving path (a reused feature
+    /// buffer handed straight to the hierarchy walk). An empty view
+    /// yields an empty vector.
+    ///
+    /// The default copies the view into an owned [`Matrix`];
+    /// representations whose walk can run on a borrowed flat buffer (the
+    /// compiled serving arena) override it to skip the copy. Overrides
+    /// must produce bit-identical projections.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scorer::project_batch`].
+    fn project_batch_view(&self, data: MatrixView<'_>) -> Result<Vec<Projection>, GhsomError> {
+        if data.rows() == 0 {
+            return Ok(Vec::new());
+        }
+        self.project_batch(&data.to_matrix()?)
+    }
+
     /// Leaf quantization error of every row — the detectors' bulk scoring
     /// path. The default materializes [`Scorer::project_batch`];
     /// implementations with a cheaper leaf-only walk override it.
@@ -93,6 +113,20 @@ pub trait Scorer {
     fn score_matrix(&self, data: &Matrix) -> Result<Vec<f64>, GhsomError> {
         Ok(self
             .project_batch(data)?
+            .into_iter()
+            .map(|p| p.leaf_qe())
+            .collect())
+    }
+
+    /// [`Scorer::score_matrix`] over a borrowed matrix view (see
+    /// [`Scorer::project_batch_view`] for the zero-copy contract).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Scorer::score_matrix`].
+    fn score_matrix_view(&self, data: MatrixView<'_>) -> Result<Vec<f64>, GhsomError> {
+        Ok(self
+            .project_batch_view(data)?
             .into_iter()
             .map(|p| p.leaf_qe())
             .collect())
@@ -181,6 +215,18 @@ mod tests {
         }
         let x = [0.05, 0.02];
         assert_eq!(scorer.project(&x).unwrap(), m.project(&x).unwrap());
+    }
+
+    #[test]
+    fn default_view_projection_matches_the_owned_path() {
+        let m = model();
+        let data = Matrix::from_rows(vec![vec![0.0, 0.0], vec![4.0, 4.0], vec![8.0, 8.0]]).unwrap();
+        let scorer: &dyn Scorer = &m;
+        let owned = scorer.project_batch(&data).unwrap();
+        let viewed = scorer.project_batch_view(data.view()).unwrap();
+        assert_eq!(owned, viewed);
+        let empty = MatrixView::new(0, 2, &[]).unwrap();
+        assert!(scorer.project_batch_view(empty).unwrap().is_empty());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! calibrated threshold.
 
 use ghsom_core::{GhsomModel, Scorer};
-use mathkit::Matrix;
+use mathkit::{Matrix, MatrixView};
 use serde::{Deserialize, Serialize};
 use traffic::AttackCategory;
 
@@ -173,7 +173,23 @@ impl<M: Scorer> HybridGhsomDetector<M> {
     ///
     /// Projection errors propagate.
     pub fn verdicts_all(&self, data: &Matrix) -> Result<Vec<HybridVerdict>, DetectError> {
-        let projections = self.inner.model().project_batch(data)?;
+        self.verdicts_all_view(data.view())
+    }
+
+    /// [`HybridGhsomDetector::verdicts_all`] over a **borrowed** matrix
+    /// view — the fused serving path: when the hierarchy is the compiled
+    /// arena, the walk runs directly on the caller's flat buffer (e.g. a
+    /// reused `featurize` feature matrix) through
+    /// [`Scorer::project_batch_view`], with no owned copy in between.
+    ///
+    /// # Errors
+    ///
+    /// Projection errors propagate.
+    pub fn verdicts_all_view(
+        &self,
+        data: MatrixView<'_>,
+    ) -> Result<Vec<HybridVerdict>, DetectError> {
+        let projections = self.inner.model().project_batch_view(data)?;
         Ok(projections
             .iter()
             .zip(data.iter_rows())
@@ -248,7 +264,17 @@ impl<M: Scorer> Detector for HybridGhsomDetector<M> {
     /// Scores and verdicts from **one** hierarchy traversal and one label
     /// lookup per sample — the streaming hot path.
     fn score_and_flag_all(&self, data: &Matrix) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
-        let projections = self.inner.model().project_batch(data)?;
+        self.score_and_flag_all_view(data.view())
+    }
+
+    /// Zero-copy override of the view entry point: one hierarchy
+    /// traversal directly over the borrowed buffer
+    /// ([`Scorer::project_batch_view`]).
+    fn score_and_flag_all_view(
+        &self,
+        data: MatrixView<'_>,
+    ) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
+        let projections = self.inner.model().project_batch_view(data)?;
         let mut scores = Vec::with_capacity(projections.len());
         let mut flags = Vec::with_capacity(projections.len());
         for (p, x) in projections.iter().zip(data.iter_rows()) {

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use ghsom_core::{GhsomModel, Scorer};
-use mathkit::Matrix;
+use mathkit::{Matrix, MatrixView};
 use serde::{Deserialize, Serialize};
 use traffic::AttackCategory;
 
@@ -342,7 +342,16 @@ impl<M: Scorer> Detector for LabeledGhsomDetector<M> {
 
     /// Scores and verdicts from one hierarchy traversal.
     fn score_and_flag_all(&self, data: &Matrix) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
-        let projections = self.model.project_batch(data)?;
+        self.score_and_flag_all_view(data.view())
+    }
+
+    /// Zero-copy override: one traversal directly over the borrowed
+    /// buffer ([`Scorer::project_batch_view`]).
+    fn score_and_flag_all_view(
+        &self,
+        data: MatrixView<'_>,
+    ) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
+        let projections = self.model.project_batch_view(data)?;
         let mut scores = Vec::with_capacity(projections.len());
         let mut flags = Vec::with_capacity(projections.len());
         for (p, x) in projections.iter().zip(data.iter_rows()) {

@@ -139,6 +139,31 @@ pub trait Detector {
     ) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
         Ok((self.score_all(data)?, self.is_anomalous_all(data)?))
     }
+
+    /// [`Detector::score_and_flag_all`] over a **borrowed**
+    /// [`mathkit::MatrixView`] — the zero-copy entry point the fused
+    /// serving path uses (a reused feature-transform buffer handed
+    /// straight to the detector, no owned matrix in between). An empty
+    /// view yields empty vectors.
+    ///
+    /// The default copies the view into an owned matrix; model-backed
+    /// detectors whose hierarchy walk accepts borrowed buffers override
+    /// it. Overrides must produce exactly the owned path's scores and
+    /// verdicts.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Detector::score_and_flag_all`].
+    #[allow(clippy::type_complexity)]
+    fn score_and_flag_all_view(
+        &self,
+        data: mathkit::MatrixView<'_>,
+    ) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
+        if data.rows() == 0 {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        self.score_and_flag_all(&data.to_matrix()?)
+    }
 }
 
 /// The shared verdict-consistent score convention of the labelled

@@ -171,6 +171,37 @@ impl<D: Detector> StreamingDetector<D> {
     /// changes).
     pub fn observe_batch(&self, data: &mathkit::Matrix) -> Result<Vec<StreamVerdict>, DetectError> {
         let (scores, inner_flags) = self.inner.score_and_flag_all(data)?;
+        self.fold_batch(scores, inner_flags)
+    }
+
+    /// [`StreamingDetector::observe_batch`] over a **borrowed**
+    /// [`mathkit::MatrixView`] — the fused serving path: scoring runs
+    /// through the wrapped detector's
+    /// [`Detector::score_and_flag_all_view`] (zero-copy on the compiled
+    /// arena), then the adaptive state updates exactly as the owned path
+    /// does. Verdicts are identical to [`StreamingDetector::observe`] row
+    /// by row.
+    ///
+    /// # Errors
+    ///
+    /// Scoring errors from the wrapped detector propagate; state is not
+    /// updated in that case.
+    pub fn observe_batch_view(
+        &self,
+        data: mathkit::MatrixView<'_>,
+    ) -> Result<Vec<StreamVerdict>, DetectError> {
+        let (scores, inner_flags) = self.inner.score_and_flag_all_view(data)?;
+        self.fold_batch(scores, inner_flags)
+    }
+
+    /// The shared sequential tail of the batched observe paths: folds
+    /// pre-computed scores and inner verdicts through the adaptive
+    /// threshold in arrival order, under one lock acquisition.
+    fn fold_batch(
+        &self,
+        scores: Vec<f64>,
+        inner_flags: Vec<bool>,
+    ) -> Result<Vec<StreamVerdict>, DetectError> {
         let mut state = self.state.lock();
         let mut verdicts = Vec::with_capacity(scores.len());
         for (score, inner_flag) in scores.into_iter().zip(inner_flags) {

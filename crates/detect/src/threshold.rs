@@ -6,7 +6,7 @@
 //! well anywhere in the hierarchy is anomalous.
 
 use ghsom_core::{GhsomModel, Scorer};
-use mathkit::Matrix;
+use mathkit::{Matrix, MatrixView};
 use serde::{Deserialize, Serialize};
 
 use crate::{DetectError, Detector};
@@ -106,6 +106,14 @@ impl<M: Scorer> QeThresholdDetector<M> {
             percentile: self.percentile,
         }
     }
+
+    /// The single definition of the verdict: every scoring shape (single,
+    /// owned batch, view batch) thresholds through here, so the paths
+    /// cannot diverge.
+    #[inline]
+    fn flag(&self, score: f64) -> bool {
+        score > self.threshold
+    }
 }
 
 impl<M: Scorer> Detector for QeThresholdDetector<M> {
@@ -114,7 +122,7 @@ impl<M: Scorer> Detector for QeThresholdDetector<M> {
     }
 
     fn is_anomalous(&self, x: &[f64]) -> Result<bool, DetectError> {
-        Ok(self.score(x)? > self.threshold)
+        Ok(self.flag(self.score(x)?))
     }
 
     fn name(&self) -> &'static str {
@@ -124,7 +132,7 @@ impl<M: Scorer> Detector for QeThresholdDetector<M> {
     /// One traversal: the verdict is the thresholded score.
     fn score_and_flag(&self, x: &[f64]) -> Result<(f64, bool), DetectError> {
         let score = self.score(x)?;
-        Ok((score, score > self.threshold))
+        Ok((score, self.flag(score)))
     }
 
     /// Batched scoring through [`GhsomModel::score_matrix`] (one grouped
@@ -138,14 +146,28 @@ impl<M: Scorer> Detector for QeThresholdDetector<M> {
         Ok(self
             .score_all(data)?
             .into_iter()
-            .map(|s| s > self.threshold)
+            .map(|s| self.flag(s))
             .collect())
     }
 
-    /// One traversal: verdicts are thresholded scores.
+    /// One traversal: verdicts are thresholded scores. (Stays on the
+    /// owned [`Scorer::score_matrix`] rather than delegating through a
+    /// view: the tree model's leaf-only scorer override has no view
+    /// form, and routing through one would copy the matrix.)
     fn score_and_flag_all(&self, data: &Matrix) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
         let scores = self.score_all(data)?;
-        let flags = scores.iter().map(|&s| s > self.threshold).collect();
+        let flags = scores.iter().map(|&s| self.flag(s)).collect();
+        Ok((scores, flags))
+    }
+
+    /// Zero-copy override: one leaf-only traversal over the borrowed
+    /// buffer ([`Scorer::score_matrix_view`]).
+    fn score_and_flag_all_view(
+        &self,
+        data: MatrixView<'_>,
+    ) -> Result<(Vec<f64>, Vec<bool>), DetectError> {
+        let scores = self.model.score_matrix_view(data)?;
+        let flags = scores.iter().map(|&s| self.flag(s)).collect();
         Ok((scores, flags))
     }
 }

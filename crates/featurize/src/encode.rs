@@ -4,6 +4,16 @@
 //! ([`Protocol`], [`Service`], [`Flag`]), so the encoders are stateless and
 //! infallible — there is no "unknown category at transform time" failure
 //! mode to handle.
+//!
+//! Two writer shapes exist for the serving paths:
+//!
+//! * [`push_categoricals`] — appends to a growing `Vec` (the per-record
+//!   [`crate::KddPipeline::transform`] path);
+//! * [`write_categoricals`] — fills a caller-owned slice in place (the
+//!   batched [`crate::KddPipeline::transform_batch`] path, one
+//!   pre-reserved matrix row segment per record, no allocation).
+//!
+//! Both produce bit-identical output for the same record.
 
 use traffic::{Flag, Protocol, Service};
 
@@ -15,27 +25,27 @@ pub const SERVICE_DIM: usize = Service::ALL.len();
 pub const FLAG_DIM: usize = Flag::ALL.len();
 
 /// Index of a protocol within [`Protocol::ALL`].
+///
+/// `Protocol::ALL` lists the variants in declaration order, so the
+/// discriminant cast *is* the position — O(1), no vocabulary scan (the
+/// tests pin the equivalence).
+#[inline]
 pub fn protocol_index(p: Protocol) -> usize {
-    Protocol::ALL
-        .iter()
-        .position(|&x| x == p)
-        .expect("Protocol::ALL is exhaustive")
+    p as usize
 }
 
-/// Index of a service within [`Service::ALL`].
+/// Index of a service within [`Service::ALL`] (discriminant cast; see
+/// [`protocol_index`]).
+#[inline]
 pub fn service_index(s: Service) -> usize {
-    Service::ALL
-        .iter()
-        .position(|&x| x == s)
-        .expect("Service::ALL is exhaustive")
+    s as usize
 }
 
-/// Index of a flag within [`Flag::ALL`].
+/// Index of a flag within [`Flag::ALL`] (discriminant cast; see
+/// [`protocol_index`]).
+#[inline]
 pub fn flag_index(f: Flag) -> usize {
-    Flag::ALL
-        .iter()
-        .position(|&x| x == f)
-        .expect("Flag::ALL is exhaustive")
+    f as usize
 }
 
 /// Appends a one-hot block of width `dim` with `index` set to `scale`.
@@ -68,12 +78,55 @@ pub fn push_categoricals(
 /// Total width of the categorical block.
 pub const CATEGORICAL_DIM: usize = PROTOCOL_DIM + SERVICE_DIM + FLAG_DIM;
 
+/// Writes the full categorical encoding (protocol ⊕ service ⊕ flag) into a
+/// caller-owned slice of width [`CATEGORICAL_DIM`]: zero-fills the slice,
+/// then sets the three active positions to `scale`.
+///
+/// This is the batch-kernel form of [`push_categoricals`]: the batched
+/// pipeline reserves one matrix row per record up front and fills each
+/// record's categorical segment in place, instead of growing a `Vec` per
+/// record. Output is bit-identical to the appending form.
+///
+/// # Panics
+///
+/// Panics if `out.len() != CATEGORICAL_DIM`.
+#[inline]
+pub fn write_categoricals(
+    out: &mut [f64],
+    protocol: Protocol,
+    service: Service,
+    flag: Flag,
+    scale: f64,
+) {
+    assert_eq!(
+        out.len(),
+        CATEGORICAL_DIM,
+        "categorical slice has the wrong width"
+    );
+    out.fill(0.0);
+    out[protocol_index(protocol)] = scale;
+    out[PROTOCOL_DIM + service_index(service)] = scale;
+    out[PROTOCOL_DIM + SERVICE_DIM + flag_index(flag)] = scale;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn indices_are_dense_and_unique() {
+        // The cast-based indices must coincide with each vocabulary's
+        // position in its `ALL` array (the declaration order) — this is
+        // the invariant the O(1) encoders rely on.
+        for (want, p) in Protocol::ALL.into_iter().enumerate() {
+            assert_eq!(protocol_index(p), want);
+        }
+        for (want, s) in Service::ALL.into_iter().enumerate() {
+            assert_eq!(service_index(s), want);
+        }
+        for (want, f) in Flag::ALL.into_iter().enumerate() {
+            assert_eq!(flag_index(f), want);
+        }
         let mut seen = [false; PROTOCOL_DIM];
         for p in Protocol::ALL {
             let i = protocol_index(p);
@@ -121,6 +174,29 @@ mod tests {
         assert_eq!(out.iter().filter(|&&x| x != 0.0).count(), 3);
         // Protocol block: icmp is index 2.
         assert_eq!(out[2], 1.0);
+    }
+
+    #[test]
+    fn write_form_matches_push_form_bitwise() {
+        for p in Protocol::ALL {
+            for f in Flag::ALL {
+                for s in [Service::Http, Service::EcrI, Service::Other] {
+                    let mut pushed = Vec::new();
+                    push_categoricals(&mut pushed, p, s, f, 0.5);
+                    // Pre-poison the slice: the writer must overwrite it all.
+                    let mut written = vec![7.0; CATEGORICAL_DIM];
+                    write_categoricals(&mut written, p, s, f, 0.5);
+                    assert_eq!(pushed, written, "{p}/{s}/{f}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn write_form_rejects_wrong_width() {
+        let mut short = vec![0.0; CATEGORICAL_DIM - 1];
+        write_categoricals(&mut short, Protocol::Tcp, Service::Http, Flag::Sf, 1.0);
     }
 
     #[test]

@@ -5,12 +5,19 @@
 //! Normalized Shannon entropy of the per-window histograms turns that into
 //! four bounded time-series features. The streaming detector consumes these
 //! alongside the per-record GHSOM score.
+//!
+//! [`entropy_series`] produces the per-window [`EntropyWindow`] structs;
+//! [`features_batch`] is the columnar batch kernel that lays a window
+//! slice out as a reused `windows × 4` [`FeatureMatrix`] for matrix-based
+//! consumers (the same reuse contract as
+//! [`crate::KddPipeline::transform_batch`]).
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use traffic::flows::FlowEvent;
 
+use crate::matrix::FeatureMatrix;
 use crate::FeaturizeError;
 
 /// Entropy feature vector of one time window.
@@ -42,6 +49,20 @@ impl EntropyWindow {
             self.src_port_entropy,
             self.dst_port_entropy,
         ]
+    }
+}
+
+/// Width of the entropy feature vector ([`EntropyWindow::features`]).
+pub const ENTROPY_FEATURE_DIM: usize = 4;
+
+/// Lays a window slice out as a row-major `windows × 4` feature matrix —
+/// the batch form of [`EntropyWindow::features`] for matrix-based
+/// consumers. `out` is reshaped (reusing its allocation) and fully
+/// overwritten; an empty slice resets it to `0 × 4`.
+pub fn features_batch(windows: &[EntropyWindow], out: &mut FeatureMatrix) {
+    out.reset(windows.len(), ENTROPY_FEATURE_DIM);
+    for (r, w) in windows.iter().enumerate() {
+        out.row_mut(r).copy_from_slice(&w.features());
     }
 }
 
@@ -267,5 +288,22 @@ mod tests {
         let flows = vec![flow(0.0, 1, 2, 80)];
         let series = entropy_series(&flows, 1.0).unwrap();
         assert_eq!(series[0].features(), [0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn features_batch_matches_per_window_features() {
+        let flows: Vec<FlowEvent> = (0..64)
+            .map(|i| flow(i as f64 * 0.3, i % 7, 2, 1000 + i as u16))
+            .collect();
+        let series = entropy_series(&flows, 5.0).unwrap();
+        let mut out = FeatureMatrix::new();
+        out.reset(1, 9); // poisoned shape: the kernel must fully reshape
+        features_batch(&series, &mut out);
+        assert_eq!(out.shape(), (series.len(), ENTROPY_FEATURE_DIM));
+        for (r, w) in series.iter().enumerate() {
+            assert_eq!(out.row(r), w.features());
+        }
+        features_batch(&[], &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -13,14 +13,32 @@
 //!   treatment in SOM-based IDS work).
 //! * [`pipeline`] — [`KddPipeline`], the end-to-end `ConnectionRecord ->
 //!   Vec<f64>` transform with fit/transform semantics and serde support.
+//! * [`matrix`] — [`FeatureMatrix`], the reusable row-major buffer of the
+//!   batched columnar plane.
 //! * [`select`] — variance-threshold and top-k feature selection.
 //! * [`entropywin`] — windowed traffic-feature entropy series over raw
 //!   flows (dispersal/concentration indicators).
+//!
+//! # Record-at-a-time vs batched columnar
+//!
+//! Every transform exists in two shapes that produce **bit-identical**
+//! output (property-tested): the per-record path
+//! ([`KddPipeline::transform`]) that returns one fresh `Vec<f64>`, and the
+//! batched columnar plane ([`KddPipeline::transform_batch`],
+//! [`scale::ColumnScaler::transform_batch`],
+//! [`encode::write_categoricals`], [`select::FeatureSelector::transform_batch`],
+//! [`entropywin::features_batch`]) that fills a caller-owned, reused
+//! [`FeatureMatrix`] with no per-record allocation. Serving consumers
+//! borrow the buffer as a [`mathkit::MatrixView`] and hand it straight to
+//! the compiled hierarchy walk — see `docs/ARCHITECTURE.md` at the repo
+//! root for where this sits in the record→matrix→arena-walk→verdict
+//! data flow.
 //!
 //! # Example
 //!
 //! ```
 //! use featurize::pipeline::{KddPipeline, PipelineConfig};
+//! use featurize::FeatureMatrix;
 //! use traffic::synth::{MixSpec, TrafficGenerator};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,6 +48,11 @@
 //! let matrix = pipeline.transform_dataset(&train)?;
 //! assert_eq!(matrix.rows(), 500);
 //! assert_eq!(matrix.cols(), pipeline.output_dim());
+//!
+//! // The serving loop reuses one buffer across batches instead:
+//! let mut buf = FeatureMatrix::new();
+//! pipeline.transform_batch(train.records(), &mut buf)?;
+//! assert_eq!(buf.as_slice(), matrix.as_slice());
 //! # Ok(())
 //! # }
 //! ```
@@ -40,12 +63,14 @@
 pub mod encode;
 pub mod entropywin;
 pub mod error;
+pub mod matrix;
 pub mod pipeline;
 pub mod scale;
 pub mod schema;
 pub mod select;
 
 pub use error::FeaturizeError;
+pub use matrix::FeatureMatrix;
 pub use pipeline::{KddPipeline, PipelineConfig};
 pub use scale::ScalingKind;
 pub use schema::{FeatureKind, FeatureSchema};

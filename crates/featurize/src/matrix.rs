@@ -1,0 +1,255 @@
+//! The reusable row-major feature buffer of the batched transform plane.
+//!
+//! [`FeatureMatrix`] is the caller-owned output buffer that
+//! [`crate::KddPipeline::transform_batch`] (and the other batch kernels in
+//! this crate) write into. Unlike [`mathkit::Matrix`] it is *reusable*: a
+//! serving loop allocates one, and every subsequent batch reshapes it in
+//! place — steady-state transforms allocate nothing once the buffer has
+//! grown to the largest batch seen. Batch consumers borrow it as a
+//! [`mathkit::MatrixView`] ([`FeatureMatrix::as_view`]), which the
+//! compiled serving arena walks directly — no intermediate owned matrix.
+//!
+//! Reuse safety: [`FeatureMatrix::reset`] reshapes without zeroing, so
+//! every kernel that calls it **must overwrite every cell** of the new
+//! shape before the buffer is read (the pipeline's batch kernels do; the
+//! property tests pin that reuse never leaks rows from a prior batch).
+
+use mathkit::MatrixView;
+
+/// A reusable, caller-owned row-major `f64` matrix buffer.
+///
+/// # Example
+///
+/// ```
+/// use featurize::{FeatureMatrix, KddPipeline, PipelineConfig};
+/// use traffic::synth::{MixSpec, TrafficGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), 3)?;
+/// let train = gen.generate(200);
+/// let pipe = KddPipeline::fit(&PipelineConfig::default(), &train)?;
+///
+/// let mut buf = FeatureMatrix::new();
+/// pipe.transform_batch(train.records(), &mut buf)?;
+/// assert_eq!(buf.shape(), (200, pipe.output_dim()));
+///
+/// // The same buffer is reused by the next batch — no reallocation once
+/// // it has grown to the largest batch seen.
+/// pipe.transform_batch(&train.records()[..50], &mut buf)?;
+/// assert_eq!(buf.rows(), 50);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl FeatureMatrix {
+    /// An empty buffer (`0 × 0`, no allocation).
+    pub fn new() -> Self {
+        FeatureMatrix::default()
+    }
+
+    /// An empty buffer with capacity for `rows × cols` pre-allocated.
+    pub fn with_capacity(rows: usize, cols: usize) -> Self {
+        FeatureMatrix {
+            rows: 0,
+            cols: 0,
+            data: Vec::with_capacity(rows * cols),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the buffer holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view of the buffer contents.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrows the buffer as a [`MatrixView`] — the zero-copy handoff to
+    /// batch consumers (detector scoring, the compiled arena walk).
+    #[inline]
+    pub fn as_view(&self) -> MatrixView<'_> {
+        MatrixView::new(self.rows, self.cols, &self.data)
+            .expect("FeatureMatrix maintains data.len() == rows * cols")
+    }
+
+    /// Reshapes the buffer to `rows × cols`, reusing its allocation.
+    ///
+    /// The resulting contents are **unspecified** (cells may hold values
+    /// from a previous batch): the caller contract is to overwrite every
+    /// cell before the buffer is read. This is what makes reuse free — no
+    /// zeroing pass per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rows > 0` and `cols == 0` — a zero-width non-empty
+    /// matrix cannot hold row data ([`MatrixView`] rejects the shape
+    /// too).
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        assert!(
+            cols > 0 || rows == 0,
+            "a non-empty feature matrix must have at least one column"
+        );
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Empties the buffer (capacity is retained).
+    pub fn clear(&mut self) {
+        self.rows = 0;
+        self.cols = 0;
+        self.data.clear();
+    }
+
+    /// Bounds retained scratch memory: when the allocation exceeds
+    /// `max_elems` `f64` elements, the contents are dropped and the
+    /// capacity shrunk back to at most `max_elems`. A no-op otherwise —
+    /// steady-state reuse keeps its allocation. Long-lived serving
+    /// threads call this after each batch so one oversized backfill
+    /// cannot pin its peak memory forever.
+    pub fn shrink_if_over(&mut self, max_elems: usize) {
+        if self.data.capacity() > max_elems {
+            self.clear();
+            self.data.shrink_to(max_elems);
+        }
+    }
+
+    /// Mutable flat access for the batch kernels in this crate.
+    #[inline]
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Mutable borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub(crate) fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies the buffer into an owned [`mathkit::Matrix`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::FeaturizeError::EmptyInput`] when the buffer has no rows
+    /// or no columns (owned matrices cannot be empty).
+    pub fn to_matrix(&self) -> Result<mathkit::Matrix, crate::FeaturizeError> {
+        Ok(mathkit::Matrix::from_flat(
+            self.rows,
+            self.cols,
+            self.data.clone(),
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_reshapes_and_reuses_capacity() {
+        let mut m = FeatureMatrix::with_capacity(4, 3);
+        m.reset(4, 3);
+        assert_eq!(m.shape(), (4, 3));
+        assert_eq!(m.as_slice().len(), 12);
+        let ptr = m.as_slice().as_ptr();
+        m.reset(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.as_slice().len(), 6);
+        // Shrinking reuses the same allocation.
+        assert_eq!(m.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn rows_and_views_are_consistent() {
+        let mut m = FeatureMatrix::new();
+        m.reset(2, 2);
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0]);
+        m.row_mut(1).copy_from_slice(&[3.0, 4.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.as_view().row(0), &[1.0, 2.0]);
+        assert_eq!(m.as_view().shape(), (2, 2));
+        let owned = m.to_matrix().unwrap();
+        assert_eq!(owned.shape(), (2, 2));
+        assert_eq!(owned.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn shrink_if_over_bounds_retained_capacity() {
+        let mut m = FeatureMatrix::new();
+        m.reset(100, 10);
+        assert!(m.data.capacity() >= 1_000);
+        // Under the cap: a no-op, contents and capacity retained.
+        m.shrink_if_over(4_096);
+        assert_eq!(m.shape(), (100, 10));
+        // Over the cap: contents dropped, capacity bounded.
+        m.shrink_if_over(64);
+        assert!(m.is_empty());
+        assert!(m.data.capacity() <= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn reset_rejects_zero_width_non_empty_shapes() {
+        FeatureMatrix::new().reset(3, 0);
+    }
+
+    #[test]
+    fn empty_buffers_are_legal() {
+        let mut m = FeatureMatrix::new();
+        assert!(m.is_empty());
+        assert!(m.as_view().is_empty());
+        assert!(m.to_matrix().is_err());
+        m.reset(0, 5);
+        assert!(m.is_empty());
+        assert_eq!(m.cols(), 5);
+        m.reset(1, 5);
+        assert!(!m.is_empty());
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.as_slice().len(), 0);
+    }
+}

@@ -9,12 +9,35 @@
 //! The pipeline is fitted once on training data and then applied to any
 //! record; a fitted pipeline serializes with serde so a trained model and
 //! its exact input transform can be shipped together.
+//!
+//! # The batched columnar plane
+//!
+//! Serving-rate ingest should not pay one heap allocation per record, so
+//! the transform exists in three shapes, all producing **bit-identical**
+//! vectors (property-tested):
+//!
+//! * [`KddPipeline::transform`] — one record → one fresh `Vec<f64>`; the
+//!   simple path for callers that keep the vector.
+//! * [`KddPipeline::transform_into`] — one record into a caller-owned,
+//!   reused row buffer; zero allocations steady-state (the single-record
+//!   serving path, e.g. `ghsom_serve::Engine::score_record`'s
+//!   thread-local scratch row).
+//! * [`KddPipeline::transform_batch`] — a whole record slice into a
+//!   caller-owned, reused [`FeatureMatrix`]: the continuous block is
+//!   gathered row-wise (no per-record `Vec`), the fitted scaler runs as
+//!   one strategy-specialized batch kernel over the continuous columns
+//!   ([`ColumnScaler::transform_batch`]), and the categorical block is
+//!   written in place per row ([`encode::write_categoricals`]). Batch
+//!   consumers then borrow the buffer as a [`mathkit::MatrixView`] — the
+//!   compiled serving arena walks it directly with no intermediate owned
+//!   matrix.
 
 use serde::{Deserialize, Serialize};
 use traffic::record::CONTINUOUS_FEATURE_NAMES;
 use traffic::{ConnectionRecord, Dataset};
 
 use crate::encode;
+use crate::matrix::FeatureMatrix;
 use crate::scale::{ColumnScaler, ScalingKind};
 use crate::schema::{FeatureKind, FeatureSchema};
 use crate::FeaturizeError;
@@ -191,21 +214,157 @@ impl KddPipeline {
         Ok(out)
     }
 
-    /// Transforms a whole dataset into a row-per-record matrix.
+    /// Transforms one record into a caller-owned, reused row buffer —
+    /// bit-identical to [`KddPipeline::transform`] but allocation-free
+    /// once the buffer has grown to [`KddPipeline::output_dim`]. This is
+    /// the single-record serving hot path (a thread-local scratch row in
+    /// `ghsom_serve::Engine::score_record`).
+    ///
+    /// The buffer is cleared and refilled on every call; its previous
+    /// contents never leak into the output.
     ///
     /// # Errors
     ///
-    /// [`FeaturizeError::EmptyInput`] for an empty dataset; per-record
-    /// errors propagate.
+    /// Same conditions as [`KddPipeline::transform`].
+    pub fn transform_into(
+        &self,
+        rec: &ConnectionRecord,
+        out: &mut Vec<f64>,
+    ) -> Result<(), FeaturizeError> {
+        // Fixed structural width: a deserialized pipeline whose scaler
+        // width disagrees (corrupt/version-skewed artifact) must surface
+        // as the scaler's typed DimensionMismatch, not a slice panic.
+        let cont = ConnectionRecord::CONTINUOUS_COUNT;
+        out.clear();
+        out.resize(cont, 0.0);
+        rec.write_continuous_features(&mut out[..cont]);
+        self.scaler.transform_in_place(&mut out[..cont])?;
+        if self.config.include_categoricals {
+            out.resize(cont + encode::CATEGORICAL_DIM, 0.0);
+            encode::write_categoricals(
+                &mut out[cont..],
+                rec.protocol,
+                rec.service,
+                rec.flag,
+                self.config.categorical_scale,
+            );
+        }
+        Ok(())
+    }
+
+    /// Transforms a whole record slice into a caller-owned, reused
+    /// [`FeatureMatrix`] — the batched columnar plane.
+    ///
+    /// The buffer is reshaped to `records.len() × output_dim()` (reusing
+    /// its allocation) and **every cell is overwritten**: the continuous
+    /// block row-wise through
+    /// [`ConnectionRecord::write_continuous_features`], the scaling as one
+    /// strategy-specialized column kernel
+    /// ([`ColumnScaler::transform_batch`]), the categorical block per-row
+    /// in place ([`encode::write_categoricals`]). No per-record
+    /// allocation, and output bit-identical to mapping
+    /// [`KddPipeline::transform`] over the slice (property-tested).
+    ///
+    /// An empty slice resets the buffer to `0 × output_dim()`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`KddPipeline::transform`]; the buffer contents
+    /// are unspecified after an error.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use featurize::{FeatureMatrix, KddPipeline, PipelineConfig};
+    /// use traffic::synth::{MixSpec, TrafficGenerator};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), 3)?;
+    /// let train = gen.generate(100);
+    /// let pipe = KddPipeline::fit(&PipelineConfig::default(), &train)?;
+    ///
+    /// let mut buf = FeatureMatrix::new();
+    /// pipe.transform_batch(train.records(), &mut buf)?;
+    /// assert_eq!(buf.shape(), (100, pipe.output_dim()));
+    /// // Bit-identical to the per-record path.
+    /// assert_eq!(buf.row(7), pipe.transform(&train.records()[7])?.as_slice());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn transform_batch(
+        &self,
+        records: &[ConnectionRecord],
+        out: &mut FeatureMatrix,
+    ) -> Result<(), FeaturizeError> {
+        // Structural layout, validated up front: a deserialized pipeline
+        // whose fitted scaler width disagrees with the 38 continuous
+        // features (corrupt/version-skewed artifact) gets the typed
+        // error the per-record path produces, never a slice panic.
+        let cont = ConnectionRecord::CONTINUOUS_COUNT;
+        if self.scaler.width() != cont {
+            return Err(FeaturizeError::DimensionMismatch {
+                expected: cont,
+                found: self.scaler.width(),
+            });
+        }
+        let dim = if self.config.include_categoricals {
+            cont + encode::CATEGORICAL_DIM
+        } else {
+            cont
+        };
+        out.reset(records.len(), dim);
+        if records.is_empty() {
+            return Ok(());
+        }
+        // Stage 1 — gather: one contiguous row write per record, no
+        // intermediate Vec.
+        for (r, rec) in records.iter().enumerate() {
+            rec.write_continuous_features(&mut out.row_mut(r)[..cont]);
+        }
+        // Stage 2 — scale: one strategy-specialized kernel over the
+        // continuous columns of every row.
+        self.scaler.transform_batch(out.data_mut(), dim)?;
+        // Stage 3 — encode: fill each row's categorical segment in place.
+        if self.config.include_categoricals {
+            let scale = self.config.categorical_scale;
+            for (r, rec) in records.iter().enumerate() {
+                encode::write_categoricals(
+                    &mut out.row_mut(r)[cont..],
+                    rec.protocol,
+                    rec.service,
+                    rec.flag,
+                    scale,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Transforms a whole dataset into a row-per-record matrix.
+    ///
+    /// Runs on the batched columnar plane
+    /// ([`KddPipeline::transform_batch`]) and copies the result into an
+    /// owned [`mathkit::Matrix`] — training-time consumers keep the owned
+    /// type; serving paths reuse a [`FeatureMatrix`] instead.
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::EmptyInput`] for an empty dataset;
+    /// [`FeaturizeError::NonFinite`] when the transformed matrix contains
+    /// NaN/∞ (possible only for records violating
+    /// [`ConnectionRecord::validate`]); per-record errors propagate.
     pub fn transform_dataset(&self, ds: &Dataset) -> Result<mathkit::Matrix, FeaturizeError> {
         if ds.is_empty() {
             return Err(FeaturizeError::EmptyInput);
         }
-        let mut rows = Vec::with_capacity(ds.len());
-        for rec in ds.iter() {
-            rows.push(self.transform(rec)?);
+        let mut buf = FeatureMatrix::with_capacity(ds.len(), self.output_dim());
+        self.transform_batch(ds.records(), &mut buf)?;
+        // Owned matrices promise finite entries (Matrix::from_rows would
+        // have checked); preserve that contract on the batched route.
+        if !mathkit::vector::all_finite(buf.as_slice()) {
+            return Err(FeaturizeError::NonFinite);
         }
-        Ok(mathkit::Matrix::from_rows(rows)?)
+        buf.to_matrix()
     }
 }
 
@@ -271,6 +430,58 @@ mod tests {
         for rec in test.iter() {
             let v = pipe.transform(rec).unwrap();
             assert!(v.iter().all(|x| (0.0..=1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn transform_into_matches_transform_bitwise() {
+        let train = train_data(200);
+        for config in [
+            PipelineConfig::default(),
+            PipelineConfig::default().with_categoricals(false),
+            PipelineConfig::default().with_scaling(ScalingKind::ZScore),
+        ] {
+            let pipe = KddPipeline::fit(&config, &train).unwrap();
+            // Reuse one poisoned buffer across all records.
+            let mut buf = vec![f64::NAN; 3];
+            for rec in train.iter().take(50) {
+                let fresh = pipe.transform(rec).unwrap();
+                pipe.transform_into(rec, &mut buf).unwrap();
+                assert_eq!(buf.len(), fresh.len());
+                for (a, b) in buf.iter().zip(&fresh) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transform_batch_matches_transform_bitwise() {
+        let train = train_data(300);
+        for config in [
+            PipelineConfig::default(),
+            PipelineConfig::default().with_categoricals(false),
+            PipelineConfig::default().with_scaling(ScalingKind::MinMax),
+            PipelineConfig::default().with_scaling(ScalingKind::ZScore),
+        ] {
+            let pipe = KddPipeline::fit(&config, &train).unwrap();
+            let mut buf = FeatureMatrix::new();
+            pipe.transform_batch(train.records(), &mut buf).unwrap();
+            assert_eq!(buf.shape(), (train.len(), pipe.output_dim()));
+            for (r, rec) in train.iter().enumerate() {
+                let fresh = pipe.transform(rec).unwrap();
+                for (a, b) in buf.row(r).iter().zip(&fresh) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {r}");
+                }
+            }
+            // Reuse with a smaller batch: no rows leak from the prior one.
+            pipe.transform_batch(&train.records()[..5], &mut buf)
+                .unwrap();
+            assert_eq!(buf.rows(), 5);
+            // Empty batches reset the shape.
+            pipe.transform_batch(&[], &mut buf).unwrap();
+            assert!(buf.is_empty());
+            assert_eq!(buf.cols(), pipe.output_dim());
         }
     }
 
@@ -349,6 +560,56 @@ mod tests {
             schema.kind(schema.index_of("land").unwrap()),
             FeatureKind::Binary
         );
+    }
+
+    #[test]
+    fn skewed_scaler_width_is_a_typed_error_not_a_panic() {
+        // A corrupt or version-skewed artifact can deserialize into a
+        // pipeline whose fitted scaler width disagrees with the 38
+        // continuous features; every transform shape must answer with
+        // the typed DimensionMismatch, never a slice panic.
+        let train = train_data(100);
+        let pipe = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+        let mut v = pipe.to_value();
+        let serde::Value::Map(fields) = &mut v else {
+            panic!("pipeline serializes as a map")
+        };
+        let scaler = &mut fields
+            .iter_mut()
+            .find(|(k, _)| k == "scaler")
+            .expect("scaler field")
+            .1;
+        let serde::Value::Map(scaler_fields) = scaler else {
+            panic!("scaler serializes as a map")
+        };
+        let params = &mut scaler_fields
+            .iter_mut()
+            .find(|(k, _)| k == "params")
+            .expect("params field")
+            .1;
+        let serde::Value::Seq(pairs) = params else {
+            panic!("params serialize as a sequence")
+        };
+        pairs.pop(); // 38 → 37 fitted columns
+        let skewed = KddPipeline::from_value(&v).unwrap();
+
+        let rec = &train.records()[0];
+        assert!(matches!(
+            skewed.transform(rec).unwrap_err(),
+            FeaturizeError::DimensionMismatch { .. }
+        ));
+        let mut row = Vec::new();
+        assert!(matches!(
+            skewed.transform_into(rec, &mut row).unwrap_err(),
+            FeaturizeError::DimensionMismatch { .. }
+        ));
+        let mut buf = FeatureMatrix::new();
+        assert!(matches!(
+            skewed
+                .transform_batch(train.records(), &mut buf)
+                .unwrap_err(),
+            FeaturizeError::DimensionMismatch { .. }
+        ));
     }
 
     #[test]

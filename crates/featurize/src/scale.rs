@@ -5,6 +5,18 @@
 //! (including unseen test data, whose values may fall outside the training
 //! range — min–max outputs are clamped to `[0, 1]` so the SOM input space
 //! stays bounded, which is what the GHSOM training dynamics assume).
+//!
+//! Two transform shapes exist:
+//!
+//! * [`ColumnScaler::transform_in_place`] / [`ColumnScaler::transform`] —
+//!   one row at a time, with the scaling-strategy dispatch inside the
+//!   element loop (the historical per-record path).
+//! * [`ColumnScaler::transform_batch`] — the column-sliced batch kernel:
+//!   the strategy is matched **once**, then a strategy-specialized tight
+//!   loop streams every row's leading `width()` columns against the
+//!   per-column `(offset, scale)` parameters. Output is bit-identical to
+//!   the per-row path (same element-wise operation sequence); only the
+//!   dispatch overhead and the per-record allocation disappear.
 
 use serde::{Deserialize, Serialize};
 
@@ -165,6 +177,64 @@ impl ColumnScaler {
         self.transform_in_place(&mut out)?;
         Ok(out)
     }
+
+    /// Scales the leading [`ColumnScaler::width`] columns of every
+    /// `stride`-wide row in a flat row-major buffer — the batch kernel of
+    /// the columnar transform plane.
+    ///
+    /// `stride >= width()` lets the caller scale the continuous prefix of
+    /// rows that also carry a categorical block (the
+    /// [`crate::KddPipeline::transform_batch`] layout); columns past
+    /// `width()` are untouched. Bit-identical to calling
+    /// [`ColumnScaler::transform_in_place`] on each row's prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::DimensionMismatch`] when `stride < width()` or
+    /// `data.len()` is not a whole number of `stride`-wide rows.
+    pub fn transform_batch(&self, data: &mut [f64], stride: usize) -> Result<(), FeaturizeError> {
+        let width = self.params.len();
+        if stride < width || stride == 0 {
+            return Err(FeaturizeError::DimensionMismatch {
+                expected: width,
+                found: stride,
+            });
+        }
+        if !data.len().is_multiple_of(stride) {
+            return Err(FeaturizeError::DimensionMismatch {
+                expected: stride,
+                found: data.len() % stride,
+            });
+        }
+        // Strategy dispatch hoisted out of the element loops: each arm is
+        // a tight rows × columns kernel over the per-column parameters,
+        // performing exactly the per-row path's element operations.
+        match self.kind {
+            ScalingKind::MinMax => {
+                for row in data.chunks_exact_mut(stride) {
+                    for (x, &(offset, scale)) in row.iter_mut().zip(&self.params) {
+                        *x = ((*x - offset) * scale).clamp(0.0, 1.0);
+                    }
+                }
+            }
+            ScalingKind::ZScore => {
+                for row in data.chunks_exact_mut(stride) {
+                    for (x, &(offset, scale)) in row.iter_mut().zip(&self.params) {
+                        *x = (*x - offset) * scale;
+                    }
+                }
+            }
+            ScalingKind::Log1pMinMax => {
+                for row in data.chunks_exact_mut(stride) {
+                    for (x, &(offset, scale)) in row.iter_mut().zip(&self.params) {
+                        let v = x.max(0.0).ln_1p();
+                        *x = ((v - offset) * scale).clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -270,6 +340,62 @@ mod tests {
                 found: 1
             }
         ));
+    }
+
+    #[test]
+    fn batch_kernel_matches_per_row_bitwise() {
+        for kind in [
+            ScalingKind::MinMax,
+            ScalingKind::ZScore,
+            ScalingKind::Log1pMinMax,
+        ] {
+            let s = fit(kind);
+            // Rows carry a 2-column tail past the scaled prefix (stride 5).
+            let mut flat = vec![
+                0.0, 10.0, 5.0, 9.0, 9.0, //
+                7.0, 25.0, 5.0, 8.0, 8.0, //
+                -3.0, 100.0, 5.0, 7.0, 7.0,
+            ];
+            let expected: Vec<Vec<f64>> = flat
+                .chunks_exact(5)
+                .map(|row| {
+                    let mut prefix = row[..3].to_vec();
+                    s.transform_in_place(&mut prefix).unwrap();
+                    prefix
+                })
+                .collect();
+            s.transform_batch(&mut flat, 5).unwrap();
+            for (r, row) in flat.chunks_exact(5).enumerate() {
+                for c in 0..3 {
+                    assert_eq!(
+                        row[c].to_bits(),
+                        expected[r][c].to_bits(),
+                        "{kind} ({r}, {c})"
+                    );
+                }
+                // The tail past the scaled prefix is untouched.
+                assert_eq!(row[3], 9.0 - r as f64);
+                assert_eq!(row[4], 9.0 - r as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_kernel_validates_stride() {
+        let s = fit(ScalingKind::MinMax);
+        let mut too_narrow = vec![0.0; 4];
+        assert!(matches!(
+            s.transform_batch(&mut too_narrow, 2).unwrap_err(),
+            FeaturizeError::DimensionMismatch { .. }
+        ));
+        let mut ragged = vec![0.0; 7];
+        assert!(matches!(
+            s.transform_batch(&mut ragged, 3).unwrap_err(),
+            FeaturizeError::DimensionMismatch { .. }
+        ));
+        // Empty buffers are a no-op.
+        let mut empty: Vec<f64> = Vec::new();
+        s.transform_batch(&mut empty, 3).unwrap();
     }
 
     #[test]

@@ -1,4 +1,12 @@
 //! Feature metadata for assembled vectors.
+//!
+//! A fitted [`crate::KddPipeline`] carries a [`FeatureSchema`] naming
+//! every output column (38 continuous names, then one `field=value`
+//! entry per one-hot categorical column) and tagging its
+//! [`FeatureKind`]. Downstream tools use it to explain map dimensions —
+//! e.g. `detect::explain` reports the most-deviant *named* features of
+//! an anomalous record — and [`FeatureSchema::project`] keeps names
+//! aligned after feature selection ([`crate::select`]).
 
 use serde::{Deserialize, Serialize};
 

@@ -3,9 +3,17 @@
 //! Two simple, fit-on-train selectors used by the ablation experiments:
 //! variance thresholding (drop near-constant columns — one-hot columns for
 //! services that never occur, for instance) and top-k by variance.
+//!
+//! Three transform shapes: [`FeatureSelector::transform`] (one row → fresh
+//! `Vec`), [`FeatureSelector::transform_matrix`] (owned matrix → owned
+//! matrix), and [`FeatureSelector::transform_batch`] — the column-gather
+//! batch kernel over a borrowed [`mathkit::MatrixView`] into a reused
+//! [`FeatureMatrix`], allocation-free steady-state.
 
+use mathkit::MatrixView;
 use serde::{Deserialize, Serialize};
 
+use crate::matrix::FeatureMatrix;
 use crate::FeaturizeError;
 
 /// A fitted column-subset selector.
@@ -117,6 +125,35 @@ impl FeatureSelector {
         let rows: Result<Vec<Vec<f64>>, _> = data.iter_rows().map(|r| self.transform(r)).collect();
         Ok(mathkit::Matrix::from_rows(rows?)?)
     }
+
+    /// Projects every row of a borrowed matrix view into a reused output
+    /// buffer — the column-gather batch kernel (no per-row `Vec`, no owned
+    /// intermediate matrix). `out` is reshaped to
+    /// `data.rows() × output_dim()` and fully overwritten.
+    ///
+    /// # Errors
+    ///
+    /// [`FeaturizeError::DimensionMismatch`] when `data.cols()` disagrees
+    /// with the fitted input width.
+    pub fn transform_batch(
+        &self,
+        data: MatrixView<'_>,
+        out: &mut FeatureMatrix,
+    ) -> Result<(), FeaturizeError> {
+        if data.cols() != self.input_dim {
+            return Err(FeaturizeError::DimensionMismatch {
+                expected: self.input_dim,
+                found: data.cols(),
+            });
+        }
+        out.reset(data.rows(), self.keep.len());
+        for (r, row) in data.iter_rows().enumerate() {
+            for (dst, &c) in out.row_mut(r).iter_mut().zip(&self.keep) {
+                *dst = row[c];
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +220,25 @@ mod tests {
         let m = sel.transform_matrix(&data()).unwrap();
         assert_eq!(m.shape(), (4, 1));
         assert_eq!(m.col(0), vec![0.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn transform_batch_matches_transform_matrix() {
+        let d = data();
+        let sel = FeatureSelector::top_k_by_variance(&d, 2).unwrap();
+        let owned = sel.transform_matrix(&d).unwrap();
+        // Pre-poison the buffer: batch output must fully overwrite it.
+        let mut out = FeatureMatrix::new();
+        out.reset(7, 9);
+        sel.transform_batch(d.view(), &mut out).unwrap();
+        assert_eq!(out.shape(), owned.shape());
+        assert_eq!(out.as_slice(), owned.as_slice());
+        // Width mismatch is typed.
+        let narrow = mathkit::Matrix::zeros(2, 2);
+        assert!(matches!(
+            sel.transform_batch(narrow.view(), &mut out).unwrap_err(),
+            FeaturizeError::DimensionMismatch { .. }
+        ));
     }
 
     #[test]

@@ -2,9 +2,36 @@
 
 use featurize::pipeline::{KddPipeline, PipelineConfig};
 use featurize::scale::{ColumnScaler, ScalingKind};
+use featurize::FeatureMatrix;
 use proptest::prelude::*;
 use traffic::synth::{profiles, MixSpec, TrafficGenerator};
-use traffic::AttackType;
+use traffic::{AttackType, ConnectionRecord};
+
+/// An arbitrary record batch: profile-sampled records across every
+/// attack type, including categorical-heavy shapes (the one-hot block is
+/// the only varying part of an all-zero record).
+fn arbitrary_batch(seed: u64, len: usize, all_categorical: bool) -> Vec<ConnectionRecord> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            if all_categorical {
+                // Zero continuous features; only protocol/service/flag vary.
+                ConnectionRecord {
+                    protocol: traffic::Protocol::ALL[rng.gen_range(0..3)],
+                    service: traffic::Service::ALL[rng.gen_range(0..traffic::Service::ALL.len())],
+                    flag: traffic::Flag::ALL[rng.gen_range(0..traffic::Flag::ALL.len())],
+                    ..Default::default()
+                }
+            } else {
+                profiles::sample(
+                    AttackType::ALL[rng.gen_range(0..AttackType::ALL.len())],
+                    &mut rng,
+                )
+            }
+        })
+        .collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -73,6 +100,74 @@ proptest! {
         prop_assert_eq!(&p1, &p2);
         let rec = &train1.records()[0];
         prop_assert_eq!(p1.transform(rec).unwrap(), p2.transform(rec).unwrap());
+    }
+
+    /// The batched columnar transform is **bit-identical** to the
+    /// per-record path over arbitrary record batches — every scaling
+    /// strategy, with and without the categorical block, including the
+    /// empty batch and all-categorical (zero-continuous) rows.
+    #[test]
+    fn transform_batch_is_bit_identical_to_per_record(
+        seed in 0u64..500,
+        len in 0usize..40,
+        all_categorical in 0u8..2,
+        scaling_idx in 0usize..3,
+        include_categoricals in 0u8..2,
+    ) {
+        let all_categorical = all_categorical == 1;
+        let include_categoricals = include_categoricals == 1;
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), seed).unwrap();
+        let train = gen.generate(80);
+        let scaling = [ScalingKind::MinMax, ScalingKind::ZScore, ScalingKind::Log1pMinMax][scaling_idx];
+        let config = PipelineConfig::default()
+            .with_scaling(scaling)
+            .with_categoricals(include_categoricals);
+        let pipeline = KddPipeline::fit(&config, &train).unwrap();
+        let batch = arbitrary_batch(seed ^ 0xABCD, len, all_categorical);
+
+        let mut buf = FeatureMatrix::new();
+        pipeline.transform_batch(&batch, &mut buf).unwrap();
+        prop_assert_eq!(buf.shape(), (batch.len(), pipeline.output_dim()));
+        let mut row_buf = Vec::new();
+        for (r, rec) in batch.iter().enumerate() {
+            let fresh = pipeline.transform(rec).unwrap();
+            prop_assert_eq!(buf.row(r).len(), fresh.len());
+            for (c, (a, b)) in buf.row(r).iter().zip(&fresh).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "row {} col {}", r, c);
+            }
+            // The single-record scratch path agrees bitwise too.
+            pipeline.transform_into(rec, &mut row_buf).unwrap();
+            for (a, b) in row_buf.iter().zip(&fresh) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// Buffer reuse across calls never leaks rows from a prior batch:
+    /// after transforming batch A then batch B into the same buffer, the
+    /// buffer is exactly what a fresh transform of B produces — for B
+    /// shorter than, equal to and longer than A, down to the empty batch.
+    #[test]
+    fn transform_batch_reuse_never_leaks_prior_rows(
+        seed in 0u64..300,
+        len_a in 0usize..30,
+        len_b in 0usize..30,
+    ) {
+        let mut gen = TrafficGenerator::new(MixSpec::kdd_train(), seed).unwrap();
+        let train = gen.generate(80);
+        let pipeline = KddPipeline::fit(&PipelineConfig::default(), &train).unwrap();
+        let a = arbitrary_batch(seed ^ 0x1111, len_a, false);
+        let b = arbitrary_batch(seed ^ 0x2222, len_b, false);
+
+        let mut reused = FeatureMatrix::new();
+        pipeline.transform_batch(&a, &mut reused).unwrap();
+        pipeline.transform_batch(&b, &mut reused).unwrap();
+        let mut fresh = FeatureMatrix::new();
+        pipeline.transform_batch(&b, &mut fresh).unwrap();
+        prop_assert_eq!(reused.shape(), fresh.shape());
+        for (x, y) in reused.as_slice().iter().zip(fresh.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     /// Distinct categorical fields always produce distinct vectors when

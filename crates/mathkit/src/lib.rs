@@ -68,6 +68,6 @@ pub mod vector;
 
 pub use distance::Metric;
 pub use error::MathError;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixView};
 pub use pca::Pca;
 pub use stats::{Histogram, Summary, Welford};

@@ -334,6 +334,127 @@ impl Matrix {
     pub fn frobenius_norm(&self) -> f64 {
         vector::norm(&self.data)
     }
+
+    /// Borrowed [`MatrixView`] of the whole matrix.
+    #[inline]
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView {
+            rows: self.rows,
+            cols: self.cols,
+            data: &self.data,
+        }
+    }
+}
+
+/// A borrowed row-major matrix: shape plus a flat `&[f64]` buffer.
+///
+/// This is the zero-copy sample container of the serving path: a caller
+/// that already holds rows contiguously (e.g. a reused feature-transform
+/// buffer) hands batch consumers a `MatrixView` instead of materializing
+/// an owned [`Matrix`]. Unlike [`Matrix`], a view may be empty
+/// (`rows == 0`), and no finiteness check is performed — views wrap
+/// buffers whose producers enforce their own invariants.
+///
+/// # Example
+///
+/// ```
+/// use mathkit::matrix::MatrixView;
+///
+/// # fn main() -> Result<(), mathkit::MathError> {
+/// let flat = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+/// let v = MatrixView::new(2, 3, &flat)?;
+/// assert_eq!(v.shape(), (2, 3));
+/// assert_eq!(v.row(1), &[4.0, 5.0, 6.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixView<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [f64],
+}
+
+impl<'a> MatrixView<'a> {
+    /// Wraps a flat row-major buffer as a `rows × cols` view.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::DimensionMismatch`] when `data.len() != rows * cols`;
+    /// [`MathError::EmptyInput`] for the degenerate `rows > 0, cols == 0`
+    /// shape (a zero-width view cannot yield rows — `iter_rows` would
+    /// have nothing coherent to produce).
+    pub fn new(rows: usize, cols: usize, data: &'a [f64]) -> Result<Self, MathError> {
+        if rows > 0 && cols == 0 {
+            return Err(MathError::EmptyInput);
+        }
+        if data.len() != rows * cols {
+            return Err(MathError::DimensionMismatch {
+                expected: rows * cols,
+                found: data.len(),
+            });
+        }
+        Ok(MatrixView { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when the view has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &'a [f64]> {
+        // `max(1)`: the only cols == 0 view is the fully empty 0 × 0 one
+        // (`new` rejects rows > 0 with zero width), whose empty buffer
+        // yields no chunks — while `chunks_exact(0)` would panic.
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Flat row-major view of the underlying buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Copies the view into an owned [`Matrix`].
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::EmptyInput`] when the view has no rows or no columns
+    /// (an owned [`Matrix`] cannot be empty).
+    pub fn to_matrix(&self) -> Result<Matrix, MathError> {
+        Matrix::from_flat(self.rows, self.cols, self.data.to_vec())
+    }
 }
 
 #[cfg(test)]
@@ -490,5 +611,43 @@ mod tests {
         let json = serde_json::to_string(&m).unwrap();
         let back: Matrix = serde_json::from_str(&json).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn view_mirrors_the_matrix() {
+        let m = sample();
+        let v = m.view();
+        assert_eq!(v.shape(), m.shape());
+        assert!(!v.is_empty());
+        assert_eq!(v.row(1), m.row(1));
+        assert_eq!(v.as_slice(), m.as_slice());
+        let rows: Vec<&[f64]> = v.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], m.row(0));
+        assert_eq!(v.to_matrix().unwrap(), m);
+    }
+
+    #[test]
+    fn view_validates_buffer_length() {
+        let flat = [1.0, 2.0, 3.0];
+        assert!(MatrixView::new(1, 3, &flat).is_ok());
+        assert!(matches!(
+            MatrixView::new(2, 3, &flat).unwrap_err(),
+            MathError::DimensionMismatch { .. }
+        ));
+        // Empty views are legal (unlike owned matrices).
+        let v = MatrixView::new(0, 3, &[]).unwrap();
+        assert!(v.is_empty());
+        assert_eq!(v.iter_rows().count(), 0);
+        assert!(v.to_matrix().is_err());
+        // …but a non-empty zero-width view is not representable.
+        assert_eq!(
+            MatrixView::new(3, 0, &[]).unwrap_err(),
+            MathError::EmptyInput
+        );
+        // The fully empty 0 × 0 view iterates without panicking.
+        let nil = MatrixView::new(0, 0, &[]).unwrap();
+        assert!(nil.is_empty());
+        assert_eq!(nil.iter_rows().count(), 0);
     }
 }

@@ -14,7 +14,7 @@ use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use ghsom_core::{GhsomError, GhsomModel, PathStep, Projection, Scorer};
-use mathkit::{batch, parallel, Matrix, Metric};
+use mathkit::{batch, parallel, Matrix, MatrixView, Metric};
 
 use crate::ServeError;
 
@@ -247,10 +247,13 @@ impl<'a> ArenaRef<'a> {
     ///
     /// Unlike the tree walker there is no per-map `Matrix` materialization:
     /// the root level runs directly on the input's flat buffer and deeper
-    /// levels gather rows into one reused scratch vector.
+    /// levels gather rows into one reused scratch vector. The input is a
+    /// **borrowed** [`MatrixView`], so callers that already hold samples
+    /// contiguously (the reused feature-transform buffer of the fused
+    /// serving path) never copy them into an owned matrix.
     fn walk<F: FnMut(usize, PathStep)>(
         &self,
-        data: &Matrix,
+        data: MatrixView<'_>,
         mut visit: F,
     ) -> Result<(), ServeError> {
         if data.rows() == 0 {
@@ -314,7 +317,7 @@ impl<'a> ArenaRef<'a> {
         Ok(())
     }
 
-    pub fn project_batch(&self, data: &Matrix) -> Result<Vec<Projection>, ServeError> {
+    pub fn project_batch(&self, data: MatrixView<'_>) -> Result<Vec<Projection>, ServeError> {
         if data.rows() == 0 {
             return Ok(Vec::new());
         }
@@ -325,7 +328,7 @@ impl<'a> ArenaRef<'a> {
 
     /// Leaf quantization error per row without materializing projections —
     /// the detectors' hot bulk-scoring path.
-    pub fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, ServeError> {
+    pub fn score_all(&self, data: MatrixView<'_>) -> Result<Vec<f64>, ServeError> {
         let mut qe = vec![0.0; data.rows()];
         // Per sample the walk visits hops root→leaf, so the last write is
         // the leaf QE.
@@ -670,6 +673,18 @@ impl CompiledGhsom {
     ///
     /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
     pub fn project_batch(&self, data: &Matrix) -> Result<Vec<Projection>, ServeError> {
+        self.arena().project_batch(data.view())
+    }
+
+    /// [`CompiledGhsom::project_batch`] over a **borrowed** matrix view —
+    /// the fused serving path's entry point: the walk runs directly on
+    /// the caller's flat buffer (e.g. a reused
+    /// `featurize::FeatureMatrix`), no owned copy.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
+    pub fn project_batch_view(&self, data: MatrixView<'_>) -> Result<Vec<Projection>, ServeError> {
         self.arena().project_batch(data)
     }
 
@@ -680,6 +695,16 @@ impl CompiledGhsom {
     ///
     /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
     pub fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, ServeError> {
+        self.arena().score_all(data.view())
+    }
+
+    /// [`CompiledGhsom::score_all`] over a borrowed matrix view (see
+    /// [`CompiledGhsom::project_batch_view`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
+    pub fn score_all_view(&self, data: MatrixView<'_>) -> Result<Vec<f64>, ServeError> {
         self.arena().score_all(data)
     }
 }
@@ -731,8 +756,18 @@ impl Scorer for CompiledGhsom {
         Ok(CompiledGhsom::project_batch(self, data)?)
     }
 
+    /// Zero-copy override: the arena walk runs on the borrowed buffer
+    /// directly (the trait default would copy into an owned matrix).
+    fn project_batch_view(&self, data: MatrixView<'_>) -> Result<Vec<Projection>, GhsomError> {
+        Ok(CompiledGhsom::project_batch_view(self, data)?)
+    }
+
     fn score_matrix(&self, data: &Matrix) -> Result<Vec<f64>, GhsomError> {
         Ok(CompiledGhsom::score_all(self, data)?)
+    }
+
+    fn score_matrix_view(&self, data: MatrixView<'_>) -> Result<Vec<f64>, GhsomError> {
+        Ok(CompiledGhsom::score_all_view(self, data)?)
     }
 }
 

@@ -25,6 +25,19 @@
 //! * [`Engine::save`] / [`Engine::load`] / [`Engine::to_bytes`] /
 //!   [`Engine::from_bytes`] — the bundle snapshot.
 //!
+//! # The fused transform→walk serving path
+//!
+//! Scoring allocates nothing per record steady-state. Batched entry
+//! points transform the record slice into a reused **thread-local**
+//! [`featurize::FeatureMatrix`] ([`KddPipeline::transform_batch`] — the
+//! batched columnar plane, no per-record `Vec`), then hand the buffer to
+//! the compiled arena walk as a borrowed `mathkit::MatrixView`
+//! (`verdicts_all_view` / `observe_batch_view`) — no intermediate owned
+//! matrix. The single-record paths reuse a thread-local scratch row the
+//! same way ([`KddPipeline::transform_into`]). See
+//! `docs/ARCHITECTURE.md` for the full data-flow picture and
+//! `BENCH_4.json` for the measured end-to-end effect.
+//!
 //! # Bundle layout (snapshot version 2)
 //!
 //! A bundle is a regular snapshot (same magic, header, checksum, aligned
@@ -81,12 +94,13 @@
 //! # }
 //! ```
 
+use std::cell::RefCell;
 use std::path::Path;
 
 use detect::prelude::*;
-use featurize::{KddPipeline, PipelineConfig};
+use featurize::{FeatureMatrix, KddPipeline, PipelineConfig};
 use ghsom_core::{GhsomConfig, GhsomModel, Scorer};
-use mathkit::Matrix;
+use mathkit::MatrixView;
 use serde::{Deserialize, Serialize};
 use traffic::{AttackCategory, ConnectionRecord, Dataset};
 
@@ -163,6 +177,39 @@ impl EngineConfig {
         self.k_sigma = k_sigma;
         self.warmup = warmup;
         self
+    }
+}
+
+thread_local! {
+    /// Reused batch-transform buffer of the fused serving path: one per
+    /// ingest thread, so steady-state `score_records`/`observe_records`
+    /// calls allocate nothing for the feature matrix once the buffer has
+    /// grown to the largest batch seen.
+    static BATCH_SCRATCH: RefCell<FeatureMatrix> = RefCell::new(FeatureMatrix::new());
+    /// Reused single-record row of `score_record`/`observe`.
+    static ROW_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Retained-capacity bound of [`struct@BATCH_SCRATCH`], in `f64` elements
+/// (32 MiB). One oversized backfill batch must not pin its peak memory on
+/// a long-lived ingest thread forever; past this, the scratch is shrunk
+/// back after the call.
+const BATCH_SCRATCH_MAX_ELEMS: usize = 1 << 22;
+
+/// The serving paths refuse to walk non-finite feature vectors: a NaN
+/// score would silently flag nothing and, on the streaming path, poison
+/// the adaptive `mean + k·σ` baseline for every later record. (Records
+/// from this workspace's generators and validated CSV ingest are always
+/// finite; this guards hand-built records at the `pub`-field trust
+/// boundary, preserving the typed-error behavior the pre-fusion owned
+/// `Matrix` path enforced.)
+fn ensure_finite(features: &[f64]) -> Result<(), ServeError> {
+    if mathkit::vector::all_finite(features) {
+        Ok(())
+    } else {
+        Err(ServeError::Malformed(
+            "pipeline produced non-finite features (invalid input record)",
+        ))
     }
 }
 
@@ -247,50 +294,69 @@ impl Engine {
     }
 
     /// Scores one raw traffic record: transform through the fitted
-    /// pipeline, walk the arena once, apply the label + QE layers.
+    /// pipeline into a **thread-local scratch row**
+    /// ([`KddPipeline::transform_into`] — no allocation steady-state),
+    /// walk the arena once, apply the label + QE layers.
     ///
     /// # Errors
     ///
-    /// Pipeline and scoring errors propagate as typed [`ServeError`]s.
+    /// Pipeline and scoring errors propagate as typed [`ServeError`]s;
+    /// [`ServeError::Malformed`] for records whose transform is
+    /// non-finite (hand-built records violating
+    /// [`ConnectionRecord`]`::validate`).
     pub fn score_record(&self, record: &ConnectionRecord) -> Result<HybridVerdict, ServeError> {
-        let x = self.pipeline.transform(record)?;
-        Ok(self.detector().verdict(&x)?)
+        ROW_SCRATCH.with_borrow_mut(|x| {
+            self.pipeline.transform_into(record, x)?;
+            ensure_finite(x)?;
+            Ok(self.detector().verdict(x)?)
+        })
     }
 
-    /// Batched [`Engine::score_record`]: one grouped hierarchy traversal
-    /// for the whole slice (chunk-parallel under the `rayon` feature).
+    /// Batched [`Engine::score_record`] on the fused serving path: the
+    /// whole slice is transformed into a reused thread-local
+    /// [`FeatureMatrix`] ([`KddPipeline::transform_batch`] — no per-record
+    /// allocation), which the arena's grouped hierarchy traversal then
+    /// walks directly as a borrowed view (chunk-parallel under the
+    /// `rayon` feature; no intermediate owned matrix).
     ///
     /// Returns an empty vector for an empty slice.
     ///
     /// # Errors
     ///
-    /// Pipeline and scoring errors propagate as typed [`ServeError`]s.
+    /// Pipeline and scoring errors propagate as typed [`ServeError`]s;
+    /// [`ServeError::Malformed`] when any record's transform is
+    /// non-finite.
     pub fn score_records(
         &self,
         records: &[ConnectionRecord],
     ) -> Result<Vec<HybridVerdict>, ServeError> {
-        let Some(x) = self.transform_all(records)? else {
-            return Ok(Vec::new());
-        };
-        Ok(self.detector().verdicts_all(&x)?)
+        self.with_transformed_batch(records, |view| {
+            Ok(self.detector().verdicts_all_view(view)?)
+        })
     }
 
     /// Streams one record through the adaptive threshold: the detector's
     /// verdict is combined with a `mean + k·σ` bound over the recent
-    /// score distribution (see [`StreamingDetector::observe`]).
+    /// score distribution (see [`StreamingDetector::observe`]). Uses the
+    /// same thread-local scratch row as [`Engine::score_record`].
     ///
     /// # Errors
     ///
     /// Pipeline and scoring errors propagate; streaming state is not
     /// updated in that case.
     pub fn observe(&self, record: &ConnectionRecord) -> Result<StreamVerdict, ServeError> {
-        let x = self.pipeline.transform(record)?;
-        Ok(self.stream.observe(&x)?)
+        ROW_SCRATCH.with_borrow_mut(|x| {
+            self.pipeline.transform_into(record, x)?;
+            ensure_finite(x)?;
+            Ok(self.stream.observe(x)?)
+        })
     }
 
     /// Streams a burst of records in arrival order through one batched
     /// traversal — verdicts are identical to calling [`Engine::observe`]
-    /// record by record.
+    /// record by record. Runs on the same fused transform→walk path as
+    /// [`Engine::score_records`] (reused thread-local buffer, borrowed
+    /// view into the arena walk).
     ///
     /// # Errors
     ///
@@ -300,10 +366,31 @@ impl Engine {
         &self,
         records: &[ConnectionRecord],
     ) -> Result<Vec<StreamVerdict>, ServeError> {
-        let Some(x) = self.transform_all(records)? else {
+        self.with_transformed_batch(records, |view| Ok(self.stream.observe_batch_view(view)?))
+    }
+
+    /// The shared scaffold of the fused batched serving paths: transform
+    /// `records` into the thread-local scratch buffer, guard finiteness,
+    /// hand the borrowed view to `score`, and bound the retained scratch
+    /// capacity afterwards — on success **and** on error, so a failing
+    /// oversized batch cannot pin its peak memory on the thread.
+    fn with_transformed_batch<T>(
+        &self,
+        records: &[ConnectionRecord],
+        score: impl FnOnce(MatrixView<'_>) -> Result<Vec<T>, ServeError>,
+    ) -> Result<Vec<T>, ServeError> {
+        if records.is_empty() {
             return Ok(Vec::new());
-        };
-        Ok(self.stream.observe_batch(&x)?)
+        }
+        BATCH_SCRATCH.with_borrow_mut(|buf| {
+            let result = (|| {
+                self.pipeline.transform_batch(records, buf)?;
+                ensure_finite(buf.as_slice())?;
+                score(buf.as_view())
+            })();
+            buf.shrink_if_over(BATCH_SCRATCH_MAX_ELEMS);
+            result
+        })
     }
 
     /// A consistent snapshot of the streaming session (records seen /
@@ -316,19 +403,6 @@ impl Engine {
     /// untouched).
     pub fn reset_stream(&self) {
         self.stream.reset()
-    }
-
-    fn transform_all(&self, records: &[ConnectionRecord]) -> Result<Option<Matrix>, ServeError> {
-        if records.is_empty() {
-            return Ok(None);
-        }
-        let mut rows = Vec::with_capacity(records.len());
-        for rec in records {
-            rows.push(self.pipeline.transform(rec)?);
-        }
-        Ok(Some(Matrix::from_rows(rows).map_err(|_| {
-            ServeError::Malformed("pipeline produced ragged feature vectors")
-        })?))
     }
 
     // --- bundle persistence -------------------------------------------------
@@ -760,6 +834,39 @@ mod tests {
             Engine::from_bytes(&bare).unwrap_err(),
             ServeError::Malformed(_)
         ));
+    }
+
+    #[test]
+    fn non_finite_records_are_typed_errors_on_every_serving_path() {
+        // The default pipeline's log1p+min-max clamps NaN away, so fit
+        // with z-score scaling, where a NaN field survives the transform.
+        let (train, test) = traffic::synth::kdd_train_test(400, 10, 41).unwrap();
+        let config = EngineConfig::default()
+            .with_pipeline(PipelineConfig::default().with_scaling(featurize::ScalingKind::ZScore))
+            .with_ghsom(GhsomConfig::default().with_epochs(2, 1).with_seed(41));
+        let engine = Engine::fit(&config, &train).unwrap();
+        let mut evil = test.records()[0].clone();
+        evil.duration = f64::NAN;
+        assert!(matches!(
+            engine.score_record(&evil).unwrap_err(),
+            ServeError::Malformed(_)
+        ));
+        assert!(matches!(
+            engine.score_records(&[test.records()[0].clone(), evil.clone()]),
+            Err(ServeError::Malformed(_))
+        ));
+        assert!(matches!(
+            engine.observe(&evil).unwrap_err(),
+            ServeError::Malformed(_)
+        ));
+        assert!(matches!(
+            engine.observe_records(std::slice::from_ref(&evil)),
+            Err(ServeError::Malformed(_))
+        ));
+        // The streaming baseline was never touched by the rejected record.
+        assert_eq!(engine.stream_stats().seen, 0);
+        // …and the paths still serve clean records afterwards.
+        engine.score_record(&test.records()[0]).unwrap();
     }
 
     #[test]

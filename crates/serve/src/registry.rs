@@ -163,6 +163,24 @@ impl EngineRegistry {
         self.get(name)?.score_record(record)
     }
 
+    /// Scores a record batch against a tenant's **current** engine —
+    /// `get` + [`Engine::score_records`], the fused batched
+    /// transform→walk path. The whole batch is served by one engine
+    /// generation: a concurrent swap affects later batches, never splits
+    /// this one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] for unknown names; scoring errors
+    /// propagate.
+    pub fn score_records(
+        &self,
+        name: &str,
+        records: &[traffic::ConnectionRecord],
+    ) -> Result<Vec<detect::prelude::HybridVerdict>, ServeError> {
+        self.get(name)?.score_records(records)
+    }
+
     /// Streams one record through a tenant's current engine
     /// (`get` + [`Engine::observe`]). Note that a swap resets the
     /// adaptive baseline: streaming state lives in the engine, not the
@@ -178,6 +196,22 @@ impl EngineRegistry {
         record: &traffic::ConnectionRecord,
     ) -> Result<detect::prelude::StreamVerdict, ServeError> {
         self.get(name)?.observe(record)
+    }
+
+    /// Streams a record burst through a tenant's current engine
+    /// (`get` + [`Engine::observe_records`]): one fused batched traversal,
+    /// one engine generation per burst.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] for unknown names; scoring errors
+    /// propagate.
+    pub fn observe_records(
+        &self,
+        name: &str,
+        records: &[traffic::ConnectionRecord],
+    ) -> Result<Vec<detect::prelude::StreamVerdict>, ServeError> {
+        self.get(name)?.observe_records(records)
     }
 
     /// Sorted tenant names.
@@ -283,5 +317,31 @@ mod tests {
         }
         assert_eq!(registry.get("eu").unwrap().stream_stats().seen, 30);
         assert_eq!(registry.get("us").unwrap().stream_stats().seen, 0);
+    }
+
+    #[test]
+    fn batched_passthroughs_match_the_per_record_ones() {
+        let registry = EngineRegistry::new();
+        registry.deploy("t", tiny_engine(10));
+        let (_, test) = traffic::synth::kdd_train_test(10, 40, 11).unwrap();
+        let batch = registry.score_records("t", test.records()).unwrap();
+        assert_eq!(batch.len(), test.len());
+        for (rec, v) in test.iter().zip(&batch) {
+            assert_eq!(registry.score_record("t", rec).unwrap(), *v);
+        }
+        let streamed = registry.observe_records("t", test.records()).unwrap();
+        assert_eq!(streamed.len(), test.len());
+        assert_eq!(
+            registry.get("t").unwrap().stream_stats().seen,
+            test.len() as u64
+        );
+        assert!(matches!(
+            registry.score_records("x", test.records()).unwrap_err(),
+            ServeError::UnknownTenant(_)
+        ));
+        assert!(matches!(
+            registry.observe_records("x", test.records()).unwrap_err(),
+            ServeError::UnknownTenant(_)
+        ));
     }
 }

@@ -1,8 +1,10 @@
 //! Versioned binary snapshots of [`CompiledGhsom`] arenas.
 //!
-//! See the [crate-level docs](crate) for the full wire-format
-//! specification (header, section table, alignment, endianness,
-//! versioning policy). This module implements it:
+//! See the [crate-level docs](crate) for the wire-format overview and
+//! **`docs/SNAPSHOT_FORMAT.md`** at the repo root for the normative
+//! section-for-section specification (header, section table, all 17
+//! section layouts, alignment, endianness, structural validation and
+//! the version-1/2 compatibility rules). This module implements it:
 //!
 //! * [`CompiledGhsom::to_bytes`] / [`CompiledGhsom::from_bytes`] — encode
 //!   to / decode from an owned byte buffer (decoding copies section
@@ -23,7 +25,7 @@ use std::path::Path;
 
 use ghsom_core::{GhsomError, Projection, Scorer};
 use mathkit::bytes;
-use mathkit::Matrix;
+use mathkit::{Matrix, MatrixView};
 
 use crate::compiled::{ArenaRef, CompiledGhsom};
 use crate::ServeError;
@@ -579,6 +581,17 @@ impl<'a> SnapshotView<'a> {
     ///
     /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
     pub fn project_batch(&self, data: &Matrix) -> Result<Vec<Projection>, ServeError> {
+        self.arena.project_batch(data.view())
+    }
+
+    /// [`SnapshotView::project_batch`] over a borrowed matrix view — the
+    /// fully zero-copy serving pipe: mapped snapshot bytes on one side, a
+    /// reused feature buffer on the other.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
+    pub fn project_batch_view(&self, data: MatrixView<'_>) -> Result<Vec<Projection>, ServeError> {
         self.arena.project_batch(data)
     }
 
@@ -588,6 +601,15 @@ impl<'a> SnapshotView<'a> {
     ///
     /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
     pub fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, ServeError> {
+        self.arena.score_all(data.view())
+    }
+
+    /// [`SnapshotView::score_all`] over a borrowed matrix view.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
+    pub fn score_all_view(&self, data: MatrixView<'_>) -> Result<Vec<f64>, ServeError> {
         self.arena.score_all(data)
     }
 
@@ -645,10 +667,21 @@ impl Scorer for SnapshotView<'_> {
     }
 
     fn project_batch(&self, data: &Matrix) -> Result<Vec<Projection>, GhsomError> {
+        Ok(self.arena.project_batch(data.view())?)
+    }
+
+    fn project_batch_view(
+        &self,
+        data: mathkit::MatrixView<'_>,
+    ) -> Result<Vec<Projection>, GhsomError> {
         Ok(self.arena.project_batch(data)?)
     }
 
     fn score_matrix(&self, data: &Matrix) -> Result<Vec<f64>, GhsomError> {
+        Ok(self.arena.score_all(data.view())?)
+    }
+
+    fn score_matrix_view(&self, data: mathkit::MatrixView<'_>) -> Result<Vec<f64>, GhsomError> {
         Ok(self.arena.score_all(data)?)
     }
 }

@@ -410,7 +410,26 @@ impl ConnectionRecord {
     /// The three categorical features (protocol, service, flag) are
     /// intentionally excluded — the `featurize` crate one-hot encodes them.
     pub fn continuous_features(&self) -> Vec<f64> {
-        vec![
+        let mut out = vec![0.0; Self::CONTINUOUS_COUNT];
+        self.write_continuous_features(&mut out);
+        out
+    }
+
+    /// Writes the 38 continuous features into a caller-owned slice — the
+    /// allocation-free form of [`ConnectionRecord::continuous_features`]
+    /// used by batched feature transforms that fill one matrix row per
+    /// record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != Self::CONTINUOUS_COUNT`.
+    pub fn write_continuous_features(&self, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            Self::CONTINUOUS_COUNT,
+            "continuous feature slice has the wrong width"
+        );
+        let features = [
             self.duration,
             self.src_bytes,
             self.dst_bytes,
@@ -449,7 +468,8 @@ impl ConnectionRecord {
             self.dst_host_srv_serror_rate,
             self.dst_host_rerror_rate,
             self.dst_host_srv_rerror_rate,
-        ]
+        ];
+        out.copy_from_slice(&features);
     }
 
     /// Checks the structural invariants: all values finite and
@@ -627,6 +647,25 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn write_continuous_features_matches_the_allocating_form() {
+        let r = ConnectionRecord {
+            duration: 3.0,
+            srv_count: 17.0,
+            dst_host_srv_rerror_rate: 0.25,
+            ..Default::default()
+        };
+        let mut buf = [f64::NAN; ConnectionRecord::CONTINUOUS_COUNT];
+        r.write_continuous_features(&mut buf);
+        assert_eq!(buf.to_vec(), r.continuous_features());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn write_continuous_features_rejects_wrong_width() {
+        ConnectionRecord::default().write_continuous_features(&mut [0.0; 3]);
     }
 
     #[test]

@@ -95,12 +95,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  {} flows observed", flows.len());
 
     // --- Stream through the detector, reporting per-10s buckets ----------
+    // Records arrive in bursts: each burst runs through the batched
+    // columnar transform into one reused buffer, and the streaming
+    // detector walks the buffer as a borrowed view — one grouped
+    // hierarchy traversal per burst, zero allocations per record, and
+    // verdicts identical to observing record by record.
+    const BURST: usize = 256;
+    let mut scratch = FeatureMatrix::new();
+    let mut verdicts = Vec::with_capacity(derived.len());
+    for burst in derived.records().chunks(BURST) {
+        pipeline.transform_batch(burst, &mut scratch)?;
+        verdicts.extend(stream.observe_batch_view(scratch.as_view())?);
+    }
+
     let mut bucket_flagged = [0usize; 12];
     let mut bucket_total = [0usize; 12];
     let mut bucket_truth = [0usize; 12];
-    for (flow, record) in flows.iter().zip(derived.iter()) {
-        let x = pipeline.transform(record)?;
-        let verdict = stream.observe(&x)?;
+    for (flow, verdict) in flows.iter().zip(&verdicts) {
         let bucket = ((flow.time / 10.0) as usize).min(11);
         bucket_total[bucket] += 1;
         if verdict.anomalous {

@@ -54,7 +54,11 @@
 //!
 //! See `examples/` for runnable end-to-end scenarios (including the
 //! multi-tenant `serve_daemon`) and `crates/bench/src/bin/repro.rs` for
-//! the table/figure reproduction harness.
+//! the table/figure reproduction harness. Two repo-level documents
+//! complement these API docs: **`docs/ARCHITECTURE.md`** (crate map and
+//! the record→matrix→arena-walk→verdict serving data flow) and
+//! **`docs/SNAPSHOT_FORMAT.md`** (the normative binary snapshot/bundle
+//! wire-format spec).
 //!
 //! # Performance: the batched BMU engine
 //!
@@ -88,6 +92,18 @@
 //! `BENCH_3.json` for end-to-end engine throughput and bundle load
 //! latency (cold read vs memory-mapped).
 //!
+//! # Featurization: the batched columnar plane
+//!
+//! The record→vector boundary is batched too: serving paths transform
+//! whole record slices into a reused [`featurize::FeatureMatrix`]
+//! ([`featurize::KddPipeline::transform_batch`] — per-stage column
+//! kernels, no per-record allocation) and hand the buffer to the arena
+//! walk as a borrowed [`mathkit::MatrixView`], fusing transform and
+//! traversal with no owned intermediate. Batched output is
+//! **bit-identical** to the per-record transform (property-tested).
+//! `BENCH_4.json` tracks the end-to-end effect on
+//! [`serve::Engine::score_records`].
+//!
 //! The **`rayon` cargo feature** (default on) additionally parallelizes
 //! those paths over sample chunks and sibling maps using std scoped
 //! threads (the offline build container has no rayon crate; the feature
@@ -112,7 +128,7 @@ pub use traffic;
 /// The most common imports for building a detection pipeline.
 pub mod prelude {
     pub use detect::prelude::*;
-    pub use featurize::{KddPipeline, PipelineConfig, ScalingKind};
+    pub use featurize::{FeatureMatrix, KddPipeline, PipelineConfig, ScalingKind};
     pub use ghsom_core::{GhsomConfig, GhsomModel, Scorer};
     pub use ghsom_serve::{
         Compile, CompiledGhsom, Engine, EngineBuilder, EngineConfig, EngineRegistry, MappedFile,
