@@ -227,7 +227,7 @@ pub mod prelude {
     pub use crate::explain::{explain, Explanation, FeatureDeviation};
     pub use crate::hybrid::{HybridGhsomDetector, HybridState, HybridVerdict};
     pub use crate::labeled::{DeadUnitPolicy, LabeledGhsomDetector, LabeledState};
-    pub use crate::online::{StreamStats, StreamVerdict, StreamingDetector};
+    pub use crate::online::{StreamState, StreamStats, StreamVerdict, StreamingDetector};
     pub use crate::threshold::QeThresholdDetector;
     pub use crate::typed::TypedGhsomClassifier;
     pub use crate::{Classifier, DetectError, Detector};

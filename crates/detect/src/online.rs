@@ -10,6 +10,7 @@
 
 use mathkit::Welford;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 use crate::{DetectError, Detector};
 
@@ -46,8 +47,67 @@ pub struct StreamStats {
     pub score_std: f64,
 }
 
+/// The complete exported adaptive state of a stream session: the
+/// counters plus the raw Welford accumulator behind the `mean + k·σ`
+/// threshold.
+///
+/// Unlike the read-only [`StreamStats`] report (which exposes the
+/// *derived* σ), this carries the **accumulator state itself**
+/// (`tracked`, `mean`, `m2`), so a detector rebuilt from it continues
+/// bit-identically — same adaptive threshold, same warmup progress
+/// (warmup readiness is `tracked >= warmup`), same future updates. This
+/// is what lets a model hot-swap or a daemon restart keep a warm
+/// baseline instead of re-entering warmup.
+///
+/// Produced by [`StreamingDetector::export_state`]; restored with
+/// [`StreamingDetector::import_state`], which **validates** the state
+/// (it may arrive from a snapshot file, i.e. across a trust boundary)
+/// instead of trusting it.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StreamState {
+    /// Records observed.
+    pub seen: u64,
+    /// Records flagged anomalous.
+    pub flagged: u64,
+    /// Unflagged records feeding the adaptive baseline (the Welford
+    /// count; warmup progress).
+    pub tracked: u64,
+    /// Running mean of the tracked scores.
+    pub mean: f64,
+    /// Raw second central moment `Σ(x−μ)²` of the tracked scores.
+    pub m2: f64,
+}
+
+impl StreamState {
+    /// Validates the state and rebuilds the score accumulator.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] when the counters are
+    /// inconsistent (`tracked + flagged` must equal `seen` — every
+    /// observed record either fed the baseline or was flagged) or the
+    /// moments are non-finite / negative (via
+    /// [`mathkit::Welford::from_parts`]).
+    fn to_accumulator(self) -> Result<Welford, DetectError> {
+        let accounted =
+            self.tracked
+                .checked_add(self.flagged)
+                .ok_or(DetectError::InvalidParameter {
+                    name: "tracked",
+                    reason: "tracked + flagged overflows",
+                })?;
+        if accounted != self.seen {
+            return Err(DetectError::InvalidParameter {
+                name: "seen",
+                reason: "tracked + flagged must equal seen",
+            });
+        }
+        Ok(Welford::from_parts(self.tracked, self.mean, self.m2)?)
+    }
+}
+
 #[derive(Debug, Default)]
-struct StreamState {
+struct SessionState {
     scores: Welford,
     seen: u64,
     flagged: u64,
@@ -82,7 +142,7 @@ pub struct StreamingDetector<D> {
     k_sigma: f64,
     /// Number of observations before the threshold adapts.
     warmup: u64,
-    state: Mutex<StreamState>,
+    state: Mutex<SessionState>,
 }
 
 impl<D: Detector> StreamingDetector<D> {
@@ -95,7 +155,7 @@ impl<D: Detector> StreamingDetector<D> {
             inner: detector,
             k_sigma,
             warmup,
-            state: Mutex::new(StreamState::default()),
+            state: Mutex::new(SessionState::default()),
         }
     }
 
@@ -246,10 +306,48 @@ impl<D: Detector> StreamingDetector<D> {
         }
     }
 
+    /// Exports the complete adaptive state under one lock acquisition —
+    /// counters plus the raw score accumulator (see [`StreamState`]).
+    /// The exported state restores **bit-identically** through
+    /// [`StreamingDetector::import_state`].
+    pub fn export_state(&self) -> StreamState {
+        let state = self.state.lock();
+        StreamState {
+            seen: state.seen,
+            flagged: state.flagged,
+            tracked: state.scores.count(),
+            mean: state.scores.mean(),
+            m2: state.scores.m2(),
+        }
+    }
+
+    /// Replaces the adaptive state with an exported one (the wrapped
+    /// detector is untouched). After the import, thresholds, warmup
+    /// progress and future updates continue exactly as they would have
+    /// on the detector the state was exported from — this is the
+    /// baseline transplant a model hot-swap performs so `mean + k·σ`
+    /// thresholds survive an engine refresh.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] / [`DetectError::Model`] when
+    /// the state is inconsistent or non-finite (it may come from a
+    /// snapshot file — a trust boundary); the current state is left
+    /// untouched in that case.
+    pub fn import_state(&self, state: StreamState) -> Result<(), DetectError> {
+        let scores = state.to_accumulator()?;
+        *self.state.lock() = SessionState {
+            scores,
+            seen: state.seen,
+            flagged: state.flagged,
+        };
+        Ok(())
+    }
+
     /// Resets the adaptive state and counters (the wrapped detector is
     /// untouched).
     pub fn reset(&self) {
-        *self.state.lock() = StreamState::default();
+        *self.state.lock() = SessionState::default();
     }
 }
 
@@ -442,6 +540,100 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.stats().seen, 200);
+    }
+
+    #[test]
+    fn exported_state_restores_bit_identically() {
+        let s = stream();
+        let data = normal_line(150, 11);
+        for x in data.iter_rows() {
+            s.observe(x).unwrap();
+        }
+        let state = s.export_state();
+        assert_eq!(state.tracked + state.flagged, state.seen);
+
+        // A fresh detector importing the state continues exactly like
+        // the original: identical thresholds and stats on every future
+        // record.
+        let t = stream();
+        t.import_state(state).unwrap();
+        assert_eq!(t.stats(), s.stats());
+        for x in normal_line(60, 12).iter_rows() {
+            let a = s.observe(x).unwrap();
+            let b = t.observe(x).unwrap();
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+            assert_eq!(a.anomalous, b.anomalous);
+        }
+        assert_eq!(t.export_state(), s.export_state());
+    }
+
+    #[test]
+    fn import_mid_warmup_continues_warmup() {
+        // warmup = 30; export after 10 observations, import into a fresh
+        // detector: the remaining 20 warmup records still use the inner
+        // verdict, and the adaptive threshold turns on exactly where it
+        // would have without the transplant.
+        let s = stream();
+        let data = normal_line(40, 13);
+        for x in data.iter_rows().take(10) {
+            s.observe(x).unwrap();
+        }
+        let state = s.export_state();
+        assert!(state.tracked < 30, "fixture must still be in warmup");
+
+        let t = stream();
+        t.import_state(state).unwrap();
+        let mut first_adaptive = None;
+        for (i, x) in data.iter_rows().enumerate().skip(10) {
+            let v = t.observe(x).unwrap();
+            if v.threshold.is_finite() && first_adaptive.is_none() {
+                first_adaptive = Some(i);
+            }
+        }
+        // Warmup continued from 10 tracked records, it did not restart:
+        // with ~0 flagged on this clean stream the threshold adapts once
+        // 30 records have been *tracked in total*, i.e. well before
+        // observation 10 + 30.
+        let at = first_adaptive.expect("threshold never adapted");
+        assert!(
+            at <= 10 + (30 - state.tracked as usize) + state.flagged as usize + 2,
+            "warmup restarted: first adaptive verdict at observation {at}"
+        );
+    }
+
+    #[test]
+    fn hostile_states_are_rejected_without_touching_state() {
+        let s = stream();
+        for x in normal_line(50, 14).iter_rows() {
+            s.observe(x).unwrap();
+        }
+        let before = s.stats();
+        let good = s.export_state();
+        for bad in [
+            StreamState {
+                mean: f64::NAN,
+                ..good
+            },
+            StreamState {
+                m2: f64::INFINITY,
+                ..good
+            },
+            StreamState { m2: -1.0, ..good },
+            StreamState {
+                seen: good.seen + 1,
+                ..good
+            },
+            StreamState {
+                tracked: u64::MAX,
+                flagged: 2,
+                seen: 1,
+                ..good
+            },
+        ] {
+            assert!(s.import_state(bad).is_err(), "accepted {bad:?}");
+            assert_eq!(s.stats(), before, "rejected import mutated state");
+        }
     }
 
     #[test]

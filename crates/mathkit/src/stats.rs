@@ -83,6 +83,50 @@ impl Welford {
         self.sample_variance().sqrt()
     }
 
+    /// The raw second central moment `Σ(x−μ)²` (the `M₂` accumulator).
+    ///
+    /// Together with [`Welford::count`] and [`Welford::mean`] this is the
+    /// accumulator's **complete** state: [`Welford::from_parts`] rebuilds
+    /// an accumulator that continues bit-identically to this one. Used by
+    /// the streaming detector to persist its adaptive baseline across
+    /// engine swaps and process restarts.
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
+    /// Rebuilds an accumulator from exported state — the inverse of
+    /// reading [`Welford::count`] / [`Welford::mean`] / [`Welford::m2`].
+    /// The result continues **bit-identically** to the accumulator the
+    /// parts were read from (same mean, same variance, same future
+    /// updates).
+    ///
+    /// # Errors
+    ///
+    /// The parts cross a trust boundary (e.g. a snapshot file), so they
+    /// are validated instead of trusted: [`MathError::NonFinite`] when
+    /// `mean` or `m2` is NaN/±∞, [`MathError::InvalidParameter`] when
+    /// `m2 < 0` (a sum of squares cannot be negative) or when
+    /// `count == 0` with non-zero moments (an empty accumulator has
+    /// `mean == 0` and `m2 == 0` by construction).
+    pub fn from_parts(count: u64, mean: f64, m2: f64) -> Result<Self, MathError> {
+        if !mean.is_finite() || !m2.is_finite() {
+            return Err(MathError::NonFinite);
+        }
+        if m2 < 0.0 {
+            return Err(MathError::InvalidParameter {
+                name: "m2",
+                reason: "the second central moment is a sum of squares and cannot be negative",
+            });
+        }
+        if count == 0 && (mean != 0.0 || m2 != 0.0) {
+            return Err(MathError::InvalidParameter {
+                name: "count",
+                reason: "an empty accumulator must have zero mean and m2",
+            });
+        }
+        Ok(Welford { count, mean, m2 })
+    }
+
     /// Merges another accumulator into this one (Chan's parallel update).
     ///
     /// The result is identical (up to floating-point rounding) to pushing all
@@ -343,6 +387,44 @@ mod tests {
         assert_eq!(left.count(), all.count());
         assert!((left.mean() - all.mean()).abs() < 1e-10);
         assert!((left.sample_variance() - all.sample_variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_from_parts_continues_bit_identically() {
+        let mut w = Welford::new();
+        for i in 0..37 {
+            w.push((i as f64).cos() * 3.0 + 1.0);
+        }
+        let mut rebuilt = Welford::from_parts(w.count(), w.mean(), w.m2()).unwrap();
+        assert_eq!(rebuilt, w);
+        // Future updates stay bit-identical, not just the snapshot.
+        for x in [0.25, -1.5, 9.0] {
+            w.push(x);
+            rebuilt.push(x);
+            assert_eq!(w.mean().to_bits(), rebuilt.mean().to_bits());
+            assert_eq!(w.m2().to_bits(), rebuilt.m2().to_bits());
+        }
+    }
+
+    #[test]
+    fn welford_from_parts_rejects_hostile_state() {
+        assert_eq!(
+            Welford::from_parts(3, f64::NAN, 1.0).unwrap_err(),
+            MathError::NonFinite
+        );
+        assert_eq!(
+            Welford::from_parts(3, 1.0, f64::INFINITY).unwrap_err(),
+            MathError::NonFinite
+        );
+        assert!(matches!(
+            Welford::from_parts(3, 1.0, -0.5).unwrap_err(),
+            MathError::InvalidParameter { name: "m2", .. }
+        ));
+        assert!(matches!(
+            Welford::from_parts(0, 1.0, 0.0).unwrap_err(),
+            MathError::InvalidParameter { name: "count", .. }
+        ));
+        assert_eq!(Welford::from_parts(0, 0.0, 0.0).unwrap(), Welford::new());
     }
 
     #[test]

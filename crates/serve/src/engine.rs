@@ -52,6 +52,9 @@
 //!                  confidences, dead-unit policy, QE threshold),
 //!                  "k_sigma": f64, "warmup": u64 } — the fitted detector
 //!                  state plus the streaming-threshold configuration
+//! id 18  STREAM    optional UTF-8 JSON of detect's StreamState — the
+//!                  live adaptive baseline, written only by
+//!                  to_bytes_with_stream (absent ⇒ cold start)
 //! ```
 //!
 //! JSON is used for the two fitted-state sections because they are small,
@@ -105,7 +108,7 @@ use serde::{Deserialize, Serialize};
 use traffic::{AttackCategory, ConnectionRecord, Dataset};
 
 use crate::compiled::{Compile, CompiledGhsom};
-use crate::snapshot::{self, SEC_DETECTOR, SEC_PIPELINE};
+use crate::snapshot::{self, SnapshotView, SEC_DETECTOR, SEC_PIPELINE, SEC_STREAM};
 use crate::ServeError;
 
 /// Default deviation multiplier of the adaptive streaming threshold.
@@ -399,6 +402,35 @@ impl Engine {
         self.stream.stats()
     }
 
+    /// Exports the **complete** adaptive streaming state (counters plus
+    /// the raw Welford accumulator — see [`StreamState`]), taken under
+    /// one lock acquisition. Unlike the derived [`Engine::stream_stats`]
+    /// report, this restores bit-identically through
+    /// [`Engine::restore_stream`]: the baseline-transplant half of a
+    /// zero-downtime model swap, and the payload of the optional
+    /// `STREAM` bundle section.
+    pub fn stream_state(&self) -> StreamState {
+        self.stream.export_state()
+    }
+
+    /// Replaces the adaptive streaming state with an exported one (the
+    /// fitted detector is untouched). After the restore, the `mean + k·σ`
+    /// threshold, warmup progress and session counters continue exactly
+    /// where the exported engine left off — a freshly retrained engine
+    /// restored from the old engine's state serves with a **warm**
+    /// threshold instead of re-entering warmup.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::StreamState`] when the state is inconsistent or
+    /// non-finite (it may come from a snapshot file — a trust boundary);
+    /// the current state is left untouched in that case.
+    pub fn restore_stream(&self, state: StreamState) -> Result<(), ServeError> {
+        self.stream
+            .import_state(state)
+            .map_err(ServeError::StreamState)
+    }
+
     /// Resets the adaptive streaming state (the fitted detector is
     /// untouched).
     pub fn reset_stream(&self) {
@@ -410,8 +442,27 @@ impl Engine {
     /// Serializes the engine into a version-
     /// [`BUNDLE_VERSION`](crate::snapshot::BUNDLE_VERSION) bundle: the
     /// arena sections plus the `PIPELINE` and `DETECTOR` sections (see
-    /// the [module docs](self) for the layout).
+    /// the [module docs](self) for the layout). The live streaming
+    /// baseline is **not** included — a loaded engine cold-starts its
+    /// adaptive threshold; use [`Engine::to_bytes_with_stream`] to carry
+    /// it.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode_bundle(false)
+    }
+
+    /// [`Engine::to_bytes`] plus the **optional `STREAM` section**
+    /// (id 18): the live adaptive baseline ([`Engine::stream_state`]) at
+    /// the moment of the call. A daemon that snapshots its engines with
+    /// this on shutdown resumes after a restart with warm `mean + k·σ`
+    /// thresholds instead of re-entering warmup —
+    /// [`Engine::from_bytes`] restores the section automatically when
+    /// present. The section is optional, so the format version does not
+    /// change and readers without stream support simply ignore it.
+    pub fn to_bytes_with_stream(&self) -> Vec<u8> {
+        self.encode_bundle(true)
+    }
+
+    fn encode_bundle(&self, with_stream: bool) -> Vec<u8> {
         let mut sections = self.compiled().arena_sections();
         let pipeline_json =
             serde_json::to_string(&self.pipeline).expect("shim JSON encoding is total");
@@ -423,19 +474,27 @@ impl Engine {
         })
         .expect("shim JSON encoding is total");
         sections.push((SEC_DETECTOR, detector_json.into_bytes()));
+        if with_stream {
+            let stream_json =
+                serde_json::to_string(&self.stream_state()).expect("shim JSON encoding is total");
+            sections.push((SEC_STREAM, stream_json.into_bytes()));
+        }
         snapshot::seal(snapshot::BUNDLE_VERSION, &sections)
     }
 
     /// Decodes a bundle into a serving-ready engine. The streaming state
-    /// starts fresh (session counters are runtime state, not part of the
-    /// artifact).
+    /// starts fresh unless the bundle carries the optional `STREAM`
+    /// section ([`Engine::to_bytes_with_stream`]), which is restored so
+    /// the adaptive threshold resumes where the writer left off.
     ///
     /// # Errors
     ///
     /// Every decoding error of [`CompiledGhsom::from_bytes`], plus
-    /// [`ServeError::NotABundle`] for valid *model-only* snapshots and
+    /// [`ServeError::NotABundle`] for valid *model-only* snapshots,
     /// [`ServeError::Malformed`] when the bundle sections are not valid
-    /// JSON of the expected shape or disagree with the arena.
+    /// JSON of the expected shape or disagree with the arena, and
+    /// [`ServeError::StreamState`] when a present `STREAM` section
+    /// parses but carries an inconsistent or non-finite baseline.
     pub fn from_bytes(raw: &[u8]) -> Result<Self, ServeError> {
         let sections = snapshot::parse_preamble(raw)?;
         if sections.version < snapshot::BUNDLE_VERSION {
@@ -444,6 +503,41 @@ impl Engine {
             });
         }
         let arena = CompiledGhsom::decode_arena(raw, &sections)?;
+        Self::assemble(arena, raw, &sections)
+    }
+
+    /// Decodes a bundle out of an **already-validated**
+    /// [`SnapshotView`] — the hot-reload fast path. The view's
+    /// construction ran the checksum and structural validation once;
+    /// this reuses that work (no re-hash, no second structural pass) and
+    /// only copies the arena tables out of the mapped bytes into the
+    /// owned engine. A watcher that zero-copy-validates an artifact and
+    /// then deploys it therefore reads the file exactly once.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NotABundle`] when the view is a model-only
+    /// snapshot; otherwise the bundle-section errors of
+    /// [`Engine::from_bytes`] (the container itself is already known
+    /// good).
+    pub fn from_view(view: &SnapshotView<'_>) -> Result<Self, ServeError> {
+        if !view.is_bundle() {
+            return Err(ServeError::NotABundle {
+                version: view.version(),
+            });
+        }
+        let (raw, sections) = view.parts();
+        Self::assemble(view.to_owned(), raw, sections)
+    }
+
+    /// The shared tail of the bundle decoders: arena already decoded (and
+    /// validated — by `decode_arena` or at view construction), bundle
+    /// sections still to parse.
+    fn assemble(
+        arena: CompiledGhsom,
+        raw: &[u8],
+        sections: &snapshot::Sections,
+    ) -> Result<Self, ServeError> {
         let pipeline: KddPipeline = decode_json(sections.payload(raw, SEC_PIPELINE)?)?;
         let det: DetectorSection = decode_json(sections.payload(raw, SEC_DETECTOR)?)?;
         if pipeline.output_dim() != arena.dim() {
@@ -456,19 +550,38 @@ impl Engine {
             return Err(ServeError::Malformed("detector thresholds must be finite"));
         }
         let detector = HybridGhsomDetector::from_state(arena, det.detector);
-        Ok(Engine {
+        let engine = Engine {
             pipeline,
             stream: StreamingDetector::new(detector, det.k_sigma, det.warmup),
-        })
+        };
+        if let Some(payload) = sections.payload_opt(raw, SEC_STREAM) {
+            let state: StreamState = decode_json(payload)?;
+            engine.restore_stream(state)?;
+        }
+        Ok(engine)
     }
 
-    /// Writes the bundle to a file.
+    /// Writes the bundle to a file (without the live streaming baseline
+    /// — see [`Engine::save_with_stream`]).
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] on filesystem failures.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), ServeError> {
         std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Writes the bundle **including the live streaming baseline**
+    /// ([`Engine::to_bytes_with_stream`]) to a file — the daemon
+    /// shutdown path: a process that reloads this file resumes scoring
+    /// with the adaptive threshold it shut down with.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on filesystem failures.
+    pub fn save_with_stream<P: AsRef<Path>>(&self, path: P) -> Result<(), ServeError> {
+        std::fs::write(path, self.to_bytes_with_stream())?;
         Ok(())
     }
 
@@ -867,6 +980,138 @@ mod tests {
         assert_eq!(engine.stream_stats().seen, 0);
         // …and the paths still serve clean records afterwards.
         engine.score_record(&test.records()[0]).unwrap();
+    }
+
+    #[test]
+    fn stream_section_roundtrips_the_live_baseline() {
+        let (engine, test) = engine(51);
+        engine.observe_records(test.records()).unwrap();
+        let state = engine.stream_state();
+        assert!(state.seen > 0);
+
+        // Plain bundles stay stream-free (and therefore byte-stable
+        // across sessions)…
+        let plain = Engine::from_bytes(&engine.to_bytes()).unwrap();
+        assert_eq!(plain.stream_state(), StreamState::default());
+
+        // …while the with-stream artifact resumes bit-identically, and
+        // re-serializes byte-identically.
+        let bundle = engine.to_bytes_with_stream();
+        let resumed = Engine::from_bytes(&bundle).unwrap();
+        assert_eq!(resumed.stream_state(), state);
+        assert_eq!(resumed.to_bytes_with_stream(), bundle);
+
+        // Filesystem path (before the engine's live state moves on).
+        let path = std::env::temp_dir().join("ghsom_engine_stream_state.bundle");
+        engine.save_with_stream(&path).unwrap();
+        let reloaded = Engine::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reloaded.stream_state(), state);
+
+        // Future streaming verdicts continue bit-identically too.
+        for rec in test.iter().take(20) {
+            let a = engine.observe(rec).unwrap();
+            let b = resumed.observe(rec).unwrap();
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+            assert_eq!(a.anomalous, b.anomalous);
+        }
+    }
+
+    /// Re-seals bundles with hostile STREAM sections (the checksum is
+    /// recomputed, so only the section decode can reject them): every
+    /// variant must be a typed error, and none may leave a partially
+    /// initialized engine behind.
+    #[test]
+    fn hostile_stream_sections_are_typed_errors() {
+        let (engine, _) = engine(52);
+        let reseal = |stream_payload: &[u8]| -> Vec<u8> {
+            let mut sections = engine.compiled().arena_sections();
+            let pipeline_json = serde_json::to_string(engine.pipeline()).unwrap();
+            sections.push((SEC_PIPELINE, pipeline_json.into_bytes()));
+            let detector_json = serde_json::to_string(&DetectorSection {
+                detector: engine.detector().state(),
+                k_sigma: engine.stream.k_sigma(),
+                warmup: engine.stream.warmup(),
+            })
+            .unwrap();
+            sections.push((SEC_DETECTOR, detector_json.into_bytes()));
+            sections.push((SEC_STREAM, stream_payload.to_vec()));
+            snapshot::seal(snapshot::BUNDLE_VERSION, &sections)
+        };
+
+        let good = serde_json::to_string(&engine.stream_state()).unwrap();
+        assert!(Engine::from_bytes(&reseal(good.as_bytes())).is_ok());
+
+        // Truncated JSON.
+        assert!(matches!(
+            Engine::from_bytes(&reseal(&good.as_bytes()[..good.len() / 2])).unwrap_err(),
+            ServeError::Malformed(_)
+        ));
+        // Not UTF-8.
+        assert!(matches!(
+            Engine::from_bytes(&reseal(&[0xff, 0xfe, 0x00])).unwrap_err(),
+            ServeError::Malformed(_)
+        ));
+        // Non-finite mean (JSON has no NaN literal; an overflowing
+        // exponent parses to infinity and must be caught downstream).
+        let inf_mean = br#"{"seen":3,"flagged":0,"tracked":3,"mean":1e999,"m2":0.0}"#;
+        assert!(matches!(
+            Engine::from_bytes(&reseal(inf_mean)).unwrap_err(),
+            ServeError::StreamState(_) | ServeError::Malformed(_)
+        ));
+        // Negative count: fails the u64 decode, typed Malformed.
+        let neg_count = br#"{"seen":3,"flagged":0,"tracked":-3,"mean":0.5,"m2":0.1}"#;
+        assert!(matches!(
+            Engine::from_bytes(&reseal(neg_count)).unwrap_err(),
+            ServeError::Malformed(_)
+        ));
+        // Negative variance accumulator.
+        let neg_m2 = br#"{"seen":3,"flagged":0,"tracked":3,"mean":0.5,"m2":-1.0}"#;
+        assert!(matches!(
+            Engine::from_bytes(&reseal(neg_m2)).unwrap_err(),
+            ServeError::StreamState(_)
+        ));
+        // Inconsistent counters (tracked + flagged != seen).
+        let torn = br#"{"seen":10,"flagged":1,"tracked":3,"mean":0.5,"m2":0.1}"#;
+        assert!(matches!(
+            Engine::from_bytes(&reseal(torn)).unwrap_err(),
+            ServeError::StreamState(_)
+        ));
+    }
+
+    #[test]
+    fn from_view_matches_from_bytes_without_revalidating() {
+        let (engine, test) = engine(53);
+        engine.observe_records(&test.records()[..64]).unwrap();
+        let bundle = engine.to_bytes_with_stream();
+        // 8-byte-aligned copy (see snapshot::tests for the technique).
+        let mut buf = vec![0u8; bundle.len() + 8];
+        let off = buf.as_ptr().align_offset(8);
+        buf[off..off + bundle.len()].copy_from_slice(&bundle);
+        let view = SnapshotView::parse(&buf[off..off + bundle.len()]).unwrap();
+        assert!(view.is_bundle());
+        let via_view = Engine::from_view(&view).unwrap();
+        let via_bytes = Engine::from_bytes(&bundle).unwrap();
+        assert_eq!(via_view.stream_state(), via_bytes.stream_state());
+        for rec in test.iter().take(30) {
+            assert_eq!(
+                via_view.score_record(rec).unwrap(),
+                via_bytes.score_record(rec).unwrap()
+            );
+        }
+        // A model-only view is version-gated like the byte path.
+        let model_only = engine.compiled().to_bytes();
+        let mut buf = vec![0u8; model_only.len() + 8];
+        let off = buf.as_ptr().align_offset(8);
+        buf[off..off + model_only.len()].copy_from_slice(&model_only);
+        let view = SnapshotView::parse(&buf[off..off + model_only.len()]).unwrap();
+        assert!(!view.is_bundle());
+        assert_eq!(view.version(), snapshot::VERSION);
+        assert_eq!(
+            Engine::from_view(&view).unwrap_err(),
+            ServeError::NotABundle { version: 1 }
+        );
     }
 
     #[test]

@@ -64,6 +64,11 @@ pub enum ServeError {
     MissingComponent(&'static str),
     /// No engine is deployed under the requested tenant name.
     UnknownTenant(String),
+    /// An adaptive streaming baseline was inconsistent or non-finite —
+    /// either in a bundle's optional `STREAM` section or passed to
+    /// `Engine::restore_stream` during a baseline transplant. The
+    /// engine's current stream state is untouched when this is returned.
+    StreamState(detect::DetectError),
     /// The feature pipeline failed (fitting or per-record transform).
     Pipeline(featurize::FeaturizeError),
     /// The detection layer failed (fitting or scoring).
@@ -112,6 +117,9 @@ impl fmt::Display for ServeError {
             ServeError::UnknownTenant(name) => {
                 write!(f, "no engine deployed under tenant `{name}`")
             }
+            ServeError::StreamState(e) => {
+                write!(f, "invalid streaming-baseline state: {e}")
+            }
             ServeError::Pipeline(e) => write!(f, "feature pipeline error: {e}"),
             ServeError::Detector(e) => write!(f, "detector error: {e}"),
             ServeError::Train(e) => write!(f, "training error: {e}"),
@@ -125,6 +133,7 @@ impl std::error::Error for ServeError {
             ServeError::Pipeline(e) => Some(e),
             ServeError::Detector(e) => Some(e),
             ServeError::Train(e) => Some(e),
+            ServeError::StreamState(e) => Some(e),
             _ => None,
         }
     }

@@ -13,7 +13,12 @@
 //!   persisted as a single **bundle** snapshot
 //!   ([`Engine::save`]/[`Engine::load`]; see [`engine`] for the layout).
 //! * [`EngineRegistry`] — named multi-tenant engines with zero-downtime
-//!   [`EngineRegistry::swap`] rollover for long-running daemons.
+//!   [`EngineRegistry::swap`] rollover for long-running daemons, and
+//!   baseline-carrying [`EngineRegistry::swap_carrying`] so adaptive
+//!   thresholds survive a refresh.
+//! * [`SpoolWatcher`] ([`watch`]) — hot-reload: poll a spool directory
+//!   of bundles, validate zero-copy, and deploy/swap/retire tenants
+//!   automatically; a bad artifact never evicts a serving engine.
 //! * [`CompiledGhsom`] — an immutable, flattened arena compiled from a
 //!   trained [`ghsom_core::GhsomModel`] ([`Compile::compile`]), with
 //!   projections **bit-identical** to the tree's.
@@ -88,7 +93,9 @@
 //! aligned so a mapped file can serve `f64`/`u64` sections in place.
 //! **Engine bundles** (version 2, [`snapshot::BUNDLE_VERSION`]) carry the
 //! same 15 sections plus the required PIPELINE (id 16) and DETECTOR
-//! (id 17) sections — see [`engine`] for their layout.
+//! (id 17) sections — see [`engine`] for their layout — and optionally
+//! the STREAM (id 18) section with the live adaptive baseline
+//! ([`Engine::to_bytes_with_stream`]; absent section ⇒ cold start).
 //!
 //! **Versioning policy.** Incompatible layout changes bump the version and
 //! old readers reject the file with a typed error; *adding* an optional
@@ -135,6 +142,7 @@ pub mod error;
 pub mod mmap;
 pub mod registry;
 pub mod snapshot;
+pub mod watch;
 
 pub use compiled::{Compile, CompiledGhsom};
 pub use engine::{Engine, EngineBuilder, EngineConfig};
@@ -142,3 +150,4 @@ pub use error::ServeError;
 pub use mmap::MappedFile;
 pub use registry::EngineRegistry;
 pub use snapshot::SnapshotView;
+pub use watch::{SpoolEvent, SpoolWatcher};

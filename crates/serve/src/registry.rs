@@ -120,9 +120,50 @@ impl EngineRegistry {
         Ok(slot.swap(Arc::new(engine)))
     }
 
+    /// [`EngineRegistry::swap`] with a **baseline transplant**: before
+    /// the new engine becomes visible, the old engine's adaptive
+    /// streaming state ([`Engine::stream_state`]) is restored onto it,
+    /// so the `mean + k·σ` threshold (and warmup progress) survives the
+    /// model refresh instead of cold-starting. Returns the retired
+    /// engine **and the exact state that was transplanted**.
+    ///
+    /// The export and import run *before* the slot lock is touched, so
+    /// the registry's no-blocking contract is intact: scoring never
+    /// waits on a swap beyond the pointer exchange, even while the
+    /// export waits out an in-flight `observe` batch on the old
+    /// engine's state lock. The trade: records streamed to the old
+    /// engine **between the export and the pointer swap** do not make
+    /// it into the carried baseline — the same bounded, in-flight-sized
+    /// loss any non-stop-the-world handover has.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] for unknown names. A failed
+    /// transplant ([`ServeError::StreamState`] — cannot happen for a
+    /// state freshly exported from a live engine, but the path stays
+    /// total) leaves the **old engine serving**: the swap only happens
+    /// after the new engine accepted the baseline.
+    pub fn swap_carrying(
+        &self,
+        name: &str,
+        engine: Engine,
+    ) -> Result<(Arc<Engine>, detect::prelude::StreamState), ServeError> {
+        let slot = self.slot(name)?;
+        let carried = slot.current().stream_state();
+        engine.restore_stream(carried)?;
+        Ok((slot.swap(Arc::new(engine)), carried))
+    }
+
     /// Removes a tenant entirely and returns its final engine. In-flight
     /// references stay valid; new lookups fail with
     /// [`ServeError::UnknownTenant`].
+    ///
+    /// The registry drops **all** of its own references (slot and
+    /// engine) before returning: once the caller drops the returned
+    /// `Arc` and in-flight work drains, the engine — and anything its
+    /// deployment pinned, such as a mapped artifact — is freed
+    /// immediately, not parked until some later deploy touches the slot
+    /// (regression-tested below).
     ///
     /// # Errors
     ///
@@ -134,7 +175,11 @@ impl EngineRegistry {
             .write()
             .remove(name)
             .ok_or_else(|| ServeError::UnknownTenant(name.to_string()))?;
-        Ok(slot.current())
+        let engine = slot.current();
+        // Explicit: the removed slot (and its engine reference) dies
+        // here, not at some caller-visible later point.
+        drop(slot);
+        Ok(engine)
     }
 
     /// The current engine of a tenant (an `Arc` clone — hold it across a
@@ -317,6 +362,40 @@ mod tests {
         }
         assert_eq!(registry.get("eu").unwrap().stream_stats().seen, 30);
         assert_eq!(registry.get("us").unwrap().stream_stats().seen, 0);
+    }
+
+    #[test]
+    fn swap_carrying_transplants_the_streaming_baseline() {
+        let registry = EngineRegistry::new();
+        registry.deploy("t", tiny_engine(20));
+        let (_, traffic) = traffic::synth::kdd_train_test(10, 60, 21).unwrap();
+        registry.observe_records("t", traffic.records()).unwrap();
+        let before = registry.get("t").unwrap().stream_state();
+        assert!(before.seen > 0);
+
+        let (old, carried) = registry.swap_carrying("t", tiny_engine(22)).unwrap();
+        let after = registry.get("t").unwrap();
+        assert!(!Arc::ptr_eq(&old, &after), "swap must be observable");
+        // The reported transplant is the exported baseline, and the new
+        // engine starts from it bit-identically.
+        assert_eq!(carried, before);
+        assert_eq!(after.stream_state(), before);
+        // …while a plain swap would have cold-started (sanity check).
+        let old2 = registry.swap("t", tiny_engine(23)).unwrap();
+        assert_eq!(old2.stream_state(), before);
+        assert_eq!(registry.get("t").unwrap().stream_stats().seen, 0);
+    }
+
+    #[test]
+    fn retire_releases_the_registry_references_promptly() {
+        let registry = EngineRegistry::new();
+        registry.deploy("t", tiny_engine(30));
+        let retired = registry.retire("t").unwrap();
+        // No slot, map entry or other registry-internal Arc may outlive
+        // the retire call: the caller holds the only reference, so
+        // dropping it frees the engine (and anything it pins) now, not
+        // at the next deploy.
+        assert_eq!(Arc::strong_count(&retired), 1);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 //!
 //! See the [crate-level docs](crate) for the wire-format overview and
 //! **`docs/SNAPSHOT_FORMAT.md`** at the repo root for the normative
-//! section-for-section specification (header, section table, all 17
-//! section layouts, alignment, endianness, structural validation and
-//! the version-1/2 compatibility rules). This module implements it:
+//! section-for-section specification (header, section table, all 18
+//! section layouts incl. the optional `STREAM` section, alignment,
+//! endianness, structural validation and the version-1/2 compatibility
+//! rules). This module implements it:
 //!
 //! * [`CompiledGhsom::to_bytes`] / [`CompiledGhsom::from_bytes`] — encode
 //!   to / decode from an owned byte buffer (decoding copies section
@@ -82,9 +83,16 @@ const SEC_PERM: u32 = 15;
 /// Bundle section: the fitted feature pipeline as UTF-8 JSON
 /// (required from [`BUNDLE_VERSION`] on; see [`crate::engine`]).
 pub(crate) const SEC_PIPELINE: u32 = 16;
-/// Bundle section: the fitted detector + stream state as UTF-8 JSON
-/// (required from [`BUNDLE_VERSION`] on; see [`crate::engine`]).
+/// Bundle section: the fitted detector + stream configuration as UTF-8
+/// JSON (required from [`BUNDLE_VERSION`] on; see [`crate::engine`]).
 pub(crate) const SEC_DETECTOR: u32 = 17;
+/// **Optional** bundle section: the live adaptive streaming baseline as
+/// UTF-8 JSON (`detect::prelude::StreamState`), written by
+/// `Engine::to_bytes_with_stream` so a daemon restart resumes with a
+/// warm `mean + k·σ` threshold. Absent section ⇒ cold start; being
+/// optional, it does **not** bump [`BUNDLE_VERSION`] (see the version
+/// policy on [`VERSION`]).
+pub(crate) const SEC_STREAM: u32 = 18;
 
 /// Every section a snapshot of any supported version must carry (the
 /// arena tables). Bundles additionally require [`SEC_PIPELINE`] and
@@ -320,6 +328,7 @@ impl Meta {
 }
 
 /// Parsed and bounds-checked section table.
+#[derive(Debug, Clone)]
 pub(crate) struct Sections {
     /// Format version from the header ([`VERSION`] or [`BUNDLE_VERSION`]).
     pub(crate) version: u32,
@@ -329,11 +338,17 @@ pub(crate) struct Sections {
 
 impl Sections {
     pub(crate) fn payload<'a>(&self, raw: &'a [u8], id: u32) -> Result<&'a [u8], ServeError> {
-        let &(offset, len) = self
-            .map
+        self.payload_opt(raw, id)
+            .ok_or(ServeError::Malformed("missing required section"))
+    }
+
+    /// The payload of an **optional** section — `None` when the section
+    /// is absent (not an error; optional sections are how the format
+    /// grows without version bumps).
+    pub(crate) fn payload_opt<'a>(&self, raw: &'a [u8], id: u32) -> Option<&'a [u8]> {
+        self.map
             .get(&id)
-            .ok_or(ServeError::Malformed("missing required section"))?;
-        Ok(&raw[offset..offset + len])
+            .map(|&(offset, len)| &raw[offset..offset + len])
     }
 }
 
@@ -498,8 +513,24 @@ mod cast {
 /// prototypes per record (e.g. the nearest-labelled dead-unit fallback)
 /// should [`SnapshotView::to_owned`] the view once and serve from the
 /// resulting [`CompiledGhsom`], which caches the row-major gather.
-#[derive(Debug, Clone, Copy)]
+///
+/// # Validation happens exactly once
+///
+/// [`SnapshotView::parse`] runs the header parse, the FNV-1a checksum
+/// over the whole payload, the section-table bounds checks and the
+/// structural arena validation **once**, then retains the validated
+/// section table alongside the borrowed bytes. Every later access —
+/// projections, [`SnapshotView::to_owned`], and the bundle decode
+/// through [`crate::Engine::from_view`] — reuses that work and performs
+/// **no** re-validation. A hot-reload daemon that validates an artifact
+/// and then builds an engine from it therefore hashes the file once,
+/// not once per consumer. (The invariant this rests on: the view
+/// borrows the buffer immutably for its whole lifetime, so the bytes
+/// the checksum covered cannot change underneath it.)
+#[derive(Debug, Clone)]
 pub struct SnapshotView<'a> {
+    raw: &'a [u8],
+    sections: Sections,
     arena: ArenaRef<'a>,
 }
 
@@ -543,7 +574,31 @@ impl<'a> SnapshotView<'a> {
         };
         meta.check_against(&arena)?;
         arena.validate()?;
-        Ok(SnapshotView { arena })
+        Ok(SnapshotView {
+            raw,
+            sections,
+            arena,
+        })
+    }
+
+    /// Format version from the header ([`VERSION`] model-only or
+    /// [`BUNDLE_VERSION`] engine bundle).
+    pub fn version(&self) -> u32 {
+        self.sections.version
+    }
+
+    /// Whether the snapshot is an engine bundle (carries the fitted
+    /// pipeline and detector sections, so [`crate::Engine::from_view`]
+    /// can decode it).
+    pub fn is_bundle(&self) -> bool {
+        self.sections.version >= BUNDLE_VERSION
+    }
+
+    /// The already-validated section table and the raw bytes it indexes —
+    /// how the bundle decoder ([`crate::Engine::from_view`]) reuses this
+    /// view's one-time validation instead of re-hashing the buffer.
+    pub(crate) fn parts(&self) -> (&'a [u8], &Sections) {
+        (self.raw, &self.sections)
     }
 
     /// Input dimensionality.

@@ -1,0 +1,609 @@
+//! Hot-reload: a spool-watching deployment loop over the registry.
+//!
+//! The deployment story so far required an operator (or bespoke daemon
+//! code) to notice a new artifact, validate it, and call
+//! [`EngineRegistry::deploy`]/[`EngineRegistry::swap`] by hand.
+//! [`SpoolWatcher`] closes that loop: point it at a **spool directory**
+//! of bundle files and it keeps the registry in sync with the directory
+//! contents —
+//!
+//! ```text
+//!  spool dir          SpoolWatcher::poll_once              EngineRegistry
+//!  ─────────          ─────────────────────────            ──────────────
+//!  a.bundle   new  →  mmap → validate once → decode   →    deploy "a"
+//!  b.bundle  changed→  mmap → validate once → decode   →   swap "b"
+//!                      └ StreamState transplanted:          (warm k·σ)
+//!  c.bundle  removed→                                       retire "c"
+//!  d.bundle  corrupt→  typed ServeError, NO deploy:         "d" keeps
+//!                      Rejected event                       serving
+//! ```
+//!
+//! * **Poll-based, std-only.** A scan stats every `*.bundle` file and
+//!   compares an `(mtime, len)` fingerprint — portable across unix
+//!   filesystems with no inotify/kqueue dependency, and cheap enough to
+//!   run sub-second ([`SpoolWatcher::run`] sleeps between scans).
+//!   Writers should publish atomically (write to a temp name, then
+//!   `rename(2)` into the spool); a half-written file that does get
+//!   scanned fails checksum validation, is reported as
+//!   [`SpoolEvent::Rejected`], and is rescanned when its fingerprint
+//!   changes again.
+//! * **A bad bundle never evicts a serving engine.** Validation
+//!   (checksum + structural, run **once** via [`SnapshotView::parse`])
+//!   and decode ([`Engine::from_view`]) happen entirely before the
+//!   registry is touched; any typed [`ServeError`] becomes a
+//!   [`SpoolEvent::Rejected`] and the tenant's current engine keeps
+//!   serving untouched.
+//! * **Baselines survive swaps.** A changed bundle is swapped in with
+//!   [`EngineRegistry::swap_carrying`]: the old engine's adaptive
+//!   [`StreamState`] is transplanted onto
+//!   the new engine before it becomes visible, so the `mean + k·σ`
+//!   threshold stays warm across a model refresh
+//!   ([`SpoolWatcher::with_carry_baseline`] opts out).
+//! * **Mappings are dropped promptly.** Each poll maps an artifact only
+//!   for the validate+decode window; the engine deployed into the
+//!   registry owns its tables, so neither the watcher nor the registry
+//!   pins the mmap (or the file) afterwards — an artifact can be
+//!   replaced or deleted the moment its poll completes, and
+//!   [`EngineRegistry::retire`] frees the engine as soon as in-flight
+//!   work drains.
+//!
+//! Tenant names are the file stems: `edge-eu.bundle` serves tenant
+//! `edge-eu`. See `examples/serve_daemon.rs` for the full daemon shape
+//! (spool → watch → swap mid-stream with a warm threshold).
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime};
+
+use detect::prelude::StreamState;
+
+use crate::engine::Engine;
+use crate::mmap::MappedFile;
+use crate::registry::EngineRegistry;
+use crate::snapshot::SnapshotView;
+use crate::ServeError;
+
+/// Default spool file extension the watcher reacts to.
+pub const DEFAULT_EXTENSION: &str = "bundle";
+
+/// Default sleep between [`SpoolWatcher::run`] scans.
+pub const DEFAULT_POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// How many consecutive polls a **transient** per-file failure (I/O
+/// error, tenant retired mid-apply) is retried before the file's
+/// fingerprint is pinned like a content failure. Bounds the event spam
+/// and syscall churn of a persistently unreadable file to a handful of
+/// rejections, while still riding out scan races and brief blips;
+/// touching the file (fingerprint change) always retries again.
+pub const MAX_TRANSIENT_RETRIES: u32 = 3;
+
+/// Change-detection fingerprint of a spool file. mtime alone misses
+/// same-second rewrites on coarse-granularity filesystems; the length
+/// catches most of those, and an atomic-rename publishing workflow
+/// (recommended) always changes the inode's mtime anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    len: u64,
+    mtime: Option<SystemTime>,
+}
+
+impl Fingerprint {
+    fn of(meta: &std::fs::Metadata) -> Self {
+        Fingerprint {
+            len: meta.len(),
+            mtime: meta.modified().ok(),
+        }
+    }
+}
+
+/// One registry-affecting outcome of a spool scan.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SpoolEvent {
+    /// A new bundle file was validated and deployed as a new tenant.
+    Deployed {
+        /// Tenant name (the file stem).
+        tenant: String,
+        /// The bundle file.
+        path: PathBuf,
+    },
+    /// A changed bundle file was validated and swapped in for an
+    /// existing tenant.
+    Swapped {
+        /// Tenant name (the file stem).
+        tenant: String,
+        /// The bundle file.
+        path: PathBuf,
+        /// The **exact** adaptive baseline the swap transplanted onto
+        /// the new engine (the state exported from the old engine and
+        /// accepted by the new one — see
+        /// [`EngineRegistry::swap_carrying`]). With
+        /// [`SpoolWatcher::with_carry_baseline`] off, this is the old
+        /// engine's final state at swap time, reported for logging only.
+        carried: StreamState,
+    },
+    /// A bundle file disappeared and its tenant was retired.
+    Retired {
+        /// Tenant name (the file stem).
+        tenant: String,
+        /// The path the tenant was deployed from.
+        path: PathBuf,
+    },
+    /// A new or changed bundle failed validation or decode. The
+    /// tenant's **current engine keeps serving** — a bad artifact never
+    /// evicts a good one. Content-determined failures (bad magic,
+    /// checksum, malformed structure, not-a-bundle) are not retried
+    /// until the file's fingerprint changes; **transient** failures
+    /// (I/O errors such as an open racing a replacement, a tenant
+    /// retired mid-apply) are retried on the next polls, up to
+    /// [`MAX_TRANSIENT_RETRIES`] times per fingerprint.
+    Rejected {
+        /// The offending file.
+        path: PathBuf,
+        /// Why it was rejected.
+        error: ServeError,
+    },
+    /// A whole scan failed (e.g. the spool directory vanished). The
+    /// registry is untouched; [`SpoolWatcher::run`] keeps polling.
+    ScanFailed {
+        /// The scan error.
+        error: ServeError,
+    },
+}
+
+/// Watches a spool directory of bundle files and keeps an
+/// [`EngineRegistry`] in sync with it — see the [module docs](self).
+#[derive(Debug)]
+pub struct SpoolWatcher {
+    registry: Arc<EngineRegistry>,
+    dir: PathBuf,
+    extension: String,
+    interval: Duration,
+    carry_baseline: bool,
+    retire_missing: bool,
+    known: HashMap<PathBuf, Fingerprint>,
+    /// Transient-failure retry counts, each valid for the fingerprint it
+    /// was recorded against (see [`MAX_TRANSIENT_RETRIES`]).
+    retrying: HashMap<PathBuf, (Fingerprint, u32)>,
+}
+
+impl SpoolWatcher {
+    /// A watcher over `dir`, deploying into `registry`, with the default
+    /// `.bundle` extension, baseline carry **on**, retire-on-removal
+    /// **on** and the default poll interval.
+    pub fn new<P: Into<PathBuf>>(registry: Arc<EngineRegistry>, dir: P) -> Self {
+        SpoolWatcher {
+            registry,
+            dir: dir.into(),
+            extension: DEFAULT_EXTENSION.to_string(),
+            interval: DEFAULT_POLL_INTERVAL,
+            carry_baseline: true,
+            retire_missing: true,
+            known: HashMap::new(),
+            retrying: HashMap::new(),
+        }
+    }
+
+    /// Replaces the spool file extension (without the dot).
+    #[must_use]
+    pub fn with_extension(mut self, extension: &str) -> Self {
+        self.extension = extension.trim_start_matches('.').to_string();
+        self
+    }
+
+    /// Replaces the sleep between [`SpoolWatcher::run`] scans.
+    #[must_use]
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Whether a swap transplants the old engine's adaptive baseline
+    /// onto the new engine (default `true`; `false` cold-starts the
+    /// `mean + k·σ` threshold on every refresh).
+    #[must_use]
+    pub fn with_carry_baseline(mut self, carry: bool) -> Self {
+        self.carry_baseline = carry;
+        self
+    }
+
+    /// Whether removing a bundle file retires its tenant (default
+    /// `true`; `false` leaves the last deployed engine serving).
+    #[must_use]
+    pub fn with_retire_missing(mut self, retire: bool) -> Self {
+        self.retire_missing = retire;
+        self
+    }
+
+    /// The registry this watcher deploys into.
+    pub fn registry(&self) -> &Arc<EngineRegistry> {
+        &self.registry
+    }
+
+    /// The sleep between [`SpoolWatcher::run`] scans.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// One synchronous scan of the spool directory: discover new,
+    /// changed and removed bundle files and apply them to the registry.
+    /// Returns the events in the order they were applied (scan order is
+    /// directory order; removals come last). An empty vector means the
+    /// spool matched the registry already — the steady-state cost is one
+    /// `readdir` plus one `stat` per file, no I/O on the payloads.
+    ///
+    /// If the directory listing fails **mid-iteration** (after registry
+    /// changes may already have been applied), those changes' events are
+    /// **not** lost: the scan stops, a [`SpoolEvent::ScanFailed`] is
+    /// appended to the events applied so far, and — because the listing
+    /// is incomplete — the removal pass is skipped for this poll (a live
+    /// tenant whose file simply was not listed must not be retired).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the directory cannot be opened at all (no
+    /// registry change has happened, so no event can be lost). Per-file
+    /// failures are **not** errors of the scan: they surface as
+    /// [`SpoolEvent::Rejected`] events and never touch the registry.
+    pub fn poll_once(&mut self) -> Result<Vec<SpoolEvent>, ServeError> {
+        let mut events = Vec::new();
+        let mut present: HashSet<PathBuf> = HashSet::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = match entry {
+                Ok(entry) => entry.path(),
+                Err(error) => {
+                    // Mid-listing failure: keep every event already
+                    // applied and skip the removal pass (see above).
+                    events.push(SpoolEvent::ScanFailed {
+                        error: error.into(),
+                    });
+                    return Ok(events);
+                }
+            };
+            if path.extension().and_then(|e| e.to_str()) != Some(self.extension.as_str()) {
+                continue;
+            }
+            // A file deleted between readdir and stat is just "absent
+            // this scan"; the removal pass below handles it.
+            let Ok(meta) = std::fs::metadata(&path) else {
+                continue;
+            };
+            if !meta.is_file() {
+                continue;
+            }
+            let fingerprint = Fingerprint::of(&meta);
+            present.insert(path.clone());
+            if self.known.get(&path) == Some(&fingerprint) {
+                continue;
+            }
+            match self.apply(&path) {
+                Ok(event) => {
+                    events.push(event);
+                    self.retrying.remove(&path);
+                    self.known.insert(path, fingerprint);
+                }
+                Err(error) => {
+                    // Content-determined rejections are fingerprinted so
+                    // a bad bundle is not re-validated every poll
+                    // (replacing it changes the fingerprint and triggers
+                    // a rescan). Transient failures — a valid bundle
+                    // whose open raced a replacement, a momentary I/O
+                    // error, a tenant retired mid-apply — are retried,
+                    // but only [`MAX_TRANSIENT_RETRIES`] times per
+                    // fingerprint: a *persistently* unreadable file
+                    // (EACCES, stale NFS handle) must not spam a
+                    // rejection and a wasted open on every poll forever.
+                    // After the budget, the fingerprint is pinned like a
+                    // content failure (touching the file retries again).
+                    let retry = transient(&error) && {
+                        let attempts = match self.retrying.get(&path) {
+                            Some(&(fp, n)) if fp == fingerprint => n + 1,
+                            _ => 1,
+                        };
+                        self.retrying.insert(path.clone(), (fingerprint, attempts));
+                        attempts <= MAX_TRANSIENT_RETRIES
+                    };
+                    if !retry {
+                        self.retrying.remove(&path);
+                        self.known.insert(path.clone(), fingerprint);
+                    }
+                    events.push(SpoolEvent::Rejected { path, error });
+                }
+            }
+        }
+        // Bookkeeping for vanished files is pruned unconditionally —
+        // long-running daemons with rotating artifact names must not
+        // accumulate stale fingerprint or retry entries; only the
+        // registry-side retirement is opt-out.
+        let gone: HashSet<PathBuf> = self
+            .known
+            .keys()
+            .chain(self.retrying.keys())
+            .filter(|p| !present.contains(*p))
+            .cloned()
+            .collect();
+        for path in gone {
+            self.known.remove(&path);
+            self.retrying.remove(&path);
+            if !self.retire_missing {
+                continue;
+            }
+            let Ok(tenant) = tenant_name(&path) else {
+                continue;
+            };
+            // A rejected bundle was tracked but never deployed;
+            // UnknownTenant here is the expected no-op.
+            if self.registry.retire(&tenant).is_ok() {
+                events.push(SpoolEvent::Retired { tenant, path });
+            }
+        }
+        Ok(events)
+    }
+
+    /// Validate + decode one new/changed bundle and deploy or swap it.
+    /// Every failure leaves the registry exactly as it was.
+    fn apply(&self, path: &Path) -> Result<SpoolEvent, ServeError> {
+        let tenant = tenant_name(path)?;
+        // Map the artifact, run the one-time zero-copy validation, and
+        // decode the engine out of the same mapped bytes without
+        // re-validating (`Engine::from_view`). The mapping dies at the
+        // end of this scope: the deployed engine owns its tables, so
+        // nothing pins the file afterwards.
+        let mapped = MappedFile::open(path)?;
+        let view = SnapshotView::parse(&mapped)?;
+        let engine = Engine::from_view(&view)?;
+        if self.registry.get(&tenant).is_ok() {
+            let carried = if self.carry_baseline {
+                let (_old, carried) = self.registry.swap_carrying(&tenant, engine)?;
+                carried
+            } else {
+                self.registry.swap(&tenant, engine)?.stream_state()
+            };
+            Ok(SpoolEvent::Swapped {
+                tenant,
+                path: path.to_path_buf(),
+                carried,
+            })
+        } else {
+            self.registry.deploy(&tenant, engine);
+            Ok(SpoolEvent::Deployed {
+                tenant,
+                path: path.to_path_buf(),
+            })
+        }
+    }
+
+    /// The daemon loop: poll, report, sleep, until `stop` is set. Scan
+    /// failures (spool directory briefly missing, transient I/O) are
+    /// reported as [`SpoolEvent::ScanFailed`] and polling continues —
+    /// the watcher wedges on nothing short of `stop`. The sleep is
+    /// sliced so a `stop` request takes effect within ~50 ms even with a
+    /// long poll interval.
+    pub fn run(&mut self, stop: &AtomicBool, mut on_event: impl FnMut(SpoolEvent)) {
+        const SLICE: Duration = Duration::from_millis(50);
+        while !stop.load(Ordering::Relaxed) {
+            match self.poll_once() {
+                Ok(events) => events.into_iter().for_each(&mut on_event),
+                Err(error) => on_event(SpoolEvent::ScanFailed { error }),
+            }
+            let wake = Instant::now() + self.interval;
+            while !stop.load(Ordering::Relaxed) && Instant::now() < wake {
+                std::thread::sleep(SLICE.min(wake.saturating_duration_since(Instant::now())));
+            }
+        }
+    }
+}
+
+/// Whether a bundle failure is plausibly transient — i.e. retrying the
+/// same bytes could succeed — rather than determined by the file's
+/// content. Transient failures are retried up to
+/// [`MAX_TRANSIENT_RETRIES`] polls; content failures wait for the
+/// fingerprint to change.
+fn transient(error: &ServeError) -> bool {
+    matches!(error, ServeError::Io(_) | ServeError::UnknownTenant(_))
+}
+
+/// Tenant name of a spool path: the UTF-8 file stem.
+fn tenant_name(path: &Path) -> Result<String, ServeError> {
+    path.file_stem()
+        .and_then(|s| s.to_str())
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .ok_or(ServeError::Malformed(
+            "spool file name is not valid UTF-8 (tenant names are file stems)",
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use ghsom_core::GhsomConfig;
+
+    fn tiny_engine(seed: u64) -> Engine {
+        let (train, _) = traffic::synth::kdd_train_test(300, 10, seed).unwrap();
+        let config = EngineConfig::default()
+            .with_ghsom(GhsomConfig::default().with_epochs(2, 1).with_seed(seed))
+            .with_stream(4.0, 20);
+        Engine::fit(&config, &train).unwrap()
+    }
+
+    fn temp_spool(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ghsom_watch_{tag}_{}", std::process::id(),));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Publish the way a real writer should: temp file + atomic rename.
+    fn publish(spool: &Path, tenant: &str, bytes: &[u8]) {
+        let tmp = spool.join(format!(".{tenant}.tmp"));
+        std::fs::write(&tmp, bytes).unwrap();
+        std::fs::rename(&tmp, spool.join(format!("{tenant}.bundle"))).unwrap();
+    }
+
+    #[test]
+    fn discovers_deploys_swaps_and_retires() {
+        let spool = temp_spool("lifecycle");
+        let registry = Arc::new(EngineRegistry::new());
+        let mut watcher = SpoolWatcher::new(Arc::clone(&registry), &spool);
+
+        // Empty spool: no events, empty registry.
+        assert!(watcher.poll_once().unwrap().is_empty());
+        assert!(registry.is_empty());
+
+        // New file → deploy.
+        publish(&spool, "edge", &tiny_engine(1).to_bytes());
+        let events = watcher.poll_once().unwrap();
+        assert!(
+            matches!(&events[..], [SpoolEvent::Deployed { tenant, .. }] if tenant == "edge"),
+            "{events:?}"
+        );
+        let first = registry.get("edge").unwrap();
+
+        // Unchanged spool: steady state, no events, same engine.
+        assert!(watcher.poll_once().unwrap().is_empty());
+        assert!(Arc::ptr_eq(&first, &registry.get("edge").unwrap()));
+
+        // Changed file → swap (a different engine generation).
+        publish(&spool, "edge", &tiny_engine(2).to_bytes());
+        let events = watcher.poll_once().unwrap();
+        assert!(
+            matches!(&events[..], [SpoolEvent::Swapped { tenant, .. }] if tenant == "edge"),
+            "{events:?}"
+        );
+        assert!(!Arc::ptr_eq(&first, &registry.get("edge").unwrap()));
+
+        // Removed file → retire.
+        std::fs::remove_file(spool.join("edge.bundle")).unwrap();
+        let events = watcher.poll_once().unwrap();
+        assert!(
+            matches!(&events[..], [SpoolEvent::Retired { tenant, .. }] if tenant == "edge"),
+            "{events:?}"
+        );
+        assert!(registry.is_empty());
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn swap_carries_the_streaming_baseline() {
+        let spool = temp_spool("carry");
+        let registry = Arc::new(EngineRegistry::new());
+        let mut watcher = SpoolWatcher::new(Arc::clone(&registry), &spool);
+
+        publish(&spool, "t", &tiny_engine(3).to_bytes());
+        watcher.poll_once().unwrap();
+        let (_, traffic) = traffic::synth::kdd_train_test(10, 50, 4).unwrap();
+        registry.observe_records("t", traffic.records()).unwrap();
+        let before = registry.get("t").unwrap().stream_state();
+        assert!(before.seen == 50);
+
+        publish(&spool, "t", &tiny_engine(5).to_bytes());
+        let events = watcher.poll_once().unwrap();
+        match &events[..] {
+            [SpoolEvent::Swapped { carried, .. }] => {
+                assert_eq!(carried.seen, before.seen);
+                assert_eq!(carried.tracked, before.tracked);
+            }
+            other => panic!("expected a swap, got {other:?}"),
+        }
+        // The new engine resumed from the old baseline bit-identically.
+        assert_eq!(registry.get("t").unwrap().stream_state(), before);
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn bad_bundles_never_evict_the_serving_engine() {
+        let spool = temp_spool("reject");
+        let registry = Arc::new(EngineRegistry::new());
+        let mut watcher = SpoolWatcher::new(Arc::clone(&registry), &spool);
+
+        publish(&spool, "t", &tiny_engine(6).to_bytes());
+        watcher.poll_once().unwrap();
+        let serving = registry.get("t").unwrap();
+
+        // Corrupt replacement: payload bit flip (checksum catches it).
+        let mut corrupt = tiny_engine(7).to_bytes();
+        let at = corrupt.len() - 5;
+        corrupt[at] ^= 0x01;
+        publish(&spool, "t", &corrupt);
+        let events = watcher.poll_once().unwrap();
+        assert!(
+            matches!(
+                &events[..],
+                [SpoolEvent::Rejected {
+                    error: ServeError::ChecksumMismatch { .. },
+                    ..
+                }]
+            ),
+            "{events:?}"
+        );
+        // The old engine is still the serving one…
+        assert!(Arc::ptr_eq(&serving, &registry.get("t").unwrap()));
+        // …and the bad file is not re-validated on the next poll.
+        assert!(watcher.poll_once().unwrap().is_empty());
+
+        // Garbage for a brand-new tenant is rejected without a deploy.
+        publish(&spool, "new", b"definitely not a snapshot");
+        let events = watcher.poll_once().unwrap();
+        assert!(matches!(&events[..], [SpoolEvent::Rejected { .. }]));
+        assert_eq!(registry.len(), 1);
+
+        // A model-only (version 1) snapshot is typed NotABundle.
+        publish(
+            &spool,
+            "modelonly",
+            &crate::snapshot::tests_support::compiled_fixture().to_bytes(),
+        );
+        let events = watcher.poll_once().unwrap();
+        assert!(
+            matches!(
+                &events[..],
+                [SpoolEvent::Rejected {
+                    error: ServeError::NotABundle { version: 1 },
+                    ..
+                }]
+            ),
+            "{events:?}"
+        );
+        std::fs::remove_dir_all(&spool).ok();
+    }
+
+    #[test]
+    fn scan_failure_is_an_event_not_a_wedge() {
+        let spool = temp_spool("gone");
+        let registry = Arc::new(EngineRegistry::new());
+        let mut watcher =
+            SpoolWatcher::new(registry, &spool).with_interval(Duration::from_millis(1));
+        std::fs::remove_dir_all(&spool).unwrap();
+        assert!(matches!(
+            watcher.poll_once().unwrap_err(),
+            ServeError::Io(_)
+        ));
+        // The run loop reports it and keeps going until stopped.
+        let stop = AtomicBool::new(false);
+        let mut saw_scan_failure = false;
+        // Bounded by the stop flag we set from within the callback.
+        watcher.run(&stop, |event| {
+            if matches!(event, SpoolEvent::ScanFailed { .. }) {
+                saw_scan_failure = true;
+                stop.store(true, Ordering::Relaxed);
+            }
+        });
+        assert!(saw_scan_failure);
+    }
+
+    #[test]
+    fn non_bundle_files_and_subdirs_are_ignored() {
+        let spool = temp_spool("ignore");
+        let registry = Arc::new(EngineRegistry::new());
+        let mut watcher = SpoolWatcher::new(Arc::clone(&registry), &spool);
+        std::fs::write(spool.join("README.txt"), b"not a bundle").unwrap();
+        std::fs::create_dir(spool.join("archive.bundle")).unwrap();
+        assert!(watcher.poll_once().unwrap().is_empty());
+        assert!(registry.is_empty());
+        std::fs::remove_dir_all(&spool).ok();
+    }
+}

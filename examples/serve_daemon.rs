@@ -1,43 +1,81 @@
-//! A miniature multi-tenant detection daemon: the deployment shape the
-//! serving plane was built for.
+//! A miniature hot-reloading multi-tenant detection daemon: the
+//! deployment shape the serving plane was built for.
 //!
 //! The example plays both sides of the artifact boundary:
 //!
-//! 1. **Training side** — fits one [`Engine`] per tenant (different
-//!    traffic mixes/seeds) and writes each as a **bundle** file
-//!    (`<tenant>.bundle`: fitted pipeline + compiled arena + detector
-//!    state in one checksummed snapshot) into a spool directory.
-//! 2. **Daemon side** — scans the directory, **memory-maps** every
-//!    bundle ([`MappedFile`]), validates it zero-copy
-//!    ([`SnapshotView::parse`]) before committing to a heap decode, and
-//!    deploys the engines into an [`EngineRegistry`]. It then scores an
-//!    interleaved record stream against per-tenant engines, and —
-//!    mid-stream — retrains one tenant and [`EngineRegistry::swap`]s the
-//!    new engine in with traffic still flowing (zero downtime: in-flight
-//!    batches finish on the engine they started with).
+//! 1. **Training side** — fits one [`Engine`] per tenant and publishes
+//!    each as a **bundle** file into a spool directory (atomically:
+//!    temp file + rename, the workflow the watcher expects).
+//! 2. **Daemon side** — runs a [`SpoolWatcher`] on a background thread.
+//!    The watcher discovers the bundles, validates each **zero-copy and
+//!    exactly once** ([`MappedFile`] + `SnapshotView` +
+//!    `Engine::from_view`), and keeps an [`EngineRegistry`] in sync
+//!    while the main thread streams traffic through it. Mid-stream, a
+//!    tenant is **retrained and its new bundle dropped into the spool**:
+//!    the watcher swaps it in with zero downtime and — via the
+//!    [`StreamState`] baseline transplant — a **warm adaptive
+//!    threshold** (the session counters and `mean + k·σ` baseline carry
+//!    over instead of re-entering warmup). A corrupt bundle dropped into
+//!    the spool is rejected with a typed error and the old engine keeps
+//!    serving. Finally the daemon "restarts": the engine is saved with
+//!    its live baseline (`save_with_stream`, the optional `STREAM`
+//!    bundle section) and reloaded warm.
+//!
+//! Every wait in this example is bounded by a deadline, so a wedged
+//! watcher turns into a loud failure rather than a hang — CI runs this
+//! binary under a hard `timeout` as the hot-reload soak test.
 //!
 //! ```text
 //! cargo run --release --example serve_daemon
 //! ```
 
-use std::time::Instant;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use ghsom_suite::prelude::*;
 
 /// Tenants with deliberately different traffic profiles.
 const TENANTS: [(&str, u64); 3] = [("edge-eu", 11), ("edge-us", 23), ("core-dc", 37)];
 
+/// Streaming warmup: short enough that the example gets past it.
+const WARMUP: u64 = 200;
+
 fn fit_tenant_engine(seed: u64, n_train: usize) -> Result<Engine, Box<dyn std::error::Error>> {
     let (train, _) = traffic::synth::kdd_train_test(n_train, 10, seed)?;
     let config = EngineConfig::default()
         .with_ghsom(GhsomConfig::default().with_epochs(3, 3).with_seed(seed))
-        .with_stream(4.0, 200);
+        .with_stream(4.0, WARMUP);
     Ok(Engine::fit(&config, &train)?)
+}
+
+/// Publish a bundle the way a production writer should: write to a temp
+/// name in the same directory, then atomically rename into place. The
+/// watcher never sees a half-written file this way (and if one slips
+/// through anyway, the checksum rejects it without touching the
+/// serving engine).
+fn publish(spool: &Path, tenant: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = spool.join(format!(".{tenant}.bundle.tmp"));
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, spool.join(format!("{tenant}.bundle")))
+}
+
+/// Wait (bounded) for a condition, failing loudly on timeout — the
+/// hot-reload soak contract: a wedged watcher fails, it does not hang.
+fn await_or_die(what: &str, deadline: Duration, mut done: impl FnMut() -> bool) {
+    let end = Instant::now() + deadline;
+    while !done() {
+        assert!(Instant::now() < end, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Training side: one bundle artifact per tenant -------------------
-    let spool = std::env::temp_dir().join("ghsom_serve_daemon_spool");
+    let spool =
+        std::env::temp_dir().join(format!("ghsom_serve_daemon_spool_{}", std::process::id()));
+    std::fs::remove_dir_all(&spool).ok();
     std::fs::create_dir_all(&spool)?;
     println!(
         "fitting and spooling tenant bundles to {} …",
@@ -45,46 +83,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (tenant, seed) in TENANTS {
         let engine = fit_tenant_engine(seed, 2_000)?;
-        let path = spool.join(format!("{tenant}.bundle"));
-        engine.save(&path)?;
+        publish(&spool, tenant, &engine.to_bytes())?;
         println!(
             "  {tenant}: {} maps / {} units, {:.2} MiB bundle",
             engine.compiled().map_count(),
             engine.compiled().total_units(),
-            std::fs::metadata(&path)?.len() as f64 / (1024.0 * 1024.0),
+            std::fs::metadata(spool.join(format!("{tenant}.bundle")))?.len() as f64
+                / (1024.0 * 1024.0),
         );
     }
 
-    // --- Daemon side: mmap + validate + deploy ---------------------------
-    println!("\ndaemon start: scanning spool directory …");
-    let registry = EngineRegistry::new();
-    for entry in std::fs::read_dir(&spool)? {
-        let path = entry?.path();
-        if path.extension().and_then(|e| e.to_str()) != Some("bundle") {
-            continue;
+    // --- Daemon side: watcher discovers and deploys ----------------------
+    println!("\ndaemon start: watching the spool directory …");
+    let registry = Arc::new(EngineRegistry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let (events_tx, events) = mpsc::channel();
+    let watcher_thread = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        let spool = spool.clone();
+        std::thread::spawn(move || {
+            let mut watcher =
+                SpoolWatcher::new(registry, spool).with_interval(Duration::from_millis(50));
+            watcher.run(&stop, |event| {
+                // The channel only closes when main is done with us.
+                events_tx.send(event).ok();
+            });
+        })
+    };
+    await_or_die("initial deploys", Duration::from_secs(30), || {
+        registry.len() == TENANTS.len()
+    });
+    for _ in 0..TENANTS.len() {
+        match events.recv()? {
+            SpoolEvent::Deployed { tenant, .. } => println!("  deployed `{tenant}`"),
+            other => panic!("expected a deploy, got {other:?}"),
         }
-        let tenant = path
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .ok_or("bundle file without a stem")?
-            .to_string();
-        let t0 = Instant::now();
-        // Map the artifact and validate it in place (zero-copy, page
-        // cache shared with every other process serving this bundle)…
-        let mapped = MappedFile::open(&path)?;
-        let view = SnapshotView::parse(&mapped)?;
-        let validated_us = t0.elapsed().as_micros();
-        // …then decode the full engine (pipeline + detector + arena) out
-        // of the same mapped bytes.
-        let engine = Engine::from_bytes(&mapped)?;
-        let loaded_us = t0.elapsed().as_micros();
-        println!(
-            "  deployed `{tenant}`: {} units validated in {validated_us} µs, engine up in {loaded_us} µs",
-            view.total_units(),
-        );
-        registry.deploy(&tenant, engine);
     }
-    assert_eq!(registry.len(), TENANTS.len());
 
     // --- Serve an interleaved stream -------------------------------------
     let (_, stream_data) = traffic::synth::kdd_train_test(10, 6_000, 99)?;
@@ -95,26 +130,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let t0 = Instant::now();
     let mut flagged = 0usize;
+    let mut swap_seen_at: Option<StreamStats> = None;
     for (i, chunk) in records.chunks(512).enumerate() {
         let tenant = TENANTS[i % TENANTS.len()].0;
-        // Re-resolve per batch: this is what makes swaps visible.
-        let engine = registry.get(tenant)?;
-        flagged += engine
-            .observe_records(chunk)?
+        // One batch = one engine generation; re-resolving per batch is
+        // what makes hot swaps visible mid-stream.
+        flagged += registry
+            .observe_records(tenant, chunk)?
             .iter()
             .filter(|v| v.anomalous)
             .count();
 
-        // Mid-stream rollover for one tenant: retrain on "fresh" traffic
-        // and swap with zero downtime.
-        if i == 5 {
-            let retrained = fit_tenant_engine(TENANTS[0].1 ^ 0xFF, 1_500)?;
-            let old = registry.swap(TENANTS[0].0, retrained)?;
-            println!(
-                "  swapped `{}` mid-stream (old engine had seen {} records; swap did not stall scoring)",
-                TENANTS[0].0,
-                old.stream_stats().seen,
+        // Mid-stream rollover for tenant 0 — but unlike the pre-watcher
+        // daemon, nobody calls `swap`: retraining just drops a new
+        // bundle into the spool and the watcher does the rest.
+        if i == 8 {
+            let stats = registry.get(TENANTS[0].0)?.stream_stats();
+            assert!(
+                stats.tracked > WARMUP,
+                "fixture must be past warmup before the swap"
             );
+            println!(
+                "  retraining `{}` (baseline before swap: seen {}, tracked {}, mean {:.4})",
+                TENANTS[0].0, stats.seen, stats.tracked, stats.score_mean,
+            );
+            let before = registry.get(TENANTS[0].0)?;
+            let retrained = fit_tenant_engine(TENANTS[0].1 ^ 0xFF, 1_500)?;
+            publish(&spool, TENANTS[0].0, &retrained.to_bytes())?;
+            await_or_die("hot swap", Duration::from_secs(30), || {
+                !Arc::ptr_eq(&before, &registry.get(TENANTS[0].0).unwrap())
+            });
+            swap_seen_at = Some(stats);
         }
     }
     let elapsed = t0.elapsed().as_secs_f64();
@@ -126,17 +172,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         flagged,
     );
 
+    // The swap event carried the old engine's final baseline, and the
+    // new engine resumed from it: the session counters kept growing
+    // across the swap instead of resetting — a warm `mean + k·σ`
+    // threshold, no second warmup.
+    let pre_swap = swap_seen_at.expect("the stream must have crossed the swap point");
+    let swapped = match events.recv_timeout(Duration::from_secs(10))? {
+        SpoolEvent::Swapped {
+            tenant, carried, ..
+        } => {
+            assert_eq!(tenant, TENANTS[0].0);
+            carried
+        }
+        other => panic!("expected the swap event, got {other:?}"),
+    };
+    let after = registry.get(TENANTS[0].0)?.stream_stats();
+    assert!(
+        swapped.tracked >= pre_swap.tracked,
+        "baseline shrank across the swap"
+    );
+    assert!(
+        after.tracked >= swapped.tracked,
+        "baseline was not carried onto the new engine"
+    );
+    println!(
+        "  hot-swapped `{}` with a warm threshold: tracked {} → {} across the swap (never reset)",
+        TENANTS[0].0, pre_swap.tracked, after.tracked,
+    );
+
+    // --- A corrupt artifact must never evict a serving engine ------------
+    println!("\ndropping a corrupt bundle for `{}` …", TENANTS[1].0);
+    let serving = registry.get(TENANTS[1].0)?;
+    let mut corrupt = fit_tenant_engine(77, 400)?.to_bytes();
+    let at = corrupt.len() - 9;
+    corrupt[at] ^= 0x20;
+    publish(&spool, TENANTS[1].0, &corrupt)?;
+    let error = match events.recv_timeout(Duration::from_secs(10))? {
+        SpoolEvent::Rejected { error, .. } => error,
+        other => panic!("expected a rejection, got {other:?}"),
+    };
+    println!("  rejected with a typed error: {error}");
+    assert!(matches!(error, ServeError::ChecksumMismatch { .. }));
+    assert!(
+        Arc::ptr_eq(&serving, &registry.get(TENANTS[1].0)?),
+        "a bad bundle must never evict the serving engine"
+    );
+    registry.score_record(TENANTS[1].0, &records[0])?; // still serving
+
+    // --- Daemon restart: resume with a warm baseline ---------------------
+    println!("\nsimulating a daemon restart for `{}` …", TENANTS[0].0);
+    let engine = registry.get(TENANTS[0].0)?;
+    let shutdown_stats = engine.stream_stats();
+    let resume_path = spool.join("resume.snapshot");
+    engine.save_with_stream(&resume_path)?; // bundle + optional STREAM section
+    let resumed = Engine::load(&resume_path)?;
+    assert_eq!(resumed.stream_stats(), shutdown_stats);
+    println!(
+        "  reloaded with the STREAM section: resumed at seen {}, tracked {} (no cold start)",
+        resumed.stream_stats().seen,
+        resumed.stream_stats().tracked,
+    );
+
+    // --- Shut down -------------------------------------------------------
+    stop.store(true, Ordering::Relaxed);
+    watcher_thread.join().expect("watcher thread panicked");
     for tenant in registry.tenants() {
         let stats = registry.get(&tenant)?.stream_stats();
         println!(
             "  `{tenant}`: seen {} flagged {} (baseline over {} tracked scores)",
             stats.seen, stats.flagged, stats.tracked,
         );
-    }
-
-    // Retire everything and clean up the spool.
-    for (tenant, _) in TENANTS {
-        registry.retire(tenant)?;
+        registry.retire(&tenant)?;
     }
     assert!(registry.is_empty());
     std::fs::remove_dir_all(&spool).ok();

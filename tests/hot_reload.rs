@@ -1,0 +1,269 @@
+//! Acceptance tests of the hot-reload subsystem (PR 5):
+//!
+//! * the **full loop** — deploy tenant A from a spool, stream past
+//!   warmup, drop a retrained bundle into the spool, and have the
+//!   watcher swap it in while concurrent `score_record` traffic never
+//!   blocks or errors, with the pre-swap adaptive baseline carried onto
+//!   the new engine (tracked count and mean survive, not reset);
+//! * a **corrupt bundle** dropped into the spool leaves the old engine
+//!   serving and surfaces a typed error;
+//! * **mid-warmup swaps continue warmup** instead of restarting it;
+//! * the **`StreamState` export/import roundtrip** is bit-identical on
+//!   the live mean/σ across random streams (proptest), including
+//!   through the optional `STREAM` bundle section.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use ghsom_suite::prelude::*;
+
+fn small_engine(seed: u64, n_train: usize, warmup: u64) -> (Engine, Dataset) {
+    let (train, test) = traffic::synth::kdd_train_test(n_train, 600, seed).unwrap();
+    let config = EngineConfig::default()
+        .with_ghsom(GhsomConfig::default().with_epochs(2, 2).with_seed(seed))
+        .with_stream(4.0, warmup);
+    (Engine::fit(&config, &train).unwrap(), test)
+}
+
+fn temp_spool(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ghsom_hot_reload_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Atomic publish: temp name + rename, the workflow the watcher expects.
+fn publish(spool: &std::path::Path, tenant: &str, bytes: &[u8]) {
+    let tmp = spool.join(format!(".{tenant}.tmp"));
+    std::fs::write(&tmp, bytes).unwrap();
+    std::fs::rename(&tmp, spool.join(format!("{tenant}.bundle"))).unwrap();
+}
+
+/// The registry acceptance loop of ISSUE 5: spool-deploy tenant A,
+/// stream until past warmup, drop a retrained bundle in the spool, and
+/// prove the watcher swap (a) never blocks or errors concurrent
+/// `score_record` traffic, (b) carries the pre-swap baseline onto the
+/// new engine, and (c) a corrupt bundle leaves the old engine serving
+/// with a typed error.
+#[test]
+fn watcher_swap_carries_baseline_under_concurrent_traffic() {
+    const WARMUP: u64 = 50;
+    let spool = temp_spool("acceptance");
+    let registry = Arc::new(EngineRegistry::new());
+    let mut watcher = SpoolWatcher::new(Arc::clone(&registry), &spool);
+
+    // Deploy tenant A from the spool.
+    let (engine_a, test) = small_engine(1, 500, WARMUP);
+    publish(&spool, "prod", &engine_a.to_bytes());
+    let events = watcher.poll_once().unwrap();
+    assert!(
+        matches!(&events[..], [SpoolEvent::Deployed { tenant, .. }] if tenant == "prod"),
+        "{events:?}"
+    );
+
+    // Stream records until the adaptive threshold is warm.
+    let records = Arc::new(test.records().to_vec());
+    while registry.get("prod").unwrap().stream_stats().tracked <= WARMUP {
+        registry.observe_records("prod", &records[..256]).unwrap();
+    }
+    let before = registry.get("prod").unwrap();
+    let baseline = before.stream_state();
+    assert!(baseline.tracked > WARMUP);
+
+    // Concurrent scoring traffic: every call must succeed, before,
+    // during and after the swap.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scored = Arc::new(AtomicU64::new(0));
+    let scorers: Vec<_> = (0..3)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let scored = Arc::clone(&scored);
+            let records = Arc::clone(&records);
+            std::thread::spawn(move || {
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    registry
+                        .score_record("prod", &records[i % records.len()])
+                        .expect("scoring must never fail across a hot swap");
+                    scored.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    // Drop a retrained bundle into the spool; the watcher swaps it in.
+    let (retrained, _) = small_engine(2, 500, WARMUP);
+    publish(&spool, "prod", &retrained.to_bytes());
+    let swap_events = watcher.poll_once().unwrap();
+    match &swap_events[..] {
+        [SpoolEvent::Swapped {
+            tenant, carried, ..
+        }] => {
+            assert_eq!(tenant, "prod");
+            assert_eq!(carried.tracked, baseline.tracked);
+        }
+        other => panic!("expected a swap, got {other:?}"),
+    }
+
+    // Scoring kept making progress across the swap (non-blocking), and
+    // the swap is observable.
+    let after = registry.get("prod").unwrap();
+    assert!(!Arc::ptr_eq(&before, &after), "swap must be observable");
+    let progress_mark = scored.load(Ordering::Relaxed);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while scored.load(Ordering::Relaxed) <= progress_mark {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "scoring stalled across the hot swap"
+        );
+        std::thread::yield_now();
+    }
+
+    // The pre-swap baseline was carried: tracked count and mean are the
+    // old engine's (bit-identical), not a cold start. (`score_record`
+    // traffic is stateless, so the transplanted state is still exactly
+    // the exported one.)
+    let carried = after.stream_state();
+    assert_eq!(
+        carried.tracked, baseline.tracked,
+        "tracked count was reset by the swap"
+    );
+    assert_eq!(
+        carried.mean.to_bits(),
+        baseline.mean.to_bits(),
+        "baseline mean was not carried bit-identically"
+    );
+    assert_eq!(carried.seen, baseline.seen);
+    // And the threshold is warm: the very next streamed record gets a
+    // finite adaptive threshold instead of re-entering warmup.
+    let v = after.observe(&records[0]).unwrap();
+    assert!(
+        v.threshold.is_finite(),
+        "adaptive threshold cold-started after the swap"
+    );
+
+    // A corrupt bundle must never evict the serving engine.
+    let mut corrupt = retrained.to_bytes();
+    let at = corrupt.len() - 13;
+    corrupt[at] ^= 0x08;
+    publish(&spool, "prod", &corrupt);
+    let events = watcher.poll_once().unwrap();
+    match &events[..] {
+        [SpoolEvent::Rejected { error, .. }] => {
+            assert!(
+                matches!(error, ServeError::ChecksumMismatch { .. }),
+                "expected a checksum rejection, got {error:?}"
+            );
+        }
+        other => panic!("expected a rejection, got {other:?}"),
+    }
+    assert!(
+        Arc::ptr_eq(&after, &registry.get("prod").unwrap()),
+        "a corrupt bundle evicted the serving engine"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    for h in scorers {
+        h.join().unwrap();
+    }
+    assert!(scored.load(Ordering::Relaxed) > 0);
+    std::fs::remove_dir_all(&spool).ok();
+}
+
+/// A swap that lands mid-warmup must continue the warmup from where the
+/// old engine was — not restart it, not skip it.
+#[test]
+fn mid_warmup_swap_continues_warmup() {
+    const WARMUP: u64 = 60;
+    let registry = EngineRegistry::new();
+    let (engine, test) = small_engine(5, 500, WARMUP);
+    registry.deploy("t", engine);
+
+    // Stream only part of the warmup.
+    registry
+        .observe_records("t", &test.records()[..30])
+        .unwrap();
+    let partial = registry.get("t").unwrap().stream_state();
+    assert!(partial.tracked < WARMUP, "fixture must still be warming up");
+
+    let (fresh, _) = small_engine(6, 500, WARMUP);
+    registry.swap_carrying("t", fresh).unwrap();
+    let engine = registry.get("t").unwrap();
+    assert_eq!(engine.stream_state().tracked, partial.tracked);
+
+    // Keep streaming: the threshold must adapt once the *combined*
+    // tracked count crosses the warmup — i.e. warmup continued. Track
+    // the verdicts one by one so we see the transition.
+    let mut became_adaptive = false;
+    for rec in test.records()[30..].iter() {
+        let stats_before = engine.stream_stats();
+        let v = engine.observe(rec).unwrap();
+        if v.threshold.is_finite() {
+            assert!(
+                stats_before.tracked >= WARMUP,
+                "threshold adapted before warmup completed (tracked {})",
+                stats_before.tracked
+            );
+            became_adaptive = true;
+            break;
+        }
+        // Still warming up: the combined count must keep growing from
+        // the transplanted baseline, proving warmup was not restarted.
+        assert!(engine.stream_stats().tracked >= partial.tracked);
+    }
+    assert!(became_adaptive, "warmup never completed after the swap");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// StreamState export → import roundtrips bit-identically on the
+    /// live mean/σ for arbitrary observation streams, both directly and
+    /// through the optional STREAM bundle section.
+    #[test]
+    fn stream_state_roundtrip_is_bit_identical(
+        n_obs in 1usize..400,
+        warmup in 1u64..100,
+        seed in 0u64..1_000,
+    ) {
+        let (train, test) = traffic::synth::kdd_train_test(300, 400, seed).unwrap();
+        let config = EngineConfig::default()
+            .with_ghsom(GhsomConfig::default().with_epochs(1, 1).with_seed(seed))
+            .with_stream(3.0, warmup);
+        let engine = Engine::fit(&config, &train).unwrap();
+        engine.observe_records(&test.records()[..n_obs]).unwrap();
+        let state = engine.stream_state();
+
+        // Direct transplant.
+        let (fresh, _) = {
+            let config = config.clone();
+            let (train2, _) = traffic::synth::kdd_train_test(300, 10, seed ^ 0xA5).unwrap();
+            (Engine::fit(&config, &train2).unwrap(), ())
+        };
+        fresh.restore_stream(state).unwrap();
+        prop_assert_eq!(fresh.stream_state(), state);
+        let a = fresh.stream_stats();
+        let b = engine.stream_stats();
+        prop_assert_eq!(a.score_mean.to_bits(), b.score_mean.to_bits());
+        prop_assert_eq!(a.score_std.to_bits(), b.score_std.to_bits());
+        prop_assert_eq!(a.tracked, b.tracked);
+
+        // Through the STREAM section.
+        let resumed = Engine::from_bytes(&engine.to_bytes_with_stream()).unwrap();
+        prop_assert_eq!(resumed.stream_state(), state);
+        // And the continuation is bit-identical: same verdicts, same
+        // evolving threshold on the records after the cut.
+        for rec in test.records()[n_obs..].iter().take(40) {
+            let x = engine.observe(rec).unwrap();
+            let y = resumed.observe(rec).unwrap();
+            prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+            prop_assert_eq!(x.threshold.to_bits(), y.threshold.to_bits());
+            prop_assert_eq!(x.anomalous, y.anomalous);
+        }
+    }
+}
