@@ -22,6 +22,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ghsom_bench::harness::{prepare, RunConfig};
+use ghsom_bench::pin::PinnedThreads;
 use mathkit::Metric;
 use som::map::Som;
 
@@ -97,19 +98,20 @@ fn bench_bmu_scaling(c: &mut Criterion) {
             },
         );
 
-        std::env::set_var("GHSOM_THREADS", "1");
-        group.bench_with_input(
-            BenchmarkId::new("batch", format!("{units}u")),
-            &som,
-            |b, som| {
-                b.iter(|| {
-                    let matches = som.bmu_batch(x).unwrap();
-                    let acc: f64 = matches.iter().map(|m| m.distance).sum();
-                    black_box(acc)
-                });
-            },
-        );
-        std::env::remove_var("GHSOM_THREADS");
+        {
+            let _pin = PinnedThreads::single();
+            group.bench_with_input(
+                BenchmarkId::new("batch", format!("{units}u")),
+                &som,
+                |b, som| {
+                    b.iter(|| {
+                        let matches = som.bmu_batch(x).unwrap();
+                        let acc: f64 = matches.iter().map(|m| m.distance).sum();
+                        black_box(acc)
+                    });
+                },
+            );
+        }
 
         group.bench_with_input(
             BenchmarkId::new("parallel", format!("{units}u")),

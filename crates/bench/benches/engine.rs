@@ -35,6 +35,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use featurize::FeatureMatrix;
+use ghsom_bench::pin::PinnedThreads;
 use ghsom_core::GhsomConfig;
 use ghsom_serve::{Engine, EngineConfig, MappedFile, SnapshotView};
 use traffic::Dataset;
@@ -103,7 +104,7 @@ fn bench_throughput(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("engine_throughput");
     group.throughput(Throughput::Elements(records.len() as u64));
-    std::env::set_var("GHSOM_THREADS", "1");
+    let pin = PinnedThreads::single();
     group.bench_function("score_records", |b| {
         b.iter(|| black_box(engine.score_records(records).unwrap()));
     });
@@ -136,7 +137,7 @@ fn bench_throughput(c: &mut Criterion) {
             black_box(flagged)
         });
     });
-    std::env::remove_var("GHSOM_THREADS");
+    drop(pin);
     group.finish();
 }
 
@@ -173,7 +174,7 @@ fn bench_single_record(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("engine_single_record");
     group.throughput(Throughput::Elements(1));
-    std::env::set_var("GHSOM_THREADS", "1");
+    let _pin = PinnedThreads::single();
     let mut i = 0usize;
     group.bench_function("score_record", |b| {
         b.iter(|| {
@@ -181,7 +182,6 @@ fn bench_single_record(c: &mut Criterion) {
             black_box(engine.score_record(&records[i]).unwrap())
         });
     });
-    std::env::remove_var("GHSOM_THREADS");
     group.finish();
 }
 

@@ -23,6 +23,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use detect::prelude::*;
 use ghsom_bench::harness::{self, prepare, RunConfig};
+use ghsom_bench::pin::PinnedThreads;
 use ghsom_core::{GhsomConfig, GhsomModel, MapNode};
 use ghsom_serve::{Compile, SnapshotView};
 use mathkit::distance;
@@ -81,7 +82,7 @@ fn bench_batch_scoring(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("serving_batch_scoring");
     group.throughput(Throughput::Elements(x.rows() as u64));
-    std::env::set_var("GHSOM_THREADS", "1");
+    let _pin = PinnedThreads::single();
     group.bench_with_input(BenchmarkId::new("tree", "1024u"), &model, |b, model| {
         b.iter(|| black_box(model.score_matrix(x).unwrap()));
     });
@@ -95,7 +96,6 @@ fn bench_batch_scoring(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("view", "1024u"), &view, |b, view| {
         b.iter(|| black_box(view.score_all(x).unwrap()));
     });
-    std::env::remove_var("GHSOM_THREADS");
     group.finish();
 }
 
@@ -113,7 +113,7 @@ fn bench_hierarchy_scoring(c: &mut Criterion) {
     let mut group = c.benchmark_group("serving_hierarchy_scoring");
     group.throughput(Throughput::Elements(x.rows() as u64));
     let maps = format!("{}maps", model.map_count());
-    std::env::set_var("GHSOM_THREADS", "1");
+    let _pin = PinnedThreads::single();
     group.bench_with_input(BenchmarkId::new("tree", &maps), &model, |b, model| {
         b.iter(|| black_box(model.score_matrix(x).unwrap()));
     });
@@ -124,7 +124,16 @@ fn bench_hierarchy_scoring(c: &mut Criterion) {
             b.iter(|| black_box(compiled.score_all(x).unwrap()));
         },
     );
-    std::env::remove_var("GHSOM_THREADS");
+    // The pre-fusion frontier walk (per-map pruned search on every
+    // level): the within-host baseline the level-fused walk above is
+    // gated against in CI.
+    group.bench_with_input(
+        BenchmarkId::new("compiled_unfused", &maps),
+        &compiled,
+        |b, compiled| {
+            b.iter(|| black_box(compiled.score_all_view_unfused(x.view()).unwrap()));
+        },
+    );
     group.finish();
 }
 
@@ -155,7 +164,7 @@ fn bench_streaming(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("serving_streaming");
     group.throughput(Throughput::Elements(x.rows() as u64));
-    std::env::set_var("GHSOM_THREADS", "1");
+    let _pin = PinnedThreads::single();
     group.bench_function("tree_observe_batch", |b| {
         let stream = StreamingDetector::new(hybrid.clone(), 4.0, 1_000);
         b.iter(|| {
@@ -188,7 +197,6 @@ fn bench_streaming(c: &mut Criterion) {
             black_box(flagged)
         });
     });
-    std::env::remove_var("GHSOM_THREADS");
     group.finish();
 }
 

@@ -22,4 +22,5 @@
 pub mod ablations;
 pub mod figures;
 pub mod harness;
+pub mod pin;
 pub mod tables;

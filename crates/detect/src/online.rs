@@ -104,6 +104,69 @@ impl StreamState {
         }
         Ok(Welford::from_parts(self.tracked, self.mean, self.m2)?)
     }
+
+    /// Reduces two exported session states into one: counters add with
+    /// overflow checks, and the score baselines combine through
+    /// [`mathkit::Welford::from_parts`] + [`mathkit::Welford::merge`]
+    /// (Chan's parallel update). Both sides are **validated** first, like
+    /// [`StreamingDetector::import_state`] — hostile counters or
+    /// non-finite moments are a typed error, never a poisoned baseline.
+    ///
+    /// This is the fleet/collector reduction for baselines accumulated
+    /// **independently** (per process, per site). When either side is
+    /// empty the result is the other side bit-for-bit; in general the
+    /// merged moments equal the single-stream fold up to floating-point
+    /// rounding (Welford merging is algebraically exact but not
+    /// order-insensitive at the bit level). A sharded engine that must be
+    /// *bit*-compatible with single-engine semantics therefore folds its
+    /// verdicts through **one** accumulator in arrival order instead of
+    /// merging per-shard baselines — see `ghsom-serve`'s `ShardedEngine`.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] when either state is
+    /// inconsistent, non-finite, or the summed counters overflow `u64`.
+    pub fn merge(self, other: StreamState) -> Result<StreamState, DetectError> {
+        let mut acc = self.to_accumulator()?;
+        let rhs = other.to_accumulator()?;
+        acc.merge(&rhs);
+        let seen = self
+            .seen
+            .checked_add(other.seen)
+            .ok_or(DetectError::InvalidParameter {
+                name: "seen",
+                reason: "merged seen overflows",
+            })?;
+        let flagged =
+            self.flagged
+                .checked_add(other.flagged)
+                .ok_or(DetectError::InvalidParameter {
+                    name: "flagged",
+                    reason: "merged flagged overflows",
+                })?;
+        Ok(StreamState {
+            seen,
+            flagged,
+            tracked: acc.count(),
+            mean: acc.mean(),
+            m2: acc.m2(),
+        })
+    }
+
+    /// [`StreamState::merge`] over any number of shard states, reduced
+    /// left to right from the default (empty) state — so a single
+    /// non-empty shard among empties comes back bit-for-bit, and shard
+    /// order is the deterministic reduction order.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamState::merge`]; the first invalid shard aborts the
+    /// reduction.
+    pub fn merge_all(shards: &[StreamState]) -> Result<StreamState, DetectError> {
+        shards
+            .iter()
+            .try_fold(StreamState::default(), |acc, &s| acc.merge(s))
+    }
 }
 
 #[derive(Debug, Default)]
@@ -262,9 +325,34 @@ impl<D: Detector> StreamingDetector<D> {
         scores: Vec<f64>,
         inner_flags: Vec<bool>,
     ) -> Result<Vec<StreamVerdict>, DetectError> {
+        Ok(self.observe_prescored(scores.into_iter().zip(inner_flags)))
+    }
+
+    /// Folds records that were already scored **out of band** through the
+    /// adaptive threshold, in iteration order, under one lock
+    /// acquisition. Each item is the `(score, inner verdict)` pair the
+    /// wrapped detector's [`crate::Detector::score_and_flag`] would have
+    /// produced.
+    ///
+    /// This is the exact-merge layer for sharded/distributed ingest:
+    /// scoring is stateless and parallelizes freely across worker
+    /// shards, while the threshold feedback loop (each record's verdict
+    /// depends on which earlier records fed the baseline) is inherently
+    /// sequential. Workers score their chunks concurrently, then the
+    /// coordinator folds the concatenated results here in arrival order —
+    /// verdicts and the exported [`StreamState`] come out **bit-identical**
+    /// to single-threaded [`StreamingDetector::observe`] calls.
+    ///
+    /// The caller owns the contract that the pairs really came from this
+    /// detector's scoring path; the fold itself cannot fail.
+    pub fn observe_prescored(
+        &self,
+        scored: impl IntoIterator<Item = (f64, bool)>,
+    ) -> Vec<StreamVerdict> {
+        let scored = scored.into_iter();
         let mut state = self.state.lock();
-        let mut verdicts = Vec::with_capacity(scores.len());
-        for (score, inner_flag) in scores.into_iter().zip(inner_flags) {
+        let mut verdicts = Vec::with_capacity(scored.size_hint().0);
+        for (score, inner_flag) in scored {
             let adaptive_ready = state.scores.count() >= self.warmup;
             let threshold = if adaptive_ready {
                 state.scores.mean() + self.k_sigma * state.scores.population_std()
@@ -288,7 +376,7 @@ impl<D: Detector> StreamingDetector<D> {
                 threshold: if adaptive_ready { threshold } else { f64::NAN },
             });
         }
-        Ok(verdicts)
+        verdicts
     }
 
     /// A consistent snapshot of the session counters *and* the adaptive
@@ -640,5 +728,104 @@ mod tests {
     fn inner_accessor() {
         let s = stream();
         assert_eq!(s.inner().name(), "pca-residual");
+    }
+
+    #[test]
+    fn prescored_fold_is_bit_identical_to_observe() {
+        let a = stream();
+        let b = stream();
+        let data = normal_line(200, 21);
+        let mut row_verdicts = Vec::new();
+        let mut prescored = Vec::new();
+        for x in data.iter_rows() {
+            // `score_and_flag` is stateless — collecting the pairs first
+            // is exactly what a sharded scorer does.
+            prescored.push(b.inner().score_and_flag(x).unwrap());
+            row_verdicts.push(a.observe(x).unwrap());
+        }
+        let folded = b.observe_prescored(prescored);
+        assert_eq!(folded.len(), row_verdicts.len());
+        for (u, v) in row_verdicts.iter().zip(&folded) {
+            assert_eq!(u.score.to_bits(), v.score.to_bits());
+            assert_eq!(u.threshold.to_bits(), v.threshold.to_bits());
+            assert_eq!(u.anomalous, v.anomalous);
+        }
+        assert_eq!(a.export_state(), b.export_state());
+    }
+
+    #[test]
+    fn merge_with_empty_side_is_bit_exact() {
+        let s = stream();
+        for x in normal_line(80, 22).iter_rows() {
+            s.observe(x).unwrap();
+        }
+        let state = s.export_state();
+        let empty = StreamState::default();
+        assert_eq!(empty.merge(state).unwrap(), state);
+        assert_eq!(state.merge(empty).unwrap(), state);
+        assert_eq!(
+            StreamState::merge_all(&[empty, state, empty]).unwrap(),
+            state
+        );
+        assert_eq!(StreamState::merge_all(&[]).unwrap(), empty);
+    }
+
+    #[test]
+    fn merge_counts_are_exact_and_moments_near_exact() {
+        // Two detectors fold disjoint halves independently; the merged
+        // state must carry exact counters and moments matching the
+        // single-stream fold to rounding.
+        let whole = stream();
+        let lo = stream();
+        let hi = stream();
+        let data = normal_line(300, 23);
+        for (i, x) in data.iter_rows().enumerate() {
+            whole.observe(x).unwrap();
+            if i < 150 {
+                lo.observe(x).unwrap();
+            } else {
+                hi.observe(x).unwrap();
+            }
+        }
+        let merged = lo.export_state().merge(hi.export_state()).unwrap();
+        let single = whole.export_state();
+        assert_eq!(merged.seen, single.seen);
+        // Per-shard warmup/threshold schedules differ, so flagged counts
+        // need not match the interleaved fold — but the merged counters
+        // must still be internally consistent.
+        assert_eq!(merged.tracked + merged.flagged, merged.seen);
+        assert!(merged.mean.is_finite() && merged.m2 >= 0.0);
+    }
+
+    #[test]
+    fn merge_rejects_hostile_shards() {
+        let s = stream();
+        for x in normal_line(50, 24).iter_rows() {
+            s.observe(x).unwrap();
+        }
+        let good = s.export_state();
+        for bad in [
+            StreamState {
+                mean: f64::NAN,
+                ..good
+            },
+            StreamState { m2: -1.0, ..good },
+            StreamState {
+                seen: good.seen + 7,
+                ..good
+            },
+        ] {
+            assert!(good.merge(bad).is_err(), "accepted {bad:?}");
+            assert!(bad.merge(good).is_err(), "accepted {bad:?}");
+        }
+        // Counter overflow is a typed error, not a wrap.
+        let max = StreamState {
+            seen: u64::MAX,
+            flagged: u64::MAX,
+            tracked: 0,
+            mean: 0.0,
+            m2: 0.0,
+        };
+        assert!(max.merge(good).is_err());
     }
 }

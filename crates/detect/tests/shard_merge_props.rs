@@ -1,0 +1,218 @@
+//! Property tests of the sharded-ingest exactness contracts:
+//!
+//! * the **serving-plane topology** — stateless scoring split across K
+//!   contiguous chunks, verdicts folded through *one* accumulator in
+//!   arrival order ([`StreamingDetector::observe_prescored`]) — is
+//!   bit-identical to the single-stream fold for any split;
+//! * the **fleet topology** — per-shard baselines accumulated
+//!   independently and reduced with [`StreamState::merge_all`]
+//!   (`Welford::from_parts` + Chan merge) — has exact counters, bit-exact
+//!   empty-shard behaviour, and moments equal to the single-stream fold
+//!   up to floating-point rounding;
+//! * hostile shard states (inconsistent counters, non-finite moments)
+//!   are typed errors, never a poisoned baseline.
+
+use detect::online::{StreamState, StreamingDetector};
+use detect::prelude::PcaDetector;
+use detect::DetectError;
+use mathkit::Matrix;
+use proptest::prelude::*;
+
+/// A cheap fitted detector: `observe_prescored` never calls it, and the
+/// fleet-topology tests only need its `StreamingDetector` wrapper.
+fn stream(k_sigma: f64, warmup: u64) -> StreamingDetector<PcaDetector> {
+    let normal =
+        Matrix::from_rows((0..32).map(|i| vec![(i % 8) as f64 * 0.1, 1.0]).collect()).unwrap();
+    let pca = PcaDetector::fit(&normal, 1, 0.99, 0).unwrap();
+    StreamingDetector::new(pca, k_sigma, warmup)
+}
+
+/// A random prescored stream: scores in a band that straddles typical
+/// thresholds, flags biased ~20% anomalous so both fold branches run.
+fn prescored(seed: u64, n: usize) -> Vec<(f64, bool)> {
+    // Tiny deterministic LCG — keeps the generator independent of the
+    // proptest shrinker so a shrunk case stays reproducible.
+    let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    (0..n)
+        .map(|_| {
+            let score = (next() % 10_000) as f64 / 2_500.0; // [0, 4)
+            let flag = next() % 10 < 2;
+            (score, flag)
+        })
+        .collect()
+}
+
+/// Splits `items` into `k` contiguous chunks (some possibly empty when
+/// `k > items.len()`), like the sharded serving plane's batch scatter.
+fn chunks<T: Clone>(items: &[T], k: usize) -> Vec<Vec<T>> {
+    let k = k.max(1);
+    let len = items.len().div_ceil(k).max(1);
+    let mut out: Vec<Vec<T>> = items.chunks(len).map(<[T]>::to_vec).collect();
+    out.resize(k, Vec::new());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serving-plane topology: folding the chunked stream through one
+    /// accumulator, chunk by chunk in arrival order, is **bit-identical**
+    /// to the unchunked fold — verdicts and exported state — for any
+    /// shard count, including shards that get no records.
+    #[test]
+    fn chunked_prescored_fold_is_bit_identical(
+        seed in 0u64..500,
+        n in 0usize..400,
+        k in 1usize..9,
+        warmup in 0u64..64,
+    ) {
+        let scored = prescored(seed, n);
+
+        let single = stream(3.0, warmup);
+        let expected = single.observe_prescored(scored.iter().copied());
+
+        let sharded = stream(3.0, warmup);
+        let mut got = Vec::with_capacity(n);
+        for chunk in chunks(&scored, k) {
+            got.extend(sharded.observe_prescored(chunk));
+        }
+
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            prop_assert_eq!(g.score.to_bits(), e.score.to_bits());
+            prop_assert_eq!(g.anomalous, e.anomalous);
+            prop_assert_eq!(g.threshold.to_bits(), e.threshold.to_bits());
+        }
+        let a = sharded.export_state();
+        let b = single.export_state();
+        prop_assert_eq!(a.seen, b.seen);
+        prop_assert_eq!(a.flagged, b.flagged);
+        prop_assert_eq!(a.tracked, b.tracked);
+        prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        prop_assert_eq!(a.m2.to_bits(), b.m2.to_bits());
+    }
+
+    /// Fleet topology: independently accumulated shard baselines reduced
+    /// with `merge_all` carry **exact** counters and moments equal to the
+    /// single-stream fold up to rounding — and an exported state survives
+    /// an import→export roundtrip bit-for-bit (`Welford::from_parts`
+    /// rebuilds the identical accumulator).
+    #[test]
+    fn merged_shard_baselines_match_the_single_fold(
+        seed in 0u64..500,
+        n in 0usize..400,
+        k in 1usize..9,
+    ) {
+        let scored = prescored(seed, n);
+
+        // Warmup 0 so every shard thresholds adaptively from its own
+        // baseline — the independent-baseline topology by construction.
+        let single = stream(3.0, 0);
+        single.observe_prescored(scored.iter().copied());
+        let folded = single.export_state();
+
+        let parts: Vec<StreamState> = chunks(&scored, k)
+            .into_iter()
+            .map(|chunk| {
+                let shard = stream(3.0, 0);
+                shard.observe_prescored(chunk);
+                shard.export_state()
+            })
+            .collect();
+        let merged = StreamState::merge_all(&parts).unwrap();
+
+        // Counters are integers: exact, always.
+        prop_assert_eq!(merged.seen, folded.seen);
+        prop_assert_eq!(
+            merged.seen,
+            parts.iter().map(|p| p.seen).sum::<u64>()
+        );
+        // Flagged counts may differ between topologies (each shard's
+        // threshold saw different history), but the merge itself must
+        // preserve the shard totals exactly.
+        prop_assert_eq!(
+            merged.flagged,
+            parts.iter().map(|p| p.flagged).sum::<u64>()
+        );
+        prop_assert_eq!(
+            merged.tracked,
+            parts.iter().map(|p| p.tracked).sum::<u64>()
+        );
+
+        // Import→export roundtrip is bit-exact (from_parts rebuilds the
+        // identical Welford accumulator).
+        let back = stream(3.0, 0);
+        back.import_state(merged).unwrap();
+        let roundtrip = back.export_state();
+        prop_assert_eq!(roundtrip.mean.to_bits(), merged.mean.to_bits());
+        prop_assert_eq!(roundtrip.m2.to_bits(), merged.m2.to_bits());
+        prop_assert_eq!(roundtrip.tracked, merged.tracked);
+    }
+
+    /// A single non-empty shard among empties reduces **bit-for-bit** —
+    /// the degenerate splits a hash/round-robin distributor produces for
+    /// tiny traffic must not perturb the baseline at all.
+    #[test]
+    fn empty_shards_are_bitwise_neutral(
+        seed in 0u64..500,
+        n in 0usize..200,
+        k in 2usize..9,
+        pos_seed in 0usize..64,
+    ) {
+        let live = stream(3.0, 8);
+        live.observe_prescored(prescored(seed, n));
+        let state = live.export_state();
+
+        let mut parts = vec![StreamState::default(); k];
+        parts[pos_seed % k] = state;
+        let merged = StreamState::merge_all(&parts).unwrap();
+
+        prop_assert_eq!(merged.seen, state.seen);
+        prop_assert_eq!(merged.flagged, state.flagged);
+        prop_assert_eq!(merged.tracked, state.tracked);
+        prop_assert_eq!(merged.mean.to_bits(), state.mean.to_bits());
+        prop_assert_eq!(merged.m2.to_bits(), state.m2.to_bits());
+    }
+
+    /// Hostile shard states abort the reduction with a typed error:
+    /// inconsistent counters (`tracked + flagged != seen`) and non-finite
+    /// or negative moments must never fold into a served baseline.
+    #[test]
+    fn hostile_shard_states_error_typed(
+        seed in 0u64..200,
+        n in 1usize..100,
+        kind in 0usize..4,
+    ) {
+        let live = stream(3.0, 4);
+        live.observe_prescored(prescored(seed, n));
+        let good = live.export_state();
+
+        let bad = match kind {
+            0 => StreamState { seen: good.seen + 1, ..good },
+            1 => StreamState { mean: f64::NAN, ..good },
+            2 => StreamState { m2: -1.0, ..good },
+            _ => StreamState { m2: f64::INFINITY, ..good },
+        };
+        // Counter inconsistencies surface as `InvalidParameter`; hostile
+        // moments are caught inside `Welford::from_parts` and arrive as
+        // the wrapped math error. Either way: typed, never a panic, never
+        // a merged result.
+        let typed = |err: &DetectError| {
+            matches!(
+                err,
+                DetectError::InvalidParameter { .. } | DetectError::Model(_)
+            )
+        };
+        let err = StreamState::merge_all(&[good, bad]).unwrap_err();
+        prop_assert!(typed(&err), "unexpected error {err:?}");
+        // And symmetrically on the left.
+        let err = StreamState::merge_all(&[bad, good]).unwrap_err();
+        prop_assert!(typed(&err), "unexpected error {err:?}");
+    }
+}

@@ -526,28 +526,7 @@ pub fn gram_nearest_block_pruned(
     // (Measured: from ~3 unit groups up, the shared-slab block walk below
     // wins even when it prunes nothing.)
     if groups <= 2 {
-        for x in rows.chunks_exact(dim) {
-            let xn = gram_norm_sq(x);
-            let mut best_p = f64::INFINITY;
-            let mut best_u = 0u32;
-            for g in 0..groups {
-                let g0 = g * GROUP;
-                let gl = GROUP.min(units - g0);
-                let dots = dots8(x, wt, dim, g);
-                for k in 0..gl {
-                    let proxy = wn_half[g0 + k] - dots[k];
-                    let u = perm[g0 + k];
-                    if proxy < best_p || (proxy == best_p && u < best_u) {
-                        best_p = proxy;
-                        best_u = u;
-                    }
-                }
-            }
-            out.push(Nearest {
-                unit: best_u as usize,
-                d2: (xn + 2.0 * best_p).max(0.0),
-            });
-        }
+        gram_nearest_exhaustive_block(rows, dim, wt, wn_half, perm, out);
         return;
     }
     // Sub-block calls (deep-hierarchy frontier fragments are mostly a
@@ -760,6 +739,119 @@ fn pruned_nearest_one(
     Nearest {
         unit: best_u as usize,
         d2: (xn + 2.0 * best_p).max(0.0),
+    }
+}
+
+/// Exhaustive nearest-row search of **one sample** over one packed slab —
+/// the tiny-map path of [`gram_nearest_block_pruned`] exposed for callers
+/// that fuse many small codebooks into a strided arena (the serving
+/// plane's subtree-fused frontier walk) and pick each sample's slab by
+/// index.
+///
+/// Same contracts as the pruned search: `wt` in [`pack_codebook`] layout,
+/// `wn_half`/`perm` parallel to its packed positions, winner reported by
+/// `(proxy, original index)` lexicographic order with the bit-identical
+/// clamped Gram distance. Because every unit is evaluated, `wn_half` need
+/// **not** be sorted here; padding lanes can be disabled by giving them a
+/// `+∞` half-norm and a `u32::MAX` permutation entry (they then lose every
+/// comparison, including the all-NaN fallback to unit 0 — identical to the
+/// unpadded scan).
+pub fn gram_nearest_exhaustive(
+    x: &[f64],
+    dim: usize,
+    wt: &[f64],
+    wn_half: &[f64],
+    perm: &[u32],
+) -> Nearest {
+    debug_assert_eq!(x.len(), dim);
+    let units = wn_half.len();
+    debug_assert_eq!(perm.len(), units);
+    debug_assert_eq!(wt.len(), units.div_ceil(GROUP) * GROUP * dim);
+    let xn = gram_norm_sq(x);
+    let mut best_p = f64::INFINITY;
+    let mut best_u = 0u32;
+    for g in 0..units.div_ceil(GROUP) {
+        let g0 = g * GROUP;
+        let gl = GROUP.min(units - g0);
+        let dots = dots8(x, wt, dim, g);
+        for k in 0..gl {
+            let proxy = wn_half[g0 + k] - dots[k];
+            let u = perm[g0 + k];
+            if proxy < best_p || (proxy == best_p && u < best_u) {
+                best_p = proxy;
+                best_u = u;
+            }
+        }
+    }
+    Nearest {
+        unit: best_u as usize,
+        d2: (xn + 2.0 * best_p).max(0.0),
+    }
+}
+
+/// [`gram_nearest_exhaustive`] over a contiguous block of samples,
+/// appending one [`Nearest`] per row to `out` — same slab contracts,
+/// same winner and bit-identical distances, but full 8-sample blocks go
+/// through the register-blocked `dots8_oct` tile so each weight-group
+/// load is amortized across eight samples. With only one or two unit
+/// groups per slab there is nothing to prune, so this is also the
+/// tiny-map fast path of [`gram_nearest_block_pruned`] — and the kernel
+/// the subtree-fused frontier walk batches its per-slot sample runs
+/// through (short runs fall back to the one-sample scan below; the
+/// sequence of `(proxy, original index)` candidate updates per sample is
+/// identical either way, so the processing route never changes a bit of
+/// the result).
+pub fn gram_nearest_exhaustive_block(
+    rows: &[f64],
+    dim: usize,
+    wt: &[f64],
+    wn_half: &[f64],
+    perm: &[u32],
+    out: &mut Vec<Nearest>,
+) {
+    debug_assert_eq!(rows.len() % dim, 0);
+    let units = wn_half.len();
+    debug_assert_eq!(perm.len(), units);
+    debug_assert_eq!(wt.len(), units.div_ceil(GROUP) * GROUP * dim);
+    let ns = rows.len() / dim;
+    let groups = units.div_ceil(GROUP);
+    let full = ns / SAMPLE_BLOCK8 * SAMPLE_BLOCK8;
+    let mut base = 0usize;
+    while base < full {
+        let mut best_p = [f64::INFINITY; SAMPLE_BLOCK8];
+        let mut best_u = [0u32; SAMPLE_BLOCK8];
+        for g in 0..groups {
+            let g0 = g * GROUP;
+            let gl = GROUP.min(units - g0);
+            let oct = dots8_oct(rows, base, wt, dim, g);
+            for q in 0..SAMPLE_BLOCK8 {
+                for k in 0..gl {
+                    let proxy = wn_half[g0 + k] - oct[q][k];
+                    let u = perm[g0 + k];
+                    if proxy < best_p[q] || (proxy == best_p[q] && u < best_u[q]) {
+                        best_p[q] = proxy;
+                        best_u[q] = u;
+                    }
+                }
+            }
+        }
+        for q in 0..SAMPLE_BLOCK8 {
+            let xn = gram_norm_sq(&rows[(base + q) * dim..(base + q + 1) * dim]);
+            out.push(Nearest {
+                unit: best_u[q] as usize,
+                d2: (xn + 2.0 * best_p[q]).max(0.0),
+            });
+        }
+        base += SAMPLE_BLOCK8;
+    }
+    for s in full..ns {
+        out.push(gram_nearest_exhaustive(
+            &rows[s * dim..(s + 1) * dim],
+            dim,
+            wt,
+            wn_half,
+            perm,
+        ));
     }
 }
 
@@ -999,6 +1091,47 @@ mod tests {
         for (i, (a, b)) in exhaustive.iter().zip(&pruned).enumerate() {
             assert_eq!(a.unit, b.unit, "sample {i} winner");
             assert_eq!(a.d2.to_bits(), b.d2.to_bits(), "sample {i} distance");
+        }
+    }
+
+    #[test]
+    fn exhaustive_single_matches_pruned_bitwise_with_and_without_padding() {
+        // Enough rows to force >2 groups so the pruned walk actually
+        // prunes rather than taking its own exhaustive tiny-map path.
+        // 27 units → 4 groups with a ragged tail, exercising both the
+        // in-group tail lanes and the appended all-padding group below.
+        let mut rows = vec![vec![0.2, 0.9, 0.1], vec![0.2, 0.9, 0.1]]; // exact tie
+        for i in 0..25 {
+            let t = i as f64 * 0.23;
+            rows.push(vec![t.sin(), 2.0 - t * 0.3, (i % 7) as f64 * 0.4]);
+        }
+        let w = Matrix::from_rows(rows).unwrap();
+        let (swt, swn, perm) = norm_sorted(&w);
+        let units = w.rows();
+        // Padded copy: one extra all-zero group with +∞ half-norms and
+        // u32::MAX perm entries — the fused-arena slot shape.
+        let stride = units.div_ceil(GROUP) * GROUP + GROUP;
+        let mut pwt = swt.clone();
+        pwt.resize(stride * 3, 0.0);
+        let mut pwn = swn.clone();
+        pwn.resize(stride, f64::INFINITY);
+        let mut pperm = perm.clone();
+        pperm.resize(stride, u32::MAX);
+        for i in 0..50 {
+            let t = i as f64 * 0.37;
+            let x = [t.cos() * 2.0, t * 0.2 - 1.0, (i % 9) as f64 * 0.5];
+            let mut pruned = Vec::new();
+            gram_nearest_block_pruned(&x, 3, &swt, &swn, &perm, &mut pruned);
+            let exact = gram_nearest_exhaustive(&x, 3, &swt, &swn, &perm);
+            let padded = gram_nearest_exhaustive(&x, 3, &pwt, &pwn, &pperm);
+            assert_eq!(exact.unit, pruned[0].unit, "sample {i} winner");
+            assert_eq!(exact.d2.to_bits(), pruned[0].d2.to_bits(), "sample {i} d2");
+            assert_eq!(padded.unit, exact.unit, "sample {i} padded winner");
+            assert_eq!(
+                padded.d2.to_bits(),
+                exact.d2.to_bits(),
+                "sample {i} padded d2"
+            );
         }
     }
 

@@ -10,21 +10,80 @@
 //!
 //! Thread count comes from `std::thread::available_parallelism`, clamped by
 //! the `GHSOM_THREADS` environment variable when set (handy for
-//! single-thread baselines in benchmarks).
+//! single-thread baselines in benchmarks). An outer orchestration layer —
+//! the sharded serving plane — can additionally pin the *calling thread* to
+//! a fixed budget with [`with_thread_cap`], which takes precedence over the
+//! environment and keeps shard workers from spawning nested worker pools.
 
+use std::cell::Cell;
 use std::ops::Range;
 
-/// The number of worker threads parallel helpers may use.
+thread_local! {
+    /// Per-thread override consulted before the environment. `None` means
+    /// "no override"; `Some(n)` caps this thread's helpers at `n` workers.
+    static THREAD_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with this thread's parallel helpers capped at `cap` workers
+/// (clamped to at least 1), restoring the previous cap afterwards — also on
+/// panic.
 ///
-/// `GHSOM_THREADS=1` forces sequential execution; unset or invalid values
-/// fall back to the machine's available parallelism.
-pub fn max_threads() -> usize {
-    if let Ok(v) = std::env::var("GHSOM_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
+/// The cap applies to the calling thread only and takes precedence over
+/// `GHSOM_THREADS`. Its purpose is nested-parallelism suppression: when an
+/// outer layer (e.g. a sharded engine) has already split the work across N
+/// OS threads, each worker runs the inner kernels under
+/// `with_thread_cap(1, ..)` so the per-shard walk stays sequential instead
+/// of oversubscribing the machine with N nested pools.
+pub fn with_thread_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP.with(|c| c.set(self.0));
         }
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    let _restore = Restore(THREAD_CAP.with(|c| c.replace(Some(cap.max(1)))));
+    f()
+}
+
+/// Pure thread-count resolution, split out from [`max_threads`] so the
+/// parse/clamp policy is unit-testable without touching the process
+/// environment.
+///
+/// Policy:
+/// - `raw == None` (variable unset) → `hardware`.
+/// - Unparsable values (empty, garbage, negative) → `hardware`; a malformed
+///   knob must never change behaviour, only an explicit one.
+/// - `0` → `hardware` ("auto": use everything), the conventional meaning of
+///   a zero thread-count knob.
+/// - `n >= 1` → `min(n, hardware)`. These kernels are CPU-bound with no
+///   blocking, so threads beyond the core count only add contention; more
+///   importantly an accidental `GHSOM_THREADS=1000000` must not try to
+///   spawn a million scoped threads.
+///
+/// The result is always at least 1, even if `hardware` is reported as 0.
+pub fn resolve_threads(raw: Option<&str>, hardware: usize) -> usize {
+    let hardware = hardware.max(1);
+    match raw.and_then(|v| v.trim().parse::<usize>().ok()) {
+        None | Some(0) => hardware,
+        Some(n) => n.min(hardware),
+    }
+}
+
+/// The number of worker threads parallel helpers may use on this thread.
+///
+/// Resolution order: the calling thread's [`with_thread_cap`] override (if
+/// any), then the `GHSOM_THREADS` environment variable, then the machine's
+/// available parallelism. `GHSOM_THREADS=1` forces sequential execution;
+/// `0`, unset, or invalid values mean "auto" (all available cores); values
+/// above the core count are clamped down to it (see [`resolve_threads`] for
+/// the full policy).
+pub fn max_threads() -> usize {
+    let hardware = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if let Some(cap) = THREAD_CAP.with(|c| c.get()) {
+        return cap.min(hardware).max(1);
+    }
+    let raw = std::env::var("GHSOM_THREADS").ok();
+    resolve_threads(raw.as_deref(), hardware)
 }
 
 /// Splits `0..total` into `chunk`-sized ranges, maps each through `f`, and
@@ -131,5 +190,71 @@ mod tests {
     fn single_chunk_runs_inline() {
         let out = par_map_chunks(3, 100, |r| r.len());
         assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn resolve_unset_uses_hardware() {
+        assert_eq!(resolve_threads(None, 8), 8);
+        assert_eq!(resolve_threads(None, 1), 1);
+    }
+
+    #[test]
+    fn resolve_zero_means_auto() {
+        assert_eq!(resolve_threads(Some("0"), 8), 8);
+        assert_eq!(resolve_threads(Some(" 0 "), 3), 3);
+    }
+
+    #[test]
+    fn resolve_clamps_above_hardware() {
+        assert_eq!(resolve_threads(Some("64"), 8), 8);
+        assert_eq!(resolve_threads(Some("1000000"), 4), 4);
+        assert_eq!(resolve_threads(Some("2"), 8), 2);
+        assert_eq!(resolve_threads(Some("8"), 8), 8);
+    }
+
+    #[test]
+    fn resolve_rejects_garbage() {
+        assert_eq!(resolve_threads(Some(""), 6), 6);
+        assert_eq!(resolve_threads(Some("abc"), 6), 6);
+        assert_eq!(resolve_threads(Some("-3"), 6), 6);
+        assert_eq!(resolve_threads(Some("2.5"), 6), 6);
+    }
+
+    #[test]
+    fn resolve_survives_zero_hardware() {
+        // `available_parallelism` can in principle report an error upstream;
+        // the resolver itself must still never return 0.
+        assert_eq!(resolve_threads(None, 0), 1);
+        assert_eq!(resolve_threads(Some("4"), 0), 1);
+    }
+
+    #[test]
+    fn thread_cap_overrides_and_restores() {
+        let outer = max_threads();
+        let inner = with_thread_cap(1, max_threads);
+        assert_eq!(inner, 1);
+        assert_eq!(max_threads(), outer, "cap must be restored on exit");
+        // Nested caps restore the *previous* cap, not clear it.
+        with_thread_cap(1, || {
+            with_thread_cap(4, || assert!(max_threads() >= 1));
+            assert_eq!(max_threads(), 1);
+        });
+    }
+
+    #[test]
+    fn thread_cap_restored_on_panic() {
+        let before = max_threads();
+        let result = std::panic::catch_unwind(|| {
+            with_thread_cap(1, || panic!("boom"));
+        });
+        assert!(result.is_err());
+        assert_eq!(max_threads(), before);
+    }
+
+    #[test]
+    fn capped_helpers_still_produce_identical_results() {
+        let seq = with_thread_cap(1, || par_map_chunks(100, 7, |r| r.sum::<usize>()));
+        let par = par_map_chunks(100, 7, |r| r.sum::<usize>());
+        assert_eq!(seq, par);
     }
 }

@@ -437,6 +437,22 @@ impl Engine {
         self.stream.reset()
     }
 
+    /// Folds verdicts that were already scored out of band through the
+    /// adaptive streaming threshold, in slice order, under one lock
+    /// acquisition — the exact-merge tail of the sharded observe path
+    /// (see [`crate::shard::ShardedEngine`]).
+    ///
+    /// A [`HybridVerdict`]'s `(score, anomalous)` pair is exactly what
+    /// the wrapped detector's `score_and_flag` path produces for the same
+    /// record, so folding [`Engine::score_records`] output here yields
+    /// stream verdicts and exported state **bit-identical** to
+    /// [`Engine::observe_records`] over the same records in the same
+    /// order.
+    pub(crate) fn observe_prescored(&self, verdicts: &[HybridVerdict]) -> Vec<StreamVerdict> {
+        self.stream
+            .observe_prescored(verdicts.iter().map(|v| (v.score, v.anomalous)))
+    }
+
     // --- bundle persistence -------------------------------------------------
 
     /// Serializes the engine into a version-

@@ -19,6 +19,9 @@
 //! * [`SpoolWatcher`] ([`watch`]) — hot-reload: poll a spool directory
 //!   of bundles, validate zero-copy, and deploy/swap/retire tenants
 //!   automatically; a bad artifact never evicts a serving engine.
+//! * [`ShardedEngine`] ([`shard`]) — the multi-core serving plane:
+//!   batches scatter across worker shards and merge back **bit-identical**
+//!   to the single-engine path, including the adaptive streaming state.
 //! * [`CompiledGhsom`] — an immutable, flattened arena compiled from a
 //!   trained [`ghsom_core::GhsomModel`] ([`Compile::compile`]), with
 //!   projections **bit-identical** to the tree's.
@@ -141,6 +144,7 @@ pub mod engine;
 pub mod error;
 pub mod mmap;
 pub mod registry;
+pub mod shard;
 pub mod snapshot;
 pub mod watch;
 
@@ -149,5 +153,6 @@ pub use engine::{Engine, EngineBuilder, EngineConfig};
 pub use error::ServeError;
 pub use mmap::MappedFile;
 pub use registry::EngineRegistry;
+pub use shard::ShardedEngine;
 pub use snapshot::SnapshotView;
 pub use watch::{SpoolEvent, SpoolWatcher};

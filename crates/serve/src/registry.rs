@@ -193,6 +193,21 @@ impl EngineRegistry {
         Ok(self.slot(name)?.current())
     }
 
+    /// A [`ShardedEngine`](crate::ShardedEngine) view over a tenant's
+    /// **current** engine — `get` +
+    /// [`ShardedEngine::from_shared`](crate::ShardedEngine::from_shared). The
+    /// view is cheap (an `Arc` clone and an integer): construct one per
+    /// batch to pick up swaps, exactly like [`EngineRegistry::get`] — a
+    /// held view keeps serving the engine generation it was taken from.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when no engine is deployed under
+    /// `name`.
+    pub fn sharded(&self, name: &str, shards: usize) -> Result<crate::ShardedEngine, ServeError> {
+        Ok(crate::ShardedEngine::from_shared(self.get(name)?, shards))
+    }
+
     /// Scores one record against a tenant's **current** engine —
     /// `get` + [`Engine::score_record`].
     ///

@@ -263,6 +263,7 @@ impl CompiledGhsom {
             perm: get_u32s(SEC_PERM)?,
             wt: get_f64s(SEC_WT)?,
             row_cache: Default::default(),
+            fused: Default::default(),
         };
         meta.check_against(&out.arena())?;
         out.arena().validate()?;
@@ -636,7 +637,7 @@ impl<'a> SnapshotView<'a> {
     ///
     /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
     pub fn project_batch(&self, data: &Matrix) -> Result<Vec<Projection>, ServeError> {
-        self.arena.project_batch(data.view())
+        self.arena.project_batch(data.view(), None)
     }
 
     /// [`SnapshotView::project_batch`] over a borrowed matrix view — the
@@ -647,7 +648,7 @@ impl<'a> SnapshotView<'a> {
     ///
     /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
     pub fn project_batch_view(&self, data: MatrixView<'_>) -> Result<Vec<Projection>, ServeError> {
-        self.arena.project_batch(data)
+        self.arena.project_batch(data, None)
     }
 
     /// Leaf quantization error of every row.
@@ -656,7 +657,7 @@ impl<'a> SnapshotView<'a> {
     ///
     /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
     pub fn score_all(&self, data: &Matrix) -> Result<Vec<f64>, ServeError> {
-        self.arena.score_all(data.view())
+        self.arena.score_all(data.view(), None)
     }
 
     /// [`SnapshotView::score_all`] over a borrowed matrix view.
@@ -665,7 +666,7 @@ impl<'a> SnapshotView<'a> {
     ///
     /// [`ServeError::DimensionMismatch`] on samples of the wrong width.
     pub fn score_all_view(&self, data: MatrixView<'_>) -> Result<Vec<f64>, ServeError> {
-        self.arena.score_all(data)
+        self.arena.score_all(data, None)
     }
 
     /// Materializes the view into an owned [`CompiledGhsom`].
@@ -688,6 +689,7 @@ impl<'a> SnapshotView<'a> {
             perm: self.arena.perm.to_vec(),
             wt: self.arena.wt.to_vec(),
             row_cache: Default::default(),
+            fused: Default::default(),
         }
     }
 }
@@ -722,22 +724,22 @@ impl Scorer for SnapshotView<'_> {
     }
 
     fn project_batch(&self, data: &Matrix) -> Result<Vec<Projection>, GhsomError> {
-        Ok(self.arena.project_batch(data.view())?)
+        Ok(self.arena.project_batch(data.view(), None)?)
     }
 
     fn project_batch_view(
         &self,
         data: mathkit::MatrixView<'_>,
     ) -> Result<Vec<Projection>, GhsomError> {
-        Ok(self.arena.project_batch(data)?)
+        Ok(self.arena.project_batch(data, None)?)
     }
 
     fn score_matrix(&self, data: &Matrix) -> Result<Vec<f64>, GhsomError> {
-        Ok(self.arena.score_all(data.view())?)
+        Ok(self.arena.score_all(data.view(), None)?)
     }
 
     fn score_matrix_view(&self, data: mathkit::MatrixView<'_>) -> Result<Vec<f64>, GhsomError> {
-        Ok(self.arena.score_all(data)?)
+        Ok(self.arena.score_all(data, None)?)
     }
 }
 

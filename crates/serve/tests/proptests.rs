@@ -1,16 +1,22 @@
 //! Property tests of the serving plane: compiled-vs-tree equivalence on
-//! random hierarchies (including duplicate-weight ties), snapshot
+//! random hierarchies (including duplicate-weight ties), fused-vs-unfused
+//! walk bit-identity, sharded-vs-single-engine bit-identity, snapshot
 //! roundtrips, and typed errors on truncated/corrupted/wrong-version
 //! bytes.
 
+use std::sync::OnceLock;
+
 use ghsom_core::{GhsomConfig, GhsomModel, MapNode};
-use ghsom_serve::{Compile, CompiledGhsom, ServeError, SnapshotView};
+use ghsom_serve::{
+    Compile, CompiledGhsom, Engine, EngineConfig, ServeError, ShardedEngine, SnapshotView,
+};
 use mathkit::{Matrix, Metric};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use som::map::Som;
 use som::topology::GridTopology;
+use traffic::ConnectionRecord;
 
 /// Builds a random multi-level hierarchy directly through
 /// `GhsomModel::from_parts` — unlike trained models this covers arbitrary
@@ -51,6 +57,62 @@ fn random_model(seed: u64, dim: usize, with_ties: bool) -> GhsomModel {
         if depth < 3 && specs.len() < 7 {
             for (u, slot) in children.iter_mut().enumerate() {
                 if specs.len() < 7 && rng.gen_range(0..100) < 35 {
+                    *slot = Some(specs.len());
+                    specs.push(Pending {
+                        parent: Some((i, u)),
+                        depth: depth + 1,
+                    });
+                }
+            }
+        }
+        let hits: Vec<usize> = (0..units).map(|_| rng.gen_range(0..50usize)).collect();
+        let mqe: Vec<f64> = (0..units).map(|_| rng.gen_range(0.0..1.0)).collect();
+        nodes.push(MapNode::new(som, depth, parent, children, hits, mqe).unwrap());
+        i += 1;
+    }
+    let mean: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    GhsomModel::from_parts(GhsomConfig::default(), mean, rng.gen_range(0.0..3.0), nodes).unwrap()
+}
+
+/// Like [`random_model`], but map sizes mix small fusable maps with
+/// occasional large ones (> 64 units — more groups than the fusion
+/// cutoff), so deep levels exercise the split frontier: some siblings
+/// served from the fused slab, others from the plain per-map pruned walk.
+fn random_model_mixed(seed: u64, dim: usize) -> GhsomModel {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x517E_D0D0);
+    struct Pending {
+        parent: Option<(usize, usize)>,
+        depth: usize,
+    }
+    let mut specs = vec![Pending {
+        parent: None,
+        depth: 1,
+    }];
+    let mut nodes: Vec<MapNode> = Vec::new();
+    let mut i = 0;
+    while i < specs.len() {
+        let spec = &specs[i];
+        let (rows, cols) = if rng.gen_range(0..100) < 30 {
+            // Too many groups to fuse: 72..120 units.
+            (rng.gen_range(9..13usize), rng.gen_range(8..10usize))
+        } else {
+            let r = rng.gen_range(1..4usize);
+            (r, rng.gen_range(if r == 1 { 2..4usize } else { 1..4usize }))
+        };
+        let units = rows * cols;
+        let w: Vec<f64> = (0..units * dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let som = Som::from_parts(
+            GridTopology::rectangular(rows, cols).unwrap(),
+            Matrix::from_flat(units, dim, w).unwrap(),
+            Metric::Euclidean,
+        )
+        .unwrap();
+        let mut children = vec![None; units];
+        let depth = spec.depth;
+        let parent = spec.parent;
+        if depth < 4 && specs.len() < 9 {
+            for (u, slot) in children.iter_mut().enumerate() {
+                if specs.len() < 9 && rng.gen_range(0..100) < 30 {
                     *slot = Some(specs.len());
                     specs.push(Pending {
                         parent: Some((i, u)),
@@ -213,5 +275,101 @@ proptest! {
                 }
             );
         }
+    }
+
+    /// The level-fused frontier walk is **bit-identical** to the plain
+    /// per-map pruned walk — full paths (nodes, units, distances) and
+    /// leaf scores — on hierarchies that mix fusable small maps with
+    /// oversized ones, so both sides of the per-level frontier split are
+    /// exercised, ties included.
+    #[test]
+    fn fused_walk_matches_unfused_bitwise(seed in 0u64..160, dim in 2usize..6) {
+        let model = if seed % 2 == 0 {
+            random_model_mixed(seed, dim)
+        } else {
+            // Small-maps-only hierarchies (with duplicate-row ties):
+            // everything below the root fuses.
+            random_model(seed, dim, true)
+        };
+        let compiled = model.compile().unwrap();
+        let data = random_inputs(&model, seed, 48);
+        let fused = compiled.project_batch_view(data.view()).unwrap();
+        let plain = compiled.project_batch_view_unfused(data.view()).unwrap();
+        prop_assert_eq!(fused.len(), plain.len());
+        for (f, p) in fused.iter().zip(&plain) {
+            prop_assert_eq!(f.steps().len(), p.steps().len());
+            for (a, b) in f.steps().iter().zip(p.steps()) {
+                prop_assert_eq!(a.node, b.node);
+                prop_assert_eq!(a.unit, b.unit);
+                prop_assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+            }
+        }
+        let fused_scores = compiled.score_all_view(data.view()).unwrap();
+        let plain_scores = compiled.score_all_view_unfused(data.view()).unwrap();
+        for (a, b) in fused_scores.iter().zip(&plain_scores) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+/// One fitted engine, shared across sharding property cases as bundle
+/// bytes — `Engine::from_bytes` clones it bit-identically per case, so
+/// each case gets private streaming state without refitting.
+fn serving_fixture() -> &'static (Vec<u8>, Vec<ConnectionRecord>) {
+    static FIXTURE: OnceLock<(Vec<u8>, Vec<ConnectionRecord>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (train, test) = traffic::synth::kdd_train_test(400, 512, 11).expect("synth dataset");
+        let engine =
+            Engine::fit(&EngineConfig::default().with_stream(3.0, 64), &train).expect("fit engine");
+        (engine.to_bytes(), test.records().to_vec())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sharded serving plane is **bit-identical** to the single
+    /// engine for any shard width and batch window: same verdict order,
+    /// same scores and flags from `score_records`, same stream verdicts
+    /// from `observe_records`, and the same exported `StreamState` —
+    /// including widths far above the record count (mostly-empty shards).
+    #[test]
+    fn sharded_serving_is_bit_identical(
+        shards in 1usize..10,
+        start in 0usize..256,
+        len in 0usize..512,
+    ) {
+        let (bundle, records) = serving_fixture();
+        let window = &records[start.min(records.len())..(start + len).min(records.len())];
+
+        let reference = Engine::from_bytes(bundle).unwrap();
+        let expected_scores = reference.score_records(window).unwrap();
+        let expected_stream = reference.observe_records(window).unwrap();
+
+        let sharded = ShardedEngine::new(Engine::from_bytes(bundle).unwrap(), shards);
+        let scores = sharded.score_records(window).unwrap();
+        let stream = sharded.observe_records(window).unwrap();
+
+        prop_assert_eq!(scores.len(), expected_scores.len());
+        for (g, e) in scores.iter().zip(&expected_scores) {
+            prop_assert_eq!(g.score.to_bits(), e.score.to_bits());
+            prop_assert_eq!(g.anomalous, e.anomalous);
+            prop_assert_eq!(g.category, e.category);
+        }
+        prop_assert_eq!(stream.len(), expected_stream.len());
+        for (g, e) in stream.iter().zip(&expected_stream) {
+            prop_assert_eq!(g.score.to_bits(), e.score.to_bits());
+            prop_assert_eq!(g.anomalous, e.anomalous);
+            // NaN threshold during warmup compares bitwise, not by ==.
+            prop_assert_eq!(g.threshold.to_bits(), e.threshold.to_bits());
+        }
+
+        let a = sharded.stream_state();
+        let b = reference.stream_state();
+        prop_assert_eq!(a.seen, b.seen);
+        prop_assert_eq!(a.flagged, b.flagged);
+        prop_assert_eq!(a.tracked, b.tracked);
+        prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        prop_assert_eq!(a.m2.to_bits(), b.m2.to_bits());
     }
 }

@@ -42,6 +42,21 @@ const TENANTS: [(&str, u64); 3] = [("edge-eu", 11), ("edge-us", 23), ("core-dc",
 /// Streaming warmup: short enough that the example gets past it.
 const WARMUP: u64 = 200;
 
+/// Shard width for the serving loop: `GHSOM_SHARDS` if set, else the
+/// host's core count. Width 1 degenerates to the plain inline engine,
+/// so the knob is safe to leave unset on small machines.
+fn shard_width() -> usize {
+    std::env::var("GHSOM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
 fn fit_tenant_engine(seed: u64, n_train: usize) -> Result<Engine, Box<dyn std::error::Error>> {
     let (train, _) = traffic::synth::kdd_train_test(n_train, 10, seed)?;
     let config = EngineConfig::default()
@@ -124,8 +139,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Serve an interleaved stream -------------------------------------
     let (_, stream_data) = traffic::synth::kdd_train_test(10, 6_000, 99)?;
     let records = stream_data.records();
+    let shards = shard_width();
     println!(
-        "\nscoring {} records round-robin across tenants …",
+        "\nscoring {} records round-robin across tenants ({shards}-shard serving plane) …",
         records.len()
     );
     let t0 = Instant::now();
@@ -133,10 +149,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut swap_seen_at: Option<StreamStats> = None;
     for (i, chunk) in records.chunks(512).enumerate() {
         let tenant = TENANTS[i % TENANTS.len()].0;
-        // One batch = one engine generation; re-resolving per batch is
-        // what makes hot swaps visible mid-stream.
+        // One batch = one engine generation: `sharded` pins the current
+        // generation behind a cheap per-batch view, so re-resolving per
+        // batch is what makes hot swaps visible mid-stream — exactly as
+        // with the plain `registry.observe_records` path, but the
+        // stateless scoring pass fans out across `shards` workers.
         flagged += registry
-            .observe_records(tenant, chunk)?
+            .sharded(tenant, shards)?
+            .observe_records(chunk)?
             .iter()
             .filter(|v| v.anomalous)
             .count();

@@ -132,7 +132,7 @@ pub mod prelude {
     pub use ghsom_core::{GhsomConfig, GhsomModel, Scorer};
     pub use ghsom_serve::{
         Compile, CompiledGhsom, Engine, EngineBuilder, EngineConfig, EngineRegistry, MappedFile,
-        ServeError, SnapshotView, SpoolEvent, SpoolWatcher,
+        ServeError, ShardedEngine, SnapshotView, SpoolEvent, SpoolWatcher,
     };
     pub use traffic::{self, AttackCategory, AttackType, ConnectionRecord, Dataset};
 }

@@ -267,3 +267,110 @@ proptest! {
         }
     }
 }
+
+/// The acceptance loop of ISSUE 6's sharding criterion: the hot-reload
+/// subsystem works **unchanged** through the sharded serving plane. A
+/// daemon that re-resolves a `ShardedEngine` view per batch
+/// (`EngineRegistry::sharded`) keeps serving across a `SpoolWatcher`
+/// swap under concurrent sharded traffic, and the carried baseline
+/// continues bit-identically through the sharded view — counters, mean,
+/// and a warm (finite) adaptive threshold on the very next burst.
+#[test]
+fn watcher_swap_serves_sharded_traffic_with_carried_baseline() {
+    const WARMUP: u64 = 40;
+    const SHARDS: usize = 4;
+    let spool = temp_spool("sharded");
+    let registry = Arc::new(EngineRegistry::new());
+    let mut watcher = SpoolWatcher::new(Arc::clone(&registry), &spool);
+
+    let (engine_a, test) = small_engine(11, 500, WARMUP);
+    publish(&spool, "prod", &engine_a.to_bytes());
+    let events = watcher.poll_once().unwrap();
+    assert!(
+        matches!(&events[..], [SpoolEvent::Deployed { tenant, .. }] if tenant == "prod"),
+        "{events:?}"
+    );
+
+    // Stream sharded bursts until the threshold is warm, re-resolving
+    // the sharded view per batch exactly like a serving daemon.
+    let records = Arc::new(test.records().to_vec());
+    while registry.get("prod").unwrap().stream_stats().tracked <= WARMUP {
+        registry
+            .sharded("prod", SHARDS)
+            .unwrap()
+            .observe_records(&records[..256])
+            .unwrap();
+    }
+    let baseline = registry.get("prod").unwrap().stream_state();
+    assert!(baseline.tracked > WARMUP);
+
+    // Concurrent *sharded* scoring traffic: every burst must succeed and
+    // stay complete, before, during and after the swap.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scored = Arc::new(AtomicU64::new(0));
+    let scorers: Vec<_> = (0..2)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let scored = Arc::clone(&scored);
+            let records = Arc::clone(&records);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let verdicts = registry
+                        .sharded("prod", SHARDS)
+                        .expect("tenant must stay resolvable across a hot swap")
+                        .score_records(&records[..200])
+                        .expect("sharded scoring must never fail across a hot swap");
+                    assert_eq!(verdicts.len(), 200);
+                    scored.fetch_add(verdicts.len() as u64, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // Retrain and swap through the spool while sharded traffic flows.
+    let (retrained, _) = small_engine(12, 500, WARMUP);
+    publish(&spool, "prod", &retrained.to_bytes());
+    let swap_events = watcher.poll_once().unwrap();
+    match &swap_events[..] {
+        [SpoolEvent::Swapped {
+            tenant, carried, ..
+        }] => {
+            assert_eq!(tenant, "prod");
+            assert_eq!(carried.tracked, baseline.tracked);
+        }
+        other => panic!("expected a swap, got {other:?}"),
+    }
+
+    // Sharded scoring kept making progress across the swap.
+    let progress_mark = scored.load(Ordering::Relaxed);
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while scored.load(Ordering::Relaxed) <= progress_mark {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sharded scoring stalled across the hot swap"
+        );
+        std::thread::yield_now();
+    }
+
+    // The sharded view over the swapped engine serves the carried
+    // baseline bit-identically, and the very next sharded burst streams
+    // with a warm adaptive threshold instead of re-entering warmup.
+    let sharded = registry.sharded("prod", SHARDS).unwrap();
+    let carried = sharded.stream_state();
+    assert_eq!(carried.tracked, baseline.tracked);
+    assert_eq!(carried.seen, baseline.seen);
+    assert_eq!(carried.mean.to_bits(), baseline.mean.to_bits());
+    assert_eq!(carried.m2.to_bits(), baseline.m2.to_bits());
+    let verdicts = sharded.observe_records(&records[..256]).unwrap();
+    assert!(
+        verdicts[0].threshold.is_finite(),
+        "adaptive threshold cold-started through the sharded view"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    for h in scorers {
+        h.join().unwrap();
+    }
+    std::fs::remove_dir_all(&spool).ok();
+}
