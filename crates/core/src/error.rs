@@ -84,6 +84,12 @@ impl From<mathkit::MathError> for GhsomError {
                 name: "iterations",
                 reason: "underlying numerical routine failed to converge",
             },
+            // MathError is #[non_exhaustive]; map future variants to the
+            // least-specific bucket rather than silently renaming them.
+            _ => GhsomError::InvalidConfig {
+                name: "input",
+                reason: "underlying numerical routine failed",
+            },
         }
     }
 }

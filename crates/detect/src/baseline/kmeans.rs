@@ -114,7 +114,7 @@ impl KMeans {
             }
         }
         let rows: Vec<Vec<f64>> = chosen.iter().map(|&i| data.row(i).to_vec()).collect();
-        Matrix::from_rows(rows).expect("chosen rows are valid")
+        Matrix::from_rows(rows).expect("chosen rows are valid") // LINT-ALLOW(no-panic): chosen rows are equal-width rows copied from the validated input matrix
     }
 
     /// Number of clusters.

@@ -111,11 +111,7 @@ pub fn explain<M: Scorer + ?Sized>(
             }
         })
         .collect();
-    deviations.sort_by(|a, b| {
-        b.contribution
-            .partial_cmp(&a.contribution)
-            .expect("finite contributions")
-    });
+    deviations.sort_by(|a, b| b.contribution.total_cmp(&a.contribution));
     Ok(Explanation {
         leaf: (node, unit),
         leaf_qe: projection.leaf_qe(),

@@ -145,7 +145,7 @@ impl<M: Scorer> LabeledGhsomDetector<M> {
             let (label, count) = tally
                 .into_iter()
                 .max_by_key(|&(label, c)| (c, std::cmp::Reverse(label)))
-                .expect("tally is non-empty");
+                .expect("tally is non-empty"); // LINT-ALLOW(no-panic): tally entries are created only by incrementing a count, so each holds at least one label
             unit_labels.insert(key, label);
             confidence.insert(key, count as f64 / total as f64);
         }

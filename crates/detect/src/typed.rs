@@ -85,7 +85,7 @@ impl<M: Scorer> TypedGhsomClassifier<M> {
                 let (label, _) = tally
                     .into_iter()
                     .max_by_key(|&(label, c)| (c, std::cmp::Reverse(label)))
-                    .expect("tally non-empty");
+                    .expect("tally non-empty"); // LINT-ALLOW(no-panic): tally entries are created only by incrementing a count, so each holds at least one type
                 (key, label)
             })
             .collect();

@@ -54,6 +54,7 @@ pub fn flag_index(f: Flag) -> usize {
 /// the continuous features (a common SOM trick: with 50 one-hot columns and
 /// 38 continuous ones, unscaled indicators would dominate the Euclidean
 /// metric).
+// LINT-ALLOW(no-index): out is resized to start + dim first, and index < dim is the debug-asserted precondition every enum-derived caller satisfies
 pub fn push_one_hot(out: &mut Vec<f64>, index: usize, dim: usize, scale: f64) {
     debug_assert!(index < dim, "one-hot index out of range");
     let start = out.len();
@@ -91,6 +92,7 @@ pub const CATEGORICAL_DIM: usize = PROTOCOL_DIM + SERVICE_DIM + FLAG_DIM;
 ///
 /// Panics if `out.len() != CATEGORICAL_DIM`.
 #[inline]
+// LINT-ALLOW(no-index): slice length is asserted == CATEGORICAL_DIM and the *_index maps are enum-bounded within their blocks by construction
 pub fn write_categoricals(
     out: &mut [f64],
     protocol: Protocol,

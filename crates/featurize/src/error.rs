@@ -58,6 +58,12 @@ impl From<mathkit::MathError> for FeaturizeError {
                 name: "iterations",
                 reason: "underlying numerical routine failed to converge",
             },
+            // MathError is #[non_exhaustive]; map future variants to the
+            // least-specific bucket rather than silently renaming them.
+            _ => FeaturizeError::InvalidParameter {
+                name: "input",
+                reason: "underlying numerical routine failed",
+            },
         }
     }
 }

@@ -108,7 +108,7 @@ impl FeatureMatrix {
     #[inline]
     pub fn as_view(&self) -> MatrixView<'_> {
         MatrixView::new(self.rows, self.cols, &self.data)
-            .expect("FeatureMatrix maintains data.len() == rows * cols")
+            .expect("FeatureMatrix maintains data.len() == rows * cols") // LINT-ALLOW(no-panic): type invariant upheld by every constructor and reset()
     }
 
     /// Reshapes the buffer to `rows × cols`, reusing its allocation.

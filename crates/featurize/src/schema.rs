@@ -97,6 +97,7 @@ impl FeatureSchema {
     /// # Panics
     ///
     /// Panics if any index is out of bounds.
+    // LINT-ALLOW(no-index): documented panicking precondition; serving passes selector indices already bounded by the fitted schema width
     pub fn project(&self, indices: &[usize]) -> FeatureSchema {
         FeatureSchema {
             names: indices.iter().map(|&i| self.names[i].clone()).collect(),

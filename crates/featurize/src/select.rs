@@ -74,7 +74,7 @@ impl FeatureSelector {
         }
         let vars = data.col_variances();
         let mut order: Vec<usize> = (0..data.cols()).collect();
-        order.sort_by(|&a, &b| vars[b].partial_cmp(&vars[a]).expect("finite variances"));
+        order.sort_by(|&a, &b| vars[b].total_cmp(&vars[a]));
         let mut keep: Vec<usize> = order.into_iter().take(k).collect();
         keep.sort_unstable();
         Ok(FeatureSelector {
@@ -103,6 +103,7 @@ impl FeatureSelector {
     /// # Errors
     ///
     /// [`FeaturizeError::DimensionMismatch`] on width mismatch.
+    // LINT-ALLOW(no-index): keep indices are < input_dim by fit() construction and the row width is checked against input_dim above
     pub fn transform(&self, row: &[f64]) -> Result<Vec<f64>, FeaturizeError> {
         if row.len() != self.input_dim {
             return Err(FeaturizeError::DimensionMismatch {
@@ -135,6 +136,7 @@ impl FeatureSelector {
     ///
     /// [`FeaturizeError::DimensionMismatch`] when `data.cols()` disagrees
     /// with the fitted input width.
+    // LINT-ALLOW(no-index): keep indices are < input_dim by fit() construction and the view width is checked against input_dim above
     pub fn transform_batch(
         &self,
         data: MatrixView<'_>,

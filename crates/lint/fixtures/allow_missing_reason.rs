@@ -1,0 +1,7 @@
+//@ path: crates/serve/src/amr.rs
+//@ allow: no-panic@6
+//@ find: allow@5
+pub fn f(x: Option<u8>) -> u8 {
+    // LINT-ALLOW(no-panic):
+    x.unwrap()
+}

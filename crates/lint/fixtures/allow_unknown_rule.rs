@@ -1,0 +1,4 @@
+//@ path: crates/serve/src/au.rs
+//@ find: allow@3
+// LINT-ALLOW(bogus-rule): this rule does not exist
+pub fn f() {}

@@ -1,0 +1,4 @@
+//@ path: crates/serve/src/auu.rs
+//@ find: allow@3
+// LINT-ALLOW(no-panic): nothing on the next line needs this
+pub fn f() {}

@@ -1,0 +1,6 @@
+//@ path: crates/serve/src/r1.rs
+//@ find: safety-comment@5
+pub fn read(p: *const u8) -> u8 {
+    // A plain comment is not a SAFETY justification.
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/serve/src/r1ok.rs
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+
+// SAFETY: Wrapper holds no thread-affine state.
+unsafe impl Send for Wrapper {}
+pub struct Wrapper;

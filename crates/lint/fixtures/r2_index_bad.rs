@@ -1,0 +1,8 @@
+//@ path: crates/featurize/src/r2i.rs
+//@ find: no-index@7
+pub fn score_records(xs: &[f64]) -> f64 {
+    pick(xs)
+}
+pub fn pick(xs: &[f64]) -> f64 {
+    xs[0]
+}

@@ -1,0 +1,4 @@
+//@ path: crates/featurize/src/r2iu.rs
+pub fn island(xs: &[f64]) -> f64 {
+    xs[0]
+}

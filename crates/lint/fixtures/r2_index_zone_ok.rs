@@ -1,0 +1,7 @@
+//@ path: crates/mathkit/src/vector.rs
+pub fn score_records(xs: &[f64]) -> f64 {
+    kernel(xs)
+}
+pub fn kernel(xs: &[f64]) -> f64 {
+    xs[0]
+}

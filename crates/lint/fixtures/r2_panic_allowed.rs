@@ -1,0 +1,5 @@
+//@ path: crates/serve/src/r2a.rs
+//@ allow: no-panic@4
+pub fn a(x: Option<u8>) -> u8 {
+    x.unwrap() // LINT-ALLOW(no-panic): x is Some by construction in this fixture
+}

@@ -1,0 +1,21 @@
+//@ path: crates/detect/src/r2.rs
+//@ find: no-panic@8
+//@ find: no-panic@11
+//@ find: no-panic@14
+//@ find: no-panic@17
+//@ find: no-panic@20
+pub fn a(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+pub fn b(x: Option<u8>) -> u8 {
+    x.expect("msg")
+}
+pub fn c() {
+    panic!("boom")
+}
+pub fn d() {
+    todo!()
+}
+pub fn e() {
+    unimplemented!()
+}

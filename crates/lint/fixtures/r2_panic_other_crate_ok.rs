@@ -1,0 +1,4 @@
+//@ path: crates/traffic/src/r2o.rs
+pub fn parse(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

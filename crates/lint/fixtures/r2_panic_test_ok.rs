@@ -1,0 +1,13 @@
+//@ path: crates/mathkit/src/r2t.rs
+pub fn a(x: Option<u8>) -> Option<u8> {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        super::a(Some(1)).unwrap();
+        panic!("so is panicking");
+    }
+}

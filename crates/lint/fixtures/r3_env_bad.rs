@@ -1,0 +1,9 @@
+//@ path: crates/bench/src/other.rs
+//@ find: env-guard@5
+//@ find: env-guard@8
+pub fn set() {
+    std::env::set_var("GHSOM_THREADS", "1");
+}
+pub fn unset() {
+    std::env::remove_var("GHSOM_THREADS");
+}

@@ -1,0 +1,4 @@
+//@ path: crates/bench/src/pin.rs
+pub fn set() {
+    std::env::set_var("GHSOM_THREADS", "1");
+}

@@ -1,0 +1,8 @@
+//@ path: crates/eval/src/r4.rs
+//@ find: error-enum@6
+//@ find: error-enum@6
+//@ find: error-enum@6
+#[derive(Debug)]
+pub enum BadError {
+    Oops,
+}

@@ -1,0 +1,12 @@
+//@ path: crates/eval/src/r4ok.rs
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GoodError {
+    Oops,
+}
+impl std::fmt::Display for GoodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "oops")
+    }
+}
+impl std::error::Error for GoodError {}

@@ -1,0 +1,5 @@
+//@ path: crates/serve/src/snapshot.rs
+//@ allow: cast@4
+pub fn widen(x: usize) -> u64 {
+    x as u64 // LINT-ALLOW(cast): usize to u64 is lossless on every supported target
+}

@@ -1,0 +1,5 @@
+//@ path: crates/serve/src/snapshot.rs
+//@ find: cast@4
+pub fn widen(x: usize) -> u64 {
+    x as u64
+}

@@ -1,0 +1,4 @@
+//@ path: crates/serve/src/engine.rs
+pub fn widen(x: usize) -> u64 {
+    x as u64
+}

@@ -1,0 +1,397 @@
+//! A hand-rolled Rust lexer: tokens + comments with line numbers.
+//!
+//! The offline build container has no `syn`/`dylint`, so `ghsom-lint`
+//! lexes source text directly — the same way `shims/serde_derive`
+//! hand-rolls its proc-macro. The lexer's one job is to be *sound about
+//! boundaries*: a `.unwrap()` inside a string literal, a doc-comment
+//! example, or a nested block comment must never surface as a token,
+//! and a `'a` lifetime must never swallow the code after it the way a
+//! misread char literal would. Everything a rule matches on is a real
+//! code token.
+//!
+//! Handled: line and (nested) block comments, string literals with
+//! escapes, raw strings with arbitrary `#` fences (`r#"…"#`), byte and
+//! raw-byte strings, C strings, char literals (incl. `'\u{…}'`),
+//! lifetimes and loop labels, raw identifiers (`r#type`), numeric
+//! literals (enough to never misparse `0..n` as a float), and
+//! single-char punctuation. See `tests/lexer_torture.rs` for the
+//! adversarial corpus.
+
+/// A lexed token. Literal *contents* are deliberately dropped: rules
+/// only ever match identifier spellings and punctuation shapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword. Raw identifiers keep their `r#` prefix so
+    /// `r#unsafe` can never match the `unsafe` keyword.
+    Ident(String),
+    /// `'a` in types/generics, or a loop label.
+    Lifetime(String),
+    /// Numeric literal (spelling kept only for diagnostics).
+    Num(String),
+    /// Any string, raw-string, byte-string, C-string or char literal.
+    Str,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A comment (line or block, doc or plain) with its line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//`/`/*` markers.
+    pub text: String,
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (equals `line` for line comments).
+    pub end_line: u32,
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lexes `src` into `(tokens, comments)`.
+///
+/// Never panics on any input: unterminated constructs simply run to end
+/// of file (the rules operate on whatever tokens precede the breakage,
+/// and `rustc` itself rejects such files long before CI reaches us).
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    Lexer {
+        b: src.as_bytes(),
+        src,
+        i: 0,
+        line: 1,
+        toks: Vec::new(),
+        comments: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    src: &'a str,
+    i: usize,
+    line: u32,
+    toks: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.b.get(self.i + ahead).copied().unwrap_or(0)
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.toks.push(Token {
+            tok,
+            line: self.line,
+        });
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Comment>) {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.i += 1,
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => {
+                    self.i += 1;
+                    self.string_body();
+                    self.push(Tok::Str);
+                }
+                b'\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                _ => {
+                    self.push(Tok::Punct(c as char));
+                    self.i += 1;
+                }
+            }
+        }
+        (self.toks, self.comments)
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.comments.push(Comment {
+            text: self.src[start..self.i].to_string(),
+            line: self.line,
+            end_line: self.line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let start_line = self.line;
+        let mut depth = 1usize;
+        self.i += 2;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.i += 2;
+            } else if self.b[self.i] == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                if self.b[self.i] == b'\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        self.comments.push(Comment {
+            text: self.src[start..self.i].to_string(),
+            line: start_line,
+            end_line: self.line,
+        });
+    }
+
+    /// Body of a `"…"` string, cursor already past the opening quote.
+    fn string_body(&mut self) {
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                _ => self.i += 1,
+            }
+        }
+    }
+
+    /// Raw string with `hashes` fence characters, cursor past `r#*"`.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'\n' {
+                self.line += 1;
+                self.i += 1;
+                continue;
+            }
+            if self.b[self.i] == b'"'
+                && self.b[self.i + 1..]
+                    .iter()
+                    .take_while(|&&c| c == b'#')
+                    .count()
+                    >= hashes
+            {
+                self.i += 1 + hashes;
+                return;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // Cursor at the opening `'`.
+        let n1 = self.peek(1);
+        if n1 == b'\\' {
+            // Escaped char literal: skip to the closing quote (handles
+            // `'\u{1F600}'`, `'\''`, `'\\'`).
+            self.i += 2; // past ' and backslash
+            if self.peek(0) == b'u' && self.peek(1) == b'{' {
+                while self.i < self.b.len() && self.b[self.i] != b'}' {
+                    self.i += 1;
+                }
+            }
+            self.i += 1; // the escaped char (or `}`)
+            if self.peek(0) == b'\'' {
+                self.i += 1;
+            }
+            self.push(Tok::Str);
+            return;
+        }
+        if is_ident_start(n1) {
+            // `'a'` is a char literal; `'a` / `'static` is a lifetime.
+            let mut j = self.i + 1;
+            while j < self.b.len() && is_ident_continue(self.b[j]) {
+                j += 1;
+            }
+            if self.b.get(j) == Some(&b'\'') {
+                self.push(Tok::Str);
+                self.i = j + 1;
+            } else {
+                let name = self.src[self.i + 1..j].to_string();
+                self.push(Tok::Lifetime(name));
+                self.i = j;
+            }
+            return;
+        }
+        // `'"'`, `'1'`, `' '`, multi-byte chars: scan to the closing
+        // quote (its 0x27 byte cannot appear inside UTF-8 continuation
+        // bytes).
+        self.i += 1;
+        while self.i < self.b.len() && self.b[self.i] != b'\'' {
+            self.i += 1;
+        }
+        self.i += 1;
+        self.push(Tok::Str);
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        while self.i < self.b.len() && (is_ident_continue(self.b[self.i])) {
+            self.i += 1;
+        }
+        // A fractional part only when `.` is followed by a digit —
+        // leaves `0..n` and `1.max(2)` intact.
+        if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            self.i += 1;
+            while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                self.i += 1;
+            }
+        }
+        let text = self.src[start..self.i].to_string();
+        self.push(Tok::Num(text));
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let c = self.b[self.i];
+        // Raw strings / raw identifiers.
+        if c == b'r' {
+            if self.peek(1) == b'"' {
+                self.i += 2;
+                self.raw_string_body(0);
+                self.push(Tok::Str);
+                return;
+            }
+            if self.peek(1) == b'#' {
+                let hashes = self.b[self.i + 1..]
+                    .iter()
+                    .take_while(|&&c| c == b'#')
+                    .count();
+                if self.peek(1 + hashes) == b'"' {
+                    self.i += 2 + hashes;
+                    self.raw_string_body(hashes);
+                    self.push(Tok::Str);
+                    return;
+                }
+                if hashes == 1 && is_ident_start(self.peek(2)) {
+                    // Raw identifier: keep the prefix so `r#unsafe`
+                    // never matches the `unsafe` keyword.
+                    let start = self.i;
+                    self.i += 2;
+                    while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+                        self.i += 1;
+                    }
+                    let text = self.src[start..self.i].to_string();
+                    self.push(Tok::Ident(text));
+                    return;
+                }
+            }
+        }
+        // Byte / raw-byte / C strings and byte chars.
+        if c == b'b' || c == b'c' {
+            if self.peek(1) == b'"' {
+                self.i += 2;
+                self.string_body();
+                self.push(Tok::Str);
+                return;
+            }
+            if c == b'b' && self.peek(1) == b'\'' {
+                self.i += 1;
+                self.char_or_lifetime();
+                return;
+            }
+            if c == b'b' && self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') {
+                let hashes = self.b[self.i + 2..]
+                    .iter()
+                    .take_while(|&&c| c == b'#')
+                    .count();
+                if self.peek(2 + hashes) == b'"' {
+                    self.i += 3 + hashes;
+                    self.raw_string_body(hashes);
+                    self.push(Tok::Str);
+                    return;
+                }
+            }
+        }
+        let start = self.i;
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.i += 1;
+        }
+        let text = self.src[start..self.i].to_string();
+        self.push(Tok::Ident(text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_tokens() {
+        let src = r##"
+            let a = "unsafe unwrap()"; // unsafe in a comment
+            /* panic!("no") */
+            let b = r#"expect("x")"#;
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"let".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"expect".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lifetime(_)))
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let strs = toks.iter().filter(|t| t.tok == Tok::Str).count();
+        assert_eq!(strs, 1);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "/*\n\n*/\nfn f() {}\n\"a\nb\"\nbar";
+        let (toks, comments) = lex(src);
+        assert_eq!(comments[0].line, 1);
+        assert_eq!(comments[0].end_line, 3);
+        assert_eq!(toks[0].line, 4); // fn
+        let bar = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("bar".into()))
+            .unwrap();
+        assert_eq!(bar.line, 7);
+    }
+}

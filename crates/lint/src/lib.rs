@@ -1,0 +1,130 @@
+//! `ghsom-lint` — workspace-invariant static analysis for the GHSOM
+//! serving plane.
+//!
+//! The serving stack carries hot-reload, sharded multi-core scoring and
+//! two documented `unsafe` islands; a stray `unwrap()` or an unguarded
+//! `std::env::set_var` there turns hostile input into a fleet-wide
+//! panic. This tool machine-checks the conventions reviewers previously
+//! enforced by memory, as five CI-gated rules (normative text in
+//! `docs/LINT.md`):
+//!
+//! * **R1 `safety-comment`** — every `unsafe` is immediately preceded
+//!   by a `// SAFETY:` comment.
+//! * **R2 `no-panic` / `no-index`** — panic-freedom of the serving-path
+//!   crates: no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!`
+//!   in non-test code of `serve`/`detect`/`featurize`/`mathkit`, and no
+//!   slice indexing in `pub fn`s name-reachable from
+//!   `Engine::score_records`/`observe_records` outside the audited
+//!   checked-kernel zones.
+//! * **R3 `env-guard`** — `set_var`/`remove_var` confined to
+//!   `bench::pin::PinnedThreads`.
+//! * **R4 `error-enum`** — every `pub enum *Error` is
+//!   `#[non_exhaustive]` and implements `Display` + `std::error::Error`.
+//! * **R5 `cast`** — no `as` numeric casts inside the snapshot trust
+//!   boundary; width adaptation goes through checked helpers.
+//!
+//! Deliberate exceptions use `// LINT-ALLOW(<rule>): <reason>` (the reason
+//! is mandatory and recorded in the report), so every escape hatch is
+//! an audited, greppable artifact rather than silence.
+//!
+//! Everything is built on a hand-rolled lexer ([`lexer`]) — the offline
+//! container forbids `syn`/`dylint` — which is exactly enough syntax
+//! for line-accurate, string-safe token matching.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod reach;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use report::LintResult;
+use source::SourceFile;
+
+/// Directories scanned relative to the workspace root. `crates/*` is
+/// expanded to each crate's `src`, `tests` and `benches` trees;
+/// `shims/` is excluded (vendored dependency stand-ins, not this
+/// repo's invariants) and so is `crates/lint/fixtures` (known-bad
+/// corpus by design).
+const ROOT_DIRS: [&str; 3] = ["src", "examples", "tests"];
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lists every workspace-relative `.rs` path in scan scope, sorted.
+pub fn scan_paths(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut abs = Vec::new();
+    for d in ROOT_DIRS {
+        let p = root.join(d);
+        if p.is_dir() {
+            walk(&p, &mut abs)?;
+        }
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            let krate = entry?.path();
+            if !krate.is_dir() {
+                continue;
+            }
+            for sub in ["src", "tests", "benches"] {
+                let p = krate.join(sub);
+                if p.is_dir() {
+                    walk(&p, &mut abs)?;
+                }
+            }
+        }
+    }
+    let mut rel: Vec<PathBuf> = abs
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).ok().map(PathBuf::from))
+        .collect();
+    rel.sort();
+    rel.dedup();
+    Ok(rel)
+}
+
+/// Lints pre-loaded `(workspace-relative path, contents)` pairs — the
+/// entry point the fixture tests drive directly.
+pub fn lint_sources(sources: &[(String, String)]) -> LintResult {
+    let files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(path, src)| SourceFile::parse(path, src))
+        .collect();
+    LintResult {
+        findings: rules::run(&files),
+        files_scanned: files.len(),
+    }
+}
+
+/// Scans and lints the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// [`io::Error`] when a scanned directory or file cannot be read.
+pub fn lint_workspace(root: &Path) -> io::Result<LintResult> {
+    let mut sources = Vec::new();
+    for rel in scan_paths(root)? {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let path = rel
+            .to_string_lossy()
+            .replace(std::path::MAIN_SEPARATOR, "/");
+        sources.push((path, text));
+    }
+    Ok(lint_sources(&sources))
+}

@@ -1,0 +1,93 @@
+//! CLI for `ghsom-lint`.
+//!
+//! ```text
+//! cargo run -p ghsom-lint -- [--root DIR] [--report text|json] [--out FILE]
+//! ```
+//!
+//! Exit codes: `0` — no unallowed findings; `1` — at least one
+//! unallowed finding; `2` — usage or I/O error. The human summary goes
+//! to stderr so `--report json > report.json` stays machine-clean.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ghsom_lint::report;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut format = "text".to_string();
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--report" => match args.next().as_deref() {
+                Some("text") => format = "text".to_string(),
+                Some("json") => format = "json".to_string(),
+                _ => return usage("--report takes `text` or `json`"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage("--out needs a value"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "ghsom-lint [--root DIR] [--report text|json] [--out FILE]\n{}",
+                    rule_list()
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    let res = match ghsom_lint::lint_workspace(&root) {
+        Ok(res) => res,
+        Err(e) => {
+            eprintln!("ghsom-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = match format.as_str() {
+        "json" => report::render_json(&res),
+        _ => report::render_text(&res),
+    };
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("ghsom-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{rendered}"),
+    }
+    let unallowed = res.unallowed().count();
+    eprintln!(
+        "ghsom-lint: {} files, {} findings, {} unallowed",
+        res.files_scanned,
+        res.findings.len(),
+        unallowed
+    );
+    if unallowed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn rule_list() -> String {
+    ghsom_lint::rules::RULES
+        .iter()
+        .map(|(name, desc)| format!("  {name:<15} {desc}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!(
+        "ghsom-lint: {err}\nusage: ghsom-lint [--root DIR] [--report text|json] [--out FILE]"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,90 @@
+//! Name-based reachability over the workspace call graph.
+//!
+//! The lexer cannot resolve paths or trait dispatch, so reachability is
+//! computed on *function names*: an edge `f → g` exists when some body
+//! of a function named `f` contains the identifier `g` directly
+//! followed by `(`. Starting from the serving entry points
+//! (`Engine::score_records` / `observe_records`), the closure of those
+//! edges — restricted to names actually defined in the scanned files —
+//! over-approximates the set of functions a serving call can reach.
+//!
+//! Over-approximation is the safe direction for a deny rule: a function
+//! that merely *shares a name* with a hot-path callee is held to the
+//! hot path's standard. The inverse (missing a real edge) can happen
+//! only through function pointers/closures passed across crates, which
+//! the serving plane does not do on its record path.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::source::SourceFile;
+
+/// The serving-plane entry points every R2 obligation flows from.
+pub const SEEDS: [&str; 2] = ["score_records", "observe_records"];
+
+/// Computes the set of function names reachable from `seeds` through
+/// the files for which `in_scope` holds.
+pub fn reachable_fns(
+    files: &[SourceFile],
+    seeds: &[&str],
+    mut in_scope: impl FnMut(&SourceFile) -> bool,
+) -> BTreeSet<String> {
+    let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for f in files.iter() {
+        if !in_scope(f) {
+            continue;
+        }
+        for item in &f.fns {
+            // Test-gated fns (fixtures, helpers) must contribute neither
+            // definitions nor edges: a test helper that calls
+            // `Engine::fit` would otherwise drag the whole training
+            // plane into the serving-reachable set through any shared
+            // method name.
+            if f.in_test(item.sig_line) {
+                continue;
+            }
+            let entry = edges.entry(item.name.as_str()).or_default();
+            entry.extend(item.calls.iter().map(String::as_str));
+        }
+    }
+    let mut reached: BTreeSet<String> = BTreeSet::new();
+    let mut frontier: Vec<&str> = seeds
+        .iter()
+        .copied()
+        .filter(|s| edges.contains_key(s))
+        .collect();
+    for s in &frontier {
+        reached.insert((*s).to_string());
+    }
+    while let Some(name) = frontier.pop() {
+        let Some(callees) = edges.get(name) else {
+            continue;
+        };
+        for &callee in callees {
+            // Only names *defined* in scope are functions; everything
+            // else (std methods, macros-turned-calls) is a leaf.
+            if edges.contains_key(callee) && reached.insert(callee.to_string()) {
+                frontier.push(callee);
+            }
+        }
+    }
+    reached
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_follows_defined_names_only() {
+        let a = SourceFile::parse(
+            "crates/serve/src/a.rs",
+            "pub fn score_records() { helper(); missing(); }\nfn helper() { leaf(); }\nfn leaf() {}\nfn island() {}\n",
+        );
+        let set = reachable_fns(&[a], &SEEDS, |_| true);
+        assert!(set.contains("score_records"));
+        assert!(set.contains("helper"));
+        assert!(set.contains("leaf"));
+        assert!(!set.contains("missing"));
+        assert!(!set.contains("island"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Finding reports: human-readable text and machine-readable JSON.
+//!
+//! The JSON writer is hand-rolled (std only — the tool must not depend
+//! on workspace shims it also lints). Schema:
+//!
+//! ```json
+//! {
+//!   "tool": "ghsom-lint",
+//!   "summary": { "files": 93, "findings": 40, "unallowed": 0, "allowed": 40 },
+//!   "rules": [ { "rule": "no-panic", "description": "…" } ],
+//!   "index_exempt_zones": [ { "file": "…", "reason": "…" } ],
+//!   "findings": [
+//!     { "file": "crates/serve/src/engine.rs", "line": 484,
+//!       "rule": "no-panic", "message": "…",
+//!       "allowed": true, "reason": "…" }
+//!   ]
+//! }
+//! ```
+
+use crate::rules::{Finding, INDEX_EXEMPT_ZONES, RULES};
+
+/// Scan metadata alongside the findings.
+#[derive(Debug)]
+pub struct LintResult {
+    /// Every finding, allowed or not, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintResult {
+    /// Findings not covered by a `LINT-ALLOW` — what the exit code and
+    /// CI gate count.
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none())
+    }
+}
+
+/// Escapes `s` for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable JSON report.
+pub fn render_json(res: &LintResult) -> String {
+    let unallowed = res.unallowed().count();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"ghsom-lint\",\n");
+    out.push_str(&format!(
+        "  \"summary\": {{ \"files\": {}, \"findings\": {}, \"unallowed\": {}, \"allowed\": {} }},\n",
+        res.files_scanned,
+        res.findings.len(),
+        unallowed,
+        res.findings.len() - unallowed
+    ));
+    out.push_str("  \"rules\": [\n");
+    for (i, (rule, desc)) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"rule\": \"{}\", \"description\": \"{}\" }}{}\n",
+            esc(rule),
+            esc(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"index_exempt_zones\": [\n");
+    for (i, (file, reason)) in INDEX_EXEMPT_ZONES.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"file\": \"{}\", \"reason\": \"{}\" }}{}\n",
+            esc(file),
+            esc(reason),
+            if i + 1 < INDEX_EXEMPT_ZONES.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in res.findings.iter().enumerate() {
+        let reason = match &f.allowed {
+            Some(r) => format!("\"{}\"", esc(r)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{ \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"allowed\": {}, \"reason\": {} }}{}\n",
+            esc(&f.file),
+            f.line,
+            esc(f.rule),
+            esc(&f.message),
+            f.allowed.is_some(),
+            reason,
+            if i + 1 < res.findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable text report.
+pub fn render_text(res: &LintResult) -> String {
+    let mut out = String::new();
+    for f in &res.findings {
+        match &f.allowed {
+            Some(reason) => out.push_str(&format!(
+                "allowed  {}:{} [{}] {} (reason: {})\n",
+                f.file, f.line, f.rule, f.message, reason
+            )),
+            None => out.push_str(&format!(
+                "FINDING  {}:{} [{}] {}\n",
+                f.file, f.line, f.rule, f.message
+            )),
+        }
+    }
+    let unallowed = res.unallowed().count();
+    out.push_str(&format!(
+        "ghsom-lint: {} files, {} findings ({} unallowed, {} allowed)\n",
+        res.files_scanned,
+        res.findings.len(),
+        unallowed,
+        res.findings.len() - unallowed
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let res = LintResult {
+            findings: vec![Finding {
+                file: "a\\b.rs".to_string(),
+                line: 3,
+                rule: "no-panic",
+                message: "say \"no\"".to_string(),
+                allowed: None,
+            }],
+            files_scanned: 1,
+        };
+        let json = render_json(&res);
+        assert!(json.contains("\"unallowed\": 1"));
+        assert!(json.contains("a\\\\b.rs"));
+        assert!(json.contains("say \\\"no\\\""));
+    }
+}

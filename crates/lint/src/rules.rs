@@ -1,0 +1,467 @@
+//! The rule set (R1–R5) and the driver that applies it.
+//!
+//! Normative rule descriptions live in `docs/LINT.md`; this module is
+//! the executable version. Scope conventions used below:
+//!
+//! * *serving crates* — `serve`, `detect`, `featurize`, `mathkit`: the
+//!   crates on the record→vector→walk→verdict path.
+//! * *non-test* — outside any `#[cfg(test)]`-gated item, and not under
+//!   a crate's `tests/` or `benches/` directory.
+//! * Every rule except `allow` honors a `// LINT-ALLOW(<rule>): <reason>`
+//!   escape hatch (same line, directly above, or attached to the
+//!   enclosing `fn`); allowed findings stay in the report with their
+//!   reason. The `allow` rule polices the escape hatch itself: empty
+//!   reasons, unknown rule names and unused allows are findings.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::Tok;
+use crate::reach::{reachable_fns, SEEDS};
+use crate::source::SourceFile;
+
+/// Rule identifiers with their one-line descriptions, in R-number order
+/// (`allow` is the meta rule policing the escape hatch).
+pub const RULES: [(&str, &str); 7] = [
+    (
+        "safety-comment",
+        "R1: every `unsafe` block/fn/impl/trait is immediately preceded by a `// SAFETY:` comment",
+    ),
+    (
+        "no-panic",
+        "R2: no unwrap()/expect()/panic!/todo!/unimplemented! in non-test serving-crate code",
+    ),
+    (
+        "no-index",
+        "R2: no slice/array indexing in pub fns reachable from Engine::score_records/observe_records (outside checked-kernel zones)",
+    ),
+    (
+        "env-guard",
+        "R3: std::env::set_var/remove_var confined to bench::pin::PinnedThreads",
+    ),
+    (
+        "error-enum",
+        "R4: every pub enum *Error is #[non_exhaustive] and implements Display + std::error::Error",
+    ),
+    (
+        "cast",
+        "R5: no `as` numeric casts inside the snapshot trust boundary (checked helpers instead)",
+    ),
+    (
+        "allow",
+        "meta: LINT-ALLOW must name a known rule, carry a non-empty reason, and match a finding",
+    ),
+];
+
+/// Crates on the serving path (R2 scope).
+const SERVING_CRATES: [&str; 4] = ["serve", "detect", "featurize", "mathkit"];
+
+/// The one file allowed to touch `GHSOM_THREADS` via set_var/remove_var.
+const ENV_GUARD_FILE: &str = "crates/bench/src/pin.rs";
+
+/// Files forming the snapshot trust boundary (R5 scope): code that
+/// turns untrusted bytes into structured values.
+const TRUST_BOUNDARY_FILES: [&str; 1] = ["crates/serve/src/snapshot.rs"];
+
+/// Checked-kernel zones exempt from `no-index`, with the justification
+/// recorded verbatim in the JSON report. These files index heavily by
+/// construction-proven offsets; their bounds are property-tested
+/// (bit-identical tree-vs-arena walks, transform equivalence) and their
+/// *inputs* are validated at the trust boundary before any walk starts.
+pub const INDEX_EXEMPT_ZONES: [(&str, &str); 7] = [
+    (
+        "crates/mathkit/src/distance.rs",
+        "4-lane unrolled distance kernels: chunks_exact(4) bounds the lane index and the scalar tails slice from len()-derived offsets",
+    ),
+    (
+        "crates/serve/src/compiled.rs",
+        "arena walk: offsets come from prefix-sum tables validated by ArenaRef::validate() before serving; walks are property-tested bit-identical to the tree",
+    ),
+    (
+        "crates/mathkit/src/batch.rs",
+        "BMU kernels: tile offsets derive from packed_len()/GROUP arithmetic; equivalence to the naive scan is property-tested",
+    ),
+    (
+        "crates/mathkit/src/vector.rs",
+        "dense vector kernels over equal-length slices, length-checked at entry",
+    ),
+    (
+        "crates/mathkit/src/matrix.rs",
+        "row-major matrix accessors: row bounds are the constructor invariant rows*cols == data.len()",
+    ),
+    (
+        "crates/featurize/src/matrix.rs",
+        "FeatureMatrix keeps data.len() == rows*cols by construction; reset() reshapes before any write",
+    ),
+    (
+        "crates/featurize/src/pipeline.rs",
+        "batch transform writes through pre-shaped row windows; shape is established once per batch",
+    ),
+];
+
+/// Names that look like `.unwrap()` / `.expect(` method calls.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Macro names R2 denies.
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+/// Primitive numeric types an `as` cast to which R5 flags.
+const NUMERIC_PRIMS: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// One rule violation (or recorded allowance).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier from [`RULES`].
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// `Some(reason)` when a `LINT-ALLOW` covers the finding — recorded
+    /// in the report, not counted against the exit code.
+    pub allowed: Option<String>,
+}
+
+/// Crate name a workspace-relative path belongs to (`None` for files
+/// outside any crate, e.g. the root `tests/`).
+fn crate_of(path: &str) -> Option<&str> {
+    if path.starts_with("src/") {
+        return Some("ghsom-suite");
+    }
+    let rest = path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// Whether `path` is production source (a `src/` tree, not `tests/`
+/// or `benches/`).
+fn is_prod_src(path: &str) -> bool {
+    path.starts_with("src/") || (path.starts_with("crates/") && path.contains("/src/"))
+}
+
+fn in_serving_crate(path: &str) -> bool {
+    crate_of(path).is_some_and(|c| SERVING_CRATES.contains(&c))
+}
+
+/// Applies every rule to `files` (all of them pre-parsed) and resolves
+/// `LINT-ALLOW` coverage, including the meta checks on the allows
+/// themselves. Findings come back sorted by (file, line, rule).
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let reachable = reachable_fns(files, &SEEDS, |f| {
+        in_serving_crate(&f.path) && is_prod_src(&f.path)
+    });
+    let mut findings = Vec::new();
+    // Per-file, per-allow usage tracking for the unused-allow check.
+    let mut used: Vec<Vec<bool>> = files.iter().map(|f| vec![false; f.allows.len()]).collect();
+    for (fi, f) in files.iter().enumerate() {
+        let mut raw = Vec::new();
+        safety_comment(f, &mut raw);
+        no_panic(f, &mut raw);
+        no_index(f, &reachable, &mut raw);
+        env_guard(f, &mut raw);
+        error_enum(f, files, &mut raw);
+        cast(f, &mut raw);
+        for mut finding in raw {
+            if let Some(ai) = f.allow_for(finding.rule, finding.line) {
+                used[fi][ai] = true;
+                finding.allowed = Some(f.allows[ai].reason.clone());
+            }
+            findings.push(finding);
+        }
+    }
+    // Meta rule: police the escape hatches themselves.
+    let known: BTreeSet<&str> = RULES.iter().map(|(n, _)| *n).collect();
+    for (fi, f) in files.iter().enumerate() {
+        for (ai, a) in f.allows.iter().enumerate() {
+            if !known.contains(a.rule.as_str()) {
+                findings.push(Finding {
+                    file: f.path.clone(),
+                    line: a.line,
+                    rule: "allow",
+                    message: format!("LINT-ALLOW names unknown rule `{}`", a.rule),
+                    allowed: None,
+                });
+            } else if a.reason.is_empty() {
+                findings.push(Finding {
+                    file: f.path.clone(),
+                    line: a.line,
+                    rule: "allow",
+                    message: format!("LINT-ALLOW({}) without a reason", a.rule),
+                    allowed: None,
+                });
+            } else if !used[fi][ai] {
+                findings.push(Finding {
+                    file: f.path.clone(),
+                    line: a.line,
+                    rule: "allow",
+                    message: format!(
+                        "unused LINT-ALLOW({}): no matching finding on the next code line",
+                        a.rule
+                    ),
+                    allowed: None,
+                });
+            }
+        }
+    }
+    findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    findings
+}
+
+/// R1 — every `unsafe` token needs a `// SAFETY:` comment directly
+/// above (attributes/blank lines/other comments may intervene).
+/// Applies everywhere, including tests: unsafe is unsafe.
+fn safety_comment(f: &SourceFile, out: &mut Vec<Finding>) {
+    for t in &f.tokens {
+        if t.tok != Tok::Ident("unsafe".to_string()) {
+            continue;
+        }
+        if !f.has_safety_comment(t.line) {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "safety-comment",
+                message: "`unsafe` without an immediately preceding `// SAFETY:` comment"
+                    .to_string(),
+                allowed: None,
+            });
+        }
+    }
+}
+
+/// R2 (panic half) — no panicking constructs in non-test serving-crate
+/// production code.
+fn no_panic(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !(in_serving_crate(&f.path) && is_prod_src(&f.path)) {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if f.in_test(t.line) {
+            continue;
+        }
+        let next = f.tokens.get(i + 1).map(|t| &t.tok);
+        let prev = i.checked_sub(1).map(|p| &f.tokens[p].tok);
+        let hit = if PANIC_MACROS.contains(&name.as_str()) {
+            next == Some(&Tok::Punct('!'))
+        } else if PANIC_METHODS.contains(&name.as_str()) {
+            prev == Some(&Tok::Punct('.')) && next == Some(&Tok::Punct('('))
+        } else {
+            false
+        };
+        if hit {
+            let shape = if PANIC_MACROS.contains(&name.as_str()) {
+                format!("`{name}!`")
+            } else {
+                format!("`.{name}()`")
+            };
+            out.push(Finding {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "no-panic",
+                message: format!("{shape} in serving-path production code"),
+                allowed: None,
+            });
+        }
+    }
+}
+
+/// R2 (index half) — no `expr[…]` indexing in bare-`pub` fns whose name
+/// is reachable from the serving entry points, outside the audited
+/// checked-kernel zones.
+fn no_index(f: &SourceFile, reachable: &BTreeSet<String>, out: &mut Vec<Finding>) {
+    if !(in_serving_crate(&f.path) && is_prod_src(&f.path)) {
+        return;
+    }
+    if INDEX_EXEMPT_ZONES.iter().any(|(p, _)| *p == f.path) {
+        return;
+    }
+    for i in 0..f.tokens.len() {
+        if !f.is_index_bracket(i) {
+            continue;
+        }
+        let line = f.tokens[i].line;
+        if f.in_test(line) {
+            continue;
+        }
+        let Some(item) = f.enclosing_fn(line) else {
+            continue;
+        };
+        if !item.is_pub || !reachable.contains(&item.name) {
+            continue;
+        }
+        out.push(Finding {
+            file: f.path.clone(),
+            line,
+            rule: "no-index",
+            message: format!(
+                "slice/array indexing in serving-reachable `pub fn {}` (use get()/split or a checked-kernel zone)",
+                item.name
+            ),
+            allowed: None,
+        });
+    }
+}
+
+/// R3 — `set_var`/`remove_var` calls outside `bench::pin`.
+fn env_guard(f: &SourceFile, out: &mut Vec<Finding>) {
+    if f.path == ENV_GUARD_FILE {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if (name == "set_var" || name == "remove_var")
+            && f.tokens.get(i + 1).map(|t| &t.tok) == Some(&Tok::Punct('('))
+        {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "env-guard",
+                message: format!(
+                    "`{name}` outside bench::pin::PinnedThreads — process-global env mutation races parallel scoring"
+                ),
+                allowed: None,
+            });
+        }
+    }
+}
+
+/// R4 — `pub enum *Error` must be `#[non_exhaustive]` and have
+/// `Display` + `Error` impls somewhere in the same crate.
+fn error_enum(f: &SourceFile, all: &[SourceFile], out: &mut Vec<Finding>) {
+    if !is_prod_src(&f.path) {
+        return;
+    }
+    let this_crate = crate_of(&f.path);
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.tok != Tok::Ident("enum".to_string()) {
+            continue;
+        }
+        let Some(Tok::Ident(name)) = f.tokens.get(i + 1).map(|t| &t.tok) else {
+            continue;
+        };
+        if !name.ends_with("Error") || f.in_test(t.line) {
+            continue;
+        }
+        // Bare-pub check: previous token `pub` not followed by `(`.
+        let is_pub = i >= 1 && f.tokens[i - 1].tok == Tok::Ident("pub".to_string());
+        if !is_pub {
+            continue;
+        }
+        let attrs = f.attached_attr_idents(i - 1);
+        if !attrs.contains(&"non_exhaustive") {
+            out.push(Finding {
+                file: f.path.clone(),
+                line: t.line,
+                rule: "error-enum",
+                message: format!("`pub enum {name}` is not #[non_exhaustive]"),
+                allowed: None,
+            });
+        }
+        for trait_name in ["Display", "Error"] {
+            let implemented = all
+                .iter()
+                .filter(|g| crate_of(&g.path) == this_crate)
+                .any(|g| has_trait_impl(g, trait_name, name));
+            if !implemented {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line: t.line,
+                    rule: "error-enum",
+                    message: format!("`pub enum {name}` has no `{trait_name}` impl in its crate"),
+                    allowed: None,
+                });
+            }
+        }
+    }
+}
+
+/// Matches `… Trait for Name` token triples (`impl fmt::Display for X`,
+/// `impl std::error::Error for X`).
+fn has_trait_impl(f: &SourceFile, trait_name: &str, type_name: &str) -> bool {
+    f.tokens.windows(3).any(|w| {
+        w[0].tok == Tok::Ident(trait_name.to_string())
+            && w[1].tok == Tok::Ident("for".to_string())
+            && w[2].tok == Tok::Ident(type_name.to_string())
+    })
+}
+
+/// R5 — `as <numeric>` casts in trust-boundary files.
+fn cast(f: &SourceFile, out: &mut Vec<Finding>) {
+    if !TRUST_BOUNDARY_FILES.contains(&f.path.as_str()) {
+        return;
+    }
+    for (i, t) in f.tokens.iter().enumerate() {
+        if t.tok != Tok::Ident("as".to_string()) || f.in_test(t.line) {
+            continue;
+        }
+        if let Some(Tok::Ident(prim)) = f.tokens.get(i + 1).map(|t| &t.tok) {
+            if NUMERIC_PRIMS.contains(&prim.as_str()) {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line: t.line,
+                    rule: "cast",
+                    message: format!(
+                        "`as {prim}` inside the snapshot trust boundary — use a checked helper (mathkit::bytes / try_from)"
+                    ),
+                    allowed: None,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str) -> Vec<Finding> {
+        run(&[SourceFile::parse(path, src)])
+    }
+
+    #[test]
+    fn panic_macros_and_methods_are_flagged_outside_tests() {
+        let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n#[cfg(test)]\nmod tests { fn g() { panic!(\"ok in tests\"); } }\n";
+        let f = lint_one("crates/serve/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-panic");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn non_serving_crates_may_panic() {
+        let f = lint_one("crates/core/src/x.rs", "pub fn f() { panic!(\"fine\") }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn allows_suppress_and_are_policed() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    // LINT-ALLOW(no-panic): proven Some by construction\n    x.unwrap()\n}\n";
+        let f = lint_one("crates/serve/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowed.is_some());
+        // Unused allow is itself a finding.
+        let f = lint_one(
+            "crates/serve/src/x.rs",
+            "// LINT-ALLOW(no-panic): nothing here\npub fn f() {}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "allow");
+    }
+
+    #[test]
+    fn error_enum_requires_attrs_and_impls() {
+        let good = "#[derive(Debug)]\n#[non_exhaustive]\npub enum XError { A }\nimpl std::fmt::Display for XError { }\nimpl std::error::Error for XError {}\n";
+        assert!(lint_one("crates/serve/src/e.rs", good).is_empty());
+        let bad = "pub enum YError { A }\n";
+        let f = lint_one("crates/serve/src/e.rs", bad);
+        assert_eq!(
+            f.len(),
+            3,
+            "missing non_exhaustive + Display + Error: {f:?}"
+        );
+    }
+}

@@ -1,0 +1,559 @@
+//! Per-file analysis over the lexed token stream.
+//!
+//! [`SourceFile`] derives everything the rules need from one file:
+//!
+//! * attribute groups (`#[…]` / `#![…]`) with their line spans, so
+//!   attribute lines never count as "code" when checking comment
+//!   adjacency, and `#[non_exhaustive]` attachment can be resolved;
+//! * `#[cfg(test)]`-gated line regions (the gated item's full brace
+//!   span) — serving-path rules skip them;
+//! * function items: name, visibility, body span, and the identifiers
+//!   they call (the edge list for [`crate::reach`]);
+//! * `// LINT-ALLOW(<rule>): <reason>` escape hatches, resolved line-level
+//!   (same line, or directly above with only comments/attributes/blank
+//!   lines between) and function-level (directly above the `fn` item,
+//!   covering its whole body).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Comment, Tok, Token};
+
+/// Keywords that may legally precede an indexing `[` without the `[`
+/// being an index expression (`return [0; 4]`, `break [x]`, …).
+const NON_INDEX_KEYWORDS: [&str; 12] = [
+    "return", "break", "in", "if", "else", "match", "let", "mut", "ref", "move", "yield", "const",
+];
+
+/// One parsed `LINT-ALLOW(<rule>): <reason>` escape hatch.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule name inside the parentheses.
+    pub rule: String,
+    /// Reason after the colon, trimmed. Empty = invalid (rule `allow`).
+    pub reason: String,
+    /// Line the comment starts on.
+    pub line: u32,
+    /// Line the comment ends on (anchor for adjacency).
+    pub end_line: u32,
+}
+
+/// A `fn` item: signature facts plus its body span and call edges.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name (raw identifiers keep their `r#`).
+    pub name: String,
+    /// `true` only for bare `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// Line of the `fn` keyword.
+    pub sig_line: u32,
+    /// Inclusive line range of the `{ … }` body (absent for trait
+    /// method declarations).
+    pub body_lines: Option<(u32, u32)>,
+    /// Token index range `[open_brace, close_brace]` of the body.
+    pub body_tokens: Option<(usize, usize)>,
+    /// Names this body calls: every identifier directly followed by `(`.
+    pub calls: Vec<String>,
+}
+
+/// One `#[…]` / `#![…]` attribute group.
+#[derive(Debug, Clone)]
+pub struct AttrGroup {
+    /// Token index of the opening `#`.
+    pub start_tok: usize,
+    /// Token index of the closing `]`.
+    pub end_tok: usize,
+    /// 1-based line of the opening `#`.
+    pub start_line: u32,
+    /// 1-based line of the closing `]`.
+    pub end_line: u32,
+    /// Idents appearing anywhere inside the group.
+    pub idents: Vec<String>,
+}
+
+/// A lexed + analyzed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Token stream (comments stripped).
+    pub tokens: Vec<Token>,
+    /// Comment list, in order.
+    pub comments: Vec<Comment>,
+    /// Parsed LINT-ALLOW escape hatches.
+    pub allows: Vec<Allow>,
+    /// Attribute groups in order of appearance.
+    pub attrs: Vec<AttrGroup>,
+    /// Inclusive line ranges gated by `#[cfg(test)]`.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Inclusive line ranges covered by attribute groups.
+    pub attr_lines: Vec<(u32, u32)>,
+    /// Lines carrying at least one non-attribute code token.
+    pub code_lines: BTreeSet<u32>,
+    /// Function items in order of appearance.
+    pub fns: Vec<FnItem>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one file. `path` is workspace-relative.
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let (tokens, comments) = lex(src);
+        let attrs = scan_attributes(&tokens);
+        let attr_lines: Vec<(u32, u32)> =
+            attrs.iter().map(|a| (a.start_line, a.end_line)).collect();
+        let test_regions = scan_test_regions(&tokens, &attrs);
+        let code_lines = tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !attrs.iter().any(|a| *i >= a.start_tok && *i <= a.end_tok))
+            .map(|(_, t)| t.line)
+            .collect();
+        let fns = scan_fns(&tokens);
+        let allows = scan_allows(&comments);
+        SourceFile {
+            path: path.to_string(),
+            tokens,
+            comments,
+            allows,
+            attrs,
+            test_regions,
+            attr_lines,
+            code_lines,
+            fns,
+        }
+    }
+
+    /// Idents of every attribute group attached to the item whose first
+    /// non-attribute token is at `item_tok` (walking back over
+    /// visibility qualifiers and consecutive attribute groups).
+    pub fn attached_attr_idents(&self, item_tok: usize) -> Vec<&str> {
+        let mut idents = Vec::new();
+        let mut p = item_tok;
+        loop {
+            // Walk back over visibility qualifiers.
+            while p > 0 && is_fn_qualifier(&self.tokens[p - 1].tok) {
+                p -= 1;
+            }
+            // Then over an attribute group ending right before `p`.
+            match self.attrs.iter().find(|a| a.end_tok + 1 == p) {
+                Some(a) => {
+                    idents.extend(a.idents.iter().map(String::as_str));
+                    p = a.start_tok;
+                }
+                None => break,
+            }
+        }
+        idents
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]`-gated item.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// Whether `line` is covered by an attribute group.
+    fn on_attr(&self, line: u32) -> bool {
+        self.attr_lines.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// Walks upward from `line - 1` while lines are blank, comments or
+    /// attributes, calling `pred` on each comment met; stops at the
+    /// first code line. Returns whether `pred` matched.
+    fn scan_upward(&self, line: u32, mut pred: impl FnMut(&Comment) -> bool) -> bool {
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            if let Some(c) = self
+                .comments
+                .iter()
+                .find(|c| l >= c.line && l <= c.end_line)
+            {
+                if pred(c) {
+                    return true;
+                }
+                l = c.line.saturating_sub(1);
+                continue;
+            }
+            if self.on_attr(l) {
+                l -= 1;
+                continue;
+            }
+            if self.code_lines.contains(&l) {
+                return false;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    /// R1 adjacency: a comment containing `SAFETY:` on the same line or
+    /// directly above `line` (only comments/attributes/blanks between).
+    pub fn has_safety_comment(&self, line: u32) -> bool {
+        let same_line = self
+            .comments
+            .iter()
+            .any(|c| c.line == line && c.text.contains("SAFETY:"));
+        same_line || self.scan_upward(line, |c| c.text.contains("SAFETY:"))
+    }
+
+    /// Finds the `LINT-ALLOW(<rule>)` covering `line`, if any: same line,
+    /// directly above, or attached to the enclosing `fn` item. Returns
+    /// the allow's index into [`SourceFile::allows`].
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<usize> {
+        // Same line.
+        if let Some(i) = self
+            .allows
+            .iter()
+            .position(|a| a.rule == rule && a.end_line == line)
+        {
+            return Some(i);
+        }
+        // Directly above (comments/attrs/blanks may intervene).
+        let mut hit = None;
+        self.scan_upward(line, |c| {
+            if let Some(i) = self
+                .allows
+                .iter()
+                .position(|a| a.rule == rule && a.line >= c.line && a.end_line <= c.end_line)
+            {
+                hit = Some(i);
+                true
+            } else {
+                false
+            }
+        });
+        if hit.is_some() {
+            return hit;
+        }
+        // Function-level: an allow directly above the enclosing fn.
+        for f in &self.fns {
+            if let Some((a, b)) = f.body_lines {
+                if line >= a && line <= b {
+                    let mut fn_hit = None;
+                    self.scan_upward(f.sig_line, |c| {
+                        if let Some(i) = self.allows.iter().position(|al| {
+                            al.rule == rule && al.line >= c.line && al.end_line <= c.end_line
+                        }) {
+                            fn_hit = Some(i);
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    if fn_hit.is_some() {
+                        return fn_hit;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The innermost function whose body covers `line`.
+    pub fn enclosing_fn(&self, line: u32) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| {
+                f.body_lines
+                    .map(|(a, b)| line >= a && line <= b)
+                    .unwrap_or(false)
+            })
+            .min_by_key(|f| {
+                let (a, b) = f.body_lines.unwrap_or((0, u32::MAX));
+                b - a
+            })
+    }
+
+    /// Whether the token at `idx` sits in indexing position: a `[`
+    /// whose previous token is an identifier (not a statement keyword),
+    /// a closing `)`/`]`, or a literal — i.e. `expr[…]`, not an array
+    /// literal/type or attribute.
+    pub fn is_index_bracket(&self, idx: usize) -> bool {
+        if self.tokens[idx].tok != Tok::Punct('[') {
+            return false;
+        }
+        match idx.checked_sub(1).map(|p| &self.tokens[p].tok) {
+            Some(Tok::Ident(name)) => !NON_INDEX_KEYWORDS.contains(&name.as_str()),
+            Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => true,
+            Some(Tok::Str) | Some(Tok::Num(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+fn scan_attributes(tokens: &[Token]) -> Vec<AttrGroup> {
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].tok == Tok::Punct('#') {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].tok == Tok::Punct('!') {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].tok == Tok::Punct('[') {
+                let mut depth = 0usize;
+                let mut idents = Vec::new();
+                let start = i;
+                let mut k = j;
+                while k < tokens.len() {
+                    match &tokens[k].tok {
+                        Tok::Punct('[') => depth += 1,
+                        Tok::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Tok::Ident(s) => idents.push(s.clone()),
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let end = k.min(tokens.len() - 1);
+                groups.push(AttrGroup {
+                    start_tok: start,
+                    end_tok: end,
+                    start_line: tokens[start].line,
+                    end_line: tokens[end].line,
+                    idents,
+                });
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    groups
+}
+
+/// Line regions gated by `#[cfg(test)]` (or any `cfg`/`cfg_attr` group
+/// mentioning `test`): from the attribute to the gated item's closing
+/// brace or terminating semicolon.
+fn scan_test_regions(tokens: &[Token], attrs: &[AttrGroup]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    for a in attrs {
+        if !(a.idents.iter().any(|s| s == "cfg" || s == "cfg_attr")
+            && a.idents.iter().any(|s| s == "test"))
+        {
+            continue;
+        }
+        // Find the end of the gated item: brace-match the first `{`,
+        // or stop at a top-level `;`.
+        let mut k = a.end_tok + 1;
+        let mut depth = 0usize;
+        let mut end_line = a.end_line;
+        while k < tokens.len() {
+            match tokens[k].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = tokens[k].line;
+                        break;
+                    }
+                }
+                Tok::Punct(';') if depth == 0 => {
+                    end_line = tokens[k].line;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = tokens[k].line;
+            k += 1;
+        }
+        regions.push((a.start_line, end_line));
+    }
+    regions
+}
+
+/// Tokens allowed between a `pub` and its `fn` (visibility scopes and
+/// qualifiers).
+fn is_fn_qualifier(tok: &Tok) -> bool {
+    match tok {
+        Tok::Ident(s) => matches!(
+            s.as_str(),
+            "pub" | "const" | "unsafe" | "async" | "extern" | "crate" | "super" | "self" | "in"
+        ),
+        Tok::Punct('(') | Tok::Punct(')') => true,
+        Tok::Str => true, // extern "C"
+        _ => false,
+    }
+}
+
+fn scan_fns(tokens: &[Token]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    for i in 0..tokens.len() {
+        let Tok::Ident(kw) = &tokens[i].tok else {
+            continue;
+        };
+        if kw != "fn" {
+            continue;
+        }
+        let Some(Tok::Ident(name)) = tokens.get(i + 1).map(|t| &t.tok) else {
+            continue;
+        };
+        // Bare-`pub` detection: walk back over qualifiers; `pub` counts
+        // only when NOT followed by `(` (that would be `pub(crate)`).
+        let mut is_pub = false;
+        let mut p = i;
+        while p > 0 && is_fn_qualifier(&tokens[p - 1].tok) {
+            p -= 1;
+            if tokens[p].tok == Tok::Ident("pub".to_string())
+                && tokens.get(p + 1).map(|t| &t.tok) != Some(&Tok::Punct('('))
+            {
+                is_pub = true;
+            }
+        }
+        // Body: first `{` before any top-level `;`.
+        let mut body_tokens = None;
+        let mut k = i + 2;
+        let mut angle = 0i32; // generics can contain `->` etc., never braces
+        while k < tokens.len() {
+            match tokens[k].tok {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Punct(';') if angle <= 0 => break,
+                Tok::Punct('{') => {
+                    // Brace-match to the close.
+                    let mut depth = 0usize;
+                    let mut m = k;
+                    while m < tokens.len() {
+                        match tokens[m].tok {
+                            Tok::Punct('{') => depth += 1,
+                            Tok::Punct('}') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    body_tokens = Some((k, m.min(tokens.len() - 1)));
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let body_lines = body_tokens.map(|(a, b)| (tokens[a].line, tokens[b].line));
+        let calls = body_tokens
+            .map(|(a, b)| {
+                let mut calls = Vec::new();
+                for c in a..b {
+                    if let Tok::Ident(n) = &tokens[c].tok {
+                        if n != "fn" && tokens.get(c + 1).map(|t| &t.tok) == Some(&Tok::Punct('('))
+                        {
+                            calls.push(n.clone());
+                        }
+                    }
+                }
+                calls
+            })
+            .unwrap_or_default();
+        fns.push(FnItem {
+            name: name.clone(),
+            is_pub,
+            sig_line: tokens[i].line,
+            body_lines,
+            body_tokens,
+            calls,
+        });
+    }
+    fns
+}
+
+/// Parses every `LINT-ALLOW(<rule>): <reason>` occurrence in the
+/// comments. A "rule" containing characters outside `[A-Za-z0-9_-]`
+/// (like the literal placeholder in this sentence) is documentation,
+/// not an allow, and is skipped.
+fn scan_allows(comments: &[Comment]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        let mut rest = c.text.as_str();
+        while let Some(at) = rest.find("LINT-ALLOW(") {
+            let tail = &rest[at + "LINT-ALLOW(".len()..];
+            let Some(close) = tail.find(')') else { break };
+            let rule = tail[..close].trim().to_string();
+            if rule.is_empty()
+                || !rule
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+            {
+                rest = &tail[close + 1..];
+                continue;
+            }
+            let after = &tail[close + 1..];
+            let reason = after
+                .strip_prefix(':')
+                .map(|r| {
+                    r.lines()
+                        .next()
+                        .unwrap_or("")
+                        .trim_end_matches("*/")
+                        .trim()
+                        .to_string()
+                })
+                .unwrap_or_default();
+            // Anchor multi-line block comments at their last line so
+            // adjacency works for both comment kinds.
+            allows.push(Allow {
+                rule,
+                reason,
+                line: c.line,
+                end_line: c.end_line,
+            });
+            rest = after;
+        }
+    }
+    allows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_regions_cover_the_gated_item() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn inner() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(2));
+        assert!(f.in_test(4));
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn fn_scan_finds_visibility_and_calls() {
+        let src = "pub fn outer(x: u8) -> u8 { helper(x) }\npub(crate) fn scoped() {}\nfn private() { outer(1); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.fns.len(), 3);
+        assert!(f.fns[0].is_pub);
+        assert!(!f.fns[1].is_pub, "pub(crate) is not bare pub");
+        assert!(!f.fns[2].is_pub);
+        assert_eq!(f.fns[0].calls, vec!["helper"]);
+        assert_eq!(f.fns[2].calls, vec!["outer"]);
+    }
+
+    #[test]
+    fn allow_parses_rule_and_reason() {
+        let src =
+            "// LINT-ALLOW(no-panic): proven total\nlet x = y.unwrap();\n// LINT-ALLOW(cast)\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].rule, "no-panic");
+        assert_eq!(f.allows[0].reason, "proven total");
+        assert!(f.allows[1].reason.is_empty());
+        assert_eq!(f.allow_for("no-panic", 2), Some(0));
+        assert_eq!(f.allow_for("cast", 2), None);
+    }
+
+    #[test]
+    fn safety_adjacency_tolerates_attributes() {
+        let src = "// SAFETY: fine\n#[cfg(unix)]\nunsafe impl Send for X {}\n\nunsafe impl Sync for X {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.has_safety_comment(3));
+        assert!(!f.has_safety_comment(5), "code line blocks the upward scan");
+    }
+}

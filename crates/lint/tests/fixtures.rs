@@ -1,0 +1,110 @@
+//! Drives the fixture corpus under `crates/lint/fixtures/`.
+//!
+//! Each fixture is a standalone pretend-workspace of one file. Leading
+//! directive comments declare its identity and the exact findings the
+//! lint must produce:
+//!
+//! * `//@ path: <workspace-relative path>` — where the file pretends to
+//!   live (rules are scoped by path, so this selects the rule set).
+//! * `//@ find: <rule>@<line>` — one **unallowed** finding.
+//! * `//@ allow: <rule>@<line>` — one finding covered by a `LINT-ALLOW`.
+//!
+//! Directives are plain comments, so line numbers in expectations refer
+//! to the fixture file as-is. The comparison is an exact multiset match:
+//! a missing finding, an extra finding, or a wrong allowed-bit all fail.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use ghsom_lint::lint_sources;
+
+/// `(rule, line, allowed)` → expected count.
+type Multiset = BTreeMap<(String, u32, bool), usize>;
+
+fn parse_directives(name: &str, src: &str) -> (String, Multiset) {
+    let mut path = None;
+    let mut expected = Multiset::new();
+    for line in src.lines() {
+        let Some(rest) = line.strip_prefix("//@ ") else {
+            continue;
+        };
+        if let Some(p) = rest.strip_prefix("path: ") {
+            path = Some(p.trim().to_string());
+        } else if let Some(spec) = rest
+            .strip_prefix("find: ")
+            .map(|s| (s, false))
+            .or_else(|| rest.strip_prefix("allow: ").map(|s| (s, true)))
+        {
+            let (body, allowed) = spec;
+            let (rule, at) = body
+                .trim()
+                .split_once('@')
+                .unwrap_or_else(|| panic!("{name}: malformed directive `{line}`"));
+            let at: u32 = at
+                .parse()
+                .unwrap_or_else(|_| panic!("{name}: bad line in `{line}`"));
+            *expected.entry((rule.to_string(), at, allowed)).or_insert(0) += 1;
+        } else {
+            panic!("{name}: unknown directive `{line}`");
+        }
+    }
+    let path = path.unwrap_or_else(|| panic!("{name}: missing `//@ path:` directive"));
+    (path, expected)
+}
+
+#[test]
+fn fixture_corpus_matches_expectations() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut names: Vec<_> = std::fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 19,
+        "fixture corpus shrank: {} files",
+        names.len()
+    );
+    let mut failures = Vec::new();
+    for p in names {
+        let name = p.file_name().unwrap().to_string_lossy().to_string();
+        let src = std::fs::read_to_string(&p).expect("readable fixture");
+        let (path, expected) = parse_directives(&name, &src);
+        let result = lint_sources(&[(path, src)]);
+        let mut actual = Multiset::new();
+        for f in &result.findings {
+            *actual
+                .entry((f.rule.to_string(), f.line, f.allowed.is_some()))
+                .or_insert(0) += 1;
+        }
+        if actual != expected {
+            failures.push(format!(
+                "{name}:\n  expected: {expected:?}\n  actual:   {actual:?}\n  findings: {:#?}",
+                result.findings
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+/// Every fixture must carry directives that prove what it tests — a
+/// bad/allowed fixture declares findings, a `*_ok` fixture declares none.
+#[test]
+fn ok_fixtures_expect_nothing_and_bad_fixtures_expect_something() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    for e in std::fs::read_dir(&dir).expect("fixtures directory exists") {
+        let p = e.expect("readable entry").path();
+        if p.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let name = p.file_name().unwrap().to_string_lossy().to_string();
+        let src = std::fs::read_to_string(&p).expect("readable fixture");
+        let (_, expected) = parse_directives(&name, &src);
+        if name.ends_with("_ok.rs") {
+            assert!(expected.is_empty(), "{name}: _ok fixture declares findings");
+        } else {
+            assert!(!expected.is_empty(), "{name}: fixture declares no findings");
+        }
+    }
+}

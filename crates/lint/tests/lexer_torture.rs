@@ -1,0 +1,125 @@
+//! Adversarial inputs for the hand-rolled lexer: every construct that
+//! could make a naive scanner misread where strings and comments end —
+//! and therefore produce phantom findings or miss real ones.
+
+use ghsom_lint::lexer::{lex, Tok};
+
+fn idents(src: &str) -> Vec<String> {
+    lex(src)
+        .0
+        .into_iter()
+        .filter_map(|t| match t.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn panicky_text_inside_strings_is_not_tokenized() {
+    let src = r#"
+        let a = "x.unwrap() and panic!() live here";
+        let b = "escaped \" quote then .expect(";
+        let c = 'x';
+        let d = '\'';
+        let e = '\u{1F600}';
+    "#;
+    let ids = idents(src);
+    assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+    assert!(!ids.contains(&"panic".to_string()));
+    assert!(!ids.contains(&"expect".to_string()));
+}
+
+#[test]
+fn raw_strings_with_hashes_and_quotes() {
+    // The r#"…"# body contains an unescaped quote and a fake comment.
+    let src = r###"
+        let a = r"no hashes";
+        let b = r#"quote " and // not a comment and unsafe"#;
+        let c = r##"ends with "# but not here"##;
+        let after = 1;
+    "###;
+    let ids = idents(src);
+    assert!(!ids.contains(&"unsafe".to_string()), "{ids:?}");
+    assert!(ids.contains(&"after".to_string()), "{ids:?}");
+}
+
+#[test]
+fn byte_and_raw_byte_strings() {
+    let src =
+        "let a = b\"bytes with .unwrap( text\"; let b = br#\"raw bytes panic!\"#; let tail = 2;";
+    let ids = idents(src);
+    assert!(!ids.contains(&"unwrap".to_string()));
+    assert!(!ids.contains(&"panic".to_string()));
+    assert!(ids.contains(&"tail".to_string()));
+}
+
+#[test]
+fn nested_block_comments_balance() {
+    let src = "/* outer /* inner .unwrap() */ still dead panic!() */ let live = 3;";
+    let (tokens, comments) = lex(src);
+    assert_eq!(comments.len(), 1);
+    assert!(comments[0].text.contains("inner"));
+    let ids: Vec<_> = tokens
+        .iter()
+        .filter_map(|t| match &t.tok {
+            Tok::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ids, ["let", "live"]);
+}
+
+#[test]
+fn lifetimes_are_not_char_literals() {
+    let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let _ = c; x }";
+    let (tokens, _) = lex(src);
+    let lifetimes = tokens
+        .iter()
+        .filter(|t| matches!(&t.tok, Tok::Lifetime(l) if l == "a"))
+        .count();
+    assert_eq!(lifetimes, 3);
+    // 'x' must lex as a string-ish literal, not a lifetime + ident.
+    assert!(tokens.iter().any(|t| t.tok == Tok::Str));
+    assert!(!tokens
+        .iter()
+        .any(|t| matches!(&t.tok, Tok::Lifetime(l) if l == "x")));
+}
+
+#[test]
+fn raw_identifiers_do_not_impersonate_keywords() {
+    let src = "fn r#unsafe() {} fn ok() { r#unsafe(); }";
+    let ids = idents(src);
+    // The raw identifier keeps its r# prefix, so rules matching the
+    // `unsafe` keyword never see it.
+    assert!(ids.contains(&"r#unsafe".to_string()), "{ids:?}");
+    assert!(!ids.contains(&"unsafe".to_string()));
+}
+
+#[test]
+fn line_numbers_survive_multiline_constructs() {
+    let src = "let a = \"line1\n\";\n/* spans\nlines */\nlet z = 9;";
+    let (tokens, comments) = lex(src);
+    let z = tokens
+        .iter()
+        .find(|t| t.tok == Tok::Ident("z".to_string()))
+        .expect("z token");
+    assert_eq!(z.line, 5);
+    assert_eq!(comments[0].line, 3);
+    assert_eq!(comments[0].end_line, 4);
+}
+
+#[test]
+fn numeric_range_is_not_a_float() {
+    // `0..n` must lex as Num(0), Punct(.), Punct(.), Ident(n) — a naive
+    // float scanner swallows `0..` and desyncs everything after it.
+    let src = "for i in 0..n { body(i); }";
+    let (tokens, _) = lex(src);
+    assert!(tokens
+        .iter()
+        .any(|t| t.tok == Tok::Ident("body".to_string())));
+    assert_eq!(
+        tokens.iter().filter(|t| t.tok == Tok::Punct('.')).count(),
+        2
+    );
+}

@@ -1,0 +1,37 @@
+//! The workspace must lint clean — the same gate CI enforces, run as a
+//! plain `cargo test -p ghsom-lint` so a violation fails locally before
+//! a push.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unallowed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let result = ghsom_lint::lint_workspace(root).expect("workspace scan succeeds");
+    assert!(result.files_scanned > 50, "scan collapsed — wrong root?");
+    let unallowed: Vec<_> = result.unallowed().collect();
+    assert!(
+        unallowed.is_empty(),
+        "unallowed lint findings:\n{}",
+        unallowed
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every recorded allowance must carry its reason — the meta rule
+    // guarantees this, so an empty reason here means the meta rule broke.
+    for f in &result.findings {
+        if let Some(reason) = &f.allowed {
+            assert!(
+                !reason.is_empty(),
+                "{}:{} allow without reason",
+                f.file,
+                f.line
+            );
+        }
+    }
+}

@@ -630,7 +630,7 @@ pub fn gram_nearest_block_pruned(
                 _ => false,
             };
             if take_down {
-                let g = down.expect("checked");
+                let g = down.expect("checked"); // LINT-ALLOW(no-panic): take_down is true only in match arms where down is Some
                 if admit(hi[g], false, &best_p) {
                     eval(g, &mut best_p, &mut best_u);
                     down = g.checked_sub(1);
@@ -718,7 +718,7 @@ fn pruned_nearest_one(
             _ => false,
         };
         if take_down {
-            let g = down.expect("checked");
+            let g = down.expect("checked"); // LINT-ALLOW(no-panic): take_down is true only in match arms where down is Some
             if admit(hi(g), false, best_p) {
                 eval(g, &mut best_p, &mut best_u);
                 down = g.checked_sub(1);

@@ -20,6 +20,7 @@ pub fn align_up(offset: usize, align: usize) -> usize {
     assert!(align > 0, "alignment must be positive");
     offset
         .checked_add(align - 1)
+        // LINT-ALLOW(no-panic): documented panic; encode-side offsets are bounded by an in-memory Vec length
         .expect("aligned offset overflows usize")
         / align
         * align
@@ -83,6 +84,25 @@ pub fn get_f64(bytes: &[u8], offset: usize) -> Option<f64> {
     get_u64(bytes, offset).map(f64::from_bits)
 }
 
+/// Reads a little-endian `u32` at `offset` as a `usize`, or `None` past
+/// the end.
+///
+/// The width adaptation is checked (`usize::try_from`), so snapshot
+/// decoders can use this instead of an `as usize` cast; it cannot fail
+/// on any target Rust supports (`usize` is at least 32 bits there).
+pub fn get_u32_usize(bytes: &[u8], offset: usize) -> Option<usize> {
+    get_u32(bytes, offset).and_then(|v| usize::try_from(v).ok())
+}
+
+/// Reads a little-endian `u64` at `offset` as a `usize`.
+///
+/// `None` past the end of `bytes` **or** when the value does not fit in
+/// `usize` (possible on 32-bit targets) — the checked width adaptation
+/// the snapshot trust boundary uses instead of `as` casts.
+pub fn get_u64_usize(bytes: &[u8], offset: usize) -> Option<usize> {
+    get_u64(bytes, offset).and_then(|v| usize::try_from(v).ok())
+}
+
 /// Decodes a whole little-endian `u32` section.
 ///
 /// Returns `None` when `bytes` is not a multiple of 4 long.
@@ -93,6 +113,7 @@ pub fn get_u32s(bytes: &[u8]) -> Option<Vec<u32>> {
     Some(
         bytes
             .chunks_exact(4)
+            // LINT-ALLOW(no-panic): chunks_exact(4) yields exactly 4-byte slices
             .map(|c| u32::from_le_bytes(c.try_into().expect("chunk of 4")))
             .collect(),
     )
@@ -108,6 +129,7 @@ pub fn get_u64s(bytes: &[u8]) -> Option<Vec<u64>> {
     Some(
         bytes
             .chunks_exact(8)
+            // LINT-ALLOW(no-panic): chunks_exact(8) yields exactly 8-byte slices
             .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
             .collect(),
     )
@@ -189,6 +211,17 @@ mod tests {
         // Ragged sections are rejected.
         assert_eq!(get_f64s(&buf[..31]), None);
         assert_eq!(get_u32s(&buf[..3]), None);
+    }
+
+    #[test]
+    fn usize_getters_check_range() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, 9);
+        assert_eq!(get_u32_usize(&buf, 0), Some(7));
+        assert_eq!(get_u64_usize(&buf, 4), Some(9));
+        assert_eq!(get_u32_usize(&buf, buf.len()), None);
+        assert_eq!(get_u64_usize(&buf, buf.len() - 4), None);
     }
 
     #[test]

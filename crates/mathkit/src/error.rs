@@ -7,6 +7,7 @@ use std::fmt;
 /// Every fallible public function in this crate returns `Result<_, MathError>`
 /// so callers can propagate numerical problems with `?`.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum MathError {
     /// Two operands had incompatible dimensions.
     DimensionMismatch {

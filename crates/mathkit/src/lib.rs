@@ -52,6 +52,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)] // belt-and-braces should the forbid ever be relaxed
 #![warn(missing_docs)]
 
 pub mod batch;

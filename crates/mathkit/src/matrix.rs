@@ -41,7 +41,7 @@ impl Matrix {
     pub fn zeros(rows: usize, cols: usize) -> Self {
         let len = rows
             .checked_mul(cols)
-            .expect("matrix dimensions overflow usize");
+            .expect("matrix dimensions overflow usize"); // LINT-ALLOW(no-panic): documented panic; callers size matrices from in-memory data far below usize::MAX
         Matrix {
             rows,
             cols,

@@ -150,7 +150,7 @@ where
         out[i] = Some(r);
     }
     out.into_iter()
-        .map(|o| o.expect("all chunks completed"))
+        .map(|o| o.expect("all chunks completed")) // LINT-ALLOW(no-panic): the scoped workers send every index exactly once before the channel closes
         .collect()
 }
 

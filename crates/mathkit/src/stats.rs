@@ -181,7 +181,7 @@ impl Summary {
     pub fn from_slice(values: &[f64]) -> Result<Self, MathError> {
         crate::vector::validate(values)?;
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let mut w = Welford::new();
         for &x in values {
             w.push(x);
@@ -234,7 +234,7 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 pub fn quantile(values: &[f64], q: f64) -> Result<f64, MathError> {
     crate::vector::validate(values)?;
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     Ok(quantile_sorted(&sorted, q))
 }
 
@@ -292,7 +292,7 @@ impl Histogram {
         let n = self.bins.len();
         let t = (x - self.lo) / (self.hi - self.lo);
         let idx = ((t * n as f64).floor() as i64).clamp(0, n as i64 - 1) as usize;
-        self.bins[idx] += 1;
+        self.bins[idx] += 1; // LINT-ALLOW(no-index): idx is clamped to 0..bins.len() on the previous line
     }
 
     /// Adds every value in a slice.

@@ -203,7 +203,7 @@ impl FusedPlan {
                 .iter()
                 .map(|&m| a.units(m).div_ceil(batch::GROUP))
                 .max()
-                .expect("level has nodes")
+                .expect("level has nodes") // LINT-ALLOW(no-panic): empty levels are skipped by the continue above
                 * batch::GROUP;
             let li = plan.levels.len() as u32;
             let mut lv = FusedLevel {
@@ -338,7 +338,7 @@ impl<'a> ArenaRef<'a> {
             .perm_of(node)
             .iter()
             .position(|&u| u as usize == unit)
-            .expect("validated permutations are total");
+            .expect("validated permutations are total"); // LINT-ALLOW(no-panic): perm_of is a validated permutation of 0..units(node) and unit is asserted in range above
         let slab = self.wt_of(node);
         let (g, k) = (packed / batch::GROUP, packed % batch::GROUP);
         (0..self.dim)
@@ -504,7 +504,7 @@ impl<'a> ArenaRef<'a> {
                 }
             }
             if !fused_idx.is_empty() {
-                let plan = fused.expect("fused_idx only fills under a plan");
+                let plan = fused.expect("fused_idx only fills under a plan"); // LINT-ALLOW(no-panic): fused_idx is pushed only in the match arm where the plan is Some
                 let found = parallel::par_map_chunks(fused_idx.len(), WALK_CHUNK, |r| {
                     let idxs = &fused_idx[r];
                     // Group the chunk's samples by destination map: each
@@ -536,7 +536,7 @@ impl<'a> ArenaRef<'a> {
                         {
                             run1 += 1;
                         }
-                        let (lv, slot) = plan.slot(node as usize).expect("partitioned as fused");
+                        let (lv, slot) = plan.slot(node as usize).expect("partitioned as fused"); // LINT-ALLOW(no-panic): every node in fused_idx was partitioned under slot_of_node != NO_LINK
                         let u0 = slot * lv.stride;
                         let u1 = u0 + lv.stride;
                         let run = &order[run0..run1];
@@ -886,15 +886,12 @@ impl CompiledGhsom {
             // and pack the codebook in that order.
             let wn = batch::half_row_norms_sq(som.weights());
             let mut order: Vec<usize> = (0..som.len()).collect();
-            order.sort_by(|&a, &b| {
-                wn[a]
-                    .partial_cmp(&wn[b])
-                    .expect("finite norms checked above")
-                    .then(a.cmp(&b))
-            });
+            // Norms are validated finite above, so total_cmp orders them
+            // exactly like partial_cmp — without an unwrap in the path.
+            order.sort_by(|&a, &b| wn[a].total_cmp(&wn[b]).then(a.cmp(&b)));
             let sorted =
                 Matrix::from_rows(order.iter().map(|&u| som.unit_weight(u).to_vec()).collect())
-                    .expect("rows of a finite codebook are valid");
+                    .expect("rows of a finite codebook are valid"); // LINT-ALLOW(no-panic): rows are unit_weight slices of one SOM, all dim-wide by construction
             out.wn_half.extend(order.iter().map(|&u| wn[u]));
             out.perm.extend(order.iter().map(|&u| u as u32));
             out.wt.extend(batch::pack_codebook(&sorted));

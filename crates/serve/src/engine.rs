@@ -478,6 +478,7 @@ impl Engine {
         self.encode_bundle(true)
     }
 
+    // LINT-ALLOW(no-panic): the shim serde_json encoder is total over these derive-serialized structs — string-keyed, no fallible Serialize impls
     fn encode_bundle(&self, with_stream: bool) -> Vec<u8> {
         let mut sections = self.compiled().arena_sections();
         let pipeline_json =

@@ -137,6 +137,7 @@
 //! ```
 
 #![deny(unsafe_code)] // two documented islands: snapshot::cast and mmap, allowed locally
+#![deny(unsafe_op_in_unsafe_fn)] // inside the islands, every unsafe op needs its own block + SAFETY
 #![warn(missing_docs)]
 
 pub mod compiled;

@@ -73,6 +73,8 @@ mod imp {
     // from sharing any immutable buffer.
     #[cfg(all(unix, target_pointer_width = "64"))]
     unsafe impl Send for MappedFile {}
+    // SAFETY: same argument as Send above — `&MappedFile` only ever hands
+    // out `&[u8]` views of an immutable private mapping.
     #[cfg(all(unix, target_pointer_width = "64"))]
     unsafe impl Sync for MappedFile {}
 

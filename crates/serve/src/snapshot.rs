@@ -133,6 +133,7 @@ fn push_section(buf: &mut Vec<u8>, table: &mut Vec<(u32, usize, usize)>, id: u32
 /// Lays out a header + section table + payloads buffer and seals it with
 /// the total length and checksum — the shared tail of every encoder
 /// (model-only snapshots and engine bundles).
+// LINT-ALLOW(cast): encode-side widenings only — usize offsets/lengths into u64 wire fields are lossless on every supported target, and the section count is bounded by the fixed section list
 pub(crate) fn seal(version: u32, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
     let mut buf = Vec::new();
     buf.extend_from_slice(&MAGIC);
@@ -166,6 +167,7 @@ pub(crate) fn seal(version: u32, sections: &[(u32, Vec<u8>)]) -> Vec<u8> {
 impl CompiledGhsom {
     /// The arena's 15 sections in canonical id order — the payload of a
     /// model-only snapshot, and the prefix an engine bundle extends.
+    // LINT-ALLOW(cast): dim/map_count/total_units are u32 wire fields and already u32-bounded — the arena addresses nodes and units through u32 tables by construction
     pub(crate) fn arena_sections(&self) -> Vec<(u32, Vec<u8>)> {
         let mut sections: Vec<(u32, Vec<u8>)> = Vec::with_capacity(REQUIRED.len());
         let mut meta = Vec::with_capacity(META_LEN);
@@ -305,11 +307,16 @@ impl Meta {
         if payload.len() != META_LEN {
             return Err(ServeError::Malformed("META section has the wrong length"));
         }
+        let count = |off| {
+            bytes::get_u32_usize(payload, off)
+                .ok_or(ServeError::Malformed("META section read out of range"))
+        };
         Ok(Meta {
-            dim: bytes::get_u32(payload, 0).expect("length checked") as usize,
-            nodes: bytes::get_u32(payload, 4).expect("length checked") as usize,
-            total_units: bytes::get_u32(payload, 8).expect("length checked") as usize,
-            mqe0: bytes::get_f64(payload, 16).expect("length checked"),
+            dim: count(0)?,
+            nodes: count(4)?,
+            total_units: count(8)?,
+            mqe0: bytes::get_f64(payload, 16)
+                .ok_or(ServeError::Malformed("META section read out of range"))?,
         })
     }
 
@@ -364,16 +371,18 @@ pub(crate) fn parse_preamble(raw: &[u8]) -> Result<Sections, ServeError> {
     if raw[..8] != MAGIC {
         return Err(ServeError::BadMagic);
     }
-    let version = bytes::get_u32(raw, 8).expect("length checked");
+    let version =
+        bytes::get_u32(raw, 8).ok_or(ServeError::Malformed("header read out of range"))?;
     if version != VERSION && version != BUNDLE_VERSION {
         return Err(ServeError::UnsupportedVersion {
             found: version,
             supported: BUNDLE_VERSION,
         });
     }
-    let section_count = bytes::get_u32(raw, 12).expect("length checked") as usize;
-    let total = bytes::get_u64(raw, 16).expect("length checked");
-    let total = usize::try_from(total).map_err(|_| ServeError::Malformed("absurd total length"))?;
+    let section_count =
+        bytes::get_u32_usize(raw, 12).ok_or(ServeError::Malformed("header read out of range"))?;
+    let total =
+        bytes::get_u64_usize(raw, 16).ok_or(ServeError::Malformed("absurd total length"))?;
     if raw.len() < total {
         return Err(ServeError::Truncated {
             needed: total,
@@ -383,7 +392,8 @@ pub(crate) fn parse_preamble(raw: &[u8]) -> Result<Sections, ServeError> {
     // Trailing bytes beyond the declared length are tolerated (a mapped
     // file is padded to page size); everything below uses `raw[..total]`.
     let raw = &raw[..total];
-    let expected = bytes::get_u64(raw, 24).expect("length checked");
+    let expected =
+        bytes::get_u64(raw, 24).ok_or(ServeError::Malformed("header read out of range"))?;
     let found = bytes::fnv1a64(&raw[HEADER_LEN..]);
     if expected != found {
         return Err(ServeError::ChecksumMismatch { expected, found });
@@ -404,13 +414,11 @@ pub(crate) fn parse_preamble(raw: &[u8]) -> Result<Sections, ServeError> {
     let mut map = BTreeMap::new();
     for i in 0..section_count {
         let at = HEADER_LEN + i * SECTION_ENTRY_LEN;
-        let id = bytes::get_u32(raw, at).expect("table in range");
-        let offset = bytes::get_u64(raw, at + 8).expect("table in range");
-        let len = bytes::get_u64(raw, at + 16).expect("table in range");
-        let offset = usize::try_from(offset)
-            .map_err(|_| ServeError::Malformed("section offset overflow"))?;
-        let len =
-            usize::try_from(len).map_err(|_| ServeError::Malformed("section length overflow"))?;
+        let id = bytes::get_u32(raw, at).ok_or(ServeError::Malformed("table read out of range"))?;
+        let offset = bytes::get_u64_usize(raw, at + 8)
+            .ok_or(ServeError::Malformed("section offset overflow"))?;
+        let len = bytes::get_u64_usize(raw, at + 16)
+            .ok_or(ServeError::Malformed("section length overflow"))?;
         let end = offset
             .checked_add(len)
             .ok_or(ServeError::Malformed("section range overflow"))?;

@@ -4,6 +4,7 @@ use std::fmt;
 
 /// Errors produced by SOM operations.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SomError {
     /// Sample dimensionality does not match the codebook.
     DimensionMismatch {
@@ -59,6 +60,12 @@ impl From<mathkit::MathError> for SomError {
             mathkit::MathError::NoConvergence { .. } => SomError::InvalidParameter {
                 name: "iterations",
                 reason: "underlying numerical routine failed to converge",
+            },
+            // MathError is #[non_exhaustive]; map future variants to the
+            // least-specific bucket rather than silently renaming them.
+            _ => SomError::InvalidParameter {
+                name: "input",
+                reason: "underlying numerical routine failed",
             },
         }
     }
