@@ -1,0 +1,110 @@
+//! End-to-end daemon throughput (ISSUE 9): records/s through the real
+//! TCP serving front-end — loopback socket, length-prefixed GHSD
+//! frames, per-tenant admission, registry lookup per batch — against
+//! the in-process `Engine::score_records` ceiling the protocol wraps.
+//!
+//! Three scenarios, all single-client and (on a 1-core host)
+//! single-core:
+//!
+//! * `engine_direct` — `Engine::score_records` called in-process on the
+//!   same batches: the no-protocol ceiling.
+//! * `tcp_lock_step` — one 512-record batch per round trip, the
+//!   latency-bound worst case for a feeder that never pipelines. The
+//!   ISSUE 9 acceptance bar (≥200k records/s single-client) is measured
+//!   here.
+//! * `tcp_pipelined_x8` — eight batches in flight before draining,
+//!   the shape a real feeder uses; amortizes the round trip.
+//!
+//! Numbers land in `target/shim-criterion/daemon.json`; the tracked
+//! trajectory is `BENCH_6.json` at the repo root.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ghsom_core::GhsomConfig;
+use ghsom_daemon::protocol::Response;
+use ghsom_daemon::{Daemon, DaemonClient, DaemonConfig};
+use ghsom_serve::{Engine, EngineConfig};
+use traffic::ConnectionRecord;
+
+/// Records per batch: a ~5 s flow window at typical rates, and big
+/// enough that framing overhead is honest rather than dominant.
+const BATCH: usize = 512;
+/// Batches in flight for the pipelined case.
+const PIPELINE: usize = 8;
+
+fn trained_engine(seed: u64) -> (Engine, Vec<ConnectionRecord>) {
+    let (train, test) = traffic::synth::kdd_train_test(4_000, 2_048, seed).unwrap();
+    // A deployment-shaped detector: coarse breadth threshold and a
+    // depth-2 hierarchy, the operating point ROADMAP targets for edge
+    // serving (the deep-hierarchy regime is covered by shard_scaling).
+    let config = EngineConfig::default()
+        .with_ghsom(
+            GhsomConfig::default()
+                .with_tau1(0.5)
+                .with_max_depth(2)
+                .with_epochs(2, 2)
+                .with_seed(seed),
+        )
+        .with_stream(4.0, 100);
+    (
+        Engine::fit(&config, &train).unwrap(),
+        test.records().to_vec(),
+    )
+}
+
+fn bench_daemon(c: &mut Criterion) {
+    let (engine, records) = trained_engine(9);
+    let batch = &records[..BATCH];
+
+    // The daemon under test: default queue capacity (64) so the
+    // pipelined case is never load-shed, ephemeral loopback ports.
+    let spool = std::env::temp_dir().join(format!("ghsom_daemon_bench_{}", std::process::id()));
+    std::fs::remove_dir_all(&spool).ok();
+    std::fs::create_dir_all(&spool).unwrap();
+    std::fs::write(spool.join("prod.bundle"), engine.to_bytes()).unwrap();
+    let daemon =
+        Daemon::start(DaemonConfig::new(&spool).with_poll_interval(Duration::from_millis(500)))
+            .unwrap();
+    let mut client = DaemonClient::connect(daemon.ingest_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Warm the tenant lane (worker thread, connection, caches).
+    client.score("prod", batch).unwrap();
+
+    let mut group = c.benchmark_group("daemon_tcp");
+    group.throughput(Throughput::Elements(BATCH as u64));
+    group.bench_function("engine_direct_512", |b| {
+        b.iter(|| engine.score_records(black_box(batch)).unwrap())
+    });
+    group.bench_function("tcp_lock_step_512", |b| {
+        b.iter(|| client.score("prod", black_box(batch)).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("daemon_tcp_pipelined");
+    group.throughput(Throughput::Elements((PIPELINE * BATCH) as u64));
+    group.bench_function("tcp_pipelined_x8_512", |b| {
+        b.iter(|| {
+            for _ in 0..PIPELINE {
+                client.send_score_batch("prod", black_box(batch)).unwrap();
+            }
+            for _ in 0..PIPELINE {
+                match client.recv_response().unwrap() {
+                    Response::Verdicts { verdicts, .. } => {
+                        assert_eq!(verdicts.len(), BATCH);
+                    }
+                    other => panic!("pipelined batch answered with {other:?}"),
+                }
+            }
+        })
+    });
+    group.finish();
+
+    daemon.shutdown();
+    std::fs::remove_dir_all(&spool).ok();
+}
+
+criterion_group!(benches, bench_daemon);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! # ghsom-daemon — the TCP serving front-end
+//!
+//! Everything below the network was already in place: [`Engine`]s score
+//! whole batches, the [`EngineRegistry`] names them per tenant, and the
+//! [`SpoolWatcher`] hot-reloads them from a bundle spool. This crate puts
+//! a wire on top — a real daemon a feeder can connect to:
+//!
+//! * **GHSD protocol** ([`protocol`]) — length-prefixed binary frames
+//!   (magic + version + type + payload length), batch-framed
+//!   [`traffic::ConnectionRecord`]s in, per-record verdicts out, with a
+//!   client-chosen `req_id` echoed on every response so pipelined
+//!   requests match up even when typed rejects interleave. The normative
+//!   grammar lives in `docs/PROTOCOL.md`.
+//! * **Admission control** ([`server`]) — every tenant gets a *bounded*
+//!   ingest lane; a full lane answers `Reject(Overloaded)` instead of
+//!   buffering, so a flooding client is load-shed while memory stays
+//!   bounded end to end (the per-connection reply channel is bounded
+//!   too, extending backpressure all the way to a slow reader).
+//! * **Hot reload** — the spool watcher from PR 5 runs inside the
+//!   daemon: dropping a new bundle into the spool swaps the tenant's
+//!   engine mid-stream with a warm adaptive baseline; a corrupt bundle
+//!   is rejected without evicting the serving engine, and both outcomes
+//!   land in the metrics within one poll interval.
+//! * **Observability** ([`metrics`]) — per-tenant atomic counters
+//!   (records, batches, flag rate, overload rejects, queue high-water,
+//!   p50/p99 batch latency) plus watcher events, rendered as plaintext
+//!   on a separate metrics listener.
+//! * **Hostile-input containment** — every malformed frame maps to a
+//!   typed [`DaemonError`], closes exactly the offending connection, and
+//!   never panics the process or touches an engine; slow-loris writers
+//!   are cut off by a frame deadline. The protocol torture suite
+//!   (`tests/protocol_torture.rs`) and the workspace soak test drive
+//!   these paths.
+//!
+//! ```no_run
+//! use ghsom_daemon::{Daemon, DaemonConfig, DaemonClient};
+//!
+//! # fn main() -> Result<(), ghsom_daemon::DaemonError> {
+//! let daemon = Daemon::start(DaemonConfig::new("/var/spool/ghsom"))?;
+//! let mut client = DaemonClient::connect(daemon.ingest_addr())?;
+//! client.ping()?;
+//! let records = vec![traffic::ConnectionRecord::default()];
+//! let verdicts = client.score("edge", &records)?;
+//! assert_eq!(verdicts.len(), records.len());
+//! daemon.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`Engine`]: ghsom_serve::Engine
+//! [`EngineRegistry`]: ghsom_serve::EngineRegistry
+//! [`SpoolWatcher`]: ghsom_serve::SpoolWatcher
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use client::DaemonClient;
+pub use error::{DaemonError, RejectCode};
+pub use metrics::{DaemonMetrics, LatencyHistogram, TenantMetrics};
+pub use protocol::{BatchMode, BatchRequest, FrameHeader, FrameType, Request, Response};
+pub use server::{Daemon, DaemonConfig};

@@ -1,0 +1,99 @@
+//! `ghsom-daemon` — serve GHSOM engines from a bundle spool over TCP.
+//!
+//! ```text
+//! ghsom-daemon --spool /var/spool/ghsom [--listen 127.0.0.1:7700]
+//!              [--metrics 127.0.0.1:7701] [--queue-capacity 64]
+//!              [--shards 1] [--poll-ms 250] [--frame-timeout-secs 10]
+//!              [--max-seconds 0]
+//! ```
+//!
+//! The process runs until killed (or for `--max-seconds`, useful under a
+//! supervisor or in CI). Drop `<tenant>.bundle` files into the spool to
+//! deploy/swap tenants live; scrape the metrics address for plaintext
+//! counters. See `docs/PROTOCOL.md` for the wire format.
+
+#![deny(unsafe_code)]
+
+use std::time::Duration;
+
+use ghsom_daemon::{Daemon, DaemonConfig};
+
+const USAGE: &str = "usage: ghsom-daemon --spool <dir> [--listen <addr>] [--metrics <addr>] \
+[--queue-capacity <batches>] [--shards <n>] [--poll-ms <ms>] [--frame-timeout-secs <s>] \
+[--max-seconds <s>]";
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("ghsom-daemon: {message}");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut spool: Option<String> = None;
+    let mut listen = "127.0.0.1:7700".to_string();
+    let mut metrics = "127.0.0.1:7701".to_string();
+    let mut queue_capacity = 64usize;
+    let mut shards = 1usize;
+    let mut poll_ms = 250u64;
+    let mut frame_timeout_secs = 10u64;
+    let mut max_seconds = 0u64;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            "--spool" => spool = Some(required(&mut it, flag)?),
+            "--listen" => listen = required(&mut it, flag)?,
+            "--metrics" => metrics = required(&mut it, flag)?,
+            "--queue-capacity" => queue_capacity = parsed(&mut it, flag)?,
+            "--shards" => shards = parsed(&mut it, flag)?,
+            "--poll-ms" => poll_ms = parsed(&mut it, flag)?,
+            "--frame-timeout-secs" => frame_timeout_secs = parsed(&mut it, flag)?,
+            "--max-seconds" => max_seconds = parsed(&mut it, flag)?,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let spool = spool.ok_or_else(|| "--spool is required".to_string())?;
+
+    let config = DaemonConfig::new(&spool)
+        .with_ingest_addr(&listen)
+        .with_metrics_addr(&metrics)
+        .with_queue_capacity(queue_capacity)
+        .with_shards(shards)
+        .with_poll_interval(Duration::from_millis(poll_ms))
+        .with_frame_timeout(Duration::from_secs(frame_timeout_secs));
+    let daemon = Daemon::start(config).map_err(|e| e.to_string())?;
+    println!("ghsom-daemon serving spool {spool}");
+    println!("  ingest  {}", daemon.ingest_addr());
+    println!("  metrics {}", daemon.metrics_addr());
+
+    if max_seconds == 0 {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_secs(max_seconds));
+    daemon.shutdown();
+    Ok(())
+}
+
+fn required(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn parsed<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    let raw = required(it, flag)?;
+    raw.parse()
+        .map_err(|_| format!("{flag} value '{raw}' is not valid"))
+}

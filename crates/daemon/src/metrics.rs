@@ -1,0 +1,510 @@
+//! The daemon's observability surface: lock-free per-tenant counters and a
+//! fixed-bucket latency histogram, rendered as plaintext on the metrics
+//! listener.
+//!
+//! Everything on the scoring hot path is a relaxed atomic increment; the
+//! only lock is a read-mostly [`RwLock`] around the tenant map, taken for
+//! writing exactly once per tenant lifetime. The text format is documented
+//! in `docs/PROTOCOL.md` and kept deliberately Prometheus-shaped
+//! (`name{label="value"} number` lines) so standard scrapers can parse it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ghsom_serve::SpoolEvent;
+use parking_lot::RwLock;
+
+/// Upper bounds (µs) of the latency histogram's finite buckets. The last
+/// bucket is an implicit overflow for anything above 250 ms.
+const LATENCY_BOUNDS_US: [u64; 15] = [
+    5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+];
+
+/// Fixed-bucket histogram of batch scoring latencies in microseconds.
+///
+/// Quantiles are read as the upper bound of the bucket containing the
+/// requested cumulative rank — a deliberate over-estimate, so a reported
+/// p99 is a guarantee, not an average.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn observe_us(&self, micros: u64) {
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|bound| micros <= *bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        if let Some(bucket) = self.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bound (µs) of the bucket holding the `q`-quantile
+    /// observation. `None` with no observations; `u64::MAX` when the
+    /// quantile lands in the overflow bucket (rendered as `inf`).
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(bucket.load(Ordering::Relaxed));
+            if seen >= rank {
+                return Some(LATENCY_BOUNDS_US.get(idx).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// Per-tenant counters. All increments are relaxed atomics; readers see a
+/// consistent-enough snapshot for operational dashboards and the soak
+/// test's exact reconciliation (which reads after all writers quiesce).
+#[derive(Debug, Default)]
+pub struct TenantMetrics {
+    records_total: AtomicU64,
+    batches_total: AtomicU64,
+    flagged_total: AtomicU64,
+    overload_batches: AtomicU64,
+    overload_records: AtomicU64,
+    internal_rejects: AtomicU64,
+    /// Signed: the enqueue (reader thread) and dequeue (worker thread)
+    /// increments race, so the counter may transiently dip below zero;
+    /// it is exact once writers quiesce. Readers clamp at zero.
+    queue_depth: AtomicI64,
+    queue_high_water: AtomicU64,
+    latency: LatencyHistogram,
+    deploys: AtomicU64,
+    swaps: AtomicU64,
+    retires: AtomicU64,
+    bundle_rejects: AtomicU64,
+}
+
+impl TenantMetrics {
+    /// Records a scored batch: its size, how many records were flagged
+    /// anomalous, and the engine-side latency.
+    pub fn record_batch(&self, records: u64, flagged: u64, micros: u64) {
+        self.records_total.fetch_add(records, Ordering::Relaxed);
+        self.batches_total.fetch_add(1, Ordering::Relaxed);
+        self.flagged_total.fetch_add(flagged, Ordering::Relaxed);
+        self.latency.observe_us(micros);
+    }
+
+    /// Records a load-shed batch of `records` records.
+    pub fn record_overload(&self, records: u64) {
+        self.overload_batches.fetch_add(1, Ordering::Relaxed);
+        self.overload_records.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Records a post-admission scoring failure.
+    pub fn record_internal_reject(&self) {
+        self.internal_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A batch entered the tenant's ingest queue (call *after* the
+    /// bounded channel accepted it, so high water never exceeds the
+    /// channel capacity plus the one batch a worker is dequeuing).
+    pub fn queue_entered(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        if depth > 0 {
+            self.queue_high_water
+                .fetch_max(depth as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// A batch left the tenant's ingest queue.
+    pub fn queue_left(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Total records scored.
+    pub fn records_total(&self) -> u64 {
+        self.records_total.load(Ordering::Relaxed)
+    }
+
+    /// Total batches scored.
+    pub fn batches_total(&self) -> u64 {
+        self.batches_total.load(Ordering::Relaxed)
+    }
+
+    /// Total records flagged anomalous.
+    pub fn flagged_total(&self) -> u64 {
+        self.flagged_total.load(Ordering::Relaxed)
+    }
+
+    /// Batches refused with `Overloaded`.
+    pub fn overload_batches(&self) -> u64 {
+        self.overload_batches.load(Ordering::Relaxed)
+    }
+
+    /// Records inside refused batches.
+    pub fn overload_records(&self) -> u64 {
+        self.overload_records.load(Ordering::Relaxed)
+    }
+
+    /// Batches refused with `Internal` after admission.
+    pub fn internal_rejects(&self) -> u64 {
+        self.internal_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Current ingest queue depth (clamped at zero during the transient
+    /// enqueue/dequeue race).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed).max(0) as u64
+    }
+
+    /// Highest ingest queue depth ever observed.
+    pub fn queue_high_water(&self) -> u64 {
+        self.queue_high_water.load(Ordering::Relaxed)
+    }
+
+    /// The batch latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Spool deployments seen for this tenant.
+    pub fn deploys(&self) -> u64 {
+        self.deploys.load(Ordering::Relaxed)
+    }
+
+    /// Spool swaps seen for this tenant.
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Spool retirements seen for this tenant.
+    pub fn retires(&self) -> u64 {
+        self.retires.load(Ordering::Relaxed)
+    }
+
+    /// Spool bundles rejected for this tenant (bad checksum, truncated
+    /// bundle, …) — the serving engine keeps running when this ticks.
+    pub fn bundle_rejects(&self) -> u64 {
+        self.bundle_rejects.load(Ordering::Relaxed)
+    }
+}
+
+/// Process-wide metrics root, shared by every connection, worker and the
+/// spool watcher.
+#[derive(Debug)]
+pub struct DaemonMetrics {
+    started: Instant,
+    connections_total: AtomicU64,
+    connections_open: AtomicU64,
+    frames_total: AtomicU64,
+    malformed_total: AtomicU64,
+    unknown_tenant_total: AtomicU64,
+    scan_failures_total: AtomicU64,
+    tenants: RwLock<BTreeMap<String, Arc<TenantMetrics>>>,
+}
+
+impl Default for DaemonMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DaemonMetrics {
+    /// A fresh metrics root with the uptime clock started now.
+    pub fn new() -> Self {
+        DaemonMetrics {
+            started: Instant::now(),
+            connections_total: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            frames_total: AtomicU64::new(0),
+            malformed_total: AtomicU64::new(0),
+            unknown_tenant_total: AtomicU64::new(0),
+            scan_failures_total: AtomicU64::new(0),
+            tenants: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// An ingest connection was accepted.
+    pub fn connection_opened(&self) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+        self.connections_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An ingest connection closed (cleanly or not).
+    pub fn connection_closed(&self) {
+        let _ = self
+            .connections_open
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+
+    /// A complete frame (of any type) was read off a connection.
+    pub fn frame_received(&self) {
+        self.frames_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A connection delivered bytes that failed frame or payload
+    /// validation.
+    pub fn record_malformed(&self) {
+        self.malformed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A batch named a tenant with no deployed engine.
+    pub fn record_unknown_tenant(&self) {
+        self.unknown_tenant_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The per-tenant counters for `name`, created on first use.
+    pub fn tenant(&self, name: &str) -> Arc<TenantMetrics> {
+        if let Some(existing) = self.tenants.read().get(name) {
+            return Arc::clone(existing);
+        }
+        let mut map = self.tenants.write();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(TenantMetrics::default())),
+        )
+    }
+
+    /// The per-tenant counters for `name`, if any exist yet.
+    pub fn tenant_if_present(&self, name: &str) -> Option<Arc<TenantMetrics>> {
+        self.tenants.read().get(name).map(Arc::clone)
+    }
+
+    /// Folds a spool watcher event into the counters. Tenant-addressed
+    /// events tick that tenant; scan failures tick a global counter.
+    pub fn record_spool_event(&self, event: &SpoolEvent) {
+        match event.tenant() {
+            Some(tenant) => {
+                let t = self.tenant(tenant);
+                match event.kind() {
+                    "deployed" => t.deploys.fetch_add(1, Ordering::Relaxed),
+                    "swapped" => t.swaps.fetch_add(1, Ordering::Relaxed),
+                    "retired" => t.retires.fetch_add(1, Ordering::Relaxed),
+                    "rejected" => t.bundle_rejects.fetch_add(1, Ordering::Relaxed),
+                    _ => self.scan_failures_total.fetch_add(1, Ordering::Relaxed),
+                };
+            }
+            None => {
+                self.scan_failures_total.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total connections ever accepted.
+    pub fn connections_total(&self) -> u64 {
+        self.connections_total.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    pub fn connections_open(&self) -> u64 {
+        self.connections_open.load(Ordering::Relaxed)
+    }
+
+    /// Total frames read.
+    pub fn frames_total(&self) -> u64 {
+        self.frames_total.load(Ordering::Relaxed)
+    }
+
+    /// Total malformed frames/payloads seen.
+    pub fn malformed_total(&self) -> u64 {
+        self.malformed_total.load(Ordering::Relaxed)
+    }
+
+    /// Total unknown-tenant rejects.
+    pub fn unknown_tenant_total(&self) -> u64 {
+        self.unknown_tenant_total.load(Ordering::Relaxed)
+    }
+
+    /// Total spool scan failures (plus watcher events with no tenant).
+    pub fn scan_failures_total(&self) -> u64 {
+        self.scan_failures_total.load(Ordering::Relaxed)
+    }
+
+    /// Renders the whole surface as plaintext, one `name{labels} value`
+    /// line per counter, tenants in stable lexicographic order.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        let _ = writeln!(out, "ghsomd_uptime_seconds {uptime:.3}");
+        let _ = writeln!(out, "ghsomd_connections_total {}", self.connections_total());
+        let _ = writeln!(out, "ghsomd_connections_open {}", self.connections_open());
+        let _ = writeln!(out, "ghsomd_frames_total {}", self.frames_total());
+        let _ = writeln!(out, "ghsomd_malformed_total {}", self.malformed_total());
+        let _ = writeln!(
+            out,
+            "ghsomd_rejects_unknown_tenant_total {}",
+            self.unknown_tenant_total()
+        );
+        let _ = writeln!(
+            out,
+            "ghsomd_spool_scan_failures_total {}",
+            self.scan_failures_total()
+        );
+        let tenants = self.tenants.read();
+        for (name, t) in tenants.iter() {
+            let records = t.records_total();
+            let _ = writeln!(
+                out,
+                "ghsomd_tenant_records_total{{tenant=\"{name}\"}} {records}"
+            );
+            let _ = writeln!(
+                out,
+                "ghsomd_tenant_batches_total{{tenant=\"{name}\"}} {}",
+                t.batches_total()
+            );
+            let _ = writeln!(
+                out,
+                "ghsomd_tenant_flagged_total{{tenant=\"{name}\"}} {}",
+                t.flagged_total()
+            );
+            let _ = writeln!(
+                out,
+                "ghsomd_tenant_records_per_second{{tenant=\"{name}\"}} {:.1}",
+                records as f64 / uptime
+            );
+            let _ = writeln!(
+                out,
+                "ghsomd_tenant_flag_rate{{tenant=\"{name}\"}} {:.6}",
+                if records == 0 {
+                    0.0
+                } else {
+                    t.flagged_total() as f64 / records as f64
+                }
+            );
+            let _ = writeln!(
+                out,
+                "ghsomd_tenant_rejects_total{{tenant=\"{name}\",code=\"overloaded\"}} {}",
+                t.overload_batches()
+            );
+            let _ = writeln!(
+                out,
+                "ghsomd_tenant_rejected_records_total{{tenant=\"{name}\",code=\"overloaded\"}} {}",
+                t.overload_records()
+            );
+            let _ = writeln!(
+                out,
+                "ghsomd_tenant_rejects_total{{tenant=\"{name}\",code=\"internal\"}} {}",
+                t.internal_rejects()
+            );
+            let _ = writeln!(
+                out,
+                "ghsomd_tenant_queue_depth{{tenant=\"{name}\"}} {}",
+                t.queue_depth()
+            );
+            let _ = writeln!(
+                out,
+                "ghsomd_tenant_queue_high_water{{tenant=\"{name}\"}} {}",
+                t.queue_high_water()
+            );
+            for (q, label) in [(0.5, "0.5"), (0.99, "0.99")] {
+                let value = match t.latency().quantile_us(q) {
+                    None => "0".to_string(),
+                    Some(u64::MAX) => "inf".to_string(),
+                    Some(us) => us.to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "ghsomd_tenant_batch_latency_us{{tenant=\"{name}\",quantile=\"{label}\"}} {value}"
+                );
+            }
+            for (what, value) in [
+                ("deployed", t.deploys()),
+                ("swapped", t.swaps()),
+                ("retired", t.retires()),
+                ("rejected", t.bundle_rejects()),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "ghsomd_tenant_spool_events_total{{tenant=\"{name}\",kind=\"{what}\"}} {value}"
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_over_estimate() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        for _ in 0..99 {
+            h.observe_us(7); // lands in the <=10 bucket
+        }
+        h.observe_us(400_000); // overflow bucket
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.5), Some(10));
+        assert_eq!(h.quantile_us(0.99), Some(10));
+        assert_eq!(h.quantile_us(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn queue_depth_is_exact_at_quiesce_and_clamped_in_flight() {
+        let t = TenantMetrics::default();
+        // A dequeue racing ahead of its enqueue dips below zero
+        // internally but reads as zero…
+        t.queue_left();
+        assert_eq!(t.queue_depth(), 0);
+        // …and the late enqueue restores exactness: net one in queue.
+        t.queue_entered();
+        t.queue_entered();
+        assert_eq!(t.queue_depth(), 1);
+        t.queue_entered();
+        assert_eq!(t.queue_depth(), 2);
+        assert_eq!(t.queue_high_water(), 2);
+        t.queue_left();
+        t.queue_left();
+        assert_eq!(t.queue_depth(), 0);
+        assert_eq!(t.queue_high_water(), 2);
+    }
+
+    #[test]
+    fn render_is_stable_and_parseable() {
+        let m = DaemonMetrics::new();
+        m.connection_opened();
+        m.frame_received();
+        let t = m.tenant("edge");
+        t.record_batch(100, 3, 42);
+        t.record_overload(50);
+        let text = m.render();
+        assert!(text.contains("ghsomd_connections_total 1"));
+        assert!(text.contains("ghsomd_tenant_records_total{tenant=\"edge\"} 100"));
+        assert!(text.contains("ghsomd_tenant_flagged_total{tenant=\"edge\"} 3"));
+        assert!(text.contains(
+            "ghsomd_tenant_rejected_records_total{tenant=\"edge\",code=\"overloaded\"} 50"
+        ));
+        // Every line is `name value` or `name{labels} value`.
+        for line in text.lines() {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok() || value == "inf",
+                "unparseable value in line: {line}"
+            );
+            assert!(parts.next().unwrap().starts_with("ghsomd_"));
+        }
+    }
+
+    #[test]
+    fn tenant_map_is_create_on_first_use() {
+        let m = DaemonMetrics::new();
+        assert!(m.tenant_if_present("a").is_none());
+        let t1 = m.tenant("a");
+        let t2 = m.tenant("a");
+        assert!(Arc::ptr_eq(&t1, &t2));
+    }
+}

@@ -1,0 +1,78 @@
+//! Shared fixtures for the daemon integration tests: tiny trained
+//! engines, spool directories with atomic bundle publishes, and metrics
+//! scraping helpers.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use ghsom_core::GhsomConfig;
+use ghsom_serve::{Engine, EngineConfig};
+use traffic::ConnectionRecord;
+
+/// Trains a small engine on synthetic KDD traffic and returns it with a
+/// held-out record set for client batches.
+pub fn small_engine(seed: u64) -> (Engine, Vec<ConnectionRecord>) {
+    let (train, test) = traffic::synth::kdd_train_test(400, 256, seed).unwrap();
+    let config = EngineConfig::default()
+        .with_ghsom(GhsomConfig::default().with_epochs(2, 2).with_seed(seed))
+        .with_stream(4.0, 50);
+    let engine = Engine::fit(&config, &train).unwrap();
+    (engine, test.records().to_vec())
+}
+
+/// A fresh per-process spool directory under the system temp dir.
+pub fn temp_spool(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ghsom_daemon_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Atomic publish: temp name + rename, the workflow the spool watcher
+/// expects (it never sees a half-written bundle).
+pub fn publish(spool: &Path, tenant: &str, bytes: &[u8]) {
+    let tmp = spool.join(format!(".{tenant}.tmp"));
+    std::fs::write(&tmp, bytes).unwrap();
+    std::fs::rename(&tmp, spool.join(format!("{tenant}.bundle"))).unwrap();
+}
+
+/// One plaintext scrape of the daemon's metrics listener.
+pub fn scrape(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    text
+}
+
+/// Polls the metrics listener until `pred` holds or `deadline` passes;
+/// returns the last scrape and whether the predicate was met.
+pub fn scrape_until(
+    addr: SocketAddr,
+    deadline: Duration,
+    mut pred: impl FnMut(&str) -> bool,
+) -> (String, bool) {
+    let start = Instant::now();
+    loop {
+        let text = scrape(addr);
+        if pred(&text) {
+            return (text, true);
+        }
+        if start.elapsed() > deadline {
+            return (text, false);
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Value of the metrics line that starts with `line_start` (the full
+/// name-plus-labels prefix), if present.
+pub fn metric(text: &str, line_start: &str) -> Option<f64> {
+    text.lines()
+        .find_map(|l| l.strip_prefix(line_start)?.trim().parse().ok())
+}

@@ -1,0 +1,98 @@
+//! Spool-watcher event stream → daemon metrics (ISSUE 9 satellite):
+//! the daemon consumes `SpoolWatcher` events and surfaces them as
+//! per-tenant counters. Deploys are visible at startup; a rejected
+//! bundle and a retire each appear on the metrics listener within one
+//! poll interval (plus scheduling slack); a retired tenant's traffic
+//! turns into typed `UnknownTenant` rejects while the daemon keeps
+//! serving everyone else.
+
+mod common;
+
+use std::time::Duration;
+
+use ghsom_daemon::{Daemon, DaemonClient, DaemonConfig, DaemonError, RejectCode};
+
+const POLL: Duration = Duration::from_millis(100);
+/// CI boxes stall; one poll interval of budget, with 20 intervals of
+/// slack, still proves the event flows through "the next poll".
+const EVENT_DEADLINE: Duration = Duration::from_secs(2);
+
+#[test]
+fn watcher_events_reach_metrics_within_a_poll() {
+    let spool = common::temp_spool("watch_metrics");
+    let (engine_a, records) = common::small_engine(51);
+    let (engine_b, _) = common::small_engine(52);
+    common::publish(&spool, "prod", &engine_a.to_bytes());
+
+    let daemon = Daemon::start(DaemonConfig::new(&spool).with_poll_interval(POLL)).unwrap();
+    let metrics_addr = daemon.metrics_addr();
+
+    // The startup poll deployed the pre-existing bundle.
+    let text = common::scrape(metrics_addr);
+    assert_eq!(
+        common::metric(
+            &text,
+            "ghsomd_tenant_spool_events_total{tenant=\"prod\",kind=\"deployed\"}"
+        ),
+        Some(1.0),
+        "{text}"
+    );
+
+    let mut client = DaemonClient::connect(daemon.ingest_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    assert_eq!(client.score("prod", &records[..16]).unwrap().len(), 16);
+
+    // A corrupt bundle for a new tenant: rejected, attributed to the
+    // file-stem tenant, current tenants untouched.
+    common::publish(&spool, "mangled", b"GHSB not really a bundle");
+    let (text, seen) = common::scrape_until(metrics_addr, EVENT_DEADLINE, |t| {
+        common::metric(
+            t,
+            "ghsomd_tenant_spool_events_total{tenant=\"mangled\",kind=\"rejected\"}",
+        )
+        .is_some_and(|v| v >= 1.0)
+    });
+    assert!(seen, "rejected-bundle event never reached metrics:\n{text}");
+
+    // A swap: replace prod's bundle with a retrained engine.
+    common::publish(&spool, "prod", &engine_b.to_bytes());
+    let (text, seen) = common::scrape_until(metrics_addr, EVENT_DEADLINE, |t| {
+        common::metric(
+            t,
+            "ghsomd_tenant_spool_events_total{tenant=\"prod\",kind=\"swapped\"}",
+        )
+        .is_some_and(|v| v >= 1.0)
+    });
+    assert!(seen, "swap event never reached metrics:\n{text}");
+    // Traffic flows across the swap on the same connection.
+    assert_eq!(client.score("prod", &records[..16]).unwrap().len(), 16);
+
+    // A retire: delete the bundle; the event lands and the tenant's
+    // traffic becomes a typed reject, not an error or a hang.
+    std::fs::remove_file(spool.join("prod.bundle")).unwrap();
+    let (text, seen) = common::scrape_until(metrics_addr, EVENT_DEADLINE, |t| {
+        common::metric(
+            t,
+            "ghsomd_tenant_spool_events_total{tenant=\"prod\",kind=\"retired\"}",
+        )
+        .is_some_and(|v| v >= 1.0)
+    });
+    assert!(seen, "retire event never reached metrics:\n{text}");
+
+    let err = client.score("prod", &records[..16]).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            DaemonError::Rejected {
+                code: RejectCode::UnknownTenant,
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+
+    daemon.shutdown();
+    std::fs::remove_dir_all(&spool).ok();
+}

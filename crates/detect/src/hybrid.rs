@@ -46,6 +46,96 @@ pub struct HybridVerdict {
     pub category: Option<AttackCategory>,
 }
 
+impl HybridVerdict {
+    /// Width of the fixed wire encoding produced by
+    /// [`HybridVerdict::to_wire`].
+    pub const WIRE_LEN: usize = 10;
+
+    /// Wire byte for "anomalous of unknown kind" (`category == None`).
+    const WIRE_NO_CATEGORY: u8 = 0xFF;
+
+    /// Encodes the verdict into its fixed little-endian wire form:
+    /// `score` as 8 raw IEEE-754 bytes (bit-faithful, so a decode
+    /// reproduces the verdict exactly), `anomalous` as one `0`/`1` byte,
+    /// and `category` as its index in [`AttackCategory::ALL`] (`0xFF`
+    /// for `None`). This is the response encoding network daemons ship
+    /// per record; the format is normative in `docs/PROTOCOL.md`.
+    pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        let (score, tail) = out.split_at_mut(8);
+        score.copy_from_slice(&self.score.to_le_bytes());
+        if let [anomalous, category] = tail {
+            *anomalous = u8::from(self.anomalous);
+            *category = match self.category {
+                None => Self::WIRE_NO_CATEGORY,
+                Some(c) => wire_category_code(c),
+            };
+        }
+        out
+    }
+
+    /// Decodes a verdict from its [`HybridVerdict::to_wire`] form.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] when the `anomalous` byte is
+    /// not `0`/`1` or the category byte names no [`AttackCategory`] —
+    /// hostile bytes are a typed error, never a partial verdict.
+    pub fn from_wire(bytes: &[u8; Self::WIRE_LEN]) -> Result<Self, DetectError> {
+        let (score, tail) = bytes.split_at(8);
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(score);
+        let (&anomalous, &category) = match tail {
+            [a, c] => (a, c),
+            // Unreachable by the split width, kept total for the lint.
+            _ => {
+                return Err(DetectError::InvalidParameter {
+                    name: "verdict",
+                    reason: "wire verdict has the wrong width",
+                })
+            }
+        };
+        let anomalous = match anomalous {
+            0 => false,
+            1 => true,
+            _ => {
+                return Err(DetectError::InvalidParameter {
+                    name: "anomalous",
+                    reason: "wire verdict flag byte must be 0 or 1",
+                })
+            }
+        };
+        let category = if category == Self::WIRE_NO_CATEGORY {
+            None
+        } else {
+            Some(
+                AttackCategory::ALL
+                    .get(usize::from(category))
+                    .copied()
+                    .ok_or(DetectError::InvalidParameter {
+                        name: "category",
+                        reason: "wire verdict category byte is out of range",
+                    })?,
+            )
+        };
+        Ok(HybridVerdict {
+            score: f64::from_le_bytes(raw),
+            anomalous,
+            category,
+        })
+    }
+}
+
+/// Stable wire code of a category: its index in [`AttackCategory::ALL`].
+fn wire_category_code(category: AttackCategory) -> u8 {
+    AttackCategory::ALL
+        .iter()
+        .position(|c| *c == category)
+        .map(|i| u8::try_from(i).unwrap_or(HybridVerdict::WIRE_NO_CATEGORY))
+        // Unreachable: ALL enumerates every variant; kept total.
+        .unwrap_or(HybridVerdict::WIRE_NO_CATEGORY)
+}
+
 /// Labels + QE threshold combined.
 ///
 /// Generic over the hierarchy representation `M` like its

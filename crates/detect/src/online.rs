@@ -25,6 +25,60 @@ pub struct StreamVerdict {
     pub threshold: f64,
 }
 
+impl StreamVerdict {
+    /// Width of the fixed wire encoding produced by
+    /// [`StreamVerdict::to_wire`].
+    pub const WIRE_LEN: usize = 17;
+
+    /// Encodes the verdict into its fixed little-endian wire form:
+    /// `score` and `threshold` as raw IEEE-754 bytes (bit-faithful —
+    /// the in-force threshold may legitimately be any float the
+    /// adaptive baseline produced) with the `anomalous` `0`/`1` byte
+    /// between them. The response encoding network daemons ship per
+    /// streamed record; normative in `docs/PROTOCOL.md`.
+    pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        let (score, tail) = out.split_at_mut(8);
+        score.copy_from_slice(&self.score.to_le_bytes());
+        let (flag, threshold) = tail.split_at_mut(1);
+        flag.copy_from_slice(&[u8::from(self.anomalous)]);
+        threshold.copy_from_slice(&self.threshold.to_le_bytes());
+        out
+    }
+
+    /// Decodes a verdict from its [`StreamVerdict::to_wire`] form.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] when the `anomalous` byte is
+    /// not `0`/`1` — hostile bytes are a typed error, never a partial
+    /// verdict.
+    pub fn from_wire(bytes: &[u8; Self::WIRE_LEN]) -> Result<Self, DetectError> {
+        let (score, tail) = bytes.split_at(8);
+        let (flag, threshold) = tail.split_at(1);
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(score);
+        let score = f64::from_le_bytes(raw);
+        raw.copy_from_slice(threshold);
+        let threshold = f64::from_le_bytes(raw);
+        let anomalous = match flag.first() {
+            Some(0) => false,
+            Some(1) => true,
+            _ => {
+                return Err(DetectError::InvalidParameter {
+                    name: "anomalous",
+                    reason: "wire verdict flag byte must be 0 or 1",
+                })
+            }
+        };
+        Ok(StreamVerdict {
+            score,
+            anomalous,
+            threshold,
+        })
+    }
+}
+
 /// A consistent snapshot of a stream session.
 ///
 /// Produced by [`StreamingDetector::stats`] under **one** lock

@@ -1,0 +1,11 @@
+//@ path: crates/daemon/src/server.rs
+//@ find: no-panic@7
+//@ find: no-panic@10
+// The daemon crate is on the serving path: a panic in the network
+// front-end kills every tenant at once, so R2 applies to it.
+pub fn admit(queue: Option<usize>) -> usize {
+    queue.unwrap()
+}
+pub fn dispatch() {
+    panic!("connection state desynced")
+}

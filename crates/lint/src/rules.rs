@@ -3,8 +3,9 @@
 //! Normative rule descriptions live in `docs/LINT.md`; this module is
 //! the executable version. Scope conventions used below:
 //!
-//! * *serving crates* — `serve`, `detect`, `featurize`, `mathkit`: the
-//!   crates on the record→vector→walk→verdict path.
+//! * *serving crates* — `serve`, `detect`, `featurize`, `mathkit`,
+//!   `daemon`: the crates on the record→vector→walk→verdict path and
+//!   the network front-end that feeds it.
 //! * *non-test* — outside any `#[cfg(test)]`-gated item, and not under
 //!   a crate's `tests/` or `benches/` directory.
 //! * Every rule except `allow` honors a `// LINT-ALLOW(<rule>): <reason>`
@@ -53,7 +54,7 @@ pub const RULES: [(&str, &str); 7] = [
 ];
 
 /// Crates on the serving path (R2 scope).
-const SERVING_CRATES: [&str; 4] = ["serve", "detect", "featurize", "mathkit"];
+const SERVING_CRATES: [&str; 5] = ["serve", "detect", "featurize", "mathkit", "daemon"];
 
 /// The one file allowed to touch `GHSOM_THREADS` via set_var/remove_var.
 const ENV_GUARD_FILE: &str = "crates/bench/src/pin.rs";

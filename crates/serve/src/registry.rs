@@ -274,6 +274,14 @@ impl EngineRegistry {
         self.get(name)?.observe_records(records)
     }
 
+    /// Whether an engine is deployed under `name` — the cheap existence
+    /// probe for admission control (an ingest front-end rejecting
+    /// batches for unknown tenants should not pay for an `Arc` clone or
+    /// construct an error per probe).
+    pub fn contains(&self, name: &str) -> bool {
+        self.tenants.read().contains_key(name)
+    }
+
     /// Sorted tenant names.
     pub fn tenants(&self) -> Vec<String> {
         let mut names: Vec<String> = self.tenants.read().keys().cloned().collect();

@@ -153,6 +153,38 @@ pub enum SpoolEvent {
     },
 }
 
+impl SpoolEvent {
+    /// Stable machine-readable name of the event kind — the label an
+    /// operator surface (structured log line, per-event metrics counter)
+    /// tags watcher activity with. One of `"deployed"`, `"swapped"`,
+    /// `"retired"`, `"rejected"`, `"scan_failed"`; future variants get
+    /// their own snake_case names.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SpoolEvent::Deployed { .. } => "deployed",
+            SpoolEvent::Swapped { .. } => "swapped",
+            SpoolEvent::Retired { .. } => "retired",
+            SpoolEvent::Rejected { .. } => "rejected",
+            SpoolEvent::ScanFailed { .. } => "scan_failed",
+        }
+    }
+
+    /// The tenant the event concerns, when one can be named:
+    /// deploy/swap/retire carry the tenant directly, and a rejected
+    /// bundle is attributed to the tenant its file stem names (it never
+    /// reached the registry, but the operator wants the rejection
+    /// counted against that tenant). `None` for scan-level events.
+    pub fn tenant(&self) -> Option<&str> {
+        match self {
+            SpoolEvent::Deployed { tenant, .. }
+            | SpoolEvent::Swapped { tenant, .. }
+            | SpoolEvent::Retired { tenant, .. } => Some(tenant),
+            SpoolEvent::Rejected { path, .. } => path.file_stem().and_then(|s| s.to_str()),
+            SpoolEvent::ScanFailed { .. } => None,
+        }
+    }
+}
+
 /// Watches a spool directory of bundle files and keeps an
 /// [`EngineRegistry`] in sync with it — see the [module docs](self).
 #[derive(Debug)]

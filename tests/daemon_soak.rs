@@ -1,0 +1,421 @@
+//! Deterministic soak of the serving daemon (ISSUE 9): three steady
+//! clients stream score batches for tenant `alpha` while (a) a
+//! retrained bundle swap lands in the spool mid-stream and (b) a
+//! flooding client pipelines oversized bursts at tenant `burst` until
+//! it draws `Overloaded` rejects. The invariants checked at the end:
+//!
+//! * **zero dropped verdicts** — every admitted batch produced exactly
+//!   one verdict frame (steady clients are lock-step and must never see
+//!   an error; the flooder's verdicts + rejects account for every batch
+//!   it sent);
+//! * **bounded queues** — per-tenant queue high-water never exceeds the
+//!   configured capacity, and depth returns to zero at quiesce;
+//! * **metrics reconcile exactly** — per-tenant records/batches/flagged/
+//!   reject counters equal the client-side ledgers, and the swap shows
+//!   up as a spool event.
+//!
+//! The final metrics scrape is written to `target/daemon-soak-metrics.txt`
+//! (override with `GHSOM_SOAK_METRICS_OUT`) so CI can upload it as an
+//! artifact.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ghsom_daemon::protocol::{Response, VerdictPayload};
+use ghsom_daemon::{Daemon, DaemonClient, DaemonConfig, DaemonError, RejectCode};
+use ghsom_suite::prelude::*;
+
+const STEADY_CLIENTS: usize = 3;
+const STEADY_ROUNDS: usize = 50;
+const STEADY_BATCH: usize = 128;
+/// Steady round after which the retrained bundle must have swapped in —
+/// clients stall there until it has, guaranteeing post-swap traffic.
+const SWAP_GATE: usize = 40;
+const FLOOD_PIPELINE: usize = 24;
+const FLOOD_BATCH: usize = 256;
+const FLOOD_MAX_ROUNDS: usize = 40;
+const QUEUE_CAPACITY: usize = 4;
+
+fn small_engine(seed: u64) -> (Engine, Vec<ConnectionRecord>) {
+    let (train, test) = traffic::synth::kdd_train_test(400, 512, seed).unwrap();
+    let config = EngineConfig::default()
+        .with_ghsom(GhsomConfig::default().with_epochs(2, 2).with_seed(seed))
+        .with_stream(4.0, 50);
+    (
+        Engine::fit(&config, &train).unwrap(),
+        test.records().to_vec(),
+    )
+}
+
+fn publish(spool: &std::path::Path, tenant: &str, bytes: &[u8]) {
+    let tmp = spool.join(format!(".{tenant}.tmp"));
+    std::fs::write(&tmp, bytes).unwrap();
+    std::fs::rename(&tmp, spool.join(format!("{tenant}.bundle"))).unwrap();
+}
+
+fn scrape(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    text
+}
+
+fn metric(text: &str, line_start: &str) -> Option<f64> {
+    text.lines()
+        .find_map(|l| l.strip_prefix(line_start)?.trim().parse().ok())
+}
+
+fn tenant_metric(text: &str, name: &str, tenant: &str) -> f64 {
+    metric(
+        text,
+        &format!("ghsomd_tenant_{name}{{tenant=\"{tenant}\"}}"),
+    )
+    .unwrap_or_else(|| panic!("metric ghsomd_tenant_{name} missing for {tenant}"))
+}
+
+#[derive(Default)]
+struct SteadyLedger {
+    batches: u64,
+    records: u64,
+    flagged: u64,
+}
+
+#[test]
+fn soak_swap_and_flood_reconcile_exactly() {
+    // -- setup: engines first, so training time doesn't sit inside the soak.
+    let spool = std::env::temp_dir().join(format!("ghsom_daemon_soak_{}", std::process::id()));
+    std::fs::remove_dir_all(&spool).ok();
+    std::fs::create_dir_all(&spool).unwrap();
+    let (alpha_v1, alpha_records) = small_engine(61);
+    let (burst_engine, burst_records) = small_engine(62);
+    let (alpha_v2, _) = small_engine(63);
+    publish(&spool, "alpha", &alpha_v1.to_bytes());
+    publish(&spool, "burst", &burst_engine.to_bytes());
+
+    let daemon = Daemon::start(
+        DaemonConfig::new(&spool)
+            .with_queue_capacity(QUEUE_CAPACITY)
+            .with_poll_interval(Duration::from_millis(100)),
+    )
+    .unwrap();
+    let ingest = daemon.ingest_addr();
+    let metrics_addr = daemon.metrics_addr();
+
+    let swap_done = Arc::new(AtomicBool::new(false));
+    let steady_batches_done = Arc::new(AtomicU64::new(0));
+    let alpha_records = Arc::new(alpha_records);
+
+    // -- steady clients: lock-step, must never see an error.
+    let steady: Vec<_> = (0..STEADY_CLIENTS)
+        .map(|c| {
+            let records = Arc::clone(&alpha_records);
+            let swap_done = Arc::clone(&swap_done);
+            let done = Arc::clone(&steady_batches_done);
+            std::thread::spawn(move || {
+                let mut client = DaemonClient::connect(ingest).unwrap();
+                client
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .unwrap();
+                let mut ledger = SteadyLedger::default();
+                for round in 0..STEADY_ROUNDS {
+                    if round == SWAP_GATE {
+                        // Don't let a fast run finish before the swap
+                        // lands: the last rounds must cross it.
+                        while !swap_done.load(Ordering::Acquire) {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                    let start = (c * 31 + round * 17) % (records.len() - STEADY_BATCH);
+                    let batch = &records[start..start + STEADY_BATCH];
+                    let verdicts = client
+                        .score("alpha", batch)
+                        .expect("steady client must never fail across a swap");
+                    assert_eq!(verdicts.len(), STEADY_BATCH, "partial verdict batch");
+                    ledger.batches += 1;
+                    ledger.records += STEADY_BATCH as u64;
+                    ledger.flagged += verdicts.iter().filter(|v| v.anomalous).count() as u64;
+                    done.fetch_add(1, Ordering::Relaxed);
+                }
+                ledger
+            })
+        })
+        .collect();
+
+    // -- flooder: pipelines bursts until it has drawn Overloaded blood.
+    let flooder = {
+        let records = burst_records;
+        std::thread::spawn(move || {
+            let mut client = DaemonClient::connect(ingest).unwrap();
+            client
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            let mut sent = 0u64;
+            let mut verdict_batches = 0u64;
+            let mut verdict_records = 0u64;
+            let mut overloaded = 0u64;
+            for _ in 0..FLOOD_MAX_ROUNDS {
+                for _ in 0..FLOOD_PIPELINE {
+                    client
+                        .send_score_batch("burst", &records[..FLOOD_BATCH])
+                        .unwrap();
+                    sent += 1;
+                }
+                for _ in 0..FLOOD_PIPELINE {
+                    match client.recv_response().unwrap() {
+                        Response::Verdicts { verdicts, .. } => {
+                            let VerdictPayload::Hybrid(v) = verdicts else {
+                                panic!("score batch answered with stream verdicts");
+                            };
+                            assert_eq!(v.len(), FLOOD_BATCH, "partial verdict batch");
+                            verdict_batches += 1;
+                            verdict_records += v.len() as u64;
+                        }
+                        Response::Reject(reject) => {
+                            assert_eq!(
+                                reject.code,
+                                RejectCode::Overloaded,
+                                "flooder drew a non-overload reject: {reject:?}"
+                            );
+                            overloaded += 1;
+                        }
+                        Response::Pong => panic!("unsolicited pong"),
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+                if overloaded > 0 {
+                    break;
+                }
+            }
+            (sent, verdict_batches, verdict_records, overloaded)
+        })
+    };
+
+    // -- mid-stream swap: wait for real traffic, then land the bundle.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while steady_batches_done.load(Ordering::Relaxed) < (STEADY_CLIENTS * 10) as u64 {
+        assert!(Instant::now() < deadline, "steady clients made no progress");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    publish(&spool, "alpha", &alpha_v2.to_bytes());
+    let swap_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let text = scrape(metrics_addr);
+        if metric(
+            &text,
+            "ghsomd_tenant_spool_events_total{tenant=\"alpha\",kind=\"swapped\"}",
+        )
+        .is_some_and(|v| v >= 1.0)
+        {
+            break;
+        }
+        assert!(Instant::now() < swap_deadline, "swap never landed:\n{text}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    swap_done.store(true, Ordering::Release);
+
+    // -- drain the soak.
+    let mut steady_total = SteadyLedger::default();
+    for handle in steady {
+        let ledger = handle.join().expect("steady client panicked");
+        steady_total.batches += ledger.batches;
+        steady_total.records += ledger.records;
+        steady_total.flagged += ledger.flagged;
+    }
+    let (flood_sent, flood_verdicts, flood_records, flood_overloaded) =
+        flooder.join().expect("flooder panicked");
+
+    // -- quiesce: queues empty, connections drained.
+    let quiesce_deadline = Instant::now() + Duration::from_secs(15);
+    let final_text = loop {
+        let text = scrape(metrics_addr);
+        let drained = tenant_metric(&text, "queue_depth", "alpha") == 0.0
+            && tenant_metric(&text, "queue_depth", "burst") == 0.0
+            && metric(&text, "ghsomd_connections_open").unwrap_or(f64::NAN) == 0.0;
+        if drained {
+            break text;
+        }
+        assert!(
+            Instant::now() < quiesce_deadline,
+            "daemon never quiesced:\n{text}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    // -- the artifact CI uploads.
+    let out = std::env::var("GHSOM_SOAK_METRICS_OUT")
+        .unwrap_or_else(|_| "target/daemon-soak-metrics.txt".to_string());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&out, &final_text).unwrap();
+
+    // -- invariant 1: zero dropped verdicts.
+    assert_eq!(
+        steady_total.batches,
+        (STEADY_CLIENTS * STEADY_ROUNDS) as u64,
+        "a steady batch went missing"
+    );
+    assert_eq!(
+        flood_verdicts + flood_overloaded,
+        flood_sent,
+        "flooder batches unaccounted for: {flood_verdicts} verdicts + \
+         {flood_overloaded} rejects != {flood_sent} sent"
+    );
+    assert!(
+        flood_overloaded > 0,
+        "the flooder was never load-shed — admission control untested"
+    );
+
+    // -- invariant 2: bounded queues.
+    let alpha_hw = tenant_metric(&final_text, "queue_high_water", "alpha");
+    let burst_hw = tenant_metric(&final_text, "queue_high_water", "burst");
+    assert!(
+        alpha_hw <= QUEUE_CAPACITY as f64,
+        "alpha queue high-water {alpha_hw} exceeds capacity {QUEUE_CAPACITY}"
+    );
+    assert!(
+        burst_hw <= QUEUE_CAPACITY as f64,
+        "burst queue high-water {burst_hw} exceeds capacity {QUEUE_CAPACITY}"
+    );
+    assert!(burst_hw >= 1.0, "flooded lane never queued anything");
+
+    // -- invariant 3: metrics reconcile exactly with the client ledgers.
+    assert_eq!(
+        tenant_metric(&final_text, "records_total", "alpha"),
+        steady_total.records as f64,
+        "\n{final_text}"
+    );
+    assert_eq!(
+        tenant_metric(&final_text, "batches_total", "alpha"),
+        steady_total.batches as f64
+    );
+    assert_eq!(
+        tenant_metric(&final_text, "flagged_total", "alpha"),
+        steady_total.flagged as f64
+    );
+    assert_eq!(
+        metric(
+            &final_text,
+            "ghsomd_tenant_rejects_total{tenant=\"alpha\",code=\"overloaded\"}"
+        ),
+        Some(0.0),
+        "steady lock-step traffic must never be load-shed"
+    );
+    assert_eq!(
+        tenant_metric(&final_text, "records_total", "burst"),
+        flood_records as f64
+    );
+    assert_eq!(
+        tenant_metric(&final_text, "batches_total", "burst"),
+        flood_verdicts as f64
+    );
+    assert_eq!(
+        metric(
+            &final_text,
+            "ghsomd_tenant_rejects_total{tenant=\"burst\",code=\"overloaded\"}"
+        ),
+        Some(flood_overloaded as f64)
+    );
+    assert_eq!(
+        metric(
+            &final_text,
+            "ghsomd_tenant_rejected_records_total{tenant=\"burst\",code=\"overloaded\"}"
+        ),
+        Some((flood_overloaded * FLOOD_BATCH as u64) as f64)
+    );
+    assert_eq!(
+        metric(&final_text, "ghsomd_rejects_unknown_tenant_total"),
+        Some(0.0)
+    );
+    assert_eq!(metric(&final_text, "ghsomd_malformed_total"), Some(0.0));
+
+    // A retained connection still works after the soak (nothing wedged).
+    let mut client = DaemonClient::connect(ingest).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    match client.score("alpha", &alpha_records[..8]) {
+        Ok(verdicts) => assert_eq!(verdicts.len(), 8),
+        Err(e) => panic!("post-soak scoring failed: {e}"),
+    }
+    drop(client);
+
+    daemon.shutdown();
+    std::fs::remove_dir_all(&spool).ok();
+}
+
+/// The flooder's rejects must be typed `Overloaded`, not `Internal` or a
+/// closed connection — spot-check the lock-step client surface too.
+#[test]
+fn lock_step_overload_surfaces_as_typed_reject() {
+    let spool = std::env::temp_dir().join(format!("ghsom_daemon_soak2_{}", std::process::id()));
+    std::fs::remove_dir_all(&spool).ok();
+    std::fs::create_dir_all(&spool).unwrap();
+    let (engine, records) = small_engine(71);
+    publish(&spool, "solo", &engine.to_bytes());
+
+    // Queue capacity 1 and a pipelining client: some batch will bounce.
+    let daemon = Daemon::start(
+        DaemonConfig::new(&spool)
+            .with_queue_capacity(1)
+            .with_poll_interval(Duration::from_millis(100)),
+    )
+    .unwrap();
+    let mut client = DaemonClient::connect(daemon.ingest_addr()).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    let mut overloaded = 0u64;
+    let mut verdicts = 0u64;
+    for _ in 0..10 {
+        let mut sent = 0;
+        for _ in 0..16 {
+            client.send_score_batch("solo", &records[..256]).unwrap();
+            sent += 1;
+        }
+        for _ in 0..sent {
+            match client.recv_response().unwrap() {
+                Response::Verdicts { .. } => verdicts += 1,
+                Response::Reject(reject) => {
+                    assert_eq!(reject.code, RejectCode::Overloaded);
+                    assert!(reject.req_id > 0, "reject must echo the batch req_id");
+                    overloaded += 1;
+                }
+                Response::Pong => panic!("unsolicited pong"),
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        if overloaded > 0 {
+            break;
+        }
+    }
+    assert!(
+        overloaded > 0,
+        "capacity-1 queue never shed a 16-deep burst"
+    );
+    assert!(verdicts > 0, "admitted batches must still be answered");
+
+    // The same connection serves lock-step traffic afterwards.
+    let ok = client.score("solo", &records[..8]).unwrap();
+    assert_eq!(ok.len(), 8);
+
+    // And a genuinely unknown tenant is its own typed reject.
+    let err = client.score("nobody", &records[..8]).unwrap_err();
+    assert!(matches!(
+        &err,
+        DaemonError::Rejected {
+            code: RejectCode::UnknownTenant,
+            ..
+        }
+    ));
+
+    daemon.shutdown();
+    std::fs::remove_dir_all(&spool).ok();
+}
