@@ -1,0 +1,766 @@
+//! The GHSF wire protocol: length-prefixed binary frames over TCP for
+//! the fleet control plane.
+//!
+//! The normative specification lives in `docs/FLEET.md`; this module is
+//! its reference implementation. GHSF reuses the GHSD header discipline
+//! byte for byte — only the magic differs, so a frame aimed at the
+//! wrong plane dies on the first four bytes:
+//!
+//! ```text
+//! frame   := header payload
+//! header  := magic(4) version(1) frame_type(1) reserved(2) payload_len(4)   -- 12 bytes, LE
+//! magic   := "GHSF"
+//! ```
+//!
+//! Requests are [`FrameType::Offer`] / [`FrameType::Chunk`] /
+//! [`FrameType::Commit`] (the bundle replication plane),
+//! [`FrameType::StateQuery`] (the baseline reduction plane) and
+//! [`FrameType::Ping`]. Responses are [`FrameType::OfferAck`],
+//! [`FrameType::BundleAck`], [`FrameType::StateReply`],
+//! [`FrameType::Nak`] and [`FrameType::Pong`].
+//!
+//! GHSF is **lock-step with one streamed exception**: every request
+//! expects exactly one response before the next request, except `Chunk`
+//! frames, which are streamed unacknowledged between an `OfferAck` and
+//! a `Commit` — the commit's single `BundleAck`/`Nak` answers for the
+//! whole transfer. Decoding is total: any byte sequence either decodes
+//! or produces a typed [`CommsError`] — never a panic, and a hostile
+//! declared length is rejected from the 12 header bytes alone, before
+//! any payload allocation.
+
+use crate::error::{CommsError, NakCode};
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"GHSF";
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Default cap on a frame's declared payload length (8 MiB — matches
+/// the GHSD default, and bounds one replication chunk).
+pub const DEFAULT_MAX_FRAME_LEN: usize = 8 * 1024 * 1024;
+
+/// Longest tenant name the protocol carries (matches GHSD).
+pub const MAX_TENANT_LEN: usize = 255;
+
+/// Longest nak detail string a node will send.
+pub const MAX_NAK_DETAIL_LEN: usize = 512;
+
+/// Longest opaque state payload a [`FrameType::StateReply`] carries.
+/// (An exported `StreamState` is 40 bytes; the u16 length field leaves
+/// generous room for future state formats.)
+pub const MAX_STATE_LEN: usize = u16::MAX as usize;
+
+/// Payload bytes the replicator sends per [`FrameType::Chunk`] (256 KiB:
+/// far below the frame cap, large enough that syscall overhead is
+/// negligible for multi-MiB bundles).
+pub const CHUNK_LEN: usize = 256 * 1024;
+
+/// Discriminates the ten frame kinds. Request types have the high bit
+/// clear, response types have it set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameType {
+    /// Publisher → node: announce a content-addressed bundle for one
+    /// tenant (total length + FNV-1a 64 checksum).
+    Offer,
+    /// Publisher → node: one contiguous slice of the offered bundle.
+    /// Streamed unacknowledged; any error comes back on the commit.
+    Chunk,
+    /// Publisher → node: every byte was sent — verify and make visible.
+    Commit,
+    /// Publisher → node: ask for a tenant's exported streaming baseline.
+    StateQuery,
+    /// Publisher → node: liveness probe.
+    Ping,
+    /// Node → publisher: the offer is accepted; resume from byte `have`.
+    OfferAck,
+    /// Node → publisher: the bundle verified and is visible in the spool.
+    BundleAck,
+    /// Node → publisher: the tenant's baseline (or its absence).
+    StateReply,
+    /// Node → publisher: typed refusal; the connection closes after it.
+    Nak,
+    /// Node → publisher: answer to [`FrameType::Ping`].
+    Pong,
+}
+
+impl FrameType {
+    /// The frozen wire byte of this frame type.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            FrameType::Offer => 0x01,
+            FrameType::Chunk => 0x02,
+            FrameType::Commit => 0x03,
+            FrameType::StateQuery => 0x04,
+            FrameType::Ping => 0x05,
+            FrameType::OfferAck => 0x81,
+            FrameType::BundleAck => 0x82,
+            FrameType::StateReply => 0x83,
+            FrameType::Nak => 0x84,
+            FrameType::Pong => 0x85,
+        }
+    }
+
+    /// Decodes a wire byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CommsError::UnknownFrameType`] for any other byte.
+    pub fn from_wire(byte: u8) -> Result<Self, CommsError> {
+        match byte {
+            0x01 => Ok(FrameType::Offer),
+            0x02 => Ok(FrameType::Chunk),
+            0x03 => Ok(FrameType::Commit),
+            0x04 => Ok(FrameType::StateQuery),
+            0x05 => Ok(FrameType::Ping),
+            0x81 => Ok(FrameType::OfferAck),
+            0x82 => Ok(FrameType::BundleAck),
+            0x83 => Ok(FrameType::StateReply),
+            0x84 => Ok(FrameType::Nak),
+            0x85 => Ok(FrameType::Pong),
+            other => Err(CommsError::UnknownFrameType(other)),
+        }
+    }
+
+    /// `true` for frame types a publisher sends.
+    pub fn is_request(self) -> bool {
+        matches!(
+            self,
+            FrameType::Offer
+                | FrameType::Chunk
+                | FrameType::Commit
+                | FrameType::StateQuery
+                | FrameType::Ping
+        )
+    }
+}
+
+/// A validated frame header: the frame type plus how many payload bytes
+/// follow the 12 header bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Kind of frame the payload encodes.
+    pub frame_type: FrameType,
+    /// Payload length in bytes (already checked against the caller's cap).
+    pub payload_len: usize,
+}
+
+impl FrameHeader {
+    /// Encodes the 12 header bytes.
+    pub fn encode(frame_type: FrameType, payload_len: u32) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        let (magic, rest) = out.split_at_mut(4);
+        magic.copy_from_slice(&MAGIC);
+        let (meta, len) = rest.split_at_mut(4);
+        meta.copy_from_slice(&[VERSION, frame_type.to_wire(), 0, 0]);
+        len.copy_from_slice(&payload_len.to_le_bytes());
+        out
+    }
+
+    /// Validates 12 header bytes against `max_frame_len`, in order:
+    /// magic, version, frame type, reserved bytes, declared length. The
+    /// declared payload length is checked *here*, before the caller
+    /// reads (or allocates for) a single payload byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CommsError::BadMagic`], [`CommsError::UnsupportedVersion`],
+    /// [`CommsError::UnknownFrameType`], [`CommsError::ReservedNonZero`]
+    /// or [`CommsError::FrameTooLarge`].
+    pub fn decode(bytes: &[u8; HEADER_LEN], max_frame_len: usize) -> Result<Self, CommsError> {
+        let (magic, rest) = bytes.split_at(4);
+        if magic != MAGIC {
+            return Err(CommsError::BadMagic);
+        }
+        let (meta, len) = rest.split_at(4);
+        let version = meta.first().copied().unwrap_or(0);
+        if version != VERSION {
+            return Err(CommsError::UnsupportedVersion {
+                found: version,
+                supported: VERSION,
+            });
+        }
+        let frame_type = FrameType::from_wire(meta.get(1).copied().unwrap_or(0))?;
+        if meta.get(2).copied().unwrap_or(1) != 0 || meta.get(3).copied().unwrap_or(1) != 0 {
+            return Err(CommsError::ReservedNonZero);
+        }
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(len);
+        let declared = u32::from_le_bytes(raw) as usize;
+        if declared > max_frame_len {
+            return Err(CommsError::FrameTooLarge {
+                declared,
+                max: max_frame_len,
+            });
+        }
+        Ok(FrameHeader {
+            frame_type,
+            payload_len: declared,
+        })
+    }
+}
+
+/// A decoded publisher → node frame.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Request {
+    /// Announce a content-addressed bundle for one tenant.
+    Offer {
+        /// Spool tenant the bundle deploys (1–255 UTF-8 bytes, a valid
+        /// file stem — see [`crate::node::validate_tenant`]).
+        tenant: String,
+        /// Total bundle length in bytes (non-zero).
+        total_len: u64,
+        /// FNV-1a 64 checksum of the whole bundle — its content address.
+        checksum: u64,
+    },
+    /// One contiguous slice of the offered bundle, streamed
+    /// unacknowledged after the [`Response::OfferAck`].
+    Chunk {
+        /// Byte offset this slice starts at; must equal the bytes the
+        /// node has staged so far (strictly sequential).
+        offset: u64,
+        /// The slice itself (length implicit in the frame length).
+        data: Vec<u8>,
+    },
+    /// Every offered byte was sent: verify the staged file against the
+    /// offer's checksum and atomically publish it into the spool.
+    Commit {
+        /// Must echo the offer's checksum.
+        checksum: u64,
+    },
+    /// Ask for a tenant's exported streaming baseline.
+    StateQuery {
+        /// The tenant to report on.
+        tenant: String,
+    },
+    /// Liveness probe.
+    Ping,
+}
+
+/// A decoded node → publisher frame.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Response {
+    /// The offer is accepted; the publisher should send bytes starting
+    /// at offset `have` (`have == total_len` means the node already has
+    /// this exact bundle and no bytes need to flow).
+    OfferAck {
+        /// Bytes of this content address the node already holds.
+        have: u64,
+    },
+    /// The staged bytes verified against the offer and were renamed
+    /// into the spool, visible to the node's watcher on its next poll.
+    BundleAck {
+        /// Echo of the committed checksum.
+        checksum: u64,
+    },
+    /// The tenant's exported baseline, or `None` when the node has no
+    /// engine deployed under that tenant.
+    StateReply {
+        /// Opaque exported state bytes (a 40-byte wire `StreamState`
+        /// today; GHSF carries it untyped).
+        state: Option<Vec<u8>>,
+    },
+    /// Typed refusal. The node closes the connection after sending it.
+    Nak {
+        /// Why the request was refused.
+        code: NakCode,
+        /// Operator-facing detail, truncated to [`MAX_NAK_DETAIL_LEN`].
+        detail: String,
+    },
+    /// Answer to a ping.
+    Pong,
+}
+
+// ---------------------------------------------------------------------------
+// payload cursor
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked reader over a payload slice: every read either yields
+/// bytes or a typed [`CommsError::Truncated`].
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CommsError> {
+        let end = self.pos.checked_add(n).ok_or(CommsError::Truncated {
+            needed: n,
+            got: self.remaining(),
+        })?;
+        match self.buf.get(self.pos..end) {
+            Some(slice) => {
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(CommsError::Truncated {
+                needed: n,
+                got: self.remaining(),
+            }),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, CommsError> {
+        let b = self.take(1)?;
+        Ok(b.first().copied().unwrap_or(0))
+    }
+
+    fn u16(&mut self) -> Result<u16, CommsError> {
+        let b = self.take(2)?;
+        let mut a = [0u8; 2];
+        a.copy_from_slice(b);
+        Ok(u16::from_le_bytes(a))
+    }
+
+    fn u64(&mut self) -> Result<u64, CommsError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let out = self.buf.get(self.pos..).unwrap_or_default();
+        self.pos = self.buf.len();
+        out
+    }
+
+    /// Fails unless every payload byte was consumed — trailing garbage
+    /// is as malformed as missing bytes.
+    fn finish(self) -> Result<(), CommsError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CommsError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+fn read_tenant(cur: &mut Cursor<'_>) -> Result<String, CommsError> {
+    let len = cur.u16()? as usize;
+    if len == 0 {
+        return Err(CommsError::Malformed("empty tenant name"));
+    }
+    if len > MAX_TENANT_LEN {
+        return Err(CommsError::Malformed("tenant name longer than 255 bytes"));
+    }
+    Ok(std::str::from_utf8(cur.take(len)?)
+        .map_err(|_| CommsError::Malformed("tenant name is not UTF-8"))?
+        .to_string())
+}
+
+fn write_tenant(payload: &mut Vec<u8>, tenant: &str) -> Result<(), CommsError> {
+    let bytes = tenant.as_bytes();
+    if bytes.is_empty() {
+        return Err(CommsError::Malformed("empty tenant name"));
+    }
+    if bytes.len() > MAX_TENANT_LEN {
+        return Err(CommsError::Malformed("tenant name longer than 255 bytes"));
+    }
+    payload.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    payload.extend_from_slice(bytes);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// frame encode
+// ---------------------------------------------------------------------------
+
+fn finish_frame(frame_type: FrameType, payload: Vec<u8>) -> Result<Vec<u8>, CommsError> {
+    let len = u32::try_from(payload.len()).map_err(|_| CommsError::FrameTooLarge {
+        declared: payload.len(),
+        max: u32::MAX as usize,
+    })?;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&FrameHeader::encode(frame_type, len));
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Encodes a complete request frame (header + payload).
+///
+/// # Errors
+///
+/// [`CommsError::Malformed`] when a tenant name is empty or longer than
+/// [`MAX_TENANT_LEN`] bytes; [`CommsError::FrameTooLarge`] when the
+/// payload overflows the u32 length field.
+pub fn encode_request(request: &Request) -> Result<Vec<u8>, CommsError> {
+    match request {
+        Request::Ping => finish_frame(FrameType::Ping, Vec::new()),
+        Request::Offer {
+            tenant,
+            total_len,
+            checksum,
+        } => {
+            let mut payload = Vec::with_capacity(18 + tenant.len());
+            write_tenant(&mut payload, tenant)?;
+            payload.extend_from_slice(&total_len.to_le_bytes());
+            payload.extend_from_slice(&checksum.to_le_bytes());
+            finish_frame(FrameType::Offer, payload)
+        }
+        Request::Chunk { offset, data } => {
+            let mut payload = Vec::with_capacity(8 + data.len());
+            payload.extend_from_slice(&offset.to_le_bytes());
+            payload.extend_from_slice(data);
+            finish_frame(FrameType::Chunk, payload)
+        }
+        Request::Commit { checksum } => {
+            finish_frame(FrameType::Commit, checksum.to_le_bytes().to_vec())
+        }
+        Request::StateQuery { tenant } => {
+            let mut payload = Vec::with_capacity(2 + tenant.len());
+            write_tenant(&mut payload, tenant)?;
+            finish_frame(FrameType::StateQuery, payload)
+        }
+    }
+}
+
+/// Encodes a complete response frame (header + payload). Nak details
+/// are truncated to [`MAX_NAK_DETAIL_LEN`] bytes on a char boundary.
+///
+/// # Errors
+///
+/// [`CommsError::Malformed`] when a state payload exceeds
+/// [`MAX_STATE_LEN`]; [`CommsError::FrameTooLarge`] when the payload
+/// overflows the u32 length field.
+pub fn encode_response(response: &Response) -> Result<Vec<u8>, CommsError> {
+    match response {
+        Response::Pong => finish_frame(FrameType::Pong, Vec::new()),
+        Response::OfferAck { have } => {
+            finish_frame(FrameType::OfferAck, have.to_le_bytes().to_vec())
+        }
+        Response::BundleAck { checksum } => {
+            finish_frame(FrameType::BundleAck, checksum.to_le_bytes().to_vec())
+        }
+        Response::StateReply { state } => {
+            let mut payload = Vec::with_capacity(3 + state.as_ref().map_or(0, Vec::len));
+            match state {
+                None => payload.extend_from_slice(&[0, 0, 0]),
+                Some(bytes) => {
+                    if bytes.len() > MAX_STATE_LEN {
+                        return Err(CommsError::Malformed("state payload longer than u16::MAX"));
+                    }
+                    payload.push(1);
+                    payload.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+                    payload.extend_from_slice(bytes);
+                }
+            }
+            finish_frame(FrameType::StateReply, payload)
+        }
+        Response::Nak { code, detail } => {
+            let detail = truncate_utf8(detail, MAX_NAK_DETAIL_LEN);
+            let mut payload = Vec::with_capacity(3 + detail.len());
+            payload.push(code.to_wire());
+            payload.extend_from_slice(&(detail.len() as u16).to_le_bytes());
+            payload.extend_from_slice(detail.as_bytes());
+            finish_frame(FrameType::Nak, payload)
+        }
+    }
+}
+
+/// Longest prefix of `s` that fits `max` bytes without splitting a
+/// UTF-8 sequence.
+fn truncate_utf8(s: &str, max: usize) -> &str {
+    if s.len() <= max {
+        return s;
+    }
+    let mut end = max;
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    s.get(..end).unwrap_or("")
+}
+
+// ---------------------------------------------------------------------------
+// frame decode
+// ---------------------------------------------------------------------------
+
+/// Decodes the payload of a request frame whose header was already
+/// validated by [`FrameHeader::decode`].
+///
+/// # Errors
+///
+/// [`CommsError::Malformed`] or [`CommsError::Truncated`] describing the
+/// first structural violation; [`CommsError::UnknownFrameType`] when fed
+/// a response frame type.
+pub fn decode_request(frame_type: FrameType, payload: &[u8]) -> Result<Request, CommsError> {
+    match frame_type {
+        FrameType::Ping => {
+            Cursor::new(payload).finish()?;
+            Ok(Request::Ping)
+        }
+        FrameType::Offer => {
+            let mut cur = Cursor::new(payload);
+            let tenant = read_tenant(&mut cur)?;
+            let total_len = cur.u64()?;
+            let checksum = cur.u64()?;
+            cur.finish()?;
+            if total_len == 0 {
+                return Err(CommsError::Malformed("offered bundle is empty"));
+            }
+            Ok(Request::Offer {
+                tenant,
+                total_len,
+                checksum,
+            })
+        }
+        FrameType::Chunk => {
+            let mut cur = Cursor::new(payload);
+            let offset = cur.u64()?;
+            let data = cur.rest().to_vec();
+            if data.is_empty() {
+                return Err(CommsError::Malformed("empty chunk"));
+            }
+            Ok(Request::Chunk { offset, data })
+        }
+        FrameType::Commit => {
+            let mut cur = Cursor::new(payload);
+            let checksum = cur.u64()?;
+            cur.finish()?;
+            Ok(Request::Commit { checksum })
+        }
+        FrameType::StateQuery => {
+            let mut cur = Cursor::new(payload);
+            let tenant = read_tenant(&mut cur)?;
+            cur.finish()?;
+            Ok(Request::StateQuery { tenant })
+        }
+        other => Err(CommsError::UnknownFrameType(other.to_wire())),
+    }
+}
+
+/// Decodes the payload of a response frame whose header was already
+/// validated by [`FrameHeader::decode`].
+///
+/// # Errors
+///
+/// [`CommsError::Malformed`] or [`CommsError::Truncated`] describing the
+/// first structural violation; [`CommsError::UnknownFrameType`] when fed
+/// a request frame type.
+pub fn decode_response(frame_type: FrameType, payload: &[u8]) -> Result<Response, CommsError> {
+    match frame_type {
+        FrameType::Pong => {
+            Cursor::new(payload).finish()?;
+            Ok(Response::Pong)
+        }
+        FrameType::OfferAck => {
+            let mut cur = Cursor::new(payload);
+            let have = cur.u64()?;
+            cur.finish()?;
+            Ok(Response::OfferAck { have })
+        }
+        FrameType::BundleAck => {
+            let mut cur = Cursor::new(payload);
+            let checksum = cur.u64()?;
+            cur.finish()?;
+            Ok(Response::BundleAck { checksum })
+        }
+        FrameType::StateReply => {
+            let mut cur = Cursor::new(payload);
+            let present = cur.u8()?;
+            let len = cur.u16()? as usize;
+            let state = match present {
+                0 => {
+                    if len != 0 {
+                        return Err(CommsError::Malformed("absent state with a nonzero length"));
+                    }
+                    None
+                }
+                1 => Some(cur.take(len)?.to_vec()),
+                _ => return Err(CommsError::Malformed("state presence byte must be 0 or 1")),
+            };
+            cur.finish()?;
+            Ok(Response::StateReply { state })
+        }
+        FrameType::Nak => {
+            let mut cur = Cursor::new(payload);
+            let code = NakCode::from_wire(cur.u8()?)?;
+            let detail_len = cur.u16()? as usize;
+            let detail = std::str::from_utf8(cur.take(detail_len)?)
+                .map_err(|_| CommsError::Malformed("nak detail is not UTF-8"))?
+                .to_string();
+            cur.finish()?;
+            Ok(Response::Nak { code, detail })
+        }
+        other => Err(CommsError::UnknownFrameType(other.to_wire())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(request: Request) {
+        let frame = encode_request(&request).unwrap();
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&frame[..HEADER_LEN]);
+        let header = FrameHeader::decode(&header, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert!(header.frame_type.is_request());
+        assert_eq!(header.payload_len, frame.len() - HEADER_LEN);
+        let back = decode_request(header.frame_type, &frame[HEADER_LEN..]).unwrap();
+        assert_eq!(back, request);
+    }
+
+    fn roundtrip_response(response: Response) {
+        let frame = encode_response(&response).unwrap();
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&frame[..HEADER_LEN]);
+        let header = FrameHeader::decode(&header, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert!(!header.frame_type.is_request());
+        let back = decode_response(header.frame_type, &frame[HEADER_LEN..]).unwrap();
+        assert_eq!(back, response);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Offer {
+            tenant: "edge-α".to_string(),
+            total_len: 123_456,
+            checksum: 0xDEAD_BEEF_CAFE_F00D,
+        });
+        roundtrip_request(Request::Chunk {
+            offset: 9_000,
+            data: vec![7; 321],
+        });
+        roundtrip_request(Request::Commit { checksum: 42 });
+        roundtrip_request(Request::StateQuery {
+            tenant: "edge".to_string(),
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::OfferAck { have: 512 });
+        roundtrip_response(Response::BundleAck { checksum: 99 });
+        roundtrip_response(Response::StateReply { state: None });
+        roundtrip_response(Response::StateReply {
+            state: Some(vec![1, 2, 3, 4]),
+        });
+        roundtrip_response(Response::Nak {
+            code: NakCode::BadOffset,
+            detail: "expected offset 512".to_string(),
+        });
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_version_type_reserved_and_length() {
+        let good = FrameHeader::encode(FrameType::Ping, 0);
+
+        let mut bad = good;
+        bad[0] = b'X';
+        assert_eq!(FrameHeader::decode(&bad, 1024), Err(CommsError::BadMagic));
+
+        // The GHSD magic dies here too: the planes cannot be crossed.
+        let mut bad = good;
+        bad[..4].copy_from_slice(b"GHSD");
+        assert_eq!(FrameHeader::decode(&bad, 1024), Err(CommsError::BadMagic));
+
+        let mut bad = good;
+        bad[4] = 9;
+        assert!(matches!(
+            FrameHeader::decode(&bad, 1024),
+            Err(CommsError::UnsupportedVersion { found: 9, .. })
+        ));
+
+        let mut bad = good;
+        bad[5] = 0x40;
+        assert_eq!(
+            FrameHeader::decode(&bad, 1024),
+            Err(CommsError::UnknownFrameType(0x40))
+        );
+
+        let mut bad = good;
+        bad[7] = 3;
+        assert_eq!(
+            FrameHeader::decode(&bad, 1024),
+            Err(CommsError::ReservedNonZero)
+        );
+
+        let huge = FrameHeader::encode(FrameType::Chunk, u32::MAX);
+        assert!(matches!(
+            FrameHeader::decode(&huge, 1024),
+            Err(CommsError::FrameTooLarge { max: 1024, .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_payloads_are_typed_errors() {
+        // Empty offer.
+        assert!(decode_request(FrameType::Offer, &[]).is_err());
+        // Zero-length bundle offer.
+        let mut payload = Vec::new();
+        write_tenant(&mut payload, "t").unwrap();
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        assert_eq!(
+            decode_request(FrameType::Offer, &payload),
+            Err(CommsError::Malformed("offered bundle is empty"))
+        );
+        // Trailing garbage after a commit.
+        let mut payload = 1u64.to_le_bytes().to_vec();
+        payload.push(0);
+        assert!(decode_request(FrameType::Commit, &payload).is_err());
+        // Empty chunk.
+        assert_eq!(
+            decode_request(FrameType::Chunk, &5u64.to_le_bytes()),
+            Err(CommsError::Malformed("empty chunk"))
+        );
+        // Bad presence byte.
+        assert!(decode_response(FrameType::StateReply, &[9, 0, 0]).is_err());
+        // Absent state with a declared length.
+        assert!(decode_response(FrameType::StateReply, &[0, 4, 0]).is_err());
+        // Non-UTF-8 tenant.
+        let mut payload = vec![2, 0, 0xFF, 0xFE];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        assert!(decode_request(FrameType::Offer, &payload).is_err());
+        // Request/response confusion is typed.
+        assert!(decode_request(FrameType::Pong, &[]).is_err());
+        assert!(decode_response(FrameType::Offer, &[]).is_err());
+    }
+
+    #[test]
+    fn tenant_limits_enforced_both_ways() {
+        assert!(encode_request(&Request::StateQuery {
+            tenant: String::new()
+        })
+        .is_err());
+        assert!(encode_request(&Request::Offer {
+            tenant: "x".repeat(MAX_TENANT_LEN + 1),
+            total_len: 1,
+            checksum: 0,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn nak_detail_is_truncated_on_char_boundary() {
+        let long = "é".repeat(MAX_NAK_DETAIL_LEN); // 2 bytes per char
+        let frame = encode_response(&Response::Nak {
+            code: NakCode::Internal,
+            detail: long,
+        })
+        .unwrap();
+        let back = decode_response(FrameType::Nak, &frame[HEADER_LEN..]).unwrap();
+        match back {
+            Response::Nak { detail, .. } => assert!(detail.len() <= MAX_NAK_DETAIL_LEN),
+            other => panic!("expected nak, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! `fleet-ctl` — replicate a source spool of engine bundles into a
+//! fleet of scoring nodes.
+//!
+//! ```text
+//! fleet-ctl --source DIR --node ADDR [--node ADDR ...] [--interval MS] [--once]
+//! ```
+//!
+//! Watches `--source` for `*.bundle` files and keeps every `--node`'s
+//! spool in sync with it over GHSF (see `docs/FLEET.md`). With
+//! `--once` it performs a single convergence pass and exits non-zero
+//! if any node could not be brought in sync — the mode CI and
+//! deploy scripts use. Without it, it polls forever at `--interval`
+//! (default 1000 ms), printing one line per sync or failure.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+use ghsom_comms::{PublishEvent, SpoolPublisher};
+
+struct Args {
+    source: PathBuf,
+    nodes: Vec<SocketAddr>,
+    interval: Duration,
+    once: bool,
+}
+
+const USAGE: &str =
+    "usage: fleet-ctl --source DIR --node ADDR [--node ADDR ...] [--interval MS] [--once]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut source: Option<PathBuf> = None;
+    let mut nodes: Vec<SocketAddr> = Vec::new();
+    let mut interval = Duration::from_millis(1000);
+    let mut once = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--source" => {
+                let value = it.next().ok_or("--source needs a directory")?;
+                source = Some(PathBuf::from(value));
+            }
+            "--node" => {
+                let value = it.next().ok_or("--node needs an ADDR:PORT")?;
+                let addr: SocketAddr = value
+                    .parse()
+                    .map_err(|_| format!("invalid node address {value:?}"))?;
+                nodes.push(addr);
+            }
+            "--interval" => {
+                let value = it.next().ok_or("--interval needs milliseconds")?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid interval {value:?}"))?;
+                interval = Duration::from_millis(ms);
+            }
+            "--once" => once = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    let source = source.ok_or(format!("--source is required\n{USAGE}"))?;
+    if !source.is_dir() {
+        return Err(format!("source {} is not a directory", source.display()));
+    }
+    if nodes.is_empty() {
+        return Err(format!("at least one --node is required\n{USAGE}"));
+    }
+    Ok(Args {
+        source,
+        nodes,
+        interval,
+        once,
+    })
+}
+
+fn describe(event: &PublishEvent) -> String {
+    match event {
+        PublishEvent::NodeSynced {
+            node,
+            tenant,
+            report,
+        } => {
+            if report.already_current {
+                format!(
+                    "sync {node} {tenant}: already current ({:#018x})",
+                    report.checksum
+                )
+            } else {
+                format!(
+                    "sync {node} {tenant}: {} bytes (resumed from {}, {:#018x})",
+                    report.bytes_sent, report.resumed_from, report.checksum
+                )
+            }
+        }
+        PublishEvent::NodeFailed {
+            node,
+            tenant,
+            error,
+        } => format!("FAIL {node} {tenant}: {error}"),
+        other => format!("event {other:?}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut publisher = SpoolPublisher::new(&args.source, args.nodes);
+    if args.once {
+        let events = publisher.poll_once();
+        let mut failed = false;
+        for event in &events {
+            println!("{}", describe(event));
+            failed |= matches!(event, PublishEvent::NodeFailed { .. });
+        }
+        return if failed {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    // Poll until the process is killed; the publisher is stateless
+    // across restarts (acks are re-derived from node offer-acks).
+    let run_forever = AtomicBool::new(false);
+    publisher.run(&run_forever, args.interval, |event| {
+        println!("{}", describe(event));
+    });
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_a_full_command_line() {
+        let dir = std::env::temp_dir();
+        let argv = strings(&[
+            "--source",
+            dir.to_str().unwrap(),
+            "--node",
+            "127.0.0.1:7071",
+            "--node",
+            "127.0.0.1:7072",
+            "--interval",
+            "250",
+            "--once",
+        ]);
+        let args = parse_args(&argv).unwrap();
+        assert_eq!(args.nodes.len(), 2);
+        assert_eq!(args.interval, Duration::from_millis(250));
+        assert!(args.once);
+    }
+
+    #[test]
+    fn rejects_bad_usage() {
+        assert!(parse_args(&strings(&[])).is_err());
+        assert!(parse_args(&strings(&["--node", "127.0.0.1:1"])).is_err());
+        assert!(parse_args(&strings(&["--source"])).is_err());
+        assert!(parse_args(&strings(&[
+            "--source",
+            "/definitely/not/a/dir",
+            "--node",
+            "1.2.3.4:5"
+        ]))
+        .is_err());
+        let dir = std::env::temp_dir();
+        assert!(parse_args(&strings(&["--source", dir.to_str().unwrap()])).is_err());
+        assert!(parse_args(&strings(&[
+            "--source",
+            dir.to_str().unwrap(),
+            "--node",
+            "not-an-addr"
+        ]))
+        .is_err());
+    }
+}

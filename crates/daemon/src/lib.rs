@@ -25,6 +25,13 @@
 //!   (records, batches, flag rate, overload rejects, queue high-water,
 //!   p50/p99 batch latency) plus watcher events, rendered as plaintext
 //!   on a separate metrics listener.
+//! * **Fleet plane** ([`fleet`]) — [`FleetClient`] fans score batches
+//!   out across N daemons in contiguous chunks (ordered, bit-identical
+//!   concat — the `ShardedEngine` rule one level up), routes observe
+//!   batches whole to one node without retry, and reduces fleet-wide
+//!   baselines from each daemon's GHSF endpoint (`ghsom_comms`; started
+//!   via [`DaemonConfig::with_fleet_addr`]). Normative wire grammar in
+//!   `docs/FLEET.md`, operator procedures in `docs/OPERATIONS.md`.
 //! * **Hostile-input containment** — every malformed frame maps to a
 //!   typed [`DaemonError`], closes exactly the offending connection, and
 //!   never panics the process or touches an engine; slow-loris writers
@@ -56,12 +63,14 @@
 
 pub mod client;
 pub mod error;
+pub mod fleet;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use client::DaemonClient;
 pub use error::{DaemonError, RejectCode};
+pub use fleet::{FleetClient, FleetEndpoint, FleetError};
 pub use metrics::{DaemonMetrics, LatencyHistogram, TenantMetrics};
 pub use protocol::{BatchMode, BatchRequest, FrameHeader, FrameType, Request, Response};
 pub use server::{Daemon, DaemonConfig};

@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! ghsom-daemon --spool /var/spool/ghsom [--listen 127.0.0.1:7700]
-//!              [--metrics 127.0.0.1:7701] [--queue-capacity 64]
-//!              [--shards 1] [--poll-ms 250] [--frame-timeout-secs 10]
-//!              [--max-seconds 0]
+//!              [--metrics 127.0.0.1:7701] [--fleet 127.0.0.1:7702]
+//!              [--queue-capacity 64] [--shards 1] [--poll-ms 250]
+//!              [--frame-timeout-secs 10] [--max-seconds 0]
 //! ```
 //!
 //! The process runs until killed (or for `--max-seconds`, useful under a
 //! supervisor or in CI). Drop `<tenant>.bundle` files into the spool to
 //! deploy/swap tenants live; scrape the metrics address for plaintext
-//! counters. See `docs/PROTOCOL.md` for the wire format.
+//! counters. With `--fleet` the daemon additionally listens for GHSF
+//! bundle replication from `fleet-ctl`, writing verified bundles into
+//! the same spool. See `docs/PROTOCOL.md` and `docs/FLEET.md` for the
+//! wire formats, `docs/OPERATIONS.md` for deployment procedures.
 
 #![deny(unsafe_code)]
 
@@ -19,8 +22,8 @@ use std::time::Duration;
 use ghsom_daemon::{Daemon, DaemonConfig};
 
 const USAGE: &str = "usage: ghsom-daemon --spool <dir> [--listen <addr>] [--metrics <addr>] \
-[--queue-capacity <batches>] [--shards <n>] [--poll-ms <ms>] [--frame-timeout-secs <s>] \
-[--max-seconds <s>]";
+[--fleet <addr>] [--queue-capacity <batches>] [--shards <n>] [--poll-ms <ms>] \
+[--frame-timeout-secs <s>] [--max-seconds <s>]";
 
 fn main() {
     if let Err(message) = run() {
@@ -35,6 +38,7 @@ fn run() -> Result<(), String> {
     let mut spool: Option<String> = None;
     let mut listen = "127.0.0.1:7700".to_string();
     let mut metrics = "127.0.0.1:7701".to_string();
+    let mut fleet: Option<String> = None;
     let mut queue_capacity = 64usize;
     let mut shards = 1usize;
     let mut poll_ms = 250u64;
@@ -51,6 +55,7 @@ fn run() -> Result<(), String> {
             "--spool" => spool = Some(required(&mut it, flag)?),
             "--listen" => listen = required(&mut it, flag)?,
             "--metrics" => metrics = required(&mut it, flag)?,
+            "--fleet" => fleet = Some(required(&mut it, flag)?),
             "--queue-capacity" => queue_capacity = parsed(&mut it, flag)?,
             "--shards" => shards = parsed(&mut it, flag)?,
             "--poll-ms" => poll_ms = parsed(&mut it, flag)?,
@@ -61,17 +66,23 @@ fn run() -> Result<(), String> {
     }
     let spool = spool.ok_or_else(|| "--spool is required".to_string())?;
 
-    let config = DaemonConfig::new(&spool)
+    let mut config = DaemonConfig::new(&spool)
         .with_ingest_addr(&listen)
         .with_metrics_addr(&metrics)
         .with_queue_capacity(queue_capacity)
         .with_shards(shards)
         .with_poll_interval(Duration::from_millis(poll_ms))
         .with_frame_timeout(Duration::from_secs(frame_timeout_secs));
+    if let Some(addr) = &fleet {
+        config = config.with_fleet_addr(addr);
+    }
     let daemon = Daemon::start(config).map_err(|e| e.to_string())?;
     println!("ghsom-daemon serving spool {spool}");
     println!("  ingest  {}", daemon.ingest_addr());
     println!("  metrics {}", daemon.metrics_addr());
+    if let Some(addr) = daemon.fleet_addr() {
+        println!("  fleet   {addr}");
+    }
 
     if max_seconds == 0 {
         loop {

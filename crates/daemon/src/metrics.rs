@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use ghsom_comms::NodeEvent;
 use ghsom_serve::SpoolEvent;
 use parking_lot::RwLock;
 
@@ -209,6 +210,10 @@ pub struct DaemonMetrics {
     malformed_total: AtomicU64,
     unknown_tenant_total: AtomicU64,
     scan_failures_total: AtomicU64,
+    fleet_bundles_total: AtomicU64,
+    fleet_bundle_bytes_total: AtomicU64,
+    fleet_bundle_rejects_total: AtomicU64,
+    fleet_state_queries_total: AtomicU64,
     tenants: RwLock<BTreeMap<String, Arc<TenantMetrics>>>,
 }
 
@@ -229,6 +234,10 @@ impl DaemonMetrics {
             malformed_total: AtomicU64::new(0),
             unknown_tenant_total: AtomicU64::new(0),
             scan_failures_total: AtomicU64::new(0),
+            fleet_bundles_total: AtomicU64::new(0),
+            fleet_bundle_bytes_total: AtomicU64::new(0),
+            fleet_bundle_rejects_total: AtomicU64::new(0),
+            fleet_state_queries_total: AtomicU64::new(0),
             tenants: RwLock::new(BTreeMap::new()),
         }
     }
@@ -301,6 +310,49 @@ impl DaemonMetrics {
         }
     }
 
+    /// Folds a fleet-endpoint event into the counters. Replicated
+    /// bundles also tick the tenant's `deploys`-adjacent spool counters
+    /// indirectly once the watcher picks them up; these counters track
+    /// the *transfer* layer.
+    pub fn record_fleet_event(&self, event: &NodeEvent) {
+        match event {
+            NodeEvent::BundleStored { bytes, .. } => {
+                self.fleet_bundles_total.fetch_add(1, Ordering::Relaxed);
+                self.fleet_bundle_bytes_total
+                    .fetch_add(*bytes, Ordering::Relaxed);
+            }
+            NodeEvent::BundleRejected { .. } => {
+                self.fleet_bundle_rejects_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            NodeEvent::StateServed { .. } => {
+                self.fleet_state_queries_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Bundles stored through the fleet endpoint.
+    pub fn fleet_bundles_total(&self) -> u64 {
+        self.fleet_bundles_total.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes of bundles stored through the fleet endpoint.
+    pub fn fleet_bundle_bytes_total(&self) -> u64 {
+        self.fleet_bundle_bytes_total.load(Ordering::Relaxed)
+    }
+
+    /// Fleet requests refused with a nak.
+    pub fn fleet_bundle_rejects_total(&self) -> u64 {
+        self.fleet_bundle_rejects_total.load(Ordering::Relaxed)
+    }
+
+    /// Baseline state queries served by the fleet endpoint.
+    pub fn fleet_state_queries_total(&self) -> u64 {
+        self.fleet_state_queries_total.load(Ordering::Relaxed)
+    }
+
     /// Total connections ever accepted.
     pub fn connections_total(&self) -> u64 {
         self.connections_total.load(Ordering::Relaxed)
@@ -350,6 +402,26 @@ impl DaemonMetrics {
             out,
             "ghsomd_spool_scan_failures_total {}",
             self.scan_failures_total()
+        );
+        let _ = writeln!(
+            out,
+            "ghsomd_fleet_bundles_total {}",
+            self.fleet_bundles_total()
+        );
+        let _ = writeln!(
+            out,
+            "ghsomd_fleet_bundle_bytes_total {}",
+            self.fleet_bundle_bytes_total()
+        );
+        let _ = writeln!(
+            out,
+            "ghsomd_fleet_bundle_rejects_total {}",
+            self.fleet_bundle_rejects_total()
+        );
+        let _ = writeln!(
+            out,
+            "ghsomd_fleet_state_queries_total {}",
+            self.fleet_state_queries_total()
         );
         let tenants = self.tenants.read();
         for (name, t) in tenants.iter() {
@@ -480,8 +552,20 @@ mod tests {
         let t = m.tenant("edge");
         t.record_batch(100, 3, 42);
         t.record_overload(50);
+        m.record_fleet_event(&NodeEvent::BundleStored {
+            tenant: "edge".to_string(),
+            bytes: 4_096,
+            resumed_from: 0,
+        });
+        m.record_fleet_event(&NodeEvent::StateServed {
+            tenant: "edge".to_string(),
+            hit: true,
+        });
         let text = m.render();
         assert!(text.contains("ghsomd_connections_total 1"));
+        assert!(text.contains("ghsomd_fleet_bundles_total 1"));
+        assert!(text.contains("ghsomd_fleet_bundle_bytes_total 4096"));
+        assert!(text.contains("ghsomd_fleet_state_queries_total 1"));
         assert!(text.contains("ghsomd_tenant_records_total{tenant=\"edge\"} 100"));
         assert!(text.contains("ghsomd_tenant_flagged_total{tenant=\"edge\"} 3"));
         assert!(text.contains(

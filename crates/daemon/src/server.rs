@@ -63,6 +63,7 @@ pub struct DaemonConfig {
     spool: PathBuf,
     ingest_addr: String,
     metrics_addr: String,
+    fleet_addr: Option<String>,
     queue_capacity: usize,
     max_frame_len: usize,
     shards: usize,
@@ -79,6 +80,7 @@ impl DaemonConfig {
             spool: spool.into(),
             ingest_addr: "127.0.0.1:0".to_string(),
             metrics_addr: "127.0.0.1:0".to_string(),
+            fleet_addr: None,
             queue_capacity: 64,
             max_frame_len: protocol::DEFAULT_MAX_FRAME_LEN,
             shards: 1,
@@ -98,6 +100,17 @@ impl DaemonConfig {
     #[must_use]
     pub fn with_metrics_addr(mut self, addr: &str) -> Self {
         self.metrics_addr = addr.to_string();
+        self
+    }
+
+    /// Enables the GHSF fleet endpoint on `addr` (e.g. `0.0.0.0:7071`):
+    /// a `fleet-ctl` publisher can then replicate bundles straight into
+    /// this daemon's spool and query its tenants' streaming baselines.
+    /// Off by default — a daemon that isn't part of a fleet exposes no
+    /// replication surface.
+    #[must_use]
+    pub fn with_fleet_addr(mut self, addr: &str) -> Self {
+        self.fleet_addr = Some(addr.to_string());
         self
     }
 
@@ -180,6 +193,7 @@ pub struct Daemon {
     shared: Arc<Shared>,
     ingest_addr: SocketAddr,
     metrics_addr: SocketAddr,
+    fleet_node: Option<ghsom_comms::FleetNode>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -239,6 +253,42 @@ impl Daemon {
         let ingest_addr = ingest.local_addr()?;
         let metrics_addr = metrics_listener.local_addr()?;
 
+        // Optional GHSF fleet endpoint: replicated bundles land in the
+        // same spool the watcher polls, so a fleet deploy is exactly a
+        // local hot-reload whose file arrived over TCP. State queries
+        // export the live adaptive baseline for fleet-wide reduction.
+        let fleet_node = match &config.fleet_addr {
+            None => None,
+            Some(addr) => {
+                use std::net::ToSocketAddrs;
+                let addr = addr
+                    .to_socket_addrs()
+                    .map_err(|e| DaemonError::Io(e.to_string()))?
+                    .next()
+                    .ok_or_else(|| {
+                        DaemonError::Io(format!("fleet address '{addr}' resolves to nothing"))
+                    })?;
+                let state_registry = Arc::clone(&registry);
+                let event_metrics = Arc::clone(&metrics);
+                let node = ghsom_comms::FleetNode::start(
+                    ghsom_comms::FleetNodeConfig::new(addr, &config.spool)
+                        .with_max_frame_len(config.max_frame_len)
+                        .with_frame_timeout(config.frame_timeout),
+                    Arc::new(move |tenant: &str| {
+                        state_registry
+                            .get(tenant)
+                            .ok()
+                            .map(|engine| engine.stream_state().to_wire().to_vec())
+                    }),
+                    Arc::new(move |event: &ghsom_comms::NodeEvent| {
+                        event_metrics.record_fleet_event(event);
+                    }),
+                )
+                .map_err(|e| DaemonError::Io(e.to_string()))?;
+                Some(node)
+            }
+        };
+
         let mut threads = Vec::with_capacity(3);
 
         let watcher_shared = Arc::clone(&shared);
@@ -263,6 +313,7 @@ impl Daemon {
             shared,
             ingest_addr,
             metrics_addr,
+            fleet_node,
             threads,
         })
     }
@@ -275,6 +326,12 @@ impl Daemon {
     /// Address the metrics listener actually bound.
     pub fn metrics_addr(&self) -> SocketAddr {
         self.metrics_addr
+    }
+
+    /// Address the GHSF fleet endpoint actually bound, when
+    /// [`DaemonConfig::with_fleet_addr`] enabled one.
+    pub fn fleet_addr(&self) -> Option<SocketAddr> {
+        self.fleet_node.as_ref().map(|n| n.local_addr())
     }
 
     /// The registry the spool watcher keeps live.
@@ -297,6 +354,11 @@ impl Daemon {
 
     fn stop_and_join(&mut self) {
         self.shared.stop.store(true, Ordering::Relaxed);
+        // The fleet endpoint stops first: no new bundles land while the
+        // serving threads wind down.
+        if let Some(mut node) = self.fleet_node.take() {
+            node.stop_and_join();
+        }
         // Dropping the lane senders lets each worker drain and exit.
         self.shared.lanes.write().clear();
         for handle in self.threads.drain(..) {

@@ -221,6 +221,68 @@ impl StreamState {
             .iter()
             .try_fold(StreamState::default(), |acc, &s| acc.merge(s))
     }
+
+    /// Width of the fixed wire encoding produced by
+    /// [`StreamState::to_wire`].
+    pub const WIRE_LEN: usize = 40;
+
+    /// Encodes the state into its fixed little-endian wire form:
+    /// `seen`, `flagged`, `tracked` as u64 then `mean`, `m2` as raw
+    /// IEEE-754 bytes (bit-faithful — a state that round-trips the wire
+    /// restores the exact accumulator). This is the baseline payload a
+    /// fleet node ships in a GHSF `StateReply`; normative in
+    /// `docs/FLEET.md`.
+    pub fn to_wire(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        let (seen, tail) = out.split_at_mut(8);
+        seen.copy_from_slice(&self.seen.to_le_bytes());
+        let (flagged, tail) = tail.split_at_mut(8);
+        flagged.copy_from_slice(&self.flagged.to_le_bytes());
+        let (tracked, tail) = tail.split_at_mut(8);
+        tracked.copy_from_slice(&self.tracked.to_le_bytes());
+        let (mean, m2) = tail.split_at_mut(8);
+        mean.copy_from_slice(&self.mean.to_le_bytes());
+        m2.copy_from_slice(&self.m2.to_le_bytes());
+        out
+    }
+
+    /// Decodes a state from its [`StreamState::to_wire`] form and
+    /// **validates** it like [`StreamingDetector::import_state`] does —
+    /// wire bytes arrive across a trust boundary, so inconsistent
+    /// counters or non-finite moments are a typed error, never a
+    /// poisoned baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] when `tracked + flagged` does
+    /// not equal `seen` or the moments fail
+    /// [`mathkit::Welford::from_parts`] validation.
+    pub fn from_wire(bytes: &[u8; Self::WIRE_LEN]) -> Result<Self, DetectError> {
+        let mut raw = [0u8; 8];
+        let (seen, tail) = bytes.split_at(8);
+        raw.copy_from_slice(seen);
+        let seen = u64::from_le_bytes(raw);
+        let (flagged, tail) = tail.split_at(8);
+        raw.copy_from_slice(flagged);
+        let flagged = u64::from_le_bytes(raw);
+        let (tracked, tail) = tail.split_at(8);
+        raw.copy_from_slice(tracked);
+        let tracked = u64::from_le_bytes(raw);
+        let (mean, m2) = tail.split_at(8);
+        raw.copy_from_slice(mean);
+        let mean = f64::from_le_bytes(raw);
+        raw.copy_from_slice(m2);
+        let m2 = f64::from_le_bytes(raw);
+        let state = StreamState {
+            seen,
+            flagged,
+            tracked,
+            mean,
+            m2,
+        };
+        state.to_accumulator()?;
+        Ok(state)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -518,6 +580,48 @@ mod tests {
         let data = normal_line(200, 1);
         let pca = PcaDetector::fit(&data, 1, 0.99, 0).unwrap();
         StreamingDetector::new(pca, 4.0, 30)
+    }
+
+    #[test]
+    fn stream_state_wire_roundtrip_is_bit_faithful() {
+        let state = StreamState {
+            seen: 1_000,
+            flagged: 37,
+            tracked: 963,
+            mean: 0.123_456_789,
+            m2: 42.424_242,
+        };
+        let back = StreamState::from_wire(&state.to_wire()).unwrap();
+        assert_eq!(back, state);
+        assert_eq!(back.mean.to_bits(), state.mean.to_bits());
+        assert_eq!(back.m2.to_bits(), state.m2.to_bits());
+        // Default (empty) state round-trips too.
+        let empty = StreamState::default();
+        assert_eq!(StreamState::from_wire(&empty.to_wire()).unwrap(), empty);
+    }
+
+    #[test]
+    fn stream_state_from_wire_validates_like_import() {
+        // Inconsistent counters: tracked + flagged != seen.
+        let mut bytes = StreamState {
+            seen: 10,
+            flagged: 1,
+            tracked: 9,
+            mean: 0.0,
+            m2: 0.0,
+        }
+        .to_wire();
+        bytes[0] = 11; // seen = 11 while tracked + flagged = 10
+        assert!(StreamState::from_wire(&bytes).is_err());
+        // Non-finite moments are refused.
+        let hostile = StreamState {
+            seen: 2,
+            flagged: 0,
+            tracked: 2,
+            mean: f64::NAN,
+            m2: 0.0,
+        };
+        assert!(StreamState::from_wire(&hostile.to_wire()).is_err());
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//@ path: crates/comms/src/publish.rs
+//@ allow: no-panic@5
+pub fn fingerprint(meta: Option<u64>) -> u64 {
+    // LINT-ALLOW(no-panic): fixture — caller checked presence above
+    meta.unwrap()
+}

@@ -12,7 +12,8 @@
 //!   by a `// SAFETY:` comment.
 //! * **R2 `no-panic` / `no-index`** — panic-freedom of the serving-path
 //!   crates: no `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!`
-//!   in non-test code of `serve`/`detect`/`featurize`/`mathkit`, and no
+//!   in non-test code of `serve`/`detect`/`featurize`/`mathkit`/
+//!   `daemon`/`comms`, and no
 //!   slice indexing in `pub fn`s name-reachable from
 //!   `Engine::score_records`/`observe_records` outside the audited
 //!   checked-kernel zones.

@@ -4,8 +4,9 @@
 //! the executable version. Scope conventions used below:
 //!
 //! * *serving crates* — `serve`, `detect`, `featurize`, `mathkit`,
-//!   `daemon`: the crates on the record→vector→walk→verdict path and
-//!   the network front-end that feeds it.
+//!   `daemon`, `comms`: the crates on the record→vector→walk→verdict
+//!   path, the network front-end that feeds it, and the fleet plane
+//!   that replicates bundles into it.
 //! * *non-test* — outside any `#[cfg(test)]`-gated item, and not under
 //!   a crate's `tests/` or `benches/` directory.
 //! * Every rule except `allow` honors a `// LINT-ALLOW(<rule>): <reason>`
@@ -54,7 +55,7 @@ pub const RULES: [(&str, &str); 7] = [
 ];
 
 /// Crates on the serving path (R2 scope).
-const SERVING_CRATES: [&str; 5] = ["serve", "detect", "featurize", "mathkit", "daemon"];
+const SERVING_CRATES: [&str; 6] = ["serve", "detect", "featurize", "mathkit", "daemon", "comms"];
 
 /// The one file allowed to touch `GHSOM_THREADS` via set_var/remove_var.
 const ENV_GUARD_FILE: &str = "crates/bench/src/pin.rs";

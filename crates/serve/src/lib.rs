@@ -156,4 +156,4 @@ pub use mmap::MappedFile;
 pub use registry::EngineRegistry;
 pub use shard::ShardedEngine;
 pub use snapshot::SnapshotView;
-pub use watch::{SpoolEvent, SpoolWatcher};
+pub use watch::{publish_bundle, SpoolEvent, SpoolWatcher};

@@ -448,6 +448,36 @@ fn tenant_name(path: &Path) -> Result<String, ServeError> {
         ))
 }
 
+/// Publishes bundle bytes into a spool directory the way every writer
+/// should: write to a hidden temp file, then atomically rename onto
+/// `{tenant}.bundle`. A watcher polling the directory observes either
+/// the previous bundle or the complete new one — never a torn write.
+/// This is the local form of the fleet replication path (`ghsom-comms`
+/// stages and verifies over TCP, then performs this same rename).
+///
+/// Returns the published path.
+///
+/// # Errors
+///
+/// [`ServeError::Malformed`] when `tenant` is empty, hidden (leading
+/// `.`), or contains path separators/NUL; [`ServeError::Io`] when the
+/// write or rename fails.
+pub fn publish_bundle(spool: &Path, tenant: &str, bytes: &[u8]) -> Result<PathBuf, ServeError> {
+    if tenant.is_empty() || tenant.starts_with('.') || tenant.contains(['/', '\\', '\0']) {
+        return Err(ServeError::Malformed(
+            "tenant must be a non-hidden file stem without path separators",
+        ));
+    }
+    let tmp = spool.join(format!(".{tenant}.tmp"));
+    std::fs::write(&tmp, bytes)?;
+    let target = spool.join(format!("{tenant}.bundle"));
+    if let Err(e) = std::fs::rename(&tmp, &target) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e.into());
+    }
+    Ok(target)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,9 +501,23 @@ mod tests {
 
     /// Publish the way a real writer should: temp file + atomic rename.
     fn publish(spool: &Path, tenant: &str, bytes: &[u8]) {
-        let tmp = spool.join(format!(".{tenant}.tmp"));
-        std::fs::write(&tmp, bytes).unwrap();
-        std::fs::rename(&tmp, spool.join(format!("{tenant}.bundle"))).unwrap();
+        publish_bundle(spool, tenant, bytes).unwrap();
+    }
+
+    #[test]
+    fn publish_bundle_rejects_hostile_tenants_and_leaves_no_temp() {
+        let spool = temp_spool("publish_bundle");
+        for bad in ["", ".hidden", "a/b", "a\\b", "a\0b"] {
+            assert!(publish_bundle(&spool, bad, b"x").is_err(), "{bad:?}");
+        }
+        let path = publish_bundle(&spool, "ok", b"bytes").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"bytes");
+        let hidden: Vec<_> = std::fs::read_dir(&spool)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with('.'))
+            .collect();
+        assert!(hidden.is_empty(), "{hidden:?}");
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Documentation link checker (ISSUE 10): every relative link and
+//! intra-document anchor in the operator documentation set must
+//! resolve. Scope: `README.md`, `ARCHITECTURE.md`, `ROADMAP.md` and
+//! everything under `docs/`. External (`http(s)`/`mailto`) targets are
+//! skipped — the build container is offline — but their syntax still
+//! has to parse.
+//!
+//! Anchors are matched against GitHub-style heading slugs (lowercase,
+//! punctuation stripped, spaces to hyphens, duplicate slugs suffixed
+//! `-1`, `-2`, …), computed from the target file's headings outside
+//! fenced code blocks.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn doc_set() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut docs: Vec<PathBuf> = ["README.md", "ARCHITECTURE.md", "ROADMAP.md"]
+        .iter()
+        .map(|n| root.join(n))
+        .filter(|p| p.exists())
+        .collect();
+    let docs_dir = root.join("docs");
+    if let Ok(entries) = std::fs::read_dir(&docs_dir) {
+        let mut extra: Vec<_> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "md"))
+            .collect();
+        extra.sort();
+        docs.extend(extra);
+    }
+    assert!(docs.len() >= 4, "documentation set went missing: {docs:?}");
+    docs
+}
+
+/// Lines of `text` with fenced code blocks blanked out (the fence
+/// markers themselves included), so links and headings inside examples
+/// don't count.
+fn without_fences(text: &str) -> Vec<String> {
+    let mut fenced = false;
+    text.lines()
+        .map(|line| {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("```") || trimmed.starts_with("~~~") {
+                fenced = !fenced;
+                String::new()
+            } else if fenced {
+                String::new()
+            } else {
+                line.to_string()
+            }
+        })
+        .collect()
+}
+
+/// Blanks `inline code spans` so bracket characters inside them don't
+/// look like link syntax.
+fn without_code_spans(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut in_code = false;
+    for c in line.chars() {
+        if c == '`' {
+            in_code = !in_code;
+            out.push(' ');
+        } else if in_code {
+            out.push(' ');
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// GitHub-style anchor slug for a heading text.
+fn slugify(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' || c == '-' {
+                Some(if c == ' ' { '-' } else { c })
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All anchor slugs defined by a markdown file, duplicates suffixed.
+fn anchors_of(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut anchors = Vec::new();
+    for line in without_fences(&text) {
+        let trimmed = line.trim_start();
+        if !trimmed.starts_with('#') {
+            continue;
+        }
+        let heading = trimmed.trim_start_matches('#');
+        if !heading.starts_with(' ') && !heading.is_empty() {
+            continue; // not a heading (e.g. "#1" in prose)
+        }
+        let base = slugify(&heading.replace('`', ""));
+        let n = counts.entry(base.clone()).or_insert(0);
+        if *n == 0 {
+            anchors.push(base.clone());
+        } else {
+            anchors.push(format!("{base}-{n}"));
+        }
+        *n += 1;
+    }
+    anchors
+}
+
+/// Extracts inline link targets `[text](target)` from one
+/// fence-stripped line.
+fn link_targets(line: &str) -> Vec<String> {
+    let clean = without_code_spans(line);
+    let bytes = clean.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = clean[i + 2..].find(')') {
+                targets.push(clean[i + 2..i + 2 + end].trim().to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+#[test]
+fn every_relative_link_and_anchor_resolves() {
+    let root = repo_root();
+    let mut anchor_cache: HashMap<PathBuf, Vec<String>> = HashMap::new();
+    let mut broken: Vec<String> = Vec::new();
+
+    for doc in doc_set() {
+        let text = std::fs::read_to_string(&doc).unwrap();
+        let dir = doc.parent().unwrap_or(&root).to_path_buf();
+        for (lineno, line) in without_fences(&text).iter().enumerate() {
+            for target in link_targets(line) {
+                let at = format!("{}:{}", doc.display(), lineno + 1);
+                if target.is_empty() {
+                    broken.push(format!("{at}: empty link target"));
+                    continue;
+                }
+                if target.starts_with("http://")
+                    || target.starts_with("https://")
+                    || target.starts_with("mailto:")
+                {
+                    continue;
+                }
+                // Strip an optional markdown title: [x](path "title").
+                let target = target.split_whitespace().next().unwrap_or("");
+                let (path_part, fragment) = match target.split_once('#') {
+                    Some((p, f)) => (p, Some(f)),
+                    None => (target, None),
+                };
+                let file = if path_part.is_empty() {
+                    doc.clone()
+                } else {
+                    dir.join(path_part)
+                };
+                if !file.exists() {
+                    broken.push(format!("{at}: missing file '{path_part}'"));
+                    continue;
+                }
+                if let Some(frag) = fragment {
+                    if file.extension().is_some_and(|x| x == "md") {
+                        let anchors = anchor_cache
+                            .entry(file.clone())
+                            .or_insert_with(|| anchors_of(&file));
+                        if !anchors.iter().any(|a| a == frag) {
+                            broken
+                                .push(format!("{at}: anchor '#{frag}' not in {}", file.display()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    assert!(
+        broken.is_empty(),
+        "broken documentation links:\n  {}",
+        broken.join("\n  ")
+    );
+}
+
+#[test]
+fn slugs_follow_github_rules() {
+    assert_eq!(slugify("Wire format"), "wire-format");
+    assert_eq!(slugify("GHSF v1 — frame grammar"), "ghsf-v1--frame-grammar");
+    assert_eq!(slugify("What's `in` here?"), "whats-in-here");
+}

@@ -1,0 +1,265 @@
+//! Deterministic in-process mini-fleet (ISSUE 10): three daemons, each
+//! with its own spool and a GHSF fleet endpoint, fed by a
+//! `SpoolPublisher` and routed by a `FleetClient`. The invariants:
+//!
+//! * **replication-to-swap** — one publisher poll replicates the bundle
+//!   into all three node spools (checksum-verified, visible only after
+//!   the atomic rename), and every node is serving the tenant within
+//!   the watcher's next poll;
+//! * **bit-identical fan-out** — verdicts routed across the fleet in
+//!   contiguous chunks equal a single reference engine scoring the
+//!   whole batch, verdict for verdict;
+//! * **typed degradation** — a node killed mid-stream yields
+//!   `FleetError::Partial` naming the exact unserved record ranges with
+//!   failover off, a full bit-identical result with failover on, and
+//!   `AllNodesDown` when nothing is left; observe batches are never
+//!   retried and name the node that failed;
+//! * **exact baseline reduction** — the fleet-wide `StreamState` merged
+//!   from the nodes' GHSF state exports equals, bit for bit,
+//!   `StreamState::merge_all` over reference engines fed the same
+//!   per-node sub-streams.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use ghsom_comms::{PublishEvent, SpoolPublisher};
+use ghsom_daemon::{Daemon, DaemonClient, DaemonConfig, FleetClient, FleetEndpoint, FleetError};
+use ghsom_serve::publish_bundle;
+use ghsom_suite::prelude::*;
+
+const DEPLOY_DEADLINE: Duration = Duration::from_secs(20);
+
+fn small_engine(seed: u64) -> (Engine, Vec<ConnectionRecord>) {
+    let (train, test) = traffic::synth::kdd_train_test(400, 512, seed).unwrap();
+    let config = EngineConfig::default()
+        .with_ghsom(GhsomConfig::default().with_epochs(2, 2).with_seed(seed))
+        .with_stream(4.0, 50);
+    (
+        Engine::fit(&config, &train).unwrap(),
+        test.records().to_vec(),
+    )
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ghsom_fleet_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_node(spool: &std::path::Path) -> Daemon {
+    Daemon::start(
+        DaemonConfig::new(spool)
+            .with_poll_interval(Duration::from_millis(50))
+            .with_fleet_addr("127.0.0.1:0"),
+    )
+    .unwrap()
+}
+
+fn endpoint(daemon: &Daemon) -> FleetEndpoint {
+    FleetEndpoint {
+        ingest: daemon.ingest_addr(),
+        fleet: daemon.fleet_addr(),
+    }
+}
+
+/// Blocks until the node serves `tenant`, panicking past the deadline.
+fn await_serving(ingest: SocketAddr, tenant: &str, probe: &[ConnectionRecord]) {
+    let deadline = Instant::now() + DEPLOY_DEADLINE;
+    loop {
+        let attempt = DaemonClient::connect(ingest).and_then(|mut client| {
+            client.set_read_timeout(Some(Duration::from_secs(5)))?;
+            client.score(tenant, probe)
+        });
+        match attempt {
+            Ok(_) => return,
+            Err(e) => {
+                assert!(
+                    Instant::now() < deadline,
+                    "node {ingest} did not serve '{tenant}' before the deadline (last: {e})"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+#[test]
+fn publisher_replicates_and_fleet_routes_bit_identically() {
+    let source = scratch_dir("src");
+    let (engine, records) = small_engine(71);
+    let bundle = engine.to_bytes();
+    publish_bundle(&source, "edge", &bundle).unwrap();
+
+    let spools: Vec<_> = (0..3).map(|i| scratch_dir(&format!("node{i}"))).collect();
+    let nodes: Vec<_> = spools.iter().map(|s| start_node(s)).collect();
+    let fleet_addrs: Vec<SocketAddr> = nodes.iter().map(|n| n.fleet_addr().unwrap()).collect();
+
+    // -- one publisher poll replicates into all three node spools.
+    let mut publisher = SpoolPublisher::new(&source, fleet_addrs);
+    let events = publisher.poll_once();
+    let synced = events
+        .iter()
+        .filter(|e| matches!(e, PublishEvent::NodeSynced { .. }))
+        .count();
+    assert_eq!(synced, 3, "one poll must sync all three nodes: {events:?}");
+    assert_eq!(publisher.poll_once().len(), 0, "converged fleet is quiet");
+
+    // -- every node swaps the bundle in within the watcher poll.
+    let probe = &records[..1];
+    for node in &nodes {
+        await_serving(node.ingest_addr(), "edge", probe);
+    }
+
+    // -- fleet-routed verdicts are bit-identical to one engine.
+    let reference = Engine::from_bytes(&bundle).unwrap();
+    let batch = &records[..300]; // 3 chunks of 100 across 3 nodes
+    let expected = reference.score_records(batch).unwrap();
+    let mut fleet = FleetClient::new(nodes.iter().map(endpoint).collect()).unwrap();
+    let verdicts = fleet.score("edge", batch).unwrap();
+    assert_eq!(verdicts, expected, "fleet verdicts differ from reference");
+
+    // A sub-chunk batch stays on one node and still matches.
+    let small = &records[5..45];
+    assert_eq!(
+        fleet.score("edge", small).unwrap(),
+        reference.score_records(small).unwrap(),
+    );
+
+    // -- observe fan-out reconciles exactly: round-robin routes batch i
+    // to node i, so feed the same sub-streams to reference engines and
+    // compare the merged baselines bit for bit.
+    let refs: Vec<_> = (0..3)
+        .map(|_| Engine::from_bytes(&bundle).unwrap())
+        .collect();
+    for (i, reference) in refs.iter().enumerate() {
+        let sub = &records[i * 60..(i + 1) * 60];
+        let local = reference.observe_records(sub).unwrap();
+        let remote = fleet.observe("edge", sub).unwrap();
+        assert_eq!(remote.len(), local.len());
+        for (j, (r, l)) in remote.iter().zip(&local).enumerate() {
+            // Bitwise, not PartialEq: warmup verdicts carry a NaN
+            // threshold, and NaN != NaN would fail an identical pair.
+            assert!(
+                r.score.to_bits() == l.score.to_bits()
+                    && r.anomalous == l.anomalous
+                    && r.threshold.to_bits() == l.threshold.to_bits(),
+                "observe verdict {j} differs on node {i}: remote {r:?} local {l:?}"
+            );
+        }
+    }
+    let states: Vec<StreamState> = refs.iter().map(|r| r.stream_state()).collect();
+    let expected_state = StreamState::merge_all(&states).unwrap();
+    let fleet_state = fleet.fleet_state("edge").unwrap();
+    assert_eq!(
+        fleet_state.to_wire(),
+        expected_state.to_wire(),
+        "merged fleet baseline is not bit-identical to the reference reduction"
+    );
+
+    for node in nodes {
+        node.shutdown();
+    }
+    std::fs::remove_dir_all(&source).ok();
+    for s in &spools {
+        std::fs::remove_dir_all(s).ok();
+    }
+}
+
+#[test]
+fn node_failure_is_typed_partial_then_recovers() {
+    let (engine, records) = small_engine(72);
+    let bundle = engine.to_bytes();
+    let reference = Engine::from_bytes(&bundle).unwrap();
+
+    let spool_a = scratch_dir("fail_a");
+    let spool_b = scratch_dir("fail_b");
+    publish_bundle(&spool_a, "edge", &bundle).unwrap();
+    let node_a = start_node(&spool_a);
+    let node_b = start_node(&spool_b);
+    let addr_b = node_b.ingest_addr();
+    let probe = &records[..1];
+    await_serving(node_a.ingest_addr(), "edge", probe);
+
+    let endpoints = vec![endpoint(&node_a), endpoint(&node_b)];
+    let batch = &records[..256]; // 2 chunks of 128
+    let expected = reference.score_records(batch).unwrap();
+
+    // -- rolling deploy: node B has no 'edge' yet. Its reject fails
+    // over to A without tarring B as down; with failover off it is a
+    // typed partial naming exactly B's chunk.
+    let mut fleet = FleetClient::new(endpoints.clone())
+        .unwrap()
+        .with_backoff(Duration::ZERO);
+    assert_eq!(fleet.score("edge", batch).unwrap(), expected);
+    assert_eq!(
+        fleet.healthy_nodes(),
+        2,
+        "a tenant reject is not node death"
+    );
+    let mut rigid = FleetClient::new(endpoints.clone())
+        .unwrap()
+        .with_backoff(Duration::ZERO)
+        .with_failover(false);
+    match rigid.score("edge", batch) {
+        Err(FleetError::Partial { total, missing, .. }) => {
+            assert_eq!(total, 256);
+            assert_eq!(missing, vec![(128, 256)]);
+        }
+        other => panic!("expected Partial for undeployed node, got {other:?}"),
+    }
+
+    // -- deploy B, then kill it mid-stream.
+    publish_bundle(&spool_b, "edge", &bundle).unwrap();
+    await_serving(node_b.ingest_addr(), "edge", probe);
+    assert_eq!(rigid.score("edge", batch).unwrap(), expected);
+    node_b.shutdown();
+
+    match rigid.score("edge", batch) {
+        Err(FleetError::Partial { total, missing, .. }) => {
+            assert_eq!(total, 256);
+            assert_eq!(missing, vec![(128, 256)]);
+        }
+        other => panic!("expected Partial after node death, got {other:?}"),
+    }
+
+    // -- with failover the surviving node serves the whole batch,
+    // still bit-identical.
+    let mut fleet = FleetClient::new(endpoints.clone())
+        .unwrap()
+        .with_backoff(Duration::ZERO);
+    assert_eq!(fleet.score("edge", batch).unwrap(), expected);
+
+    // -- observe is single-node and never retried: when round-robin
+    // lands on the dead node the error names it instead of silently
+    // double-feeding a baseline elsewhere.
+    let sub = &records[..40];
+    let first = fleet.observe("edge", sub);
+    let second = fleet.observe("edge", sub);
+    let died_on_b = [first, second]
+        .into_iter()
+        .filter_map(|r| r.err())
+        .map(|e| match e {
+            FleetError::Node { node, .. } => node,
+            other => panic!("observe failure must be FleetError::Node, got {other:?}"),
+        })
+        .collect::<Vec<_>>();
+    assert_eq!(
+        died_on_b,
+        vec![addr_b],
+        "exactly one round-robin turn hits B"
+    );
+
+    // -- nothing left: typed AllNodesDown, not a hang.
+    node_a.shutdown();
+    let mut fleet = FleetClient::new(endpoints)
+        .unwrap()
+        .with_backoff(Duration::ZERO);
+    match fleet.score("edge", batch) {
+        Err(FleetError::AllNodesDown { tenant }) => assert_eq!(tenant, "edge"),
+        other => panic!("expected AllNodesDown, got {other:?}"),
+    }
+
+    std::fs::remove_dir_all(&spool_a).ok();
+    std::fs::remove_dir_all(&spool_b).ok();
+}
